@@ -1,0 +1,126 @@
+// Ablation D: stage granularity. The paper's formulation has one stage
+// per statement; any practical advisor groups statements into blocks.
+// This bench sweeps the block size and reports (a) the quality of the
+// k = 2 constrained design evaluated at a fixed fine granularity and
+// (b) the optimizer runtime, which scales with the stage count.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/k_aware_graph.h"
+#include "cost/what_if.h"
+#include "workload/adaptive_segmenter.h"
+
+namespace cdpd {
+namespace {
+
+void Run() {
+  using namespace bench_util;
+  auto model = MakePaperCostModel();
+  const Schema schema = MakePaperSchema();
+  const Workload w1 = MakeFullWorkload("W1", kSeed);
+
+  ConfigEnumOptions enum_options;
+  enum_options.max_indexes_per_config = 1;
+  enum_options.num_rows = model->num_rows();
+  const std::vector<Configuration> candidates =
+      EnumerateConfigurations(MakePaperCandidateIndexes(schema),
+                              enum_options)
+          .value();
+
+  // Fixed fine-grained evaluator (100-query stages) for apples-to-
+  // apples quality numbers.
+  const std::vector<Segment> eval_segments = SegmentFixed(w1.size(), 100);
+  WhatIfEngine eval_what_if(model.get(), w1.statements, eval_segments);
+  DesignProblem eval_problem;
+  eval_problem.what_if = &eval_what_if;
+  eval_problem.candidates = candidates;
+  eval_problem.initial = Configuration::Empty();
+
+  PrintHeader("Ablation D: stage (block) granularity for the k = 2 design");
+  std::printf("%10s %8s %14s %12s %10s\n", "block", "stages", "opt-time(ms)",
+              "eval-cost", "changes");
+  double finest_cost = 0;
+  for (size_t block_size : {100, 250, 500, 1000, 2500, 5000, 7500}) {
+    const std::vector<Segment> segments =
+        SegmentFixed(w1.size(), block_size);
+    WhatIfEngine what_if(model.get(), w1.statements, segments);
+    DesignProblem problem;
+    problem.what_if = &what_if;
+    problem.candidates = candidates;
+    problem.initial = Configuration::Empty();
+
+    Stopwatch watch;
+    auto schedule = SolveKAware(problem, 2);
+    const double opt_time = watch.ElapsedSeconds();
+    if (!schedule.ok()) {
+      std::printf("%10zu solver failed\n", block_size);
+      continue;
+    }
+    // Expand the block-level schedule to the fine evaluation grid.
+    std::vector<Configuration> fine(eval_segments.size());
+    for (size_t s = 0; s < eval_segments.size(); ++s) {
+      const size_t statement = eval_segments[s].begin;
+      const size_t block = statement / block_size;
+      fine[s] = schedule->configs[std::min(block,
+                                           schedule->configs.size() - 1)];
+    }
+    const double eval_cost = EvaluateScheduleCost(eval_problem, fine);
+    if (block_size == 100) finest_cost = eval_cost;
+    std::printf("%10zu %8zu %14.2f %11.2f%% %10lld\n", block_size,
+                segments.size(), opt_time * 1e3,
+                100.0 * eval_cost / finest_cost,
+                static_cast<long long>(CountChanges(problem,
+                                                    schedule->configs)));
+  }
+  // Adaptive segmentation: distribution-driven variable-length stages.
+  {
+    AdaptiveSegmentOptions adaptive_options;
+    adaptive_options.base_block_size = 500;
+    const std::vector<Segment> segments =
+        SegmentAdaptive(schema, w1.statements, adaptive_options);
+    WhatIfEngine what_if(model.get(), w1.statements, segments);
+    DesignProblem problem;
+    problem.what_if = &what_if;
+    problem.candidates = candidates;
+    problem.initial = Configuration::Empty();
+    Stopwatch watch;
+    auto schedule = SolveKAware(problem, 2);
+    const double opt_time = watch.ElapsedSeconds();
+    if (schedule.ok()) {
+      std::vector<Configuration> fine(eval_segments.size());
+      for (size_t s = 0; s < eval_segments.size(); ++s) {
+        const size_t statement = eval_segments[s].begin;
+        size_t stage = 0;
+        while (stage + 1 < segments.size() &&
+               segments[stage].end <= statement) {
+          ++stage;
+        }
+        fine[s] = schedule->configs[stage];
+      }
+      const double eval_cost = EvaluateScheduleCost(eval_problem, fine);
+      std::printf("%10s %8zu %14.2f %11.2f%% %10lld\n", "adaptive",
+                  segments.size(), opt_time * 1e3,
+                  100.0 * eval_cost / finest_cost,
+                  static_cast<long long>(
+                      CountChanges(problem, schedule->configs)));
+    }
+  }
+  PrintRule();
+  std::printf("eval-cost is relative to the finest granularity. Coarse\n"
+              "blocks cut optimizer time with negligible quality loss until\n"
+              "the block size blurs the workload's phase boundaries; the\n"
+              "adaptive segmenter gets coarse-block speed without the\n"
+              "boundary blur (stages follow the distribution shifts).\n");
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace cdpd
+
+int main() {
+  cdpd::Run();
+  return 0;
+}

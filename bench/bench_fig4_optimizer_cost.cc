@@ -1,0 +1,156 @@
+// Reproduces Figure 4: runtime of the constrained design optimizers —
+// the k-aware sequence graph (optimal) and sequential design merging
+// (heuristic) — as a function of the change bound k, relative to the
+// runtime of the unconstrained optimizer. The paper's shape: the
+// k-aware graph grows roughly linearly in k, merging shrinks as k
+// approaches the unconstrained change count l, suggesting the hybrid.
+//
+// The workload is W1 played twice (60 blocks of 500 queries) so the
+// unconstrained optimum has ~24 design changes and the k = 2..18 sweep
+// sits strictly below l, as in the paper's figure.
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "core/design_merging.h"
+#include "core/k_aware_graph.h"
+#include "core/unconstrained_optimizer.h"
+#include "cost/what_if.h"
+
+namespace cdpd {
+namespace {
+
+struct Fig4Fixture {
+  std::unique_ptr<CostModel> model;
+  Workload workload;
+  std::vector<Segment> segments;
+  std::unique_ptr<WhatIfEngine> what_if;
+  DesignProblem problem;
+  DesignSchedule unconstrained;
+};
+
+Fig4Fixture* GetFixture() {
+  static Fig4Fixture* fixture = [] {
+    auto* f = new Fig4Fixture();
+    f->model = bench_util::MakePaperCostModel();
+    const Schema schema = MakePaperSchema();
+    WorkloadGenerator gen(schema, bench_util::kPaperDomain,
+                          bench_util::kSeed);
+    // W1 twice: the workload trace of two consecutive days.
+    Workload day1 = MakePaperWorkload("W1", &gen).value();
+    Workload day2 = MakePaperWorkload("W1", &gen).value();
+    f->workload = std::move(day1);
+    f->workload.statements.insert(f->workload.statements.end(),
+                                  day2.statements.begin(),
+                                  day2.statements.end());
+    f->segments = SegmentFixed(f->workload.size(), kPaperBlockSize);
+    f->what_if = std::make_unique<WhatIfEngine>(
+        f->model.get(), f->workload.statements, f->segments);
+    f->problem.what_if = f->what_if.get();
+    ConfigEnumOptions enum_options;
+    enum_options.max_indexes_per_config = 1;
+    enum_options.num_rows = f->model->num_rows();
+    f->problem.candidates =
+        EnumerateConfigurations(
+            MakePaperCandidateIndexes(schema), enum_options)
+            .value();
+    f->problem.initial = Configuration::Empty();
+    f->problem.final_config = Configuration::Empty();
+    f->unconstrained = SolveUnconstrained(f->problem).value();
+    return f;
+  }();
+  return fixture;
+}
+
+void BM_UnconstrainedOptimizer(benchmark::State& state) {
+  Fig4Fixture* f = GetFixture();
+  for (auto _ : state) {
+    auto schedule = SolveUnconstrained(f->problem);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_UnconstrainedOptimizer);
+
+void BM_KAwareGraph(benchmark::State& state) {
+  Fig4Fixture* f = GetFixture();
+  const int64_t k = state.range(0);
+  for (auto _ : state) {
+    auto schedule = SolveKAware(f->problem, k);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_KAwareGraph)->DenseRange(2, 18, 2);
+
+void BM_SequentialMerging(benchmark::State& state) {
+  Fig4Fixture* f = GetFixture();
+  const int64_t k = state.range(0);
+  for (auto _ : state) {
+    auto schedule = MergeToConstraint(f->problem, f->unconstrained, k);
+    benchmark::DoNotOptimize(schedule);
+  }
+}
+BENCHMARK(BM_SequentialMerging)->DenseRange(2, 18, 2);
+
+/// Median-of-N wall time of `fn` in seconds.
+template <typename Fn>
+double MedianSeconds(Fn&& fn, int reps = 15) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  std::nth_element(times.begin(), times.begin() + reps / 2, times.end());
+  return times[static_cast<size_t>(reps / 2)];
+}
+
+void PrintRelativeTable() {
+  using bench_util::PrintHeader;
+  using bench_util::PrintRule;
+  Fig4Fixture* f = GetFixture();
+  const double base = MedianSeconds([&] {
+    auto schedule = SolveUnconstrained(f->problem);
+    benchmark::DoNotOptimize(schedule);
+  });
+  const int64_t l = CountChanges(f->problem, f->unconstrained.configs);
+
+  PrintHeader("Figure 4: Runtimes of Constrained Design Optimizers "
+              "Relative to the Unconstrained Optimizer");
+  std::printf("workload: W1 x 2 (60 blocks); unconstrained optimum has "
+              "l = %lld changes; unconstrained solve: %.3f ms\n\n",
+              static_cast<long long>(l), base * 1e3);
+  std::printf("%4s %22s %22s\n", "k", "constrained graph", "merging");
+  for (int64_t k = 2; k <= 18; k += 2) {
+    const double graph_time = MedianSeconds([&] {
+      auto schedule = SolveKAware(f->problem, k);
+      benchmark::DoNotOptimize(schedule);
+    });
+    const double merge_time = MedianSeconds([&] {
+      auto schedule = MergeToConstraint(f->problem, f->unconstrained, k);
+      benchmark::DoNotOptimize(schedule);
+    });
+    std::printf("%4lld %21.0f%% %21.0f%%\n", static_cast<long long>(k),
+                100.0 * graph_time / base, 100.0 * merge_time / base);
+  }
+  PrintRule();
+  std::printf("expected shape (paper): graph grows ~linearly with k; "
+              "merging decreases with k\n");
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace cdpd
+
+int main(int argc, char** argv) {
+  cdpd::PrintRelativeTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Comparison the paper motivates in §1/§7: off-line dynamic design
+// (this paper) versus reactive on-line tuning (Bruno & Chaudhuri-style
+// monitor-and-adjust, here represented by core/online_tuner.h). The
+// on-line tuner only sees the past; the off-line advisor exploits the
+// whole representative trace. Run on W1 (the fitted trace) and on
+// W2/W3 (variations), costs from the what-if model, full paper scale.
+
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.h"
+#include "core/online_tuner.h"
+#include "cost/what_if.h"
+
+namespace cdpd {
+namespace {
+
+double OfflineCost(const CostModel& model, const Workload& workload,
+                   const std::vector<Configuration>& schedule) {
+  WhatIfEngine what_if(&model, workload.Span(),
+                       SegmentFixed(workload.size(), kPaperBlockSize));
+  DesignProblem problem;
+  problem.what_if = &what_if;
+  problem.candidates = {Configuration::Empty()};
+  problem.initial = Configuration::Empty();
+  problem.final_config = Configuration::Empty();
+  return EvaluateScheduleCost(problem, schedule);
+}
+
+void Run() {
+  using namespace bench_util;
+  auto model = MakePaperCostModel();
+  const Schema schema = MakePaperSchema();
+  const Workload w1 = MakeFullWorkload("W1", kSeed);
+  const Workload w2 = MakeFullWorkload("W2", kSeed + 1);
+  const Workload w3 = MakeFullWorkload("W3", kSeed + 2);
+
+  Advisor advisor(model.get());
+  auto unconstrained = advisor.Recommend(w1, PaperAdvisorOptions(-1));
+  auto constrained = advisor.Recommend(w1, PaperAdvisorOptions(2));
+  if (!unconstrained.ok() || !constrained.ok()) {
+    std::printf("advisor failed\n");
+    return;
+  }
+
+  ConfigEnumOptions enum_options;
+  enum_options.max_indexes_per_config = 1;
+  enum_options.num_rows = model->num_rows();
+  const std::vector<Configuration> configs =
+      EnumerateConfigurations(MakePaperCandidateIndexes(schema),
+                              enum_options)
+          .value();
+
+  PrintHeader("Online reactive tuning vs offline (constrained) dynamic "
+              "design — total cost incl. transitions");
+  std::printf("%-9s %18s %18s %18s %14s\n", "workload", "offline k=inf",
+              "offline k=2", "online reactive", "online chgs");
+  const Workload* workloads[3] = {&w1, &w2, &w3};
+  const char* names[3] = {"W1", "W2", "W3"};
+  for (int w = 0; w < 3; ++w) {
+    const double off_unc =
+        OfflineCost(*model, *workloads[w], unconstrained->schedule.configs);
+    const double off_con =
+        OfflineCost(*model, *workloads[w], constrained->schedule.configs);
+
+    OnlineTunerOptions online_options;
+    online_options.window = 1000;
+    online_options.epoch = 250;
+    OnlineTuner tuner(model.get(), configs, online_options);
+    tuner.ProcessAll(workloads[w]->statements);
+    // Final drop back to the empty design, matching the offline runs.
+    const double online_cost =
+        tuner.stats().total_cost() +
+        model->TransitionCost(tuner.active_configuration(),
+                              Configuration::Empty());
+
+    std::printf("%-9s %18.4e %18.4e %18.4e %14lld\n", names[w], off_unc,
+                off_con, online_cost,
+                static_cast<long long>(tuner.stats().changes));
+  }
+  PrintRule();
+  std::printf(
+      "Reading: on the fitted trace (W1) the offline unconstrained design\n"
+      "is the lower bound; on the variations (W2/W3) the *constrained*\n"
+      "offline design generalizes while the unconstrained one overfits.\n"
+      "The reactive tuner pays detection lag after every shift and has no\n"
+      "foresight, but adapts to any workload — the paper's proposal is to\n"
+      "combine them (alerter triggers the offline constrained advisor).\n");
+  PrintRule();
+}
+
+}  // namespace
+}  // namespace cdpd
+
+int main() {
+  cdpd::Run();
+  return 0;
+}

@@ -1,0 +1,76 @@
+#ifndef CDPD_BENCH_BENCH_UTIL_H_
+#define CDPD_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/advisor.h"
+#include "cost/cost_model.h"
+#include "engine/database.h"
+#include "workload/standard_workloads.h"
+
+namespace cdpd {
+namespace bench_util {
+
+/// The paper's experimental constants (§6.1).
+inline constexpr int64_t kPaperRows = 2'500'000;
+inline constexpr int64_t kPaperDomain = 500'000;
+inline constexpr uint64_t kSeed = 20080407;  // ICDE 2008 week.
+
+/// Rows for benches that physically execute workloads. The paper's
+/// 2.5 M-row table works but makes full scans slow on small machines;
+/// 250 k (default) preserves every cost ordering (plans are linear in
+/// pages). Override with CDPD_ROWS.
+inline int64_t ExecutionRows() {
+  if (const char* env = std::getenv("CDPD_ROWS")) {
+    const int64_t rows = std::atoll(env);
+    if (rows > 0) return rows;
+  }
+  return 250'000;
+}
+
+/// Cost model over the paper's full-size table (used by the advisors;
+/// no physical table needed).
+inline std::unique_ptr<CostModel> MakePaperCostModel() {
+  return std::make_unique<CostModel>(MakePaperSchema(), kPaperRows,
+                                     kPaperDomain);
+}
+
+/// W1/W2/W3 at the paper's full scale (15000 statements, 500-query
+/// blocks), deterministically seeded.
+inline Workload MakeFullWorkload(const std::string& name, uint64_t seed) {
+  WorkloadGenerator gen(MakePaperSchema(), kPaperDomain, seed);
+  return MakePaperWorkload(name, &gen).value();
+}
+
+/// The advisor options of §6: 7-configuration space over the six
+/// candidate indexes, initial and final design empty.
+inline AdvisorOptions PaperAdvisorOptions(int64_t k) {
+  AdvisorOptions options;
+  options.block_size = kPaperBlockSize;
+  options.k = k;
+  options.candidate_indexes = MakePaperCandidateIndexes(MakePaperSchema());
+  options.max_indexes_per_config = 1;
+  options.final_config = Configuration::Empty();
+  return options;
+}
+
+/// Simple aligned table printing for the reproduction reports.
+inline void PrintRule(int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+inline void PrintHeader(const std::string& title) {
+  PrintRule();
+  std::printf("%s\n", title.c_str());
+  PrintRule();
+}
+
+}  // namespace bench_util
+}  // namespace cdpd
+
+#endif  // CDPD_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,203 @@
+// Command-line advisor: the adoption path for a real user.
+//
+//   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
+//               [--rows N] [--calibrate] [--emit-ddl]
+//
+// Reads a SQL workload trace (or generates the paper's W1 as a demo),
+// recommends a change-constrained dynamic design, and optionally emits
+// the CREATE/DROP INDEX script that enacts it. With --calibrate, cost
+// model constants are measured on a scratch database first.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/advisor.h"
+#include "cost/calibration.h"
+#include "engine/database.h"
+#include "workload/standard_workloads.h"
+#include "workload/trace_io.h"
+
+using namespace cdpd;
+
+namespace {
+
+struct CliArgs {
+  std::string trace_path;
+  int64_t k = 2;
+  size_t block = 500;
+  std::string method = "optimal";
+  int64_t rows = 250'000;
+  bool calibrate = false;
+  bool emit_ddl = false;
+};
+
+bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int64_t* out) {
+      if (i + 1 >= argc) return false;
+      *out = std::atoll(argv[++i]);
+      return true;
+    };
+    if (arg == "--k") {
+      if (!next(&args->k)) return false;
+    } else if (arg == "--block") {
+      int64_t value = 0;
+      if (!next(&value) || value <= 0) return false;
+      args->block = static_cast<size_t>(value);
+    } else if (arg == "--rows") {
+      if (!next(&args->rows) || args->rows <= 0) return false;
+    } else if (arg == "--method") {
+      if (i + 1 >= argc) return false;
+      args->method = argv[++i];
+    } else if (arg == "--calibrate") {
+      args->calibrate = true;
+    } else if (arg == "--emit-ddl") {
+      args->emit_ddl = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    } else {
+      args->trace_path = arg;
+    }
+  }
+  return true;
+}
+
+Result<OptimizerMethod> MethodFromName(const std::string& name) {
+  if (name == "optimal") return OptimizerMethod::kOptimal;
+  if (name == "greedy-seq") return OptimizerMethod::kGreedySeq;
+  if (name == "merging") return OptimizerMethod::kMerging;
+  if (name == "ranking") return OptimizerMethod::kRanking;
+  if (name == "hybrid") return OptimizerMethod::kHybrid;
+  return Status::InvalidArgument(
+      "unknown method '" + name +
+      "' (optimal|greedy-seq|merging|ranking|hybrid)");
+}
+
+/// The DDL script enacting a schedule: index changes at each segment
+/// boundary, ready to feed back into Database::ExecuteSql (or any SQL
+/// console of the dialect).
+std::string EmitDdl(const Schema& schema, const Recommendation& rec) {
+  std::string out;
+  const Configuration* previous = nullptr;
+  const Configuration empty;
+  for (size_t s = 0; s < rec.segments.size(); ++s) {
+    const Configuration& config = rec.schedule.configs[s];
+    const Configuration& from = previous != nullptr ? *previous : empty;
+    const ConfigurationDelta delta = DiffConfigurations(from, config);
+    if (!delta.created.empty() || !delta.dropped.empty()) {
+      out += "-- before statement " + std::to_string(rec.segments[s].begin + 1) +
+             "\n";
+      for (const IndexDef& def : delta.dropped) {
+        std::string cols;
+        for (ColumnId col : def.key_columns()) {
+          if (!cols.empty()) cols += ", ";
+          cols += schema.column_name(col);
+        }
+        out += "DROP INDEX ON " + schema.table_name() + " (" + cols + ");\n";
+      }
+      for (const IndexDef& def : delta.created) {
+        std::string cols;
+        for (ColumnId col : def.key_columns()) {
+          if (!cols.empty()) cols += ", ";
+          cols += schema.column_name(col);
+        }
+        out += "CREATE INDEX ON " + schema.table_name() + " (" + cols +
+               ");\n";
+      }
+    }
+    previous = &config;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    std::fprintf(stderr,
+                 "usage: advisor_cli [trace.sql] [--k N] [--block N] "
+                 "[--method optimal|greedy-seq|merging|ranking|hybrid] "
+                 "[--rows N] [--calibrate] [--emit-ddl]\n");
+    return 2;
+  }
+
+  const Schema schema = MakePaperSchema();
+  Workload trace;
+  if (args.trace_path.empty()) {
+    std::printf("no trace given; generating the paper's W1 as a demo\n");
+    WorkloadGenerator gen(schema, 500'000, 1);
+    trace = MakePaperWorkload("W1", &gen).value();
+  } else {
+    auto loaded = ReadTraceFile(args.trace_path, schema);
+    if (!loaded.ok()) {
+      std::fprintf(stderr, "cannot load trace: %s\n",
+                   loaded.status().ToString().c_str());
+      return 1;
+    }
+    trace = std::move(loaded).value();
+  }
+  std::printf("trace: %zu statements, advisor block size %zu\n",
+              trace.size(), args.block);
+
+  CostParams params;
+  if (args.calibrate) {
+    auto scratch =
+        Database::Create(schema, std::min<int64_t>(args.rows, 100'000),
+                         500'000, /*seed=*/1);
+    if (!scratch.ok()) {
+      std::fprintf(stderr, "calibration db failed\n");
+      return 1;
+    }
+    auto report = CalibrateCostParams(scratch->get());
+    if (!report.ok()) {
+      std::fprintf(stderr, "calibration failed: %s\n",
+                   report.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s", report->ToString().c_str());
+    params = report->params;
+  }
+  const CostModel model(schema, args.rows, 500'000, params);
+
+  auto method = MethodFromName(args.method);
+  if (!method.ok()) {
+    std::fprintf(stderr, "%s\n", method.status().ToString().c_str());
+    return 2;
+  }
+
+  Advisor advisor(&model);
+  AdvisorOptions options;
+  options.block_size = args.block;
+  options.k = args.k;
+  options.method = *method;
+  auto rec = advisor.Recommend(trace, options);
+  if (!rec.ok()) {
+    std::fprintf(stderr, "advisor failed: %s\n",
+                 rec.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("\nmethod: %s (%s), optimized in %.3fs\n", args.method.c_str(),
+              rec->method_detail.c_str(), rec->optimize_seconds);
+  std::printf("design changes: %lld (bound %lld), estimated cost %.4e\n",
+              static_cast<long long>(rec->changes),
+              static_cast<long long>(args.k), rec->schedule.total_cost);
+  std::printf("\nschedule:\n");
+  const Configuration* previous = nullptr;
+  for (size_t s = 0; s < rec->segments.size(); ++s) {
+    const Configuration& config = rec->schedule.configs[s];
+    if (previous == nullptr || !(config == *previous)) {
+      std::printf("  statements %6zu..: %s\n", rec->segments[s].begin + 1,
+                  config.ToString(schema).c_str());
+    }
+    previous = &config;
+  }
+  if (args.emit_ddl) {
+    std::printf("\n-- DDL script --\n%s", EmitDdl(schema, *rec).c_str());
+  }
+  return 0;
+}

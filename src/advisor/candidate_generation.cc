@@ -1,0 +1,128 @@
+#include "advisor/candidate_generation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace cdpd {
+
+namespace {
+
+/// Predicate columns a statement touches (what an index could serve).
+void CollectPredicateColumns(const BoundStatement& statement,
+                             std::vector<int64_t>* counts) {
+  switch (statement.type) {
+    case StatementType::kSelectPoint:
+    case StatementType::kSelectRange:
+    case StatementType::kUpdatePoint:
+      ++(*counts)[static_cast<size_t>(statement.where_column)];
+      break;
+    case StatementType::kInsert:
+      break;  // No predicate.
+  }
+}
+
+}  // namespace
+
+std::vector<IndexDef> GenerateCandidateIndexes(
+    const Schema& schema, std::span<const BoundStatement> statements,
+    std::span<const Segment> segments, const CandidateGenOptions& options) {
+  const size_t num_columns = static_cast<size_t>(schema.num_columns());
+
+  // Workload-wide predicate-column frequencies.
+  std::vector<int64_t> global_counts(num_columns, 0);
+  int64_t predicates = 0;
+  for (const BoundStatement& statement : statements) {
+    CollectPredicateColumns(statement, &global_counts);
+  }
+  for (int64_t count : global_counts) predicates += count;
+  if (predicates == 0) return {};
+
+  // Single-column candidates: every sufficiently frequent column.
+  std::vector<IndexDef> candidates;
+  for (size_t col = 0; col < num_columns; ++col) {
+    const double freq = static_cast<double>(global_counts[col]) /
+                        static_cast<double>(predicates);
+    if (freq >= options.min_column_frequency) {
+      candidates.push_back(IndexDef({static_cast<ColumnId>(col)}));
+    }
+  }
+  if (options.max_key_columns < 2) return candidates;
+
+  // Composite candidates: the two dominant predicate columns of each
+  // segment. The pair is emitted in canonical order — the column that
+  // dominates more segments first (it earns the seekable prefix
+  // position), column id breaking ties — so sampling noise cannot flip
+  // I(a,b) into I(b,a) between runs.
+  const Segment whole{0, statements.size()};
+  std::span<const Segment> effective_segments =
+      segments.empty() ? std::span<const Segment>(&whole, 1) : segments;
+
+  // First pass: per-segment top-two columns and dominance votes.
+  std::vector<int64_t> top_votes(num_columns, 0);
+  std::vector<std::pair<ColumnId, ColumnId>> segment_tops;  // (first, second)
+  for (const Segment& segment : effective_segments) {
+    std::vector<int64_t> counts(num_columns, 0);
+    int64_t total = 0;
+    for (size_t i = segment.begin; i < segment.end; ++i) {
+      CollectPredicateColumns(statements[i], &counts);
+    }
+    for (int64_t count : counts) total += count;
+    if (total == 0) continue;
+    // Top two columns of the segment.
+    ColumnId first = -1;
+    ColumnId second = -1;
+    for (size_t col = 0; col < num_columns; ++col) {
+      if (counts[col] == 0) continue;
+      if (first < 0 || counts[col] > counts[static_cast<size_t>(first)]) {
+        second = first;
+        first = static_cast<ColumnId>(col);
+      } else if (second < 0 ||
+                 counts[col] > counts[static_cast<size_t>(second)]) {
+        second = static_cast<ColumnId>(col);
+      }
+    }
+    if (first >= 0) ++top_votes[static_cast<size_t>(first)];
+    if (second < 0) continue;
+    // Both must clear the frequency bar within the segment.
+    const double second_freq =
+        static_cast<double>(counts[static_cast<size_t>(second)]) /
+        static_cast<double>(total);
+    if (second_freq <
+        std::max(options.min_column_frequency,
+                 options.min_secondary_frequency)) {
+      continue;
+    }
+    segment_tops.push_back({first, second});
+  }
+
+  // Second pass: canonicalize pair order by dominance votes.
+  auto canonical_before = [&](ColumnId x, ColumnId y) {
+    const int64_t vx = top_votes[static_cast<size_t>(x)];
+    const int64_t vy = top_votes[static_cast<size_t>(y)];
+    if (vx != vy) return vx > vy;
+    return x < y;
+  };
+  std::map<std::pair<ColumnId, ColumnId>, int64_t> pair_support;
+  std::vector<std::pair<ColumnId, ColumnId>> pair_order;  // First-seen order.
+  for (auto [x, y] : segment_tops) {
+    if (!canonical_before(x, y)) std::swap(x, y);
+    if (++pair_support[{x, y}] == 1) pair_order.push_back({x, y});
+  }
+
+  const int64_t min_support = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil(options.min_pair_support_fraction *
+                       static_cast<double>(effective_segments.size()))));
+  int32_t composites = 0;
+  for (const auto& [x, y] : pair_order) {
+    if (composites >= options.max_composites) break;
+    if (pair_support[{x, y}] < min_support) continue;
+    candidates.push_back(IndexDef({x, y}));
+    ++composites;
+  }
+  return candidates;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,57 @@
+#include "advisor/config_enumeration.h"
+
+#include <algorithm>
+
+namespace cdpd {
+
+namespace {
+
+/// Depth-first subset enumeration with max-size and space pruning.
+Status Enumerate(const std::vector<IndexDef>& candidates,
+                 const ConfigEnumOptions& options, size_t next,
+                 std::vector<IndexDef>* picked,
+                 std::vector<Configuration>* out) {
+  if (static_cast<int64_t>(out->size()) >= options.max_configurations) {
+    return Status::ResourceExhausted(
+        "configuration space exceeds max_configurations (" +
+        std::to_string(options.max_configurations) + ")");
+  }
+  Configuration config(*picked);
+  if (config.SizePages(options.num_rows) <= options.space_bound_pages) {
+    out->push_back(config);
+  } else if (!picked->empty()) {
+    // Supersets only grow; prune this branch.
+    return Status::OK();
+  }
+  if (static_cast<int32_t>(picked->size()) >= options.max_indexes_per_config) {
+    return Status::OK();
+  }
+  for (size_t i = next; i < candidates.size(); ++i) {
+    picked->push_back(candidates[i]);
+    CDPD_RETURN_IF_ERROR(Enumerate(candidates, options, i + 1, picked, out));
+    picked->pop_back();
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<std::vector<Configuration>> EnumerateConfigurations(
+    const std::vector<IndexDef>& candidates, const ConfigEnumOptions& options) {
+  if (options.max_indexes_per_config < 0) {
+    return Status::InvalidArgument("max_indexes_per_config must be >= 0");
+  }
+  std::vector<Configuration> configurations;
+  std::vector<IndexDef> picked;
+  CDPD_RETURN_IF_ERROR(
+      Enumerate(candidates, options, 0, &picked, &configurations));
+  // Duplicate candidate indexes would otherwise produce duplicate
+  // configurations (Configuration canonicalizes its index set).
+  std::sort(configurations.begin(), configurations.end());
+  configurations.erase(
+      std::unique(configurations.begin(), configurations.end()),
+      configurations.end());
+  return configurations;
+}
+
+}  // namespace cdpd

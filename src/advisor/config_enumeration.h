@@ -1,0 +1,40 @@
+#ifndef CDPD_ADVISOR_CONFIG_ENUMERATION_H_
+#define CDPD_ADVISOR_CONFIG_ENUMERATION_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "catalog/configuration.h"
+#include "common/result.h"
+
+namespace cdpd {
+
+/// Options bounding the configuration space built from candidate
+/// indexes.
+struct ConfigEnumOptions {
+  /// Maximum indexes per configuration. The paper's experiments use 1
+  /// ("a physical design configuration consists of at most one index"),
+  /// which over its six candidates yields the seven configurations of
+  /// §6.1 including the empty one.
+  int32_t max_indexes_per_config = 1;
+  /// Space bound b: SIZE(C) in pages over `num_rows` rows.
+  int64_t space_bound_pages = std::numeric_limits<int64_t>::max();
+  /// Rows of the table the space bound is evaluated against.
+  int64_t num_rows = 0;
+  /// Safety valve on the enumeration (the space is exponential in the
+  /// number of candidates).
+  int64_t max_configurations = 1 << 20;
+};
+
+/// Enumerates every subset of `candidates` with at most
+/// max_indexes_per_config indexes and SIZE <= space_bound_pages. The
+/// empty configuration is always included (and is always feasible).
+/// Fails with ResourceExhausted when the space exceeds
+/// max_configurations.
+Result<std::vector<Configuration>> EnumerateConfigurations(
+    const std::vector<IndexDef>& candidates, const ConfigEnumOptions& options);
+
+}  // namespace cdpd
+
+#endif  // CDPD_ADVISOR_CONFIG_ENUMERATION_H_

@@ -1,0 +1,138 @@
+#include "catalog/catalog.h"
+
+#include "index/index_builder.h"
+
+namespace cdpd {
+
+namespace {
+
+/// Fixed page-write charge for dropping an index (catalog update plus
+/// free-space bookkeeping); mirrors CostParams::drop_pages.
+constexpr int64_t kDropWritePages = 8;
+
+}  // namespace
+
+const Catalog::TableEntry* Catalog::FindEntry(std::string_view name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Catalog::TableEntry* Catalog::FindEntryMutable(std::string_view name) {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<Table*> Catalog::CreateTable(Schema schema) {
+  const std::string name = schema.table_name();
+  if (FindEntry(name) != nullptr) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  TableEntry entry;
+  entry.table = std::make_unique<Table>(std::move(schema));
+  Table* raw = entry.table.get();
+  tables_.emplace(name, std::move(entry));
+  return raw;
+}
+
+Result<const Table*> Catalog::GetTable(std::string_view name) const {
+  const TableEntry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  return static_cast<const Table*>(entry->table.get());
+}
+
+Result<Table*> Catalog::GetTableMutable(std::string_view name) {
+  TableEntry* entry = FindEntryMutable(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no table '" + std::string(name) + "'");
+  }
+  return entry->table.get();
+}
+
+Status Catalog::CreateIndex(std::string_view table_name, const IndexDef& def,
+                            AccessStats* stats) {
+  TableEntry* entry = FindEntryMutable(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("no table '" + std::string(table_name) + "'");
+  }
+  if (entry->indexes.count(def) > 0) {
+    return Status::AlreadyExists("index " +
+                                 def.ToString(entry->table->schema()) +
+                                 " already exists");
+  }
+  CDPD_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                        BuildIndex(*entry->table, def, stats));
+  entry->indexes.emplace(def, std::move(tree));
+  return Status::OK();
+}
+
+Status Catalog::DropIndex(std::string_view table_name, const IndexDef& def,
+                          AccessStats* stats) {
+  TableEntry* entry = FindEntryMutable(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("no table '" + std::string(table_name) + "'");
+  }
+  auto it = entry->indexes.find(def);
+  if (it == entry->indexes.end()) {
+    return Status::NotFound("no index " +
+                            def.ToString(entry->table->schema()));
+  }
+  entry->indexes.erase(it);
+  stats->written_pages += kDropWritePages;
+  return Status::OK();
+}
+
+Result<const BTree*> Catalog::GetIndex(std::string_view table_name,
+                                       const IndexDef& def) const {
+  const TableEntry* entry = FindEntry(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("no table '" + std::string(table_name) + "'");
+  }
+  auto it = entry->indexes.find(def);
+  if (it == entry->indexes.end()) {
+    return Status::NotFound("no index " +
+                            def.ToString(entry->table->schema()));
+  }
+  return static_cast<const BTree*>(it->second.get());
+}
+
+Result<BTree*> Catalog::GetIndexMutable(std::string_view table_name,
+                                        const IndexDef& def) {
+  TableEntry* entry = FindEntryMutable(table_name);
+  if (entry == nullptr) {
+    return Status::NotFound("no table '" + std::string(table_name) + "'");
+  }
+  auto it = entry->indexes.find(def);
+  if (it == entry->indexes.end()) {
+    return Status::NotFound("no index " +
+                            def.ToString(entry->table->schema()));
+  }
+  return it->second.get();
+}
+
+std::vector<const BTree*> Catalog::ListIndexes(
+    std::string_view table_name) const {
+  std::vector<const BTree*> result;
+  const TableEntry* entry = FindEntry(table_name);
+  if (entry == nullptr) return result;
+  result.reserve(entry->indexes.size());
+  for (const auto& [def, tree] : entry->indexes) {
+    result.push_back(tree.get());
+  }
+  return result;
+}
+
+Configuration Catalog::CurrentConfiguration(
+    std::string_view table_name) const {
+  const TableEntry* entry = FindEntry(table_name);
+  if (entry == nullptr) return Configuration::Empty();
+  std::vector<IndexDef> defs;
+  defs.reserve(entry->indexes.size());
+  for (const auto& [def, tree] : entry->indexes) {
+    defs.push_back(def);
+  }
+  return Configuration(std::move(defs));
+}
+
+}  // namespace cdpd

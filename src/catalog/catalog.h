@@ -1,0 +1,70 @@
+#ifndef CDPD_CATALOG_CATALOG_H_
+#define CDPD_CATALOG_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "catalog/configuration.h"
+#include "common/result.h"
+#include "index/btree.h"
+#include "storage/table.h"
+
+namespace cdpd {
+
+/// Owns the physical objects of the database: tables and the B+-trees
+/// currently materialized over them. The engine applies physical-design
+/// transitions by creating/dropping indexes here; the catalog's current
+/// index set for a table *is* the active Configuration.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  Catalog(const Catalog&) = delete;
+  Catalog& operator=(const Catalog&) = delete;
+
+  /// Creates an empty table; fails with AlreadyExists on a name clash.
+  Result<Table*> CreateTable(Schema schema);
+
+  Result<const Table*> GetTable(std::string_view name) const;
+  Result<Table*> GetTableMutable(std::string_view name);
+
+  /// Materializes the index `def` over `table_name` (scan + sort + bulk
+  /// load, charged to `stats`). Fails with AlreadyExists if present.
+  Status CreateIndex(std::string_view table_name, const IndexDef& def,
+                     AccessStats* stats);
+
+  /// Drops the index; charges a fixed page write for the catalog/
+  /// deallocation update. Fails with NotFound if absent.
+  Status DropIndex(std::string_view table_name, const IndexDef& def,
+                   AccessStats* stats);
+
+  /// The materialized tree for `def`, or NotFound.
+  Result<const BTree*> GetIndex(std::string_view table_name,
+                                const IndexDef& def) const;
+  Result<BTree*> GetIndexMutable(std::string_view table_name,
+                                 const IndexDef& def);
+
+  /// All indexes currently materialized over `table_name`.
+  std::vector<const BTree*> ListIndexes(std::string_view table_name) const;
+
+  /// The active configuration of `table_name` (empty if the table has
+  /// no indexes or does not exist).
+  Configuration CurrentConfiguration(std::string_view table_name) const;
+
+ private:
+  struct TableEntry {
+    std::unique_ptr<Table> table;
+    std::map<IndexDef, std::unique_ptr<BTree>> indexes;
+  };
+
+  const TableEntry* FindEntry(std::string_view name) const;
+  TableEntry* FindEntryMutable(std::string_view name);
+
+  std::map<std::string, TableEntry, std::less<>> tables_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_CATALOG_CATALOG_H_

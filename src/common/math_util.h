@@ -1,0 +1,47 @@
+#ifndef CDPD_COMMON_MATH_UTIL_H_
+#define CDPD_COMMON_MATH_UTIL_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+namespace cdpd {
+
+/// ceil(a / b) for non-negative a and positive b.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) {
+  assert(a >= 0 && b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Number of levels of a tree with `leaves` leaf nodes and the given
+/// fan-out, i.e. the number of page reads on a root-to-leaf descent
+/// (including the leaf). Returns 1 for leaves <= 1.
+inline int64_t TreeHeight(int64_t leaves, int64_t fanout) {
+  assert(fanout >= 2);
+  int64_t height = 1;
+  int64_t nodes = leaves;
+  while (nodes > 1) {
+    nodes = CeilDiv(nodes, fanout);
+    ++height;
+  }
+  return height;
+}
+
+/// log2(x) for x >= 1 (returns 0 for x <= 1).
+inline double Log2(double x) { return x <= 1.0 ? 0.0 : std::log2(x); }
+
+/// n-choose-k as a double (used only for the §5 worst-case analysis in
+/// docs/benches; saturates instead of overflowing).
+inline double BinomialCoefficient(int64_t n, int64_t k) {
+  if (k < 0 || k > n) return 0.0;
+  if (k > n - k) k = n - k;
+  double result = 1.0;
+  for (int64_t i = 1; i <= k; ++i) {
+    result *= static_cast<double>(n - k + i) / static_cast<double>(i);
+  }
+  return result;
+}
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_MATH_UTIL_H_

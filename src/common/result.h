@@ -1,0 +1,81 @@
+#ifndef CDPD_COMMON_RESULT_H_
+#define CDPD_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace cdpd {
+
+/// Result<T> holds either a value of type T or a non-OK Status, in the
+/// style of absl::StatusOr / arrow::Result. Accessing the value of an
+/// errored Result is a programming error (asserted in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value)  // NOLINT(google-explicit-constructor)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  /// Implicit construction from an error Status. Constructing a Result
+  /// from an OK status without a value is a programming error.
+  Result(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status w/o value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this Result holds an error.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace cdpd
+
+/// Assigns the value of a Result expression to `lhs`, or propagates its
+/// error Status from the current function.
+#define CDPD_ASSIGN_OR_RETURN(lhs, expr)                       \
+  CDPD_ASSIGN_OR_RETURN_IMPL_(                                 \
+      CDPD_RESULT_CONCAT_(_cdpd_result_, __LINE__), lhs, expr)
+
+#define CDPD_RESULT_CONCAT_INNER_(a, b) a##b
+#define CDPD_RESULT_CONCAT_(a, b) CDPD_RESULT_CONCAT_INNER_(a, b)
+#define CDPD_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value()
+
+#endif  // CDPD_COMMON_RESULT_H_

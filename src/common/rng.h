@@ -1,0 +1,45 @@
+#ifndef CDPD_COMMON_RNG_H_
+#define CDPD_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace cdpd {
+
+/// Deterministic, seedable pseudo-random number generator
+/// (xoshiro256** seeded via SplitMix64). Used everywhere randomness is
+/// needed so that workloads and experiments are exactly reproducible:
+/// same seed, same sequence, on every platform.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Samples an index in [0, weights.size()) with probability
+  /// proportional to weights[i]. Requires a non-empty vector with a
+  /// positive sum; weights need not be normalized.
+  size_t PickWeighted(const std::vector<double>& weights);
+
+  /// Splits off an independent generator (for parallel or per-module
+  /// streams that must not perturb each other).
+  Rng Split();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_RNG_H_

@@ -1,0 +1,36 @@
+#ifndef CDPD_COMMON_STOPWATCH_H_
+#define CDPD_COMMON_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cdpd {
+
+/// Monotonic wall-clock stopwatch used for the optimizer-runtime and
+/// workload-execution measurements (Figures 3 and 4).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_STOPWATCH_H_

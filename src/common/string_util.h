@@ -1,0 +1,33 @@
+#ifndef CDPD_COMMON_STRING_UTIL_H_
+#define CDPD_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdpd {
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `text` at every occurrence of `sep`; empty fields are kept.
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Strips leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view text);
+
+/// ASCII lower-casing.
+std::string ToLower(std::string_view text);
+
+/// Case-insensitive ASCII comparison.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Formats `value` with `decimals` digits after the point (no locale).
+std::string FormatDouble(double value, int decimals);
+
+/// Formats a ratio as a percentage string, e.g. 0.143 -> "14.3%".
+std::string FormatPercent(double ratio, int decimals = 1);
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_STRING_UTIL_H_

@@ -1,0 +1,152 @@
+#include "core/advisor.h"
+
+#include "common/stopwatch.h"
+#include "core/design_merging.h"
+#include "core/greedy_seq.h"
+#include "core/hybrid_optimizer.h"
+#include "core/k_aware_graph.h"
+#include "core/path_ranking.h"
+#include "core/unconstrained_optimizer.h"
+#include "core/validator.h"
+
+namespace cdpd {
+
+std::string_view OptimizerMethodToString(OptimizerMethod method) {
+  switch (method) {
+    case OptimizerMethod::kOptimal:
+      return "optimal";
+    case OptimizerMethod::kGreedySeq:
+      return "greedy-seq";
+    case OptimizerMethod::kMerging:
+      return "merging";
+    case OptimizerMethod::kRanking:
+      return "ranking";
+    case OptimizerMethod::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+Result<Recommendation> Advisor::Recommend(const Workload& workload,
+                                          const AdvisorOptions& options) const {
+  if (options.block_size == 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+
+  Recommendation rec;
+  if (options.segmentation == SegmentationMode::kAdaptive) {
+    AdaptiveSegmentOptions adaptive = options.adaptive;
+    if (adaptive.base_block_size == 0) {
+      adaptive.base_block_size = options.block_size;
+    }
+    rec.segments =
+        SegmentAdaptive(model_->schema(), workload.Span(), adaptive);
+  } else {
+    rec.segments = SegmentFixed(workload.size(), options.block_size);
+  }
+
+  // Candidate indexes: given or generated from the workload.
+  rec.candidate_indexes = options.candidate_indexes;
+  if (rec.candidate_indexes.empty()) {
+    rec.candidate_indexes =
+        GenerateCandidateIndexes(model_->schema(), workload.Span(),
+                                 rec.segments, options.candidate_gen);
+  }
+
+  // Candidate configurations under the space bound.
+  ConfigEnumOptions enum_options;
+  enum_options.max_indexes_per_config = options.max_indexes_per_config;
+  enum_options.space_bound_pages = options.space_bound_pages;
+  enum_options.num_rows = model_->num_rows();
+  CDPD_ASSIGN_OR_RETURN(
+      rec.candidate_configs,
+      EnumerateConfigurations(rec.candidate_indexes, enum_options));
+
+  WhatIfEngine what_if(model_, workload.Span(), rec.segments);
+  DesignProblem problem;
+  problem.what_if = &what_if;
+  problem.candidates = rec.candidate_configs;
+  problem.initial = options.initial_config;
+  problem.final_config = options.final_config;
+  problem.space_bound_pages = options.space_bound_pages;
+  problem.count_initial_change = options.count_initial_change;
+
+  Stopwatch watch;
+  switch (options.method) {
+    case OptimizerMethod::kOptimal: {
+      if (options.k < 0) {
+        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveUnconstrained(problem));
+        rec.method_detail = "sequence-graph shortest path";
+      } else {
+        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveKAware(problem, options.k));
+        rec.method_detail = "k-aware sequence graph";
+      }
+      break;
+    }
+    case OptimizerMethod::kGreedySeq: {
+      GreedySeqOptions greedy;
+      greedy.candidate_indexes = rec.candidate_indexes;
+      greedy.max_indexes_per_config = options.max_indexes_per_config;
+      CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
+                            SolveGreedySeq(problem, options.k, greedy));
+      rec.schedule = std::move(greedy_result.schedule);
+      rec.candidate_configs = std::move(greedy_result.reduced_candidates);
+      problem.candidates = rec.candidate_configs;
+      rec.method_detail =
+          "greedy-seq reduced candidates: " +
+          std::to_string(rec.candidate_configs.size());
+      break;
+    }
+    case OptimizerMethod::kMerging: {
+      CDPD_ASSIGN_OR_RETURN(DesignSchedule unconstrained,
+                            SolveUnconstrained(problem));
+      if (options.k < 0) {
+        rec.schedule = std::move(unconstrained);
+        rec.method_detail = "merging (no constraint; unconstrained optimum)";
+      } else {
+        MergingStats stats;
+        CDPD_ASSIGN_OR_RETURN(
+            rec.schedule,
+            MergeToConstraint(problem, unconstrained, options.k, &stats));
+        rec.method_detail =
+            "merging steps: " + std::to_string(stats.steps);
+      }
+      break;
+    }
+    case OptimizerMethod::kRanking: {
+      if (options.k < 0) {
+        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveUnconstrained(problem));
+        rec.method_detail = "ranking (no constraint; shortest path)";
+      } else {
+        RankingStats stats;
+        CDPD_ASSIGN_OR_RETURN(
+            rec.schedule,
+            SolveByRanking(problem, options.k, options.ranking_max_paths,
+                           &stats));
+        rec.method_detail =
+            "ranked paths: " + std::to_string(stats.paths_enumerated);
+      }
+      break;
+    }
+    case OptimizerMethod::kHybrid: {
+      if (options.k < 0) {
+        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveUnconstrained(problem));
+        rec.method_detail = "hybrid (no constraint; shortest path)";
+      } else {
+        CDPD_ASSIGN_OR_RETURN(HybridResult hybrid,
+                              SolveHybrid(problem, options.k));
+        rec.schedule = std::move(hybrid.schedule);
+        rec.method_detail =
+            std::string("hybrid chose ") +
+            std::string(HybridChoiceToString(hybrid.choice));
+      }
+      break;
+    }
+  }
+  rec.optimize_seconds = watch.ElapsedSeconds();
+  rec.changes = CountChanges(problem, rec.schedule.configs);
+  CDPD_RETURN_IF_ERROR(ValidateSchedule(problem, rec.schedule, options.k));
+  return rec;
+}
+
+}  // namespace cdpd

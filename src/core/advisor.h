@@ -1,0 +1,98 @@
+#ifndef CDPD_CORE_ADVISOR_H_
+#define CDPD_CORE_ADVISOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "advisor/candidate_generation.h"
+#include "advisor/config_enumeration.h"
+#include "common/result.h"
+#include "core/design_problem.h"
+#include "cost/cost_model.h"
+#include "workload/adaptive_segmenter.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// The solution technique to run (§3–§5 of the paper plus the hybrid
+/// §6.4 suggests).
+enum class OptimizerMethod {
+  kOptimal,    // Sequence graph (k < 0) / k-aware sequence graph.
+  kGreedySeq,  // GREEDY-SEQ candidate reduction, then k-aware graph.
+  kMerging,    // Unconstrained optimum refined by sequential merging.
+  kRanking,    // Shortest-path ranking until <= k changes.
+  kHybrid,     // k-aware graph for small k, merging for large k.
+};
+
+std::string_view OptimizerMethodToString(OptimizerMethod method);
+
+/// How the workload is cut into stages S_1..S_n.
+enum class SegmentationMode {
+  kFixedBlocks,  // Fixed-size blocks of `block_size` statements.
+  kAdaptive,     // Distribution-driven variable-length stages
+                 // (workload/adaptive_segmenter.h).
+};
+
+/// Everything that parameterizes one recommendation run.
+struct AdvisorOptions {
+  /// Statements per stage (block size); 1 recovers the paper's
+  /// per-statement formulation, 500 matches Table 2's reporting.
+  size_t block_size = 500;
+  SegmentationMode segmentation = SegmentationMode::kFixedBlocks;
+  /// Adaptive-mode parameters; base_block_size = 0 inherits
+  /// block_size.
+  AdaptiveSegmentOptions adaptive = {.base_block_size = 0};
+  /// Change bound k; negative means unconstrained.
+  int64_t k = -1;
+  OptimizerMethod method = OptimizerMethod::kOptimal;
+  /// Space bound b in pages.
+  int64_t space_bound_pages = std::numeric_limits<int64_t>::max();
+  /// Indexes per configuration (1 = the paper's experimental space).
+  int32_t max_indexes_per_config = 1;
+  /// See DesignProblem::count_initial_change.
+  bool count_initial_change = false;
+  Configuration initial_config;
+  std::optional<Configuration> final_config;
+  /// Candidate indexes; empty = generate syntactically from the
+  /// workload (advisor/candidate_generation.h).
+  std::vector<IndexDef> candidate_indexes;
+  CandidateGenOptions candidate_gen;
+  /// Enumeration cap for the ranking method.
+  int64_t ranking_max_paths = 1'000'000;
+};
+
+/// A recommendation: the design schedule plus everything needed to
+/// interpret and reproduce it.
+struct Recommendation {
+  DesignSchedule schedule;
+  std::vector<Segment> segments;
+  std::vector<IndexDef> candidate_indexes;
+  std::vector<Configuration> candidate_configs;
+  int64_t changes = 0;
+  double optimize_seconds = 0.0;
+  /// Technique detail (e.g. which branch the hybrid picked).
+  std::string method_detail;
+};
+
+/// One-call entry point to the constrained dynamic physical design
+/// advisor: segments the workload, builds the what-if oracle and the
+/// candidate configuration space, runs the selected optimizer, and
+/// validates the resulting schedule.
+class Advisor {
+ public:
+  /// `model` must outlive the advisor.
+  explicit Advisor(const CostModel* model) : model_(model) {}
+
+  Result<Recommendation> Recommend(const Workload& workload,
+                                   const AdvisorOptions& options) const;
+
+ private:
+  const CostModel* model_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_ADVISOR_H_

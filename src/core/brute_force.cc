@@ -1,0 +1,55 @@
+#include "core/brute_force.h"
+
+#include <cmath>
+#include <limits>
+
+namespace cdpd {
+
+Result<DesignSchedule> SolveBruteForce(const DesignProblem& problem, int64_t k,
+                                       int64_t max_sequences) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  const size_t n = problem.num_segments();
+  const size_t m = problem.candidates.size();
+
+  const double sequences = std::pow(static_cast<double>(m),
+                                    static_cast<double>(n));
+  if (sequences > static_cast<double>(max_sequences)) {
+    return Status::ResourceExhausted(
+        "brute force would enumerate " + std::to_string(sequences) +
+        " sequences (limit " + std::to_string(max_sequences) + ")");
+  }
+
+  DesignSchedule best;
+  best.total_cost = std::numeric_limits<double>::infinity();
+  if (n == 0) {
+    best.total_cost = EvaluateScheduleCost(problem, {});
+    return best;
+  }
+
+  std::vector<size_t> choice(n, 0);
+  std::vector<Configuration> configs(n);
+  for (;;) {
+    for (size_t i = 0; i < n; ++i) configs[i] = problem.candidates[choice[i]];
+    if (k < 0 || CountChanges(problem, configs) <= k) {
+      const double cost = EvaluateScheduleCost(problem, configs);
+      if (cost < best.total_cost) {
+        best.total_cost = cost;
+        best.configs = configs;
+      }
+    }
+    // Odometer increment.
+    size_t pos = 0;
+    while (pos < n && ++choice[pos] == m) {
+      choice[pos] = 0;
+      ++pos;
+    }
+    if (pos == n) break;
+  }
+  if (best.configs.empty() && n > 0) {
+    return Status::FailedPrecondition(
+        "no design sequence satisfies the change bound");
+  }
+  return best;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,21 @@
+#ifndef CDPD_CORE_BRUTE_FORCE_H_
+#define CDPD_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/design_problem.h"
+
+namespace cdpd {
+
+/// Exhaustive reference optimizer: enumerates all |candidates|^n
+/// design sequences and returns the cheapest one with at most k
+/// changes (k < 0 means unconstrained). Exponential — a test oracle
+/// for the graph algorithms, guarded to refuse instances with more
+/// than `max_sequences` sequences.
+Result<DesignSchedule> SolveBruteForce(const DesignProblem& problem, int64_t k,
+                                       int64_t max_sequences = 4'000'000);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_BRUTE_FORCE_H_

@@ -1,0 +1,150 @@
+#include "core/design_merging.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdpd {
+
+namespace {
+
+/// A maximal run of consecutive segments executed under one
+/// configuration.
+struct Run {
+  Configuration config;
+  size_t begin = 0;  // First segment index.
+  size_t end = 0;    // One past the last segment index.
+};
+
+std::vector<Run> BuildRuns(const std::vector<Configuration>& configs) {
+  std::vector<Run> runs;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    if (!runs.empty() && runs.back().config == configs[i]) {
+      runs.back().end = i + 1;
+    } else {
+      runs.push_back(Run{configs[i], i, i + 1});
+    }
+  }
+  return runs;
+}
+
+int64_t RunChanges(const DesignProblem& problem, const std::vector<Run>& runs) {
+  if (runs.empty()) return 0;
+  int64_t changes = static_cast<int64_t>(runs.size()) - 1;
+  if (problem.count_initial_change &&
+      !(runs.front().config == problem.initial)) {
+    ++changes;
+  }
+  return changes;
+}
+
+/// Cost of the transition leaving the last run (forced final design),
+/// or 0 when the destination is unconstrained.
+double ExitCost(const DesignProblem& problem, const Configuration& last) {
+  if (!problem.final_config.has_value()) return 0.0;
+  return problem.what_if->TransitionCost(last, *problem.final_config);
+}
+
+}  // namespace
+
+Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
+                                         const DesignSchedule& initial_schedule,
+                                         int64_t k, MergingStats* stats) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  if (k < 0) {
+    return Status::InvalidArgument("change bound k must be >= 0");
+  }
+  if (initial_schedule.configs.size() != problem.num_segments()) {
+    return Status::InvalidArgument(
+        "initial schedule has " +
+        std::to_string(initial_schedule.configs.size()) + " segments, problem has " +
+        std::to_string(problem.num_segments()));
+  }
+
+  MergingStats local_stats;
+  const WhatIfEngine& what_if = *problem.what_if;
+  std::vector<Run> runs = BuildRuns(initial_schedule.configs);
+
+  while (RunChanges(problem, runs) > k) {
+    if (runs.size() == 1) {
+      // Only possible when the initial change counts and k == 0: the
+      // single remaining run must be C0 itself.
+      const bool c0_available =
+          std::find(problem.candidates.begin(), problem.candidates.end(),
+                    problem.initial) != problem.candidates.end();
+      if (!c0_available) {
+        return Status::FailedPrecondition(
+            "k = 0 with a counted initial change requires the initial "
+            "configuration to be a candidate");
+      }
+      runs.front().config = problem.initial;
+      ++local_stats.steps;
+      break;
+    }
+
+    double best_penalty = std::numeric_limits<double>::infinity();
+    size_t best_pair = 0;
+    Configuration best_replacement;
+
+    for (size_t i = 0; i + 1 < runs.size(); ++i) {
+      const Run& left = runs[i];
+      const Run& right = runs[i + 1];
+      const Configuration& prev =
+          i == 0 ? problem.initial : runs[i - 1].config;
+      const bool has_next = i + 2 < runs.size();
+      const Configuration* next = has_next ? &runs[i + 2].config : nullptr;
+
+      double old_cost = what_if.TransitionCost(prev, left.config) +
+                        what_if.RangeCost(left.begin, left.end, left.config) +
+                        what_if.TransitionCost(left.config, right.config) +
+                        what_if.RangeCost(right.begin, right.end, right.config);
+      old_cost += has_next
+                      ? what_if.TransitionCost(right.config, *next)
+                      : ExitCost(problem, right.config);
+
+      for (const Configuration& replacement : problem.candidates) {
+        ++local_stats.candidate_evaluations;
+        double new_cost =
+            what_if.TransitionCost(prev, replacement) +
+            what_if.RangeCost(left.begin, right.end, replacement);
+        new_cost += has_next ? what_if.TransitionCost(replacement, *next)
+                             : ExitCost(problem, replacement);
+        const double penalty = new_cost - old_cost;
+        if (penalty < best_penalty) {
+          best_penalty = penalty;
+          best_pair = i;
+          best_replacement = replacement;
+        }
+      }
+    }
+
+    // Replace the chosen pair, then coalesce equal neighbours (this is
+    // how a step can remove two changes when C' equals C_{i-1} or
+    // C_{i+2}).
+    runs[best_pair].config = best_replacement;
+    runs[best_pair].end = runs[best_pair + 1].end;
+    runs.erase(runs.begin() + static_cast<int64_t>(best_pair) + 1);
+    ++local_stats.steps;
+    std::vector<Run> coalesced;
+    for (Run& run : runs) {
+      if (!coalesced.empty() && coalesced.back().config == run.config) {
+        coalesced.back().end = run.end;
+      } else {
+        coalesced.push_back(run);
+      }
+    }
+    runs = std::move(coalesced);
+  }
+
+  DesignSchedule schedule;
+  schedule.configs.resize(problem.num_segments());
+  for (const Run& run : runs) {
+    for (size_t i = run.begin; i < run.end; ++i) {
+      schedule.configs[i] = run.config;
+    }
+  }
+  schedule.total_cost = EvaluateScheduleCost(problem, schedule.configs);
+  if (stats != nullptr) *stats = local_stats;
+  return schedule;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,43 @@
+#ifndef CDPD_CORE_DESIGN_MERGING_H_
+#define CDPD_CORE_DESIGN_MERGING_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/design_problem.h"
+
+namespace cdpd {
+
+/// Statistics of one merging run.
+struct MergingStats {
+  /// Merging steps performed (each removes at least one design change).
+  int64_t steps = 0;
+  /// Replacement configurations evaluated (the 2^m-per-step factor of
+  /// the paper's O(2^m (l^2 - k^2)) bound).
+  int64_t candidate_evaluations = 0;
+};
+
+/// Sequential design merging (§4.2): refines a solution of the
+/// unconstrained problem until it satisfies the change bound k. Each
+/// step picks the pair of consecutive distinct configurations
+/// (C_i, C_{i+1}) and the replacement C' minimizing the penalty
+///
+///   p =   TRANS(C_{i-1}, C') + EXEC(S_i ∪ S_{i+1}, C') + TRANS(C', C_{i+2})
+///       - (TRANS(C_{i-1}, C_i) + EXEC(S_i, C_i) + TRANS(C_i, C_{i+1})
+///          + EXEC(S_{i+1}, C_{i+1}) + TRANS(C_{i+1}, C_{i+2}))
+///
+/// and replaces the pair with C'. If C' equals a neighbouring
+/// configuration the step removes two changes, otherwise one. The
+/// result is heuristic: it satisfies the constraint but is not
+/// guaranteed optimal, even when the input schedule is the
+/// unconstrained optimum.
+///
+/// `initial_schedule.configs` must have one entry per problem segment.
+Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
+                                         const DesignSchedule& initial_schedule,
+                                         int64_t k,
+                                         MergingStats* stats = nullptr);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_DESIGN_MERGING_H_

@@ -1,0 +1,63 @@
+#include "core/design_problem.h"
+
+namespace cdpd {
+
+Status DesignProblem::Validate() const {
+  if (what_if == nullptr) {
+    return Status::InvalidArgument("design problem has no what-if oracle");
+  }
+  if (candidates.empty()) {
+    return Status::InvalidArgument("design problem has no candidate "
+                                   "configurations");
+  }
+  const int64_t rows = what_if->model().num_rows();
+  for (const Configuration& config : candidates) {
+    if (config.SizePages(rows) > space_bound_pages) {
+      return Status::InvalidArgument(
+          "candidate configuration " +
+          config.ToString(what_if->model().schema()) +
+          " violates the space bound");
+    }
+  }
+  if (initial.SizePages(rows) > space_bound_pages) {
+    return Status::InvalidArgument("initial configuration violates the "
+                                   "space bound");
+  }
+  if (final_config.has_value() &&
+      final_config->SizePages(rows) > space_bound_pages) {
+    return Status::InvalidArgument("final configuration violates the "
+                                   "space bound");
+  }
+  return Status::OK();
+}
+
+int64_t CountChanges(const DesignProblem& problem,
+                     const std::vector<Configuration>& configs) {
+  if (configs.empty()) return 0;
+  int64_t changes = 0;
+  if (problem.count_initial_change && !(configs.front() == problem.initial)) {
+    ++changes;
+  }
+  for (size_t i = 1; i < configs.size(); ++i) {
+    if (!(configs[i - 1] == configs[i])) ++changes;
+  }
+  return changes;
+}
+
+double EvaluateScheduleCost(const DesignProblem& problem,
+                            const std::vector<Configuration>& configs) {
+  const WhatIfEngine& what_if = *problem.what_if;
+  double cost = 0.0;
+  const Configuration* previous = &problem.initial;
+  for (size_t i = 0; i < configs.size(); ++i) {
+    cost += what_if.TransitionCost(*previous, configs[i]);
+    cost += what_if.SegmentCost(i, configs[i]);
+    previous = &configs[i];
+  }
+  if (problem.final_config.has_value()) {
+    cost += what_if.TransitionCost(*previous, *problem.final_config);
+  }
+  return cost;
+}
+
+}  // namespace cdpd

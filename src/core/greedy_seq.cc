@@ -1,0 +1,68 @@
+#include "core/greedy_seq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "core/unconstrained_optimizer.h"
+
+namespace cdpd {
+
+Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
+                                       const GreedySeqOptions& options) {
+  if (problem.what_if == nullptr) {
+    return Status::InvalidArgument("design problem has no what-if oracle");
+  }
+  if (options.candidate_indexes.empty()) {
+    return Status::InvalidArgument("GREEDY-SEQ needs candidate indexes");
+  }
+  const WhatIfEngine& what_if = *problem.what_if;
+  const int64_t rows = what_if.model().num_rows();
+
+  // Per-segment greedy construction; every intermediate configuration
+  // becomes a candidate, giving O(m) candidates per segment.
+  std::vector<Configuration> reduced;
+  reduced.push_back(Configuration::Empty());
+  reduced.push_back(problem.initial);
+  for (size_t segment = 0; segment < problem.num_segments(); ++segment) {
+    Configuration current;
+    double current_cost = what_if.SegmentCost(segment, current);
+    for (;;) {
+      double best_cost = current_cost;
+      const IndexDef* best_index = nullptr;
+      for (const IndexDef& index : options.candidate_indexes) {
+        if (current.Contains(index)) continue;
+        const Configuration grown = current.With(index);
+        if (grown.num_indexes() > options.max_indexes_per_config) continue;
+        if (grown.SizePages(rows) > problem.space_bound_pages) continue;
+        const double cost = what_if.SegmentCost(segment, grown);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best_index = &index;
+        }
+      }
+      if (best_index == nullptr) break;
+      current = current.With(*best_index);
+      current_cost = best_cost;
+      reduced.push_back(current);
+    }
+  }
+  std::sort(reduced.begin(), reduced.end());
+  reduced.erase(std::unique(reduced.begin(), reduced.end()), reduced.end());
+
+  DesignProblem reduced_problem = problem;
+  reduced_problem.candidates = reduced;
+
+  GreedySeqResult result;
+  result.reduced_candidates = std::move(reduced);
+  if (k < 0) {
+    CDPD_ASSIGN_OR_RETURN(result.schedule,
+                          SolveUnconstrained(reduced_problem));
+  } else {
+    CDPD_ASSIGN_OR_RETURN(
+        result.schedule,
+        SolveKAware(reduced_problem, k, &result.solve_stats));
+  }
+  return result;
+}
+
+}  // namespace cdpd

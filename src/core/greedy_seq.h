@@ -1,0 +1,45 @@
+#ifndef CDPD_CORE_GREEDY_SEQ_H_
+#define CDPD_CORE_GREEDY_SEQ_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "core/design_problem.h"
+#include "core/k_aware_graph.h"
+
+namespace cdpd {
+
+/// Options of the GREEDY-SEQ candidate reduction.
+struct GreedySeqOptions {
+  /// The m candidate *indexes* (not configurations) the greedy
+  /// construction composes.
+  std::vector<IndexDef> candidate_indexes;
+  /// Cap on indexes per configuration (the paper's experiments use 1).
+  int32_t max_indexes_per_config = 1 << 20;
+};
+
+/// Outcome of a GREEDY-SEQ solve.
+struct GreedySeqResult {
+  DesignSchedule schedule;
+  /// The reduced configuration set the shortest-path search ran on —
+  /// O(m n) configurations instead of 2^m.
+  std::vector<Configuration> reduced_candidates;
+  KAwareSolveStats solve_stats;
+};
+
+/// GREEDY-SEQ adapted to the constrained problem (§4.1): instead of
+/// searching all 2^m index subsets, build a small candidate set — for
+/// each segment, grow a configuration greedily (always adding the
+/// index with the largest EXEC improvement, subject to the space bound
+/// and max_indexes_per_config), keeping every intermediate
+/// configuration — then run the k-aware shortest-path search over that
+/// reduced set. `problem.candidates` is ignored and replaced by the
+/// reduced set; pass k < 0 for the unconstrained variant (Agrawal et
+/// al.'s original GREEDY-SEQ).
+Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
+                                       const GreedySeqOptions& options);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_GREEDY_SEQ_H_

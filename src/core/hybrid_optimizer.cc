@@ -1,0 +1,53 @@
+#include "core/hybrid_optimizer.h"
+
+#include "core/design_merging.h"
+#include "core/k_aware_graph.h"
+#include "core/unconstrained_optimizer.h"
+
+namespace cdpd {
+
+std::string_view HybridChoiceToString(HybridChoice choice) {
+  switch (choice) {
+    case HybridChoice::kUnconstrainedSufficed:
+      return "unconstrained";
+    case HybridChoice::kKAwareGraph:
+      return "k-aware-graph";
+    case HybridChoice::kMerging:
+      return "merging";
+  }
+  return "unknown";
+}
+
+Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k) {
+  if (k < 0) {
+    return Status::InvalidArgument("change bound k must be >= 0");
+  }
+  HybridResult result;
+  CDPD_ASSIGN_OR_RETURN(DesignSchedule unconstrained,
+                        SolveUnconstrained(problem));
+  const int64_t l = CountChanges(problem, unconstrained.configs);
+  result.unconstrained_changes = l;
+  if (l <= k) {
+    result.schedule = std::move(unconstrained);
+    result.choice = HybridChoice::kUnconstrainedSufficed;
+    return result;
+  }
+
+  const auto n = static_cast<double>(problem.num_segments());
+  const auto c = static_cast<double>(problem.candidates.size());
+  const double graph_work = static_cast<double>(k + 1) * n * c * c;
+  const double merging_work =
+      c * (static_cast<double>(l * l - k * k)) / 2.0;
+
+  if (graph_work <= merging_work) {
+    CDPD_ASSIGN_OR_RETURN(result.schedule, SolveKAware(problem, k));
+    result.choice = HybridChoice::kKAwareGraph;
+  } else {
+    CDPD_ASSIGN_OR_RETURN(result.schedule,
+                          MergeToConstraint(problem, unconstrained, k));
+    result.choice = HybridChoice::kMerging;
+  }
+  return result;
+}
+
+}  // namespace cdpd

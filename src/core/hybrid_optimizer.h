@@ -1,0 +1,46 @@
+#ifndef CDPD_CORE_HYBRID_OPTIMIZER_H_
+#define CDPD_CORE_HYBRID_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "core/design_problem.h"
+
+namespace cdpd {
+
+/// Which technique the hybrid optimizer selected.
+enum class HybridChoice {
+  kUnconstrainedSufficed,  // The unconstrained optimum already has <= k
+                           // changes.
+  kKAwareGraph,            // Small k: the layered graph is cheap.
+  kMerging,                // Large k: few merging steps suffice.
+};
+
+std::string_view HybridChoiceToString(HybridChoice choice);
+
+struct HybridResult {
+  DesignSchedule schedule;
+  HybridChoice choice = HybridChoice::kUnconstrainedSufficed;
+  /// Changes of the unconstrained optimum (the l of §4.2).
+  int64_t unconstrained_changes = 0;
+};
+
+/// The hybrid strategy §6.4 suggests: Figure 4 shows the k-aware
+/// graph's cost growing linearly in k while merging's cost shrinks as
+/// k approaches the unconstrained change count l. The hybrid first
+/// solves the unconstrained problem (cheap, and merging needs it
+/// anyway); if its change count l <= k it is returned as-is. Otherwise
+/// the work estimates
+///
+///   k-aware graph:  (k+1) * n * |C|^2        relaxations
+///   merging:        |C| * (l^2 - k^2) / 2    candidate evaluations
+///
+/// are compared and the cheaper technique runs. Merging is heuristic,
+/// so the hybrid trades optimality for speed exactly where Figure 4
+/// shows the optimal technique becoming expensive.
+Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_HYBRID_OPTIMIZER_H_

@@ -1,0 +1,158 @@
+#include "core/k_aware_graph.h"
+
+#include <limits>
+
+namespace cdpd {
+
+KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
+                                       int64_t k) {
+  KAwareGraphSize size;
+  const int64_t layers = k + 1;
+  size.nodes = num_stages * layers * num_configs + 2;
+  if (num_stages == 0) {
+    size.edges = 0;
+    return size;
+  }
+  // Source edges: into every stage-1 node of layer 0 (the initial
+  // design choice; see DesignProblem::count_initial_change for why the
+  // first transition does not consume a layer by default).
+  int64_t edges = num_configs;
+  // Between consecutive stages, per layer: num_configs stay edges, and
+  // num_configs * (num_configs - 1) change edges into the next layer
+  // (absent from the last layer).
+  const int64_t change_edges = num_configs * (num_configs - 1);
+  edges += (num_stages - 1) *
+           (layers * num_configs + (layers - 1) * change_edges);
+  // Destination edges: from every node of the last stage.
+  edges += layers * num_configs;
+  size.edges = edges;
+  return size;
+}
+
+Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
+                                   KAwareSolveStats* stats) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  if (k < 0) {
+    return Status::InvalidArgument("change bound k must be >= 0");
+  }
+  const WhatIfEngine& what_if = *problem.what_if;
+  const size_t n = problem.num_segments();
+  const std::vector<Configuration>& configs = problem.candidates;
+  const size_t m = configs.size();
+  const size_t layers = static_cast<size_t>(k) + 1;
+
+  KAwareSolveStats local_stats;
+  DesignSchedule schedule;
+  if (n == 0) {
+    if (problem.final_config.has_value()) {
+      schedule.total_cost =
+          what_if.TransitionCost(problem.initial, *problem.final_config);
+    }
+    if (stats != nullptr) *stats = local_stats;
+    return schedule;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  // dist[l][c]: cheapest way to execute S_1..S_i with C_i = configs[c]
+  // using exactly-reachable layer l (number of changes consumed).
+  std::vector<std::vector<double>> dist(layers,
+                                        std::vector<double>(m, kInf));
+  struct Parent {
+    int32_t layer = -1;
+    int32_t config = -1;
+  };
+  // parent[i][l][c] for path reconstruction.
+  std::vector<std::vector<std::vector<Parent>>> parent(
+      n, std::vector<std::vector<Parent>>(layers, std::vector<Parent>(m)));
+
+  for (size_t c = 0; c < m; ++c) {
+    const bool is_initial = configs[c] == problem.initial;
+    const size_t layer =
+        (problem.count_initial_change && !is_initial) ? 1 : 0;
+    if (layer >= layers) continue;
+    const double cost = what_if.TransitionCost(problem.initial, configs[c]) +
+                        what_if.SegmentCost(0, configs[c]);
+    if (cost < dist[layer][c]) {
+      dist[layer][c] = cost;
+      ++local_stats.states;
+    }
+  }
+
+  for (size_t stage = 1; stage < n; ++stage) {
+    std::vector<std::vector<double>> next(layers,
+                                          std::vector<double>(m, kInf));
+    for (size_t l = 0; l < layers; ++l) {
+      for (size_t c = 0; c < m; ++c) {
+        double best = kInf;
+        Parent best_parent;
+        // Stay edge: same configuration, same layer.
+        if (dist[l][c] < best) {
+          best = dist[l][c];
+          best_parent = Parent{static_cast<int32_t>(l),
+                               static_cast<int32_t>(c)};
+        }
+        ++local_stats.relaxations;
+        // Change edges: arrive from a different configuration one
+        // layer up.
+        if (l > 0) {
+          for (size_t p = 0; p < m; ++p) {
+            if (p == c) continue;
+            ++local_stats.relaxations;
+            if (dist[l - 1][p] == kInf) continue;
+            const double cost =
+                dist[l - 1][p] +
+                what_if.TransitionCost(configs[p], configs[c]);
+            if (cost < best) {
+              best = cost;
+              best_parent = Parent{static_cast<int32_t>(l - 1),
+                                   static_cast<int32_t>(p)};
+            }
+          }
+        }
+        if (best < kInf) {
+          next[l][c] = best + what_if.SegmentCost(stage, configs[c]);
+          parent[stage][l][c] = best_parent;
+          ++local_stats.states;
+        }
+      }
+    }
+    dist = std::move(next);
+  }
+
+  double best = kInf;
+  size_t best_layer = 0;
+  size_t best_config = 0;
+  for (size_t l = 0; l < layers; ++l) {
+    for (size_t c = 0; c < m; ++c) {
+      if (dist[l][c] == kInf) continue;
+      double cost = dist[l][c];
+      if (problem.final_config.has_value()) {
+        cost += what_if.TransitionCost(configs[c], *problem.final_config);
+      }
+      if (cost < best) {
+        best = cost;
+        best_layer = l;
+        best_config = c;
+      }
+    }
+  }
+  if (best == kInf) {
+    return Status::Internal("k-aware graph has no feasible path");
+  }
+
+  schedule.total_cost = best;
+  schedule.configs.resize(n);
+  size_t l = best_layer;
+  size_t c = best_config;
+  for (size_t stage = n; stage-- > 0;) {
+    schedule.configs[stage] = configs[c];
+    if (stage == 0) break;
+    const Parent p = parent[stage][l][c];
+    l = static_cast<size_t>(p.layer);
+    c = static_cast<size_t>(p.config);
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return schedule;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,49 @@
+#ifndef CDPD_CORE_K_AWARE_GRAPH_H_
+#define CDPD_CORE_K_AWARE_GRAPH_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "core/design_problem.h"
+
+namespace cdpd {
+
+/// Size of a k-aware sequence graph (reported by the Figure 2 bench;
+/// the solver itself runs the DP without materializing nodes).
+struct KAwareGraphSize {
+  int64_t nodes = 0;  // Stage/layer states plus source and destination.
+  int64_t edges = 0;  // Stay-in-layer + change-to-next-layer edges.
+};
+
+/// Statistics of one constrained solve.
+struct KAwareSolveStats {
+  /// DP states actually relaxed (reachable (stage, layer, config)
+  /// triples).
+  int64_t states = 0;
+  /// Edge relaxations performed.
+  int64_t relaxations = 0;
+};
+
+/// Exact node/edge counts of the k-aware sequence graph with k+1
+/// layers over n stages and `num_configs` candidate configurations
+/// (Figure 2's object): each stage has a node per (layer, config);
+/// a node at layer l has one stay edge per layer-l successor and
+/// (num_configs - 1) change edges into layer l+1.
+KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
+                                       int64_t num_configs, int64_t k);
+
+/// Optimal *constrained* dynamic physical design (§3, the paper's
+/// contribution): shortest path through the k-aware sequence graph,
+/// whose layers 0..k record the number of design changes used so far.
+/// Staying in the same configuration keeps the layer; switching
+/// configurations moves one layer down. Runs in O(k * n * |C|^2) time
+/// (= O(k n 2^{2m})), and returns a schedule with at most k changes
+/// under the problem's change-counting policy.
+///
+/// k must be >= 0. `stats` is optional.
+Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
+                                   KAwareSolveStats* stats = nullptr);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_K_AWARE_GRAPH_H_

@@ -1,0 +1,72 @@
+#ifndef CDPD_CORE_K_SELECTION_H_
+#define CDPD_CORE_K_SELECTION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/advisor.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// Options for the automatic change-bound chooser.
+struct KSelectionOptions {
+  /// Change bounds to evaluate. -1 means unconstrained.
+  std::vector<int64_t> candidate_ks = {0, 1, 2, 3, 4, 6, 8, -1};
+  /// Advisor parameters used for every candidate k (its `k` field is
+  /// overwritten per candidate).
+  AdvisorOptions advisor;
+  /// When no independent evaluation traces are supplied, this many
+  /// jittered variants of the design trace are synthesized.
+  int num_synthetic_variants = 5;
+  /// Window (in blocks) of the synthetic jitter: blocks are shuffled
+  /// within windows of this size, preserving macro phases while
+  /// scrambling the micro pattern a tight fit latches onto.
+  size_t jitter_window_blocks = 4;
+  uint64_t seed = 1;
+};
+
+/// Evaluation of one candidate change bound.
+struct KCandidateOutcome {
+  int64_t k = 0;
+  int64_t changes = 0;
+  /// Cost of the recommendation on the design trace itself.
+  double fit_cost = 0.0;
+  /// Mean cost of the (positionally replayed) recommendation over the
+  /// evaluation traces — the generalization score.
+  double eval_cost = 0.0;
+};
+
+struct KSelectionReport {
+  std::vector<KCandidateOutcome> outcomes;
+  /// The k minimizing eval_cost.
+  int64_t chosen_k = 0;
+  std::string ToString() const;
+};
+
+/// Synthesizes workload variants that are "similar but not identical"
+/// to `trace` (the paper's framing of a representative trace): block
+/// contents are kept, but block order is shuffled within windows of
+/// `window_blocks`, so major phases survive and minor-fluctuation
+/// timing does not. `block_size` defines the blocks.
+std::vector<Workload> MakeJitteredVariants(const Workload& trace,
+                                           size_t block_size,
+                                           size_t window_blocks, int count,
+                                           uint64_t seed);
+
+/// Addresses the paper's first open question ("how to choose an
+/// appropriate change constraint k?") by holdout validation: for each
+/// candidate k, recommend a design from `design_trace`, replay the
+/// schedule positionally against each evaluation trace, and pick the k
+/// with the lowest mean replay cost. If `eval_traces` is empty,
+/// synthetic jittered variants of the design trace are used.
+Result<KSelectionReport> ChooseChangeBound(
+    const CostModel& model, const Workload& design_trace,
+    const std::vector<Workload>& eval_traces,
+    const KSelectionOptions& options = {});
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_K_SELECTION_H_

@@ -1,0 +1,69 @@
+#include "core/online_tuner.h"
+
+#include <limits>
+
+namespace cdpd {
+
+OnlineTuner::OnlineTuner(const CostModel* model,
+                         std::vector<Configuration> candidate_configs,
+                         const OnlineTunerOptions& options)
+    : model_(model),
+      candidates_(std::move(candidate_configs)),
+      options_(options) {}
+
+double OnlineTuner::WindowCost(const Configuration& config) const {
+  double cost = 0.0;
+  for (const BoundStatement& statement : window_) {
+    cost += model_->StatementCost(statement, config);
+  }
+  return cost;
+}
+
+void OnlineTuner::MaybeReact() {
+  // Cheapest candidate for the observed window (subject to bounds).
+  const Configuration* best = nullptr;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (const Configuration& candidate : candidates_) {
+    if (candidate.num_indexes() > options_.max_indexes_per_config) continue;
+    if (model_->ConfigurationSizePages(candidate) >
+        options_.space_bound_pages) {
+      continue;
+    }
+    const double cost = WindowCost(candidate);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = &candidate;
+    }
+  }
+  if (best == nullptr || *best == active_) return;
+
+  // Hysteresis: the saving over one window must beat the transition
+  // cost with margin, otherwise a fluctuation would cause thrashing.
+  const double current_cost = WindowCost(active_);
+  const double transition = model_->TransitionCost(active_, *best);
+  if (current_cost - best_cost <= options_.switch_threshold * transition) {
+    return;
+  }
+  stats_.transition_cost += transition;
+  ++stats_.changes;
+  active_ = *best;
+  change_log_.push_back({processed_, active_});
+}
+
+void OnlineTuner::Process(const BoundStatement& statement) {
+  stats_.execution_cost += model_->StatementCost(statement, active_);
+  window_.push_back(statement);
+  if (window_.size() > options_.window) window_.pop_front();
+  ++processed_;
+  if (options_.epoch > 0 && processed_ % options_.epoch == 0) {
+    MaybeReact();
+  }
+}
+
+void OnlineTuner::ProcessAll(const std::vector<BoundStatement>& statements) {
+  for (const BoundStatement& statement : statements) {
+    Process(statement);
+  }
+}
+
+}  // namespace cdpd

@@ -1,0 +1,127 @@
+#include "core/path_ranking.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdpd {
+
+PathRanker::PathRanker(const SequenceGraph& graph)
+    : graph_(&graph), tree_(ComputeShortestPaths(graph)) {
+  nodes_.resize(static_cast<size_t>(graph.num_nodes()));
+  // π^1 of every reachable node comes from the shortest-path tree.
+  for (size_t v = 0; v < nodes_.size(); ++v) {
+    if (tree_.dist[v] == std::numeric_limits<double>::infinity()) continue;
+    PathRef first;
+    first.cost = tree_.dist[v];
+    first.pred_edge = tree_.parent_edge[v];
+    first.pred_index = first.pred_edge < 0 ? -1 : 0;
+    nodes_[v].paths.push_back(first);
+  }
+}
+
+void PathRanker::PushCandidate(NodeState* state, PathRef ref) {
+  state->candidates.push_back(ref);
+  std::push_heap(state->candidates.begin(), state->candidates.end(),
+                 [](const PathRef& a, const PathRef& b) {
+                   return a.cost > b.cost;  // Min-heap.
+                 });
+}
+
+bool PathRanker::EnsurePath(SequenceGraph::NodeId node, size_t rank) {
+  NodeState& state = nodes_[static_cast<size_t>(node)];
+  while (state.paths.size() <= rank) {
+    // The source has exactly one path (the graph is acyclic).
+    if (node == graph_->source()) return false;
+    if (state.paths.empty()) return false;  // Unreachable node.
+
+    // One-time: alternative predecessors of π^1 become candidates.
+    if (!state.initialized_alternatives) {
+      state.initialized_alternatives = true;
+      const int32_t tree_edge = state.paths.front().pred_edge;
+      for (int32_t edge_id : graph_->InEdgeIds(node)) {
+        if (edge_id == tree_edge) continue;
+        const SequenceGraph::Edge& edge = graph_->edge(edge_id);
+        const NodeState& pred = nodes_[static_cast<size_t>(edge.from)];
+        if (pred.paths.empty()) continue;  // Unreachable predecessor.
+        PushCandidate(&state,
+                      PathRef{pred.paths.front().cost + edge.weight, edge_id,
+                              0});
+      }
+    }
+
+    // The previously selected path spawns one new candidate: the next
+    // path of its predecessor, extended by the same edge.
+    const PathRef& last = state.paths.back();
+    if (last.pred_edge >= 0) {
+      const SequenceGraph::Edge& edge = graph_->edge(last.pred_edge);
+      const size_t next_rank = static_cast<size_t>(last.pred_index) + 1;
+      if (EnsurePath(edge.from, next_rank)) {
+        const NodeState& pred = nodes_[static_cast<size_t>(edge.from)];
+        PushCandidate(&state,
+                      PathRef{pred.paths[next_rank].cost + edge.weight,
+                              last.pred_edge,
+                              static_cast<int32_t>(next_rank)});
+      }
+    }
+
+    if (state.candidates.empty()) return false;
+    std::pop_heap(state.candidates.begin(), state.candidates.end(),
+                  [](const PathRef& a, const PathRef& b) {
+                    return a.cost > b.cost;
+                  });
+    state.paths.push_back(state.candidates.back());
+    state.candidates.pop_back();
+  }
+  return true;
+}
+
+std::optional<RankedPath> PathRanker::Next() {
+  const SequenceGraph::NodeId dest = graph_->destination();
+  const auto rank = static_cast<size_t>(paths_yielded_);
+  if (!EnsurePath(dest, rank)) return std::nullopt;
+  ++paths_yielded_;
+
+  RankedPath path;
+  path.cost = nodes_[static_cast<size_t>(dest)].paths[rank].cost;
+  // Backtrack through (node, rank) pairs.
+  SequenceGraph::NodeId node = dest;
+  size_t node_rank = rank;
+  for (;;) {
+    path.nodes.push_back(node);
+    const PathRef& ref = nodes_[static_cast<size_t>(node)].paths[node_rank];
+    if (ref.pred_edge < 0) break;
+    node = graph_->edge(ref.pred_edge).from;
+    node_rank = static_cast<size_t>(ref.pred_index);
+  }
+  std::reverse(path.nodes.begin(), path.nodes.end());
+  return path;
+}
+
+Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
+                                      int64_t max_paths, RankingStats* stats) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  if (k < 0) {
+    return Status::InvalidArgument("change bound k must be >= 0");
+  }
+  CDPD_ASSIGN_OR_RETURN(SequenceGraph graph, SequenceGraph::Build(problem));
+  PathRanker ranker(graph);
+  RankingStats local_stats;
+  while (local_stats.paths_enumerated < max_paths) {
+    std::optional<RankedPath> path = ranker.Next();
+    if (!path.has_value()) break;  // Ranking exhausted.
+    ++local_stats.paths_enumerated;
+    if (graph.PathChanges(path->nodes) <= k) {
+      DesignSchedule schedule;
+      schedule.configs = graph.PathConfigs(path->nodes);
+      schedule.total_cost = path->cost;
+      if (stats != nullptr) *stats = local_stats;
+      return schedule;
+    }
+  }
+  if (stats != nullptr) *stats = local_stats;
+  return Status::ResourceExhausted(
+      "no path with <= " + std::to_string(k) + " changes within the first " +
+      std::to_string(local_stats.paths_enumerated) + " ranked paths");
+}
+
+}  // namespace cdpd

@@ -1,0 +1,78 @@
+#ifndef CDPD_CORE_PATH_RANKING_H_
+#define CDPD_CORE_PATH_RANKING_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/result.h"
+#include "core/design_problem.h"
+#include "core/sequence_graph.h"
+
+namespace cdpd {
+
+/// One enumerated source-to-destination path.
+struct RankedPath {
+  double cost = 0.0;
+  std::vector<SequenceGraph::NodeId> nodes;
+};
+
+/// Lazy shortest-path ranking over a sequence graph: Next() yields the
+/// 1st, 2nd, 3rd, ... shortest source-to-destination paths in
+/// non-decreasing cost order (a Recursive Enumeration Algorithm in the
+/// spirit of the path-deletion ranking the paper cites: each ranked
+/// path of a node spawns one new candidate at that node, plus the
+/// one-time alternative-predecessor candidates).
+class PathRanker {
+ public:
+  /// `graph` must outlive the ranker.
+  explicit PathRanker(const SequenceGraph& graph);
+
+  /// The next path in the ranking, or nullopt when exhausted.
+  std::optional<RankedPath> Next();
+
+  /// Paths yielded so far.
+  int64_t paths_yielded() const { return paths_yielded_; }
+
+ private:
+  /// A ranked path to a node, represented by its last edge and the
+  /// rank of the predecessor path it extends.
+  struct PathRef {
+    double cost = 0.0;
+    int32_t pred_edge = -1;   // Edge id into the node; -1 at the source.
+    int32_t pred_index = -1;  // Rank (0-based) of the predecessor path.
+  };
+  struct NodeState {
+    std::vector<PathRef> paths;       // Ranked paths found so far.
+    std::vector<PathRef> candidates;  // Min-heap by cost.
+    bool initialized_alternatives = false;
+  };
+
+  /// Ensures π^{rank}(node) exists (0-based). Returns false when the
+  /// node has fewer than rank+1 paths.
+  bool EnsurePath(SequenceGraph::NodeId node, size_t rank);
+  void PushCandidate(NodeState* state, PathRef ref);
+
+  const SequenceGraph* graph_;
+  DagShortestPaths tree_;
+  std::vector<NodeState> nodes_;
+  int64_t paths_yielded_ = 0;
+};
+
+/// Statistics of a ranking-based constrained solve.
+struct RankingStats {
+  int64_t paths_enumerated = 0;
+};
+
+/// Constrained optimum via shortest-path ranking (§5): enumerate paths
+/// of the *plain* sequence graph in cost order and return the first
+/// whose design sequence has at most k changes — optimal because every
+/// path not yet seen is at least as long. Worst-case exponential;
+/// `max_paths` bounds the enumeration (ResourceExhausted beyond it).
+Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
+                                      int64_t max_paths = 1'000'000,
+                                      RankingStats* stats = nullptr);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_PATH_RANKING_H_

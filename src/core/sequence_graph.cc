@@ -1,0 +1,168 @@
+#include "core/sequence_graph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+Result<SequenceGraph> SequenceGraph::Build(const DesignProblem& problem) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  SequenceGraph graph;
+  graph.problem_ = &problem;
+  graph.num_stages_ = problem.num_segments();
+  const size_t m = problem.candidates.size();
+  const size_t n = graph.num_stages_;
+
+  // Node layout: 0 = source; 1 + (stage-1)*m + c for stage in 1..n;
+  // destination last.
+  graph.destination_ = static_cast<NodeId>(1 + n * m);
+  graph.in_edges_.resize(static_cast<size_t>(graph.destination_) + 1);
+  graph.out_edges_.resize(static_cast<size_t>(graph.destination_) + 1);
+
+  const WhatIfEngine& what_if = *problem.what_if;
+  if (n == 0) {
+    const double weight =
+        problem.final_config.has_value()
+            ? what_if.TransitionCost(problem.initial, *problem.final_config)
+            : 0.0;
+    graph.AddEdge(graph.source(), graph.destination_, weight);
+    return graph;
+  }
+
+  // Source -> stage 1.
+  for (size_t c = 0; c < m; ++c) {
+    const Configuration& config = problem.candidates[c];
+    graph.AddEdge(graph.source(), graph.StageNode(1, c),
+                  what_if.TransitionCost(problem.initial, config) +
+                      what_if.SegmentCost(0, config));
+  }
+  // Stage x -> stage x+1 (complete bipartite).
+  for (size_t stage = 1; stage < n; ++stage) {
+    for (size_t p = 0; p < m; ++p) {
+      for (size_t c = 0; c < m; ++c) {
+        graph.AddEdge(
+            graph.StageNode(stage, p), graph.StageNode(stage + 1, c),
+            what_if.TransitionCost(problem.candidates[p],
+                                   problem.candidates[c]) +
+                what_if.SegmentCost(stage, problem.candidates[c]));
+      }
+    }
+  }
+  // Stage n -> destination.
+  for (size_t c = 0; c < m; ++c) {
+    const double weight =
+        problem.final_config.has_value()
+            ? what_if.TransitionCost(problem.candidates[c],
+                                     *problem.final_config)
+            : 0.0;
+    graph.AddEdge(graph.StageNode(n, c), graph.destination_, weight);
+  }
+  return graph;
+}
+
+void SequenceGraph::AddEdge(NodeId from, NodeId to, double weight) {
+  const auto id = static_cast<int32_t>(edges_.size());
+  edges_.push_back(Edge{from, to, weight});
+  out_edges_[static_cast<size_t>(from)].push_back(id);
+  in_edges_[static_cast<size_t>(to)].push_back(id);
+}
+
+size_t SequenceGraph::NodeStage(NodeId node) const {
+  if (node == source()) return 0;
+  if (node == destination_) return num_stages_ + 1;
+  return 1 + static_cast<size_t>(node - 1) / num_configs();
+}
+
+size_t SequenceGraph::NodeConfigIndex(NodeId node) const {
+  assert(node != source() && node != destination_);
+  return static_cast<size_t>(node - 1) % num_configs();
+}
+
+SequenceGraph::NodeId SequenceGraph::StageNode(size_t stage,
+                                               size_t config_index) const {
+  assert(stage >= 1 && stage <= num_stages_);
+  assert(config_index < num_configs());
+  return static_cast<NodeId>(1 + (stage - 1) * num_configs() + config_index);
+}
+
+std::vector<Configuration> SequenceGraph::PathConfigs(
+    const std::vector<NodeId>& path) const {
+  std::vector<Configuration> configs;
+  for (NodeId node : path) {
+    if (node == source() || node == destination_) continue;
+    configs.push_back(problem_->candidates[NodeConfigIndex(node)]);
+  }
+  return configs;
+}
+
+int64_t SequenceGraph::PathChanges(const std::vector<NodeId>& path) const {
+  return CountChanges(*problem_, PathConfigs(path));
+}
+
+std::string SequenceGraph::ToDot() const {
+  const Schema& schema = problem_->what_if->model().schema();
+  std::string dot = "digraph sequence_graph {\n  rankdir=LR;\n";
+  dot += "  n0 [label=\"C0 = " + problem_->initial.ToString(schema) +
+         "\" shape=box];\n";
+  for (size_t stage = 1; stage <= num_stages_; ++stage) {
+    for (size_t c = 0; c < num_configs(); ++c) {
+      const NodeId node = StageNode(stage, c);
+      dot += "  n" + std::to_string(node) + " [label=\"S" +
+             std::to_string(stage) + " " +
+             problem_->candidates[c].ToString(schema) + "\"];\n";
+    }
+  }
+  dot += "  n" + std::to_string(destination_) + " [label=\"dest\" shape=box];\n";
+  for (const Edge& edge : edges_) {
+    dot += "  n" + std::to_string(edge.from) + " -> n" +
+           std::to_string(edge.to) + " [label=\"" +
+           FormatDouble(edge.weight, 1) + "\"];\n";
+  }
+  dot += "}\n";
+  return dot;
+}
+
+DagShortestPaths ComputeShortestPaths(const SequenceGraph& graph) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  DagShortestPaths result;
+  result.dist.assign(static_cast<size_t>(graph.num_nodes()), kInf);
+  result.parent_edge.assign(static_cast<size_t>(graph.num_nodes()), -1);
+  result.dist[static_cast<size_t>(graph.source())] = 0.0;
+  // Node ids are already in topological order (source, stages, dest).
+  for (SequenceGraph::NodeId node = graph.source(); node <= graph.destination();
+       ++node) {
+    const auto node_index = static_cast<size_t>(node);
+    if (result.dist[node_index] == kInf) continue;
+    for (int32_t edge_id : graph.OutEdgeIds(node)) {
+      const SequenceGraph::Edge& edge = graph.edge(edge_id);
+      const double candidate = result.dist[node_index] + edge.weight;
+      const auto to_index = static_cast<size_t>(edge.to);
+      if (candidate < result.dist[to_index]) {
+        result.dist[to_index] = candidate;
+        result.parent_edge[to_index] = edge_id;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<SequenceGraph::NodeId> ExtractPath(const SequenceGraph& graph,
+                                               const DagShortestPaths& paths,
+                                               SequenceGraph::NodeId target) {
+  std::vector<SequenceGraph::NodeId> path;
+  SequenceGraph::NodeId node = target;
+  path.push_back(node);
+  while (node != graph.source()) {
+    const int32_t edge_id = paths.parent_edge[static_cast<size_t>(node)];
+    if (edge_id < 0) return {};  // Unreachable target.
+    node = graph.edge(edge_id).from;
+    path.push_back(node);
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,74 @@
+#include "core/unconstrained_optimizer.h"
+
+#include <limits>
+
+namespace cdpd {
+
+Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  const WhatIfEngine& what_if = *problem.what_if;
+  const size_t n = problem.num_segments();
+  const std::vector<Configuration>& configs = problem.candidates;
+  const size_t m = configs.size();
+
+  DesignSchedule schedule;
+  if (n == 0) {
+    if (problem.final_config.has_value()) {
+      schedule.total_cost =
+          what_if.TransitionCost(problem.initial, *problem.final_config);
+    }
+    return schedule;
+  }
+
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(m);
+  std::vector<std::vector<size_t>> parent(n, std::vector<size_t>(m, 0));
+
+  for (size_t c = 0; c < m; ++c) {
+    dist[c] = what_if.TransitionCost(problem.initial, configs[c]) +
+              what_if.SegmentCost(0, configs[c]);
+  }
+  for (size_t stage = 1; stage < n; ++stage) {
+    std::vector<double> next(m, kInf);
+    for (size_t c = 0; c < m; ++c) {
+      double best = kInf;
+      size_t best_prev = 0;
+      for (size_t p = 0; p < m; ++p) {
+        const double cost =
+            dist[p] + what_if.TransitionCost(configs[p], configs[c]);
+        if (cost < best) {
+          best = cost;
+          best_prev = p;
+        }
+      }
+      next[c] = best + what_if.SegmentCost(stage, configs[c]);
+      parent[stage][c] = best_prev;
+    }
+    dist = std::move(next);
+  }
+
+  // Destination: unconstrained, or a forced final transition.
+  double best = kInf;
+  size_t best_last = 0;
+  for (size_t c = 0; c < m; ++c) {
+    double cost = dist[c];
+    if (problem.final_config.has_value()) {
+      cost += what_if.TransitionCost(configs[c], *problem.final_config);
+    }
+    if (cost < best) {
+      best = cost;
+      best_last = c;
+    }
+  }
+
+  schedule.total_cost = best;
+  schedule.configs.resize(n);
+  size_t c = best_last;
+  for (size_t stage = n; stage-- > 0;) {
+    schedule.configs[stage] = configs[c];
+    c = parent[stage][c];
+  }
+  return schedule;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,24 @@
+#ifndef CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_
+#define CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_
+
+#include "common/result.h"
+#include "core/design_problem.h"
+
+namespace cdpd {
+
+/// Optimal *unconstrained* dynamic physical design (Agrawal, Chu &
+/// Narasayya's formulation, §3 of the paper): the weighted shortest
+/// path through the sequence graph, computed as a stage-by-stage
+/// dynamic program over the candidate configurations —
+///
+///   dist_1(c) = TRANS(C0, c) + EXEC(S_1, c)
+///   dist_i(c) = min_{c'} [ dist_{i-1}(c') + TRANS(c', c) ] + EXEC(S_i, c)
+///
+/// which is exactly the O(|V| + |E|) DAG shortest path on the graph of
+/// Figure 1, in O(n * |candidates|^2) time (= O(n * 2^{2m}) when the
+/// candidate space is all subsets of m indexes).
+Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_

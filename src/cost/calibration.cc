@@ -1,0 +1,183 @@
+#include "cost/calibration.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "common/string_util.h"
+
+namespace cdpd {
+
+namespace {
+
+constexpr double kMinSecondsPerUnit = 1e-12;
+
+/// Median wall time of `fn` over `repetitions` runs.
+template <typename Fn>
+double MedianSeconds(int repetitions, Fn&& fn) {
+  std::vector<double> times;
+  times.reserve(static_cast<size_t>(repetitions));
+  for (int i = 0; i < repetitions; ++i) {
+    Stopwatch watch;
+    fn();
+    times.push_back(watch.ElapsedSeconds());
+  }
+  std::nth_element(times.begin(), times.begin() + repetitions / 2,
+                   times.end());
+  return times[static_cast<size_t>(repetitions / 2)];
+}
+
+}  // namespace
+
+std::string CalibrationReport::ToString() const {
+  std::string out = "calibrated cost params (1 unit = 1 sequential page = " +
+                    FormatDouble(seconds_per_seq_page * 1e9, 1) + " ns):\n";
+  out += "  random_page_cost = " + FormatDouble(params.random_page_cost, 3) +
+         "\n";
+  out += "  write_page_cost  = " + FormatDouble(params.write_page_cost, 3) +
+         "\n";
+  out += "  cpu_tuple_cost   = " + FormatDouble(params.cpu_tuple_cost, 6) +
+         "\n";
+  out += "  sort_cpu_factor  = " + FormatDouble(params.sort_cpu_factor, 6) +
+         "\n";
+  return out;
+}
+
+Result<CalibrationReport> CalibrateCostParams(
+    Database* db, const CalibrationOptions& options) {
+  if (options.repetitions < 1) {
+    return Status::InvalidArgument("repetitions must be >= 1");
+  }
+  const Table& table = db->table();
+  const int64_t rows = table.num_rows();
+  if (rows < 1000) {
+    return Status::FailedPrecondition(
+        "calibration needs at least 1000 rows for stable probes");
+  }
+  const Schema& schema = db->schema();
+  if (schema.num_columns() < 4) {
+    return Status::FailedPrecondition(
+        "calibration probes need at least four columns");
+  }
+
+  const Configuration saved = db->current_configuration();
+  AccessStats scratch;
+  CDPD_RETURN_IF_ERROR(
+      db->ApplyConfiguration(Configuration::Empty(), &scratch));
+
+  Rng rng(0xca11b8a7e);
+  const int64_t domain = db->cost_model().domain_size();
+  auto random_value = [&] { return rng.UniformInt(0, domain - 1); };
+
+  // Probe 1: heap scan (predicate on d, no index).
+  const int64_t heap_pages = table.heap_pages();
+  const double t_heap_scan = MedianSeconds(options.repetitions, [&] {
+    AccessStats stats;
+    auto result =
+        db->Execute(BoundStatement::SelectPoint(3, 3, random_value()),
+                    &stats);
+    (void)result;
+  });
+
+  // Probe 2: covering index scan of I(c,d) answering a d-predicate.
+  const IndexDef icd({2, 3});
+  CDPD_RETURN_IF_ERROR(
+      db->ApplyConfiguration(Configuration({icd}), &scratch));
+  const int64_t leaf_pages = icd.LeafPages(rows);
+  const double t_covering_scan = MedianSeconds(options.repetitions, [&] {
+    AccessStats stats;
+    auto result =
+        db->Execute(BoundStatement::SelectPoint(3, 3, random_value()),
+                    &stats);
+    (void)result;
+  });
+
+  // Solve  t_heap = heap_pages*s_page + rows*s_tuple
+  //        t_cov  = leaf_pages*s_page + rows*s_tuple
+  if (heap_pages <= leaf_pages) {
+    return Status::Internal("probe degenerate: heap not wider than index");
+  }
+  double seconds_per_page =
+      (t_heap_scan - t_covering_scan) /
+      static_cast<double>(heap_pages - leaf_pages);
+  seconds_per_page = std::max(seconds_per_page, kMinSecondsPerUnit);
+  double seconds_per_tuple =
+      (t_heap_scan - static_cast<double>(heap_pages) * seconds_per_page) /
+      static_cast<double>(rows);
+  seconds_per_tuple = std::max(seconds_per_tuple, kMinSecondsPerUnit);
+
+  // Probe 3: random point seeks on I(a).
+  const IndexDef ia({0});
+  CDPD_RETURN_IF_ERROR(db->ApplyConfiguration(Configuration({ia}), &scratch));
+  const int64_t height = ia.Height(rows);
+  const double expected_matches = db->cost_model().ExpectedMatches();
+  const double t_seeks = MedianSeconds(options.repetitions, [&] {
+    for (int i = 0; i < options.seeks_per_probe; ++i) {
+      AccessStats stats;
+      auto result =
+          db->Execute(BoundStatement::SelectPoint(0, 0, random_value()),
+                      &stats);
+      (void)result;
+    }
+  });
+  double seconds_per_random_page =
+      (t_seeks / options.seeks_per_probe -
+       expected_matches * seconds_per_tuple) /
+      static_cast<double>(height);
+  seconds_per_random_page =
+      std::max(seconds_per_random_page, kMinSecondsPerUnit);
+
+  // Probe 4: index builds of two widths isolate the write cost; the
+  // residual of the narrow build gives the sort factor.
+  const double t_build_narrow = MedianSeconds(options.repetitions, [&] {
+    AccessStats stats;
+    Status drop_then_build =
+        db->ApplyConfiguration(Configuration::Empty(), &stats);
+    (void)drop_then_build;
+    (void)db->ApplyConfiguration(Configuration({ia}), &stats);
+  });
+  const IndexDef iab({0, 1});
+  const double t_build_wide = MedianSeconds(options.repetitions, [&] {
+    AccessStats stats;
+    Status drop_then_build =
+        db->ApplyConfiguration(Configuration::Empty(), &stats);
+    (void)drop_then_build;
+    (void)db->ApplyConfiguration(Configuration({iab}), &stats);
+  });
+  const int64_t written_narrow = ia.SizePages(rows);
+  const int64_t written_wide = iab.SizePages(rows);
+  double seconds_per_written_page =
+      (t_build_wide - t_build_narrow) /
+      static_cast<double>(std::max<int64_t>(1, written_wide - written_narrow));
+  seconds_per_written_page =
+      std::max(seconds_per_written_page, kMinSecondsPerUnit);
+  const double sort_seconds =
+      t_build_narrow -
+      static_cast<double>(heap_pages) * seconds_per_page -
+      static_cast<double>(written_narrow) * seconds_per_written_page;
+  const double sort_denominator =
+      static_cast<double>(rows) * Log2(static_cast<double>(rows));
+  double seconds_per_sort_unit =
+      std::max(sort_seconds, 0.0) / sort_denominator;
+
+  CDPD_RETURN_IF_ERROR(db->ApplyConfiguration(saved, &scratch));
+
+  CalibrationReport report;
+  report.seconds_per_seq_page = seconds_per_page;
+  report.seconds_per_random_page = seconds_per_random_page;
+  report.seconds_per_tuple = seconds_per_tuple;
+  report.seconds_per_written_page = seconds_per_written_page;
+  report.params.seq_page_cost = 1.0;
+  report.params.random_page_cost = seconds_per_random_page / seconds_per_page;
+  report.params.write_page_cost =
+      seconds_per_written_page / seconds_per_page;
+  report.params.cpu_tuple_cost = seconds_per_tuple / seconds_per_page;
+  report.params.sort_cpu_factor = seconds_per_sort_unit / seconds_per_page;
+  report.params.drop_pages = CostParams().drop_pages;
+  return report;
+}
+
+}  // namespace cdpd

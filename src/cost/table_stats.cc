@@ -1,0 +1,103 @@
+#include "cost/table_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+double ColumnStats::RangeSelectivity(Value lo, Value hi) const {
+  if (lo > hi || sampled_rows == 0 || histogram.empty()) return 0.0;
+  if (hi < min_value || lo > max_value) return 0.0;
+  const Value clamped_lo = std::max(lo, min_value);
+  const Value clamped_hi = std::min(hi, max_value);
+  const double span =
+      static_cast<double>(max_value - min_value) + 1.0;
+  const double bucket_width = span / static_cast<double>(histogram.size());
+  // Fractional bucket positions of the inclusive bounds.
+  const double from =
+      static_cast<double>(clamped_lo - min_value) / bucket_width;
+  const double to =
+      (static_cast<double>(clamped_hi - min_value) + 1.0) / bucket_width;
+  double covered = 0.0;
+  for (size_t b = 0; b < histogram.size(); ++b) {
+    const double bucket_begin = static_cast<double>(b);
+    const double bucket_end = bucket_begin + 1.0;
+    const double overlap = std::max(
+        0.0, std::min(to, bucket_end) - std::max(from, bucket_begin));
+    covered += overlap * static_cast<double>(histogram[b]);
+  }
+  return covered / static_cast<double>(sampled_rows);
+}
+
+TableStats TableStats::FromTable(const Table& table, int64_t max_sample_rows,
+                                 int32_t buckets) {
+  TableStats stats;
+  stats.num_rows_ = table.num_rows();
+  const int32_t num_columns = table.schema().num_columns();
+  stats.columns_.resize(static_cast<size_t>(num_columns));
+  if (table.num_rows() == 0) return stats;
+
+  const int64_t stride =
+      std::max<int64_t>(1, table.num_rows() / std::max<int64_t>(
+                                                  1, max_sample_rows));
+  for (int32_t col = 0; col < num_columns; ++col) {
+    ColumnStats& column = stats.columns_[static_cast<size_t>(col)];
+    // Pass 1: bounds and distincts over the sample.
+    std::unordered_set<Value> distinct;
+    bool first = true;
+    for (RowId row = 0; row < table.num_rows(); row += stride) {
+      const Value v = table.GetValue(row, col);
+      if (first || v < column.min_value) column.min_value = v;
+      if (first || v > column.max_value) column.max_value = v;
+      first = false;
+      distinct.insert(v);
+      ++column.sampled_rows;
+    }
+    column.distinct_estimate =
+        std::max<int64_t>(1, static_cast<int64_t>(distinct.size()));
+    column.density = 1.0 / static_cast<double>(column.distinct_estimate);
+    // Pass 2: equi-width histogram.
+    column.histogram.assign(static_cast<size_t>(std::max(1, buckets)), 0);
+    const double span =
+        static_cast<double>(column.max_value - column.min_value) + 1.0;
+    for (RowId row = 0; row < table.num_rows(); row += stride) {
+      const Value v = table.GetValue(row, col);
+      auto bucket = static_cast<size_t>(
+          static_cast<double>(v - column.min_value) / span *
+          static_cast<double>(column.histogram.size()));
+      bucket = std::min(bucket, column.histogram.size() - 1);
+      ++column.histogram[bucket];
+    }
+  }
+  return stats;
+}
+
+double TableStats::ExpectedEqMatches(ColumnId column) const {
+  if (column < 0 || column >= num_columns()) return 0.0;
+  return columns_[static_cast<size_t>(column)].density *
+         static_cast<double>(num_rows_);
+}
+
+double TableStats::ExpectedRangeMatches(ColumnId column, Value lo,
+                                        Value hi) const {
+  if (column < 0 || column >= num_columns()) return 0.0;
+  return columns_[static_cast<size_t>(column)].RangeSelectivity(lo, hi) *
+         static_cast<double>(num_rows_);
+}
+
+std::string TableStats::ToString(const Schema& schema) const {
+  std::string out = "table stats (" + std::to_string(num_rows_) + " rows):\n";
+  for (int32_t col = 0; col < num_columns(); ++col) {
+    const ColumnStats& column = columns_[static_cast<size_t>(col)];
+    out += "  " + schema.column_name(col) + ": range [" +
+           std::to_string(column.min_value) + ", " +
+           std::to_string(column.max_value) + "], ~" +
+           std::to_string(column.distinct_estimate) + " distinct, density " +
+           FormatDouble(column.density, 6) + "\n";
+  }
+  return out;
+}
+
+}  // namespace cdpd

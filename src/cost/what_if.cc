@@ -1,0 +1,78 @@
+#include "cost/what_if.h"
+
+#include <cassert>
+
+namespace cdpd {
+
+namespace {
+
+/// Erases the literal values of a statement, keeping only the shape
+/// that determines its estimated cost.
+BoundStatement ShapeOf(const BoundStatement& statement) {
+  BoundStatement shape = statement;
+  shape.where_value = 0;
+  shape.set_value = 0;
+  if (shape.type == StatementType::kSelectRange) {
+    // Range cost depends only on the width; normalize the position.
+    shape.where_hi = shape.where_hi - shape.where_lo;
+    shape.where_lo = 0;
+  }
+  if (shape.type == StatementType::kInsert) {
+    shape.insert_values.assign(shape.insert_values.size(), 0);
+  }
+  return shape;
+}
+
+}  // namespace
+
+WhatIfEngine::WhatIfEngine(const CostModel* model,
+                           std::span<const BoundStatement> statements,
+                           std::vector<Segment> segments)
+    : model_(model), segments_(std::move(segments)) {
+  profiles_.resize(segments_.size());
+  cache_.resize(segments_.size());
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    const Segment& segment = segments_[s];
+    assert(segment.begin <= segment.end && segment.end <= statements.size());
+    std::vector<ProfileEntry>& profile = profiles_[s];
+    for (size_t i = segment.begin; i < segment.end; ++i) {
+      const BoundStatement shape = ShapeOf(statements[i]);
+      bool found = false;
+      for (ProfileEntry& entry : profile) {
+        if (entry.representative == shape) {
+          ++entry.count;
+          found = true;
+          break;
+        }
+      }
+      if (!found) profile.push_back(ProfileEntry{shape, 1});
+    }
+  }
+}
+
+double WhatIfEngine::SegmentCost(size_t segment,
+                                 const Configuration& config) const {
+  assert(segment < segments_.size());
+  auto& memo = cache_[segment];
+  if (auto it = memo.find(config); it != memo.end()) return it->second;
+  double cost = 0.0;
+  for (const ProfileEntry& entry : profiles_[segment]) {
+    cost += static_cast<double>(entry.count) *
+            model_->StatementCost(entry.representative, config);
+    ++costings_;
+  }
+  memo.emplace(config, cost);
+  return cost;
+}
+
+double WhatIfEngine::RangeCost(size_t begin, size_t end,
+                               const Configuration& config) const {
+  assert(begin <= end && end <= segments_.size());
+  double cost = 0.0;
+  for (size_t s = begin; s < end; ++s) {
+    cost += SegmentCost(s, config);
+  }
+  return cost;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,75 @@
+#ifndef CDPD_COST_WHAT_IF_H_
+#define CDPD_COST_WHAT_IF_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "catalog/configuration.h"
+#include "cost/cost_model.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// The what-if oracle the design optimizers query: EXEC(S_i, C) for
+/// workload segments S_i and hypothetical configurations C, plus
+/// TRANS(C, C'). Two optimizations make the optimizers fast:
+///
+///  * per-segment statement *profiles* — a point statement's estimated
+///    cost depends only on its shape (type and columns), not on its
+///    literal, so a segment of 500 queries collapses into a handful of
+///    (shape, count) pairs;
+///  * per-(segment, configuration) memoization across the many times
+///    the graph algorithms revisit the same node.
+///
+/// Not thread-safe (the memo cache is mutated on read).
+class WhatIfEngine {
+ public:
+  /// `model` must outlive the engine. `statements` are copied into the
+  /// profiles; `segments` define the stages S_1..S_n.
+  WhatIfEngine(const CostModel* model,
+               std::span<const BoundStatement> statements,
+               std::vector<Segment> segments);
+
+  const CostModel& model() const { return *model_; }
+  size_t num_segments() const { return segments_.size(); }
+  const std::vector<Segment>& segments() const { return segments_; }
+
+  /// EXEC(S_i, config), memoized.
+  double SegmentCost(size_t segment, const Configuration& config) const;
+
+  /// EXEC(S_begin ∪ ... ∪ S_{end-1}, config) — the merged-segment cost
+  /// the sequential-merging heuristic needs. Not memoized (sums the
+  /// memoized per-segment costs).
+  double RangeCost(size_t begin, size_t end, const Configuration& config) const;
+
+  /// TRANS(from, to), forwarded to the cost model.
+  double TransitionCost(const Configuration& from,
+                        const Configuration& to) const {
+    return model_->TransitionCost(from, to);
+  }
+
+  /// Number of what-if statement costings performed so far (for the
+  /// optimizer-cost experiments: the dominant work unit).
+  int64_t costings() const { return costings_; }
+
+ private:
+  /// A statement shape with literals erased, plus its multiplicity.
+  struct ProfileEntry {
+    BoundStatement representative;
+    int64_t count = 0;
+  };
+
+  const CostModel* model_;
+  std::vector<Segment> segments_;
+  std::vector<std::vector<ProfileEntry>> profiles_;  // Per segment.
+  mutable std::vector<
+      std::unordered_map<Configuration, double, ConfigurationHash>>
+      cache_;
+  mutable int64_t costings_ = 0;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_COST_WHAT_IF_H_

@@ -1,0 +1,102 @@
+#include "engine/database.h"
+
+#include "common/rng.h"
+#include "common/stopwatch.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace cdpd {
+
+Database::Database(std::unique_ptr<CostModel> model)
+    : model_(std::move(model)) {
+  executor_ = std::make_unique<Executor>(&catalog_, model_.get());
+}
+
+Result<std::unique_ptr<Database>> Database::Create(const Schema& schema,
+                                                   int64_t num_rows,
+                                                   int64_t domain_size,
+                                                   uint64_t seed,
+                                                   CostParams params) {
+  if (num_rows < 0) {
+    return Status::InvalidArgument("num_rows must be non-negative");
+  }
+  if (domain_size <= 0) {
+    return Status::InvalidArgument("domain_size must be positive");
+  }
+  auto model =
+      std::make_unique<CostModel>(schema, num_rows, domain_size, params);
+  std::unique_ptr<Database> db(new Database(std::move(model)));
+  CDPD_ASSIGN_OR_RETURN(Table * table, db->catalog_.CreateTable(schema));
+  Rng rng(seed);
+  table->PopulateUniform(num_rows, 0, domain_size, &rng);
+  return db;
+}
+
+const Table& Database::table() const {
+  // The table is created in Create(); lookup cannot fail.
+  return *catalog_.GetTable(schema().table_name()).value();
+}
+
+Result<Table*> Database::GetTableForBulkLoad() {
+  if (!current_configuration().empty()) {
+    return Status::FailedPrecondition(
+        "bulk-load access requires an index-free table; drop indexes "
+        "first (ApplyConfiguration({}))");
+  }
+  return catalog_.GetTableMutable(schema().table_name());
+}
+
+Status Database::ApplyConfiguration(const Configuration& target,
+                                    AccessStats* stats) {
+  const std::string& table_name = schema().table_name();
+  const ConfigurationDelta delta =
+      DiffConfigurations(catalog_.CurrentConfiguration(table_name), target);
+  // Drop first so peak space stays low during the transition.
+  for (const IndexDef& def : delta.dropped) {
+    CDPD_RETURN_IF_ERROR(catalog_.DropIndex(table_name, def, stats));
+  }
+  for (const IndexDef& def : delta.created) {
+    CDPD_RETURN_IF_ERROR(catalog_.CreateIndex(table_name, def, stats));
+  }
+  return Status::OK();
+}
+
+Result<ExecutionResult> Database::Execute(const BoundStatement& statement,
+                                          AccessStats* stats) {
+  return executor_->Execute(statement, stats);
+}
+
+Result<ExecutionResult> Database::ExecuteSql(std::string_view sql,
+                                             AccessStats* stats) {
+  CDPD_ASSIGN_OR_RETURN(StatementAst ast, ParseStatement(sql));
+  if (std::holds_alternative<CreateIndexAst>(ast) ||
+      std::holds_alternative<DropIndexAst>(ast)) {
+    bool create = false;
+    CDPD_ASSIGN_OR_RETURN(IndexDef def, BindIndexDdl(schema(), ast, &create));
+    const std::string& table_name = schema().table_name();
+    if (create) {
+      CDPD_RETURN_IF_ERROR(catalog_.CreateIndex(table_name, def, stats));
+    } else {
+      CDPD_RETURN_IF_ERROR(catalog_.DropIndex(table_name, def, stats));
+    }
+    return ExecutionResult{};
+  }
+  CDPD_ASSIGN_OR_RETURN(BoundStatement bound, BindStatement(schema(), ast));
+  return executor_->Execute(bound, stats);
+}
+
+Result<WorkloadRunResult> Database::RunWorkload(
+    std::span<const BoundStatement> batch) {
+  WorkloadRunResult result;
+  Stopwatch watch;
+  for (const BoundStatement& statement : batch) {
+    CDPD_ASSIGN_OR_RETURN(ExecutionResult ignored,
+                          executor_->Execute(statement, &result.stats));
+    (void)ignored;
+    ++result.statements;
+  }
+  result.wall_seconds = watch.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace cdpd

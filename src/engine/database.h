@@ -1,0 +1,84 @@
+#ifndef CDPD_ENGINE_DATABASE_H_
+#define CDPD_ENGINE_DATABASE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "engine/executor.h"
+#include "workload/statement.h"
+
+namespace cdpd {
+
+/// Aggregate outcome of running a statement sequence.
+struct WorkloadRunResult {
+  AccessStats stats;
+  double wall_seconds = 0.0;
+  int64_t statements = 0;
+};
+
+/// The user-facing database facade: one table, its indexes, an
+/// executor, and the cost model — everything the paper's experiments
+/// run against. Design transitions are applied with
+/// ApplyConfiguration(), which does the physical index builds/drops
+/// that TRANS() prices.
+class Database {
+ public:
+  /// Creates a database with `schema`, populated with `num_rows` rows
+  /// of uniform values in [0, domain_size), and a cost model with
+  /// `params`. The paper's instance is MakePaperSchema() with 2.5 M
+  /// rows and domain 500000.
+  static Result<std::unique_ptr<Database>> Create(const Schema& schema,
+                                                  int64_t num_rows,
+                                                  int64_t domain_size,
+                                                  uint64_t seed,
+                                                  CostParams params = {});
+
+  const Schema& schema() const { return model_->schema(); }
+  const CostModel& cost_model() const { return *model_; }
+  const Catalog& catalog() const { return catalog_; }
+  const Table& table() const;
+
+  /// The active physical design of the table.
+  Configuration current_configuration() const {
+    return catalog_.CurrentConfiguration(schema().table_name());
+  }
+
+  /// Mutable access to the heap for bulk loading or transforming data
+  /// (e.g. installing a skewed distribution) before any indexes exist.
+  /// Fails with FailedPrecondition once indexes are materialized —
+  /// their entries would silently go stale. Callers must not change
+  /// the row count (the cost model's cardinality is fixed at Create).
+  Result<Table*> GetTableForBulkLoad();
+
+  /// Transitions the physical design to `target`: creates the missing
+  /// indexes, drops the superfluous ones. Charges the work to `stats`.
+  Status ApplyConfiguration(const Configuration& target, AccessStats* stats);
+
+  /// Executes one bound statement.
+  Result<ExecutionResult> Execute(const BoundStatement& statement,
+                                  AccessStats* stats);
+
+  /// Parses, binds, and executes one SQL statement (DML or index DDL).
+  Result<ExecutionResult> ExecuteSql(std::string_view sql, AccessStats* stats);
+
+  /// Executes a statement sequence under the current design, returning
+  /// aggregate physical work and wall time.
+  Result<WorkloadRunResult> RunWorkload(std::span<const BoundStatement> batch);
+
+ private:
+  Database(std::unique_ptr<CostModel> model);
+
+  Catalog catalog_;
+  std::unique_ptr<CostModel> model_;
+  std::unique_ptr<Executor> executor_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_ENGINE_DATABASE_H_

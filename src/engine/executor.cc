@@ -1,0 +1,189 @@
+#include "engine/executor.h"
+
+#include <algorithm>
+
+#include "index/btree.h"
+
+namespace cdpd {
+
+namespace {
+
+/// Position of `column` within the key of `def`, or -1 if absent.
+int32_t KeyPosition(const IndexDef& def, ColumnId column) {
+  const auto& keys = def.key_columns();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (keys[i] == column) return static_cast<int32_t>(i);
+  }
+  return -1;
+}
+
+}  // namespace
+
+Status Executor::LocateMatches(const BoundStatement& statement,
+                               ColumnId select_column,
+                               const AccessPathChoice& plan,
+                               AccessStats* stats, std::vector<RowId>* rids,
+                               std::vector<Value>* values) {
+  const std::string& table_name = model_->schema().table_name();
+  CDPD_ASSIGN_OR_RETURN(const Table* table, catalog_->GetTable(table_name));
+  const ColumnId where_column = statement.where_column;
+  // Point predicates are the degenerate range [v, v]; every access
+  // path below filters with the same inclusive bounds.
+  const bool is_range = statement.type == StatementType::kSelectRange;
+  const Value lo = is_range ? statement.where_lo : statement.where_value;
+  const Value hi = is_range ? statement.where_hi : statement.where_value;
+  auto in_range = [lo, hi](Value v) { return v >= lo && v <= hi; };
+
+  switch (plan.kind) {
+    case AccessPathKind::kTableScan: {
+      table->Scan(stats, [&](RowId row) {
+        stats->rows_examined += 1;
+        if (in_range(table->GetValue(row, where_column))) {
+          rids->push_back(row);
+          values->push_back(table->GetValue(row, select_column));
+        }
+      });
+      return Status::OK();
+    }
+    case AccessPathKind::kIndexSeek: {
+      CDPD_ASSIGN_OR_RETURN(const BTree* tree,
+                            catalog_->GetIndex(table_name, *plan.index));
+      const int32_t select_pos = KeyPosition(*plan.index, select_column);
+      if (select_pos < 0) {
+        return Status::Internal("IndexSeek plan does not cover the select");
+      }
+      tree->SeekValueRange(lo, hi, stats, [&](const IndexEntry& entry) {
+        stats->rows_examined += 1;
+        rids->push_back(entry.rid);
+        values->push_back(entry.key.value(select_pos));
+      });
+      return Status::OK();
+    }
+    case AccessPathKind::kIndexSeekWithFetch: {
+      CDPD_ASSIGN_OR_RETURN(const BTree* tree,
+                            catalog_->GetIndex(table_name, *plan.index));
+      tree->SeekValueRange(lo, hi, stats, [&](const IndexEntry& entry) {
+        stats->rows_examined += 1;
+        table->ChargeRandomFetch(entry.rid, stats);
+        rids->push_back(entry.rid);
+        values->push_back(table->GetValue(entry.rid, select_column));
+      });
+      return Status::OK();
+    }
+    case AccessPathKind::kCoveringScan: {
+      CDPD_ASSIGN_OR_RETURN(const BTree* tree,
+                            catalog_->GetIndex(table_name, *plan.index));
+      const int32_t where_pos = KeyPosition(*plan.index, where_column);
+      const int32_t select_pos = KeyPosition(*plan.index, select_column);
+      if (where_pos < 0 || select_pos < 0) {
+        return Status::Internal("CoveringScan plan does not cover statement");
+      }
+      tree->ScanLeaves(stats, [&](const IndexEntry& entry) {
+        stats->rows_examined += 1;
+        if (in_range(entry.key.value(where_pos))) {
+          rids->push_back(entry.rid);
+          values->push_back(entry.key.value(select_pos));
+        }
+      });
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown access path kind");
+}
+
+Result<ExecutionResult> Executor::ExecuteSelect(const BoundStatement& statement,
+                                                AccessStats* stats) {
+  const Configuration config =
+      catalog_->CurrentConfiguration(model_->schema().table_name());
+  ExecutionResult result;
+  result.plan = model_->ChooseAccessPath(statement, config);
+  std::vector<RowId> rids;
+  CDPD_RETURN_IF_ERROR(LocateMatches(statement, statement.select_column,
+                                     result.plan, stats, &rids,
+                                     &result.values));
+  result.rows_affected = static_cast<int64_t>(result.values.size());
+  return result;
+}
+
+Result<ExecutionResult> Executor::ExecuteUpdate(const BoundStatement& statement,
+                                                AccessStats* stats) {
+  const std::string& table_name = model_->schema().table_name();
+  const Configuration config = catalog_->CurrentConfiguration(table_name);
+  CDPD_ASSIGN_OR_RETURN(Table* table, catalog_->GetTableMutable(table_name));
+
+  ExecutionResult result;
+  result.plan = model_->ChooseAccessPath(statement, config);
+
+  // Locate all matching rows first (half-way updates must not re-match).
+  std::vector<RowId> rids;
+  std::vector<Value> old_values;
+  CDPD_RETURN_IF_ERROR(LocateMatches(statement, statement.where_column,
+                                     result.plan, stats, &rids, &old_values));
+
+  // Indexes whose key contains the updated column need maintenance.
+  std::vector<BTree*> affected;
+  for (const IndexDef& def : config.indexes()) {
+    if (!def.ContainsColumn(statement.set_column)) continue;
+    CDPD_ASSIGN_OR_RETURN(BTree * tree,
+                          catalog_->GetIndexMutable(table_name, def));
+    affected.push_back(tree);
+  }
+
+  for (RowId rid : rids) {
+    std::vector<IndexEntry> old_entries;
+    old_entries.reserve(affected.size());
+    for (BTree* tree : affected) {
+      old_entries.push_back(
+          IndexEntry{ExtractKey(*table, tree->def(), rid), rid});
+    }
+    // Rewrite the heap row (read + write of its page).
+    stats->random_pages += 1;
+    stats->written_pages += 1;
+    CDPD_RETURN_IF_ERROR(
+        table->SetValue(rid, statement.set_column, statement.set_value));
+    for (size_t i = 0; i < affected.size(); ++i) {
+      BTree* tree = affected[i];
+      if (!tree->Erase(old_entries[i], stats)) {
+        return Status::Internal("index entry missing during UPDATE");
+      }
+      tree->Insert(IndexEntry{ExtractKey(*table, tree->def(), rid), rid},
+                   stats);
+    }
+  }
+  result.rows_affected = static_cast<int64_t>(rids.size());
+  return result;
+}
+
+Result<ExecutionResult> Executor::ExecuteInsert(const BoundStatement& statement,
+                                                AccessStats* stats) {
+  const std::string& table_name = model_->schema().table_name();
+  CDPD_ASSIGN_OR_RETURN(Table* table, catalog_->GetTableMutable(table_name));
+  const Configuration config = catalog_->CurrentConfiguration(table_name);
+
+  CDPD_ASSIGN_OR_RETURN(RowId rid, table->AppendRow(statement.insert_values));
+  stats->written_pages += 1;  // Amortized heap page write.
+  for (const IndexDef& def : config.indexes()) {
+    CDPD_ASSIGN_OR_RETURN(BTree * tree,
+                          catalog_->GetIndexMutable(table_name, def));
+    tree->Insert(IndexEntry{ExtractKey(*table, def, rid), rid}, stats);
+  }
+  ExecutionResult result;
+  result.rows_affected = 1;
+  return result;
+}
+
+Result<ExecutionResult> Executor::Execute(const BoundStatement& statement,
+                                          AccessStats* stats) {
+  switch (statement.type) {
+    case StatementType::kSelectPoint:
+    case StatementType::kSelectRange:
+      return ExecuteSelect(statement, stats);
+    case StatementType::kUpdatePoint:
+      return ExecuteUpdate(statement, stats);
+    case StatementType::kInsert:
+      return ExecuteInsert(statement, stats);
+  }
+  return Status::InvalidArgument("unknown statement type");
+}
+
+}  // namespace cdpd

@@ -1,0 +1,63 @@
+#ifndef CDPD_ENGINE_EXECUTOR_H_
+#define CDPD_ENGINE_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "catalog/catalog.h"
+#include "common/result.h"
+#include "cost/cost_model.h"
+#include "storage/access_stats.h"
+#include "workload/statement.h"
+
+namespace cdpd {
+
+/// Outcome of executing one statement.
+struct ExecutionResult {
+  /// For SELECT: the selected column's values of all matching rows
+  /// (in plan order — sort before comparing across plans).
+  std::vector<Value> values;
+  /// Rows returned (SELECT), updated (UPDATE) or inserted (INSERT).
+  int64_t rows_affected = 0;
+  /// The access path that was executed.
+  AccessPathChoice plan;
+};
+
+/// Physically executes bound statements against the catalog's tables
+/// and B+-trees. Plans are chosen by the same CostModel the design
+/// advisor prices with, so estimated and executed plans agree (a
+/// property the tests enforce). All physical work is charged to the
+/// caller's AccessStats.
+class Executor {
+ public:
+  /// `catalog` and `model` must outlive the executor.
+  Executor(Catalog* catalog, const CostModel* model)
+      : catalog_(catalog), model_(model) {}
+
+  /// Executes one statement against the table named by the cost
+  /// model's schema.
+  Result<ExecutionResult> Execute(const BoundStatement& statement,
+                                  AccessStats* stats);
+
+ private:
+  Result<ExecutionResult> ExecuteSelect(const BoundStatement& statement,
+                                        AccessStats* stats);
+  Result<ExecutionResult> ExecuteUpdate(const BoundStatement& statement,
+                                        AccessStats* stats);
+  Result<ExecutionResult> ExecuteInsert(const BoundStatement& statement,
+                                        AccessStats* stats);
+
+  /// Runs the chosen access path for a point predicate; emits
+  /// (rid, value of `select_column`) pairs via out-vectors.
+  Status LocateMatches(const BoundStatement& statement,
+                       ColumnId select_column, const AccessPathChoice& plan,
+                       AccessStats* stats, std::vector<RowId>* rids,
+                       std::vector<Value>* values);
+
+  Catalog* catalog_;
+  const CostModel* model_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_ENGINE_EXECUTOR_H_

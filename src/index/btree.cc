@@ -1,0 +1,312 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+namespace cdpd {
+
+namespace {
+
+/// Operator< for std::upper_bound / std::lower_bound over entries.
+bool EntryLess(const IndexEntry& a, const IndexEntry& b) { return a < b; }
+
+}  // namespace
+
+BTree::BTree(IndexDef def)
+    : def_(std::move(def)),
+      leaf_capacity_(IndexEntriesPerPage(def_.num_key_columns())),
+      internal_fanout_(std::max<int64_t>(
+          2, kPageSizeBytes / IndexEntryBytes(def_.num_key_columns()))) {
+  auto leaf = std::make_unique<Leaf>();
+  first_leaf_ = leaf.get();
+  root_ = std::move(leaf);
+  num_leaves_ = 1;
+}
+
+const BTree::Leaf* BTree::FindLeaf(const IndexEntry& search) const {
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    const auto* internal = static_cast<const Internal*>(node);
+    const size_t child =
+        static_cast<size_t>(std::upper_bound(internal->separators.begin(),
+                                             internal->separators.end(),
+                                             search, EntryLess) -
+                            internal->separators.begin());
+    node = internal->children[child].get();
+  }
+  return static_cast<const Leaf*>(node);
+}
+
+size_t BTree::LowerBoundInLeaf(const Leaf& leaf, const IndexEntry& search) {
+  return static_cast<size_t>(std::lower_bound(leaf.entries.begin(),
+                                              leaf.entries.end(), search,
+                                              EntryLess) -
+                             leaf.entries.begin());
+}
+
+void BTree::BulkLoad(std::vector<IndexEntry> entries, AccessStats* stats) {
+  assert(std::is_sorted(entries.begin(), entries.end(), EntryLess));
+  num_entries_ = static_cast<int64_t>(entries.size());
+
+  if (entries.empty()) {
+    auto leaf = std::make_unique<Leaf>();
+    first_leaf_ = leaf.get();
+    root_ = std::move(leaf);
+    num_leaves_ = 1;
+    height_ = 1;
+    stats->written_pages += 1;
+    return;
+  }
+
+  // Level 0: pack entries into full leaves, chained left to right.
+  std::vector<std::unique_ptr<Node>> level;
+  std::vector<IndexEntry> level_min_entry;
+  Leaf* prev = nullptr;
+  for (size_t begin = 0; begin < entries.size();
+       begin += static_cast<size_t>(leaf_capacity_)) {
+    const size_t end =
+        std::min(entries.size(), begin + static_cast<size_t>(leaf_capacity_));
+    auto leaf = std::make_unique<Leaf>();
+    leaf->entries.assign(entries.begin() + static_cast<int64_t>(begin),
+                         entries.begin() + static_cast<int64_t>(end));
+    if (prev == nullptr) {
+      first_leaf_ = leaf.get();
+    } else {
+      prev->next = leaf.get();
+    }
+    prev = leaf.get();
+    level_min_entry.push_back(leaf->entries.front());
+    level.push_back(std::move(leaf));
+  }
+  num_leaves_ = static_cast<int64_t>(level.size());
+  stats->written_pages += num_leaves_;
+  height_ = 1;
+
+  // Upper levels: group `internal_fanout_` children per node.
+  while (level.size() > 1) {
+    std::vector<std::unique_ptr<Node>> next_level;
+    std::vector<IndexEntry> next_min_entry;
+    for (size_t begin = 0; begin < level.size();
+         begin += static_cast<size_t>(internal_fanout_)) {
+      const size_t end = std::min(
+          level.size(), begin + static_cast<size_t>(internal_fanout_));
+      auto internal = std::make_unique<Internal>();
+      for (size_t i = begin; i < end; ++i) {
+        if (i > begin) internal->separators.push_back(level_min_entry[i]);
+        internal->children.push_back(std::move(level[i]));
+      }
+      next_min_entry.push_back(level_min_entry[begin]);
+      next_level.push_back(std::move(internal));
+      stats->written_pages += 1;
+    }
+    level = std::move(next_level);
+    level_min_entry = std::move(next_min_entry);
+    ++height_;
+  }
+  root_ = std::move(level.front());
+}
+
+std::unique_ptr<BTree::SplitResult> BTree::InsertInto(Node* node,
+                                                      const IndexEntry& entry,
+                                                      bool* inserted,
+                                                      AccessStats* stats) {
+  if (node->is_leaf) {
+    auto* leaf = static_cast<Leaf*>(node);
+    const size_t pos = LowerBoundInLeaf(*leaf, entry);
+    if (pos < leaf->entries.size() && leaf->entries[pos] == entry) {
+      *inserted = false;
+      return nullptr;
+    }
+    leaf->entries.insert(leaf->entries.begin() + static_cast<int64_t>(pos),
+                         entry);
+    *inserted = true;
+    if (static_cast<int64_t>(leaf->entries.size()) <= leaf_capacity_) {
+      return nullptr;
+    }
+    // Split the leaf in half; the right half starts a new page.
+    auto right = std::make_unique<Leaf>();
+    const size_t mid = leaf->entries.size() / 2;
+    right->entries.assign(leaf->entries.begin() + static_cast<int64_t>(mid),
+                          leaf->entries.end());
+    leaf->entries.resize(mid);
+    right->next = leaf->next;
+    leaf->next = right.get();
+    ++num_leaves_;
+    stats->written_pages += 1;
+    auto result = std::make_unique<SplitResult>();
+    result->separator = right->entries.front();
+    result->right = std::move(right);
+    return result;
+  }
+
+  auto* internal = static_cast<Internal*>(node);
+  const size_t child_index =
+      static_cast<size_t>(std::upper_bound(internal->separators.begin(),
+                                           internal->separators.end(), entry,
+                                           EntryLess) -
+                          internal->separators.begin());
+  auto split =
+      InsertInto(internal->children[child_index].get(), entry, inserted, stats);
+  if (split == nullptr) return nullptr;
+
+  internal->separators.insert(
+      internal->separators.begin() + static_cast<int64_t>(child_index),
+      split->separator);
+  internal->children.insert(
+      internal->children.begin() + static_cast<int64_t>(child_index) + 1,
+      std::move(split->right));
+  if (static_cast<int64_t>(internal->children.size()) <= internal_fanout_) {
+    return nullptr;
+  }
+  // Split the internal node; the middle separator is promoted.
+  auto right = std::make_unique<Internal>();
+  const size_t mid = internal->children.size() / 2;
+  IndexEntry promoted = internal->separators[mid - 1];
+  right->separators.assign(
+      internal->separators.begin() + static_cast<int64_t>(mid),
+      internal->separators.end());
+  for (size_t i = mid; i < internal->children.size(); ++i) {
+    right->children.push_back(std::move(internal->children[i]));
+  }
+  internal->separators.resize(mid - 1);
+  internal->children.resize(mid);
+  stats->written_pages += 1;
+  auto result = std::make_unique<SplitResult>();
+  result->separator = promoted;
+  result->right = std::move(right);
+  return result;
+}
+
+bool BTree::Insert(const IndexEntry& entry, AccessStats* stats) {
+  stats->random_pages += height_;
+  bool inserted = false;
+  auto split = InsertInto(root_.get(), entry, &inserted, stats);
+  if (!inserted) return false;
+  stats->written_pages += 1;
+  ++num_entries_;
+  if (split != nullptr) {
+    auto new_root = std::make_unique<Internal>();
+    new_root->separators.push_back(split->separator);
+    new_root->children.push_back(std::move(root_));
+    new_root->children.push_back(std::move(split->right));
+    root_ = std::move(new_root);
+    ++height_;
+    stats->written_pages += 1;
+  }
+  return true;
+}
+
+bool BTree::Erase(const IndexEntry& entry, AccessStats* stats) {
+  stats->random_pages += height_;
+  Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto* internal = static_cast<Internal*>(node);
+    const size_t child =
+        static_cast<size_t>(std::upper_bound(internal->separators.begin(),
+                                             internal->separators.end(), entry,
+                                             EntryLess) -
+                            internal->separators.begin());
+    node = internal->children[child].get();
+  }
+  auto* leaf = static_cast<Leaf*>(node);
+  const size_t pos = LowerBoundInLeaf(*leaf, entry);
+  if (pos >= leaf->entries.size() || !(leaf->entries[pos] == entry)) {
+    return false;
+  }
+  leaf->entries.erase(leaf->entries.begin() + static_cast<int64_t>(pos));
+  --num_entries_;
+  stats->written_pages += 1;
+  return true;
+}
+
+int64_t BTree::total_pages() const {
+  // Count nodes level by level without recursion.
+  int64_t total = 0;
+  std::vector<const Node*> level = {root_.get()};
+  while (!level.empty()) {
+    total += static_cast<int64_t>(level.size());
+    std::vector<const Node*> next;
+    for (const Node* node : level) {
+      if (!node->is_leaf) {
+        for (const auto& child : static_cast<const Internal*>(node)->children) {
+          next.push_back(child.get());
+        }
+      }
+    }
+    level = std::move(next);
+  }
+  return total;
+}
+
+bool BTree::CheckNode(const Node* node, const IndexEntry* lo,
+                      const IndexEntry* hi, int64_t* entries, int64_t* leaves,
+                      int64_t depth, int64_t* leaf_depth,
+                      const Leaf** chain) const {
+  if (node->is_leaf) {
+    const auto* leaf = static_cast<const Leaf*>(node);
+    if (*leaf_depth == -1) {
+      *leaf_depth = depth;
+    } else if (*leaf_depth != depth) {
+      return false;  // Leaves at different depths.
+    }
+    if (static_cast<int64_t>(leaf->entries.size()) > leaf_capacity_) {
+      return false;
+    }
+    for (size_t i = 0; i < leaf->entries.size(); ++i) {
+      const IndexEntry& e = leaf->entries[i];
+      if (i > 0 && !(leaf->entries[i - 1] < e)) return false;
+      if (lo != nullptr && e < *lo) return false;
+      if (hi != nullptr && !(e < *hi)) return false;
+    }
+    if (*chain != leaf) return false;  // Chain order must match traversal.
+    *chain = leaf->next;
+    *entries += static_cast<int64_t>(leaf->entries.size());
+    *leaves += 1;
+    return true;
+  }
+  const auto* internal = static_cast<const Internal*>(node);
+  if (internal->children.size() != internal->separators.size() + 1) {
+    return false;
+  }
+  if (static_cast<int64_t>(internal->children.size()) > internal_fanout_) {
+    return false;
+  }
+  for (size_t i = 0; i + 1 < internal->separators.size(); ++i) {
+    if (!(internal->separators[i] < internal->separators[i + 1])) return false;
+  }
+  for (size_t i = 0; i < internal->children.size(); ++i) {
+    const IndexEntry* child_lo = i == 0 ? lo : &internal->separators[i - 1];
+    const IndexEntry* child_hi =
+        i == internal->separators.size() ? hi : &internal->separators[i];
+    if (!CheckNode(internal->children[i].get(), child_lo, child_hi, entries,
+                   leaves, depth + 1, leaf_depth, chain)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BTree::CheckInvariants() const {
+  int64_t entries = 0;
+  int64_t leaves = 0;
+  int64_t leaf_depth = -1;
+  const Leaf* chain = first_leaf_;
+  if (!CheckNode(root_.get(), nullptr, nullptr, &entries, &leaves, 1,
+                 &leaf_depth, &chain)) {
+    return false;
+  }
+  if (chain != nullptr) return false;  // Chain longer than the tree.
+  if (entries != num_entries_) return false;
+  if (leaves != num_leaves_) return false;
+  if (leaf_depth != height_) return false;
+  return true;
+}
+
+CompositeKey ExtractKey(const Table& table, const IndexDef& def, RowId row) {
+  CompositeKey key;
+  for (ColumnId column : def.key_columns()) {
+    key.Append(table.GetValue(row, column));
+  }
+  return key;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,40 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+
+namespace cdpd {
+
+Result<std::unique_ptr<BTree>> BuildIndex(const Table& table,
+                                          const IndexDef& def,
+                                          AccessStats* stats) {
+  if (def.num_key_columns() == 0) {
+    return Status::InvalidArgument("index needs at least one key column");
+  }
+  if (def.num_key_columns() > kMaxIndexKeyColumns) {
+    return Status::InvalidArgument(
+        "index has " + std::to_string(def.num_key_columns()) +
+        " key columns; the engine supports at most " +
+        std::to_string(kMaxIndexKeyColumns));
+  }
+  for (ColumnId column : def.key_columns()) {
+    if (column < 0 || column >= table.schema().num_columns()) {
+      return Status::InvalidArgument("index references column id " +
+                                     std::to_string(column) +
+                                     " outside the table schema");
+    }
+  }
+
+  std::vector<IndexEntry> entries;
+  entries.reserve(static_cast<size_t>(table.num_rows()));
+  table.Scan(stats, [&](RowId row) {
+    entries.push_back(IndexEntry{ExtractKey(table, def, row), row});
+  });
+  stats->rows_examined += table.num_rows();
+  std::sort(entries.begin(), entries.end());
+
+  auto tree = std::make_unique<BTree>(def);
+  tree->BulkLoad(std::move(entries), stats);
+  return tree;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,26 @@
+#ifndef CDPD_INDEX_INDEX_BUILDER_H_
+#define CDPD_INDEX_INDEX_BUILDER_H_
+
+#include <memory>
+
+#include "common/result.h"
+#include "index/btree.h"
+#include "storage/table.h"
+
+namespace cdpd {
+
+/// Materializes the B+-tree for `def` over `table`: scans the heap,
+/// sorts the extracted (key, rid) entries, and bulk-loads the tree —
+/// the physical work that TRANS() prices when a design transition
+/// creates an index. Charges the heap scan, the examined rows, and the
+/// written pages to `stats`.
+///
+/// Fails with InvalidArgument if `def` references columns outside the
+/// table's schema or exceeds kMaxIndexKeyColumns.
+Result<std::unique_ptr<BTree>> BuildIndex(const Table& table,
+                                          const IndexDef& def,
+                                          AccessStats* stats);
+
+}  // namespace cdpd
+
+#endif  // CDPD_INDEX_INDEX_BUILDER_H_

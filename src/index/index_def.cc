@@ -1,0 +1,83 @@
+#include "index/index_def.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "storage/page.h"
+
+namespace cdpd {
+
+Result<IndexDef> IndexDef::FromColumnNames(
+    const Schema& schema, const std::vector<std::string>& names) {
+  if (names.empty()) {
+    return Status::InvalidArgument("index needs at least one key column");
+  }
+  std::vector<ColumnId> columns;
+  columns.reserve(names.size());
+  for (const auto& name : names) {
+    CDPD_ASSIGN_OR_RETURN(ColumnId id, schema.FindColumn(name));
+    if (std::find(columns.begin(), columns.end(), id) != columns.end()) {
+      return Status::InvalidArgument("duplicate key column '" + name + "'");
+    }
+    columns.push_back(id);
+  }
+  return IndexDef(std::move(columns));
+}
+
+bool IndexDef::ContainsColumn(ColumnId column) const {
+  return std::find(key_columns_.begin(), key_columns_.end(), column) !=
+         key_columns_.end();
+}
+
+int64_t IndexDef::LeafPages(int64_t num_rows) const {
+  return IndexLeafPages(num_rows, num_key_columns());
+}
+
+int64_t IndexDef::Height(int64_t num_rows) const {
+  // Internal fan-out: separators are full keys plus a child pointer.
+  const int64_t fanout =
+      std::max<int64_t>(2, kPageSizeBytes / (IndexEntryBytes(num_key_columns())));
+  return TreeHeight(LeafPages(num_rows), fanout);
+}
+
+int64_t IndexDef::SizePages(int64_t num_rows) const {
+  const int64_t leaves = LeafPages(num_rows);
+  const int64_t fanout =
+      std::max<int64_t>(2, kPageSizeBytes / (IndexEntryBytes(num_key_columns())));
+  // Sum of all levels above the leaves.
+  int64_t total = leaves;
+  int64_t level = leaves;
+  while (level > 1) {
+    level = CeilDiv(level, fanout);
+    total += level;
+  }
+  return total;
+}
+
+std::string IndexDef::ToString(const Schema& schema) const {
+  std::vector<std::string> names;
+  names.reserve(key_columns_.size());
+  for (ColumnId id : key_columns_) names.push_back(schema.column_name(id));
+  return "I(" + Join(names, ",") + ")";
+}
+
+size_t IndexDefHash::operator()(const IndexDef& def) const {
+  size_t h = 0x9e3779b97f4a7c15ULL;
+  for (ColumnId id : def.key_columns()) {
+    h ^= static_cast<size_t>(id) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+std::vector<IndexDef> MakePaperCandidateIndexes(const Schema& schema) {
+  auto col = [&schema](const char* name) {
+    return schema.FindColumn(name).value();
+  };
+  return {
+      IndexDef({col("a")}),           IndexDef({col("b")}),
+      IndexDef({col("c")}),           IndexDef({col("d")}),
+      IndexDef({col("a"), col("b")}), IndexDef({col("c"), col("d")}),
+  };
+}
+
+}  // namespace cdpd

@@ -1,0 +1,78 @@
+#ifndef CDPD_INDEX_INDEX_DEF_H_
+#define CDPD_INDEX_INDEX_DEF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/schema.h"
+
+namespace cdpd {
+
+/// Logical definition of a B+-tree index: an ordered list of key
+/// columns of one table. IndexDef is an immutable value type — it is
+/// what physical-design configurations are made of; the physical tree
+/// (index/btree.h) is materialized from it by the engine when a design
+/// transition creates the index.
+class IndexDef {
+ public:
+  IndexDef() = default;
+  explicit IndexDef(std::vector<ColumnId> key_columns)
+      : key_columns_(std::move(key_columns)) {}
+
+  /// Parses "I(a,b)" / "a,b" style column lists against a schema.
+  static Result<IndexDef> FromColumnNames(
+      const Schema& schema, const std::vector<std::string>& names);
+
+  const std::vector<ColumnId>& key_columns() const { return key_columns_; }
+  int32_t num_key_columns() const {
+    return static_cast<int32_t>(key_columns_.size());
+  }
+
+  /// True if `column` is the first key column — a point predicate on it
+  /// can be answered with a B+-tree seek.
+  bool HasPrefixColumn(ColumnId column) const {
+    return !key_columns_.empty() && key_columns_[0] == column;
+  }
+
+  /// True if `column` appears anywhere in the key — a point predicate
+  /// on it can be answered with a covering scan of the leaf level.
+  bool ContainsColumn(ColumnId column) const;
+
+  /// Size of the index in pages for a table of `num_rows` rows
+  /// (leaf level plus upper levels).
+  int64_t SizePages(int64_t num_rows) const;
+
+  /// Pages of the leaf level only (what a covering scan reads).
+  int64_t LeafPages(int64_t num_rows) const;
+
+  /// Pages on a root-to-leaf descent (what a seek reads).
+  int64_t Height(int64_t num_rows) const;
+
+  /// "I(a,b)" rendered against `schema`.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const IndexDef& other) const = default;
+  /// Lexicographic order on key columns, for use in ordered containers
+  /// and canonical configuration ordering.
+  bool operator<(const IndexDef& other) const {
+    return key_columns_ < other.key_columns_;
+  }
+
+ private:
+  std::vector<ColumnId> key_columns_;
+};
+
+/// Hash functor so IndexDef can key unordered containers.
+struct IndexDefHash {
+  size_t operator()(const IndexDef& def) const;
+};
+
+/// The six candidate indexes of the paper's experiments:
+/// I(a), I(b), I(c), I(d), I(a,b), I(c,d) — in that order.
+std::vector<IndexDef> MakePaperCandidateIndexes(const Schema& schema);
+
+}  // namespace cdpd
+
+#endif  // CDPD_INDEX_INDEX_DEF_H_

@@ -1,0 +1,50 @@
+#include "sql/ast.h"
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+namespace {
+
+std::string JoinValues(const std::vector<int64_t>& values) {
+  std::vector<std::string> parts;
+  parts.reserve(values.size());
+  for (int64_t v : values) parts.push_back(std::to_string(v));
+  return Join(parts, ", ");
+}
+
+struct AstPrinter {
+  std::string operator()(const SelectAst& s) const {
+    std::string out = "SELECT " + s.select_column + " FROM " + s.table +
+                      " WHERE " + s.where_column;
+    if (s.is_range) {
+      out += " BETWEEN " + std::to_string(s.where_lo) + " AND " +
+             std::to_string(s.where_hi);
+    } else {
+      out += " = " + std::to_string(s.where_value);
+    }
+    return out;
+  }
+  std::string operator()(const UpdateAst& s) const {
+    return "UPDATE " + s.table + " SET " + s.set_column + " = " +
+           std::to_string(s.set_value) + " WHERE " + s.where_column + " = " +
+           std::to_string(s.where_value);
+  }
+  std::string operator()(const InsertAst& s) const {
+    return "INSERT INTO " + s.table + " VALUES (" + JoinValues(s.values) + ")";
+  }
+  std::string operator()(const CreateIndexAst& s) const {
+    return "CREATE INDEX ON " + s.table + " (" + Join(s.columns, ", ") + ")";
+  }
+  std::string operator()(const DropIndexAst& s) const {
+    return "DROP INDEX ON " + s.table + " (" + Join(s.columns, ", ") + ")";
+  }
+};
+
+}  // namespace
+
+std::string AstToString(const StatementAst& ast) {
+  return std::visit(AstPrinter{}, ast);
+}
+
+}  // namespace cdpd

@@ -1,0 +1,71 @@
+#ifndef CDPD_SQL_AST_H_
+#define CDPD_SQL_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cdpd {
+
+/// SELECT <col> FROM <table> WHERE <col> = <int>
+///   or  ... WHERE <col> BETWEEN <int> AND <int>
+struct SelectAst {
+  std::string table;
+  std::string select_column;
+  std::string where_column;
+  bool is_range = false;
+  int64_t where_value = 0;  // Point predicate.
+  int64_t where_lo = 0;     // Inclusive range bounds.
+  int64_t where_hi = 0;
+
+  bool operator==(const SelectAst&) const = default;
+};
+
+/// UPDATE <table> SET <col> = <int> WHERE <col> = <int>
+struct UpdateAst {
+  std::string table;
+  std::string set_column;
+  int64_t set_value = 0;
+  std::string where_column;
+  int64_t where_value = 0;
+
+  bool operator==(const UpdateAst&) const = default;
+};
+
+/// INSERT INTO <table> VALUES (<int>, ...)
+struct InsertAst {
+  std::string table;
+  std::vector<int64_t> values;
+
+  bool operator==(const InsertAst&) const = default;
+};
+
+/// CREATE INDEX ON <table> (<col>, ...)
+struct CreateIndexAst {
+  std::string table;
+  std::vector<std::string> columns;
+
+  bool operator==(const CreateIndexAst&) const = default;
+};
+
+/// DROP INDEX ON <table> (<col>, ...)
+struct DropIndexAst {
+  std::string table;
+  std::vector<std::string> columns;
+
+  bool operator==(const DropIndexAst&) const = default;
+};
+
+/// A parsed statement of the dialect. DML (select/update/insert) binds
+/// to a BoundStatement for execution; DDL (create/drop index) maps to
+/// catalog operations — the physical actions of a design transition.
+using StatementAst = std::variant<SelectAst, UpdateAst, InsertAst,
+                                  CreateIndexAst, DropIndexAst>;
+
+/// Renders a statement back to canonical SQL text.
+std::string AstToString(const StatementAst& ast);
+
+}  // namespace cdpd
+
+#endif  // CDPD_SQL_AST_H_

@@ -1,0 +1,73 @@
+#include "sql/binder.h"
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+namespace {
+
+Status CheckTable(const Schema& schema, const std::string& table) {
+  if (!EqualsIgnoreCase(schema.table_name(), table)) {
+    return Status::InvalidArgument("unknown table '" + table +
+                                   "' (schema is '" + schema.table_name() +
+                                   "')");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<BoundStatement> BindStatement(const Schema& schema,
+                                     const StatementAst& ast) {
+  if (const auto* select = std::get_if<SelectAst>(&ast)) {
+    CDPD_RETURN_IF_ERROR(CheckTable(schema, select->table));
+    CDPD_ASSIGN_OR_RETURN(ColumnId select_col,
+                          schema.FindColumn(select->select_column));
+    CDPD_ASSIGN_OR_RETURN(ColumnId where_col,
+                          schema.FindColumn(select->where_column));
+    if (select->is_range) {
+      return BoundStatement::SelectRange(select_col, where_col,
+                                         select->where_lo, select->where_hi);
+    }
+    return BoundStatement::SelectPoint(select_col, where_col,
+                                       select->where_value);
+  }
+  if (const auto* update = std::get_if<UpdateAst>(&ast)) {
+    CDPD_RETURN_IF_ERROR(CheckTable(schema, update->table));
+    CDPD_ASSIGN_OR_RETURN(ColumnId set_col,
+                          schema.FindColumn(update->set_column));
+    CDPD_ASSIGN_OR_RETURN(ColumnId where_col,
+                          schema.FindColumn(update->where_column));
+    return BoundStatement::UpdatePoint(set_col, update->set_value, where_col,
+                                       update->where_value);
+  }
+  if (const auto* insert = std::get_if<InsertAst>(&ast)) {
+    CDPD_RETURN_IF_ERROR(CheckTable(schema, insert->table));
+    if (static_cast<int32_t>(insert->values.size()) != schema.num_columns()) {
+      return Status::InvalidArgument(
+          "INSERT supplies " + std::to_string(insert->values.size()) +
+          " values; table has " + std::to_string(schema.num_columns()) +
+          " columns");
+    }
+    return BoundStatement::Insert(insert->values);
+  }
+  return Status::InvalidArgument(
+      "statement is DDL; bind it with BindIndexDdl");
+}
+
+Result<IndexDef> BindIndexDdl(const Schema& schema, const StatementAst& ast,
+                              bool* create) {
+  if (const auto* create_ast = std::get_if<CreateIndexAst>(&ast)) {
+    CDPD_RETURN_IF_ERROR(CheckTable(schema, create_ast->table));
+    *create = true;
+    return IndexDef::FromColumnNames(schema, create_ast->columns);
+  }
+  if (const auto* drop_ast = std::get_if<DropIndexAst>(&ast)) {
+    CDPD_RETURN_IF_ERROR(CheckTable(schema, drop_ast->table));
+    *create = false;
+    return IndexDef::FromColumnNames(schema, drop_ast->columns);
+  }
+  return Status::InvalidArgument("statement is not CREATE/DROP INDEX");
+}
+
+}  // namespace cdpd

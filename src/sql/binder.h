@@ -1,0 +1,26 @@
+#ifndef CDPD_SQL_BINDER_H_
+#define CDPD_SQL_BINDER_H_
+
+#include "common/result.h"
+#include "index/index_def.h"
+#include "sql/ast.h"
+#include "storage/schema.h"
+#include "workload/statement.h"
+
+namespace cdpd {
+
+/// Resolves a DML statement AST (SELECT/UPDATE/INSERT) against `schema`
+/// into the executable BoundStatement form. Fails with InvalidArgument
+/// for unknown tables/columns, arity mismatches, or DDL input (DDL is
+/// bound with BindIndexDdl instead).
+Result<BoundStatement> BindStatement(const Schema& schema,
+                                     const StatementAst& ast);
+
+/// Resolves CREATE/DROP INDEX DDL to the IndexDef it refers to.
+/// `create` is set to true for CREATE, false for DROP.
+Result<IndexDef> BindIndexDdl(const Schema& schema, const StatementAst& ast,
+                              bool* create);
+
+}  // namespace cdpd
+
+#endif  // CDPD_SQL_BINDER_H_

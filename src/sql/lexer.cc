@@ -1,0 +1,119 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <limits>
+
+namespace cdpd {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    switch (c) {
+      case '(':
+        token.type = TokenType::kLeftParen;
+        token.text = "(";
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      case ')':
+        token.type = TokenType::kRightParen;
+        token.text = ")";
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      case ',':
+        token.type = TokenType::kComma;
+        token.text = ",";
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      case '=':
+        token.type = TokenType::kEquals;
+        token.text = "=";
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      case '*':
+        token.type = TokenType::kStar;
+        token.text = "*";
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      case ';':
+        token.type = TokenType::kSemicolon;
+        token.text = ";";
+        ++i;
+        tokens.push_back(std::move(token));
+        continue;
+      default:
+        break;
+    }
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      const bool negative = c == '-';
+      size_t j = i + (negative ? 1 : 0);
+      if (j >= sql.size() || !std::isdigit(static_cast<unsigned char>(sql[j]))) {
+        return Status::ParseError("stray '-' at offset " + std::to_string(i));
+      }
+      uint64_t magnitude = 0;
+      const uint64_t limit =
+          negative ? static_cast<uint64_t>(
+                         std::numeric_limits<int64_t>::max()) +
+                         1
+                   : static_cast<uint64_t>(std::numeric_limits<int64_t>::max());
+      while (j < sql.size() && std::isdigit(static_cast<unsigned char>(sql[j]))) {
+        const uint64_t digit = static_cast<uint64_t>(sql[j] - '0');
+        if (magnitude > (limit - digit) / 10) {
+          return Status::ParseError("integer literal out of range at offset " +
+                                    std::to_string(i));
+        }
+        magnitude = magnitude * 10 + digit;
+        ++j;
+      }
+      token.type = TokenType::kInteger;
+      token.text = std::string(sql.substr(i, j - i));
+      token.value = negative ? -static_cast<int64_t>(magnitude)
+                             : static_cast<int64_t>(magnitude);
+      i = j;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < sql.size() && IsIdentChar(sql[j])) ++j;
+      token.type = TokenType::kIdentifier;
+      token.text = std::string(sql.substr(i, j - i));
+      i = j;
+      tokens.push_back(std::move(token));
+      continue;
+    }
+    return Status::ParseError(std::string("unexpected character '") + c +
+                              "' at offset " + std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.position = sql.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace cdpd

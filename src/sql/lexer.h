@@ -1,0 +1,44 @@
+#ifndef CDPD_SQL_LEXER_H_
+#define CDPD_SQL_LEXER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cdpd {
+
+/// Token categories of the SQL subset (see sql/parser.h for the
+/// grammar).
+enum class TokenType {
+  kIdentifier,   // column / table / index names (also keywords, which
+                 // the parser matches case-insensitively by text)
+  kInteger,      // [-]?[0-9]+
+  kLeftParen,    // (
+  kRightParen,   // )
+  kComma,        // ,
+  kEquals,       // =
+  kStar,         // *
+  kSemicolon,    // ;
+  kEnd,          // end of input sentinel
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;     // Raw text (identifier spelling).
+  int64_t value = 0;    // For kInteger.
+  size_t position = 0;  // Byte offset in the input, for error messages.
+
+  bool operator==(const Token& other) const = default;
+};
+
+/// Tokenizes `sql`. Returns ParseError on any character outside the
+/// dialect or an out-of-range integer literal. The result always ends
+/// with a kEnd token.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace cdpd
+
+#endif  // CDPD_SQL_LEXER_H_

@@ -1,0 +1,31 @@
+#ifndef CDPD_SQL_PARSER_H_
+#define CDPD_SQL_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "sql/ast.h"
+
+namespace cdpd {
+
+/// Recursive-descent parser for the SQL dialect of the paper's
+/// workloads plus the DDL used by design transitions:
+///
+///   statement  := select | update | insert | create_index | drop_index
+///   select     := SELECT ident FROM ident WHERE ident
+///                 ('=' int | BETWEEN int AND int)
+///   update     := UPDATE ident SET ident '=' int WHERE ident '=' int
+///   insert     := INSERT INTO ident VALUES '(' int (',' int)* ')'
+///   create_index := CREATE INDEX ON ident '(' ident (',' ident)* ')'
+///   drop_index   := DROP INDEX ON ident '(' ident (',' ident)* ')'
+///
+/// Keywords are case-insensitive; statements may end with ';'.
+Result<StatementAst> ParseStatement(std::string_view sql);
+
+/// Parses a ';'-separated script (blank statements are skipped).
+Result<std::vector<StatementAst>> ParseScript(std::string_view sql);
+
+}  // namespace cdpd
+
+#endif  // CDPD_SQL_PARSER_H_

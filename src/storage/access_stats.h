@@ -1,0 +1,48 @@
+#ifndef CDPD_STORAGE_ACCESS_STATS_H_
+#define CDPD_STORAGE_ACCESS_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace cdpd {
+
+/// Counters of the physical work done by the execution engine. The
+/// engine tallies these during query execution and index maintenance;
+/// the cost model converts them to cost units, and Figure 3 reports
+/// workload execution in both page counts and wall time.
+struct AccessStats {
+  /// Pages read in sequential order (scans).
+  int64_t sequential_pages = 0;
+  /// Pages read in random order (B+-tree descents, heap fetches).
+  int64_t random_pages = 0;
+  /// Pages written (index builds, index maintenance, heap appends).
+  int64_t written_pages = 0;
+  /// Tuples examined by predicate evaluation.
+  int64_t rows_examined = 0;
+
+  AccessStats& operator+=(const AccessStats& other) {
+    sequential_pages += other.sequential_pages;
+    random_pages += other.random_pages;
+    written_pages += other.written_pages;
+    rows_examined += other.rows_examined;
+    return *this;
+  }
+
+  friend AccessStats operator+(AccessStats a, const AccessStats& b) {
+    a += b;
+    return a;
+  }
+
+  bool operator==(const AccessStats& other) const = default;
+
+  std::string ToString() const {
+    return "seq=" + std::to_string(sequential_pages) +
+           " rand=" + std::to_string(random_pages) +
+           " written=" + std::to_string(written_pages) +
+           " rows=" + std::to_string(rows_examined);
+  }
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_STORAGE_ACCESS_STATS_H_

@@ -1,0 +1,55 @@
+#ifndef CDPD_STORAGE_PAGE_H_
+#define CDPD_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+#include "common/math_util.h"
+
+namespace cdpd {
+
+/// Page geometry. The storage layer is columnar in memory but accounts
+/// for accesses in units of row-store pages, mirroring the disk-based
+/// system (SQL Server 2005) that the paper ran on; the design advisor's
+/// cost model is defined over these page counts.
+inline constexpr int64_t kPageSizeBytes = 8192;
+
+/// Bytes per stored int64 value.
+inline constexpr int64_t kValueBytes = 8;
+
+/// Fixed per-row header in the heap (slot + null bitmap + row overhead).
+inline constexpr int64_t kRowHeaderBytes = 8;
+
+/// Per-entry overhead of a B+-tree leaf entry beyond its key columns:
+/// the RowId pointer.
+inline constexpr int64_t kIndexEntryOverheadBytes = 8;
+
+/// Rows that fit one heap page for a row of `row_bytes` bytes.
+constexpr int64_t RowsPerPage(int64_t row_bytes) {
+  return kPageSizeBytes / row_bytes;
+}
+
+/// Number of heap pages needed for `num_rows` rows of `row_bytes` bytes.
+constexpr int64_t HeapPages(int64_t num_rows, int64_t row_bytes) {
+  if (num_rows == 0) return 0;
+  return CeilDiv(num_rows, RowsPerPage(row_bytes));
+}
+
+/// Bytes of one B+-tree leaf entry with `num_key_columns` key columns.
+constexpr int64_t IndexEntryBytes(int32_t num_key_columns) {
+  return kValueBytes * num_key_columns + kIndexEntryOverheadBytes;
+}
+
+/// Leaf entries that fit one index page.
+constexpr int64_t IndexEntriesPerPage(int32_t num_key_columns) {
+  return kPageSizeBytes / IndexEntryBytes(num_key_columns);
+}
+
+/// Number of leaf pages of an index over `num_rows` rows.
+constexpr int64_t IndexLeafPages(int64_t num_rows, int32_t num_key_columns) {
+  if (num_rows == 0) return 0;
+  return CeilDiv(num_rows, IndexEntriesPerPage(num_key_columns));
+}
+
+}  // namespace cdpd
+
+#endif  // CDPD_STORAGE_PAGE_H_

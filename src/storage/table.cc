@@ -1,0 +1,57 @@
+#include "storage/table.h"
+
+#include "storage/page.h"
+
+namespace cdpd {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.resize(static_cast<size_t>(schema_.num_columns()));
+}
+
+int64_t Table::heap_pages() const {
+  return HeapPages(num_rows_, schema_.RowBytes());
+}
+
+Result<RowId> Table::AppendRow(const std::vector<Value>& row) {
+  if (static_cast<int32_t>(row.size()) != schema_.num_columns()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, table '" +
+        schema_.table_name() + "' has " +
+        std::to_string(schema_.num_columns()) + " columns");
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    columns_[i].push_back(row[i]);
+  }
+  return num_rows_++;
+}
+
+Status Table::SetValue(RowId row, ColumnId column, Value value) {
+  if (row < 0 || row >= num_rows_) {
+    return Status::OutOfRange("row id " + std::to_string(row) +
+                              " out of range");
+  }
+  if (column < 0 || column >= schema_.num_columns()) {
+    return Status::OutOfRange("column id " + std::to_string(column) +
+                              " out of range");
+  }
+  columns_[static_cast<size_t>(column)][static_cast<size_t>(row)] = value;
+  return Status::OK();
+}
+
+void Table::PopulateUniform(int64_t num_rows, Value lo, Value hi, Rng* rng) {
+  for (auto& column : columns_) {
+    column.reserve(column.size() + static_cast<size_t>(num_rows));
+  }
+  for (int64_t i = 0; i < num_rows; ++i) {
+    for (auto& column : columns_) {
+      column.push_back(rng->UniformInt(lo, hi - 1));
+    }
+  }
+  num_rows_ += num_rows;
+}
+
+void Table::ChargeRandomFetch(RowId /*row*/, AccessStats* stats) const {
+  stats->random_pages += 1;
+}
+
+}  // namespace cdpd

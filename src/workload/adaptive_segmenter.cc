@@ -1,0 +1,84 @@
+#include "workload/adaptive_segmenter.h"
+
+#include <cmath>
+
+namespace cdpd {
+
+namespace {
+
+/// Unnormalized predicate-column counts of [begin, end).
+std::vector<double> CountColumns(std::span<const BoundStatement> statements,
+                                 size_t begin, size_t end,
+                                 size_t num_columns) {
+  std::vector<double> counts(num_columns, 0.0);
+  for (size_t i = begin; i < end; ++i) {
+    const BoundStatement& s = statements[i];
+    switch (s.type) {
+      case StatementType::kSelectPoint:
+      case StatementType::kSelectRange:
+      case StatementType::kUpdatePoint:
+        counts[static_cast<size_t>(s.where_column)] += 1;
+        break;
+      case StatementType::kInsert:
+        break;
+    }
+  }
+  return counts;
+}
+
+/// Total-variation distance between two count vectors after
+/// normalization (0 if either is empty).
+double Distance(const std::vector<double>& a, const std::vector<double>& b) {
+  double total_a = 0;
+  double total_b = 0;
+  for (double v : a) total_a += v;
+  for (double v : b) total_b += v;
+  if (total_a == 0 || total_b == 0) return 0.0;
+  double tv = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    tv += std::abs(a[i] / total_a - b[i] / total_b);
+  }
+  return tv / 2.0;
+}
+
+}  // namespace
+
+std::vector<Segment> SegmentAdaptive(
+    const Schema& schema, std::span<const BoundStatement> statements,
+    const AdaptiveSegmentOptions& options) {
+  std::vector<Segment> segments;
+  if (options.base_block_size == 0 || statements.empty()) return segments;
+  const std::vector<Segment> blocks =
+      SegmentFixed(statements.size(), options.base_block_size);
+  const auto num_columns = static_cast<size_t>(schema.num_columns());
+
+  Segment current = blocks[0];
+  std::vector<double> current_counts =
+      CountColumns(statements, current.begin, current.end, num_columns);
+  size_t current_blocks = 1;
+
+  for (size_t b = 1; b < blocks.size(); ++b) {
+    const Segment& block = blocks[b];
+    const std::vector<double> block_counts =
+        CountColumns(statements, block.begin, block.end, num_columns);
+    const bool under_cap = options.max_segment_blocks == 0 ||
+                           current_blocks < options.max_segment_blocks;
+    if (under_cap &&
+        Distance(current_counts, block_counts) <= options.merge_threshold) {
+      current.end = block.end;
+      for (size_t c = 0; c < num_columns; ++c) {
+        current_counts[c] += block_counts[c];
+      }
+      ++current_blocks;
+    } else {
+      segments.push_back(current);
+      current = block;
+      current_counts = block_counts;
+      current_blocks = 1;
+    }
+  }
+  segments.push_back(current);
+  return segments;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,41 @@
+#ifndef CDPD_WORKLOAD_ADAPTIVE_SEGMENTER_H_
+#define CDPD_WORKLOAD_ADAPTIVE_SEGMENTER_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "storage/schema.h"
+#include "workload/statement.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// Options for distribution-driven segmentation.
+struct AdaptiveSegmentOptions {
+  /// Resolution: statements per base block. Segment boundaries only
+  /// fall on base-block boundaries.
+  size_t base_block_size = 500;
+  /// Adjacent blocks merge into one stage while the total-variation
+  /// distance between the running segment's predicate-column
+  /// distribution and the next block's stays at or below this.
+  double merge_threshold = 0.15;
+  /// Cap on blocks per segment (0 = unlimited). Bounding segment
+  /// length keeps EXEC profiles from averaging away slow drift.
+  size_t max_segment_blocks = 0;
+};
+
+/// Cuts a statement sequence into variable-length stages whose
+/// contents are distributionally homogeneous: blocks are merged while
+/// the workload "looks the same" and a new stage starts when it
+/// shifts. Compared to fixed-size stages this shrinks the sequence
+/// graph (fewer stages where the workload is stable) without blurring
+/// phase boundaries — the failure mode of large fixed blocks that
+/// Ablation D exposes. Fully deterministic.
+std::vector<Segment> SegmentAdaptive(const Schema& schema,
+                                     std::span<const BoundStatement> statements,
+                                     const AdaptiveSegmentOptions& options = {});
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_ADAPTIVE_SEGMENTER_H_

@@ -1,0 +1,100 @@
+#include "workload/generator.h"
+
+namespace cdpd {
+
+WorkloadGenerator::WorkloadGenerator(Schema schema, int64_t domain_size,
+                                     uint64_t seed)
+    : schema_(std::move(schema)), domain_size_(domain_size), rng_(seed) {}
+
+BoundStatement WorkloadGenerator::GenerateQuery(const QueryMix& mix) {
+  const auto column =
+      static_cast<ColumnId>(rng_.PickWeighted(mix.column_weights));
+  const Value value = rng_.UniformInt(0, domain_size_ - 1);
+  return BoundStatement::SelectPoint(column, column, value);
+}
+
+std::vector<BoundStatement> WorkloadGenerator::GenerateFromMix(
+    const QueryMix& mix, size_t count) {
+  std::vector<BoundStatement> statements;
+  statements.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    statements.push_back(GenerateQuery(mix));
+  }
+  return statements;
+}
+
+BoundStatement WorkloadGenerator::GenerateDml(const QueryMix& mix,
+                                              const DmlMixOptions& dml) {
+  // Bands of the unit interval: updates, inserts, ranges, then point
+  // queries for the remainder.
+  const double roll = rng_.NextDouble();
+  if (roll < dml.update_fraction) {
+    const auto where_column =
+        static_cast<ColumnId>(rng_.PickWeighted(mix.column_weights));
+    const auto set_column = static_cast<ColumnId>(
+        rng_.NextBounded(static_cast<uint64_t>(schema_.num_columns())));
+    return BoundStatement::UpdatePoint(
+        set_column, rng_.UniformInt(0, domain_size_ - 1), where_column,
+        rng_.UniformInt(0, domain_size_ - 1));
+  }
+  if (roll < dml.update_fraction + dml.insert_fraction) {
+    std::vector<Value> values;
+    values.reserve(static_cast<size_t>(schema_.num_columns()));
+    for (int32_t i = 0; i < schema_.num_columns(); ++i) {
+      values.push_back(rng_.UniformInt(0, domain_size_ - 1));
+    }
+    return BoundStatement::Insert(std::move(values));
+  }
+  if (roll <
+      dml.update_fraction + dml.insert_fraction + dml.range_fraction) {
+    const auto column =
+        static_cast<ColumnId>(rng_.PickWeighted(mix.column_weights));
+    const Value width = rng_.UniformInt(1, dml.max_range_width);
+    const Value lo = rng_.UniformInt(0, domain_size_ - 1);
+    const Value hi = std::min<Value>(lo + width - 1, domain_size_ - 1);
+    return BoundStatement::SelectRange(column, column, lo, hi);
+  }
+  return GenerateQuery(mix);
+}
+
+Result<Workload> WorkloadGenerator::GenerateBlocked(
+    const std::vector<QueryMix>& mixes, const std::vector<int>& blocks,
+    size_t block_size, const DmlMixOptions& dml) {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block_size must be positive");
+  }
+  if (dml.update_fraction < 0 || dml.insert_fraction < 0 ||
+      dml.range_fraction < 0 ||
+      dml.update_fraction + dml.insert_fraction + dml.range_fraction > 1.0) {
+    return Status::InvalidArgument("DML fractions must be in [0, 1]");
+  }
+  if (dml.range_fraction > 0 && dml.max_range_width < 1) {
+    return Status::InvalidArgument("max_range_width must be >= 1");
+  }
+  for (const QueryMix& mix : mixes) {
+    if (static_cast<int32_t>(mix.column_weights.size()) !=
+        schema_.num_columns()) {
+      return Status::InvalidArgument("mix '" + mix.name + "' weights " +
+                                     std::to_string(mix.column_weights.size()) +
+                                     " columns; schema has " +
+                                     std::to_string(schema_.num_columns()));
+    }
+  }
+  Workload workload;
+  workload.block_size = block_size;
+  workload.statements.reserve(blocks.size() * block_size);
+  for (int mix_index : blocks) {
+    if (mix_index < 0 || static_cast<size_t>(mix_index) >= mixes.size()) {
+      return Status::InvalidArgument("block references mix index " +
+                                     std::to_string(mix_index));
+    }
+    const QueryMix& mix = mixes[static_cast<size_t>(mix_index)];
+    workload.block_mix_names.push_back(mix.name);
+    for (size_t i = 0; i < block_size; ++i) {
+      workload.statements.push_back(GenerateDml(mix, dml));
+    }
+  }
+  return workload;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,64 @@
+#ifndef CDPD_WORKLOAD_GENERATOR_H_
+#define CDPD_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "workload/query_mix.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// Options for mixed DML generation (extension beyond the paper's pure
+/// point-query workloads: exercise index-maintenance costs).
+struct DmlMixOptions {
+  /// Fraction of statements that are UPDATEs (set a random column of
+  /// rows matched by a mix-drawn predicate).
+  double update_fraction = 0.0;
+  /// Fraction of statements that are INSERTs of a uniform random row.
+  double insert_fraction = 0.0;
+  /// Fraction of statements that are range SELECTs (BETWEEN) whose
+  /// predicate column is mix-drawn and whose width is uniform in
+  /// [1, max_range_width].
+  double range_fraction = 0.0;
+  int64_t max_range_width = 1000;
+};
+
+/// Generates the paper's workloads: point queries whose predicate (and
+/// selected) column is drawn from a QueryMix and whose literal is
+/// uniform in [0, domain_size). Deterministic given the Rng seed.
+class WorkloadGenerator {
+ public:
+  /// `schema` must have as many columns as the mixes weight.
+  WorkloadGenerator(Schema schema, int64_t domain_size, uint64_t seed);
+
+  const Schema& schema() const { return schema_; }
+
+  /// One point query drawn from `mix`.
+  BoundStatement GenerateQuery(const QueryMix& mix);
+
+  /// `count` point queries drawn from `mix`.
+  std::vector<BoundStatement> GenerateFromMix(const QueryMix& mix,
+                                              size_t count);
+
+  /// A phased workload: blocks[i] names the mix (index into `mixes`)
+  /// of the i-th block of `block_size` statements. Optionally blends in
+  /// updates/inserts per `dml`. This is the shape of W1/W2/W3.
+  Result<Workload> GenerateBlocked(const std::vector<QueryMix>& mixes,
+                                   const std::vector<int>& blocks,
+                                   size_t block_size,
+                                   const DmlMixOptions& dml = {});
+
+ private:
+  BoundStatement GenerateDml(const QueryMix& mix, const DmlMixOptions& dml);
+
+  Schema schema_;
+  int64_t domain_size_;
+  Rng rng_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,23 @@
+#include "workload/query_mix.h"
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+std::vector<QueryMix> MakePaperQueryMixes() {
+  return {
+      QueryMix{"A", {0.55, 0.25, 0.10, 0.10}},
+      QueryMix{"B", {0.25, 0.55, 0.10, 0.10}},
+      QueryMix{"C", {0.10, 0.10, 0.55, 0.25}},
+      QueryMix{"D", {0.10, 0.10, 0.25, 0.55}},
+  };
+}
+
+int FindMixByName(const std::vector<QueryMix>& mixes, std::string_view name) {
+  for (size_t i = 0; i < mixes.size(); ++i) {
+    if (EqualsIgnoreCase(mixes[i].name, name)) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace cdpd

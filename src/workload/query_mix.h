@@ -1,0 +1,36 @@
+#ifndef CDPD_WORKLOAD_QUERY_MIX_H_
+#define CDPD_WORKLOAD_QUERY_MIX_H_
+
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace cdpd {
+
+/// A query mix: the probability that a generated point query touches
+/// each column of the schema (Table 1 of the paper). Queries have the
+/// form  SELECT <col> FROM t WHERE <col> = <randValue>  with <col>
+/// drawn from this distribution.
+struct QueryMix {
+  std::string name;
+  /// One weight per schema column; need not be normalized.
+  std::vector<double> column_weights;
+
+  bool operator==(const QueryMix&) const = default;
+};
+
+/// The four mixes of Table 1 over columns (a, b, c, d):
+///   Mix A: 55% a, 25% b, 10% c, 10% d
+///   Mix B: 25% a, 55% b, 10% c, 10% d
+///   Mix C: 10% a, 10% b, 55% c, 25% d
+///   Mix D: 10% a, 10% b, 25% c, 55% d
+std::vector<QueryMix> MakePaperQueryMixes();
+
+/// Index of the mix named `name` ("A".."D") in MakePaperQueryMixes().
+/// Returns -1 if unknown.
+int FindMixByName(const std::vector<QueryMix>& mixes, std::string_view name);
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_QUERY_MIX_H_

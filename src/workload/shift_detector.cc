@@ -1,0 +1,128 @@
+#include "workload/shift_detector.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+namespace {
+
+/// Normalized predicate-column distribution of one block (empty if the
+/// block has no predicates).
+std::vector<double> BlockDistribution(
+    std::span<const BoundStatement> statements, const Segment& block,
+    size_t num_columns) {
+  std::vector<double> dist(num_columns, 0.0);
+  double total = 0;
+  for (size_t i = block.begin; i < block.end; ++i) {
+    const BoundStatement& s = statements[i];
+    switch (s.type) {
+      case StatementType::kSelectPoint:
+      case StatementType::kSelectRange:
+      case StatementType::kUpdatePoint:
+        dist[static_cast<size_t>(s.where_column)] += 1;
+        total += 1;
+        break;
+      case StatementType::kInsert:
+        break;
+    }
+  }
+  if (total > 0) {
+    for (double& d : dist) d /= total;
+  }
+  return dist;
+}
+
+/// Average of block distributions [begin, end).
+std::vector<double> WindowAverage(const std::vector<std::vector<double>>& dists,
+                                  size_t begin, size_t end) {
+  std::vector<double> avg(dists.empty() ? 0 : dists[0].size(), 0.0);
+  for (size_t b = begin; b < end; ++b) {
+    for (size_t c = 0; c < avg.size(); ++c) avg[c] += dists[b][c];
+  }
+  const double n = static_cast<double>(end - begin);
+  if (n > 0) {
+    for (double& a : avg) a /= n;
+  }
+  return avg;
+}
+
+double TotalVariation(const std::vector<double>& p,
+                      const std::vector<double>& q) {
+  double tv = 0;
+  for (size_t i = 0; i < p.size(); ++i) tv += std::abs(p[i] - q[i]);
+  return tv / 2.0;
+}
+
+}  // namespace
+
+std::string ShiftReport::ToString() const {
+  std::string out = "detected " + std::to_string(shifts.size()) +
+                    " major shift(s); suggested k = " +
+                    std::to_string(suggested_k) + "\n";
+  for (const DetectedShift& shift : shifts) {
+    out += "  at statement " + std::to_string(shift.statement_index + 1) +
+           " (block " + std::to_string(shift.block_index) + "), distance " +
+           FormatDouble(shift.distance, 3) + "\n";
+  }
+  return out;
+}
+
+ShiftReport DetectMajorShifts(const Schema& schema,
+                              std::span<const BoundStatement> statements,
+                              const ShiftDetectionOptions& options) {
+  ShiftReport report;
+  if (options.block_size == 0 || options.window_blocks == 0) return report;
+  const std::vector<Segment> blocks =
+      SegmentFixed(statements.size(), options.block_size);
+  const size_t window = options.window_blocks;
+  if (blocks.size() < 2 * window) return report;
+
+  const auto num_columns = static_cast<size_t>(schema.num_columns());
+  std::vector<std::vector<double>> dists;
+  dists.reserve(blocks.size());
+  for (const Segment& block : blocks) {
+    dists.push_back(BlockDistribution(statements, block, num_columns));
+  }
+
+  // Candidate boundaries: TV distance between the window averages on
+  // either side.
+  struct Candidate {
+    size_t boundary;
+    double distance;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t b = window; b + window <= blocks.size(); ++b) {
+    const double tv = TotalVariation(WindowAverage(dists, b - window, b),
+                                     WindowAverage(dists, b, b + window));
+    if (tv > options.threshold) {
+      candidates.push_back(Candidate{b, tv});
+    }
+  }
+
+  // Cluster candidates closer than one window and keep each cluster's
+  // strongest boundary (a single shift raises every straddling
+  // boundary above the threshold).
+  size_t i = 0;
+  while (i < candidates.size()) {
+    size_t j = i;
+    size_t best = i;
+    while (j + 1 < candidates.size() &&
+           candidates[j + 1].boundary - candidates[j].boundary <= window) {
+      ++j;
+      if (candidates[j].distance > candidates[best].distance) best = j;
+    }
+    DetectedShift shift;
+    shift.block_index = candidates[best].boundary;
+    shift.statement_index = blocks[candidates[best].boundary].begin;
+    shift.distance = candidates[best].distance;
+    report.shifts.push_back(shift);
+    i = j + 1;
+  }
+  report.suggested_k = static_cast<int64_t>(report.shifts.size());
+  return report;
+}
+
+}  // namespace cdpd

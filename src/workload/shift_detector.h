@@ -1,0 +1,60 @@
+#ifndef CDPD_WORKLOAD_SHIFT_DETECTOR_H_
+#define CDPD_WORKLOAD_SHIFT_DETECTOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+#include "workload/statement.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// Options of the major-shift detector.
+struct ShiftDetectionOptions {
+  /// Statements per block (the detector's time resolution).
+  size_t block_size = 500;
+  /// Blocks on each side of a boundary whose *average* predicate-
+  /// column distributions are compared. Averaging over a window is
+  /// what filters minor fluctuations: a persistent change moves the
+  /// window average, an alternation does not.
+  size_t window_blocks = 4;
+  /// Total-variation distance above which a boundary is a major shift.
+  double threshold = 0.3;
+};
+
+/// A detected persistent workload change.
+struct DetectedShift {
+  /// First block of the new regime.
+  size_t block_index = 0;
+  /// Statement position of the shift.
+  size_t statement_index = 0;
+  /// Total-variation distance between the regime averages.
+  double distance = 0.0;
+};
+
+struct ShiftReport {
+  std::vector<DetectedShift> shifts;
+  /// The k the paper's guidance derives from the trace: "a value equal
+  /// to or a bit larger than the number of anticipated fluctuations".
+  int64_t suggested_k = 0;
+  std::string ToString() const;
+};
+
+/// Detects *major* workload shifts in a statement sequence by sliding
+/// a window pair over block-level predicate-column distributions and
+/// reporting boundaries where the average distribution changes
+/// persistently (total-variation distance above the threshold).
+/// Minor fluctuations — e.g. W1's A<->B alternation every 1000 queries
+/// — cancel out in the window averages; the phase changes at 5000 and
+/// 10000 do not. Suggested_k = number of detected shifts, directly
+/// instantiating the paper's domain-knowledge guidance for choosing k.
+ShiftReport DetectMajorShifts(const Schema& schema,
+                              std::span<const BoundStatement> statements,
+                              const ShiftDetectionOptions& options = {});
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_SHIFT_DETECTOR_H_

@@ -1,0 +1,68 @@
+#include "workload/standard_workloads.h"
+
+#include "common/string_util.h"
+
+namespace cdpd {
+
+namespace {
+
+/// One phase of ten blocks alternating two mixes with the given run
+/// length (2 blocks = minor shift every 1000 queries, 1 block = every
+/// 500 queries), starting with `first`.
+void AppendPhase(char first, char second, int run_blocks,
+                 std::vector<std::string>* out) {
+  for (int block = 0; block < 10; ++block) {
+    const bool use_first = (block / run_blocks) % 2 == 0;
+    out->push_back(std::string(1, use_first ? first : second));
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> PaperBlockMixLetters(std::string_view workload_name) {
+  std::vector<std::string> letters;
+  letters.reserve(30);
+  if (EqualsIgnoreCase(workload_name, "W1")) {
+    AppendPhase('A', 'B', 2, &letters);
+    AppendPhase('C', 'D', 2, &letters);
+    AppendPhase('A', 'B', 2, &letters);
+  } else if (EqualsIgnoreCase(workload_name, "W2")) {
+    AppendPhase('A', 'B', 1, &letters);
+    AppendPhase('C', 'D', 1, &letters);
+    AppendPhase('A', 'B', 1, &letters);
+  } else if (EqualsIgnoreCase(workload_name, "W3")) {
+    AppendPhase('B', 'A', 2, &letters);
+    AppendPhase('D', 'C', 2, &letters);
+    AppendPhase('B', 'A', 2, &letters);
+  }
+  return letters;
+}
+
+Result<Workload> MakeScaledPaperWorkload(std::string_view workload_name,
+                                         size_t block_size,
+                                         WorkloadGenerator* generator) {
+  const std::vector<std::string> letters = PaperBlockMixLetters(workload_name);
+  if (letters.empty()) {
+    return Status::InvalidArgument("unknown workload '" +
+                                   std::string(workload_name) +
+                                   "' (expected W1, W2 or W3)");
+  }
+  const std::vector<QueryMix> mixes = MakePaperQueryMixes();
+  std::vector<int> blocks;
+  blocks.reserve(letters.size());
+  for (const std::string& letter : letters) {
+    const int mix = FindMixByName(mixes, letter);
+    if (mix < 0) {
+      return Status::Internal("mix letter '" + letter + "' not in Table 1");
+    }
+    blocks.push_back(mix);
+  }
+  return generator->GenerateBlocked(mixes, blocks, block_size);
+}
+
+Result<Workload> MakePaperWorkload(std::string_view workload_name,
+                                   WorkloadGenerator* generator) {
+  return MakeScaledPaperWorkload(workload_name, kPaperBlockSize, generator);
+}
+
+}  // namespace cdpd

@@ -1,0 +1,40 @@
+#ifndef CDPD_WORKLOAD_STANDARD_WORKLOADS_H_
+#define CDPD_WORKLOAD_STANDARD_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "workload/generator.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// Block size at which Table 2 reports W1/W2/W3 (500 queries).
+inline constexpr size_t kPaperBlockSize = 500;
+
+/// Mix letter ("A".."D") of each 500-query block of the three dynamic
+/// workloads of Table 2:
+///
+///   W1 — three 5000-query phases with a minor shift every 1000
+///        queries: phase 1 and 3 alternate A/B, phase 2 alternates C/D.
+///   W2 — same phases, but minor shifts every 500 queries.
+///   W3 — same cadence as W1 but out of phase: B where W1 uses A, etc.
+std::vector<std::string> PaperBlockMixLetters(std::string_view workload_name);
+
+/// Generates one of the paper's workloads ("W1", "W2" or "W3") with the
+/// given generator. Each call consumes generator randomness; pass
+/// separately seeded generators for independent workloads.
+Result<Workload> MakePaperWorkload(std::string_view workload_name,
+                                   WorkloadGenerator* generator);
+
+/// Scaled-down variant for unit tests and quick demos: same phase
+/// structure, `block_size` queries per block.
+Result<Workload> MakeScaledPaperWorkload(std::string_view workload_name,
+                                         size_t block_size,
+                                         WorkloadGenerator* generator);
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_STANDARD_WORKLOADS_H_

@@ -1,0 +1,35 @@
+#include "workload/statement.h"
+
+namespace cdpd {
+
+std::string BoundStatement::ToString(const Schema& schema) const {
+  switch (type) {
+    case StatementType::kSelectPoint:
+      return "SELECT " + schema.column_name(select_column) + " FROM " +
+             schema.table_name() + " WHERE " +
+             schema.column_name(where_column) + " = " +
+             std::to_string(where_value);
+    case StatementType::kSelectRange:
+      return "SELECT " + schema.column_name(select_column) + " FROM " +
+             schema.table_name() + " WHERE " +
+             schema.column_name(where_column) + " BETWEEN " +
+             std::to_string(where_lo) + " AND " + std::to_string(where_hi);
+    case StatementType::kUpdatePoint:
+      return "UPDATE " + schema.table_name() + " SET " +
+             schema.column_name(set_column) + " = " +
+             std::to_string(set_value) + " WHERE " +
+             schema.column_name(where_column) + " = " +
+             std::to_string(where_value);
+    case StatementType::kInsert: {
+      std::string out = "INSERT INTO " + schema.table_name() + " VALUES (";
+      for (size_t i = 0; i < insert_values.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += std::to_string(insert_values[i]);
+      }
+      return out + ")";
+    }
+  }
+  return "<invalid statement>";
+}
+
+}  // namespace cdpd

@@ -1,0 +1,95 @@
+#ifndef CDPD_WORKLOAD_STATEMENT_H_
+#define CDPD_WORKLOAD_STATEMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/schema.h"
+
+namespace cdpd {
+
+/// Kinds of workload statements. The paper's workloads consist of point
+/// SELECTs ("SELECT <col> FROM t WHERE <col> = <v>"); range SELECTs
+/// (BETWEEN), UPDATE and INSERT are supported so that selectivity and
+/// index-maintenance costs are exercised and the formulation's
+/// "queries and updates" is honoured.
+enum class StatementType {
+  kSelectPoint,
+  kSelectRange,
+  kUpdatePoint,
+  kInsert,
+};
+
+/// A statement with all names resolved against a schema — the S_i of
+/// the problem formulation. This is the representation the executor and
+/// the cost model operate on; SQL text is bound to it by sql/binder.h.
+struct BoundStatement {
+  StatementType type = StatementType::kSelectPoint;
+
+  // kSelectPoint: SELECT select_column WHERE where_column = where_value.
+  // kSelectRange: SELECT select_column
+  //               WHERE where_column BETWEEN where_lo AND where_hi.
+  // kUpdatePoint: UPDATE SET set_column = set_value
+  //               WHERE where_column = where_value.
+  ColumnId select_column = 0;
+  ColumnId where_column = 0;
+  Value where_value = 0;
+  Value where_lo = 0;  // Inclusive range bounds (kSelectRange).
+  Value where_hi = 0;
+  ColumnId set_column = 0;
+  Value set_value = 0;
+
+  // kInsert: one row of values, in schema column order.
+  std::vector<Value> insert_values;
+
+  static BoundStatement SelectPoint(ColumnId select_column,
+                                    ColumnId where_column, Value where_value) {
+    BoundStatement s;
+    s.type = StatementType::kSelectPoint;
+    s.select_column = select_column;
+    s.where_column = where_column;
+    s.where_value = where_value;
+    return s;
+  }
+
+  /// Range select with inclusive bounds; requires lo <= hi.
+  static BoundStatement SelectRange(ColumnId select_column,
+                                    ColumnId where_column, Value lo,
+                                    Value hi) {
+    BoundStatement s;
+    s.type = StatementType::kSelectRange;
+    s.select_column = select_column;
+    s.where_column = where_column;
+    s.where_lo = lo;
+    s.where_hi = hi;
+    return s;
+  }
+
+  static BoundStatement UpdatePoint(ColumnId set_column, Value set_value,
+                                    ColumnId where_column, Value where_value) {
+    BoundStatement s;
+    s.type = StatementType::kUpdatePoint;
+    s.set_column = set_column;
+    s.set_value = set_value;
+    s.where_column = where_column;
+    s.where_value = where_value;
+    return s;
+  }
+
+  static BoundStatement Insert(std::vector<Value> values) {
+    BoundStatement s;
+    s.type = StatementType::kInsert;
+    s.insert_values = std::move(values);
+    return s;
+  }
+
+  /// SQL-ish rendering against `schema`, for logs and debugging.
+  std::string ToString(const Schema& schema) const;
+
+  bool operator==(const BoundStatement& other) const = default;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_STATEMENT_H_

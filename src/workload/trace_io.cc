@@ -1,0 +1,120 @@
+#include "workload/trace_io.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "sql/binder.h"
+#include "sql/parser.h"
+
+namespace cdpd {
+
+std::string WriteTrace(const Schema& schema, const Workload& workload) {
+  std::string out;
+  out += "-- cdpd workload trace: " + std::to_string(workload.size()) +
+         " statements over " + schema.ToString() + "\n";
+  const bool blocked =
+      workload.block_size > 0 && !workload.block_mix_names.empty();
+  size_t block = static_cast<size_t>(-1);
+  for (size_t i = 0; i < workload.statements.size(); ++i) {
+    if (blocked && i / workload.block_size != block) {
+      block = i / workload.block_size;
+      out += "-- block " + std::to_string(block);
+      if (block < workload.block_mix_names.size()) {
+        out += " mix " + workload.block_mix_names[block];
+      }
+      out += "\n";
+    }
+    out += workload.statements[i].ToString(schema);
+    out += ";\n";
+  }
+  return out;
+}
+
+Status WriteTraceFile(const std::string& path, const Schema& schema,
+                      const Workload& workload) {
+  std::ofstream file(path, std::ios::out | std::ios::trunc);
+  if (!file) {
+    return Status::Internal("cannot open '" + path + "' for writing");
+  }
+  file << WriteTrace(schema, workload);
+  file.close();
+  if (!file) {
+    return Status::Internal("error writing '" + path + "'");
+  }
+  return Status::OK();
+}
+
+Result<Workload> ReadTrace(const Schema& schema, std::string_view text) {
+  Workload workload;
+  size_t current_block = 0;
+  bool saw_block_comments = false;
+  size_t line_number = 0;
+  size_t block_begin_statement = 0;
+
+  std::istringstream stream{std::string(text)};
+  std::string raw_line;
+  while (std::getline(stream, raw_line)) {
+    ++line_number;
+    const std::string_view line = Trim(raw_line);
+    if (line.empty()) continue;
+    if (line.substr(0, 2) == "--") {
+      // Block marker comments carry the mix labels; other comments are
+      // ignored.
+      const std::vector<std::string> words =
+          Split(std::string(Trim(line.substr(2))), ' ');
+      if (words.size() >= 2 && words[0] == "block") {
+        saw_block_comments = true;
+        current_block = static_cast<size_t>(std::atoll(words[1].c_str()));
+        while (workload.block_mix_names.size() <= current_block) {
+          workload.block_mix_names.emplace_back();
+        }
+        if (words.size() >= 4 && words[2] == "mix") {
+          workload.block_mix_names[current_block] = words[3];
+        }
+        if (current_block == 1 && workload.block_size == 0) {
+          workload.block_size = workload.size() - block_begin_statement;
+        }
+        block_begin_statement = workload.size();
+      }
+      continue;
+    }
+    auto ast = ParseStatement(line);
+    if (!ast.ok()) {
+      return Status::ParseError("line " + std::to_string(line_number) + ": " +
+                                ast.status().message());
+    }
+    if (std::holds_alternative<CreateIndexAst>(*ast) ||
+        std::holds_alternative<DropIndexAst>(*ast)) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(line_number) +
+          ": index DDL is not allowed in a workload trace");
+    }
+    auto bound = BindStatement(schema, *ast);
+    if (!bound.ok()) {
+      return Status(bound.status().code(),
+                    "line " + std::to_string(line_number) + ": " +
+                        bound.status().message());
+    }
+    workload.statements.push_back(std::move(bound).value());
+  }
+  if (!saw_block_comments) {
+    workload.block_mix_names.clear();
+    workload.block_size = 0;
+  }
+  return workload;
+}
+
+Result<Workload> ReadTraceFile(const std::string& path,
+                               const Schema& schema) {
+  std::ifstream file(path);
+  if (!file) {
+    return Status::NotFound("cannot open trace file '" + path + "'");
+  }
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return ReadTrace(schema, contents.str());
+}
+
+}  // namespace cdpd

@@ -1,0 +1,38 @@
+#ifndef CDPD_WORKLOAD_TRACE_IO_H_
+#define CDPD_WORKLOAD_TRACE_IO_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "workload/workload.h"
+
+namespace cdpd {
+
+/// Serializes a workload trace as a SQL script: one statement per
+/// line, terminated with ';'. Block structure (when present) is
+/// preserved as comment lines of the form
+///
+///   -- block 7 mix B
+///
+/// so a captured trace round-trips through ReadTrace() losslessly,
+/// including the Table 2 mix labels.
+std::string WriteTrace(const Schema& schema, const Workload& workload);
+
+/// Writes WriteTrace() output to `path`. Fails with Internal on I/O
+/// errors.
+Status WriteTraceFile(const std::string& path, const Schema& schema,
+                      const Workload& workload);
+
+/// Parses a trace produced by WriteTrace() — or any ';'-terminated,
+/// one-statement-per-line SQL script with optional '--' comments —
+/// into a bound workload. Statement kinds are restricted to the DML
+/// dialect (index DDL in a trace is rejected: physical design is the
+/// advisor's output, not its input).
+Result<Workload> ReadTrace(const Schema& schema, std::string_view text);
+
+/// Reads and parses a trace file.
+Result<Workload> ReadTraceFile(const std::string& path, const Schema& schema);
+
+}  // namespace cdpd
+
+#endif  // CDPD_WORKLOAD_TRACE_IO_H_

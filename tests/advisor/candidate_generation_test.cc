@@ -1,0 +1,118 @@
+#include "advisor/candidate_generation.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+#include "workload/standard_workloads.h"
+
+namespace cdpd {
+namespace {
+
+class CandidateGenTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakePaperSchema();
+
+  bool Has(const std::vector<IndexDef>& candidates, const std::string& name) {
+    return std::any_of(candidates.begin(), candidates.end(),
+                       [&](const IndexDef& def) {
+                         return def.ToString(schema_) == name;
+                       });
+  }
+};
+
+TEST_F(CandidateGenTest, PaperWorkloadYieldsSection61Candidates) {
+  WorkloadGenerator gen(schema_, 500'000, 21);
+  Workload w1 = MakeScaledPaperWorkload("W1", 200, &gen).value();
+  const std::vector<Segment> segments = SegmentFixed(w1.size(), 200);
+  const std::vector<IndexDef> candidates =
+      GenerateCandidateIndexes(schema_, w1.statements, segments);
+  EXPECT_EQ(candidates.size(), 6u);
+  EXPECT_TRUE(Has(candidates, "I(a)"));
+  EXPECT_TRUE(Has(candidates, "I(b)"));
+  EXPECT_TRUE(Has(candidates, "I(c)"));
+  EXPECT_TRUE(Has(candidates, "I(d)"));
+  EXPECT_TRUE(Has(candidates, "I(a,b)"));
+  EXPECT_TRUE(Has(candidates, "I(c,d)"));
+  EXPECT_FALSE(Has(candidates, "I(b,a)"));
+}
+
+TEST_F(CandidateGenTest, EmptyWorkloadYieldsNoCandidates) {
+  EXPECT_TRUE(GenerateCandidateIndexes(schema_, {}, {}).empty());
+}
+
+TEST_F(CandidateGenTest, InsertsAloneProposeNothing) {
+  std::vector<BoundStatement> statements = {
+      BoundStatement::Insert({1, 2, 3, 4})};
+  EXPECT_TRUE(GenerateCandidateIndexes(schema_, statements, {}).empty());
+}
+
+TEST_F(CandidateGenTest, InfrequentColumnsAreSkipped) {
+  std::vector<BoundStatement> statements;
+  for (int i = 0; i < 99; ++i) {
+    statements.push_back(BoundStatement::SelectPoint(0, 0, i));
+  }
+  statements.push_back(BoundStatement::SelectPoint(2, 2, 0));  // 1%.
+  CandidateGenOptions options;
+  options.min_column_frequency = 0.05;
+  const auto candidates =
+      GenerateCandidateIndexes(schema_, statements, {}, options);
+  EXPECT_TRUE(Has(candidates, "I(a)"));
+  EXPECT_FALSE(Has(candidates, "I(c)"));
+}
+
+TEST_F(CandidateGenTest, MaxKeyColumnsOneDisablesComposites) {
+  WorkloadGenerator gen(schema_, 1000, 22);
+  Workload w1 = MakeScaledPaperWorkload("W1", 100, &gen).value();
+  CandidateGenOptions options;
+  options.max_key_columns = 1;
+  const auto candidates =
+      GenerateCandidateIndexes(schema_, w1.statements,
+                               SegmentFixed(w1.size(), 100), options);
+  for (const IndexDef& def : candidates) {
+    EXPECT_EQ(def.num_key_columns(), 1);
+  }
+}
+
+TEST_F(CandidateGenTest, CompositeOrderIsCanonical) {
+  // Column c dominates, then a: composite must be I(c,a).
+  std::vector<BoundStatement> statements;
+  for (int i = 0; i < 60; ++i) {
+    statements.push_back(BoundStatement::SelectPoint(2, 2, i));
+  }
+  for (int i = 0; i < 40; ++i) {
+    statements.push_back(BoundStatement::SelectPoint(0, 0, i));
+  }
+  const auto candidates = GenerateCandidateIndexes(schema_, statements, {});
+  EXPECT_TRUE(Has(candidates, "I(c,a)"));
+  EXPECT_FALSE(Has(candidates, "I(a,c)"));
+}
+
+TEST_F(CandidateGenTest, MaxCompositesCapsPairCount) {
+  WorkloadGenerator gen(schema_, 1000, 23);
+  Workload w1 = MakeScaledPaperWorkload("W1", 100, &gen).value();
+  CandidateGenOptions options;
+  options.max_composites = 1;
+  const auto candidates =
+      GenerateCandidateIndexes(schema_, w1.statements,
+                               SegmentFixed(w1.size(), 100), options);
+  int composites = 0;
+  for (const IndexDef& def : candidates) {
+    if (def.num_key_columns() == 2) ++composites;
+  }
+  EXPECT_EQ(composites, 1);
+}
+
+TEST_F(CandidateGenTest, UpdatePredicatesCountTowardCandidates) {
+  std::vector<BoundStatement> statements;
+  for (int i = 0; i < 50; ++i) {
+    statements.push_back(BoundStatement::UpdatePoint(1, 0, 3, i));
+  }
+  const auto candidates = GenerateCandidateIndexes(schema_, statements, {});
+  EXPECT_TRUE(Has(candidates, "I(d)"));
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,111 @@
+#include "advisor/config_enumeration.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class ConfigEnumTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakePaperSchema();
+  std::vector<IndexDef> candidates_ = MakePaperCandidateIndexes(schema_);
+};
+
+TEST_F(ConfigEnumTest, PaperSpaceHasSevenConfigurations) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 1;
+  options.num_rows = 2'500'000;
+  auto configs = EnumerateConfigurations(candidates_, options);
+  ASSERT_TRUE(configs.ok());
+  // Empty + one per candidate index = 7, as in §6.1.
+  EXPECT_EQ(configs->size(), 7u);
+  EXPECT_TRUE(std::any_of(configs->begin(), configs->end(),
+                          [](const Configuration& c) { return c.empty(); }));
+}
+
+TEST_F(ConfigEnumTest, FullSubsetSpaceIsTwoToTheM) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 6;
+  options.num_rows = 1000;
+  auto configs = EnumerateConfigurations(candidates_, options);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_EQ(configs->size(), 64u);  // 2^6.
+}
+
+TEST_F(ConfigEnumTest, MaxIndexesLimitsSubsetSize) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 2;
+  options.num_rows = 1000;
+  auto configs = EnumerateConfigurations(candidates_, options);
+  ASSERT_TRUE(configs.ok());
+  // 1 + 6 + C(6,2) = 22.
+  EXPECT_EQ(configs->size(), 22u);
+  for (const Configuration& c : *configs) {
+    EXPECT_LE(c.num_indexes(), 2);
+  }
+}
+
+TEST_F(ConfigEnumTest, SpaceBoundPrunesLargeConfigurations) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 6;
+  options.num_rows = 1'000'000;
+  // Bound that admits single one-column indexes but not two-column
+  // ones or multi-index sets.
+  options.space_bound_pages = IndexDef({0}).SizePages(1'000'000) + 1;
+  auto configs = EnumerateConfigurations(candidates_, options);
+  ASSERT_TRUE(configs.ok());
+  for (const Configuration& c : *configs) {
+    EXPECT_LE(c.SizePages(1'000'000), options.space_bound_pages);
+  }
+  // Empty + the four single-column indexes.
+  EXPECT_EQ(configs->size(), 5u);
+}
+
+TEST_F(ConfigEnumTest, EmptyConfigurationAlwaysIncluded) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 0;
+  options.num_rows = 1000;
+  auto configs = EnumerateConfigurations(candidates_, options);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_EQ(configs->size(), 1u);
+  EXPECT_TRUE(configs->front().empty());
+}
+
+TEST_F(ConfigEnumTest, NoCandidatesYieldsOnlyEmpty) {
+  ConfigEnumOptions options;
+  options.num_rows = 1000;
+  auto configs = EnumerateConfigurations({}, options);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_EQ(configs->size(), 1u);
+}
+
+TEST_F(ConfigEnumTest, DuplicateCandidatesDoNotDuplicateConfigs) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 2;
+  options.num_rows = 1000;
+  std::vector<IndexDef> dup = {IndexDef({0}), IndexDef({0})};
+  auto configs = EnumerateConfigurations(dup, options);
+  ASSERT_TRUE(configs.ok());
+  EXPECT_EQ(configs->size(), 2u);  // {} and {I(a)}.
+}
+
+TEST_F(ConfigEnumTest, ExplosionGuard) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = 6;
+  options.num_rows = 1000;
+  options.max_configurations = 10;
+  EXPECT_EQ(EnumerateConfigurations(candidates_, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST_F(ConfigEnumTest, NegativeMaxIndexesRejected) {
+  ConfigEnumOptions options;
+  options.max_indexes_per_config = -1;
+  EXPECT_EQ(EnumerateConfigurations(candidates_, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,86 @@
+#include "catalog/catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cdpd {
+namespace {
+
+class CatalogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Table* table = catalog_.CreateTable(MakePaperSchema()).value();
+    Rng rng(3);
+    table->PopulateUniform(2000, 0, 100, &rng);
+  }
+  Catalog catalog_;
+  IndexDef a_ = IndexDef({0});
+};
+
+TEST_F(CatalogTest, CreateTableRejectsDuplicateName) {
+  EXPECT_EQ(catalog_.CreateTable(MakePaperSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, GetTableByName) {
+  ASSERT_TRUE(catalog_.GetTable("t").ok());
+  EXPECT_EQ(catalog_.GetTable("t").value()->num_rows(), 2000);
+  EXPECT_EQ(catalog_.GetTable("missing").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, CreateIndexMaterializesTree) {
+  AccessStats stats;
+  ASSERT_TRUE(catalog_.CreateIndex("t", a_, &stats).ok());
+  ASSERT_TRUE(catalog_.GetIndex("t", a_).ok());
+  EXPECT_EQ(catalog_.GetIndex("t", a_).value()->num_entries(), 2000);
+  EXPECT_GT(stats.sequential_pages, 0);
+}
+
+TEST_F(CatalogTest, CreateIndexTwiceIsAlreadyExists) {
+  AccessStats stats;
+  ASSERT_TRUE(catalog_.CreateIndex("t", a_, &stats).ok());
+  EXPECT_EQ(catalog_.CreateIndex("t", a_, &stats).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST_F(CatalogTest, CreateIndexOnMissingTable) {
+  AccessStats stats;
+  EXPECT_EQ(catalog_.CreateIndex("x", a_, &stats).code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, DropIndexRemovesIt) {
+  AccessStats stats;
+  ASSERT_TRUE(catalog_.CreateIndex("t", a_, &stats).ok());
+  ASSERT_TRUE(catalog_.DropIndex("t", a_, &stats).ok());
+  EXPECT_EQ(catalog_.GetIndex("t", a_).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(catalog_.DropIndex("t", a_, &stats).code(), StatusCode::kNotFound);
+}
+
+TEST_F(CatalogTest, ListIndexesReturnsAllTrees) {
+  AccessStats stats;
+  ASSERT_TRUE(catalog_.CreateIndex("t", a_, &stats).ok());
+  ASSERT_TRUE(catalog_.CreateIndex("t", IndexDef({2, 3}), &stats).ok());
+  EXPECT_EQ(catalog_.ListIndexes("t").size(), 2u);
+  EXPECT_TRUE(catalog_.ListIndexes("missing").empty());
+}
+
+TEST_F(CatalogTest, CurrentConfigurationMirrorsIndexes) {
+  EXPECT_TRUE(catalog_.CurrentConfiguration("t").empty());
+  AccessStats stats;
+  ASSERT_TRUE(catalog_.CreateIndex("t", a_, &stats).ok());
+  const Configuration config = catalog_.CurrentConfiguration("t");
+  EXPECT_EQ(config.num_indexes(), 1);
+  EXPECT_TRUE(config.Contains(a_));
+  ASSERT_TRUE(catalog_.DropIndex("t", a_, &stats).ok());
+  EXPECT_TRUE(catalog_.CurrentConfiguration("t").empty());
+}
+
+TEST_F(CatalogTest, CurrentConfigurationOfUnknownTableIsEmpty) {
+  EXPECT_TRUE(catalog_.CurrentConfiguration("nope").empty());
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,92 @@
+#include "catalog/configuration.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class ConfigurationTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakePaperSchema();
+  IndexDef a_ = IndexDef({0});
+  IndexDef b_ = IndexDef({1});
+  IndexDef ab_ = IndexDef({0, 1});
+};
+
+TEST_F(ConfigurationTest, EmptyConfiguration) {
+  const Configuration empty = Configuration::Empty();
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.num_indexes(), 0);
+  EXPECT_EQ(empty.SizePages(1'000'000), 0);
+  EXPECT_EQ(empty.ToString(schema_), "{}");
+}
+
+TEST_F(ConfigurationTest, CanonicalizesOrderAndDuplicates) {
+  const Configuration c1({b_, a_, a_});
+  const Configuration c2({a_, b_});
+  EXPECT_EQ(c1, c2);
+  EXPECT_EQ(c1.num_indexes(), 2);
+}
+
+TEST_F(ConfigurationTest, ContainsAndWithWithout) {
+  Configuration c({a_});
+  EXPECT_TRUE(c.Contains(a_));
+  EXPECT_FALSE(c.Contains(b_));
+  const Configuration grown = c.With(b_);
+  EXPECT_TRUE(grown.Contains(b_));
+  EXPECT_EQ(grown.num_indexes(), 2);
+  EXPECT_EQ(c.With(a_), c);  // No-op.
+  EXPECT_EQ(grown.Without(b_), c);
+  EXPECT_EQ(c.Without(b_), c);  // No-op.
+}
+
+TEST_F(ConfigurationTest, SizeSumsIndexSizes) {
+  const Configuration c({a_, ab_});
+  EXPECT_EQ(c.SizePages(100'000),
+            a_.SizePages(100'000) + ab_.SizePages(100'000));
+}
+
+TEST_F(ConfigurationTest, ToStringListsIndexes) {
+  const Configuration c({ab_, a_});
+  EXPECT_EQ(c.ToString(schema_), "{I(a), I(a,b)}");
+}
+
+TEST_F(ConfigurationTest, HashConsistentWithEquality) {
+  const Configuration c1({b_, a_});
+  const Configuration c2({a_, b_});
+  EXPECT_EQ(ConfigurationHash{}(c1), ConfigurationHash{}(c2));
+}
+
+TEST_F(ConfigurationTest, OrderingIsTotal) {
+  const Configuration empty;
+  const Configuration c({a_});
+  EXPECT_TRUE(empty < c || c < empty || empty == c);
+  EXPECT_FALSE(c < c);
+}
+
+TEST_F(ConfigurationTest, DiffComputesCreatedAndDropped) {
+  const Configuration from({a_, b_});
+  const Configuration to({b_, ab_});
+  const ConfigurationDelta delta = DiffConfigurations(from, to);
+  ASSERT_EQ(delta.created.size(), 1u);
+  EXPECT_EQ(delta.created[0], ab_);
+  ASSERT_EQ(delta.dropped.size(), 1u);
+  EXPECT_EQ(delta.dropped[0], a_);
+}
+
+TEST_F(ConfigurationTest, DiffOfEqualConfigsIsEmpty) {
+  const Configuration c({a_, b_});
+  const ConfigurationDelta delta = DiffConfigurations(c, c);
+  EXPECT_TRUE(delta.created.empty());
+  EXPECT_TRUE(delta.dropped.empty());
+}
+
+TEST_F(ConfigurationTest, DiffFromEmptyCreatesEverything) {
+  const Configuration to({a_, b_});
+  const ConfigurationDelta delta = DiffConfigurations(Configuration(), to);
+  EXPECT_EQ(delta.created.size(), 2u);
+  EXPECT_TRUE(delta.dropped.empty());
+}
+
+}  // namespace
+}  // namespace cdpd

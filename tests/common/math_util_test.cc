@@ -1,0 +1,51 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(MathUtilTest, CeilDivExact) { EXPECT_EQ(CeilDiv(10, 5), 2); }
+
+TEST(MathUtilTest, CeilDivRoundsUp) {
+  EXPECT_EQ(CeilDiv(11, 5), 3);
+  EXPECT_EQ(CeilDiv(1, 5), 1);
+  EXPECT_EQ(CeilDiv(0, 5), 0);
+}
+
+TEST(MathUtilTest, TreeHeightSingleLeaf) {
+  EXPECT_EQ(TreeHeight(1, 100), 1);
+  EXPECT_EQ(TreeHeight(0, 100), 1);
+}
+
+TEST(MathUtilTest, TreeHeightTwoLevels) {
+  EXPECT_EQ(TreeHeight(2, 100), 2);
+  EXPECT_EQ(TreeHeight(100, 100), 2);
+}
+
+TEST(MathUtilTest, TreeHeightThreeLevels) {
+  EXPECT_EQ(TreeHeight(101, 100), 3);
+  EXPECT_EQ(TreeHeight(10'000, 100), 3);
+  EXPECT_EQ(TreeHeight(10'001, 100), 4);
+}
+
+TEST(MathUtilTest, Log2) {
+  EXPECT_DOUBLE_EQ(Log2(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(Log2(0.5), 0.0);  // Clamped below 1.
+  EXPECT_DOUBLE_EQ(Log2(8.0), 3.0);
+}
+
+TEST(MathUtilTest, BinomialCoefficientSmall) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 2), 10.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 0), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 5), 1.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, 6), 0.0);
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(5, -1), 0.0);
+}
+
+TEST(MathUtilTest, BinomialCoefficientSymmetry) {
+  EXPECT_DOUBLE_EQ(BinomialCoefficient(20, 7), BinomialCoefficient(20, 13));
+}
+
+}  // namespace
+}  // namespace cdpd

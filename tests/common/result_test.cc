@@ -1,0 +1,72 @@
+#include "common/result.h"
+
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::NotFound("missing"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(result.status().message(), "missing");
+}
+
+TEST(ResultTest, ValueOrReturnsFallbackOnError) {
+  Result<int> error(Status::Internal("x"));
+  EXPECT_EQ(error.value_or(7), 7);
+  Result<int> good(3);
+  EXPECT_EQ(good.value_or(7), 3);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> extracted = std::move(result).value();
+  EXPECT_EQ(*extracted, 5);
+}
+
+TEST(ResultTest, ArrowOperatorReachesMembers) {
+  Result<std::string> result(std::string("hello"));
+  EXPECT_EQ(result->size(), 5u);
+}
+
+TEST(ResultTest, AssignOrReturnExtractsValue) {
+  auto inner = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    CDPD_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  ASSERT_TRUE(outer().ok());
+  EXPECT_EQ(outer().value(), 20);
+}
+
+TEST(ResultTest, AssignOrReturnPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("bad"); };
+  auto outer = [&]() -> Result<int> {
+    CDPD_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  EXPECT_EQ(outer().status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, CopyableResultCopies) {
+  Result<std::string> a(std::string("abc"));
+  Result<std::string> b = a;
+  EXPECT_EQ(b.value(), "abc");
+  EXPECT_EQ(a.value(), "abc");
+}
+
+}  // namespace
+}  // namespace cdpd

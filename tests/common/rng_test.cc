@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBoundedCoversAllResidues) {
+  Rng rng(9);
+  std::map<uint64_t, int> seen;
+  for (int i = 0; i < 5'000; ++i) ++seen[rng.NextBounded(5)];
+  EXPECT_EQ(seen.size(), 5u);
+  for (const auto& [value, count] : seen) {
+    EXPECT_GT(count, 700) << "residue " << value << " badly underrepresented";
+  }
+}
+
+TEST(RngTest, UniformIntIsInclusive) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10'000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(13);
+  EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, NextDoubleInHalfOpenUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(RngTest, PickWeightedRespectsWeights) {
+  Rng rng(23);
+  const std::vector<double> weights = {0.55, 0.25, 0.10, 0.10};
+  std::vector<int> counts(4, 0);
+  const int trials = 40'000;
+  for (int i = 0; i < trials; ++i) {
+    ++counts[rng.PickWeighted(weights)];
+  }
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double freq = static_cast<double>(counts[i]) / trials;
+    EXPECT_NEAR(freq, weights[i], 0.02) << "bucket " << i;
+  }
+}
+
+TEST(RngTest, PickWeightedHandlesZeroWeightBuckets) {
+  Rng rng(29);
+  const std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(rng.PickWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(31);
+  Rng b = a.Split();
+  // The split stream should not replay the parent stream.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,70 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cdpd {
+namespace {
+
+using testing_util::MakeRandomProblem;
+
+TEST(BruteForceTest, RespectsChangeBound) {
+  auto fixture = MakeRandomProblem(120, 4, 10);
+  for (int64_t k = 0; k <= 3; ++k) {
+    auto schedule = SolveBruteForce(fixture->problem, k);
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_LE(CountChanges(fixture->problem, schedule->configs), k);
+  }
+}
+
+TEST(BruteForceTest, UnconstrainedDominatesConstrained) {
+  auto fixture = MakeRandomProblem(121, 4, 10);
+  auto unconstrained = SolveBruteForce(fixture->problem, -1);
+  auto constrained = SolveBruteForce(fixture->problem, 1);
+  ASSERT_TRUE(unconstrained.ok());
+  ASSERT_TRUE(constrained.ok());
+  EXPECT_LE(unconstrained->total_cost, constrained->total_cost + 1e-9);
+}
+
+TEST(BruteForceTest, GuardsAgainstExplosion) {
+  auto fixture = MakeRandomProblem(122, 10, 5);
+  EXPECT_EQ(
+      SolveBruteForce(fixture->problem, 1, /*max_sequences=*/1000)
+          .status()
+          .code(),
+      StatusCode::kResourceExhausted);
+}
+
+TEST(BruteForceTest, SingleSegmentPicksCheapestConfiguration) {
+  auto fixture = MakeRandomProblem(123, 1, 30);
+  auto schedule = SolveBruteForce(fixture->problem, -1);
+  ASSERT_TRUE(schedule.ok());
+  const WhatIfEngine& what_if = *fixture->problem.what_if;
+  for (const Configuration& config : fixture->problem.candidates) {
+    const double cost =
+        what_if.TransitionCost(fixture->problem.initial, config) +
+        what_if.SegmentCost(0, config);
+    EXPECT_LE(schedule->total_cost, cost + 1e-9);
+  }
+}
+
+TEST(BruteForceTest, CostMatchesEvaluation) {
+  auto fixture = MakeRandomProblem(124, 3, 10);
+  auto schedule = SolveBruteForce(fixture->problem, 2);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(schedule->total_cost,
+              EvaluateScheduleCost(fixture->problem, schedule->configs),
+              1e-9);
+}
+
+TEST(BruteForceTest, EmptyWorkload) {
+  auto fixture = MakeRandomProblem(125, 0, 1);
+  auto schedule = SolveBruteForce(fixture->problem, 0);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_TRUE(schedule->configs.empty());
+  EXPECT_DOUBLE_EQ(schedule->total_cost, 0.0);
+}
+
+}  // namespace
+}  // namespace cdpd

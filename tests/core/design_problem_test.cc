@@ -1,0 +1,108 @@
+#include "core/design_problem.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cdpd {
+namespace {
+
+using testing_util::MakeRandomProblem;
+using testing_util::ProblemFixture;
+
+class DesignProblemTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fixture_ = MakeRandomProblem(/*seed=*/1, /*num_segments=*/4,
+                                 /*block_size=*/20);
+  }
+  std::unique_ptr<ProblemFixture> fixture_;
+};
+
+TEST_F(DesignProblemTest, ValidatesCleanProblem) {
+  EXPECT_TRUE(fixture_->problem.Validate().ok());
+  EXPECT_EQ(fixture_->problem.num_segments(), 4u);
+}
+
+TEST_F(DesignProblemTest, RejectsMissingOracle) {
+  DesignProblem problem = fixture_->problem;
+  problem.what_if = nullptr;
+  EXPECT_EQ(problem.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DesignProblemTest, RejectsEmptyCandidates) {
+  DesignProblem problem = fixture_->problem;
+  problem.candidates.clear();
+  EXPECT_EQ(problem.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DesignProblemTest, RejectsOversizedCandidate) {
+  DesignProblem problem = fixture_->problem;
+  problem.space_bound_pages = 1;  // Nothing but {} fits.
+  EXPECT_EQ(problem.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(DesignProblemTest, RejectsOversizedInitialOrFinal) {
+  DesignProblem problem = fixture_->problem;
+  problem.candidates = {Configuration::Empty()};
+  problem.space_bound_pages = 1;
+  problem.initial = Configuration({IndexDef({0})});
+  EXPECT_FALSE(problem.Validate().ok());
+  problem.initial = Configuration::Empty();
+  problem.final_config = Configuration({IndexDef({0})});
+  EXPECT_FALSE(problem.Validate().ok());
+}
+
+TEST_F(DesignProblemTest, CountChangesDefaultIgnoresInitial) {
+  const Configuration empty;
+  const Configuration ia({IndexDef({0})});
+  const Configuration ib({IndexDef({1})});
+  DesignProblem& problem = fixture_->problem;  // count_initial_change=false.
+  EXPECT_EQ(CountChanges(problem, {ia, ia, ia, ia}), 0);
+  EXPECT_EQ(CountChanges(problem, {ia, ib, ia, ia}), 2);
+  EXPECT_EQ(CountChanges(problem, {empty, empty, ia, ib}), 2);
+  EXPECT_EQ(CountChanges(problem, {}), 0);
+}
+
+TEST_F(DesignProblemTest, CountChangesWithInitialPolicy) {
+  const Configuration empty;
+  const Configuration ia({IndexDef({0})});
+  DesignProblem problem = fixture_->problem;
+  problem.count_initial_change = true;
+  problem.initial = empty;
+  EXPECT_EQ(CountChanges(problem, {ia, ia, ia, ia}), 1);
+  EXPECT_EQ(CountChanges(problem, {empty, ia, ia, ia}), 1);
+  EXPECT_EQ(CountChanges(problem, {empty, empty, empty, empty}), 0);
+}
+
+TEST_F(DesignProblemTest, EvaluateScheduleCostMatchesManualSum) {
+  const WhatIfEngine& what_if = *fixture_->problem.what_if;
+  const Configuration empty;
+  const Configuration ia({IndexDef({0})});
+  const std::vector<Configuration> configs = {empty, ia, ia, empty};
+  double expected = 0;
+  expected += what_if.TransitionCost(empty, empty) +
+              what_if.SegmentCost(0, empty);
+  expected += what_if.TransitionCost(empty, ia) + what_if.SegmentCost(1, ia);
+  expected += what_if.TransitionCost(ia, ia) + what_if.SegmentCost(2, ia);
+  expected +=
+      what_if.TransitionCost(ia, empty) + what_if.SegmentCost(3, empty);
+  EXPECT_DOUBLE_EQ(EvaluateScheduleCost(fixture_->problem, configs),
+                   expected);
+}
+
+TEST_F(DesignProblemTest, EvaluateScheduleCostAddsFinalTransition) {
+  const Configuration empty;
+  const Configuration ia({IndexDef({0})});
+  const std::vector<Configuration> configs = {ia, ia, ia, ia};
+  DesignProblem problem = fixture_->problem;
+  const double unconstrained_dest = EvaluateScheduleCost(problem, configs);
+  problem.final_config = empty;
+  const double forced_empty_dest = EvaluateScheduleCost(problem, configs);
+  EXPECT_DOUBLE_EQ(
+      forced_empty_dest - unconstrained_dest,
+      problem.what_if->TransitionCost(ia, empty));
+}
+
+}  // namespace
+}  // namespace cdpd

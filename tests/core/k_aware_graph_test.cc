@@ -1,0 +1,150 @@
+#include "core/k_aware_graph.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/unconstrained_optimizer.h"
+#include "test_util.h"
+
+namespace cdpd {
+namespace {
+
+using testing_util::MakeRandomProblem;
+
+TEST(KAwareGraphTest, GraphSizeFormulas) {
+  // Figure 2's instance: n = 3 stages, 2 configurations, k = 2.
+  const KAwareGraphSize size = ComputeKAwareGraphSize(3, 2, 2);
+  EXPECT_EQ(size.nodes, 3 * 3 * 2 + 2);
+  // Edges: source->2, per stage gap: 3 layers * 2 stay + 2 layer-gaps
+  // * 2 change, dest<-3*2. Two gaps between stages.
+  EXPECT_EQ(size.edges, 2 + 2 * (3 * 2 + 2 * 2) + 3 * 2);
+}
+
+TEST(KAwareGraphTest, GraphSizeGrowsLinearlyInK) {
+  const int64_t n = 30;
+  const int64_t m = 7;
+  const int64_t nodes_k2 = ComputeKAwareGraphSize(n, m, 2).nodes;
+  const int64_t nodes_k4 = ComputeKAwareGraphSize(n, m, 4).nodes;
+  const int64_t nodes_k8 = ComputeKAwareGraphSize(n, m, 8).nodes;
+  EXPECT_EQ(nodes_k4 - nodes_k2, 2 * n * m);
+  EXPECT_EQ(nodes_k8 - nodes_k4, 4 * n * m);
+}
+
+TEST(KAwareGraphTest, RespectsChangeBound) {
+  auto fixture = MakeRandomProblem(20, 6, 15);
+  for (int64_t k = 0; k <= 4; ++k) {
+    auto schedule = SolveKAware(fixture->problem, k);
+    ASSERT_TRUE(schedule.ok()) << "k=" << k;
+    EXPECT_LE(CountChanges(fixture->problem, schedule->configs), k);
+  }
+}
+
+TEST(KAwareGraphTest, MatchesBruteForceForAllK) {
+  for (uint64_t seed = 30; seed < 34; ++seed) {
+    auto fixture = MakeRandomProblem(seed, /*num_segments=*/4,
+                                     /*block_size=*/10);
+    for (int64_t k = 0; k <= 4; ++k) {
+      auto graph = SolveKAware(fixture->problem, k);
+      auto brute = SolveBruteForce(fixture->problem, k);
+      ASSERT_TRUE(graph.ok());
+      ASSERT_TRUE(brute.ok());
+      EXPECT_NEAR(graph->total_cost, brute->total_cost, 1e-6)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(KAwareGraphTest, CostIsMonotoneNonIncreasingInK) {
+  auto fixture = MakeRandomProblem(40, 8, 20);
+  double previous = std::numeric_limits<double>::infinity();
+  for (int64_t k = 0; k <= 8; ++k) {
+    auto schedule = SolveKAware(fixture->problem, k);
+    ASSERT_TRUE(schedule.ok());
+    EXPECT_LE(schedule->total_cost, previous + 1e-9);
+    previous = schedule->total_cost;
+  }
+}
+
+TEST(KAwareGraphTest, LargeKEqualsUnconstrainedOptimum) {
+  auto fixture = MakeRandomProblem(41, 6, 20);
+  auto unconstrained = SolveUnconstrained(fixture->problem);
+  ASSERT_TRUE(unconstrained.ok());
+  // k = n-1 can express any schedule of n segments.
+  auto schedule = SolveKAware(fixture->problem, 5);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(schedule->total_cost, unconstrained->total_cost, 1e-6);
+}
+
+TEST(KAwareGraphTest, KZeroPicksBestStaticConfiguration) {
+  auto fixture = MakeRandomProblem(42, 5, 15);
+  auto schedule = SolveKAware(fixture->problem, 0);
+  ASSERT_TRUE(schedule.ok());
+  // All segments share one configuration...
+  for (const Configuration& config : schedule->configs) {
+    EXPECT_EQ(config, schedule->configs.front());
+  }
+  // ...and it beats (or ties) every other static choice.
+  for (const Configuration& config : fixture->problem.candidates) {
+    const std::vector<Configuration> static_schedule(5, config);
+    EXPECT_LE(schedule->total_cost,
+              EvaluateScheduleCost(fixture->problem, static_schedule) + 1e-9);
+  }
+}
+
+TEST(KAwareGraphTest, CountInitialChangePolicyRestrictsFirstStage) {
+  auto fixture = MakeRandomProblem(43, 5, 15);
+  fixture->problem.count_initial_change = true;
+  auto schedule = SolveKAware(fixture->problem, 0);
+  ASSERT_TRUE(schedule.ok());
+  // With k = 0 and the initial change counted, the schedule must stay
+  // at C0 = {} throughout.
+  for (const Configuration& config : schedule->configs) {
+    EXPECT_TRUE(config.empty());
+  }
+}
+
+TEST(KAwareGraphTest, RejectsNegativeK) {
+  auto fixture = MakeRandomProblem(44, 3, 10);
+  EXPECT_EQ(SolveKAware(fixture->problem, -1).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(KAwareGraphTest, ReportedCostMatchesEvaluationAndStats) {
+  auto fixture = MakeRandomProblem(45, 6, 15);
+  KAwareSolveStats stats;
+  auto schedule = SolveKAware(fixture->problem, 2, &stats);
+  ASSERT_TRUE(schedule.ok());
+  EXPECT_NEAR(schedule->total_cost,
+              EvaluateScheduleCost(fixture->problem, schedule->configs),
+              1e-6);
+  EXPECT_GT(stats.states, 0);
+  EXPECT_GT(stats.relaxations, 0);
+}
+
+TEST(KAwareGraphTest, RelaxationsGrowWithK) {
+  auto fixture = MakeRandomProblem(46, 10, 15);
+  KAwareSolveStats stats_small;
+  KAwareSolveStats stats_large;
+  ASSERT_TRUE(SolveKAware(fixture->problem, 1, &stats_small).ok());
+  ASSERT_TRUE(SolveKAware(fixture->problem, 7, &stats_large).ok());
+  EXPECT_GT(stats_large.relaxations, 2 * stats_small.relaxations);
+}
+
+TEST(KAwareGraphTest, ForcedFinalConfigurationIsHonored) {
+  auto fixture = MakeRandomProblem(47, 5, 15);
+  fixture->problem.final_config = Configuration::Empty();
+  auto with_final = SolveKAware(fixture->problem, 2);
+  ASSERT_TRUE(with_final.ok());
+  EXPECT_NEAR(with_final->total_cost,
+              EvaluateScheduleCost(fixture->problem, with_final->configs),
+              1e-6);
+  fixture->problem.final_config.reset();
+  auto without_final = SolveKAware(fixture->problem, 2);
+  ASSERT_TRUE(without_final.ok());
+  EXPECT_LE(without_final->total_cost, with_final->total_cost + 1e-9);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,126 @@
+#include "core/k_selection.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "workload/standard_workloads.h"
+
+namespace cdpd {
+namespace {
+
+class KSelectionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    schema_ = MakePaperSchema();
+    model_ = std::make_unique<CostModel>(schema_, 200'000, 500'000);
+    WorkloadGenerator gen(schema_, 500'000, 51);
+    w1_ = MakeScaledPaperWorkload("W1", kBlock, &gen).value();
+  }
+
+  KSelectionOptions BaseOptions() {
+    KSelectionOptions options;
+    options.advisor.block_size = kBlock;
+    options.advisor.candidate_indexes = MakePaperCandidateIndexes(schema_);
+    options.candidate_ks = {0, 1, 2, 4, -1};
+    return options;
+  }
+
+  static constexpr size_t kBlock = 200;
+  Schema schema_;
+  std::unique_ptr<CostModel> model_;
+  Workload w1_;
+};
+
+TEST_F(KSelectionTest, JitteredVariantsPreserveMultisetOfStatements) {
+  const auto variants = MakeJitteredVariants(w1_, kBlock, 4, 3, 9);
+  ASSERT_EQ(variants.size(), 3u);
+  for (const Workload& variant : variants) {
+    ASSERT_EQ(variant.size(), w1_.size());
+    // Same statements as a multiset (order differs).
+    auto sort_key = [](const BoundStatement& s) {
+      return std::tuple(static_cast<int>(s.type), s.select_column,
+                        s.where_column, s.where_value);
+    };
+    std::vector<BoundStatement> a = w1_.statements;
+    std::vector<BoundStatement> b = variant.statements;
+    std::sort(a.begin(), a.end(), [&](const auto& x, const auto& y) {
+      return sort_key(x) < sort_key(y);
+    });
+    std::sort(b.begin(), b.end(), [&](const auto& x, const auto& y) {
+      return sort_key(x) < sort_key(y);
+    });
+    EXPECT_EQ(a, b);
+  }
+}
+
+TEST_F(KSelectionTest, JitterKeepsBlocksWithinWindows) {
+  const auto variants = MakeJitteredVariants(w1_, kBlock, 2, 1, 10);
+  ASSERT_EQ(variants.size(), 1u);
+  // With window 2, block i of the variant comes from block i or its
+  // window sibling — so the mix label stays within the original pair.
+  for (size_t block = 0; block < variants[0].block_mix_names.size();
+       ++block) {
+    const size_t window_begin = (block / 2) * 2;
+    const std::string& label = variants[0].block_mix_names[block];
+    bool found = false;
+    for (size_t i = window_begin;
+         i < std::min(window_begin + 2, w1_.block_mix_names.size()); ++i) {
+      found |= w1_.block_mix_names[i] == label;
+    }
+    EXPECT_TRUE(found) << "block " << block;
+  }
+}
+
+TEST_F(KSelectionTest, JitterHandlesDegenerateInputs) {
+  EXPECT_TRUE(MakeJitteredVariants(Workload{}, 10, 4, 2, 1).empty());
+  EXPECT_TRUE(MakeJitteredVariants(w1_, 0, 4, 2, 1).empty());
+}
+
+TEST_F(KSelectionTest, ChoosesSmallKUnderJitter) {
+  // With minor-shift timing scrambled, chasing it cannot pay: the
+  // chosen k must be far below the unconstrained change count.
+  auto report = ChooseChangeBound(*model_, w1_, {}, BaseOptions());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_GE(report->chosen_k, 0);
+  EXPECT_LE(report->chosen_k, 4);
+  ASSERT_EQ(report->outcomes.size(), 5u);
+  // Fit cost is monotone non-increasing in k (optimal solver).
+  for (size_t i = 1; i + 1 < report->outcomes.size(); ++i) {
+    EXPECT_LE(report->outcomes[i].fit_cost,
+              report->outcomes[i - 1].fit_cost + 1e-6);
+  }
+}
+
+TEST_F(KSelectionTest, ChoosesLargeKWhenEvalTraceIsTheTraceItself) {
+  KSelectionOptions options = BaseOptions();
+  auto report = ChooseChangeBound(*model_, w1_, {w1_}, options);
+  ASSERT_TRUE(report.ok());
+  // Fitting the evaluation trace exactly: unconstrained (k = -1) wins.
+  EXPECT_EQ(report->chosen_k, -1);
+}
+
+TEST_F(KSelectionTest, RejectsMismatchedEvalTraceLength) {
+  Workload short_trace = w1_;
+  short_trace.statements.resize(100);
+  EXPECT_EQ(ChooseChangeBound(*model_, w1_, {short_trace}, BaseOptions())
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(KSelectionTest, RejectsEmptyCandidateKs) {
+  KSelectionOptions options = BaseOptions();
+  options.candidate_ks.clear();
+  EXPECT_EQ(ChooseChangeBound(*model_, w1_, {}, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(KSelectionTest, ReportToStringMarksChosenK) {
+  auto report = ChooseChangeBound(*model_, w1_, {}, BaseOptions());
+  ASSERT_TRUE(report.ok());
+  EXPECT_NE(report->ToString().find("<-- chosen"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,85 @@
+#include "cost/calibration.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Database::Create(MakePaperSchema(), 60'000, 500'000, /*seed=*/3)
+              .value();
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(CalibrationTest, ProducesPositiveParameters) {
+  auto report = CalibrateCostParams(db_.get());
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_DOUBLE_EQ(report->params.seq_page_cost, 1.0);
+  EXPECT_GT(report->params.random_page_cost, 0.0);
+  EXPECT_GT(report->params.write_page_cost, 0.0);
+  EXPECT_GT(report->params.cpu_tuple_cost, 0.0);
+  EXPECT_GE(report->params.sort_cpu_factor, 0.0);
+  EXPECT_GT(report->seconds_per_seq_page, 0.0);
+}
+
+TEST_F(CalibrationTest, TupleCostBelowPageCost) {
+  // A page holds ~200 tuples; per-tuple CPU must be far below the
+  // per-page cost for the model to make sense.
+  auto report = CalibrateCostParams(db_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_LT(report->params.cpu_tuple_cost, 1.0);
+}
+
+TEST_F(CalibrationTest, RestoresOriginalConfiguration) {
+  const Configuration before({IndexDef({3})});
+  AccessStats stats;
+  ASSERT_TRUE(db_->ApplyConfiguration(before, &stats).ok());
+  auto report = CalibrateCostParams(db_.get());
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(db_->current_configuration(), before);
+}
+
+TEST_F(CalibrationTest, CalibratedModelPredictsMeasuredRatios) {
+  auto report = CalibrateCostParams(db_.get());
+  ASSERT_TRUE(report.ok());
+  // Build a model with the calibrated parameters and check that the
+  // predicted scan-vs-seek ratio matches wall-clock reality within an
+  // order of magnitude (in-memory noise allowed).
+  CostModel calibrated(db_->schema(), db_->table().num_rows(), 500'000,
+                       report->params);
+  const double scan_cost = calibrated.StatementCost(
+      BoundStatement::SelectPoint(3, 3, 1), Configuration::Empty());
+  const double seek_cost = calibrated.StatementCost(
+      BoundStatement::SelectPoint(0, 0, 1),
+      Configuration({IndexDef({0})}));
+  EXPECT_GT(scan_cost / seek_cost, 10.0);
+}
+
+TEST_F(CalibrationTest, RejectsTinyTables) {
+  auto tiny =
+      Database::Create(MakePaperSchema(), 100, 1000, /*seed=*/1).value();
+  EXPECT_EQ(CalibrateCostParams(tiny.get()).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(CalibrationTest, RejectsBadOptions) {
+  CalibrationOptions options;
+  options.repetitions = 0;
+  EXPECT_EQ(CalibrateCostParams(db_.get(), options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(CalibrationTest, ReportToStringMentionsAllParameters) {
+  auto report = CalibrateCostParams(db_.get());
+  ASSERT_TRUE(report.ok());
+  const std::string text = report->ToString();
+  EXPECT_NE(text.find("random_page_cost"), std::string::npos);
+  EXPECT_NE(text.find("cpu_tuple_cost"), std::string::npos);
+  EXPECT_NE(text.find("sort_cpu_factor"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,168 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakePaperSchema();
+  // The paper's table: 2.5M rows, values uniform in [0, 500000).
+  CostModel model_{schema_, 2'500'000, 500'000};
+
+  Configuration Config(std::vector<IndexDef> defs) {
+    return Configuration(std::move(defs));
+  }
+  BoundStatement Select(ColumnId col) {
+    return BoundStatement::SelectPoint(col, col, 0);
+  }
+};
+
+TEST_F(CostModelTest, ExpectedMatchesIsRowsOverDomain) {
+  EXPECT_DOUBLE_EQ(model_.ExpectedMatches(), 5.0);
+}
+
+TEST_F(CostModelTest, SeekBeatsCoveringScanBeatsTableScan) {
+  const IndexDef ab({0, 1});
+  const double seek = model_.StatementCost(Select(0), Config({ab}));
+  const double covering = model_.StatementCost(Select(1), Config({ab}));
+  const double scan = model_.StatementCost(Select(2), Config({ab}));
+  EXPECT_LT(seek, covering);
+  EXPECT_LT(covering, scan);
+}
+
+TEST_F(CostModelTest, CoveringScanCostTracksIndexWidth) {
+  // The leaf level of I(a,b) is ~60% of the heap: its covering scan
+  // must be cheaper than a table scan by roughly that ratio.
+  const IndexDef ab({0, 1});
+  const double covering = model_.StatementCost(Select(1), Config({ab}));
+  const double scan =
+      model_.StatementCost(Select(1), Configuration::Empty());
+  EXPECT_LT(covering, scan);
+  EXPECT_GT(covering, 0.4 * scan);
+  EXPECT_LT(covering, 0.75 * scan);
+}
+
+TEST_F(CostModelTest, ChooseAccessPathPicksExpectedKinds) {
+  const IndexDef a({0});
+  const IndexDef ab({0, 1});
+
+  EXPECT_EQ(model_.ChooseAccessPath(Select(0), Configuration::Empty()).kind,
+            AccessPathKind::kTableScan);
+  EXPECT_EQ(model_.ChooseAccessPath(Select(0), Config({a})).kind,
+            AccessPathKind::kIndexSeek);
+  EXPECT_EQ(model_.ChooseAccessPath(Select(1), Config({ab})).kind,
+            AccessPathKind::kCoveringScan);
+  // Select d with predicate on a: seek + heap fetch.
+  EXPECT_EQ(model_
+                .ChooseAccessPath(BoundStatement::SelectPoint(3, 0, 0),
+                                  Config({a}))
+                .kind,
+            AccessPathKind::kIndexSeekWithFetch);
+  // Index on a does not help a predicate on c.
+  EXPECT_EQ(model_.ChooseAccessPath(Select(2), Config({a})).kind,
+            AccessPathKind::kTableScan);
+}
+
+TEST_F(CostModelTest, Table2MixPreferences) {
+  // The configuration preferences that produce Table 2 (see DESIGN.md):
+  // mix A (55% a / 25% b / 10% c / 10% d) prefers I(a,b) over I(a);
+  // mix B (25% a / 55% b) prefers I(b) over I(a,b);
+  // the merged A+B phase (40/40/10/10) prefers I(a,b) over both.
+  auto mix_cost = [&](const std::vector<double>& weights,
+                      const Configuration& config) {
+    double cost = 0;
+    for (ColumnId col = 0; col < 4; ++col) {
+      cost += weights[static_cast<size_t>(col)] *
+              model_.StatementCost(Select(col), config);
+    }
+    return cost;
+  };
+  const Configuration ia = Config({IndexDef({0})});
+  const Configuration ib = Config({IndexDef({1})});
+  const Configuration iab = Config({IndexDef({0, 1})});
+
+  const std::vector<double> mix_a = {0.55, 0.25, 0.10, 0.10};
+  const std::vector<double> mix_b = {0.25, 0.55, 0.10, 0.10};
+  const std::vector<double> merged = {0.40, 0.40, 0.10, 0.10};
+
+  EXPECT_LT(mix_cost(mix_a, iab), mix_cost(mix_a, ia));
+  EXPECT_LT(mix_cost(mix_b, ib), mix_cost(mix_b, iab));
+  EXPECT_LT(mix_cost(merged, iab), mix_cost(merged, ia));
+  EXPECT_LT(mix_cost(merged, iab), mix_cost(merged, ib));
+}
+
+TEST_F(CostModelTest, UpdateCostGrowsWithAffectedIndexes) {
+  const BoundStatement update = BoundStatement::UpdatePoint(1, 5, 0, 7);
+  const double no_index =
+      model_.StatementCost(update, Configuration::Empty());
+  const double one_index =
+      model_.StatementCost(update, Config({IndexDef({1})}));
+  EXPECT_GT(one_index - model_.StatementCost(Select(0), Config({IndexDef({1})})),
+            0.0);
+  // With I(b), the update must pay b-entry maintenance on top of row
+  // location, which the empty config does not.
+  const double locate_empty =
+      model_.StatementCost(BoundStatement::SelectPoint(0, 0, 7),
+                           Configuration::Empty());
+  const double locate_ib = model_.StatementCost(
+      BoundStatement::SelectPoint(0, 0, 7), Config({IndexDef({1})}));
+  EXPECT_GT(one_index - locate_ib, no_index - locate_empty);
+}
+
+TEST_F(CostModelTest, InsertCostGrowsWithIndexCount) {
+  const BoundStatement insert = BoundStatement::Insert({1, 2, 3, 4});
+  const double zero = model_.StatementCost(insert, Configuration::Empty());
+  const double one = model_.StatementCost(insert, Config({IndexDef({0})}));
+  const double two = model_.StatementCost(
+      insert, Config({IndexDef({0}), IndexDef({2, 3})}));
+  EXPECT_LT(zero, one);
+  EXPECT_LT(one, two);
+}
+
+TEST_F(CostModelTest, TransitionCostSumsBuildsAndDrops) {
+  const Configuration from = Config({IndexDef({0})});
+  const Configuration to = Config({IndexDef({1})});
+  const double trans = model_.TransitionCost(from, to);
+  EXPECT_DOUBLE_EQ(trans, model_.BuildCost(IndexDef({1})) +
+                              model_.DropCost(IndexDef({0})));
+  EXPECT_DOUBLE_EQ(model_.TransitionCost(from, from), 0.0);
+}
+
+TEST_F(CostModelTest, BuildCostExceedsScanCost) {
+  const double scan =
+      model_.StatementCost(Select(0), Configuration::Empty());
+  EXPECT_GT(model_.BuildCost(IndexDef({0})), scan);
+}
+
+TEST_F(CostModelTest, BuildCostDwarfsDropCost) {
+  EXPECT_GT(model_.BuildCost(IndexDef({0})),
+            100 * model_.DropCost(IndexDef({0})));
+}
+
+TEST_F(CostModelTest, ConfigurationSizeMatchesConfig) {
+  const Configuration c = Config({IndexDef({0}), IndexDef({0, 1})});
+  EXPECT_EQ(model_.ConfigurationSizePages(c), c.SizePages(2'500'000));
+}
+
+TEST_F(CostModelTest, StatsToCostWeighsCounters) {
+  AccessStats stats;
+  stats.sequential_pages = 10;
+  stats.random_pages = 5;
+  stats.written_pages = 2;
+  stats.rows_examined = 1000;
+  const CostParams& p = model_.params();
+  EXPECT_DOUBLE_EQ(model_.StatsToCost(stats),
+                   10 * p.seq_page_cost + 5 * p.random_page_cost +
+                       2 * p.write_page_cost + 1000 * p.cpu_tuple_cost);
+}
+
+TEST_F(CostModelTest, AccessPathKindNames) {
+  EXPECT_EQ(AccessPathKindToString(AccessPathKind::kTableScan), "TableScan");
+  EXPECT_EQ(AccessPathKindToString(AccessPathKind::kCoveringScan),
+            "CoveringScan");
+}
+
+}  // namespace
+}  // namespace cdpd

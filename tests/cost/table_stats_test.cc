@@ -1,0 +1,123 @@
+#include "cost/table_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/cost_model.h"
+
+namespace cdpd {
+namespace {
+
+class TableStatsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(MakePaperSchema());
+    Rng rng(8);
+    // Skewed columns: a in [0, 10), b in [0, 100000), c constant,
+    // d in [1000, 2000).
+    for (int i = 0; i < 20'000; ++i) {
+      ASSERT_TRUE(table_
+                      ->AppendRow({rng.UniformInt(0, 9),
+                                   rng.UniformInt(0, 99'999), 7,
+                                   rng.UniformInt(1000, 1999)})
+                      .ok());
+    }
+    stats_ = TableStats::FromTable(*table_);
+  }
+  std::unique_ptr<Table> table_;
+  TableStats stats_;
+};
+
+TEST_F(TableStatsTest, BoundsAndDistincts) {
+  EXPECT_EQ(stats_.column(0).min_value, 0);
+  EXPECT_EQ(stats_.column(0).max_value, 9);
+  EXPECT_EQ(stats_.column(0).distinct_estimate, 10);
+  EXPECT_EQ(stats_.column(2).distinct_estimate, 1);
+  EXPECT_DOUBLE_EQ(stats_.column(2).density, 1.0);
+  EXPECT_GT(stats_.column(1).distinct_estimate, 10'000);
+}
+
+TEST_F(TableStatsTest, EqMatchesFollowDensity) {
+  // Column a: 10 distinct values over 20000 rows -> ~2000 matches.
+  EXPECT_NEAR(stats_.ExpectedEqMatches(0), 2000.0, 1.0);
+  // Column c: constant -> every row matches.
+  EXPECT_DOUBLE_EQ(stats_.ExpectedEqMatches(2), 20'000.0);
+  // Column b: nearly unique -> close to 1 match (collisions allowed).
+  EXPECT_LT(stats_.ExpectedEqMatches(1), 3.0);
+}
+
+TEST_F(TableStatsTest, RangeMatchesUseActualBounds) {
+  // Column d lives in [1000, 1999]: a range outside it matches nothing.
+  EXPECT_DOUBLE_EQ(stats_.ExpectedRangeMatches(3, 0, 500), 0.0);
+  // The full range matches everything.
+  EXPECT_NEAR(stats_.ExpectedRangeMatches(3, 1000, 1999), 20'000.0, 1.0);
+  // Half the range matches about half.
+  EXPECT_NEAR(stats_.ExpectedRangeMatches(3, 1000, 1499), 10'000.0, 600.0);
+  // Degenerate range.
+  EXPECT_DOUBLE_EQ(stats_.ExpectedRangeMatches(3, 10, 5), 0.0);
+}
+
+TEST_F(TableStatsTest, HistogramCapturesSkew) {
+  // A lopsided column: 90% of values in one spot.
+  Table skewed(MakePaperSchema("s"));
+  Rng rng(9);
+  for (int i = 0; i < 10'000; ++i) {
+    const Value v = i % 10 == 0 ? rng.UniformInt(0, 99'999) : 50;
+    ASSERT_TRUE(skewed.AppendRow({v, 0, 0, 0}).ok());
+  }
+  const TableStats stats = TableStats::FromTable(skewed);
+  // The bucket around 50 holds ~90% of rows; a narrow range there
+  // matches far more than the uniform assumption predicts.
+  const double near_spike = stats.ExpectedRangeMatches(0, 0, 1000);
+  const double far_from_spike = stats.ExpectedRangeMatches(0, 60'000, 61'000);
+  EXPECT_GT(near_spike, 50 * far_from_spike);
+}
+
+TEST_F(TableStatsTest, EmptyTable) {
+  Table empty(MakePaperSchema("e"));
+  const TableStats stats = TableStats::FromTable(empty);
+  EXPECT_EQ(stats.num_rows(), 0);
+  EXPECT_DOUBLE_EQ(stats.ExpectedEqMatches(0), 0.0);
+  EXPECT_DOUBLE_EQ(stats.ExpectedRangeMatches(0, 0, 10), 0.0);
+}
+
+TEST_F(TableStatsTest, OutOfRangeColumnIsZero) {
+  EXPECT_DOUBLE_EQ(stats_.ExpectedEqMatches(-1), 0.0);
+  EXPECT_DOUBLE_EQ(stats_.ExpectedEqMatches(9), 0.0);
+}
+
+TEST_F(TableStatsTest, CostModelUsesAttachedStats) {
+  CostModel model(table_->schema(), table_->num_rows(), 500'000);
+  // Without stats: uniform assumption says 0.04 matches for any column.
+  EXPECT_NEAR(model.ExpectedMatchesFor(0), 0.04, 1e-9);
+  model.SetTableStats(&stats_);
+  // With stats: column a's real density dominates.
+  EXPECT_NEAR(model.ExpectedMatchesFor(0), 2000.0, 1.0);
+  EXPECT_NEAR(model.ExpectedMatchesFor(2), 20'000.0, 1.0);
+  model.SetTableStats(nullptr);
+  EXPECT_NEAR(model.ExpectedMatchesFor(0), 0.04, 1e-9);
+}
+
+TEST_F(TableStatsTest, StatsChangeAccessPathDecisions) {
+  CostModel model(table_->schema(), table_->num_rows(), 500'000);
+  const Configuration ia({IndexDef({0})});
+  const BoundStatement query = BoundStatement::SelectPoint(3, 0, 5);
+  // Uniform assumption: ~0.04 matches, seek+fetch looks ideal.
+  EXPECT_EQ(model.ChooseAccessPath(query, ia).kind,
+            AccessPathKind::kIndexSeekWithFetch);
+  // Reality: ~2000 matches on column a; fetching 2000 rows at random
+  // is worse than scanning 99 pages.
+  model.SetTableStats(&stats_);
+  EXPECT_EQ(model.ChooseAccessPath(query, ia).kind,
+            AccessPathKind::kTableScan);
+}
+
+TEST_F(TableStatsTest, ToStringListsEveryColumn) {
+  const std::string text = stats_.ToString(table_->schema());
+  for (const std::string& name : table_->schema().column_names()) {
+    EXPECT_NE(text.find(name + ":"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,87 @@
+#include "cost/what_if.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class WhatIfTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Two segments: one all-a queries, one all-b queries.
+    for (int i = 0; i < 10; ++i) {
+      statements_.push_back(BoundStatement::SelectPoint(0, 0, i));
+    }
+    for (int i = 0; i < 10; ++i) {
+      statements_.push_back(BoundStatement::SelectPoint(1, 1, i));
+    }
+    segments_ = SegmentFixed(statements_.size(), 10);
+    what_if_ = std::make_unique<WhatIfEngine>(&model_, statements_,
+                                              segments_);
+  }
+
+  Schema schema_ = MakePaperSchema();
+  CostModel model_{schema_, 100'000, 1000};
+  std::vector<BoundStatement> statements_;
+  std::vector<Segment> segments_;
+  std::unique_ptr<WhatIfEngine> what_if_;
+};
+
+TEST_F(WhatIfTest, SegmentCostSumsStatementCosts) {
+  const Configuration empty;
+  const double expected =
+      10 * model_.StatementCost(BoundStatement::SelectPoint(0, 0, 0), empty);
+  EXPECT_DOUBLE_EQ(what_if_->SegmentCost(0, empty), expected);
+}
+
+TEST_F(WhatIfTest, SegmentCostDependsOnConfiguration) {
+  const Configuration ia({IndexDef({0})});
+  EXPECT_LT(what_if_->SegmentCost(0, ia),
+            what_if_->SegmentCost(0, Configuration::Empty()));
+  // Segment 1 queries b; I(a) does not help it.
+  EXPECT_DOUBLE_EQ(what_if_->SegmentCost(1, ia),
+                   what_if_->SegmentCost(1, Configuration::Empty()));
+}
+
+TEST_F(WhatIfTest, MemoizationAvoidsRecosting) {
+  const Configuration empty;
+  (void)what_if_->SegmentCost(0, empty);
+  const int64_t after_first = what_if_->costings();
+  (void)what_if_->SegmentCost(0, empty);
+  EXPECT_EQ(what_if_->costings(), after_first);
+}
+
+TEST_F(WhatIfTest, ProfilesCollapseStatementsWithEqualShape) {
+  // Segment 0 holds 10 queries of one shape: exactly one costing.
+  (void)what_if_->SegmentCost(0, Configuration::Empty());
+  EXPECT_EQ(what_if_->costings(), 1);
+}
+
+TEST_F(WhatIfTest, RangeCostSumsSegments) {
+  const Configuration empty;
+  EXPECT_DOUBLE_EQ(
+      what_if_->RangeCost(0, 2, empty),
+      what_if_->SegmentCost(0, empty) + what_if_->SegmentCost(1, empty));
+  EXPECT_DOUBLE_EQ(what_if_->RangeCost(1, 1, empty), 0.0);
+}
+
+TEST_F(WhatIfTest, TransitionCostForwardsToModel) {
+  const Configuration ia({IndexDef({0})});
+  EXPECT_DOUBLE_EQ(what_if_->TransitionCost(Configuration::Empty(), ia),
+                   model_.TransitionCost(Configuration::Empty(), ia));
+}
+
+TEST_F(WhatIfTest, DistinctShapesAreCostedSeparately) {
+  std::vector<BoundStatement> mixed;
+  mixed.push_back(BoundStatement::SelectPoint(0, 0, 1));
+  mixed.push_back(BoundStatement::SelectPoint(1, 1, 2));
+  mixed.push_back(BoundStatement::UpdatePoint(2, 3, 0, 4));
+  mixed.push_back(BoundStatement::SelectPoint(0, 0, 99));  // Same shape as #1.
+  const std::vector<Segment> segments = {{0, mixed.size()}};
+  WhatIfEngine engine(&model_, mixed, segments);
+  (void)engine.SegmentCost(0, Configuration::Empty());
+  EXPECT_EQ(engine.costings(), 3);  // Three distinct shapes.
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,120 @@
+#include "engine/database.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_ = Database::Create(MakePaperSchema(), 10'000, 500, /*seed=*/1)
+              .value();
+  }
+  std::unique_ptr<Database> db_;
+};
+
+TEST_F(DatabaseTest, CreateValidatesArguments) {
+  EXPECT_FALSE(Database::Create(MakePaperSchema(), -1, 500, 1).ok());
+  EXPECT_FALSE(Database::Create(MakePaperSchema(), 10, 0, 1).ok());
+}
+
+TEST_F(DatabaseTest, CreatePopulatesTable) {
+  EXPECT_EQ(db_->table().num_rows(), 10'000);
+  EXPECT_EQ(db_->schema().table_name(), "t");
+  EXPECT_TRUE(db_->current_configuration().empty());
+}
+
+TEST_F(DatabaseTest, SameSeedSameData) {
+  auto db2 = Database::Create(MakePaperSchema(), 10'000, 500, 1).value();
+  for (RowId row = 0; row < 100; ++row) {
+    EXPECT_EQ(db_->table().GetValue(row, 2), db2->table().GetValue(row, 2));
+  }
+}
+
+TEST_F(DatabaseTest, ApplyConfigurationCreatesAndDrops) {
+  const Configuration target({IndexDef({0}), IndexDef({2, 3})});
+  AccessStats stats;
+  ASSERT_TRUE(db_->ApplyConfiguration(target, &stats).ok());
+  EXPECT_EQ(db_->current_configuration(), target);
+  EXPECT_GT(stats.sequential_pages, 0);  // Two heap scans for the builds.
+
+  const Configuration next({IndexDef({2, 3})});
+  AccessStats stats2;
+  ASSERT_TRUE(db_->ApplyConfiguration(next, &stats2).ok());
+  EXPECT_EQ(db_->current_configuration(), next);
+  // Only a drop: no heap scan.
+  EXPECT_EQ(stats2.sequential_pages, 0);
+  EXPECT_GT(stats2.written_pages, 0);
+}
+
+TEST_F(DatabaseTest, ApplyConfigurationIsIdempotent) {
+  const Configuration target({IndexDef({1})});
+  AccessStats stats;
+  ASSERT_TRUE(db_->ApplyConfiguration(target, &stats).ok());
+  AccessStats stats2;
+  ASSERT_TRUE(db_->ApplyConfiguration(target, &stats2).ok());
+  EXPECT_EQ(stats2, AccessStats{});
+}
+
+TEST_F(DatabaseTest, ExecuteSqlSelect) {
+  AccessStats stats;
+  auto result = db_->ExecuteSql("SELECT a FROM t WHERE a = 42", &stats);
+  ASSERT_TRUE(result.ok()) << result.status();
+  for (Value v : result->values) EXPECT_EQ(v, 42);
+}
+
+TEST_F(DatabaseTest, ExecuteSqlDdlChangesConfiguration) {
+  AccessStats stats;
+  ASSERT_TRUE(db_->ExecuteSql("CREATE INDEX ON t (a, b)", &stats).ok());
+  EXPECT_TRUE(db_->current_configuration().Contains(IndexDef({0, 1})));
+  ASSERT_TRUE(db_->ExecuteSql("DROP INDEX ON t (a, b)", &stats).ok());
+  EXPECT_TRUE(db_->current_configuration().empty());
+}
+
+TEST_F(DatabaseTest, ExecuteSqlReportsParseErrors) {
+  AccessStats stats;
+  EXPECT_EQ(db_->ExecuteSql("SELEKT a", &stats).status().code(),
+            StatusCode::kParseError);
+}
+
+TEST_F(DatabaseTest, ExecuteSqlReportsBindErrors) {
+  AccessStats stats;
+  EXPECT_FALSE(db_->ExecuteSql("SELECT zz FROM t WHERE a = 1", &stats).ok());
+}
+
+TEST_F(DatabaseTest, RunWorkloadAggregatesStats) {
+  std::vector<BoundStatement> batch;
+  for (int i = 0; i < 5; ++i) {
+    batch.push_back(BoundStatement::SelectPoint(0, 0, i));
+  }
+  auto run = db_->RunWorkload(batch);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->statements, 5);
+  // Five full scans without an index.
+  EXPECT_EQ(run->stats.sequential_pages, 5 * db_->table().heap_pages());
+  EXPECT_GE(run->wall_seconds, 0.0);
+}
+
+TEST_F(DatabaseTest, BulkLoadAccessRequiresIndexFreeTable) {
+  auto table = db_->GetTableForBulkLoad();
+  ASSERT_TRUE(table.ok());
+  ASSERT_TRUE((*table)->SetValue(0, 0, 42).ok());
+  EXPECT_EQ(db_->table().GetValue(0, 0), 42);
+
+  AccessStats stats;
+  ASSERT_TRUE(
+      db_->ApplyConfiguration(Configuration({IndexDef({0})}), &stats).ok());
+  EXPECT_EQ(db_->GetTableForBulkLoad().status().code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(db_->ApplyConfiguration(Configuration::Empty(), &stats).ok());
+  EXPECT_TRUE(db_->GetTableForBulkLoad().ok());
+}
+
+TEST_F(DatabaseTest, CostModelMatchesTable) {
+  EXPECT_EQ(db_->cost_model().num_rows(), db_->table().num_rows());
+  EXPECT_EQ(db_->cost_model().HeapPagesCount(), db_->table().heap_pages());
+}
+
+}  // namespace
+}  // namespace cdpd

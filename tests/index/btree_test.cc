@@ -1,0 +1,223 @@
+#include "index/btree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cdpd {
+namespace {
+
+IndexDef OneColDef() { return IndexDef({0}); }
+IndexDef TwoColDef() { return IndexDef({0, 1}); }
+
+IndexEntry MakeEntry(Value v, RowId rid) {
+  IndexEntry entry;
+  entry.key.Append(v);
+  entry.rid = rid;
+  return entry;
+}
+
+IndexEntry MakeEntry2(Value v1, Value v2, RowId rid) {
+  IndexEntry entry;
+  entry.key.Append(v1);
+  entry.key.Append(v2);
+  entry.rid = rid;
+  return entry;
+}
+
+TEST(CompositeKeyTest, LexicographicOrder) {
+  EXPECT_LT(CompositeKey({1, 2}), CompositeKey({1, 3}));
+  EXPECT_LT(CompositeKey({1, 9}), CompositeKey({2, 0}));
+  EXPECT_EQ(CompositeKey({1, 2}), CompositeKey({1, 2}));
+}
+
+TEST(CompositeKeyTest, PrefixOrdersBeforeExtension) {
+  EXPECT_LT(CompositeKey({1}), CompositeKey({1, 0}));
+  EXPECT_LT(CompositeKey({1}), CompositeKey({1, -5}));
+}
+
+TEST(CompositeKeyTest, MatchesPrefix) {
+  const CompositeKey key({3, 7});
+  EXPECT_TRUE(key.MatchesPrefix(CompositeKey({3})));
+  EXPECT_TRUE(key.MatchesPrefix(CompositeKey({3, 7})));
+  EXPECT_FALSE(key.MatchesPrefix(CompositeKey({4})));
+}
+
+TEST(BTreeTest, EmptyTreeSeekFindsNothing) {
+  BTree tree(OneColDef());
+  AccessStats stats;
+  int found = 0;
+  tree.SeekPrefix(CompositeKey({5}), &stats, [&](const IndexEntry&) {
+    ++found;
+  });
+  EXPECT_EQ(found, 0);
+  EXPECT_EQ(tree.num_entries(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(BTreeTest, BulkLoadThenSeek) {
+  BTree tree(OneColDef());
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 2000; ++i) entries.push_back(MakeEntry(i, i));
+  AccessStats stats;
+  tree.BulkLoad(entries, &stats);
+  EXPECT_EQ(tree.num_entries(), 2000);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(stats.written_pages, 0);
+
+  AccessStats seek_stats;
+  std::vector<RowId> rids;
+  tree.SeekPrefix(CompositeKey({1234}), &seek_stats,
+                  [&](const IndexEntry& e) { rids.push_back(e.rid); });
+  ASSERT_EQ(rids.size(), 1u);
+  EXPECT_EQ(rids[0], 1234);
+  EXPECT_EQ(seek_stats.random_pages, tree.height());
+}
+
+TEST(BTreeTest, BulkLoadPacksLeavesToPageCapacity) {
+  BTree tree(OneColDef());
+  std::vector<IndexEntry> entries;
+  const int64_t n = tree.leaf_capacity() * 3 + 1;
+  for (int64_t i = 0; i < n; ++i) entries.push_back(MakeEntry(i, i));
+  AccessStats stats;
+  tree.BulkLoad(entries, &stats);
+  EXPECT_EQ(tree.num_leaves(), 4);
+  EXPECT_EQ(tree.num_leaves(), IndexLeafPages(n, 1));
+}
+
+TEST(BTreeTest, SeekFindsAllDuplicates) {
+  BTree tree(OneColDef());
+  std::vector<IndexEntry> entries;
+  // 700 duplicates of key 42 span multiple leaves (capacity 512).
+  for (int i = 0; i < 700; ++i) entries.push_back(MakeEntry(42, i));
+  for (int i = 0; i < 300; ++i) entries.push_back(MakeEntry(43, 1000 + i));
+  std::sort(entries.begin(), entries.end());
+  AccessStats stats;
+  tree.BulkLoad(entries, &stats);
+
+  std::vector<RowId> rids;
+  tree.SeekPrefix(CompositeKey({42}), &stats,
+                  [&](const IndexEntry& e) { rids.push_back(e.rid); });
+  EXPECT_EQ(rids.size(), 700u);
+  EXPECT_TRUE(std::is_sorted(rids.begin(), rids.end()));
+}
+
+TEST(BTreeTest, PrefixSeekOnCompositeIndex) {
+  BTree tree(TwoColDef());
+  std::vector<IndexEntry> entries;
+  for (int a = 0; a < 50; ++a) {
+    for (int b = 0; b < 20; ++b) {
+      entries.push_back(MakeEntry2(a, b, a * 100 + b));
+    }
+  }
+  AccessStats stats;
+  tree.BulkLoad(entries, &stats);
+
+  std::vector<Value> seconds;
+  tree.SeekPrefix(CompositeKey({7}), &stats, [&](const IndexEntry& e) {
+    EXPECT_EQ(e.key.value(0), 7);
+    seconds.push_back(e.key.value(1));
+  });
+  ASSERT_EQ(seconds.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(seconds.begin(), seconds.end()));
+}
+
+TEST(BTreeTest, InsertMaintainsOrderAndInvariants) {
+  BTree tree(OneColDef());
+  AccessStats stats;
+  Rng rng(99);
+  for (int i = 0; i < 3000; ++i) {
+    EXPECT_TRUE(tree.Insert(MakeEntry(rng.UniformInt(0, 500), i), &stats));
+  }
+  EXPECT_EQ(tree.num_entries(), 3000);
+  EXPECT_TRUE(tree.CheckInvariants());
+
+  std::vector<IndexEntry> all;
+  tree.ScanLeaves(&stats, [&](const IndexEntry& e) { all.push_back(e); });
+  EXPECT_EQ(all.size(), 3000u);
+  EXPECT_TRUE(std::is_sorted(all.begin(), all.end()));
+}
+
+TEST(BTreeTest, InsertRejectsExactDuplicate) {
+  BTree tree(OneColDef());
+  AccessStats stats;
+  EXPECT_TRUE(tree.Insert(MakeEntry(5, 100), &stats));
+  EXPECT_FALSE(tree.Insert(MakeEntry(5, 100), &stats));
+  EXPECT_TRUE(tree.Insert(MakeEntry(5, 101), &stats));  // Different rid.
+  EXPECT_EQ(tree.num_entries(), 2);
+}
+
+TEST(BTreeTest, EraseRemovesExactEntry) {
+  BTree tree(OneColDef());
+  AccessStats stats;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(tree.Insert(MakeEntry(i, i), &stats));
+  }
+  EXPECT_TRUE(tree.Erase(MakeEntry(50, 50), &stats));
+  EXPECT_FALSE(tree.Erase(MakeEntry(50, 50), &stats));
+  EXPECT_EQ(tree.num_entries(), 99);
+  int found = 0;
+  tree.SeekPrefix(CompositeKey({50}), &stats,
+                  [&](const IndexEntry&) { ++found; });
+  EXPECT_EQ(found, 0);
+}
+
+TEST(BTreeTest, EraseOnlyTargetsMatchingRid) {
+  BTree tree(OneColDef());
+  AccessStats stats;
+  ASSERT_TRUE(tree.Insert(MakeEntry(5, 1), &stats));
+  ASSERT_TRUE(tree.Insert(MakeEntry(5, 2), &stats));
+  EXPECT_TRUE(tree.Erase(MakeEntry(5, 1), &stats));
+  int found = 0;
+  RowId remaining = -1;
+  tree.SeekPrefix(CompositeKey({5}), &stats, [&](const IndexEntry& e) {
+    ++found;
+    remaining = e.rid;
+  });
+  EXPECT_EQ(found, 1);
+  EXPECT_EQ(remaining, 2);
+}
+
+TEST(BTreeTest, ScanLeavesChargesLeafPages) {
+  BTree tree(OneColDef());
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 2000; ++i) entries.push_back(MakeEntry(i, i));
+  AccessStats load_stats;
+  tree.BulkLoad(entries, &load_stats);
+  AccessStats scan_stats;
+  tree.ScanLeaves(&scan_stats, [](const IndexEntry&) {});
+  EXPECT_EQ(scan_stats.sequential_pages, tree.num_leaves());
+}
+
+TEST(BTreeTest, HeightMatchesLevels) {
+  BTree tree(OneColDef());
+  std::vector<IndexEntry> entries;
+  const int64_t n = tree.leaf_capacity() * tree.leaf_capacity();  // 2 levels+
+  for (int64_t i = 0; i < n; ++i) entries.push_back(MakeEntry(i, i));
+  AccessStats stats;
+  tree.BulkLoad(entries, &stats);
+  EXPECT_GE(tree.height(), 2);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GE(tree.total_pages(), tree.num_leaves());
+}
+
+TEST(BTreeTest, MixedBulkLoadInsertErase) {
+  BTree tree(TwoColDef());
+  std::vector<IndexEntry> entries;
+  for (int i = 0; i < 1000; ++i) entries.push_back(MakeEntry2(i, i * 2, i));
+  AccessStats stats;
+  tree.BulkLoad(entries, &stats);
+  for (int i = 1000; i < 1500; ++i) {
+    ASSERT_TRUE(tree.Insert(MakeEntry2(i % 997, i, i), &stats));
+  }
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Erase(MakeEntry2(i, i * 2, i), &stats));
+  }
+  EXPECT_EQ(tree.num_entries(), 1300);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,102 @@
+#include "index/index_builder.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace cdpd {
+namespace {
+
+class IndexBuilderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    table_ = std::make_unique<Table>(MakePaperSchema());
+    Rng rng(5);
+    table_->PopulateUniform(5000, 0, 100, &rng);
+  }
+  std::unique_ptr<Table> table_;
+};
+
+TEST_F(IndexBuilderTest, BuildsSortedTreeOverAllRows) {
+  AccessStats stats;
+  auto tree = BuildIndex(*table_, IndexDef({0}), &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->num_entries(), 5000);
+  EXPECT_TRUE((*tree)->CheckInvariants());
+
+  // Every row is reachable via a seek on its own value.
+  for (RowId row = 0; row < 100; ++row) {
+    const Value v = table_->GetValue(row, 0);
+    bool found = false;
+    AccessStats seek_stats;
+    (*tree)->SeekPrefix(CompositeKey({v}), &seek_stats,
+                        [&](const IndexEntry& e) { found |= e.rid == row; });
+    EXPECT_TRUE(found) << "row " << row;
+  }
+}
+
+TEST_F(IndexBuilderTest, ChargesHeapScanAndLeafWrites) {
+  AccessStats stats;
+  auto tree = BuildIndex(*table_, IndexDef({1}), &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ(stats.sequential_pages, table_->heap_pages());
+  EXPECT_GE(stats.written_pages, (*tree)->num_leaves());
+  EXPECT_EQ(stats.rows_examined, 5000);
+}
+
+TEST_F(IndexBuilderTest, CompositeKeysInLexicographicOrder) {
+  AccessStats stats;
+  auto tree = BuildIndex(*table_, IndexDef({2, 3}), &stats);
+  ASSERT_TRUE(tree.ok());
+  std::vector<IndexEntry> entries;
+  (*tree)->ScanLeaves(&stats,
+                      [&](const IndexEntry& e) { entries.push_back(e); });
+  EXPECT_EQ(entries.size(), 5000u);
+  EXPECT_TRUE(std::is_sorted(entries.begin(), entries.end()));
+  // Every entry's key columns equal the row's column values.
+  for (const IndexEntry& entry : entries) {
+    EXPECT_EQ(entry.key.value(0), table_->GetValue(entry.rid, 2));
+    EXPECT_EQ(entry.key.value(1), table_->GetValue(entry.rid, 3));
+  }
+}
+
+TEST_F(IndexBuilderTest, RejectsEmptyKey) {
+  AccessStats stats;
+  EXPECT_EQ(BuildIndex(*table_, IndexDef(std::vector<ColumnId>{}), &stats).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexBuilderTest, RejectsUnknownColumn) {
+  AccessStats stats;
+  EXPECT_EQ(BuildIndex(*table_, IndexDef({9}), &stats).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexBuilderTest, RejectsTooWideKey) {
+  AccessStats stats;
+  EXPECT_EQ(
+      BuildIndex(*table_, IndexDef({0, 1, 2, 3, 0}), &stats).status().code(),
+      StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexBuilderTest, EmptyTableBuildsEmptyIndex) {
+  Table empty(MakePaperSchema("e"));
+  AccessStats stats;
+  auto tree = BuildIndex(empty, IndexDef({0}), &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->num_entries(), 0);
+  EXPECT_TRUE((*tree)->CheckInvariants());
+}
+
+TEST_F(IndexBuilderTest, LeafCountMatchesAnalyticSize) {
+  AccessStats stats;
+  auto tree = BuildIndex(*table_, IndexDef({0}), &stats);
+  ASSERT_TRUE(tree.ok());
+  EXPECT_EQ((*tree)->num_leaves(), IndexDef({0}).LeafPages(5000));
+  EXPECT_EQ((*tree)->height(), IndexDef({0}).Height(5000));
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,97 @@
+#include "index/index_def.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+
+namespace cdpd {
+namespace {
+
+class IndexDefTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakePaperSchema();
+};
+
+TEST_F(IndexDefTest, FromColumnNamesResolvesColumns) {
+  const auto def = IndexDef::FromColumnNames(schema_, {"a", "b"});
+  ASSERT_TRUE(def.ok());
+  EXPECT_EQ(def->num_key_columns(), 2);
+  EXPECT_EQ(def->key_columns()[0], 0);
+  EXPECT_EQ(def->key_columns()[1], 1);
+}
+
+TEST_F(IndexDefTest, FromColumnNamesRejectsUnknownColumn) {
+  EXPECT_EQ(IndexDef::FromColumnNames(schema_, {"x"}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(IndexDefTest, FromColumnNamesRejectsDuplicates) {
+  EXPECT_EQ(IndexDef::FromColumnNames(schema_, {"a", "a"}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexDefTest, FromColumnNamesRejectsEmpty) {
+  EXPECT_EQ(IndexDef::FromColumnNames(schema_, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(IndexDefTest, PrefixAndContainment) {
+  const IndexDef ab = IndexDef::FromColumnNames(schema_, {"a", "b"}).value();
+  EXPECT_TRUE(ab.HasPrefixColumn(0));
+  EXPECT_FALSE(ab.HasPrefixColumn(1));
+  EXPECT_TRUE(ab.ContainsColumn(0));
+  EXPECT_TRUE(ab.ContainsColumn(1));
+  EXPECT_FALSE(ab.ContainsColumn(2));
+}
+
+TEST_F(IndexDefTest, KeyOrderMatters) {
+  const IndexDef ab = IndexDef::FromColumnNames(schema_, {"a", "b"}).value();
+  const IndexDef ba = IndexDef::FromColumnNames(schema_, {"b", "a"}).value();
+  EXPECT_FALSE(ab == ba);
+  EXPECT_TRUE(ba.HasPrefixColumn(1));
+}
+
+TEST_F(IndexDefTest, ToStringRendersColumnNames) {
+  const IndexDef ab = IndexDef::FromColumnNames(schema_, {"a", "b"}).value();
+  EXPECT_EQ(ab.ToString(schema_), "I(a,b)");
+}
+
+TEST_F(IndexDefTest, SizePagesGrowsWithRowsAndWidth) {
+  const IndexDef a = IndexDef::FromColumnNames(schema_, {"a"}).value();
+  const IndexDef ab = IndexDef::FromColumnNames(schema_, {"a", "b"}).value();
+  EXPECT_LT(a.SizePages(1'000'000), ab.SizePages(1'000'000));
+  EXPECT_LT(a.SizePages(1'000), a.SizePages(1'000'000));
+  EXPECT_EQ(a.SizePages(0), 0);
+}
+
+TEST_F(IndexDefTest, LeafPagesMatchesPageMath) {
+  const IndexDef a = IndexDef::FromColumnNames(schema_, {"a"}).value();
+  EXPECT_EQ(a.LeafPages(100'000), IndexLeafPages(100'000, 1));
+}
+
+TEST_F(IndexDefTest, HeightGrowsLogarithmically) {
+  const IndexDef a = IndexDef::FromColumnNames(schema_, {"a"}).value();
+  EXPECT_EQ(a.Height(1), 1);
+  EXPECT_GE(a.Height(2'500'000), 2);
+  EXPECT_LE(a.Height(2'500'000), 4);
+}
+
+TEST_F(IndexDefTest, HashEqualForEqualDefs) {
+  const IndexDef x = IndexDef::FromColumnNames(schema_, {"a", "b"}).value();
+  const IndexDef y = IndexDef::FromColumnNames(schema_, {"a", "b"}).value();
+  EXPECT_EQ(IndexDefHash{}(x), IndexDefHash{}(y));
+}
+
+TEST_F(IndexDefTest, PaperCandidatesAreTheSixOfSection61) {
+  const std::vector<IndexDef> candidates = MakePaperCandidateIndexes(schema_);
+  ASSERT_EQ(candidates.size(), 6u);
+  EXPECT_EQ(candidates[0].ToString(schema_), "I(a)");
+  EXPECT_EQ(candidates[1].ToString(schema_), "I(b)");
+  EXPECT_EQ(candidates[2].ToString(schema_), "I(c)");
+  EXPECT_EQ(candidates[3].ToString(schema_), "I(d)");
+  EXPECT_EQ(candidates[4].ToString(schema_), "I(a,b)");
+  EXPECT_EQ(candidates[5].ToString(schema_), "I(c,d)");
+}
+
+}  // namespace
+}  // namespace cdpd

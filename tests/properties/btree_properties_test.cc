@@ -1,0 +1,112 @@
+// Randomized differential test of the B+-tree against a reference
+// std::multiset of entries: after any interleaving of inserts and
+// erases, every prefix seek and leaf scan must return exactly what the
+// reference returns, and the structural invariants must hold.
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "index/btree.h"
+
+namespace cdpd {
+namespace {
+
+// (seed, num_key_columns, operations, key_domain)
+using ParamType = std::tuple<uint64_t, int32_t, int, int64_t>;
+
+class BTreeDifferentialTest : public ::testing::TestWithParam<ParamType> {};
+
+IndexEntry RandomEntry(Rng* rng, int32_t key_columns, int64_t domain,
+                       RowId rid) {
+  IndexEntry entry;
+  for (int32_t c = 0; c < key_columns; ++c) {
+    entry.key.Append(rng->UniformInt(0, domain - 1));
+  }
+  entry.rid = rid;
+  return entry;
+}
+
+TEST_P(BTreeDifferentialTest, MatchesReferenceUnderRandomOps) {
+  const auto [seed, key_columns, operations, domain] = GetParam();
+  Rng rng(seed);
+  std::vector<ColumnId> columns;
+  for (int32_t c = 0; c < key_columns; ++c) columns.push_back(c);
+  BTree tree((IndexDef(columns)));
+  std::set<IndexEntry> reference;
+
+  AccessStats stats;
+  for (int op = 0; op < operations; ++op) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.7 || reference.empty()) {
+      const IndexEntry entry =
+          RandomEntry(&rng, key_columns, domain, static_cast<RowId>(op));
+      const bool inserted = tree.Insert(entry, &stats);
+      EXPECT_EQ(inserted, reference.insert(entry).second);
+    } else {
+      // Erase a random existing entry half the time, a random
+      // (probably absent) entry otherwise.
+      if (rng.NextDouble() < 0.5) {
+        auto it = reference.begin();
+        std::advance(it, static_cast<int64_t>(
+                             rng.NextBounded(reference.size())));
+        const IndexEntry target = *it;
+        EXPECT_TRUE(tree.Erase(target, &stats));
+        reference.erase(it);
+      } else {
+        const IndexEntry entry =
+            RandomEntry(&rng, key_columns, domain, -1);  // rid -1: absent.
+        EXPECT_EQ(tree.Erase(entry, &stats), reference.count(entry) > 0);
+        reference.erase(entry);
+      }
+    }
+  }
+
+  ASSERT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.num_entries(), static_cast<int64_t>(reference.size()));
+
+  // Full scan agrees with the sorted reference.
+  std::vector<IndexEntry> scanned;
+  tree.ScanLeaves(&stats, [&](const IndexEntry& e) { scanned.push_back(e); });
+  std::vector<IndexEntry> expected(reference.begin(), reference.end());
+  EXPECT_EQ(scanned, expected);
+
+  // Prefix seeks agree for a sample of prefixes.
+  for (int trial = 0; trial < 20; ++trial) {
+    CompositeKey prefix;
+    prefix.Append(rng.UniformInt(0, domain - 1));
+    std::vector<IndexEntry> got;
+    tree.SeekPrefix(prefix, &stats,
+                    [&](const IndexEntry& e) { got.push_back(e); });
+    std::vector<IndexEntry> want;
+    for (const IndexEntry& e : reference) {
+      if (e.key.value(0) == prefix.value(0)) want.push_back(e);
+    }
+    EXPECT_EQ(got, want) << "prefix " << prefix.value(0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomOps, BTreeDifferentialTest,
+    ::testing::Values(
+        // Small domain: heavy duplication, multi-leaf duplicate runs.
+        ParamType{1, 1, 4000, 5},
+        ParamType{2, 1, 4000, 100},
+        ParamType{3, 1, 2000, 1'000'000},
+        ParamType{4, 2, 4000, 8},
+        ParamType{5, 2, 3000, 1000},
+        ParamType{6, 3, 3000, 6},
+        ParamType{7, 4, 2000, 50},
+        ParamType{8, 1, 8000, 3}),
+    [](const ::testing::TestParamInfo<ParamType>& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "_cols" +
+             std::to_string(std::get<1>(info.param)) + "_ops" +
+             std::to_string(std::get<2>(info.param)) + "_dom" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,100 @@
+#include "sql/binder.h"
+
+#include <gtest/gtest.h>
+
+#include "sql/parser.h"
+
+namespace cdpd {
+namespace {
+
+class BinderTest : public ::testing::Test {
+ protected:
+  BoundStatement Bind(const std::string& sql) {
+    auto ast = ParseStatement(sql);
+    EXPECT_TRUE(ast.ok()) << sql;
+    auto bound = BindStatement(schema_, ast.value());
+    EXPECT_TRUE(bound.ok()) << bound.status();
+    return bound.value();
+  }
+  Status BindError(const std::string& sql) {
+    auto ast = ParseStatement(sql);
+    EXPECT_TRUE(ast.ok()) << sql;
+    return BindStatement(schema_, ast.value()).status();
+  }
+  Schema schema_ = MakePaperSchema();
+};
+
+TEST_F(BinderTest, BindsSelect) {
+  const BoundStatement s = Bind("SELECT b FROM t WHERE a = 10");
+  EXPECT_EQ(s.type, StatementType::kSelectPoint);
+  EXPECT_EQ(s.select_column, 1);
+  EXPECT_EQ(s.where_column, 0);
+  EXPECT_EQ(s.where_value, 10);
+}
+
+TEST_F(BinderTest, BindsUpdate) {
+  const BoundStatement s = Bind("UPDATE t SET d = 9 WHERE c = 8");
+  EXPECT_EQ(s.type, StatementType::kUpdatePoint);
+  EXPECT_EQ(s.set_column, 3);
+  EXPECT_EQ(s.set_value, 9);
+  EXPECT_EQ(s.where_column, 2);
+  EXPECT_EQ(s.where_value, 8);
+}
+
+TEST_F(BinderTest, BindsInsert) {
+  const BoundStatement s = Bind("INSERT INTO t VALUES (4, 3, 2, 1)");
+  EXPECT_EQ(s.type, StatementType::kInsert);
+  EXPECT_EQ(s.insert_values, (std::vector<Value>{4, 3, 2, 1}));
+}
+
+TEST_F(BinderTest, RejectsUnknownTable) {
+  EXPECT_EQ(BindError("SELECT a FROM wrong WHERE a = 1").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, RejectsUnknownColumn) {
+  EXPECT_EQ(BindError("SELECT z FROM t WHERE a = 1").code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(BinderTest, RejectsInsertArityMismatch) {
+  EXPECT_EQ(BindError("INSERT INTO t VALUES (1, 2)").code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, DdlGoesThroughBindIndexDdl) {
+  auto ast = ParseStatement("CREATE INDEX ON t (a, b)");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(BindStatement(schema_, ast.value()).status().code(),
+            StatusCode::kInvalidArgument);
+  bool create = false;
+  auto def = BindIndexDdl(schema_, ast.value(), &create);
+  ASSERT_TRUE(def.ok());
+  EXPECT_TRUE(create);
+  EXPECT_EQ(def->ToString(schema_), "I(a,b)");
+}
+
+TEST_F(BinderTest, DropIndexDdlSetsCreateFalse) {
+  auto ast = ParseStatement("DROP INDEX ON t (c)");
+  ASSERT_TRUE(ast.ok());
+  bool create = true;
+  auto def = BindIndexDdl(schema_, ast.value(), &create);
+  ASSERT_TRUE(def.ok());
+  EXPECT_FALSE(create);
+}
+
+TEST_F(BinderTest, BindIndexDdlRejectsDml) {
+  auto ast = ParseStatement("SELECT a FROM t WHERE a = 1");
+  ASSERT_TRUE(ast.ok());
+  bool create = false;
+  EXPECT_EQ(BindIndexDdl(schema_, ast.value(), &create).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BinderTest, BoundStatementToStringMatchesSql) {
+  const BoundStatement s = Bind("SELECT b FROM t WHERE a = 10");
+  EXPECT_EQ(s.ToString(schema_), "SELECT b FROM t WHERE a = 10");
+}
+
+}  // namespace
+}  // namespace cdpd

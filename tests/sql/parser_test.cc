@@ -1,0 +1,132 @@
+#include "sql/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(ParserTest, ParsesPointSelect) {
+  auto ast = ParseStatement("SELECT a FROM t WHERE a = 123");
+  ASSERT_TRUE(ast.ok());
+  const auto* select = std::get_if<SelectAst>(&ast.value());
+  ASSERT_NE(select, nullptr);
+  EXPECT_EQ(select->select_column, "a");
+  EXPECT_EQ(select->table, "t");
+  EXPECT_EQ(select->where_column, "a");
+  EXPECT_EQ(select->where_value, 123);
+}
+
+TEST(ParserTest, SelectAndWhereColumnsMayDiffer) {
+  auto ast = ParseStatement("select b from t where c = 5");
+  ASSERT_TRUE(ast.ok());
+  const auto& select = std::get<SelectAst>(ast.value());
+  EXPECT_EQ(select.select_column, "b");
+  EXPECT_EQ(select.where_column, "c");
+}
+
+TEST(ParserTest, KeywordsAreCaseInsensitive) {
+  EXPECT_TRUE(ParseStatement("sElEcT a FrOm t wHeRe a = 1").ok());
+}
+
+TEST(ParserTest, TrailingSemicolonAllowed) {
+  EXPECT_TRUE(ParseStatement("SELECT a FROM t WHERE a = 1;").ok());
+}
+
+TEST(ParserTest, ParsesUpdate) {
+  auto ast = ParseStatement("UPDATE t SET b = 7 WHERE a = 3");
+  ASSERT_TRUE(ast.ok());
+  const auto& update = std::get<UpdateAst>(ast.value());
+  EXPECT_EQ(update.set_column, "b");
+  EXPECT_EQ(update.set_value, 7);
+  EXPECT_EQ(update.where_column, "a");
+  EXPECT_EQ(update.where_value, 3);
+}
+
+TEST(ParserTest, ParsesInsert) {
+  auto ast = ParseStatement("INSERT INTO t VALUES (1, 2, 3, 4)");
+  ASSERT_TRUE(ast.ok());
+  const auto& insert = std::get<InsertAst>(ast.value());
+  EXPECT_EQ(insert.table, "t");
+  EXPECT_EQ(insert.values, (std::vector<int64_t>{1, 2, 3, 4}));
+}
+
+TEST(ParserTest, ParsesCreateIndex) {
+  auto ast = ParseStatement("CREATE INDEX ON t (a, b)");
+  ASSERT_TRUE(ast.ok());
+  const auto& create = std::get<CreateIndexAst>(ast.value());
+  EXPECT_EQ(create.table, "t");
+  EXPECT_EQ(create.columns, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(ParserTest, ParsesDropIndex) {
+  auto ast = ParseStatement("DROP INDEX ON t (c)");
+  ASSERT_TRUE(ast.ok());
+  const auto& drop = std::get<DropIndexAst>(ast.value());
+  EXPECT_EQ(drop.columns, (std::vector<std::string>{"c"}));
+}
+
+TEST(ParserTest, RejectsMissingWhere) {
+  EXPECT_EQ(ParseStatement("SELECT a FROM t").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsTrailingGarbage) {
+  EXPECT_EQ(ParseStatement("SELECT a FROM t WHERE a = 1 nonsense")
+                .status()
+                .code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsEmptyStatement) {
+  EXPECT_EQ(ParseStatement("   ").status().code(), StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsUnknownVerb) {
+  EXPECT_EQ(ParseStatement("DELETE FROM t").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, RejectsNonIntegerLiteral) {
+  EXPECT_EQ(ParseStatement("SELECT a FROM t WHERE a = b").status().code(),
+            StatusCode::kParseError);
+}
+
+TEST(ParserTest, ErrorMessageNamesOffsetAndToken) {
+  const auto status =
+      ParseStatement("SELECT a FROM t WHERE a = 1 x").status();
+  EXPECT_NE(status.message().find("offset"), std::string::npos);
+  EXPECT_NE(status.message().find("'x'"), std::string::npos);
+}
+
+TEST(ParserTest, AstRoundTripsThroughPrinter) {
+  const std::vector<std::string> statements = {
+      "SELECT a FROM t WHERE b = 10",
+      "UPDATE t SET c = 5 WHERE d = -2",
+      "INSERT INTO t VALUES (1, 2, 3, 4)",
+      "CREATE INDEX ON t (a, b)",
+      "DROP INDEX ON t (c, d)",
+  };
+  for (const std::string& sql : statements) {
+    auto ast = ParseStatement(sql);
+    ASSERT_TRUE(ast.ok()) << sql;
+    EXPECT_EQ(AstToString(ast.value()), sql);
+    // Printing then re-parsing is a fixed point.
+    auto again = ParseStatement(AstToString(ast.value()));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(ast.value(), again.value());
+  }
+}
+
+TEST(ParserTest, ParseScriptSplitsOnSemicolons) {
+  auto script = ParseScript(
+      "SELECT a FROM t WHERE a = 1; \n UPDATE t SET b = 2 WHERE c = 3;\n;");
+  ASSERT_TRUE(script.ok());
+  EXPECT_EQ(script->size(), 2u);
+}
+
+TEST(ParserTest, ParseScriptPropagatesErrors) {
+  EXPECT_FALSE(ParseScript("SELECT a FROM t WHERE a = 1; garbage").ok());
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,56 @@
+#include "storage/page.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(PageTest, RowsPerPageForPaperRow) {
+  // 4 int64 columns + 8B header = 40 bytes/row -> 204 rows per 8 KiB page.
+  EXPECT_EQ(RowsPerPage(40), 204);
+}
+
+TEST(PageTest, HeapPagesRoundsUp) {
+  EXPECT_EQ(HeapPages(0, 40), 0);
+  EXPECT_EQ(HeapPages(1, 40), 1);
+  EXPECT_EQ(HeapPages(204, 40), 1);
+  EXPECT_EQ(HeapPages(205, 40), 2);
+}
+
+TEST(PageTest, PaperTableSize) {
+  // 2.5M rows of the paper's table: ~12.3k pages (~100 MB).
+  const int64_t pages = HeapPages(2'500'000, 40);
+  EXPECT_EQ(pages, CeilDiv(2'500'000, 204));
+  EXPECT_GT(pages, 12'000);
+  EXPECT_LT(pages, 12'500);
+}
+
+TEST(PageTest, IndexEntryBytes) {
+  EXPECT_EQ(IndexEntryBytes(1), 16);
+  EXPECT_EQ(IndexEntryBytes(2), 24);
+}
+
+TEST(PageTest, IndexEntriesPerPage) {
+  EXPECT_EQ(IndexEntriesPerPage(1), 512);
+  EXPECT_EQ(IndexEntriesPerPage(2), 341);
+}
+
+TEST(PageTest, IndexLeafPages) {
+  EXPECT_EQ(IndexLeafPages(0, 1), 0);
+  EXPECT_EQ(IndexLeafPages(512, 1), 1);
+  EXPECT_EQ(IndexLeafPages(513, 1), 2);
+}
+
+TEST(PageTest, WiderIndexHasMoreLeafPages) {
+  // The covering-scan advantage: a 2-column index's leaf level is
+  // smaller than the heap but larger than a 1-column index's.
+  const int64_t rows = 1'000'000;
+  const int64_t one_col = IndexLeafPages(rows, 1);
+  const int64_t two_col = IndexLeafPages(rows, 2);
+  const int64_t heap = HeapPages(rows, 40);
+  EXPECT_LT(one_col, two_col);
+  EXPECT_LT(two_col, heap);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,50 @@
+#include "storage/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+
+namespace cdpd {
+namespace {
+
+TEST(SchemaTest, PaperSchemaHasFourColumns) {
+  const Schema schema = MakePaperSchema();
+  EXPECT_EQ(schema.table_name(), "t");
+  ASSERT_EQ(schema.num_columns(), 4);
+  EXPECT_EQ(schema.column_name(0), "a");
+  EXPECT_EQ(schema.column_name(3), "d");
+}
+
+TEST(SchemaTest, FindColumnIsCaseInsensitive) {
+  const Schema schema = MakePaperSchema();
+  ASSERT_TRUE(schema.FindColumn("B").ok());
+  EXPECT_EQ(schema.FindColumn("B").value(), 1);
+  EXPECT_EQ(schema.FindColumn("b").value(), 1);
+}
+
+TEST(SchemaTest, FindColumnUnknownIsNotFound) {
+  const Schema schema = MakePaperSchema();
+  EXPECT_EQ(schema.FindColumn("zz").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, RowBytesCountsColumnsPlusHeader) {
+  const Schema schema = MakePaperSchema();
+  EXPECT_EQ(schema.RowBytes(), 4 * kValueBytes + kRowHeaderBytes);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  EXPECT_EQ(MakePaperSchema().ToString(), "t(a,b,c,d)");
+}
+
+TEST(SchemaTest, CustomTableName) {
+  const Schema schema = MakePaperSchema("orders");
+  EXPECT_EQ(schema.table_name(), "orders");
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_EQ(MakePaperSchema(), MakePaperSchema());
+  EXPECT_FALSE(MakePaperSchema() == MakePaperSchema("other"));
+}
+
+}  // namespace
+}  // namespace cdpd

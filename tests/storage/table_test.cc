@@ -1,0 +1,120 @@
+#include "storage/table.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+
+namespace cdpd {
+namespace {
+
+TEST(TableTest, StartsEmpty) {
+  Table table(MakePaperSchema());
+  EXPECT_EQ(table.num_rows(), 0);
+  EXPECT_EQ(table.heap_pages(), 0);
+}
+
+TEST(TableTest, AppendRowReturnsSequentialRowIds) {
+  Table table(MakePaperSchema());
+  EXPECT_EQ(table.AppendRow({1, 2, 3, 4}).value(), 0);
+  EXPECT_EQ(table.AppendRow({5, 6, 7, 8}).value(), 1);
+  EXPECT_EQ(table.num_rows(), 2);
+  EXPECT_EQ(table.GetValue(0, 0), 1);
+  EXPECT_EQ(table.GetValue(1, 3), 8);
+}
+
+TEST(TableTest, AppendRowRejectsWrongArity) {
+  Table table(MakePaperSchema());
+  EXPECT_EQ(table.AppendRow({1, 2}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(table.num_rows(), 0);
+}
+
+TEST(TableTest, SetValueUpdatesCell) {
+  Table table(MakePaperSchema());
+  ASSERT_TRUE(table.AppendRow({1, 2, 3, 4}).ok());
+  ASSERT_TRUE(table.SetValue(0, 2, 99).ok());
+  EXPECT_EQ(table.GetValue(0, 2), 99);
+}
+
+TEST(TableTest, SetValueBoundsChecked) {
+  Table table(MakePaperSchema());
+  ASSERT_TRUE(table.AppendRow({1, 2, 3, 4}).ok());
+  EXPECT_EQ(table.SetValue(1, 0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.SetValue(-1, 0, 5).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(table.SetValue(0, 4, 5).code(), StatusCode::kOutOfRange);
+}
+
+TEST(TableTest, PopulateUniformRespectsBoundsAndCount) {
+  Table table(MakePaperSchema());
+  Rng rng(42);
+  table.PopulateUniform(1000, 0, 50, &rng);
+  EXPECT_EQ(table.num_rows(), 1000);
+  for (RowId row = 0; row < 1000; ++row) {
+    for (ColumnId col = 0; col < 4; ++col) {
+      const Value v = table.GetValue(row, col);
+      EXPECT_GE(v, 0);
+      EXPECT_LT(v, 50);
+    }
+  }
+}
+
+TEST(TableTest, PopulateUniformIsDeterministic) {
+  Table t1(MakePaperSchema());
+  Table t2(MakePaperSchema());
+  Rng r1(7);
+  Rng r2(7);
+  t1.PopulateUniform(100, 0, 1000, &r1);
+  t2.PopulateUniform(100, 0, 1000, &r2);
+  for (RowId row = 0; row < 100; ++row) {
+    for (ColumnId col = 0; col < 4; ++col) {
+      EXPECT_EQ(t1.GetValue(row, col), t2.GetValue(row, col));
+    }
+  }
+}
+
+TEST(TableTest, ScanVisitsEveryRowAndChargesSequentialPages) {
+  Table table(MakePaperSchema());
+  Rng rng(1);
+  table.PopulateUniform(500, 0, 10, &rng);
+  AccessStats stats;
+  int64_t visited = 0;
+  table.Scan(&stats, [&](RowId) { ++visited; });
+  EXPECT_EQ(visited, 500);
+  EXPECT_EQ(stats.sequential_pages, table.heap_pages());
+  EXPECT_EQ(stats.random_pages, 0);
+}
+
+TEST(TableTest, HeapPagesMatchesPageMath) {
+  Table table(MakePaperSchema());
+  Rng rng(1);
+  table.PopulateUniform(1000, 0, 10, &rng);
+  EXPECT_EQ(table.heap_pages(),
+            HeapPages(1000, MakePaperSchema().RowBytes()));
+}
+
+TEST(TableTest, ChargeRandomFetchIncrementsRandomPages) {
+  Table table(MakePaperSchema());
+  ASSERT_TRUE(table.AppendRow({1, 2, 3, 4}).ok());
+  AccessStats stats;
+  table.ChargeRandomFetch(0, &stats);
+  table.ChargeRandomFetch(0, &stats);
+  EXPECT_EQ(stats.random_pages, 2);
+}
+
+TEST(AccessStatsTest, AdditionAccumulates) {
+  AccessStats a{1, 2, 3, 4};
+  AccessStats b{10, 20, 30, 40};
+  const AccessStats sum = a + b;
+  EXPECT_EQ(sum.sequential_pages, 11);
+  EXPECT_EQ(sum.random_pages, 22);
+  EXPECT_EQ(sum.written_pages, 33);
+  EXPECT_EQ(sum.rows_examined, 44);
+}
+
+TEST(AccessStatsTest, ToStringListsCounters) {
+  AccessStats stats{1, 2, 3, 4};
+  EXPECT_EQ(stats.ToString(), "seq=1 rand=2 written=3 rows=4");
+}
+
+}  // namespace
+}  // namespace cdpd

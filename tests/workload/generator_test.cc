@@ -1,0 +1,106 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+class GeneratorTest : public ::testing::Test {
+ protected:
+  Schema schema_ = MakePaperSchema();
+  std::vector<QueryMix> mixes_ = MakePaperQueryMixes();
+};
+
+TEST_F(GeneratorTest, QueriesSelectTheirPredicateColumn) {
+  WorkloadGenerator gen(schema_, 500'000, 1);
+  for (int i = 0; i < 100; ++i) {
+    const BoundStatement q = gen.GenerateQuery(mixes_[0]);
+    EXPECT_EQ(q.type, StatementType::kSelectPoint);
+    EXPECT_EQ(q.select_column, q.where_column);  // The paper's template.
+    EXPECT_GE(q.where_value, 0);
+    EXPECT_LT(q.where_value, 500'000);
+  }
+}
+
+TEST_F(GeneratorTest, MixFrequenciesAreRespected) {
+  WorkloadGenerator gen(schema_, 500'000, 2);
+  const int n = 40'000;
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < n; ++i) {
+    ++counts[static_cast<size_t>(gen.GenerateQuery(mixes_[0]).where_column)];
+  }
+  EXPECT_NEAR(counts[0] / double(n), 0.55, 0.02);
+  EXPECT_NEAR(counts[1] / double(n), 0.25, 0.02);
+  EXPECT_NEAR(counts[2] / double(n), 0.10, 0.02);
+  EXPECT_NEAR(counts[3] / double(n), 0.10, 0.02);
+}
+
+TEST_F(GeneratorTest, DeterministicForSameSeed) {
+  WorkloadGenerator g1(schema_, 1000, 7);
+  WorkloadGenerator g2(schema_, 1000, 7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(g1.GenerateQuery(mixes_[1]), g2.GenerateQuery(mixes_[1]));
+  }
+}
+
+TEST_F(GeneratorTest, GenerateFromMixProducesCount) {
+  WorkloadGenerator gen(schema_, 1000, 3);
+  EXPECT_EQ(gen.GenerateFromMix(mixes_[2], 123).size(), 123u);
+}
+
+TEST_F(GeneratorTest, GenerateBlockedShapesWorkload) {
+  WorkloadGenerator gen(schema_, 1000, 4);
+  auto workload = gen.GenerateBlocked(mixes_, {0, 1, 0}, 50);
+  ASSERT_TRUE(workload.ok());
+  EXPECT_EQ(workload->size(), 150u);
+  EXPECT_EQ(workload->block_size, 50u);
+  EXPECT_EQ(workload->block_mix_names,
+            (std::vector<std::string>{"A", "B", "A"}));
+}
+
+TEST_F(GeneratorTest, GenerateBlockedValidatesInput) {
+  WorkloadGenerator gen(schema_, 1000, 5);
+  EXPECT_FALSE(gen.GenerateBlocked(mixes_, {0}, 0).ok());
+  EXPECT_FALSE(gen.GenerateBlocked(mixes_, {9}, 10).ok());
+  QueryMix bad{"X", {0.5, 0.5}};  // Wrong arity.
+  EXPECT_FALSE(gen.GenerateBlocked({bad}, {0}, 10).ok());
+  DmlMixOptions dml;
+  dml.update_fraction = 0.9;
+  dml.insert_fraction = 0.2;  // Sums above 1.
+  EXPECT_FALSE(gen.GenerateBlocked(mixes_, {0}, 10, dml).ok());
+}
+
+TEST_F(GeneratorTest, DmlMixProducesUpdatesAndInserts) {
+  WorkloadGenerator gen(schema_, 1000, 6);
+  DmlMixOptions dml;
+  dml.update_fraction = 0.3;
+  dml.insert_fraction = 0.1;
+  auto workload = gen.GenerateBlocked(mixes_, {0, 0, 0, 0}, 500, dml);
+  ASSERT_TRUE(workload.ok());
+  int updates = 0;
+  int inserts = 0;
+  int selects = 0;
+  for (const BoundStatement& s : workload->statements) {
+    switch (s.type) {
+      case StatementType::kUpdatePoint:
+        ++updates;
+        EXPECT_EQ(s.insert_values.size(), 0u);
+        break;
+      case StatementType::kInsert:
+        ++inserts;
+        EXPECT_EQ(s.insert_values.size(), 4u);
+        break;
+      case StatementType::kSelectPoint:
+      case StatementType::kSelectRange:
+        ++selects;
+        break;
+    }
+  }
+  const double n = 2000;
+  EXPECT_NEAR(updates / n, 0.3, 0.05);
+  EXPECT_NEAR(inserts / n, 0.1, 0.04);
+  EXPECT_NEAR(selects / n, 0.6, 0.05);
+}
+
+}  // namespace
+}  // namespace cdpd

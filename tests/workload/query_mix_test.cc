@@ -1,0 +1,37 @@
+#include "workload/query_mix.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(QueryMixTest, PaperMixesMatchTable1) {
+  const std::vector<QueryMix> mixes = MakePaperQueryMixes();
+  ASSERT_EQ(mixes.size(), 4u);
+  EXPECT_EQ(mixes[0].name, "A");
+  EXPECT_EQ(mixes[0].column_weights, (std::vector<double>{0.55, 0.25, 0.10, 0.10}));
+  EXPECT_EQ(mixes[1].name, "B");
+  EXPECT_EQ(mixes[1].column_weights, (std::vector<double>{0.25, 0.55, 0.10, 0.10}));
+  EXPECT_EQ(mixes[2].name, "C");
+  EXPECT_EQ(mixes[2].column_weights, (std::vector<double>{0.10, 0.10, 0.55, 0.25}));
+  EXPECT_EQ(mixes[3].name, "D");
+  EXPECT_EQ(mixes[3].column_weights, (std::vector<double>{0.10, 0.10, 0.25, 0.55}));
+}
+
+TEST(QueryMixTest, WeightsOfEveryMixSumToOne) {
+  for (const QueryMix& mix : MakePaperQueryMixes()) {
+    double sum = 0;
+    for (double w : mix.column_weights) sum += w;
+    EXPECT_NEAR(sum, 1.0, 1e-12) << mix.name;
+  }
+}
+
+TEST(QueryMixTest, FindMixByNameIsCaseInsensitive) {
+  const std::vector<QueryMix> mixes = MakePaperQueryMixes();
+  EXPECT_EQ(FindMixByName(mixes, "A"), 0);
+  EXPECT_EQ(FindMixByName(mixes, "d"), 3);
+  EXPECT_EQ(FindMixByName(mixes, "Z"), -1);
+}
+
+}  // namespace
+}  // namespace cdpd

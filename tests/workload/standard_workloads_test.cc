@@ -1,0 +1,89 @@
+#include "workload/standard_workloads.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(StandardWorkloadsTest, W1BlockLettersMatchTable2) {
+  const std::vector<std::string> w1 = PaperBlockMixLetters("W1");
+  ASSERT_EQ(w1.size(), 30u);
+  // Phase 1: AABB alternating every 1000 queries (2 blocks of 500).
+  const std::vector<std::string> phase1(w1.begin(), w1.begin() + 10);
+  EXPECT_EQ(phase1, (std::vector<std::string>{"A", "A", "B", "B", "A", "A",
+                                              "B", "B", "A", "A"}));
+  // Phase 2: CCDD...
+  const std::vector<std::string> phase2(w1.begin() + 10, w1.begin() + 20);
+  EXPECT_EQ(phase2, (std::vector<std::string>{"C", "C", "D", "D", "C", "C",
+                                              "D", "D", "C", "C"}));
+  // Phase 3 repeats phase 1.
+  EXPECT_TRUE(std::equal(w1.begin(), w1.begin() + 10, w1.begin() + 20));
+}
+
+TEST(StandardWorkloadsTest, W2ShiftsEveryBlock) {
+  const std::vector<std::string> w2 = PaperBlockMixLetters("W2");
+  ASSERT_EQ(w2.size(), 30u);
+  const std::vector<std::string> phase1(w2.begin(), w2.begin() + 10);
+  EXPECT_EQ(phase1, (std::vector<std::string>{"A", "B", "A", "B", "A", "B",
+                                              "A", "B", "A", "B"}));
+  EXPECT_EQ(w2[10], "C");
+  EXPECT_EQ(w2[11], "D");
+}
+
+TEST(StandardWorkloadsTest, W3IsOutOfPhaseWithW1) {
+  const std::vector<std::string> w1 = PaperBlockMixLetters("W1");
+  const std::vector<std::string> w3 = PaperBlockMixLetters("W3");
+  ASSERT_EQ(w3.size(), 30u);
+  for (size_t i = 0; i < 30; ++i) {
+    // W3 swaps A<->B and C<->D relative to W1.
+    EXPECT_NE(w1[i], w3[i]) << "block " << i;
+    const bool same_phase_family =
+        ((w1[i] == "A" || w1[i] == "B") && (w3[i] == "A" || w3[i] == "B")) ||
+        ((w1[i] == "C" || w1[i] == "D") && (w3[i] == "C" || w3[i] == "D"));
+    EXPECT_TRUE(same_phase_family) << "block " << i;
+  }
+}
+
+TEST(StandardWorkloadsTest, UnknownNameIsEmptyOrError) {
+  EXPECT_TRUE(PaperBlockMixLetters("W9").empty());
+  WorkloadGenerator gen(MakePaperSchema(), 1000, 1);
+  EXPECT_FALSE(MakePaperWorkload("W9", &gen).ok());
+}
+
+TEST(StandardWorkloadsTest, PaperWorkloadHas15000Statements) {
+  WorkloadGenerator gen(MakePaperSchema(), 500'000, 42);
+  auto w1 = MakePaperWorkload("W1", &gen);
+  ASSERT_TRUE(w1.ok());
+  EXPECT_EQ(w1->size(), 15'000u);
+  EXPECT_EQ(w1->block_size, kPaperBlockSize);
+  EXPECT_EQ(w1->block_mix_names.size(), 30u);
+}
+
+TEST(StandardWorkloadsTest, ScaledWorkloadShrinksBlocks) {
+  WorkloadGenerator gen(MakePaperSchema(), 1000, 42);
+  auto w1 = MakeScaledPaperWorkload("W1", 20, &gen);
+  ASSERT_TRUE(w1.ok());
+  EXPECT_EQ(w1->size(), 600u);
+  EXPECT_EQ(w1->block_mix_names, PaperBlockMixLetters("W1"));
+}
+
+TEST(StandardWorkloadsTest, BlockContentsFollowTheBlockMix) {
+  WorkloadGenerator gen(MakePaperSchema(), 1000, 13);
+  auto w1 = MakeScaledPaperWorkload("W1", 400, &gen);
+  ASSERT_TRUE(w1.ok());
+  // In an A-block, column a must clearly dominate (55% vs 25%).
+  auto column_share = [&](size_t block, ColumnId col) {
+    int hits = 0;
+    for (size_t i = block * 400; i < (block + 1) * 400; ++i) {
+      if (w1->statements[i].where_column == col) ++hits;
+    }
+    return hits / 400.0;
+  };
+  EXPECT_GT(column_share(0, 0), 0.45);   // Block 0 is mix A.
+  EXPECT_GT(column_share(2, 1), 0.45);   // Block 2 is mix B.
+  EXPECT_GT(column_share(10, 2), 0.45);  // Block 10 is mix C.
+  EXPECT_GT(column_share(12, 3), 0.45);  // Block 12 is mix D.
+}
+
+}  // namespace
+}  // namespace cdpd

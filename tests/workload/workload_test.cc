@@ -1,0 +1,79 @@
+#include "workload/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(SegmentTest, SizeIsEndMinusBegin) {
+  EXPECT_EQ((Segment{10, 25}).size(), 15u);
+  EXPECT_EQ((Segment{3, 3}).size(), 0u);
+}
+
+TEST(SegmentFixedTest, ExactMultiple) {
+  const std::vector<Segment> segments = SegmentFixed(100, 25);
+  ASSERT_EQ(segments.size(), 4u);
+  EXPECT_EQ(segments[0], (Segment{0, 25}));
+  EXPECT_EQ(segments[3], (Segment{75, 100}));
+}
+
+TEST(SegmentFixedTest, LastSegmentMayBeShort) {
+  const std::vector<Segment> segments = SegmentFixed(10, 4);
+  ASSERT_EQ(segments.size(), 3u);
+  EXPECT_EQ(segments[2], (Segment{8, 10}));
+}
+
+TEST(SegmentFixedTest, EmptyInput) {
+  EXPECT_TRUE(SegmentFixed(0, 10).empty());
+}
+
+TEST(SegmentFixedTest, BlockSizeOfOneIsPerStatement) {
+  const std::vector<Segment> segments = SegmentFixed(5, 1);
+  ASSERT_EQ(segments.size(), 5u);
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(segments[i], (Segment{i, i + 1}));
+  }
+}
+
+TEST(SegmentFixedTest, SegmentsTileTheRange) {
+  const std::vector<Segment> segments = SegmentFixed(1234, 77);
+  size_t covered = 0;
+  size_t expected_begin = 0;
+  for (const Segment& s : segments) {
+    EXPECT_EQ(s.begin, expected_begin);
+    EXPECT_GT(s.end, s.begin);
+    covered += s.size();
+    expected_begin = s.end;
+  }
+  EXPECT_EQ(covered, 1234u);
+}
+
+TEST(BoundStatementTest, FactoriesSetFields) {
+  const BoundStatement s = BoundStatement::SelectPoint(1, 2, 33);
+  EXPECT_EQ(s.type, StatementType::kSelectPoint);
+  EXPECT_EQ(s.select_column, 1);
+  EXPECT_EQ(s.where_column, 2);
+  EXPECT_EQ(s.where_value, 33);
+
+  const BoundStatement u = BoundStatement::UpdatePoint(0, 5, 3, 7);
+  EXPECT_EQ(u.type, StatementType::kUpdatePoint);
+  EXPECT_EQ(u.set_column, 0);
+  EXPECT_EQ(u.set_value, 5);
+
+  const BoundStatement i = BoundStatement::Insert({1, 2, 3, 4});
+  EXPECT_EQ(i.type, StatementType::kInsert);
+  EXPECT_EQ(i.insert_values.size(), 4u);
+}
+
+TEST(BoundStatementTest, ToStringRendersSql) {
+  const Schema schema = MakePaperSchema();
+  EXPECT_EQ(BoundStatement::SelectPoint(0, 0, 5).ToString(schema),
+            "SELECT a FROM t WHERE a = 5");
+  EXPECT_EQ(BoundStatement::UpdatePoint(1, 2, 3, 4).ToString(schema),
+            "UPDATE t SET b = 2 WHERE d = 4");
+  EXPECT_EQ(BoundStatement::Insert({1, 2, 3, 4}).ToString(schema),
+            "INSERT INTO t VALUES (1, 2, 3, 4)");
+}
+
+}  // namespace
+}  // namespace cdpd
