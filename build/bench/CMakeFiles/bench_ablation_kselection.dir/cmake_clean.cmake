@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_kselection.dir/bench_ablation_kselection.cc.o"
+  "CMakeFiles/bench_ablation_kselection.dir/bench_ablation_kselection.cc.o.d"
+  "bench_ablation_kselection"
+  "bench_ablation_kselection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_kselection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_workload_variations.dir/bench_fig3_workload_variations.cc.o"
+  "CMakeFiles/bench_fig3_workload_variations.dir/bench_fig3_workload_variations.cc.o.d"
+  "bench_fig3_workload_variations"
+  "bench_fig3_workload_variations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_workload_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_query_mixes.dir/bench_table1_query_mixes.cc.o"
+  "CMakeFiles/bench_table1_query_mixes.dir/bench_table1_query_mixes.cc.o.d"
+  "bench_table1_query_mixes"
+  "bench_table1_query_mixes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_query_mixes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_cli.dir/advisor_cli.cpp.o"
+  "CMakeFiles/advisor_cli.dir/advisor_cli.cpp.o.d"
+  "advisor_cli"
+  "advisor_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

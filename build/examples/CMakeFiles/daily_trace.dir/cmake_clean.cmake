@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daily_trace.dir/daily_trace.cpp.o"
+  "CMakeFiles/daily_trace.dir/daily_trace.cpp.o.d"
+  "daily_trace"
+  "daily_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daily_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/robustness_lab.dir/robustness_lab.cpp.o"
+  "CMakeFiles/robustness_lab.dir/robustness_lab.cpp.o.d"
+  "robustness_lab"
+  "robustness_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/robustness_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

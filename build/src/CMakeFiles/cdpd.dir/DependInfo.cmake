@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/advisor/candidate_generation.cc" "src/CMakeFiles/cdpd.dir/advisor/candidate_generation.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/advisor/candidate_generation.cc.o.d"
+  "/root/repo/src/advisor/config_enumeration.cc" "src/CMakeFiles/cdpd.dir/advisor/config_enumeration.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/advisor/config_enumeration.cc.o.d"
+  "/root/repo/src/catalog/catalog.cc" "src/CMakeFiles/cdpd.dir/catalog/catalog.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/catalog/catalog.cc.o.d"
+  "/root/repo/src/catalog/configuration.cc" "src/CMakeFiles/cdpd.dir/catalog/configuration.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/catalog/configuration.cc.o.d"
+  "/root/repo/src/common/rng.cc" "src/CMakeFiles/cdpd.dir/common/rng.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/common/rng.cc.o.d"
+  "/root/repo/src/common/status.cc" "src/CMakeFiles/cdpd.dir/common/status.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/common/status.cc.o.d"
+  "/root/repo/src/common/string_util.cc" "src/CMakeFiles/cdpd.dir/common/string_util.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/common/string_util.cc.o.d"
+  "/root/repo/src/core/advisor.cc" "src/CMakeFiles/cdpd.dir/core/advisor.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/advisor.cc.o.d"
+  "/root/repo/src/core/brute_force.cc" "src/CMakeFiles/cdpd.dir/core/brute_force.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/brute_force.cc.o.d"
+  "/root/repo/src/core/design_merging.cc" "src/CMakeFiles/cdpd.dir/core/design_merging.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/design_merging.cc.o.d"
+  "/root/repo/src/core/design_problem.cc" "src/CMakeFiles/cdpd.dir/core/design_problem.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/design_problem.cc.o.d"
+  "/root/repo/src/core/greedy_seq.cc" "src/CMakeFiles/cdpd.dir/core/greedy_seq.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/greedy_seq.cc.o.d"
+  "/root/repo/src/core/hybrid_optimizer.cc" "src/CMakeFiles/cdpd.dir/core/hybrid_optimizer.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/hybrid_optimizer.cc.o.d"
+  "/root/repo/src/core/k_aware_graph.cc" "src/CMakeFiles/cdpd.dir/core/k_aware_graph.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/k_aware_graph.cc.o.d"
+  "/root/repo/src/core/k_selection.cc" "src/CMakeFiles/cdpd.dir/core/k_selection.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/k_selection.cc.o.d"
+  "/root/repo/src/core/online_tuner.cc" "src/CMakeFiles/cdpd.dir/core/online_tuner.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/online_tuner.cc.o.d"
+  "/root/repo/src/core/path_ranking.cc" "src/CMakeFiles/cdpd.dir/core/path_ranking.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/path_ranking.cc.o.d"
+  "/root/repo/src/core/sequence_graph.cc" "src/CMakeFiles/cdpd.dir/core/sequence_graph.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/sequence_graph.cc.o.d"
+  "/root/repo/src/core/unconstrained_optimizer.cc" "src/CMakeFiles/cdpd.dir/core/unconstrained_optimizer.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/unconstrained_optimizer.cc.o.d"
+  "/root/repo/src/core/validator.cc" "src/CMakeFiles/cdpd.dir/core/validator.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/core/validator.cc.o.d"
+  "/root/repo/src/cost/calibration.cc" "src/CMakeFiles/cdpd.dir/cost/calibration.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/cost/calibration.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "src/CMakeFiles/cdpd.dir/cost/cost_model.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/table_stats.cc" "src/CMakeFiles/cdpd.dir/cost/table_stats.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/cost/table_stats.cc.o.d"
+  "/root/repo/src/cost/what_if.cc" "src/CMakeFiles/cdpd.dir/cost/what_if.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/cost/what_if.cc.o.d"
+  "/root/repo/src/engine/database.cc" "src/CMakeFiles/cdpd.dir/engine/database.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/engine/database.cc.o.d"
+  "/root/repo/src/engine/executor.cc" "src/CMakeFiles/cdpd.dir/engine/executor.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/engine/executor.cc.o.d"
+  "/root/repo/src/index/btree.cc" "src/CMakeFiles/cdpd.dir/index/btree.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/index/btree.cc.o.d"
+  "/root/repo/src/index/index_builder.cc" "src/CMakeFiles/cdpd.dir/index/index_builder.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/index/index_builder.cc.o.d"
+  "/root/repo/src/index/index_def.cc" "src/CMakeFiles/cdpd.dir/index/index_def.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/index/index_def.cc.o.d"
+  "/root/repo/src/sql/ast.cc" "src/CMakeFiles/cdpd.dir/sql/ast.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/sql/ast.cc.o.d"
+  "/root/repo/src/sql/binder.cc" "src/CMakeFiles/cdpd.dir/sql/binder.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/sql/binder.cc.o.d"
+  "/root/repo/src/sql/lexer.cc" "src/CMakeFiles/cdpd.dir/sql/lexer.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/sql/lexer.cc.o.d"
+  "/root/repo/src/sql/parser.cc" "src/CMakeFiles/cdpd.dir/sql/parser.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/sql/parser.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/cdpd.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/table.cc" "src/CMakeFiles/cdpd.dir/storage/table.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/storage/table.cc.o.d"
+  "/root/repo/src/workload/adaptive_segmenter.cc" "src/CMakeFiles/cdpd.dir/workload/adaptive_segmenter.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/adaptive_segmenter.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "src/CMakeFiles/cdpd.dir/workload/generator.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/generator.cc.o.d"
+  "/root/repo/src/workload/query_mix.cc" "src/CMakeFiles/cdpd.dir/workload/query_mix.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/query_mix.cc.o.d"
+  "/root/repo/src/workload/shift_detector.cc" "src/CMakeFiles/cdpd.dir/workload/shift_detector.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/shift_detector.cc.o.d"
+  "/root/repo/src/workload/standard_workloads.cc" "src/CMakeFiles/cdpd.dir/workload/standard_workloads.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/standard_workloads.cc.o.d"
+  "/root/repo/src/workload/statement.cc" "src/CMakeFiles/cdpd.dir/workload/statement.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/statement.cc.o.d"
+  "/root/repo/src/workload/trace_io.cc" "src/CMakeFiles/cdpd.dir/workload/trace_io.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/trace_io.cc.o.d"
+  "/root/repo/src/workload/workload.cc" "src/CMakeFiles/cdpd.dir/workload/workload.cc.o" "gcc" "src/CMakeFiles/cdpd.dir/workload/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/catalog_sql_test.dir/catalog/catalog_test.cc.o"
+  "CMakeFiles/catalog_sql_test.dir/catalog/catalog_test.cc.o.d"
+  "CMakeFiles/catalog_sql_test.dir/catalog/configuration_test.cc.o"
+  "CMakeFiles/catalog_sql_test.dir/catalog/configuration_test.cc.o.d"
+  "CMakeFiles/catalog_sql_test.dir/sql/binder_test.cc.o"
+  "CMakeFiles/catalog_sql_test.dir/sql/binder_test.cc.o.d"
+  "CMakeFiles/catalog_sql_test.dir/sql/lexer_test.cc.o"
+  "CMakeFiles/catalog_sql_test.dir/sql/lexer_test.cc.o.d"
+  "CMakeFiles/catalog_sql_test.dir/sql/parser_test.cc.o"
+  "CMakeFiles/catalog_sql_test.dir/sql/parser_test.cc.o.d"
+  "catalog_sql_test"
+  "catalog_sql_test.pdb"
+  "catalog_sql_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/catalog_sql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

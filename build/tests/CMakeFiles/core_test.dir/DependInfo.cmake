@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/advisor_test.cc" "tests/CMakeFiles/core_test.dir/core/advisor_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/advisor_test.cc.o.d"
+  "/root/repo/tests/core/brute_force_test.cc" "tests/CMakeFiles/core_test.dir/core/brute_force_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/brute_force_test.cc.o.d"
+  "/root/repo/tests/core/design_merging_test.cc" "tests/CMakeFiles/core_test.dir/core/design_merging_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/design_merging_test.cc.o.d"
+  "/root/repo/tests/core/design_problem_test.cc" "tests/CMakeFiles/core_test.dir/core/design_problem_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/design_problem_test.cc.o.d"
+  "/root/repo/tests/core/greedy_seq_test.cc" "tests/CMakeFiles/core_test.dir/core/greedy_seq_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/greedy_seq_test.cc.o.d"
+  "/root/repo/tests/core/hybrid_optimizer_test.cc" "tests/CMakeFiles/core_test.dir/core/hybrid_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/hybrid_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/k_aware_graph_test.cc" "tests/CMakeFiles/core_test.dir/core/k_aware_graph_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/k_aware_graph_test.cc.o.d"
+  "/root/repo/tests/core/k_selection_test.cc" "tests/CMakeFiles/core_test.dir/core/k_selection_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/k_selection_test.cc.o.d"
+  "/root/repo/tests/core/online_tuner_test.cc" "tests/CMakeFiles/core_test.dir/core/online_tuner_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/online_tuner_test.cc.o.d"
+  "/root/repo/tests/core/path_ranking_test.cc" "tests/CMakeFiles/core_test.dir/core/path_ranking_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/path_ranking_test.cc.o.d"
+  "/root/repo/tests/core/sequence_graph_test.cc" "tests/CMakeFiles/core_test.dir/core/sequence_graph_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/sequence_graph_test.cc.o.d"
+  "/root/repo/tests/core/unconstrained_optimizer_test.cc" "tests/CMakeFiles/core_test.dir/core/unconstrained_optimizer_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/unconstrained_optimizer_test.cc.o.d"
+  "/root/repo/tests/core/validator_test.cc" "tests/CMakeFiles/core_test.dir/core/validator_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/validator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/advisor_test.cc.o"
+  "CMakeFiles/core_test.dir/core/advisor_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/brute_force_test.cc.o"
+  "CMakeFiles/core_test.dir/core/brute_force_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/design_merging_test.cc.o"
+  "CMakeFiles/core_test.dir/core/design_merging_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/design_problem_test.cc.o"
+  "CMakeFiles/core_test.dir/core/design_problem_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/greedy_seq_test.cc.o"
+  "CMakeFiles/core_test.dir/core/greedy_seq_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/hybrid_optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/hybrid_optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/k_aware_graph_test.cc.o"
+  "CMakeFiles/core_test.dir/core/k_aware_graph_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/k_selection_test.cc.o"
+  "CMakeFiles/core_test.dir/core/k_selection_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/online_tuner_test.cc.o"
+  "CMakeFiles/core_test.dir/core/online_tuner_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/path_ranking_test.cc.o"
+  "CMakeFiles/core_test.dir/core/path_ranking_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/sequence_graph_test.cc.o"
+  "CMakeFiles/core_test.dir/core/sequence_graph_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/unconstrained_optimizer_test.cc.o"
+  "CMakeFiles/core_test.dir/core/unconstrained_optimizer_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/validator_test.cc.o"
+  "CMakeFiles/core_test.dir/core/validator_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

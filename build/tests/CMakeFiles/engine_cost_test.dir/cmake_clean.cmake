@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_cost_test.dir/cost/calibration_test.cc.o"
+  "CMakeFiles/engine_cost_test.dir/cost/calibration_test.cc.o.d"
+  "CMakeFiles/engine_cost_test.dir/cost/cost_model_test.cc.o"
+  "CMakeFiles/engine_cost_test.dir/cost/cost_model_test.cc.o.d"
+  "CMakeFiles/engine_cost_test.dir/cost/table_stats_test.cc.o"
+  "CMakeFiles/engine_cost_test.dir/cost/table_stats_test.cc.o.d"
+  "CMakeFiles/engine_cost_test.dir/cost/what_if_test.cc.o"
+  "CMakeFiles/engine_cost_test.dir/cost/what_if_test.cc.o.d"
+  "CMakeFiles/engine_cost_test.dir/engine/database_test.cc.o"
+  "CMakeFiles/engine_cost_test.dir/engine/database_test.cc.o.d"
+  "CMakeFiles/engine_cost_test.dir/engine/executor_test.cc.o"
+  "CMakeFiles/engine_cost_test.dir/engine/executor_test.cc.o.d"
+  "engine_cost_test"
+  "engine_cost_test.pdb"
+  "engine_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

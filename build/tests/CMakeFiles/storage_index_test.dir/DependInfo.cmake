@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/index/btree_test.cc" "tests/CMakeFiles/storage_index_test.dir/index/btree_test.cc.o" "gcc" "tests/CMakeFiles/storage_index_test.dir/index/btree_test.cc.o.d"
+  "/root/repo/tests/index/index_builder_test.cc" "tests/CMakeFiles/storage_index_test.dir/index/index_builder_test.cc.o" "gcc" "tests/CMakeFiles/storage_index_test.dir/index/index_builder_test.cc.o.d"
+  "/root/repo/tests/index/index_def_test.cc" "tests/CMakeFiles/storage_index_test.dir/index/index_def_test.cc.o" "gcc" "tests/CMakeFiles/storage_index_test.dir/index/index_def_test.cc.o.d"
+  "/root/repo/tests/storage/page_test.cc" "tests/CMakeFiles/storage_index_test.dir/storage/page_test.cc.o" "gcc" "tests/CMakeFiles/storage_index_test.dir/storage/page_test.cc.o.d"
+  "/root/repo/tests/storage/schema_test.cc" "tests/CMakeFiles/storage_index_test.dir/storage/schema_test.cc.o" "gcc" "tests/CMakeFiles/storage_index_test.dir/storage/schema_test.cc.o.d"
+  "/root/repo/tests/storage/table_test.cc" "tests/CMakeFiles/storage_index_test.dir/storage/table_test.cc.o" "gcc" "tests/CMakeFiles/storage_index_test.dir/storage/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_index_test.dir/index/btree_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/index/btree_test.cc.o.d"
+  "CMakeFiles/storage_index_test.dir/index/index_builder_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/index/index_builder_test.cc.o.d"
+  "CMakeFiles/storage_index_test.dir/index/index_def_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/index/index_def_test.cc.o.d"
+  "CMakeFiles/storage_index_test.dir/storage/page_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/storage/page_test.cc.o.d"
+  "CMakeFiles/storage_index_test.dir/storage/schema_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/storage/schema_test.cc.o.d"
+  "CMakeFiles/storage_index_test.dir/storage/table_test.cc.o"
+  "CMakeFiles/storage_index_test.dir/storage/table_test.cc.o.d"
+  "storage_index_test"
+  "storage_index_test.pdb"
+  "storage_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

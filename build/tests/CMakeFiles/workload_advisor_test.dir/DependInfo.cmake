@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/advisor/candidate_generation_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/advisor/candidate_generation_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/advisor/candidate_generation_test.cc.o.d"
+  "/root/repo/tests/advisor/config_enumeration_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/advisor/config_enumeration_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/advisor/config_enumeration_test.cc.o.d"
+  "/root/repo/tests/workload/adaptive_segmenter_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/adaptive_segmenter_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/adaptive_segmenter_test.cc.o.d"
+  "/root/repo/tests/workload/generator_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/generator_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/generator_test.cc.o.d"
+  "/root/repo/tests/workload/query_mix_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/query_mix_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/query_mix_test.cc.o.d"
+  "/root/repo/tests/workload/shift_detector_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/shift_detector_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/shift_detector_test.cc.o.d"
+  "/root/repo/tests/workload/standard_workloads_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/standard_workloads_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/standard_workloads_test.cc.o.d"
+  "/root/repo/tests/workload/trace_io_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/trace_io_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/trace_io_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/workload_advisor_test.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_advisor_test.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cdpd.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

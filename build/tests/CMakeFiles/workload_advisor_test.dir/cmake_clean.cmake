@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_advisor_test.dir/advisor/candidate_generation_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/advisor/candidate_generation_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/advisor/config_enumeration_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/advisor/config_enumeration_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/adaptive_segmenter_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/adaptive_segmenter_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/generator_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/generator_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/query_mix_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/query_mix_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/shift_detector_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/shift_detector_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/standard_workloads_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/standard_workloads_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/trace_io_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/trace_io_test.cc.o.d"
+  "CMakeFiles/workload_advisor_test.dir/workload/workload_test.cc.o"
+  "CMakeFiles/workload_advisor_test.dir/workload/workload_test.cc.o.d"
+  "workload_advisor_test"
+  "workload_advisor_test.pdb"
+  "workload_advisor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_advisor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

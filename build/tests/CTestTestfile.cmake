@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_index_test[1]_include.cmake")
+include("/root/repo/build/tests/catalog_sql_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_cost_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_advisor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/properties_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
