@@ -48,7 +48,7 @@ void Run() {
     problem.initial = Configuration::Empty();
 
     for (int64_t k = 0; k <= 2; ++k) {
-      RankingStats stats;
+      SolveStats stats;
       Stopwatch rank_watch;
       auto ranked = SolveByRanking(problem, k, /*max_paths=*/500'000,
                                    &stats);

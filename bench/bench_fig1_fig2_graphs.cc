@@ -56,7 +56,7 @@ void Run() {
   std::printf("edges:  %lld   (O(k n 2^2m))\n",
               static_cast<long long>(size.edges));
 
-  KAwareSolveStats stats;
+  SolveStats stats;
   auto schedule = SolveKAware(problem, 2, &stats).value();
   std::printf("\nshortest path through the k-aware graph (k = 2):\n");
   for (size_t i = 0; i < schedule.configs.size(); ++i) {
@@ -65,7 +65,8 @@ void Run() {
   }
   std::printf("sequence execution cost: %.1f, DP states: %lld, "
               "relaxations: %lld\n",
-              schedule.total_cost, static_cast<long long>(stats.states),
+              schedule.total_cost,
+              static_cast<long long>(stats.nodes_expanded),
               static_cast<long long>(stats.relaxations));
   bench_util::PrintRule();
 }

@@ -17,6 +17,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 #include "core/design_merging.h"
 #include "core/k_aware_graph.h"
 #include "core/unconstrained_optimizer.h"
@@ -32,6 +33,9 @@ struct Fig4Fixture {
   std::unique_ptr<WhatIfEngine> what_if;
   DesignProblem problem;
   DesignSchedule unconstrained;
+  // Shared worker pool (CDPD_THREADS / hardware default); null when
+  // the default is serial so the bench also covers the no-pool path.
+  std::unique_ptr<ThreadPool> pool;
 };
 
 Fig4Fixture* GetFixture() {
@@ -61,7 +65,11 @@ Fig4Fixture* GetFixture() {
             .value();
     f->problem.initial = Configuration::Empty();
     f->problem.final_config = Configuration::Empty();
-    f->unconstrained = SolveUnconstrained(f->problem).value();
+    if (ThreadPool::DefaultThreadCount() > 1) {
+      f->pool = std::make_unique<ThreadPool>();
+    }
+    f->unconstrained =
+        SolveUnconstrained(f->problem, nullptr, f->pool.get()).value();
     return f;
   }();
   return fixture;
@@ -70,7 +78,7 @@ Fig4Fixture* GetFixture() {
 void BM_UnconstrainedOptimizer(benchmark::State& state) {
   Fig4Fixture* f = GetFixture();
   for (auto _ : state) {
-    auto schedule = SolveUnconstrained(f->problem);
+    auto schedule = SolveUnconstrained(f->problem, nullptr, f->pool.get());
     benchmark::DoNotOptimize(schedule);
   }
 }
@@ -80,7 +88,7 @@ void BM_KAwareGraph(benchmark::State& state) {
   Fig4Fixture* f = GetFixture();
   const int64_t k = state.range(0);
   for (auto _ : state) {
-    auto schedule = SolveKAware(f->problem, k);
+    auto schedule = SolveKAware(f->problem, k, nullptr, f->pool.get());
     benchmark::DoNotOptimize(schedule);
   }
 }
@@ -90,7 +98,8 @@ void BM_SequentialMerging(benchmark::State& state) {
   Fig4Fixture* f = GetFixture();
   const int64_t k = state.range(0);
   for (auto _ : state) {
-    auto schedule = MergeToConstraint(f->problem, f->unconstrained, k);
+    auto schedule = MergeToConstraint(f->problem, f->unconstrained, k,
+                                      nullptr, f->pool.get());
     benchmark::DoNotOptimize(schedule);
   }
 }
@@ -115,7 +124,7 @@ void PrintRelativeTable() {
   using bench_util::PrintRule;
   Fig4Fixture* f = GetFixture();
   const double base = MedianSeconds([&] {
-    auto schedule = SolveUnconstrained(f->problem);
+    auto schedule = SolveUnconstrained(f->problem, nullptr, f->pool.get());
     benchmark::DoNotOptimize(schedule);
   });
   const int64_t l = CountChanges(f->problem, f->unconstrained.configs);
@@ -128,11 +137,12 @@ void PrintRelativeTable() {
   std::printf("%4s %22s %22s\n", "k", "constrained graph", "merging");
   for (int64_t k = 2; k <= 18; k += 2) {
     const double graph_time = MedianSeconds([&] {
-      auto schedule = SolveKAware(f->problem, k);
+      auto schedule = SolveKAware(f->problem, k, nullptr, f->pool.get());
       benchmark::DoNotOptimize(schedule);
     });
     const double merge_time = MedianSeconds([&] {
-      auto schedule = MergeToConstraint(f->problem, f->unconstrained, k);
+      auto schedule = MergeToConstraint(f->problem, f->unconstrained, k,
+                                        nullptr, f->pool.get());
       benchmark::DoNotOptimize(schedule);
     });
     std::printf("%4lld %21.0f%% %21.0f%%\n", static_cast<long long>(k),

@@ -1,0 +1,145 @@
+// Parallel what-if evaluation: wall-time scaling of the unified
+// Solve() entry point with the worker thread count, and the
+// determinism guarantee that makes the parallelism free — identical
+// schedules, costs, and what-if costing counts at every thread count.
+//
+// The problem is sized so the cost-matrix precompute dominates: W1 x 2
+// (60 blocks) over the 2-index configuration space (22 configurations
+// from the six paper indexes), solved with the k-aware graph. On a
+// multi-core machine the 4-thread row should show >= 2x speedup over
+// the serial row; on a single-core machine every row degenerates to
+// the serial path and the table only demonstrates determinism.
+//
+// Thread counts are requested explicitly via SolveOptions::num_threads,
+// so the sweep is independent of CDPD_THREADS.
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "advisor/config_enumeration.h"
+#include "common/thread_pool.h"
+#include "core/solver.h"
+#include "cost/what_if.h"
+#include "workload/standard_workloads.h"
+
+namespace cdpd {
+namespace {
+
+struct ProblemFixture {
+  std::unique_ptr<CostModel> model;
+  Workload workload;
+  std::vector<Segment> segments;
+  std::unique_ptr<WhatIfEngine> what_if;
+  DesignProblem problem;
+};
+
+std::unique_ptr<ProblemFixture> MakeFixture() {
+  auto f = std::make_unique<ProblemFixture>();
+  f->model = bench_util::MakePaperCostModel();
+  const Schema schema = MakePaperSchema();
+  WorkloadGenerator gen(schema, bench_util::kPaperDomain,
+                        bench_util::kSeed);
+  Workload day1 = MakePaperWorkload("W1", &gen).value();
+  Workload day2 = MakePaperWorkload("W1", &gen).value();
+  f->workload = std::move(day1);
+  f->workload.statements.insert(f->workload.statements.end(),
+                                day2.statements.begin(),
+                                day2.statements.end());
+  f->segments = SegmentFixed(f->workload.size(), kPaperBlockSize);
+  f->what_if = std::make_unique<WhatIfEngine>(
+      f->model.get(), f->workload.statements, f->segments);
+  ConfigEnumOptions enum_options;
+  // Two indexes per configuration: 22 configurations instead of 7, so
+  // the n x m what-if matrix is big enough to be worth parallelizing.
+  enum_options.max_indexes_per_config = 2;
+  enum_options.num_rows = f->model->num_rows();
+  f->problem.what_if = f->what_if.get();
+  f->problem.candidates =
+      EnumerateConfigurations(MakePaperCandidateIndexes(schema),
+                              enum_options)
+          .value();
+  f->problem.initial = Configuration::Empty();
+  f->problem.final_config = Configuration::Empty();
+  return f;
+}
+
+struct Run {
+  int threads = 1;
+  double seconds = 0;
+  SolveResult result;
+};
+
+/// Solves with `threads` workers on a FRESH what-if engine (cold memo
+/// cache), so every run pays the full precompute and the wall times
+/// are comparable.
+Run SolveWith(int threads) {
+  std::unique_ptr<ProblemFixture> fixture = MakeFixture();
+  SolveOptions options;
+  options.method = OptimizerMethod::kOptimal;
+  options.k = 4;
+  options.num_threads = threads;
+  Run run;
+  run.threads = threads;
+  auto solved = Solve(fixture->problem, options);
+  if (!solved.ok()) {
+    std::fprintf(stderr, "solve failed: %s\n",
+                 solved.status().ToString().c_str());
+    std::exit(1);
+  }
+  run.result = std::move(solved).value();
+  run.seconds = run.result.stats.wall_seconds;
+  return run;
+}
+
+void Report() {
+  using bench_util::PrintHeader;
+  using bench_util::PrintRule;
+  PrintHeader(
+      "Parallel what-if evaluation: Solve(k-aware, k = 4) wall time "
+      "vs worker threads");
+  std::printf("hardware concurrency: %d; W1 x 2 (60 blocks), 22 "
+              "configurations\n\n",
+              ThreadPool::DefaultThreadCount());
+
+  const Run serial = SolveWith(1);
+  std::printf("%8s %12s %10s %12s %12s %10s\n", "threads", "wall ms",
+              "speedup", "costings", "cache hits", "same?");
+  std::printf("%8d %12.2f %10s %12lld %12lld %10s\n", serial.threads,
+              serial.seconds * 1e3, "1.00x",
+              static_cast<long long>(serial.result.stats.costings),
+              static_cast<long long>(serial.result.stats.cache_hits),
+              "(base)");
+
+  bool all_identical = true;
+  for (int threads : {2, 4, 8}) {
+    const Run run = SolveWith(threads);
+    const bool same_schedule =
+        run.result.schedule.configs == serial.result.schedule.configs &&
+        run.result.schedule.total_cost == serial.result.schedule.total_cost &&
+        run.result.stats.costings == serial.result.stats.costings;
+    all_identical = all_identical && same_schedule;
+    std::printf("%8d %12.2f %9.2fx %12lld %12lld %10s\n", run.threads,
+                run.seconds * 1e3, serial.seconds / run.seconds,
+                static_cast<long long>(run.result.stats.costings),
+                static_cast<long long>(run.result.stats.cache_hits),
+                same_schedule ? "yes" : "NO");
+  }
+  PrintRule();
+  std::printf("schedule, total cost, and costing count %s across all "
+              "thread counts\n",
+              all_identical ? "are byte-identical" : "DIVERGED");
+  PrintRule();
+  if (!all_identical) std::exit(1);
+}
+
+}  // namespace
+}  // namespace cdpd
+
+int main() {
+  cdpd::Report();
+  return 0;
+}

@@ -47,11 +47,12 @@ inline Workload MakeFullWorkload(const std::string& name, uint64_t seed) {
 }
 
 /// The advisor options of §6: 7-configuration space over the six
-/// candidate indexes, initial and final design empty.
+/// candidate indexes, initial and final design empty. k < 0 maps to
+/// the unconstrained problem (AdvisorOptions::k = nullopt).
 inline AdvisorOptions PaperAdvisorOptions(int64_t k) {
   AdvisorOptions options;
   options.block_size = kPaperBlockSize;
-  options.k = k;
+  options.k = k < 0 ? std::nullopt : std::optional<int64_t>(k);
   options.candidate_indexes = MakePaperCandidateIndexes(MakePaperSchema());
   options.max_indexes_per_config = 1;
   options.final_config = Configuration::Empty();

@@ -1,7 +1,7 @@
 // Command-line advisor: the adoption path for a real user.
 //
 //   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
-//               [--rows N] [--calibrate] [--emit-ddl]
+//               [--threads N] [--rows N] [--calibrate] [--emit-ddl]
 //
 // Reads a SQL workload trace (or generates the paper's W1 as a demo),
 // recommends a change-constrained dynamic design, and optionally emits
@@ -24,9 +24,10 @@ namespace {
 
 struct CliArgs {
   std::string trace_path;
-  int64_t k = 2;
+  int64_t k = 2;  // < 0 = unconstrained.
   size_t block = 500;
   std::string method = "optimal";
+  int64_t threads = 0;  // 0 = CDPD_THREADS / hardware default.
   int64_t rows = 250'000;
   bool calibrate = false;
   bool emit_ddl = false;
@@ -46,6 +47,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       int64_t value = 0;
       if (!next(&value) || value <= 0) return false;
       args->block = static_cast<size_t>(value);
+    } else if (arg == "--threads") {
+      if (!next(&args->threads) || args->threads < 0) return false;
     } else if (arg == "--rows") {
       if (!next(&args->rows) || args->rows <= 0) return false;
     } else if (arg == "--method") {
@@ -121,7 +124,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: advisor_cli [trace.sql] [--k N] [--block N] "
                  "[--method optimal|greedy-seq|merging|ranking|hybrid] "
-                 "[--rows N] [--calibrate] [--emit-ddl]\n");
+                 "[--threads N] [--rows N] [--calibrate] [--emit-ddl]\n");
     return 2;
   }
 
@@ -172,8 +175,9 @@ int main(int argc, char** argv) {
   Advisor advisor(&model);
   AdvisorOptions options;
   options.block_size = args.block;
-  options.k = args.k;
+  if (args.k >= 0) options.k = args.k;
   options.method = *method;
+  options.num_threads = static_cast<int>(args.threads);
   auto rec = advisor.Recommend(trace, options);
   if (!rec.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
@@ -181,11 +185,24 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  const SolveStats& stats = rec->stats;
   std::printf("\nmethod: %s (%s), optimized in %.3fs\n", args.method.c_str(),
-              rec->method_detail.c_str(), rec->optimize_seconds);
-  std::printf("design changes: %lld (bound %lld), estimated cost %.4e\n",
-              static_cast<long long>(rec->changes),
-              static_cast<long long>(args.k), rec->schedule.total_cost);
+              rec->method_detail.c_str(), stats.wall_seconds);
+  std::printf(
+      "solver stats: %d thread(s), %lld what-if costings, %lld cache "
+      "hits, %lld nodes expanded\n",
+      stats.threads_used, static_cast<long long>(stats.costings),
+      static_cast<long long>(stats.cache_hits),
+      static_cast<long long>(stats.nodes_expanded));
+  if (args.k >= 0) {
+    std::printf("design changes: %lld (bound %lld), estimated cost %.4e\n",
+                static_cast<long long>(rec->changes),
+                static_cast<long long>(args.k), rec->schedule.total_cost);
+  } else {
+    std::printf("design changes: %lld (unconstrained), estimated cost %.4e\n",
+                static_cast<long long>(rec->changes),
+                rec->schedule.total_cost);
+  }
   std::printf("\nschedule:\n");
   const Configuration* previous = nullptr;
   for (size_t s = 0; s < rec->segments.size(); ++s) {

@@ -1,0 +1,135 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+
+namespace cdpd {
+
+namespace {
+
+/// Set while a thread is executing inside any pool's WorkerLoop.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  if (num_threads <= 0) num_threads = DefaultThreadCount();
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+int ThreadPool::DefaultThreadCount() {
+  if (const char* env = std::getenv("CDPD_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+bool ThreadPool::InWorkerThread() { return t_in_worker; }
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ and drained.
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  const int threads = pool == nullptr ? 1 : pool->num_threads();
+  // Serial fallback: no pool, one worker, nothing to amortize, or a
+  // nested call from inside a worker (re-entering the pool could
+  // deadlock once every worker blocks on a nested wait).
+  if (threads <= 1 || count == 1 || ThreadPool::InWorkerThread()) {
+    for (size_t i = begin; i < end; ++i) fn(i);
+    return;
+  }
+
+  // Shared dynamic chunking: tasks pull chunk numbers from an atomic
+  // counter, so load balances whatever the per-index cost. The caller
+  // participates too — completion never depends on a worker being
+  // free.
+  const size_t num_tasks =
+      std::min(count, static_cast<size_t>(threads));
+  const size_t chunk =
+      std::max<size_t>(1, count / (static_cast<size_t>(threads) * 8));
+  struct Shared {
+    std::atomic<size_t> next_chunk{0};
+    std::atomic<size_t> pending{0};
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;  // Guarded by mu (first error wins).
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->pending.store(num_tasks, std::memory_order_relaxed);
+
+  auto run_chunks = [shared, begin, end, chunk, &fn] {
+    try {
+      for (;;) {
+        const size_t c =
+            shared->next_chunk.fetch_add(1, std::memory_order_relaxed);
+        const size_t lo = begin + c * chunk;
+        if (lo >= end) break;
+        const size_t hi = std::min(end, lo + chunk);
+        for (size_t i = lo; i < hi; ++i) fn(i);
+      }
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(shared->mu);
+      if (!shared->error) shared->error = std::current_exception();
+    }
+  };
+
+  // num_tasks - 1 pool tasks; the calling thread is the last "task".
+  for (size_t t = 0; t + 1 < num_tasks; ++t) {
+    pool->Submit([shared, run_chunks] {
+      run_chunks();
+      if (shared->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        std::lock_guard<std::mutex> lock(shared->mu);
+        shared->done_cv.notify_all();
+      }
+    });
+  }
+  run_chunks();
+  if (shared->pending.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+    std::unique_lock<std::mutex> lock(shared->mu);
+    shared->done_cv.wait(lock, [&shared] {
+      return shared->pending.load(std::memory_order_acquire) == 0;
+    });
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+}  // namespace cdpd

@@ -1,0 +1,78 @@
+#ifndef CDPD_COMMON_THREAD_POOL_H_
+#define CDPD_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cdpd {
+
+/// A small fixed-size worker pool for the CPU-bound fan-out of the
+/// design optimizers (what-if cost-matrix precomputation, per-stage DP
+/// relaxation). Tasks are plain std::function<void()>; ParallelFor
+/// below is the only entry point the solvers use.
+///
+/// The pool is safe to share between concurrent ParallelFor calls. A
+/// ParallelFor issued *from inside a worker thread* (nested use) runs
+/// inline on the calling thread instead of re-entering the pool, so
+/// nesting can never deadlock.
+class ThreadPool {
+ public:
+  /// `num_threads <= 0` resolves to DefaultThreadCount().
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues one task. Tasks must not throw out of the pool; wrap
+  /// user code (ParallelFor captures exceptions and rethrows them in
+  /// the caller).
+  void Submit(std::function<void()> task);
+
+  /// The thread count the CDPD_THREADS environment variable requests
+  /// (clamped to >= 1), or std::thread::hardware_concurrency() when the
+  /// variable is unset or unparsable. Re-read on every call so tests
+  /// and long-lived processes can change it between solves.
+  static int DefaultThreadCount();
+
+  /// True when the calling thread is one of this process's pool
+  /// workers (any pool); used for the inline nested-ParallelFor
+  /// fallback.
+  static bool InWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(i) for every i in [begin, end), fanning contiguous chunks
+/// out across `pool` and blocking until all complete. Guarantees:
+///
+///  * every index runs exactly once, whatever the thread count;
+///  * serial fallback — pool == nullptr, a single-thread pool, a tiny
+///    range, or a call from inside a worker thread all run the plain
+///    loop inline, so results never depend on *where* the call is made;
+///  * exceptions thrown by fn are captured and the first one is
+///    rethrown in the caller after all chunks finish.
+///
+/// fn must be safe to call concurrently for distinct indices; writes
+/// should target disjoint data (determinism is then automatic because
+/// each index computes the same value regardless of scheduling).
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn);
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_THREAD_POOL_H_

@@ -1,37 +1,36 @@
 #include "core/advisor.h"
 
-#include "common/stopwatch.h"
-#include "core/design_merging.h"
-#include "core/greedy_seq.h"
-#include "core/hybrid_optimizer.h"
-#include "core/k_aware_graph.h"
-#include "core/path_ranking.h"
-#include "core/unconstrained_optimizer.h"
 #include "core/validator.h"
 
 namespace cdpd {
 
-std::string_view OptimizerMethodToString(OptimizerMethod method) {
-  switch (method) {
-    case OptimizerMethod::kOptimal:
-      return "optimal";
-    case OptimizerMethod::kGreedySeq:
-      return "greedy-seq";
-    case OptimizerMethod::kMerging:
-      return "merging";
-    case OptimizerMethod::kRanking:
-      return "ranking";
-    case OptimizerMethod::kHybrid:
-      return "hybrid";
+Status AdvisorOptions::Validate() const {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block_size must be positive");
   }
-  return "unknown";
+  if (k.has_value() && *k < 0) {
+    return Status::InvalidArgument(
+        "change bound k must be >= 0 when set (use nullopt for "
+        "unconstrained)");
+  }
+  if (space_bound_pages <= 0) {
+    return Status::InvalidArgument("space_bound_pages must be positive");
+  }
+  if (max_indexes_per_config < 1) {
+    return Status::InvalidArgument("max_indexes_per_config must be >= 1");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (ranking_max_paths <= 0) {
+    return Status::InvalidArgument("ranking_max_paths must be positive");
+  }
+  return Status::OK();
 }
 
 Result<Recommendation> Advisor::Recommend(const Workload& workload,
                                           const AdvisorOptions& options) const {
-  if (options.block_size == 0) {
-    return Status::InvalidArgument("block_size must be positive");
-  }
+  CDPD_RETURN_IF_ERROR(options.Validate());
 
   Recommendation rec;
   if (options.segmentation == SegmentationMode::kAdaptive) {
@@ -71,81 +70,32 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   problem.space_bound_pages = options.space_bound_pages;
   problem.count_initial_change = options.count_initial_change;
 
-  Stopwatch watch;
-  switch (options.method) {
-    case OptimizerMethod::kOptimal: {
-      if (options.k < 0) {
-        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveUnconstrained(problem));
-        rec.method_detail = "sequence-graph shortest path";
-      } else {
-        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveKAware(problem, options.k));
-        rec.method_detail = "k-aware sequence graph";
-      }
-      break;
-    }
-    case OptimizerMethod::kGreedySeq: {
-      GreedySeqOptions greedy;
-      greedy.candidate_indexes = rec.candidate_indexes;
-      greedy.max_indexes_per_config = options.max_indexes_per_config;
-      CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
-                            SolveGreedySeq(problem, options.k, greedy));
-      rec.schedule = std::move(greedy_result.schedule);
-      rec.candidate_configs = std::move(greedy_result.reduced_candidates);
-      problem.candidates = rec.candidate_configs;
-      rec.method_detail =
-          "greedy-seq reduced candidates: " +
-          std::to_string(rec.candidate_configs.size());
-      break;
-    }
-    case OptimizerMethod::kMerging: {
-      CDPD_ASSIGN_OR_RETURN(DesignSchedule unconstrained,
-                            SolveUnconstrained(problem));
-      if (options.k < 0) {
-        rec.schedule = std::move(unconstrained);
-        rec.method_detail = "merging (no constraint; unconstrained optimum)";
-      } else {
-        MergingStats stats;
-        CDPD_ASSIGN_OR_RETURN(
-            rec.schedule,
-            MergeToConstraint(problem, unconstrained, options.k, &stats));
-        rec.method_detail =
-            "merging steps: " + std::to_string(stats.steps);
-      }
-      break;
-    }
-    case OptimizerMethod::kRanking: {
-      if (options.k < 0) {
-        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveUnconstrained(problem));
-        rec.method_detail = "ranking (no constraint; shortest path)";
-      } else {
-        RankingStats stats;
-        CDPD_ASSIGN_OR_RETURN(
-            rec.schedule,
-            SolveByRanking(problem, options.k, options.ranking_max_paths,
-                           &stats));
-        rec.method_detail =
-            "ranked paths: " + std::to_string(stats.paths_enumerated);
-      }
-      break;
-    }
-    case OptimizerMethod::kHybrid: {
-      if (options.k < 0) {
-        CDPD_ASSIGN_OR_RETURN(rec.schedule, SolveUnconstrained(problem));
-        rec.method_detail = "hybrid (no constraint; shortest path)";
-      } else {
-        CDPD_ASSIGN_OR_RETURN(HybridResult hybrid,
-                              SolveHybrid(problem, options.k));
-        rec.schedule = std::move(hybrid.schedule);
-        rec.method_detail =
-            std::string("hybrid chose ") +
-            std::string(HybridChoiceToString(hybrid.choice));
-      }
-      break;
-    }
+  SolveOptions solve_options;
+  solve_options.method = options.method;
+  solve_options.k = options.k;
+  solve_options.num_threads = options.num_threads;
+  solve_options.ranking_max_paths = options.ranking_max_paths;
+  if (options.method == OptimizerMethod::kGreedySeq) {
+    solve_options.greedy.candidate_indexes = rec.candidate_indexes;
+    solve_options.greedy.max_indexes_per_config =
+        options.max_indexes_per_config;
   }
-  rec.optimize_seconds = watch.ElapsedSeconds();
+
+  CDPD_ASSIGN_OR_RETURN(SolveResult solved, Solve(problem, solve_options));
+  rec.schedule = std::move(solved.schedule);
+  rec.stats = solved.stats;
+  rec.optimize_seconds = solved.stats.wall_seconds;
+  rec.method_detail = std::move(solved.method_detail);
+  if (!solved.reduced_candidates.empty()) {
+    // GREEDY-SEQ searched its own reduced configuration set; report
+    // that set so the recommendation is reproducible.
+    rec.candidate_configs = std::move(solved.reduced_candidates);
+    problem.candidates = rec.candidate_configs;
+  }
+
   rec.changes = CountChanges(problem, rec.schedule.configs);
-  CDPD_RETURN_IF_ERROR(ValidateSchedule(problem, rec.schedule, options.k));
+  CDPD_RETURN_IF_ERROR(
+      ValidateSchedule(problem, rec.schedule, options.k.value_or(-1)));
   return rec;
 }
 

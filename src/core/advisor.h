@@ -11,23 +11,12 @@
 #include "advisor/config_enumeration.h"
 #include "common/result.h"
 #include "core/design_problem.h"
+#include "core/solver.h"
 #include "cost/cost_model.h"
 #include "workload/adaptive_segmenter.h"
 #include "workload/workload.h"
 
 namespace cdpd {
-
-/// The solution technique to run (§3–§5 of the paper plus the hybrid
-/// §6.4 suggests).
-enum class OptimizerMethod {
-  kOptimal,    // Sequence graph (k < 0) / k-aware sequence graph.
-  kGreedySeq,  // GREEDY-SEQ candidate reduction, then k-aware graph.
-  kMerging,    // Unconstrained optimum refined by sequential merging.
-  kRanking,    // Shortest-path ranking until <= k changes.
-  kHybrid,     // k-aware graph for small k, merging for large k.
-};
-
-std::string_view OptimizerMethodToString(OptimizerMethod method);
 
 /// How the workload is cut into stages S_1..S_n.
 enum class SegmentationMode {
@@ -45,9 +34,14 @@ struct AdvisorOptions {
   /// Adaptive-mode parameters; base_block_size = 0 inherits
   /// block_size.
   AdaptiveSegmentOptions adaptive = {.base_block_size = 0};
-  /// Change bound k; negative means unconstrained.
-  int64_t k = -1;
+  /// Change bound k; nullopt = unconstrained (the old -1 sentinel is
+  /// gone — Validate() rejects negative values).
+  std::optional<int64_t> k;
   OptimizerMethod method = OptimizerMethod::kOptimal;
+  /// Worker threads for the what-if precompute and the solver sweeps;
+  /// 0 = CDPD_THREADS / hardware default, 1 = serial. The
+  /// recommendation is identical for any value.
+  int num_threads = 0;
   /// Space bound b in pages.
   int64_t space_bound_pages = std::numeric_limits<int64_t>::max();
   /// Indexes per configuration (1 = the paper's experimental space).
@@ -62,6 +56,11 @@ struct AdvisorOptions {
   CandidateGenOptions candidate_gen;
   /// Enumeration cap for the ranking method.
   int64_t ranking_max_paths = 1'000'000;
+
+  /// All option validation in one place (block size, change bound,
+  /// space bound, thread count, enumeration cap); Recommend calls it
+  /// first, replacing the old scattered ad-hoc checks.
+  Status Validate() const;
 };
 
 /// A recommendation: the design schedule plus everything needed to
@@ -72,6 +71,10 @@ struct Recommendation {
   std::vector<IndexDef> candidate_indexes;
   std::vector<Configuration> candidate_configs;
   int64_t changes = 0;
+  /// Unified solver counters (wall time, what-if costings, cache hits,
+  /// threads used, nodes expanded).
+  SolveStats stats;
+  /// Convenience alias of stats.wall_seconds (pre-SolveStats callers).
   double optimize_seconds = 0.0;
   /// Technique detail (e.g. which branch the hybrid picked).
   std::string method_detail;
@@ -79,8 +82,8 @@ struct Recommendation {
 
 /// One-call entry point to the constrained dynamic physical design
 /// advisor: segments the workload, builds the what-if oracle and the
-/// candidate configuration space, runs the selected optimizer, and
-/// validates the resulting schedule.
+/// candidate configuration space, runs the selected optimizer through
+/// the unified Solve() API, and validates the resulting schedule.
 class Advisor {
  public:
   /// `model` must outlive the advisor.

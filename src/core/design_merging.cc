@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/stopwatch.h"
+
 namespace cdpd {
 
 namespace {
@@ -48,7 +50,8 @@ double ExitCost(const DesignProblem& problem, const Configuration& last) {
 
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
-                                         int64_t k, MergingStats* stats) {
+                                         int64_t k, SolveStats* stats,
+                                         ThreadPool* pool) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -60,8 +63,12 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
         std::to_string(problem.num_segments()));
   }
 
-  MergingStats local_stats;
+  SolveStats local_stats;
+  local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
+  const Stopwatch watch;
   const WhatIfEngine& what_if = *problem.what_if;
+  const int64_t costings_before = what_if.costings();
+  const int64_t hits_before = what_if.cache_hits();
   std::vector<Run> runs = BuildRuns(initial_schedule.configs);
 
   while (RunChanges(problem, runs) > k) {
@@ -77,43 +84,61 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
             "configuration to be a candidate");
       }
       runs.front().config = problem.initial;
-      ++local_stats.steps;
+      ++local_stats.merge_steps;
       break;
     }
 
-    double best_penalty = std::numeric_limits<double>::infinity();
-    size_t best_pair = 0;
-    Configuration best_replacement;
-
-    for (size_t i = 0; i + 1 < runs.size(); ++i) {
+    // Parallel phase: evaluate every (pair, replacement) penalty into
+    // a dense table (disjoint writes; the what-if memo cache is
+    // thread-safe). The winning cell is then picked by a serial scan
+    // in the serial iteration order, so ties break identically for
+    // any thread count.
+    const size_t num_pairs = runs.size() - 1;
+    const size_t num_cands = problem.candidates.size();
+    std::vector<double> old_costs(num_pairs);
+    ParallelFor(pool, 0, num_pairs, [&](size_t i) {
       const Run& left = runs[i];
       const Run& right = runs[i + 1];
       const Configuration& prev =
           i == 0 ? problem.initial : runs[i - 1].config;
       const bool has_next = i + 2 < runs.size();
-      const Configuration* next = has_next ? &runs[i + 2].config : nullptr;
-
       double old_cost = what_if.TransitionCost(prev, left.config) +
                         what_if.RangeCost(left.begin, left.end, left.config) +
                         what_if.TransitionCost(left.config, right.config) +
                         what_if.RangeCost(right.begin, right.end, right.config);
       old_cost += has_next
-                      ? what_if.TransitionCost(right.config, *next)
+                      ? what_if.TransitionCost(right.config, runs[i + 2].config)
                       : ExitCost(problem, right.config);
+      old_costs[i] = old_cost;
+    });
+    std::vector<double> penalties(num_pairs * num_cands);
+    ParallelFor(pool, 0, num_pairs * num_cands, [&](size_t cell) {
+      const size_t i = cell / num_cands;
+      const Run& left = runs[i];
+      const Run& right = runs[i + 1];
+      const Configuration& prev =
+          i == 0 ? problem.initial : runs[i - 1].config;
+      const bool has_next = i + 2 < runs.size();
+      const Configuration& replacement = problem.candidates[cell % num_cands];
+      double new_cost =
+          what_if.TransitionCost(prev, replacement) +
+          what_if.RangeCost(left.begin, right.end, replacement);
+      new_cost += has_next
+                      ? what_if.TransitionCost(replacement, runs[i + 2].config)
+                      : ExitCost(problem, replacement);
+      penalties[cell] = new_cost - old_costs[i];
+    });
+    local_stats.candidate_evaluations +=
+        static_cast<int64_t>(num_pairs * num_cands);
 
-      for (const Configuration& replacement : problem.candidates) {
-        ++local_stats.candidate_evaluations;
-        double new_cost =
-            what_if.TransitionCost(prev, replacement) +
-            what_if.RangeCost(left.begin, right.end, replacement);
-        new_cost += has_next ? what_if.TransitionCost(replacement, *next)
-                             : ExitCost(problem, replacement);
-        const double penalty = new_cost - old_cost;
-        if (penalty < best_penalty) {
-          best_penalty = penalty;
-          best_pair = i;
-          best_replacement = replacement;
-        }
+    double best_penalty = std::numeric_limits<double>::infinity();
+    size_t best_pair = 0;
+    Configuration best_replacement;
+    for (size_t cell = 0; cell < penalties.size(); ++cell) {
+      if (penalties[cell] < best_penalty) {
+        best_penalty = penalties[cell];
+        best_pair = cell / num_cands;
+        best_replacement = problem.candidates[cell % num_cands];
       }
     }
 
@@ -123,7 +148,7 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
     runs[best_pair].config = best_replacement;
     runs[best_pair].end = runs[best_pair + 1].end;
     runs.erase(runs.begin() + static_cast<int64_t>(best_pair) + 1);
-    ++local_stats.steps;
+    ++local_stats.merge_steps;
     std::vector<Run> coalesced;
     for (Run& run : runs) {
       if (!coalesced.empty() && coalesced.back().config == run.config) {
@@ -143,7 +168,23 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
     }
   }
   schedule.total_cost = EvaluateScheduleCost(problem, schedule.configs);
+  local_stats.wall_seconds = watch.ElapsedSeconds();
+  local_stats.costings = what_if.costings() - costings_before;
+  local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
+  return schedule;
+}
+
+Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
+                                         const DesignSchedule& initial_schedule,
+                                         int64_t k, MergingStats* stats) {
+  SolveStats unified;
+  auto schedule =
+      MergeToConstraint(problem, initial_schedule, k, &unified, nullptr);
+  if (stats != nullptr) {
+    stats->steps = unified.merge_steps;
+    stats->candidate_evaluations = unified.candidate_evaluations;
+  }
   return schedule;
 }
 

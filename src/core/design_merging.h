@@ -4,11 +4,15 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/design_problem.h"
+#include "core/solve_stats.h"
 
 namespace cdpd {
 
-/// Statistics of one merging run.
+/// Deprecated: legacy stats shape, superseded by SolveStats
+/// (core/solve_stats.h — steps maps to merge_steps). Kept as a thin
+/// shim for existing callers.
 struct MergingStats {
   /// Merging steps performed (each removes at least one design change).
   int64_t steps = 0;
@@ -32,11 +36,22 @@ struct MergingStats {
 /// guaranteed optimal, even when the input schedule is the
 /// unconstrained optimum.
 ///
+/// Each step's (pair, replacement) penalty sweep is evaluated in
+/// parallel across `pool` when one is given; the winning replacement
+/// is selected by a serial scan in the serial iteration order, so the
+/// result is identical for any thread count.
+///
 /// `initial_schedule.configs` must have one entry per problem segment.
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k,
-                                         MergingStats* stats = nullptr);
+                                         SolveStats* stats = nullptr,
+                                         ThreadPool* pool = nullptr);
+
+/// Deprecated shim over the SolveStats overload.
+Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
+                                         const DesignSchedule& initial_schedule,
+                                         int64_t k, MergingStats* stats);
 
 }  // namespace cdpd
 

@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/stopwatch.h"
 #include "core/unconstrained_optimizer.h"
 
 namespace cdpd {
 
 Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
-                                       const GreedySeqOptions& options) {
+                                       const GreedySeqOptions& options,
+                                       ThreadPool* pool) {
   if (problem.what_if == nullptr) {
     return Status::InvalidArgument("design problem has no what-if oracle");
   }
@@ -16,28 +18,46 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
     return Status::InvalidArgument("GREEDY-SEQ needs candidate indexes");
   }
   const WhatIfEngine& what_if = *problem.what_if;
+  const Stopwatch watch;
+  const int64_t costings_before = what_if.costings();
+  const int64_t hits_before = what_if.cache_hits();
   const int64_t rows = what_if.model().num_rows();
+  const size_t num_indexes = options.candidate_indexes.size();
+
+  GreedySeqResult result;
+  result.stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
 
   // Per-segment greedy construction; every intermediate configuration
-  // becomes a candidate, giving O(m) candidates per segment.
+  // becomes a candidate, giving O(m) candidates per segment. Each
+  // growth step prices all candidate indexes in parallel (disjoint
+  // writes into `grown_costs`), then picks the winner with a serial
+  // scan in index order — the same argmin the serial loop computes.
   std::vector<Configuration> reduced;
   reduced.push_back(Configuration::Empty());
   reduced.push_back(problem.initial);
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> grown_costs(num_indexes, kInf);
   for (size_t segment = 0; segment < problem.num_segments(); ++segment) {
     Configuration current;
     double current_cost = what_if.SegmentCost(segment, current);
     for (;;) {
+      ParallelFor(pool, 0, num_indexes, [&](size_t i) {
+        const IndexDef& index = options.candidate_indexes[i];
+        grown_costs[i] = kInf;
+        if (current.Contains(index)) return;
+        const Configuration grown = current.With(index);
+        if (grown.num_indexes() > options.max_indexes_per_config) return;
+        if (grown.SizePages(rows) > problem.space_bound_pages) return;
+        grown_costs[i] = what_if.SegmentCost(segment, grown);
+      });
+      result.stats.candidate_evaluations +=
+          static_cast<int64_t>(num_indexes);
       double best_cost = current_cost;
       const IndexDef* best_index = nullptr;
-      for (const IndexDef& index : options.candidate_indexes) {
-        if (current.Contains(index)) continue;
-        const Configuration grown = current.With(index);
-        if (grown.num_indexes() > options.max_indexes_per_config) continue;
-        if (grown.SizePages(rows) > problem.space_bound_pages) continue;
-        const double cost = what_if.SegmentCost(segment, grown);
-        if (cost < best_cost) {
-          best_cost = cost;
-          best_index = &index;
+      for (size_t i = 0; i < num_indexes; ++i) {
+        if (grown_costs[i] < best_cost) {
+          best_cost = grown_costs[i];
+          best_index = &options.candidate_indexes[i];
         }
       }
       if (best_index == nullptr) break;
@@ -52,16 +72,22 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
   DesignProblem reduced_problem = problem;
   reduced_problem.candidates = reduced;
 
-  GreedySeqResult result;
   result.reduced_candidates = std::move(reduced);
+  SolveStats graph_stats;
   if (k < 0) {
-    CDPD_ASSIGN_OR_RETURN(result.schedule,
-                          SolveUnconstrained(reduced_problem));
+    CDPD_ASSIGN_OR_RETURN(
+        result.schedule,
+        SolveUnconstrained(reduced_problem, &graph_stats, pool));
   } else {
     CDPD_ASSIGN_OR_RETURN(
         result.schedule,
-        SolveKAware(reduced_problem, k, &result.solve_stats));
+        SolveKAware(reduced_problem, k, &graph_stats, pool));
   }
+  result.stats.nodes_expanded = graph_stats.nodes_expanded;
+  result.stats.relaxations = graph_stats.relaxations;
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  result.stats.costings = what_if.costings() - costings_before;
+  result.stats.cache_hits = what_if.cache_hits() - hits_before;
   return result;
 }
 

@@ -5,8 +5,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/design_problem.h"
 #include "core/k_aware_graph.h"
+#include "core/solve_stats.h"
 
 namespace cdpd {
 
@@ -25,7 +27,9 @@ struct GreedySeqResult {
   /// The reduced configuration set the shortest-path search ran on —
   /// O(m n) configurations instead of 2^m.
   std::vector<Configuration> reduced_candidates;
-  KAwareSolveStats solve_stats;
+  /// Unified counters of the whole solve (greedy growth + graph
+  /// search); replaces the old KAwareSolveStats-typed solve_stats.
+  SolveStats stats;
 };
 
 /// GREEDY-SEQ adapted to the constrained problem (§4.1): instead of
@@ -37,8 +41,14 @@ struct GreedySeqResult {
 /// reduced set. `problem.candidates` is ignored and replaced by the
 /// reduced set; pass k < 0 for the unconstrained variant (Agrawal et
 /// al.'s original GREEDY-SEQ).
+///
+/// Each greedy growth step prices all candidate indexes in parallel
+/// across `pool` (the argmin is a serial scan in index order, so the
+/// reduced set is identical for any thread count), and the graph
+/// search inherits the pool.
 Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
-                                       const GreedySeqOptions& options);
+                                       const GreedySeqOptions& options,
+                                       ThreadPool* pool = nullptr);
 
 }  // namespace cdpd
 

@@ -18,13 +18,15 @@ std::string_view HybridChoiceToString(HybridChoice choice) {
   return "unknown";
 }
 
-Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k) {
+Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
+                                 ThreadPool* pool) {
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
   HybridResult result;
-  CDPD_ASSIGN_OR_RETURN(DesignSchedule unconstrained,
-                        SolveUnconstrained(problem));
+  CDPD_ASSIGN_OR_RETURN(
+      DesignSchedule unconstrained,
+      SolveUnconstrained(problem, &result.stats, pool));
   const int64_t l = CountChanges(problem, unconstrained.configs);
   result.unconstrained_changes = l;
   if (l <= k) {
@@ -39,14 +41,18 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k) {
   const double merging_work =
       c * (static_cast<double>(l * l - k * k)) / 2.0;
 
+  SolveStats phase_stats;
   if (graph_work <= merging_work) {
-    CDPD_ASSIGN_OR_RETURN(result.schedule, SolveKAware(problem, k));
+    CDPD_ASSIGN_OR_RETURN(result.schedule,
+                          SolveKAware(problem, k, &phase_stats, pool));
     result.choice = HybridChoice::kKAwareGraph;
   } else {
-    CDPD_ASSIGN_OR_RETURN(result.schedule,
-                          MergeToConstraint(problem, unconstrained, k));
+    CDPD_ASSIGN_OR_RETURN(
+        result.schedule,
+        MergeToConstraint(problem, unconstrained, k, &phase_stats, pool));
     result.choice = HybridChoice::kMerging;
   }
+  result.stats.Accumulate(phase_stats);
   return result;
 }
 

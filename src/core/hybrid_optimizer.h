@@ -5,7 +5,9 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/design_problem.h"
+#include "core/solve_stats.h"
 
 namespace cdpd {
 
@@ -24,6 +26,9 @@ struct HybridResult {
   HybridChoice choice = HybridChoice::kUnconstrainedSufficed;
   /// Changes of the unconstrained optimum (the l of §4.2).
   int64_t unconstrained_changes = 0;
+  /// Unified counters accumulated over both phases (unconstrained
+  /// probe plus the chosen constrained technique).
+  SolveStats stats;
 };
 
 /// The hybrid strategy §6.4 suggests: Figure 4 shows the k-aware
@@ -39,7 +44,11 @@ struct HybridResult {
 /// are compared and the cheaper technique runs. Merging is heuristic,
 /// so the hybrid trades optimality for speed exactly where Figure 4
 /// shows the optimal technique becoming expensive.
-Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k);
+///
+/// Both phases fan their cost probes out across `pool` when one is
+/// given; results are identical for any thread count.
+Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
+                                 ThreadPool* pool = nullptr);
 
 }  // namespace cdpd
 

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "common/stopwatch.h"
+
 namespace cdpd {
 
 KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
@@ -30,104 +32,133 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
 }
 
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
-                                   KAwareSolveStats* stats) {
+                                   SolveStats* stats, ThreadPool* pool) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
   const WhatIfEngine& what_if = *problem.what_if;
+  const Stopwatch watch;
+  const int64_t costings_before = what_if.costings();
+  const int64_t hits_before = what_if.cache_hits();
   const size_t n = problem.num_segments();
   const std::vector<Configuration>& configs = problem.candidates;
   const size_t m = configs.size();
   const size_t layers = static_cast<size_t>(k) + 1;
 
-  KAwareSolveStats local_stats;
+  SolveStats local_stats;
+  local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
   DesignSchedule schedule;
   if (n == 0) {
     if (problem.final_config.has_value()) {
       schedule.total_cost =
           what_if.TransitionCost(problem.initial, *problem.final_config);
     }
+    local_stats.wall_seconds = watch.ElapsedSeconds();
     if (stats != nullptr) *stats = local_stats;
     return schedule;
   }
 
+  // Phase 1 (parallel): dense EXEC/TRANS matrices plus the boundary
+  // transition vectors. After this, the DP touches no shared mutable
+  // state — every probe is a read-only table lookup.
+  const CostMatrix matrix = what_if.PrecomputeCostMatrix(configs, pool);
+  std::vector<double> init_trans(m, 0.0);
+  std::vector<double> final_trans(m, 0.0);
+  ParallelFor(pool, 0, m, [&](size_t c) {
+    init_trans[c] = what_if.TransitionCost(problem.initial, configs[c]);
+    if (problem.final_config.has_value()) {
+      final_trans[c] =
+          what_if.TransitionCost(configs[c], *problem.final_config);
+    }
+  });
+
   constexpr double kInf = std::numeric_limits<double>::infinity();
-  // dist[l][c]: cheapest way to execute S_1..S_i with C_i = configs[c]
-  // using exactly-reachable layer l (number of changes consumed).
-  std::vector<std::vector<double>> dist(layers,
-                                        std::vector<double>(m, kInf));
+  // dist[l * m + c]: cheapest way to execute S_1..S_i with
+  // C_i = configs[c] using exactly layer l (number of changes
+  // consumed).
+  std::vector<double> dist(layers * m, kInf);
   struct Parent {
     int32_t layer = -1;
     int32_t config = -1;
   };
-  // parent[i][l][c] for path reconstruction.
-  std::vector<std::vector<std::vector<Parent>>> parent(
-      n, std::vector<std::vector<Parent>>(layers, std::vector<Parent>(m)));
+  // parent[(stage * layers + l) * m + c] for path reconstruction.
+  std::vector<Parent> parent(n * layers * m);
 
   for (size_t c = 0; c < m; ++c) {
     const bool is_initial = configs[c] == problem.initial;
     const size_t layer =
         (problem.count_initial_change && !is_initial) ? 1 : 0;
     if (layer >= layers) continue;
-    const double cost = what_if.TransitionCost(problem.initial, configs[c]) +
-                        what_if.SegmentCost(0, configs[c]);
-    if (cost < dist[layer][c]) {
-      dist[layer][c] = cost;
-      ++local_stats.states;
+    const double cost = init_trans[c] + matrix.Exec(0, c);
+    if (cost < dist[layer * m + c]) {
+      dist[layer * m + c] = cost;
+      ++local_stats.nodes_expanded;
     }
   }
 
+  // Phase 2: the layered DP, one parallel sweep over the (layer,
+  // config) cells per stage. Each cell depends only on the previous
+  // stage's dist array and scans predecessors in the same order as the
+  // serial loop, so the argmin (and hence the schedule) is
+  // thread-count-invariant.
+  std::vector<double> next(layers * m, kInf);
   for (size_t stage = 1; stage < n; ++stage) {
-    std::vector<std::vector<double>> next(layers,
-                                          std::vector<double>(m, kInf));
-    for (size_t l = 0; l < layers; ++l) {
-      for (size_t c = 0; c < m; ++c) {
-        double best = kInf;
-        Parent best_parent;
-        // Stay edge: same configuration, same layer.
-        if (dist[l][c] < best) {
-          best = dist[l][c];
-          best_parent = Parent{static_cast<int32_t>(l),
-                               static_cast<int32_t>(c)};
-        }
-        ++local_stats.relaxations;
-        // Change edges: arrive from a different configuration one
-        // layer up.
-        if (l > 0) {
-          for (size_t p = 0; p < m; ++p) {
-            if (p == c) continue;
-            ++local_stats.relaxations;
-            if (dist[l - 1][p] == kInf) continue;
-            const double cost =
-                dist[l - 1][p] +
-                what_if.TransitionCost(configs[p], configs[c]);
-            if (cost < best) {
-              best = cost;
-              best_parent = Parent{static_cast<int32_t>(l - 1),
-                                   static_cast<int32_t>(p)};
-            }
+    Parent* stage_parent = parent.data() + stage * layers * m;
+    ParallelFor(pool, 0, layers * m, [&](size_t cell) {
+      const size_t l = cell / m;
+      const size_t c = cell % m;
+      double best = kInf;
+      Parent best_parent;
+      // Stay edge: same configuration, same layer.
+      if (dist[cell] < kInf) {
+        best = dist[cell];
+        best_parent =
+            Parent{static_cast<int32_t>(l), static_cast<int32_t>(c)};
+      }
+      // Change edges: arrive from a different configuration one layer
+      // up.
+      if (l > 0) {
+        const double* prev_layer = dist.data() + (l - 1) * m;
+        for (size_t p = 0; p < m; ++p) {
+          if (p == c || prev_layer[p] == kInf) continue;
+          const double cost = prev_layer[p] + matrix.Trans(p, c);
+          if (cost < best) {
+            best = cost;
+            best_parent = Parent{static_cast<int32_t>(l - 1),
+                                 static_cast<int32_t>(p)};
           }
         }
-        if (best < kInf) {
-          next[l][c] = best + what_if.SegmentCost(stage, configs[c]);
-          parent[stage][l][c] = best_parent;
-          ++local_stats.states;
-        }
       }
+      if (best < kInf) {
+        next[cell] = best + matrix.Exec(stage, c);
+        stage_parent[cell] = best_parent;
+      } else {
+        next[cell] = kInf;
+      }
+    });
+    std::swap(dist, next);
+    for (size_t cell = 0; cell < layers * m; ++cell) {
+      if (dist[cell] < kInf) ++local_stats.nodes_expanded;
     }
-    dist = std::move(next);
   }
+  // Relaxation count (closed form, matching the serial edge counting:
+  // one stay relaxation per cell plus m-1 change relaxations per cell
+  // above layer 0, per interior stage).
+  local_stats.relaxations =
+      static_cast<int64_t>(n - 1) *
+      (static_cast<int64_t>(layers * m) +
+       static_cast<int64_t>((layers - 1) * m) * static_cast<int64_t>(m - 1));
 
   double best = kInf;
   size_t best_layer = 0;
   size_t best_config = 0;
   for (size_t l = 0; l < layers; ++l) {
     for (size_t c = 0; c < m; ++c) {
-      if (dist[l][c] == kInf) continue;
-      double cost = dist[l][c];
+      if (dist[l * m + c] == kInf) continue;
+      double cost = dist[l * m + c];
       if (problem.final_config.has_value()) {
-        cost += what_if.TransitionCost(configs[c], *problem.final_config);
+        cost += final_trans[c];
       }
       if (cost < best) {
         best = cost;
@@ -147,11 +178,25 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   for (size_t stage = n; stage-- > 0;) {
     schedule.configs[stage] = configs[c];
     if (stage == 0) break;
-    const Parent p = parent[stage][l][c];
+    const Parent p = parent[(stage * layers + l) * m + c];
     l = static_cast<size_t>(p.layer);
     c = static_cast<size_t>(p.config);
   }
+  local_stats.wall_seconds = watch.ElapsedSeconds();
+  local_stats.costings = what_if.costings() - costings_before;
+  local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
+  return schedule;
+}
+
+Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
+                                   KAwareSolveStats* stats) {
+  SolveStats unified;
+  auto schedule = SolveKAware(problem, k, &unified, nullptr);
+  if (stats != nullptr) {
+    stats->states = unified.nodes_expanded;
+    stats->relaxations = unified.relaxations;
+  }
   return schedule;
 }
 

@@ -4,7 +4,9 @@
 #include <cstdint>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/design_problem.h"
+#include "core/solve_stats.h"
 
 namespace cdpd {
 
@@ -15,7 +17,9 @@ struct KAwareGraphSize {
   int64_t edges = 0;  // Stay-in-layer + change-to-next-layer edges.
 };
 
-/// Statistics of one constrained solve.
+/// Deprecated: legacy stats shape, superseded by SolveStats
+/// (core/solve_stats.h — states maps to nodes_expanded). Kept as a
+/// thin shim for existing callers.
 struct KAwareSolveStats {
   /// DP states actually relaxed (reachable (stage, layer, config)
   /// triples).
@@ -40,9 +44,20 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
 /// (= O(k n 2^{2m})), and returns a schedule with at most k changes
 /// under the problem's change-counting policy.
 ///
-/// k must be >= 0. `stats` is optional.
+/// The solve first precomputes the dense EXEC/TRANS cost matrices
+/// (WhatIfEngine::PrecomputeCostMatrix) and then relaxes each stage's
+/// (layer, config) cells — both fanned out across `pool` when one is
+/// given. The schedule, cost, and stats are identical for any thread
+/// count (each DP cell is a pure function of the previous stage).
+///
+/// k must be >= 0. `stats` and `pool` are optional.
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
-                                   KAwareSolveStats* stats = nullptr);
+                                   SolveStats* stats = nullptr,
+                                   ThreadPool* pool = nullptr);
+
+/// Deprecated shim over the SolveStats overload.
+Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
+                                   KAwareSolveStats* stats);
 
 }  // namespace cdpd
 

@@ -121,7 +121,10 @@ Result<KSelectionReport> ChooseChangeBound(
   double best = std::numeric_limits<double>::infinity();
   for (int64_t k : options.candidate_ks) {
     AdvisorOptions advisor_options = options.advisor;
-    advisor_options.k = k;
+    // Candidate lists still use -1 for "unconstrained"; the advisor
+    // expects nullopt.
+    advisor_options.k =
+        k < 0 ? std::nullopt : std::optional<int64_t>(k);
     CDPD_ASSIGN_OR_RETURN(Recommendation rec,
                           advisor.Recommend(design_trace, advisor_options));
     KCandidateOutcome outcome;

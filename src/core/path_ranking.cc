@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/stopwatch.h"
+
 namespace cdpd {
 
 PathRanker::PathRanker(const SequenceGraph& graph)
@@ -98,14 +100,32 @@ std::optional<RankedPath> PathRanker::Next() {
 }
 
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
-                                      int64_t max_paths, RankingStats* stats) {
+                                      int64_t max_paths, SolveStats* stats,
+                                      ThreadPool* pool) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
-  CDPD_ASSIGN_OR_RETURN(SequenceGraph graph, SequenceGraph::Build(problem));
+  const WhatIfEngine& what_if = *problem.what_if;
+  const Stopwatch watch;
+  const int64_t costings_before = what_if.costings();
+  const int64_t hits_before = what_if.cache_hits();
+  SolveStats local_stats;
+  local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
+  // Parallel phase: the dense cost tables. The graph build and the
+  // path enumeration below are then pure lookups.
+  const CostMatrix matrix =
+      what_if.PrecomputeCostMatrix(problem.candidates, pool);
+  CDPD_ASSIGN_OR_RETURN(SequenceGraph graph,
+                        SequenceGraph::Build(problem, &matrix));
+  local_stats.nodes_expanded = graph.num_nodes();
   PathRanker ranker(graph);
-  RankingStats local_stats;
+  const auto finish = [&] {
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+  };
   while (local_stats.paths_enumerated < max_paths) {
     std::optional<RankedPath> path = ranker.Next();
     if (!path.has_value()) break;  // Ranking exhausted.
@@ -114,14 +134,24 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
       DesignSchedule schedule;
       schedule.configs = graph.PathConfigs(path->nodes);
       schedule.total_cost = path->cost;
-      if (stats != nullptr) *stats = local_stats;
+      finish();
       return schedule;
     }
   }
-  if (stats != nullptr) *stats = local_stats;
+  finish();
   return Status::ResourceExhausted(
       "no path with <= " + std::to_string(k) + " changes within the first " +
       std::to_string(local_stats.paths_enumerated) + " ranked paths");
+}
+
+Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
+                                      int64_t max_paths, RankingStats* stats) {
+  SolveStats unified;
+  auto schedule = SolveByRanking(problem, k, max_paths, &unified, nullptr);
+  if (stats != nullptr) {
+    stats->paths_enumerated = unified.paths_enumerated;
+  }
+  return schedule;
 }
 
 }  // namespace cdpd

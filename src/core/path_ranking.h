@@ -6,8 +6,10 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/design_problem.h"
 #include "core/sequence_graph.h"
+#include "core/solve_stats.h"
 
 namespace cdpd {
 
@@ -59,7 +61,9 @@ class PathRanker {
   int64_t paths_yielded_ = 0;
 };
 
-/// Statistics of a ranking-based constrained solve.
+/// Deprecated: legacy stats shape, superseded by SolveStats
+/// (core/solve_stats.h — paths_enumerated carries over). Kept as a
+/// thin shim for existing callers.
 struct RankingStats {
   int64_t paths_enumerated = 0;
 };
@@ -69,9 +73,18 @@ struct RankingStats {
 /// whose design sequence has at most k changes — optimal because every
 /// path not yet seen is at least as long. Worst-case exponential;
 /// `max_paths` bounds the enumeration (ResourceExhausted beyond it).
+///
+/// The EXEC/TRANS cost matrices are precomputed in parallel across
+/// `pool` before the graph is materialized; the enumeration itself is
+/// inherently sequential (each ranked path conditions the next).
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths = 1'000'000,
-                                      RankingStats* stats = nullptr);
+                                      SolveStats* stats = nullptr,
+                                      ThreadPool* pool = nullptr);
+
+/// Deprecated shim over the SolveStats overload.
+Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
+                                      int64_t max_paths, RankingStats* stats);
 
 }  // namespace cdpd
 

@@ -8,13 +8,30 @@
 
 namespace cdpd {
 
-Result<SequenceGraph> SequenceGraph::Build(const DesignProblem& problem) {
+Result<SequenceGraph> SequenceGraph::Build(const DesignProblem& problem,
+                                           const CostMatrix* matrix) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   SequenceGraph graph;
   graph.problem_ = &problem;
   graph.num_stages_ = problem.num_segments();
   const size_t m = problem.candidates.size();
   const size_t n = graph.num_stages_;
+  if (matrix != nullptr &&
+      (matrix->num_segments() != n || matrix->num_configs() != m)) {
+    return Status::InvalidArgument(
+        "cost matrix shape does not match the design problem");
+  }
+  const auto exec = [&](size_t stage, size_t c) {
+    return matrix != nullptr
+               ? matrix->Exec(stage, c)
+               : problem.what_if->SegmentCost(stage, problem.candidates[c]);
+  };
+  const auto trans = [&](size_t p, size_t c) {
+    return matrix != nullptr
+               ? matrix->Trans(p, c)
+               : problem.what_if->TransitionCost(problem.candidates[p],
+                                                 problem.candidates[c]);
+  };
 
   // Node layout: 0 = source; 1 + (stage-1)*m + c for stage in 1..n;
   // destination last.
@@ -37,17 +54,15 @@ Result<SequenceGraph> SequenceGraph::Build(const DesignProblem& problem) {
     const Configuration& config = problem.candidates[c];
     graph.AddEdge(graph.source(), graph.StageNode(1, c),
                   what_if.TransitionCost(problem.initial, config) +
-                      what_if.SegmentCost(0, config));
+                      exec(0, c));
   }
   // Stage x -> stage x+1 (complete bipartite).
   for (size_t stage = 1; stage < n; ++stage) {
     for (size_t p = 0; p < m; ++p) {
       for (size_t c = 0; c < m; ++c) {
-        graph.AddEdge(
-            graph.StageNode(stage, p), graph.StageNode(stage + 1, c),
-            what_if.TransitionCost(problem.candidates[p],
-                                   problem.candidates[c]) +
-                what_if.SegmentCost(stage, problem.candidates[c]));
+        graph.AddEdge(graph.StageNode(stage, p),
+                      graph.StageNode(stage + 1, c),
+                      trans(p, c) + exec(stage, c));
       }
     }
   }

@@ -32,8 +32,13 @@ class SequenceGraph {
   };
 
   /// Builds the graph; the problem must Validate() and must outlive
-  /// the graph.
-  static Result<SequenceGraph> Build(const DesignProblem& problem);
+  /// the graph. When `matrix` is given (a precomputed
+  /// WhatIfEngine::PrecomputeCostMatrix over problem.candidates), edge
+  /// weights are read from the dense tables instead of re-deriving
+  /// every transition, which removes the O(n |C|^2) configuration
+  /// diffs from the build.
+  static Result<SequenceGraph> Build(const DesignProblem& problem,
+                                     const CostMatrix* matrix = nullptr);
 
   NodeId source() const { return 0; }
   NodeId destination() const { return destination_; }

@@ -1,0 +1,55 @@
+#ifndef CDPD_CORE_SOLVE_STATS_H_
+#define CDPD_CORE_SOLVE_STATS_H_
+
+#include <cstdint>
+
+namespace cdpd {
+
+/// Counters common to every design solver, replacing the per-solver
+/// ad-hoc stats structs (KAwareSolveStats, the stats fields of
+/// GreedySeqResult/HybridResult, MergingStats, RankingStats). Each
+/// solver fills the fields that apply and leaves the rest zero; the
+/// unified Solve() entry point (core/solver.h) returns one of these
+/// for every method, and Advisor::Recommend surfaces it on the
+/// Recommendation.
+struct SolveStats {
+  /// Wall-clock time of the solve.
+  double wall_seconds = 0.0;
+  /// What-if statement costings performed during the solve (the
+  /// dominant work unit of the optimizer-cost experiments).
+  int64_t costings = 0;
+  /// What-if probes answered from the memo cache during the solve.
+  int64_t cache_hits = 0;
+  /// Worker threads the solve fanned out across (1 = serial).
+  int threads_used = 1;
+  /// DP states / graph nodes given a finite value (the k-aware and
+  /// unconstrained DPs), or ranked-path tree nodes for ranking.
+  int64_t nodes_expanded = 0;
+  /// Edge relaxations performed by the DP solvers.
+  int64_t relaxations = 0;
+  /// Ranking only: source-to-destination paths enumerated.
+  int64_t paths_enumerated = 0;
+  /// Merging only: merge steps performed (each removes >= 1 change).
+  int64_t merge_steps = 0;
+  /// Merging/greedy: replacement or growth candidates evaluated.
+  int64_t candidate_evaluations = 0;
+
+  /// Accumulates another solve's counters (used by compound methods:
+  /// hybrid, greedy-seq, merging-after-unconstrained). Wall time adds;
+  /// threads_used keeps the maximum.
+  void Accumulate(const SolveStats& other) {
+    wall_seconds += other.wall_seconds;
+    costings += other.costings;
+    cache_hits += other.cache_hits;
+    if (other.threads_used > threads_used) threads_used = other.threads_used;
+    nodes_expanded += other.nodes_expanded;
+    relaxations += other.relaxations;
+    paths_enumerated += other.paths_enumerated;
+    merge_steps += other.merge_steps;
+    candidate_evaluations += other.candidate_evaluations;
+  }
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_SOLVE_STATS_H_

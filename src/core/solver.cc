@@ -1,0 +1,151 @@
+#include "core/solver.h"
+
+#include <memory>
+
+#include "common/stopwatch.h"
+#include "core/design_merging.h"
+#include "core/hybrid_optimizer.h"
+#include "core/k_aware_graph.h"
+#include "core/path_ranking.h"
+#include "core/unconstrained_optimizer.h"
+
+namespace cdpd {
+
+std::string_view OptimizerMethodToString(OptimizerMethod method) {
+  switch (method) {
+    case OptimizerMethod::kOptimal:
+      return "optimal";
+    case OptimizerMethod::kGreedySeq:
+      return "greedy-seq";
+    case OptimizerMethod::kMerging:
+      return "merging";
+    case OptimizerMethod::kRanking:
+      return "ranking";
+    case OptimizerMethod::kHybrid:
+      return "hybrid";
+  }
+  return "unknown";
+}
+
+Status SolveOptions::Validate() const {
+  if (k.has_value() && *k < 0) {
+    return Status::InvalidArgument(
+        "change bound k must be >= 0 when set (use nullopt for "
+        "unconstrained)");
+  }
+  if (num_threads < 0) {
+    return Status::InvalidArgument("num_threads must be >= 0");
+  }
+  if (ranking_max_paths <= 0) {
+    return Status::InvalidArgument("ranking_max_paths must be positive");
+  }
+  if (method == OptimizerMethod::kGreedySeq &&
+      greedy.candidate_indexes.empty()) {
+    return Status::InvalidArgument("GREEDY-SEQ needs candidate indexes");
+  }
+  return Status::OK();
+}
+
+Result<SolveResult> Solve(const DesignProblem& problem,
+                          const SolveOptions& options) {
+  CDPD_RETURN_IF_ERROR(options.Validate());
+
+  const int threads = options.num_threads == 0
+                          ? ThreadPool::DefaultThreadCount()
+                          : options.num_threads;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (threads > 1) owned_pool = std::make_unique<ThreadPool>(threads);
+  ThreadPool* pool = owned_pool.get();
+
+  const Stopwatch watch;
+  SolveResult result;
+  switch (options.method) {
+    case OptimizerMethod::kOptimal: {
+      if (!options.k.has_value()) {
+        CDPD_ASSIGN_OR_RETURN(
+            result.schedule,
+            SolveUnconstrained(problem, &result.stats, pool));
+        result.method_detail = "sequence-graph shortest path";
+      } else {
+        CDPD_ASSIGN_OR_RETURN(
+            result.schedule,
+            SolveKAware(problem, *options.k, &result.stats, pool));
+        result.method_detail = "k-aware sequence graph";
+      }
+      break;
+    }
+    case OptimizerMethod::kGreedySeq: {
+      const int64_t k = options.k.value_or(-1);
+      CDPD_ASSIGN_OR_RETURN(
+          GreedySeqResult greedy_result,
+          SolveGreedySeq(problem, k, options.greedy, pool));
+      result.schedule = std::move(greedy_result.schedule);
+      result.stats = greedy_result.stats;
+      result.reduced_candidates =
+          std::move(greedy_result.reduced_candidates);
+      result.method_detail =
+          "greedy-seq reduced candidates: " +
+          std::to_string(result.reduced_candidates.size());
+      break;
+    }
+    case OptimizerMethod::kMerging: {
+      CDPD_ASSIGN_OR_RETURN(
+          DesignSchedule unconstrained,
+          SolveUnconstrained(problem, &result.stats, pool));
+      if (!options.k.has_value()) {
+        result.schedule = std::move(unconstrained);
+        result.method_detail = "merging (no constraint; unconstrained optimum)";
+      } else {
+        SolveStats merge_stats;
+        CDPD_ASSIGN_OR_RETURN(
+            result.schedule,
+            MergeToConstraint(problem, unconstrained, *options.k,
+                              &merge_stats, pool));
+        result.stats.Accumulate(merge_stats);
+        result.method_detail =
+            "merging steps: " + std::to_string(merge_stats.merge_steps);
+      }
+      break;
+    }
+    case OptimizerMethod::kRanking: {
+      if (!options.k.has_value()) {
+        CDPD_ASSIGN_OR_RETURN(
+            result.schedule,
+            SolveUnconstrained(problem, &result.stats, pool));
+        result.method_detail = "ranking (no constraint; shortest path)";
+      } else {
+        CDPD_ASSIGN_OR_RETURN(
+            result.schedule,
+            SolveByRanking(problem, *options.k, options.ranking_max_paths,
+                           &result.stats, pool));
+        result.method_detail =
+            "ranked paths: " + std::to_string(result.stats.paths_enumerated);
+      }
+      break;
+    }
+    case OptimizerMethod::kHybrid: {
+      if (!options.k.has_value()) {
+        CDPD_ASSIGN_OR_RETURN(
+            result.schedule,
+            SolveUnconstrained(problem, &result.stats, pool));
+        result.method_detail = "hybrid (no constraint; shortest path)";
+      } else {
+        CDPD_ASSIGN_OR_RETURN(HybridResult hybrid,
+                              SolveHybrid(problem, *options.k, pool));
+        result.schedule = std::move(hybrid.schedule);
+        result.stats = hybrid.stats;
+        result.method_detail =
+            std::string("hybrid chose ") +
+            std::string(HybridChoiceToString(hybrid.choice));
+      }
+      break;
+    }
+  }
+  // The per-solver wall times cover their own phases; the top-level
+  // clock covers dispatch plus pool setup and is what callers see.
+  result.stats.wall_seconds = watch.ElapsedSeconds();
+  result.stats.threads_used = threads;
+  return result;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,81 @@
+#ifndef CDPD_CORE_SOLVER_H_
+#define CDPD_CORE_SOLVER_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "core/design_problem.h"
+#include "core/greedy_seq.h"
+#include "core/solve_stats.h"
+
+namespace cdpd {
+
+/// The solution technique to run (§3–§5 of the paper plus the hybrid
+/// §6.4 suggests).
+enum class OptimizerMethod {
+  kOptimal,    // Sequence graph (unconstrained) / k-aware sequence graph.
+  kGreedySeq,  // GREEDY-SEQ candidate reduction, then k-aware graph.
+  kMerging,    // Unconstrained optimum refined by sequential merging.
+  kRanking,    // Shortest-path ranking until <= k changes.
+  kHybrid,     // k-aware graph for small k, merging for large k.
+};
+
+std::string_view OptimizerMethodToString(OptimizerMethod method);
+
+/// Everything that parameterizes one Solve() call, uniform across the
+/// five techniques. Replaces the divergent free-function signatures
+/// (SolveKAware/SolveGreedySeq/SolveHybrid/SolveByRanking/
+/// SolveUnconstrained), which remain available as lower-level entry
+/// points.
+struct SolveOptions {
+  OptimizerMethod method = OptimizerMethod::kOptimal;
+  /// Change bound k; nullopt = unconstrained (no magic -1 sentinel).
+  std::optional<int64_t> k;
+  /// Worker threads for the what-if precompute and the DP sweeps.
+  /// 0 = ThreadPool::DefaultThreadCount() (the CDPD_THREADS
+  /// environment variable, else the hardware concurrency); 1 = serial.
+  /// Results are identical for any value.
+  int num_threads = 0;
+  /// Enumeration cap for the ranking method.
+  int64_t ranking_max_paths = 1'000'000;
+  /// GREEDY-SEQ parameters (candidate indexes + per-config cap); only
+  /// read when method == kGreedySeq.
+  GreedySeqOptions greedy;
+
+  /// All option validation in one place: k >= 0 when set,
+  /// num_threads >= 0, ranking_max_paths > 0, and greedy candidate
+  /// indexes present for kGreedySeq.
+  Status Validate() const;
+};
+
+/// Uniform outcome of a Solve() call.
+struct SolveResult {
+  DesignSchedule schedule;
+  /// Unified counters (wall time, costings, cache hits, threads used,
+  /// nodes expanded, ...) for every method.
+  SolveStats stats;
+  /// Technique detail (e.g. which branch the hybrid picked).
+  std::string method_detail;
+  /// kGreedySeq only: the reduced configuration set the graph search
+  /// actually ran on (empty for every other method).
+  std::vector<Configuration> reduced_candidates;
+};
+
+/// The unified solver entry point: dispatches to the technique
+/// `options.method` selects, handling the unconstrained case
+/// (options.k == nullopt) uniformly — methods whose constrained logic
+/// needs a bound fall back to the plain sequence-graph optimum, which
+/// is exact for all of them. A thread pool of options.num_threads
+/// workers is spun up for the what-if precompute and the parallel DP
+/// sweeps; schedules and costs are identical for any thread count.
+Result<SolveResult> Solve(const DesignProblem& problem,
+                          const SolveOptions& options);
+
+}  // namespace cdpd
+
+#endif  // CDPD_CORE_SOLVER_H_

@@ -2,50 +2,67 @@
 
 #include <limits>
 
+#include "common/stopwatch.h"
+
 namespace cdpd {
 
-Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem) {
+Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
+                                          SolveStats* stats,
+                                          ThreadPool* pool) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   const WhatIfEngine& what_if = *problem.what_if;
+  const Stopwatch watch;
+  const int64_t costings_before = what_if.costings();
+  const int64_t hits_before = what_if.cache_hits();
   const size_t n = problem.num_segments();
   const std::vector<Configuration>& configs = problem.candidates;
   const size_t m = configs.size();
 
+  SolveStats local_stats;
+  local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
   DesignSchedule schedule;
   if (n == 0) {
     if (problem.final_config.has_value()) {
       schedule.total_cost =
           what_if.TransitionCost(problem.initial, *problem.final_config);
     }
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    if (stats != nullptr) *stats = local_stats;
     return schedule;
   }
+
+  // Parallel precompute; the DP below is pure table lookups.
+  const CostMatrix matrix = what_if.PrecomputeCostMatrix(configs, pool);
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> dist(m);
   std::vector<std::vector<size_t>> parent(n, std::vector<size_t>(m, 0));
 
-  for (size_t c = 0; c < m; ++c) {
+  ParallelFor(pool, 0, m, [&](size_t c) {
     dist[c] = what_if.TransitionCost(problem.initial, configs[c]) +
-              what_if.SegmentCost(0, configs[c]);
-  }
+              matrix.Exec(0, c);
+  });
+  std::vector<double> next(m, kInf);
   for (size_t stage = 1; stage < n; ++stage) {
-    std::vector<double> next(m, kInf);
-    for (size_t c = 0; c < m; ++c) {
+    std::vector<size_t>& stage_parent = parent[stage];
+    ParallelFor(pool, 0, m, [&](size_t c) {
       double best = kInf;
       size_t best_prev = 0;
       for (size_t p = 0; p < m; ++p) {
-        const double cost =
-            dist[p] + what_if.TransitionCost(configs[p], configs[c]);
+        const double cost = dist[p] + matrix.Trans(p, c);
         if (cost < best) {
           best = cost;
           best_prev = p;
         }
       }
-      next[c] = best + what_if.SegmentCost(stage, configs[c]);
-      parent[stage][c] = best_prev;
-    }
-    dist = std::move(next);
+      next[c] = best + matrix.Exec(stage, c);
+      stage_parent[c] = best_prev;
+    });
+    std::swap(dist, next);
   }
+  local_stats.nodes_expanded = static_cast<int64_t>(n * m);
+  local_stats.relaxations =
+      static_cast<int64_t>(n - 1) * static_cast<int64_t>(m * m);
 
   // Destination: unconstrained, or a forced final transition.
   double best = kInf;
@@ -68,6 +85,10 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem) {
     schedule.configs[stage] = configs[c];
     c = parent[stage][c];
   }
+  local_stats.wall_seconds = watch.ElapsedSeconds();
+  local_stats.costings = what_if.costings() - costings_before;
+  local_stats.cache_hits = what_if.cache_hits() - hits_before;
+  if (stats != nullptr) *stats = local_stats;
   return schedule;
 }
 

@@ -2,7 +2,9 @@
 #define CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/design_problem.h"
+#include "core/solve_stats.h"
 
 namespace cdpd {
 
@@ -17,7 +19,13 @@ namespace cdpd {
 /// which is exactly the O(|V| + |E|) DAG shortest path on the graph of
 /// Figure 1, in O(n * |candidates|^2) time (= O(n * 2^{2m}) when the
 /// candidate space is all subsets of m indexes).
-Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem);
+///
+/// Precomputes the dense EXEC/TRANS matrices and relaxes each stage's
+/// configurations in parallel across `pool` when one is given; the
+/// result is identical for any thread count.
+Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
+                                          SolveStats* stats = nullptr,
+                                          ThreadPool* pool = nullptr);
 
 }  // namespace cdpd
 

@@ -30,7 +30,6 @@ WhatIfEngine::WhatIfEngine(const CostModel* model,
                            std::vector<Segment> segments)
     : model_(model), segments_(std::move(segments)) {
   profiles_.resize(segments_.size());
-  cache_.resize(segments_.size());
   for (size_t s = 0; s < segments_.size(); ++s) {
     const Segment& segment = segments_[s];
     assert(segment.begin <= segment.end && segment.end <= statements.size());
@@ -50,18 +49,36 @@ WhatIfEngine::WhatIfEngine(const CostModel* model,
   }
 }
 
-double WhatIfEngine::SegmentCost(size_t segment,
-                                 const Configuration& config) const {
-  assert(segment < segments_.size());
-  auto& memo = cache_[segment];
-  if (auto it = memo.find(config); it != memo.end()) return it->second;
+double WhatIfEngine::ComputeSegmentCost(size_t segment,
+                                        const Configuration& config) const {
   double cost = 0.0;
+  int64_t costed = 0;
   for (const ProfileEntry& entry : profiles_[segment]) {
     cost += static_cast<double>(entry.count) *
             model_->StatementCost(entry.representative, config);
-    ++costings_;
+    ++costed;
   }
-  memo.emplace(config, cost);
+  costings_.fetch_add(costed, std::memory_order_relaxed);
+  return cost;
+}
+
+double WhatIfEngine::SegmentCost(size_t segment,
+                                 const Configuration& config) const {
+  assert(segment < segments_.size());
+  CacheShard& shard = ShardFor(segment, config);
+  // The shard lock is held across the (pure) computation so each
+  // distinct (segment, config) pair is costed exactly once — costings()
+  // is then independent of the thread count. Distinct pairs land on
+  // distinct shards with high probability, so concurrent probes still
+  // proceed in parallel.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  CacheKey key{segment, config};
+  if (auto it = shard.memo.find(key); it != shard.memo.end()) {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    return it->second;
+  }
+  const double cost = ComputeSegmentCost(segment, config);
+  shard.memo.emplace(std::move(key), cost);
   return cost;
 }
 
@@ -73,6 +90,31 @@ double WhatIfEngine::RangeCost(size_t begin, size_t end,
     cost += SegmentCost(s, config);
   }
   return cost;
+}
+
+CostMatrix WhatIfEngine::PrecomputeCostMatrix(
+    std::span<const Configuration> candidates, ThreadPool* pool) const {
+  const size_t n = segments_.size();
+  const size_t m = candidates.size();
+  CostMatrix matrix(n, m);
+  // EXEC over all (segment, config) pairs: each flattened index writes
+  // one disjoint matrix cell, so the fill is race-free and the values
+  // are identical for any thread count.
+  ParallelFor(pool, 0, n * m, [&](size_t i) {
+    const size_t segment = i / m;
+    const size_t config = i % m;
+    matrix.MutableExec(segment, config) =
+        SegmentCost(segment, candidates[config]);
+  });
+  // TRANS over all candidate pairs (pure model arithmetic; no memo).
+  ParallelFor(pool, 0, m * m, [&](size_t i) {
+    const size_t from = i / m;
+    const size_t to = i % m;
+    matrix.MutableTrans(from, to) =
+        from == to ? 0.0
+                   : model_->TransitionCost(candidates[from], candidates[to]);
+  });
+  return matrix;
 }
 
 }  // namespace cdpd

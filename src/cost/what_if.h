@@ -1,16 +1,67 @@
 #ifndef CDPD_COST_WHAT_IF_H_
 #define CDPD_COST_WHAT_IF_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "catalog/configuration.h"
+#include "common/thread_pool.h"
 #include "cost/cost_model.h"
 #include "workload/workload.h"
 
 namespace cdpd {
+
+/// Dense EXEC/TRANS lookup tables over an *indexed* candidate set —
+/// the read-only phase the graph solvers consume after
+/// WhatIfEngine::PrecomputeCostMatrix. Once built, every cost probe of
+/// a solver inner loop is a plain array read: no hashing, no locks, no
+/// shared mutable state.
+class CostMatrix {
+ public:
+  CostMatrix() = default;
+  CostMatrix(size_t num_segments, size_t num_configs)
+      : num_segments_(num_segments),
+        num_configs_(num_configs),
+        exec_(num_segments * num_configs, 0.0),
+        trans_(num_configs * num_configs, 0.0) {}
+
+  size_t num_segments() const { return num_segments_; }
+  size_t num_configs() const { return num_configs_; }
+
+  /// EXEC(S_segment, candidates[config]).
+  double Exec(size_t segment, size_t config) const {
+    return exec_[segment * num_configs_ + config];
+  }
+  /// EXEC(S_begin ∪ ... ∪ S_{end-1}, candidates[config]), summed in
+  /// segment order (bit-identical to WhatIfEngine::RangeCost).
+  double ExecRange(size_t begin, size_t end, size_t config) const {
+    double cost = 0.0;
+    for (size_t s = begin; s < end; ++s) cost += Exec(s, config);
+    return cost;
+  }
+  /// TRANS(candidates[from], candidates[to]).
+  double Trans(size_t from, size_t to) const {
+    return trans_[from * num_configs_ + to];
+  }
+
+  double& MutableExec(size_t segment, size_t config) {
+    return exec_[segment * num_configs_ + config];
+  }
+  double& MutableTrans(size_t from, size_t to) {
+    return trans_[from * num_configs_ + to];
+  }
+
+ private:
+  size_t num_segments_ = 0;
+  size_t num_configs_ = 0;
+  std::vector<double> exec_;   // [segment * num_configs + config]
+  std::vector<double> trans_;  // [from * num_configs + to]
+};
 
 /// The what-if oracle the design optimizers query: EXEC(S_i, C) for
 /// workload segments S_i and hypothetical configurations C, plus
@@ -23,7 +74,15 @@ namespace cdpd {
 ///  * per-(segment, configuration) memoization across the many times
 ///    the graph algorithms revisit the same node.
 ///
-/// Not thread-safe (the memo cache is mutated on read).
+/// Thread-safe: the memo cache is sharded across kCacheShards maps,
+/// each behind its own mutex, and the counters are atomic. A cost is
+/// computed exactly once per distinct (segment, configuration) pair —
+/// the owning shard's lock is held across the computation — so
+/// costings() matches a serial run whatever the thread count. For the
+/// hot solver loops, prefer PrecomputeCostMatrix(): it fills the full
+/// n × |candidates| EXEC matrix (and the |candidates|² TRANS matrix)
+/// in parallel up front, after which the solvers touch only the dense
+/// read-only tables.
 class WhatIfEngine {
  public:
   /// `model` must outlive the engine. `statements` are copied into the
@@ -36,7 +95,7 @@ class WhatIfEngine {
   size_t num_segments() const { return segments_.size(); }
   const std::vector<Segment>& segments() const { return segments_; }
 
-  /// EXEC(S_i, config), memoized.
+  /// EXEC(S_i, config), memoized. Safe to call concurrently.
   double SegmentCost(size_t segment, const Configuration& config) const;
 
   /// EXEC(S_begin ∪ ... ∪ S_{end-1}, config) — the merged-segment cost
@@ -50,9 +109,25 @@ class WhatIfEngine {
     return model_->TransitionCost(from, to);
   }
 
+  /// Fills the dense EXEC matrix over all (segment, candidate) pairs
+  /// and the TRANS matrix over all candidate pairs, fanning the
+  /// what-if probes out across `pool` (serial when pool is null). The
+  /// memo cache is populated as a side effect, so later SegmentCost
+  /// calls on the same pairs are hits. Results are identical for any
+  /// thread count.
+  CostMatrix PrecomputeCostMatrix(std::span<const Configuration> candidates,
+                                  ThreadPool* pool = nullptr) const;
+
   /// Number of what-if statement costings performed so far (for the
   /// optimizer-cost experiments: the dominant work unit).
-  int64_t costings() const { return costings_; }
+  int64_t costings() const {
+    return costings_.load(std::memory_order_relaxed);
+  }
+
+  /// Number of SegmentCost calls answered from the memo cache.
+  int64_t cache_hits() const {
+    return cache_hits_.load(std::memory_order_relaxed);
+  }
 
  private:
   /// A statement shape with literals erased, plus its multiplicity.
@@ -61,13 +136,37 @@ class WhatIfEngine {
     int64_t count = 0;
   };
 
+  /// Memo key: one (segment, configuration) what-if probe.
+  struct CacheKey {
+    size_t segment;
+    Configuration config;
+    bool operator==(const CacheKey&) const = default;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& key) const {
+      const size_t h = ConfigurationHash()(key.config);
+      return h ^ (key.segment + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+    }
+  };
+  struct CacheShard {
+    std::mutex mu;
+    std::unordered_map<CacheKey, double, CacheKeyHash> memo;
+  };
+  static constexpr size_t kCacheShards = 64;
+
+  CacheShard& ShardFor(size_t segment, const Configuration& config) const {
+    return shards_[CacheKeyHash()(CacheKey{segment, config}) % kCacheShards];
+  }
+
+  /// The uncached cost computation (pure; reads only immutable state).
+  double ComputeSegmentCost(size_t segment, const Configuration& config) const;
+
   const CostModel* model_;
   std::vector<Segment> segments_;
   std::vector<std::vector<ProfileEntry>> profiles_;  // Per segment.
-  mutable std::vector<
-      std::unordered_map<Configuration, double, ConfigurationHash>>
-      cache_;
-  mutable int64_t costings_ = 0;
+  mutable std::array<CacheShard, kCacheShards> shards_;
+  mutable std::atomic<int64_t> costings_{0};
+  mutable std::atomic<int64_t> cache_hits_{0};
 };
 
 }  // namespace cdpd

@@ -1,0 +1,153 @@
+// Concurrency behavior of WhatIfEngine: many threads hammering
+// SegmentCost agree with a serial engine, each distinct (segment,
+// configuration) pair is costed exactly once, and the parallel
+// PrecomputeCostMatrix matches serial probes cell for cell.
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
+#include "cost/what_if.h"
+
+namespace cdpd {
+namespace {
+
+class WhatIfConcurrencyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Eight segments cycling over four point-query shapes.
+    for (int s = 0; s < 8; ++s) {
+      for (int i = 0; i < 10; ++i) {
+        statements_.push_back(
+            BoundStatement::SelectPoint(s % 4, s % 4, i));
+      }
+    }
+    segments_ = SegmentFixed(statements_.size(), 10);
+    what_if_ = std::make_unique<WhatIfEngine>(&model_, statements_,
+                                              segments_);
+
+    configs_.push_back(Configuration::Empty());
+    for (ColumnId col = 0; col < 4; ++col) {
+      configs_.push_back(Configuration({IndexDef({col})}));
+    }
+  }
+
+  /// A fresh engine over the same workload (cold memo cache).
+  std::unique_ptr<WhatIfEngine> FreshEngine() const {
+    return std::make_unique<WhatIfEngine>(&model_, statements_, segments_);
+  }
+
+  Schema schema_ = MakePaperSchema();
+  CostModel model_{schema_, 100'000, 1000};
+  std::vector<BoundStatement> statements_;
+  std::vector<Segment> segments_;
+  std::vector<Configuration> configs_;
+  std::unique_ptr<WhatIfEngine> what_if_;
+};
+
+TEST_F(WhatIfConcurrencyTest, ConcurrentSegmentCostMatchesSerial) {
+  // Serial reference.
+  std::unique_ptr<WhatIfEngine> serial = FreshEngine();
+  std::vector<double> expected;
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    for (const Configuration& config : configs_) {
+      expected.push_back(serial->SegmentCost(s, config));
+    }
+  }
+
+  // 8 threads, each probing every (segment, config) pair 4 times.
+  const size_t num_pairs = segments_.size() * configs_.size();
+  std::vector<double> got(8 * num_pairs, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(8);
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&, t] {
+      for (int rep = 0; rep < 4; ++rep) {
+        size_t pair = 0;
+        for (size_t s = 0; s < segments_.size(); ++s) {
+          for (const Configuration& config : configs_) {
+            got[t * num_pairs + pair++] = what_if_->SegmentCost(s, config);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int t = 0; t < 8; ++t) {
+    for (size_t pair = 0; pair < num_pairs; ++pair) {
+      ASSERT_EQ(got[t * num_pairs + pair], expected[pair])
+          << "thread " << t << " pair " << pair;
+    }
+  }
+  // Exactly-once costing: the shard lock is held across the compute,
+  // so the count matches the serial engine despite 8x4 probe rounds.
+  EXPECT_EQ(what_if_->costings(), serial->costings());
+  EXPECT_GT(what_if_->cache_hits(), 0);
+}
+
+TEST_F(WhatIfConcurrencyTest, PrecomputeCostMatrixMatchesSerialProbes) {
+  ThreadPool pool(4);
+  std::unique_ptr<WhatIfEngine> parallel_engine = FreshEngine();
+  const CostMatrix matrix =
+      parallel_engine->PrecomputeCostMatrix(configs_, &pool);
+
+  ASSERT_EQ(matrix.num_segments(), segments_.size());
+  ASSERT_EQ(matrix.num_configs(), configs_.size());
+
+  std::unique_ptr<WhatIfEngine> serial = FreshEngine();
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    for (size_t c = 0; c < configs_.size(); ++c) {
+      EXPECT_EQ(matrix.Exec(s, c), serial->SegmentCost(s, configs_[c]))
+          << "exec(" << s << ", " << c << ")";
+    }
+  }
+  for (size_t from = 0; from < configs_.size(); ++from) {
+    for (size_t to = 0; to < configs_.size(); ++to) {
+      EXPECT_EQ(matrix.Trans(from, to),
+                serial->TransitionCost(configs_[from], configs_[to]))
+          << "trans(" << from << ", " << to << ")";
+    }
+  }
+  // The matrix fill populates the memo, with the same exactly-once
+  // costing count as a serial sweep.
+  EXPECT_EQ(parallel_engine->costings(), serial->costings());
+}
+
+TEST_F(WhatIfConcurrencyTest, PrecomputeWithNullPoolIsIdentical) {
+  std::unique_ptr<WhatIfEngine> a = FreshEngine();
+  std::unique_ptr<WhatIfEngine> b = FreshEngine();
+  ThreadPool pool(4);
+  const CostMatrix serial_matrix = a->PrecomputeCostMatrix(configs_);
+  const CostMatrix parallel_matrix =
+      b->PrecomputeCostMatrix(configs_, &pool);
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    for (size_t c = 0; c < configs_.size(); ++c) {
+      ASSERT_EQ(serial_matrix.Exec(s, c), parallel_matrix.Exec(s, c));
+    }
+  }
+  for (size_t from = 0; from < configs_.size(); ++from) {
+    for (size_t to = 0; to < configs_.size(); ++to) {
+      ASSERT_EQ(serial_matrix.Trans(from, to),
+                parallel_matrix.Trans(from, to));
+    }
+  }
+  EXPECT_EQ(a->costings(), b->costings());
+}
+
+TEST_F(WhatIfConcurrencyTest, ExecRangeMatchesRangeCost) {
+  ThreadPool pool(2);
+  const CostMatrix matrix = what_if_->PrecomputeCostMatrix(configs_, &pool);
+  for (size_t c = 0; c < configs_.size(); ++c) {
+    EXPECT_EQ(matrix.ExecRange(2, 6, c),
+              what_if_->RangeCost(2, 6, configs_[c]));
+    EXPECT_EQ(matrix.ExecRange(3, 3, c), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace cdpd

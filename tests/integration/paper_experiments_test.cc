@@ -32,7 +32,7 @@ class PaperExperimentsTest : public ::testing::Test {
     Advisor advisor(model_.get());
     AdvisorOptions options;
     options.block_size = kBlock;
-    options.k = k;
+    options.k = k < 0 ? std::nullopt : std::optional<int64_t>(k);
     options.candidate_indexes = MakePaperCandidateIndexes(schema_);
     options.final_config = Configuration::Empty();  // As in §6.1.
     auto rec = advisor.Recommend(w1_, options);
