@@ -9,7 +9,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
-#include "core/k_aware_graph.h"
+#include "core/solver.h"
 #include "cost/what_if.h"
 #include "workload/adaptive_segmenter.h"
 
@@ -42,6 +42,9 @@ void Run() {
   PrintHeader("Ablation D: stage (block) granularity for the k = 2 design");
   std::printf("%10s %8s %14s %12s %10s\n", "block", "stages", "opt-time(ms)",
               "eval-cost", "changes");
+  SolveOptions solve_options;
+  solve_options.k = 2;
+  AttachObservability(&solve_options);
   double finest_cost = 0;
   for (size_t block_size : {100, 250, 500, 1000, 2500, 5000, 7500}) {
     const std::vector<Segment> segments =
@@ -53,19 +56,20 @@ void Run() {
     problem.initial = Configuration::Empty();
 
     Stopwatch watch;
-    auto schedule = SolveKAware(problem, 2);
+    auto result = Solve(problem, solve_options);
     const double opt_time = watch.ElapsedSeconds();
-    if (!schedule.ok()) {
+    if (!result.ok()) {
       std::printf("%10zu solver failed\n", block_size);
       continue;
     }
+    const DesignSchedule& schedule = result->schedule;
     // Expand the block-level schedule to the fine evaluation grid.
     std::vector<Configuration> fine(eval_segments.size());
     for (size_t s = 0; s < eval_segments.size(); ++s) {
       const size_t statement = eval_segments[s].begin;
       const size_t block = statement / block_size;
-      fine[s] = schedule->configs[std::min(block,
-                                           schedule->configs.size() - 1)];
+      fine[s] = schedule.configs[std::min(block,
+                                          schedule.configs.size() - 1)];
     }
     const double eval_cost = EvaluateScheduleCost(eval_problem, fine);
     if (block_size == 100) finest_cost = eval_cost;
@@ -73,7 +77,7 @@ void Run() {
                 segments.size(), opt_time * 1e3,
                 100.0 * eval_cost / finest_cost,
                 static_cast<long long>(CountChanges(problem,
-                                                    schedule->configs)));
+                                                    schedule.configs)));
   }
   // Adaptive segmentation: distribution-driven variable-length stages.
   {
@@ -87,9 +91,10 @@ void Run() {
     problem.candidates = candidates;
     problem.initial = Configuration::Empty();
     Stopwatch watch;
-    auto schedule = SolveKAware(problem, 2);
+    auto result = Solve(problem, solve_options);
     const double opt_time = watch.ElapsedSeconds();
-    if (schedule.ok()) {
+    if (result.ok()) {
+      const DesignSchedule& schedule = result->schedule;
       std::vector<Configuration> fine(eval_segments.size());
       for (size_t s = 0; s < eval_segments.size(); ++s) {
         const size_t statement = eval_segments[s].begin;
@@ -98,14 +103,14 @@ void Run() {
                segments[stage].end <= statement) {
           ++stage;
         }
-        fine[s] = schedule->configs[stage];
+        fine[s] = schedule.configs[stage];
       }
       const double eval_cost = EvaluateScheduleCost(eval_problem, fine);
       std::printf("%10s %8zu %14.2f %11.2f%% %10lld\n", "adaptive",
                   segments.size(), opt_time * 1e3,
                   100.0 * eval_cost / finest_cost,
                   static_cast<long long>(
-                      CountChanges(problem, schedule->configs)));
+                      CountChanges(problem, schedule.configs)));
     }
   }
   PrintRule();
@@ -122,5 +127,6 @@ void Run() {
 
 int main() {
   cdpd::Run();
+  cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

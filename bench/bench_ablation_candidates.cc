@@ -10,8 +10,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
-#include "core/greedy_seq.h"
-#include "core/k_aware_graph.h"
+#include "core/solver.h"
 #include "cost/what_if.h"
 
 namespace cdpd {
@@ -78,16 +77,23 @@ void PrintQualityTable() {
               "quality", "t_full(ms)", "t_reduced", "speedup");
   for (int32_t m = 3; m <= 8; ++m) {
     auto fixture = MakeFixture(m, /*max_per_config=*/3);
-    GreedySeqOptions options;
-    options.candidate_indexes = fixture->candidate_indexes;
-    options.max_indexes_per_config = 3;
+    SolveOptions full_options;
+    full_options.method = OptimizerMethod::kOptimal;
+    full_options.k = 3;
+    bench_util::AttachObservability(&full_options);
+    SolveOptions reduced_options;
+    reduced_options.method = OptimizerMethod::kGreedySeq;
+    reduced_options.k = 3;
+    reduced_options.greedy.candidate_indexes = fixture->candidate_indexes;
+    reduced_options.greedy.max_indexes_per_config = 3;
+    bench_util::AttachObservability(&reduced_options);
 
     Stopwatch full_watch;
-    auto optimal = SolveKAware(fixture->problem, 3);
+    auto optimal = Solve(fixture->problem, full_options);
     const double full_time = full_watch.ElapsedSeconds();
 
     Stopwatch reduced_watch;
-    auto greedy = SolveGreedySeq(fixture->problem, 3, options);
+    auto greedy = Solve(fixture->problem, reduced_options);
     const double reduced_time = reduced_watch.ElapsedSeconds();
     if (!optimal.ok() || !greedy.ok()) {
       std::printf("solver failed at m=%d\n", m);
@@ -96,7 +102,8 @@ void PrintQualityTable() {
     std::printf("%3d %6zu %10zu %9.2f%% %12.2f %12.2f %8.1fx\n", m,
                 fixture->problem.candidates.size(),
                 greedy->reduced_candidates.size(),
-                100.0 * greedy->schedule.total_cost / optimal->total_cost,
+                100.0 * greedy->schedule.total_cost /
+                    optimal->schedule.total_cost,
                 full_time * 1e3, reduced_time * 1e3,
                 full_time / reduced_time);
   }
@@ -109,24 +116,34 @@ void PrintQualityTable() {
 
 void BM_FullSpace(benchmark::State& state) {
   static auto fixture = MakeFixture(static_cast<int32_t>(8), 3);
+  static SolveOptions options = [] {
+    SolveOptions o;
+    o.method = OptimizerMethod::kOptimal;
+    o.k = 3;
+    bench_util::AttachObservability(&o);
+    return o;
+  }();
   for (auto _ : state) {
-    auto schedule = SolveKAware(fixture->problem, 3);
-    benchmark::DoNotOptimize(schedule);
+    auto result = Solve(fixture->problem, options);
+    benchmark::DoNotOptimize(result);
   }
 }
 BENCHMARK(BM_FullSpace);
 
 void BM_GreedySeqReduced(benchmark::State& state) {
   static auto fixture = MakeFixture(static_cast<int32_t>(8), 3);
-  static GreedySeqOptions options = [] {
-    GreedySeqOptions o;
-    o.candidate_indexes = fixture->candidate_indexes;
-    o.max_indexes_per_config = 3;
+  static SolveOptions options = [] {
+    SolveOptions o;
+    o.method = OptimizerMethod::kGreedySeq;
+    o.k = 3;
+    o.greedy.candidate_indexes = fixture->candidate_indexes;
+    o.greedy.max_indexes_per_config = 3;
+    bench_util::AttachObservability(&o);
     return o;
   }();
   for (auto _ : state) {
-    auto schedule = SolveGreedySeq(fixture->problem, 3, options);
-    benchmark::DoNotOptimize(schedule);
+    auto result = Solve(fixture->problem, options);
+    benchmark::DoNotOptimize(result);
   }
 }
 BENCHMARK(BM_GreedySeqReduced);
@@ -139,5 +156,6 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

@@ -8,10 +8,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
-#include "core/design_merging.h"
-#include "core/hybrid_optimizer.h"
-#include "core/k_aware_graph.h"
-#include "core/unconstrained_optimizer.h"
+#include "core/solver.h"
 #include "cost/what_if.h"
 
 namespace cdpd {
@@ -44,8 +41,20 @@ void Run() {
   problem.initial = Configuration::Empty();
   problem.final_config = Configuration::Empty();
 
-  const DesignSchedule unconstrained = SolveUnconstrained(problem).value();
+  SolveOptions unconstrained_options;
+  unconstrained_options.method = OptimizerMethod::kOptimal;
+  AttachObservability(&unconstrained_options);
+  const DesignSchedule unconstrained =
+      Solve(problem, unconstrained_options).value().schedule;
   const int64_t l = CountChanges(problem, unconstrained.configs);
+
+  auto options_for = [](OptimizerMethod method, int64_t k) {
+    SolveOptions options;
+    options.method = method;
+    options.k = k;
+    AttachObservability(&options);
+    return options;
+  };
 
   PrintHeader("Ablation B: hybrid optimizer choice and quality vs k");
   std::printf("unconstrained change count l = %lld\n\n",
@@ -54,22 +63,25 @@ void Run() {
               "t_hyb(ms)", "t_graph(ms)", "t_merge(ms)", "quality");
   for (int64_t k = 0; k <= l + 2; k += 2) {
     Stopwatch hybrid_watch;
-    auto hybrid = SolveHybrid(problem, k).value();
+    auto hybrid =
+        Solve(problem, options_for(OptimizerMethod::kHybrid, k)).value();
     const double hybrid_time = hybrid_watch.ElapsedSeconds();
 
     Stopwatch graph_watch;
-    auto graph = SolveKAware(problem, k).value();
+    auto graph =
+        Solve(problem, options_for(OptimizerMethod::kOptimal, k)).value();
     const double graph_time = graph_watch.ElapsedSeconds();
 
     Stopwatch merge_watch;
-    auto merged = MergeToConstraint(problem, unconstrained, k).value();
+    auto merged =
+        Solve(problem, options_for(OptimizerMethod::kMerging, k)).value();
     const double merge_time = merge_watch.ElapsedSeconds();
 
     std::printf("%4lld %-16s %12.2f %12.2f %12.2f %11.2f%%\n",
-                static_cast<long long>(k),
-                std::string(HybridChoiceToString(hybrid.choice)).c_str(),
+                static_cast<long long>(k), hybrid.method_detail.c_str(),
                 hybrid_time * 1e3, graph_time * 1e3, merge_time * 1e3,
-                100.0 * hybrid.schedule.total_cost / graph.total_cost);
+                100.0 * hybrid.schedule.total_cost /
+                    graph.schedule.total_cost);
     (void)merged;
   }
   PrintRule();
@@ -84,5 +96,6 @@ void Run() {
 
 int main() {
   cdpd::Run();
+  cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

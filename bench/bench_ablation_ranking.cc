@@ -12,8 +12,7 @@
 
 #include "bench_util.h"
 #include "common/stopwatch.h"
-#include "core/k_aware_graph.h"
-#include "core/path_ranking.h"
+#include "core/solver.h"
 #include "cost/what_if.h"
 
 namespace cdpd {
@@ -48,14 +47,21 @@ void Run() {
     problem.initial = Configuration::Empty();
 
     for (int64_t k = 0; k <= 2; ++k) {
-      SolveStats stats;
+      SolveOptions rank_options;
+      rank_options.method = OptimizerMethod::kRanking;
+      rank_options.k = k;
+      rank_options.ranking_max_paths = 500'000;
+      AttachObservability(&rank_options);
       Stopwatch rank_watch;
-      auto ranked = SolveByRanking(problem, k, /*max_paths=*/500'000,
-                                   &stats);
+      auto ranked = Solve(problem, rank_options);
       const double rank_time = rank_watch.ElapsedSeconds();
 
+      SolveOptions graph_options;
+      graph_options.method = OptimizerMethod::kOptimal;
+      graph_options.k = k;
+      AttachObservability(&graph_options);
       Stopwatch graph_watch;
-      auto graph = SolveKAware(problem, k);
+      auto graph = Solve(problem, graph_options);
       const double graph_time = graph_watch.ElapsedSeconds();
 
       if (!ranked.ok()) {
@@ -65,11 +71,11 @@ void Run() {
         continue;
       }
       const bool agree =
-          graph.ok() &&
-          std::abs(ranked->total_cost - graph->total_cost) < 1e-6;
+          graph.ok() && std::abs(ranked->schedule.total_cost -
+                                 graph->schedule.total_cost) < 1e-6;
       std::printf("%8zu %4lld %14lld %12.2f %12.3f %10s\n", segments.size(),
                   static_cast<long long>(k),
-                  static_cast<long long>(stats.paths_enumerated),
+                  static_cast<long long>(ranked->stats.paths_enumerated),
                   rank_time * 1e3, graph_time * 1e3,
                   agree ? "yes" : "NO");
     }
@@ -86,5 +92,6 @@ void Run() {
 
 int main() {
   cdpd::Run();
+  cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

@@ -9,6 +9,7 @@
 #include "bench_util.h"
 #include "core/k_aware_graph.h"
 #include "core/sequence_graph.h"
+#include "core/solver.h"
 #include "cost/what_if.h"
 #include "workload/generator.h"
 
@@ -56,8 +57,12 @@ void Run() {
   std::printf("edges:  %lld   (O(k n 2^2m))\n",
               static_cast<long long>(size.edges));
 
-  SolveStats stats;
-  auto schedule = SolveKAware(problem, 2, &stats).value();
+  SolveOptions solve_options;
+  solve_options.method = OptimizerMethod::kOptimal;
+  solve_options.k = 2;
+  bench_util::AttachObservability(&solve_options);
+  const SolveResult result = Solve(problem, solve_options).value();
+  const DesignSchedule& schedule = result.schedule;
   std::printf("\nshortest path through the k-aware graph (k = 2):\n");
   for (size_t i = 0; i < schedule.configs.size(); ++i) {
     std::printf("  S%zu executed under %s\n", i + 1,
@@ -66,8 +71,8 @@ void Run() {
   std::printf("sequence execution cost: %.1f, DP states: %lld, "
               "relaxations: %lld\n",
               schedule.total_cost,
-              static_cast<long long>(stats.nodes_expanded),
-              static_cast<long long>(stats.relaxations));
+              static_cast<long long>(result.stats.nodes_expanded),
+              static_cast<long long>(result.stats.relaxations));
   bench_util::PrintRule();
 }
 
@@ -76,5 +81,6 @@ void Run() {
 
 int main() {
   cdpd::Run();
+  cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

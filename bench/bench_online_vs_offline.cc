@@ -36,7 +36,7 @@ void Run() {
   const Workload w3 = MakeFullWorkload("W3", kSeed + 2);
 
   Advisor advisor(model.get());
-  auto unconstrained = advisor.Recommend(w1, PaperAdvisorOptions(-1));
+  auto unconstrained = advisor.Recommend(w1, PaperAdvisorOptions(std::nullopt));
   auto constrained = advisor.Recommend(w1, PaperAdvisorOptions(2));
   if (!unconstrained.ok() || !constrained.ok()) {
     std::printf("advisor failed\n");

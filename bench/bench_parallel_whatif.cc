@@ -21,7 +21,10 @@
 
 #include "bench_util.h"
 #include "advisor/config_enumeration.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/solver.h"
 #include "cost/what_if.h"
 #include "workload/standard_workloads.h"
@@ -75,13 +78,18 @@ struct Run {
 
 /// Solves with `threads` workers on a FRESH what-if engine (cold memo
 /// cache), so every run pays the full precompute and the wall times
-/// are comparable.
-Run SolveWith(int threads) {
+/// are comparable. `metrics`/`tracer` attach observability sinks to
+/// the solve (the determinism rows below prove they only observe).
+Run SolveWith(int threads, MetricsRegistry* metrics = nullptr,
+              Tracer* tracer = nullptr) {
   std::unique_ptr<ProblemFixture> fixture = MakeFixture();
   SolveOptions options;
   options.method = OptimizerMethod::kOptimal;
   options.k = 4;
   options.num_threads = threads;
+  bench_util::AttachObservability(&options);
+  if (metrics != nullptr) options.metrics = metrics;
+  if (tracer != nullptr) options.tracer = tracer;
   Run run;
   run.threads = threads;
   auto solved = Solve(fixture->problem, options);
@@ -128,12 +136,59 @@ void Report() {
                 static_cast<long long>(run.result.stats.cache_hits),
                 same_schedule ? "yes" : "NO");
   }
+  // Observability must only observe: the same solve with a tracer and
+  // a metrics registry attached has to produce the identical schedule,
+  // cost, and costing count.
+  MetricsRegistry registry;
+  Tracer tracer;
+  const Run traced = SolveWith(4, &registry, &tracer);
+  const bool traced_same =
+      traced.result.schedule.configs == serial.result.schedule.configs &&
+      traced.result.schedule.total_cost ==
+          serial.result.schedule.total_cost &&
+      traced.result.stats.costings == serial.result.stats.costings;
+  all_identical = all_identical && traced_same;
+  std::printf("with tracing + metrics on (4 threads): %zu spans, "
+              "schedule %s\n",
+              tracer.num_events(), traced_same ? "identical" : "DIVERGED");
   PrintRule();
   std::printf("schedule, total cost, and costing count %s across all "
-              "thread counts\n",
+              "thread counts and instrumentation settings\n",
               all_identical ? "are byte-identical" : "DIVERGED");
   PrintRule();
   if (!all_identical) std::exit(1);
+}
+
+/// The zero-overhead contract of the observability layer: a disabled
+/// trace-span site (null tracer) plus a disabled metric site (null
+/// counter) must compile down to pointer tests. Times millions of
+/// such sites and fails the bench when the per-site cost exceeds a
+/// bound generous enough for any CI machine or sanitizer build — a
+/// regression here means instrumentation leaked real work onto the
+/// disabled path.
+void AssertDisabledInstrumentationIsFree() {
+  using bench_util::PrintRule;
+  constexpr int64_t kIters = 10'000'000;
+  Tracer* tracer = nullptr;
+  Counter* counter = nullptr;
+  // Launder the nulls so the optimizer cannot fold the checks away;
+  // what remains is exactly what an uninstrumented hot loop executes.
+  asm volatile("" : "+r"(tracer), "+r"(counter));
+  int64_t sink = 0;
+  Stopwatch watch;
+  for (int64_t i = 0; i < kIters; ++i) {
+    CDPD_TRACE_SPAN(tracer, "bench.noop", "bench", i);
+    if (counter != nullptr) counter->Add(1);
+    sink += i;
+    asm volatile("" : "+r"(sink));
+  }
+  const double ns_per_site = watch.ElapsedSeconds() * 1e9 / kIters;
+  constexpr double kBoundNs = 100.0;
+  std::printf("disabled instrumentation: %.2f ns per span+counter site "
+              "(bound %.0f ns) — %s\n",
+              ns_per_site, kBoundNs, ns_per_site < kBoundNs ? "ok" : "FAIL");
+  PrintRule();
+  if (ns_per_site >= kBoundNs) std::exit(1);
 }
 
 }  // namespace
@@ -141,5 +196,7 @@ void Report() {
 
 int main() {
   cdpd::Report();
+  cdpd::AssertDisabledInstrumentationIsFree();
+  cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

@@ -17,7 +17,7 @@ void Run() {
   const Workload w1 = MakeFullWorkload("W1", kSeed);
 
   Advisor advisor(model.get());
-  auto unconstrained = advisor.Recommend(w1, PaperAdvisorOptions(-1));
+  auto unconstrained = advisor.Recommend(w1, PaperAdvisorOptions(std::nullopt));
   auto constrained = advisor.Recommend(w1, PaperAdvisorOptions(2));
   if (!unconstrained.ok() || !constrained.ok()) {
     std::printf("advisor failed: %s %s\n",

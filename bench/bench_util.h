@@ -4,9 +4,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
+#include "common/tracing.h"
 #include "core/advisor.h"
 #include "cost/cost_model.h"
 #include "engine/database.h"
@@ -46,16 +49,68 @@ inline Workload MakeFullWorkload(const std::string& name, uint64_t seed) {
   return MakePaperWorkload(name, &gen).value();
 }
 
+/// Process-wide observability sinks shared by every solve a bench
+/// runs. Only attached when the corresponding environment variable
+/// (CDPD_METRICS_OUT / CDPD_TRACE_OUT) names an output file, so the
+/// default bench run stays uninstrumented.
+inline MetricsRegistry& BenchMetricsRegistry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+inline Tracer& BenchTracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+/// Points `options` at the bench-wide registry/tracer when
+/// CDPD_METRICS_OUT / CDPD_TRACE_OUT are set. Works for both option
+/// structs that carry observability injection points.
+template <typename Options>
+inline void AttachObservability(Options* options) {
+  if (std::getenv("CDPD_METRICS_OUT") != nullptr) {
+    options->metrics = &BenchMetricsRegistry();
+  }
+  if (std::getenv("CDPD_TRACE_OUT") != nullptr) {
+    options->tracer = &BenchTracer();
+  }
+}
+
+/// Writes the artifacts named by CDPD_METRICS_OUT / CDPD_TRACE_OUT
+/// (same formats as advisor_cli --metrics-out / --trace-out). Call at
+/// the end of a bench's main; a no-op when the variables are unset.
+inline void WriteObservabilityArtifacts() {
+  auto write = [](const char* path, const std::string& content,
+                  const char* what) {
+    std::FILE* f = std::fopen(path, "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s to %s\n", what, path);
+      return;
+    }
+    std::fwrite(content.data(), 1, content.size(), f);
+    std::fclose(f);
+    std::printf("%s written to %s\n", what, path);
+  };
+  if (const char* path = std::getenv("CDPD_METRICS_OUT")) {
+    write(path, BenchMetricsRegistry().Snapshot().ToJson(),
+          "metrics snapshot");
+  }
+  if (const char* path = std::getenv("CDPD_TRACE_OUT")) {
+    write(path, BenchTracer().ToChromeJson(), "trace");
+  }
+}
+
 /// The advisor options of §6: 7-configuration space over the six
-/// candidate indexes, initial and final design empty. k < 0 maps to
-/// the unconstrained problem (AdvisorOptions::k = nullopt).
-inline AdvisorOptions PaperAdvisorOptions(int64_t k) {
+/// candidate indexes, initial and final design empty. std::nullopt is
+/// the unconstrained problem.
+inline AdvisorOptions PaperAdvisorOptions(std::optional<int64_t> k) {
   AdvisorOptions options;
   options.block_size = kPaperBlockSize;
-  options.k = k < 0 ? std::nullopt : std::optional<int64_t>(k);
+  options.k = k;
   options.candidate_indexes = MakePaperCandidateIndexes(MakePaperSchema());
   options.max_indexes_per_config = 1;
   options.final_config = Configuration::Empty();
+  AttachObservability(&options);
   return options;
 }
 

@@ -2,16 +2,22 @@
 //
 //   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
 //               [--threads N] [--rows N] [--calibrate] [--emit-ddl]
+//               [--metrics-out=FILE] [--trace-out=FILE]
 //
 // Reads a SQL workload trace (or generates the paper's W1 as a demo),
 // recommends a change-constrained dynamic design, and optionally emits
 // the CREATE/DROP INDEX script that enacts it. With --calibrate, cost
 // model constants are measured on a scratch database first.
+// --metrics-out writes a JSON metrics snapshot (counters, gauges,
+// histograms); --trace-out writes a Chrome trace_event JSON of the
+// solve's spans (load in chrome://tracing or Perfetto).
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
+#include "common/metrics.h"
+#include "common/tracing.h"
 #include "core/advisor.h"
 #include "cost/calibration.h"
 #include "engine/database.h"
@@ -31,6 +37,8 @@ struct CliArgs {
   int64_t rows = 250'000;
   bool calibrate = false;
   bool emit_ddl = false;
+  std::string metrics_out;  // Empty = no metrics artifact.
+  std::string trace_out;    // Empty = no trace artifact.
 };
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
@@ -58,6 +66,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->calibrate = true;
     } else if (arg == "--emit-ddl") {
       args->emit_ddl = true;
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      args->metrics_out = arg.substr(std::strlen("--metrics-out="));
+      if (args->metrics_out.empty()) return false;
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      args->trace_out = arg.substr(std::strlen("--trace-out="));
+      if (args->trace_out.empty()) return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -116,6 +130,13 @@ std::string EmitDdl(const Schema& schema, const Recommendation& rec) {
   return out;
 }
 
+bool WriteFile(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  return std::fclose(f) == 0 && written == content.size();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -124,7 +145,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: advisor_cli [trace.sql] [--k N] [--block N] "
                  "[--method optimal|greedy-seq|merging|ranking|hybrid] "
-                 "[--threads N] [--rows N] [--calibrate] [--emit-ddl]\n");
+                 "[--threads N] [--rows N] [--calibrate] [--emit-ddl] "
+                 "[--metrics-out=FILE] [--trace-out=FILE]\n");
     return 2;
   }
 
@@ -178,6 +200,10 @@ int main(int argc, char** argv) {
   if (args.k >= 0) options.k = args.k;
   options.method = *method;
   options.num_threads = static_cast<int>(args.threads);
+  MetricsRegistry registry;
+  Tracer tracer;
+  if (!args.metrics_out.empty()) options.metrics = &registry;
+  if (!args.trace_out.empty()) options.tracer = &tracer;
   auto rec = advisor.Recommend(trace, options);
   if (!rec.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
@@ -215,6 +241,37 @@ int main(int argc, char** argv) {
   }
   if (args.emit_ddl) {
     std::printf("\n-- DDL script --\n%s", EmitDdl(schema, *rec).c_str());
+  }
+  if (!args.metrics_out.empty()) {
+    const MetricsSnapshot snapshot = registry.Snapshot();
+    // The registry's "solver.*" counters are the same numbers the
+    // SolveStats above reports — sanity-check the round trip before
+    // exporting, so the artifact can be trusted to match the printout.
+    const SolveStats from_registry = SolveStats::FromSnapshot(snapshot);
+    if (from_registry.costings != stats.costings ||
+        from_registry.cache_hits != stats.cache_hits) {
+      std::fprintf(stderr,
+                   "metrics/stats mismatch: registry %lld costings / %lld "
+                   "hits, SolveStats %lld / %lld\n",
+                   static_cast<long long>(from_registry.costings),
+                   static_cast<long long>(from_registry.cache_hits),
+                   static_cast<long long>(stats.costings),
+                   static_cast<long long>(stats.cache_hits));
+      return 1;
+    }
+    if (!WriteFile(args.metrics_out, snapshot.ToJson())) {
+      std::fprintf(stderr, "cannot write %s\n", args.metrics_out.c_str());
+      return 1;
+    }
+    std::printf("\nmetrics snapshot written to %s\n", args.metrics_out.c_str());
+  }
+  if (!args.trace_out.empty()) {
+    if (!WriteFile(args.trace_out, tracer.ToChromeJson())) {
+      std::fprintf(stderr, "cannot write %s\n", args.trace_out.c_str());
+      return 1;
+    }
+    std::printf("trace (%zu spans) written to %s\n", tracer.num_events(),
+                args.trace_out.c_str());
   }
   return 0;
 }

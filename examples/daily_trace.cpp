@@ -77,7 +77,7 @@ int main() {
   std::printf("%4s %9s %18s %18s %s\n", "k", "changes", "Monday cost",
               "Tuesday cost", "schedule");
   double best_tuesday = 0;
-  int64_t best_k = -1;
+  std::optional<int64_t> best_k;
   for (int64_t k = 0; k <= 4; ++k) {
     AdvisorOptions options;
     options.block_size = kBlock;
@@ -89,7 +89,7 @@ int main() {
     }
     const double tuesday_cost =
         ReplayCost(model, tuesday, rec->schedule.configs, kBlock);
-    if (best_k < 0 || tuesday_cost < best_tuesday) {
+    if (!best_k.has_value() || tuesday_cost < best_tuesday) {
       best_tuesday = tuesday_cost;
       best_k = k;
     }
@@ -111,6 +111,6 @@ int main() {
       "\nBest k for the *unseen* day: k = %lld — matching the number of\n"
       "anticipated time-of-day shifts, exactly the paper's guidance for\n"
       "choosing the change constraint.\n",
-      static_cast<long long>(best_k));
+      static_cast<long long>(best_k.value()));
   return 0;
 }

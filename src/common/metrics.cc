@@ -1,0 +1,224 @@
+#include "common/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <thread>
+
+namespace cdpd {
+
+namespace {
+
+/// Bucket index of a value: 0 for v <= 1, else 1 + floor(log2(v)),
+/// clamped to the last bucket.
+size_t BucketIndex(double value) {
+  if (!(value > 1.0)) return 0;  // Also catches NaN.
+  const int exponent = std::ilogb(value);
+  // (2^{e}, 2^{e+1}] lands in bucket e + 1 unless value is an exact
+  // power of two, which belongs to bucket e.
+  size_t index = static_cast<size_t>(exponent) + 1;
+  if (std::ldexp(1.0, exponent) == value) index = static_cast<size_t>(exponent);
+  if (index >= 64) index = 63;
+  return index;
+}
+
+/// Representative value of a bucket (geometric midpoint of its range).
+double BucketValue(size_t index) {
+  if (index == 0) return 1.0;
+  const double lo = std::ldexp(1.0, static_cast<int>(index) - 1);
+  const double hi = std::ldexp(1.0, static_cast<int>(index));
+  return (lo + hi) / 2.0;
+}
+
+void AppendJsonKey(std::string* out, const std::string& name) {
+  out->push_back('"');
+  // Metric names are library-chosen identifiers (letters, digits,
+  // dots); escape the two JSON-significant characters anyway.
+  for (char c : name) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    out->push_back(c);
+  }
+  out->append("\": ");
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+Histogram::Stripe& Histogram::StripeForThisThread() {
+  const size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
+  return stripes_[h % kStripes];
+}
+
+void Histogram::Record(double value) {
+  if (value < 0.0) value = 0.0;
+  Stripe& stripe = StripeForThisThread();
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  ++stripe.buckets[BucketIndex(value)];
+  ++stripe.count;
+  stripe.sum += value;
+  if (value < stripe.min) stripe.min = value;
+  if (value > stripe.max) stripe.max = value;
+}
+
+HistogramStats Histogram::Snapshot() const {
+  std::array<int64_t, kBuckets> merged{};
+  HistogramStats stats;
+  stats.min = std::numeric_limits<double>::infinity();
+  stats.max = -std::numeric_limits<double>::infinity();
+  for (const Stripe& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe.mu);
+    for (size_t b = 0; b < kBuckets; ++b) merged[b] += stripe.buckets[b];
+    stats.count += stripe.count;
+    stats.sum += stripe.sum;
+    if (stripe.min < stats.min) stats.min = stripe.min;
+    if (stripe.max > stats.max) stats.max = stripe.max;
+  }
+  if (stats.count == 0) {
+    stats.min = 0.0;
+    stats.max = 0.0;
+    return stats;
+  }
+  auto percentile = [&](double q) {
+    const int64_t rank = static_cast<int64_t>(
+        std::ceil(q * static_cast<double>(stats.count)));
+    int64_t seen = 0;
+    for (size_t b = 0; b < kBuckets; ++b) {
+      seen += merged[b];
+      if (seen >= rank) {
+        // Clamp the estimate to the observed range so p50 of a
+        // constant distribution reports that constant.
+        return std::min(std::max(BucketValue(b), stats.min), stats.max);
+      }
+    }
+    return stats.max;
+  };
+  stats.p50 = percentile(0.50);
+  stats.p95 = percentile(0.95);
+  stats.p99 = percentile(0.99);
+  return stats;
+}
+
+int64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  const auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+int64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  const auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, value] : gauges) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += std::to_string(value);
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n    " : ",\n    ";
+    first = false;
+    AppendJsonKey(&out, name);
+    out += "{\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + FormatDouble(h.sum) +
+           ", \"min\": " + FormatDouble(h.min) +
+           ", \"max\": " + FormatDouble(h.max) +
+           ", \"p50\": " + FormatDouble(h.p50) +
+           ", \"p95\": " + FormatDouble(h.p95) +
+           ", \"p99\": " + FormatDouble(h.p99) + "}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string MetricsSnapshot::ToText() const {
+  std::string out;
+  char line[256];
+  for (const auto& [name, value] : counters) {
+    std::snprintf(line, sizeof(line), "%-44s %16lld\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, value] : gauges) {
+    std::snprintf(line, sizeof(line), "%-44s %16lld  (gauge)\n", name.c_str(),
+                  static_cast<long long>(value));
+    out += line;
+  }
+  for (const auto& [name, h] : histograms) {
+    std::snprintf(line, sizeof(line),
+                  "%-44s count=%lld sum=%.6g min=%.6g p50=%.6g p95=%.6g "
+                  "p99=%.6g max=%.6g\n",
+                  name.c_str(), static_cast<long long>(h.count), h.sum, h.min,
+                  h.p50, h.p95, h.p99, h.max);
+    out += line;
+  }
+  return out;
+}
+
+Counter* MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, metric] : counters_) {
+    snapshot.counters.emplace(name, metric->Value());
+  }
+  for (const auto& [name, metric] : gauges_) {
+    snapshot.gauges.emplace(name, metric->Value());
+  }
+  for (const auto& [name, metric] : histograms_) {
+    snapshot.histograms.emplace(name, metric->Snapshot());
+  }
+  return snapshot;
+}
+
+MetricsRegistry* MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();
+  return global;
+}
+
+}  // namespace cdpd

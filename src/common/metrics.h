@@ -1,0 +1,144 @@
+#ifndef CDPD_COMMON_METRICS_H_
+#define CDPD_COMMON_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace cdpd {
+
+/// Compile-time kill switch: building with -DCDPD_DISABLE_METRICS
+/// turns every instrumentation site guarded by `if constexpr
+/// (kMetricsCompiledIn)` into dead code the compiler removes. The
+/// default build keeps the sites, which cost one pointer test when no
+/// registry is injected (the zero-overhead-when-disabled guarantee
+/// bench_parallel_whatif asserts).
+#if defined(CDPD_DISABLE_METRICS)
+inline constexpr bool kMetricsCompiledIn = false;
+#else
+inline constexpr bool kMetricsCompiledIn = true;
+#endif
+
+/// A monotonically increasing atomic counter. Relaxed ordering: the
+/// counters are statistics, not synchronization.
+class Counter {
+ public:
+  void Add(int64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A last-write-wins (or running-maximum) atomic gauge.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is currently lower (peak tracking).
+  void UpdateMax(int64_t v) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    while (v > current &&
+           !value_.compare_exchange_weak(current, v,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Aggregated view of a histogram at snapshot time. Percentiles are
+/// estimated from the log2 bucket boundaries (geometric midpoint), so
+/// they are order-of-magnitude accurate — the right fidelity for
+/// latency distributions; min/max/count/sum are exact.
+struct HistogramStats {
+  int64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// A lock-striped histogram of non-negative values (typically
+/// microseconds). Record() hashes the calling thread onto one of
+/// kStripes independently-locked stripes, so concurrent recorders
+/// rarely contend; Snapshot() merges the stripes.
+class Histogram {
+ public:
+  void Record(double value);
+  HistogramStats Snapshot() const;
+
+ private:
+  static constexpr size_t kStripes = 16;
+  /// log2 buckets: bucket 0 holds values <= 1, bucket i holds
+  /// (2^{i-1}, 2^i]; the last bucket is unbounded.
+  static constexpr size_t kBuckets = 64;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::array<int64_t, kBuckets> buckets{};
+    int64_t count = 0;
+    double sum = 0.0;
+    double min = std::numeric_limits<double>::infinity();
+    double max = -std::numeric_limits<double>::infinity();
+  };
+  Stripe& StripeForThisThread();
+
+  std::array<Stripe, kStripes> stripes_;
+};
+
+/// One coherent reading of a registry: plain maps, detached from the
+/// live metrics, safe to serialize or diff at leisure.
+struct MetricsSnapshot {
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, int64_t> gauges;
+  std::map<std::string, HistogramStats> histograms;
+
+  /// Counter value by name, 0 when absent.
+  int64_t CounterValue(std::string_view name) const;
+  /// Gauge value by name, 0 when absent.
+  int64_t GaugeValue(std::string_view name) const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  std::string ToJson() const;
+  /// Aligned human-readable listing, one metric per line.
+  std::string ToText() const;
+};
+
+/// A process- or component-wide named-metric registry. Registration is
+/// mutex-protected and idempotent (same name -> same metric); the
+/// returned pointers are stable for the registry's lifetime, so hot
+/// paths register once and then touch only the lock-free metric.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter* counter(std::string_view name);
+  Gauge* gauge(std::string_view name);
+  Histogram* histogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+
+  /// The process-wide default registry (never destroyed).
+  static MetricsRegistry* Global();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_METRICS_H_

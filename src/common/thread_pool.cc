@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+#include <string>
 
 namespace cdpd {
 
@@ -18,7 +20,8 @@ ThreadPool::ThreadPool(int num_threads) {
   if (num_threads <= 0) num_threads = DefaultThreadCount();
   workers_.reserve(static_cast<size_t>(num_threads));
   for (int i = 0; i < num_threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back(
+        [this, i] { WorkerLoop(static_cast<size_t>(i)); });
   }
 }
 
@@ -35,8 +38,33 @@ void ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    if (queue_depth_gauge_ != nullptr) {
+      const auto depth = static_cast<int64_t>(queue_.size());
+      queue_depth_gauge_->Set(depth);
+      queue_depth_peak_gauge_->UpdateMax(depth);
+    }
   }
   cv_.notify_one();
+}
+
+void ThreadPool::EnableMetrics(MetricsRegistry* registry) {
+  if constexpr (!kMetricsCompiledIn) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (registry == nullptr) {
+    tasks_counter_ = nullptr;
+    queue_depth_gauge_ = nullptr;
+    queue_depth_peak_gauge_ = nullptr;
+    worker_busy_us_.assign(workers_.size(), nullptr);
+    return;
+  }
+  tasks_counter_ = registry->counter("threadpool.tasks");
+  queue_depth_gauge_ = registry->gauge("threadpool.queue_depth");
+  queue_depth_peak_gauge_ = registry->gauge("threadpool.queue_depth_peak");
+  worker_busy_us_.resize(workers_.size(), nullptr);
+  for (size_t i = 0; i < workers_.size(); ++i) {
+    worker_busy_us_[i] = registry->counter(
+        "threadpool.worker." + std::to_string(i) + ".busy_us");
+  }
 }
 
 int ThreadPool::DefaultThreadCount() {
@@ -50,18 +78,37 @@ int ThreadPool::DefaultThreadCount() {
 
 bool ThreadPool::InWorkerThread() { return t_in_worker; }
 
-void ThreadPool::WorkerLoop() {
+void ThreadPool::WorkerLoop(size_t worker_index) {
   t_in_worker = true;
   for (;;) {
     std::function<void()> task;
+    Counter* tasks_counter = nullptr;
+    Counter* busy_counter = nullptr;
     {
       std::unique_lock<std::mutex> lock(mu_);
       cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stop_ and drained.
       task = std::move(queue_.front());
       queue_.pop_front();
+      tasks_counter = tasks_counter_;
+      busy_counter = worker_index < worker_busy_us_.size()
+                         ? worker_busy_us_[worker_index]
+                         : nullptr;
+      if (queue_depth_gauge_ != nullptr) {
+        queue_depth_gauge_->Set(static_cast<int64_t>(queue_.size()));
+      }
     }
+    if (tasks_counter == nullptr && busy_counter == nullptr) {
+      task();
+      continue;
+    }
+    const auto start = std::chrono::steady_clock::now();
     task();
+    const auto busy_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                             std::chrono::steady_clock::now() - start)
+                             .count();
+    if (tasks_counter != nullptr) tasks_counter->Add(1);
+    if (busy_counter != nullptr) busy_counter->Add(busy_us);
   }
 }
 

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace cdpd {
 
 /// A small fixed-size worker pool for the CPU-bound fan-out of the
@@ -47,14 +49,28 @@ class ThreadPool {
   /// fallback.
   static bool InWorkerThread();
 
+  /// Publishes pool activity into `registry` under "threadpool.*":
+  /// task count, queue depth (current and peak), and per-worker busy
+  /// time ("threadpool.worker.<i>.busy_us"). Pass nullptr to detach.
+  /// Safe to call at any time, including while tasks are running;
+  /// no-op when metrics are compiled out.
+  void EnableMetrics(MetricsRegistry* registry);
+
  private:
-  void WorkerLoop();
+  void WorkerLoop(size_t worker_index);
 
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stop_ = false;
   std::vector<std::thread> workers_;
+  // Metric sinks, guarded by mu_; all null until EnableMetrics.
+  // Workers copy the pointers while holding mu_ during task pop, so a
+  // concurrent EnableMetrics never races with instrumentation.
+  Counter* tasks_counter_ = nullptr;
+  Gauge* queue_depth_gauge_ = nullptr;
+  Gauge* queue_depth_peak_gauge_ = nullptr;
+  std::vector<Counter*> worker_busy_us_;
 };
 
 /// Runs fn(i) for every i in [begin, end), fanning contiguous chunks

@@ -1,0 +1,127 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+
+namespace cdpd {
+
+namespace {
+
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+/// Thread-local (tracer -> buffer) cache so a span's buffer lookup is
+/// one id comparison after the first span on a thread. The id check
+/// (not just the pointer) protects against a new tracer reusing a
+/// destroyed tracer's address.
+struct BufferCache {
+  uint64_t tracer_id = 0;
+  void* buffer = nullptr;
+};
+thread_local BufferCache t_buffer_cache;
+
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    if (*s == '"' || *s == '\\') out->push_back('\\');
+    out->push_back(*s);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  if (t_buffer_cache.tracer_id == id_) {
+    return static_cast<ThreadBuffer*>(t_buffer_cache.buffer);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  buffers_.emplace_back();
+  ThreadBuffer* buffer = &buffers_.back();
+  buffer->tid = static_cast<uint32_t>(buffers_.size() - 1);
+  t_buffer_cache = BufferCache{id_, buffer};
+  return buffer;
+}
+
+std::vector<Tracer::Event> Tracer::Events() const {
+  std::vector<Event> events;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const ThreadBuffer& buffer : buffers_) {
+      std::lock_guard<std::mutex> buffer_lock(buffer.mu);
+      events.insert(events.end(), buffer.events.begin(),
+                    buffer.events.end());
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const Event& a, const Event& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.start_us != b.start_us) return a.start_us < b.start_us;
+              return a.duration_us > b.duration_us;  // Parents first.
+            });
+  return events;
+}
+
+size_t Tracer::num_events() const {
+  size_t n = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const ThreadBuffer& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer.mu);
+    n += buffer.events.size();
+  }
+  return n;
+}
+
+std::string Tracer::ToChromeJson() const {
+  const std::vector<Event> events = Events();
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const Event& event : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, event.name);
+    out += ", \"cat\": ";
+    AppendJsonString(&out, event.category);
+    out += ", \"ph\": \"X\", \"ts\": " + std::to_string(event.start_us) +
+           ", \"dur\": " + std::to_string(event.duration_us) +
+           ", \"pid\": 0, \"tid\": " + std::to_string(event.tid);
+    if (event.arg != kNoArg) {
+      out += ", \"args\": {\"arg\": " + std::to_string(event.arg) + "}";
+    }
+    out += "}";
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string Tracer::ToTextTree() const {
+  const std::vector<Event> events = Events();
+  std::string out;
+  char line[256];
+  uint32_t current_tid = std::numeric_limits<uint32_t>::max();
+  for (const Event& event : events) {
+    if (event.tid != current_tid) {
+      current_tid = event.tid;
+      std::snprintf(line, sizeof(line), "thread %u\n", current_tid);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), "  [%10lld us +%10lld us] ",
+                  static_cast<long long>(event.start_us),
+                  static_cast<long long>(event.duration_us));
+    out += line;
+    out.append(static_cast<size_t>(event.depth) * 2, ' ');
+    out += event.name;
+    if (event.arg != kNoArg) {
+      out += " (" + std::to_string(event.arg) + ")";
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,151 @@
+#ifndef CDPD_COMMON_TRACING_H_
+#define CDPD_COMMON_TRACING_H_
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cdpd {
+
+/// Collects RAII TraceSpans into per-thread buffers and exports them as
+/// Chrome trace_event JSON (load in chrome://tracing or Perfetto) or a
+/// human-readable indented tree. Span names and categories must be
+/// string literals (or otherwise outlive the tracer) — events store
+/// the pointers, so the hot path never allocates for a name.
+///
+/// Thread-safety: spans may start and end on any thread (each thread
+/// owns a buffer, guarded by a per-buffer mutex against concurrent
+/// export); export may run concurrently with tracing and sees every
+/// fully-ended span. Tracing records wall-clock timestamps only — it
+/// never influences what the instrumented code computes, so results
+/// are identical with tracing on or off.
+class Tracer {
+ public:
+  /// `arg` value meaning "no argument".
+  static constexpr int64_t kNoArg = std::numeric_limits<int64_t>::min();
+
+  /// One completed span. `tid` is a dense per-tracer thread number in
+  /// buffer-registration order; `depth` is the span nesting depth on
+  /// its thread at the time the span opened.
+  struct Event {
+    const char* name = "";
+    const char* category = "";
+    int64_t arg = kNoArg;
+    int64_t start_us = 0;
+    int64_t duration_us = 0;
+    uint32_t tid = 0;
+    int32_t depth = 0;
+  };
+
+  Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// All spans ended so far, sorted by (tid, start, -duration).
+  std::vector<Event> Events() const;
+  size_t num_events() const;
+
+  /// {"traceEvents": [...]} with complete ("ph": "X") events; the
+  /// format chrome://tracing, Perfetto, and speedscope ingest.
+  std::string ToChromeJson() const;
+
+  /// Indented per-thread span tree with start offsets and durations.
+  std::string ToTextTree() const;
+
+ private:
+  friend class TraceSpan;
+
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    uint32_t tid = 0;
+    int32_t depth = 0;  // Only touched by the owning thread.
+    std::vector<Event> events;
+  };
+
+  /// The calling thread's buffer, registered on first use and cached
+  /// thread-locally afterwards.
+  ThreadBuffer* BufferForThisThread();
+
+  int64_t NowMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+  }
+
+  const uint64_t id_;  // Process-unique, for the thread-local cache.
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::deque<ThreadBuffer> buffers_;  // Deque: stable addresses.
+};
+
+/// RAII span: records [construction, destruction) on `tracer`, or does
+/// nothing at all when `tracer` is null — the disabled path is a
+/// single pointer test, cheap enough to leave in release hot loops.
+class TraceSpan {
+ public:
+  explicit TraceSpan(Tracer* tracer, const char* name,
+                     const char* category = "cdpd",
+                     int64_t arg = Tracer::kNoArg)
+      : tracer_(tracer) {
+    if (tracer_ == nullptr) return;
+    name_ = name;
+    category_ = category;
+    arg_ = arg;
+    buffer_ = tracer_->BufferForThisThread();
+    depth_ = buffer_->depth++;
+    start_us_ = tracer_->NowMicros();
+  }
+
+  ~TraceSpan() {
+    if (tracer_ == nullptr) return;
+    const int64_t end_us = tracer_->NowMicros();
+    --buffer_->depth;
+    std::lock_guard<std::mutex> lock(buffer_->mu);
+    buffer_->events.push_back(Event{name_, category_, arg_, start_us_,
+                                    end_us - start_us_, buffer_->tid,
+                                    depth_});
+  }
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Overrides the span's arg — for counts known only at scope exit
+  /// (the recorded event carries the last value set).
+  void set_arg(int64_t arg) {
+    if (tracer_ != nullptr) arg_ = arg;
+  }
+
+ private:
+  using Event = Tracer::Event;
+
+  Tracer* tracer_;
+  const char* name_ = "";
+  const char* category_ = "";
+  int64_t arg_ = Tracer::kNoArg;
+  Tracer::ThreadBuffer* buffer_ = nullptr;
+  int32_t depth_ = 0;
+  int64_t start_us_ = 0;
+};
+
+#define CDPD_TRACE_CONCAT_INNER_(a, b) a##b
+#define CDPD_TRACE_CONCAT_(a, b) CDPD_TRACE_CONCAT_INNER_(a, b)
+
+/// Opens a scope-lived span. Compiles to nothing under
+/// -DCDPD_DISABLE_TRACING (the compile-time no-op sink); otherwise
+/// costs one pointer test when the tracer is null.
+#if defined(CDPD_DISABLE_TRACING)
+#define CDPD_TRACE_SPAN(...) \
+  do {                       \
+  } while (0)
+#else
+#define CDPD_TRACE_SPAN(...) \
+  ::cdpd::TraceSpan CDPD_TRACE_CONCAT_(cdpd_trace_span_, __LINE__)(__VA_ARGS__)
+#endif
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_TRACING_H_

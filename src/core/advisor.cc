@@ -75,6 +75,8 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   solve_options.k = options.k;
   solve_options.num_threads = options.num_threads;
   solve_options.ranking_max_paths = options.ranking_max_paths;
+  solve_options.metrics = options.metrics;
+  solve_options.tracer = options.tracer;
   if (options.method == OptimizerMethod::kGreedySeq) {
     solve_options.greedy.candidate_indexes = rec.candidate_indexes;
     solve_options.greedy.max_indexes_per_config =
@@ -94,8 +96,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   }
 
   rec.changes = CountChanges(problem, rec.schedule.configs);
-  CDPD_RETURN_IF_ERROR(
-      ValidateSchedule(problem, rec.schedule, options.k.value_or(-1)));
+  CDPD_RETURN_IF_ERROR(ValidateSchedule(problem, rec.schedule, options.k));
   return rec;
 }
 

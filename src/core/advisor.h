@@ -56,6 +56,13 @@ struct AdvisorOptions {
   CandidateGenOptions candidate_gen;
   /// Enumeration cap for the ranking method.
   int64_t ranking_max_paths = 1'000'000;
+  /// Observability injection points, forwarded to Solve() (see
+  /// SolveOptions::metrics / SolveOptions::tracer). Both optional,
+  /// both borrowed; `metrics` additionally receives the what-if
+  /// engine's "whatif.*" counters and histogram. Neither perturbs the
+  /// recommendation.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 
   /// All option validation in one place (block size, change bound,
   /// space bound, thread count, enumeration cap); Recommend calls it

@@ -51,7 +51,7 @@ double ExitCost(const DesignProblem& problem, const Configuration& last) {
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k, SolveStats* stats,
-                                         ThreadPool* pool) {
+                                         ThreadPool* pool, Tracer* tracer) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -71,7 +71,10 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
   const int64_t hits_before = what_if.cache_hits();
   std::vector<Run> runs = BuildRuns(initial_schedule.configs);
 
-  while (RunChanges(problem, runs) > k) {
+  for (;;) {
+    const int64_t changes = RunChanges(problem, runs);
+    if (changes <= k) break;
+    CDPD_TRACE_SPAN(tracer, "merging.step", "solver", changes);
     if (runs.size() == 1) {
       // Only possible when the initial change counts and k == 0: the
       // single remaining run must be C0 itself.
@@ -172,19 +175,6 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
   local_stats.costings = what_if.costings() - costings_before;
   local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
-  return schedule;
-}
-
-Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
-                                         const DesignSchedule& initial_schedule,
-                                         int64_t k, MergingStats* stats) {
-  SolveStats unified;
-  auto schedule =
-      MergeToConstraint(problem, initial_schedule, k, &unified, nullptr);
-  if (stats != nullptr) {
-    stats->steps = unified.merge_steps;
-    stats->candidate_evaluations = unified.candidate_evaluations;
-  }
   return schedule;
 }
 

@@ -5,21 +5,11 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/solve_stats.h"
 
 namespace cdpd {
-
-/// Deprecated: legacy stats shape, superseded by SolveStats
-/// (core/solve_stats.h — steps maps to merge_steps). Kept as a thin
-/// shim for existing callers.
-struct MergingStats {
-  /// Merging steps performed (each removes at least one design change).
-  int64_t steps = 0;
-  /// Replacement configurations evaluated (the 2^m-per-step factor of
-  /// the paper's O(2^m (l^2 - k^2)) bound).
-  int64_t candidate_evaluations = 0;
-};
 
 /// Sequential design merging (§4.2): refines a solution of the
 /// unconstrained problem until it satisfies the change bound k. Each
@@ -42,16 +32,14 @@ struct MergingStats {
 /// result is identical for any thread count.
 ///
 /// `initial_schedule.configs` must have one entry per problem segment.
+/// With a `tracer` each merging step records a "merging.step" span
+/// (arg = remaining change count before the step).
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k,
                                          SolveStats* stats = nullptr,
-                                         ThreadPool* pool = nullptr);
-
-/// Deprecated shim over the SolveStats overload.
-Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
-                                         const DesignSchedule& initial_schedule,
-                                         int64_t k, MergingStats* stats);
+                                         ThreadPool* pool = nullptr,
+                                         Tracer* tracer = nullptr);
 
 }  // namespace cdpd
 

@@ -8,9 +8,10 @@
 
 namespace cdpd {
 
-Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
+Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
+                                       std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
-                                       ThreadPool* pool) {
+                                       ThreadPool* pool, Tracer* tracer) {
   if (problem.what_if == nullptr) {
     return Status::InvalidArgument("design problem has no what-if oracle");
   }
@@ -38,6 +39,8 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> grown_costs(num_indexes, kInf);
   for (size_t segment = 0; segment < problem.num_segments(); ++segment) {
+    CDPD_TRACE_SPAN(tracer, "greedyseq.grow", "solver",
+                    static_cast<int64_t>(segment));
     Configuration current;
     double current_cost = what_if.SegmentCost(segment, current);
     for (;;) {
@@ -74,14 +77,18 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
 
   result.reduced_candidates = std::move(reduced);
   SolveStats graph_stats;
-  if (k < 0) {
-    CDPD_ASSIGN_OR_RETURN(
-        result.schedule,
-        SolveUnconstrained(reduced_problem, &graph_stats, pool));
-  } else {
-    CDPD_ASSIGN_OR_RETURN(
-        result.schedule,
-        SolveKAware(reduced_problem, k, &graph_stats, pool));
+  {
+    CDPD_TRACE_SPAN(tracer, "greedyseq.graph", "solver",
+                    static_cast<int64_t>(reduced_problem.candidates.size()));
+    if (!k.has_value()) {
+      CDPD_ASSIGN_OR_RETURN(
+          result.schedule,
+          SolveUnconstrained(reduced_problem, &graph_stats, pool, tracer));
+    } else {
+      CDPD_ASSIGN_OR_RETURN(
+          result.schedule,
+          SolveKAware(reduced_problem, *k, &graph_stats, pool, tracer));
+    }
   }
   result.stats.nodes_expanded = graph_stats.nodes_expanded;
   result.stats.relaxations = graph_stats.relaxations;

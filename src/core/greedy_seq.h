@@ -2,10 +2,12 @@
 #define CDPD_CORE_GREEDY_SEQ_H_
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/k_aware_graph.h"
 #include "core/solve_stats.h"
@@ -28,7 +30,7 @@ struct GreedySeqResult {
   /// O(m n) configurations instead of 2^m.
   std::vector<Configuration> reduced_candidates;
   /// Unified counters of the whole solve (greedy growth + graph
-  /// search); replaces the old KAwareSolveStats-typed solve_stats.
+  /// search).
   SolveStats stats;
 };
 
@@ -39,16 +41,20 @@ struct GreedySeqResult {
 /// and max_indexes_per_config), keeping every intermediate
 /// configuration — then run the k-aware shortest-path search over that
 /// reduced set. `problem.candidates` is ignored and replaced by the
-/// reduced set; pass k < 0 for the unconstrained variant (Agrawal et
-/// al.'s original GREEDY-SEQ).
+/// reduced set; pass nullopt k for the unconstrained variant (Agrawal
+/// et al.'s original GREEDY-SEQ).
 ///
 /// Each greedy growth step prices all candidate indexes in parallel
 /// across `pool` (the argmin is a serial scan in index order, so the
 /// reduced set is identical for any thread count), and the graph
-/// search inherits the pool.
-Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem, int64_t k,
+/// search inherits the pool. With a `tracer` the solve records a
+/// "greedyseq.grow" span per segment and a "greedyseq.graph" span
+/// around the reduced-set graph search.
+Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
+                                       std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
-                                       ThreadPool* pool = nullptr);
+                                       ThreadPool* pool = nullptr,
+                                       Tracer* tracer = nullptr);
 
 }  // namespace cdpd
 

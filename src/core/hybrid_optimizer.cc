@@ -19,14 +19,17 @@ std::string_view HybridChoiceToString(HybridChoice choice) {
 }
 
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
-                                 ThreadPool* pool) {
+                                 ThreadPool* pool, Tracer* tracer) {
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
   HybridResult result;
-  CDPD_ASSIGN_OR_RETURN(
-      DesignSchedule unconstrained,
-      SolveUnconstrained(problem, &result.stats, pool));
+  DesignSchedule unconstrained;
+  {
+    CDPD_TRACE_SPAN(tracer, "hybrid.probe", "solver");
+    CDPD_ASSIGN_OR_RETURN(
+        unconstrained, SolveUnconstrained(problem, &result.stats, pool, tracer));
+  }
   const int64_t l = CountChanges(problem, unconstrained.configs);
   result.unconstrained_changes = l;
   if (l <= k) {
@@ -43,13 +46,15 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
 
   SolveStats phase_stats;
   if (graph_work <= merging_work) {
-    CDPD_ASSIGN_OR_RETURN(result.schedule,
-                          SolveKAware(problem, k, &phase_stats, pool));
+    CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
+    CDPD_ASSIGN_OR_RETURN(
+        result.schedule, SolveKAware(problem, k, &phase_stats, pool, tracer));
     result.choice = HybridChoice::kKAwareGraph;
   } else {
-    CDPD_ASSIGN_OR_RETURN(
-        result.schedule,
-        MergeToConstraint(problem, unconstrained, k, &phase_stats, pool));
+    CDPD_TRACE_SPAN(tracer, "hybrid.merge", "solver", l - k);
+    CDPD_ASSIGN_OR_RETURN(result.schedule,
+                          MergeToConstraint(problem, unconstrained, k,
+                                            &phase_stats, pool, tracer));
     result.choice = HybridChoice::kMerging;
   }
   result.stats.Accumulate(phase_stats);

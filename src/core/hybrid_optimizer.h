@@ -6,6 +6,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/solve_stats.h"
 
@@ -46,9 +47,13 @@ struct HybridResult {
 /// shows the optimal technique becoming expensive.
 ///
 /// Both phases fan their cost probes out across `pool` when one is
-/// given; results are identical for any thread count.
+/// given; results are identical for any thread count. With a `tracer`
+/// the solve records a "hybrid.probe" span around the unconstrained
+/// probe and a "hybrid.kaware" or "hybrid.merge" span around the
+/// chosen constrained phase.
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
-                                 ThreadPool* pool = nullptr);
+                                 ThreadPool* pool = nullptr,
+                                 Tracer* tracer = nullptr);
 
 }  // namespace cdpd
 

@@ -32,7 +32,8 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
 }
 
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
-                                   SolveStats* stats, ThreadPool* pool) {
+                                   SolveStats* stats, ThreadPool* pool,
+                                   Tracer* tracer) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -62,16 +63,20 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   // Phase 1 (parallel): dense EXEC/TRANS matrices plus the boundary
   // transition vectors. After this, the DP touches no shared mutable
   // state — every probe is a read-only table lookup.
-  const CostMatrix matrix = what_if.PrecomputeCostMatrix(configs, pool);
+  CostMatrix matrix;
   std::vector<double> init_trans(m, 0.0);
   std::vector<double> final_trans(m, 0.0);
-  ParallelFor(pool, 0, m, [&](size_t c) {
-    init_trans[c] = what_if.TransitionCost(problem.initial, configs[c]);
-    if (problem.final_config.has_value()) {
-      final_trans[c] =
-          what_if.TransitionCost(configs[c], *problem.final_config);
-    }
-  });
+  {
+    CDPD_TRACE_SPAN(tracer, "kaware.precompute", "solver");
+    matrix = what_if.PrecomputeCostMatrix(configs, pool, tracer);
+    ParallelFor(pool, 0, m, [&](size_t c) {
+      init_trans[c] = what_if.TransitionCost(problem.initial, configs[c]);
+      if (problem.final_config.has_value()) {
+        final_trans[c] =
+            what_if.TransitionCost(configs[c], *problem.final_config);
+      }
+    });
+  }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   // dist[l * m + c]: cheapest way to execute S_1..S_i with
@@ -103,7 +108,11 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   // serial loop, so the argmin (and hence the schedule) is
   // thread-count-invariant.
   std::vector<double> next(layers * m, kInf);
+  CDPD_TRACE_SPAN(tracer, "kaware.dp", "solver",
+                  static_cast<int64_t>(n - 1));
   for (size_t stage = 1; stage < n; ++stage) {
+    CDPD_TRACE_SPAN(tracer, "kaware.stage", "solver",
+                    static_cast<int64_t>(stage));
     Parent* stage_parent = parent.data() + stage * layers * m;
     ParallelFor(pool, 0, layers * m, [&](size_t cell) {
       const size_t l = cell / m;
@@ -186,17 +195,6 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   local_stats.costings = what_if.costings() - costings_before;
   local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
-  return schedule;
-}
-
-Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
-                                   KAwareSolveStats* stats) {
-  SolveStats unified;
-  auto schedule = SolveKAware(problem, k, &unified, nullptr);
-  if (stats != nullptr) {
-    stats->states = unified.nodes_expanded;
-    stats->relaxations = unified.relaxations;
-  }
   return schedule;
 }
 

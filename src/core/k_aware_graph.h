@@ -5,6 +5,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/solve_stats.h"
 
@@ -15,17 +16,6 @@ namespace cdpd {
 struct KAwareGraphSize {
   int64_t nodes = 0;  // Stage/layer states plus source and destination.
   int64_t edges = 0;  // Stay-in-layer + change-to-next-layer edges.
-};
-
-/// Deprecated: legacy stats shape, superseded by SolveStats
-/// (core/solve_stats.h — states maps to nodes_expanded). Kept as a
-/// thin shim for existing callers.
-struct KAwareSolveStats {
-  /// DP states actually relaxed (reachable (stage, layer, config)
-  /// triples).
-  int64_t states = 0;
-  /// Edge relaxations performed.
-  int64_t relaxations = 0;
 };
 
 /// Exact node/edge counts of the k-aware sequence graph with k+1
@@ -50,14 +40,14 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
 /// given. The schedule, cost, and stats are identical for any thread
 /// count (each DP cell is a pure function of the previous stage).
 ///
-/// k must be >= 0. `stats` and `pool` are optional.
+/// k must be >= 0. `stats`, `pool`, and `tracer` are optional; with a
+/// tracer the solve records "kaware.precompute", "kaware.dp", and a
+/// "kaware.stage" span per DP stage (timestamps only — results are
+/// unchanged).
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats = nullptr,
-                                   ThreadPool* pool = nullptr);
-
-/// Deprecated shim over the SolveStats overload.
-Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
-                                   KAwareSolveStats* stats);
+                                   ThreadPool* pool = nullptr,
+                                   Tracer* tracer = nullptr);
 
 }  // namespace cdpd
 

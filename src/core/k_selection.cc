@@ -15,7 +15,7 @@ std::string KSelectionReport::ToString() const {
   out += "      k  changes        fit-cost       eval-cost\n";
   for (const KCandidateOutcome& outcome : outcomes) {
     const std::string k_label =
-        outcome.k < 0 ? "inf" : std::to_string(outcome.k);
+        outcome.k.has_value() ? std::to_string(*outcome.k) : "inf";
     char line[128];
     std::snprintf(line, sizeof(line), "  %5s %8lld %15.4e %15.4e%s\n",
                   k_label.c_str(), static_cast<long long>(outcome.changes),
@@ -119,12 +119,9 @@ Result<KSelectionReport> ChooseChangeBound(
   Advisor advisor(&model);
   KSelectionReport report;
   double best = std::numeric_limits<double>::infinity();
-  for (int64_t k : options.candidate_ks) {
+  for (const std::optional<int64_t>& k : options.candidate_ks) {
     AdvisorOptions advisor_options = options.advisor;
-    // Candidate lists still use -1 for "unconstrained"; the advisor
-    // expects nullopt.
-    advisor_options.k =
-        k < 0 ? std::nullopt : std::optional<int64_t>(k);
+    advisor_options.k = k;
     CDPD_ASSIGN_OR_RETURN(Recommendation rec,
                           advisor.Recommend(design_trace, advisor_options));
     KCandidateOutcome outcome;

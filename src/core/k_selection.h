@@ -2,6 +2,7 @@
 #define CDPD_CORE_K_SELECTION_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,8 +14,9 @@ namespace cdpd {
 
 /// Options for the automatic change-bound chooser.
 struct KSelectionOptions {
-  /// Change bounds to evaluate. -1 means unconstrained.
-  std::vector<int64_t> candidate_ks = {0, 1, 2, 3, 4, 6, 8, -1};
+  /// Change bounds to evaluate. nullopt means unconstrained.
+  std::vector<std::optional<int64_t>> candidate_ks = {0, 1,  2, 3,
+                                                      4, 6,  8, std::nullopt};
   /// Advisor parameters used for every candidate k (its `k` field is
   /// overwritten per candidate).
   AdvisorOptions advisor;
@@ -30,7 +32,8 @@ struct KSelectionOptions {
 
 /// Evaluation of one candidate change bound.
 struct KCandidateOutcome {
-  int64_t k = 0;
+  /// The evaluated bound; nullopt = unconstrained.
+  std::optional<int64_t> k;
   int64_t changes = 0;
   /// Cost of the recommendation on the design trace itself.
   double fit_cost = 0.0;
@@ -41,8 +44,8 @@ struct KCandidateOutcome {
 
 struct KSelectionReport {
   std::vector<KCandidateOutcome> outcomes;
-  /// The k minimizing eval_cost.
-  int64_t chosen_k = 0;
+  /// The k minimizing eval_cost (nullopt = unconstrained won).
+  std::optional<int64_t> chosen_k = 0;
   std::string ToString() const;
 };
 

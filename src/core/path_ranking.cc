@@ -101,7 +101,7 @@ std::optional<RankedPath> PathRanker::Next() {
 
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths, SolveStats* stats,
-                                      ThreadPool* pool) {
+                                      ThreadPool* pool, Tracer* tracer) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -114,13 +114,18 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
   // Parallel phase: the dense cost tables. The graph build and the
   // path enumeration below are then pure lookups.
-  const CostMatrix matrix =
-      what_if.PrecomputeCostMatrix(problem.candidates, pool);
+  CostMatrix matrix;
+  {
+    CDPD_TRACE_SPAN(tracer, "ranking.precompute", "solver");
+    matrix = what_if.PrecomputeCostMatrix(problem.candidates, pool, tracer);
+  }
   CDPD_ASSIGN_OR_RETURN(SequenceGraph graph,
                         SequenceGraph::Build(problem, &matrix));
   local_stats.nodes_expanded = graph.num_nodes();
   PathRanker ranker(graph);
+  TraceSpan enumerate_span(tracer, "ranking.enumerate", "solver");
   const auto finish = [&] {
+    enumerate_span.set_arg(local_stats.paths_enumerated);
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
     local_stats.cache_hits = what_if.cache_hits() - hits_before;
@@ -142,16 +147,6 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   return Status::ResourceExhausted(
       "no path with <= " + std::to_string(k) + " changes within the first " +
       std::to_string(local_stats.paths_enumerated) + " ranked paths");
-}
-
-Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
-                                      int64_t max_paths, RankingStats* stats) {
-  SolveStats unified;
-  auto schedule = SolveByRanking(problem, k, max_paths, &unified, nullptr);
-  if (stats != nullptr) {
-    stats->paths_enumerated = unified.paths_enumerated;
-  }
-  return schedule;
 }
 
 }  // namespace cdpd

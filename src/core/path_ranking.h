@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/sequence_graph.h"
 #include "core/solve_stats.h"
@@ -61,13 +62,6 @@ class PathRanker {
   int64_t paths_yielded_ = 0;
 };
 
-/// Deprecated: legacy stats shape, superseded by SolveStats
-/// (core/solve_stats.h — paths_enumerated carries over). Kept as a
-/// thin shim for existing callers.
-struct RankingStats {
-  int64_t paths_enumerated = 0;
-};
-
 /// Constrained optimum via shortest-path ranking (§5): enumerate paths
 /// of the *plain* sequence graph in cost order and return the first
 /// whose design sequence has at most k changes — optimal because every
@@ -76,15 +70,14 @@ struct RankingStats {
 ///
 /// The EXEC/TRANS cost matrices are precomputed in parallel across
 /// `pool` before the graph is materialized; the enumeration itself is
-/// inherently sequential (each ranked path conditions the next).
+/// inherently sequential (each ranked path conditions the next). With
+/// a `tracer` the solve records "ranking.precompute" and
+/// "ranking.enumerate" spans (arg = paths enumerated).
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths = 1'000'000,
                                       SolveStats* stats = nullptr,
-                                      ThreadPool* pool = nullptr);
-
-/// Deprecated shim over the SolveStats overload.
-Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
-                                      int64_t max_paths, RankingStats* stats);
+                                      ThreadPool* pool = nullptr,
+                                      Tracer* tracer = nullptr);
 
 }  // namespace cdpd
 

@@ -1,0 +1,43 @@
+#include "core/solve_stats.h"
+
+#include <cmath>
+
+namespace cdpd {
+
+void SolveStats::PublishTo(MetricsRegistry* registry) const {
+  if (registry == nullptr) return;
+  const int64_t wall_us = static_cast<int64_t>(std::llround(
+      wall_seconds * 1e6));
+  registry->counter("solver.solves")->Add(1);
+  registry->counter("solver.wall_us")->Add(wall_us);
+  registry->counter("solver.costings")->Add(costings);
+  registry->counter("solver.cache_hits")->Add(cache_hits);
+  registry->counter("solver.nodes_expanded")->Add(nodes_expanded);
+  registry->counter("solver.relaxations")->Add(relaxations);
+  registry->counter("solver.paths_enumerated")->Add(paths_enumerated);
+  registry->counter("solver.merge_steps")->Add(merge_steps);
+  registry->counter("solver.candidate_evaluations")
+      ->Add(candidate_evaluations);
+  registry->gauge("solver.threads_used")->UpdateMax(threads_used);
+  registry->histogram("solver.solve_wall_us")
+      ->Record(static_cast<double>(wall_us));
+}
+
+SolveStats SolveStats::FromSnapshot(const MetricsSnapshot& snapshot) {
+  SolveStats stats;
+  stats.wall_seconds =
+      static_cast<double>(snapshot.CounterValue("solver.wall_us")) / 1e6;
+  stats.costings = snapshot.CounterValue("solver.costings");
+  stats.cache_hits = snapshot.CounterValue("solver.cache_hits");
+  stats.nodes_expanded = snapshot.CounterValue("solver.nodes_expanded");
+  stats.relaxations = snapshot.CounterValue("solver.relaxations");
+  stats.paths_enumerated = snapshot.CounterValue("solver.paths_enumerated");
+  stats.merge_steps = snapshot.CounterValue("solver.merge_steps");
+  stats.candidate_evaluations =
+      snapshot.CounterValue("solver.candidate_evaluations");
+  const int64_t threads = snapshot.GaugeValue("solver.threads_used");
+  stats.threads_used = threads > 0 ? static_cast<int>(threads) : 1;
+  return stats;
+}
+
+}  // namespace cdpd

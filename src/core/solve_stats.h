@@ -3,15 +3,22 @@
 
 #include <cstdint>
 
+#include "common/metrics.h"
+
 namespace cdpd {
 
 /// Counters common to every design solver, replacing the per-solver
-/// ad-hoc stats structs (KAwareSolveStats, the stats fields of
-/// GreedySeqResult/HybridResult, MergingStats, RankingStats). Each
-/// solver fills the fields that apply and leaves the rest zero; the
-/// unified Solve() entry point (core/solver.h) returns one of these
-/// for every method, and Advisor::Recommend surfaces it on the
-/// Recommendation.
+/// ad-hoc stats structs. Each solver fills the fields that apply and
+/// leaves the rest zero; the unified Solve() entry point
+/// (core/solver.h) returns one of these for every method, and
+/// Advisor::Recommend surfaces it on the Recommendation.
+///
+/// The struct doubles as the typed view of the observability layer's
+/// "solver.*" metrics: Solve() publishes each solve into the injected
+/// MetricsRegistry via PublishTo(), and FromSnapshot() reconstructs a
+/// SolveStats from a registry snapshot — so external consumers of the
+/// metrics export and in-process callers of Solve() read the same
+/// numbers (the tests enforce the round trip).
 struct SolveStats {
   /// Wall-clock time of the solve.
   double wall_seconds = 0.0;
@@ -48,6 +55,16 @@ struct SolveStats {
     merge_steps += other.merge_steps;
     candidate_evaluations += other.candidate_evaluations;
   }
+
+  /// Adds this solve's counters to the registry's "solver.*" metrics
+  /// (and records the wall time into the "solver.solve_wall_us"
+  /// histogram). No-op when `registry` is null.
+  void PublishTo(MetricsRegistry* registry) const;
+
+  /// The registry's accumulated "solver.*" counters as a SolveStats —
+  /// the inverse of PublishTo over however many solves the registry
+  /// has seen (wall_seconds is the total, threads_used the maximum).
+  static SolveStats FromSnapshot(const MetricsSnapshot& snapshot);
 };
 
 }  // namespace cdpd

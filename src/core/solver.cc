@@ -27,6 +27,29 @@ std::string_view OptimizerMethodToString(OptimizerMethod method) {
   return "unknown";
 }
 
+namespace {
+
+/// Span name of the top-level solve, per method. TraceSpan stores the
+/// pointer, so these must be literals (string_view::data() would not
+/// guarantee termination in general).
+const char* MethodSpanName(OptimizerMethod method) {
+  switch (method) {
+    case OptimizerMethod::kOptimal:
+      return "solve.optimal";
+    case OptimizerMethod::kGreedySeq:
+      return "solve.greedy-seq";
+    case OptimizerMethod::kMerging:
+      return "solve.merging";
+    case OptimizerMethod::kRanking:
+      return "solve.ranking";
+    case OptimizerMethod::kHybrid:
+      return "solve.hybrid";
+  }
+  return "solve";
+}
+
+}  // namespace
+
 Status SolveOptions::Validate() const {
   if (k.has_value() && *k < 0) {
     return Status::InvalidArgument(
@@ -56,29 +79,38 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   std::unique_ptr<ThreadPool> owned_pool;
   if (threads > 1) owned_pool = std::make_unique<ThreadPool>(threads);
   ThreadPool* pool = owned_pool.get();
+  Tracer* const tracer = options.tracer;
+  if (options.metrics != nullptr) {
+    if (pool != nullptr) pool->EnableMetrics(options.metrics);
+    if (problem.what_if != nullptr) {
+      problem.what_if->SetMetrics(options.metrics);
+    }
+  }
 
   const Stopwatch watch;
   SolveResult result;
+  result.tracer = tracer;
+  CDPD_TRACE_SPAN(tracer, MethodSpanName(options.method), "solver",
+                  options.k.value_or(Tracer::kNoArg));
   switch (options.method) {
     case OptimizerMethod::kOptimal: {
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool));
+            SolveUnconstrained(problem, &result.stats, pool, tracer));
         result.method_detail = "sequence-graph shortest path";
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveKAware(problem, *options.k, &result.stats, pool));
+            SolveKAware(problem, *options.k, &result.stats, pool, tracer));
         result.method_detail = "k-aware sequence graph";
       }
       break;
     }
     case OptimizerMethod::kGreedySeq: {
-      const int64_t k = options.k.value_or(-1);
       CDPD_ASSIGN_OR_RETURN(
           GreedySeqResult greedy_result,
-          SolveGreedySeq(problem, k, options.greedy, pool));
+          SolveGreedySeq(problem, options.k, options.greedy, pool, tracer));
       result.schedule = std::move(greedy_result.schedule);
       result.stats = greedy_result.stats;
       result.reduced_candidates =
@@ -91,7 +123,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     case OptimizerMethod::kMerging: {
       CDPD_ASSIGN_OR_RETURN(
           DesignSchedule unconstrained,
-          SolveUnconstrained(problem, &result.stats, pool));
+          SolveUnconstrained(problem, &result.stats, pool, tracer));
       if (!options.k.has_value()) {
         result.schedule = std::move(unconstrained);
         result.method_detail = "merging (no constraint; unconstrained optimum)";
@@ -100,7 +132,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             MergeToConstraint(problem, unconstrained, *options.k,
-                              &merge_stats, pool));
+                              &merge_stats, pool, tracer));
         result.stats.Accumulate(merge_stats);
         result.method_detail =
             "merging steps: " + std::to_string(merge_stats.merge_steps);
@@ -111,13 +143,13 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool));
+            SolveUnconstrained(problem, &result.stats, pool, tracer));
         result.method_detail = "ranking (no constraint; shortest path)";
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveByRanking(problem, *options.k, options.ranking_max_paths,
-                           &result.stats, pool));
+                           &result.stats, pool, tracer));
         result.method_detail =
             "ranked paths: " + std::to_string(result.stats.paths_enumerated);
       }
@@ -127,11 +159,11 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool));
+            SolveUnconstrained(problem, &result.stats, pool, tracer));
         result.method_detail = "hybrid (no constraint; shortest path)";
       } else {
         CDPD_ASSIGN_OR_RETURN(HybridResult hybrid,
-                              SolveHybrid(problem, *options.k, pool));
+                              SolveHybrid(problem, *options.k, pool, tracer));
         result.schedule = std::move(hybrid.schedule);
         result.stats = hybrid.stats;
         result.method_detail =
@@ -145,6 +177,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   // clock covers dispatch plus pool setup and is what callers see.
   result.stats.wall_seconds = watch.ElapsedSeconds();
   result.stats.threads_used = threads;
+  result.stats.PublishTo(options.metrics);
   return result;
 }
 

@@ -7,8 +7,10 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/greedy_seq.h"
 #include "core/solve_stats.h"
@@ -46,6 +48,15 @@ struct SolveOptions {
   /// GREEDY-SEQ parameters (candidate indexes + per-config cap); only
   /// read when method == kGreedySeq.
   GreedySeqOptions greedy;
+  /// Observability injection points (both optional, both borrowed —
+  /// must outlive the Solve call). `metrics` receives the "solver.*"
+  /// counters (via SolveStats::PublishTo), the what-if engine's
+  /// "whatif.*" metrics, and the owned pool's "threadpool.*" metrics;
+  /// `tracer` records a "solve" span plus per-stage solver spans.
+  /// Neither perturbs results: schedules, costs, and counters are
+  /// byte-identical with or without them, for any thread count.
+  MetricsRegistry* metrics = nullptr;
+  Tracer* tracer = nullptr;
 
   /// All option validation in one place: k >= 0 when set,
   /// num_threads >= 0, ranking_max_paths > 0, and greedy candidate
@@ -64,6 +75,10 @@ struct SolveResult {
   /// kGreedySeq only: the reduced configuration set the graph search
   /// actually ran on (empty for every other method).
   std::vector<Configuration> reduced_candidates;
+  /// The tracer the solve recorded into (== SolveOptions::tracer;
+  /// null when tracing was off). Export its spans with
+  /// Tracer::ToChromeJson() / ToTextTree().
+  Tracer* tracer = nullptr;
 };
 
 /// The unified solver entry point: dispatches to the technique

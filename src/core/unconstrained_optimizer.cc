@@ -7,8 +7,8 @@
 namespace cdpd {
 
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
-                                          SolveStats* stats,
-                                          ThreadPool* pool) {
+                                          SolveStats* stats, ThreadPool* pool,
+                                          Tracer* tracer) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
@@ -32,18 +32,26 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
   }
 
   // Parallel precompute; the DP below is pure table lookups.
-  const CostMatrix matrix = what_if.PrecomputeCostMatrix(configs, pool);
+  CostMatrix matrix;
+  {
+    CDPD_TRACE_SPAN(tracer, "unconstrained.precompute", "solver");
+    matrix = what_if.PrecomputeCostMatrix(configs, pool, tracer);
+  }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> dist(m);
   std::vector<std::vector<size_t>> parent(n, std::vector<size_t>(m, 0));
 
+  CDPD_TRACE_SPAN(tracer, "unconstrained.dp", "solver",
+                  static_cast<int64_t>(n));
   ParallelFor(pool, 0, m, [&](size_t c) {
     dist[c] = what_if.TransitionCost(problem.initial, configs[c]) +
               matrix.Exec(0, c);
   });
   std::vector<double> next(m, kInf);
   for (size_t stage = 1; stage < n; ++stage) {
+    CDPD_TRACE_SPAN(tracer, "unconstrained.stage", "solver",
+                    static_cast<int64_t>(stage));
     std::vector<size_t>& stage_parent = parent[stage];
     ParallelFor(pool, 0, m, [&](size_t c) {
       double best = kInf;

@@ -3,6 +3,7 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/solve_stats.h"
 
@@ -22,10 +23,13 @@ namespace cdpd {
 ///
 /// Precomputes the dense EXEC/TRANS matrices and relaxes each stage's
 /// configurations in parallel across `pool` when one is given; the
-/// result is identical for any thread count.
+/// result is identical for any thread count. With a `tracer` the solve
+/// records "unconstrained.precompute", "unconstrained.dp", and a
+/// "unconstrained.stage" span per DP stage.
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats = nullptr,
-                                          ThreadPool* pool = nullptr);
+                                          ThreadPool* pool = nullptr,
+                                          Tracer* tracer = nullptr);
 
 }  // namespace cdpd
 

@@ -6,7 +6,8 @@
 namespace cdpd {
 
 Status ValidateSchedule(const DesignProblem& problem,
-                        const DesignSchedule& schedule, int64_t k) {
+                        const DesignSchedule& schedule,
+                        std::optional<int64_t> k) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (schedule.configs.size() != problem.num_segments()) {
     return Status::InvalidArgument(
@@ -31,9 +32,9 @@ Status ValidateSchedule(const DesignProblem& problem,
     }
   }
   const int64_t changes = CountChanges(problem, schedule.configs);
-  if (k >= 0 && changes > k) {
+  if (k.has_value() && changes > *k) {
     return Status::InvalidArgument("schedule has " + std::to_string(changes) +
-                                   " changes; bound is " + std::to_string(k));
+                                   " changes; bound is " + std::to_string(*k));
   }
   const double expected = EvaluateScheduleCost(problem, schedule.configs);
   const double tolerance =

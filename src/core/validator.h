@@ -2,6 +2,7 @@
 #define CDPD_CORE_VALIDATOR_H_
 
 #include <cstdint>
+#include <optional>
 
 #include "common/result.h"
 #include "core/design_problem.h"
@@ -9,14 +10,15 @@
 namespace cdpd {
 
 /// Checks that `schedule` is a well-formed solution of `problem` with
-/// change bound `k` (k < 0 = unconstrained):
+/// change bound `k` (nullopt = unconstrained):
 ///  * one configuration per segment,
 ///  * every configuration drawn from the candidate set,
 ///  * every configuration within the space bound b,
 ///  * at most k design changes under the problem's counting policy,
 ///  * total_cost consistent with the oracle (relative tolerance 1e-9).
 Status ValidateSchedule(const DesignProblem& problem,
-                        const DesignSchedule& schedule, int64_t k);
+                        const DesignSchedule& schedule,
+                        std::optional<int64_t> k);
 
 }  // namespace cdpd
 

@@ -1,6 +1,8 @@
 #include "cost/what_if.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 
 namespace cdpd {
 
@@ -51,6 +53,9 @@ WhatIfEngine::WhatIfEngine(const CostModel* model,
 
 double WhatIfEngine::ComputeSegmentCost(size_t segment,
                                         const Configuration& config) const {
+  const auto start = metrics_segment_cost_us_ != nullptr
+                         ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point{};
   double cost = 0.0;
   int64_t costed = 0;
   for (const ProfileEntry& entry : profiles_[segment]) {
@@ -59,6 +64,13 @@ double WhatIfEngine::ComputeSegmentCost(size_t segment,
     ++costed;
   }
   costings_.fetch_add(costed, std::memory_order_relaxed);
+  if (metrics_costings_ != nullptr) metrics_costings_->Add(costed);
+  if (metrics_segment_cost_us_ != nullptr) {
+    metrics_segment_cost_us_->Record(
+        std::chrono::duration<double, std::micro>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+  }
   return cost;
 }
 
@@ -75,6 +87,7 @@ double WhatIfEngine::SegmentCost(size_t segment,
   CacheKey key{segment, config};
   if (auto it = shard.memo.find(key); it != shard.memo.end()) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    if (metrics_cache_hits_ != nullptr) metrics_cache_hits_->Add(1);
     return it->second;
   }
   const double cost = ComputeSegmentCost(segment, config);
@@ -93,28 +106,71 @@ double WhatIfEngine::RangeCost(size_t begin, size_t end,
 }
 
 CostMatrix WhatIfEngine::PrecomputeCostMatrix(
-    std::span<const Configuration> candidates, ThreadPool* pool) const {
+    std::span<const Configuration> candidates, ThreadPool* pool,
+    Tracer* tracer) const {
   const size_t n = segments_.size();
   const size_t m = candidates.size();
   CostMatrix matrix(n, m);
   // EXEC over all (segment, config) pairs: each flattened index writes
   // one disjoint matrix cell, so the fill is race-free and the values
-  // are identical for any thread count.
-  ParallelFor(pool, 0, n * m, [&](size_t i) {
-    const size_t segment = i / m;
-    const size_t config = i % m;
-    matrix.MutableExec(segment, config) =
-        SegmentCost(segment, candidates[config]);
-  });
+  // are identical for any thread count. With a tracer attached the
+  // same cells are filled through coarser work shards (one span each);
+  // either way every cell computes the same value.
+  if (tracer == nullptr) {
+    ParallelFor(pool, 0, n * m, [&](size_t i) {
+      const size_t segment = i / m;
+      const size_t config = i % m;
+      matrix.MutableExec(segment, config) =
+          SegmentCost(segment, candidates[config]);
+    });
+  } else {
+    CDPD_TRACE_SPAN(tracer, "whatif.exec_matrix", "whatif",
+                    static_cast<int64_t>(n * m));
+    const size_t threads = static_cast<size_t>(
+        std::max(1, pool == nullptr ? 1 : pool->num_threads()));
+    const size_t num_shards =
+        std::min(n * m, std::max<size_t>(1, threads * 4));
+    const size_t per_shard = (n * m + num_shards - 1) / num_shards;
+    ParallelFor(pool, 0, num_shards, [&](size_t shard) {
+      CDPD_TRACE_SPAN(tracer, "whatif.exec_shard", "whatif",
+                      static_cast<int64_t>(shard));
+      const size_t lo = shard * per_shard;
+      const size_t hi = std::min(n * m, lo + per_shard);
+      for (size_t i = lo; i < hi; ++i) {
+        const size_t segment = i / m;
+        const size_t config = i % m;
+        matrix.MutableExec(segment, config) =
+            SegmentCost(segment, candidates[config]);
+      }
+    });
+  }
   // TRANS over all candidate pairs (pure model arithmetic; no memo).
-  ParallelFor(pool, 0, m * m, [&](size_t i) {
-    const size_t from = i / m;
-    const size_t to = i % m;
-    matrix.MutableTrans(from, to) =
-        from == to ? 0.0
-                   : model_->TransitionCost(candidates[from], candidates[to]);
-  });
+  {
+    CDPD_TRACE_SPAN(tracer, "whatif.trans_matrix", "whatif",
+                    static_cast<int64_t>(m * m));
+    ParallelFor(pool, 0, m * m, [&](size_t i) {
+      const size_t from = i / m;
+      const size_t to = i % m;
+      matrix.MutableTrans(from, to) =
+          from == to
+              ? 0.0
+              : model_->TransitionCost(candidates[from], candidates[to]);
+    });
+  }
   return matrix;
+}
+
+void WhatIfEngine::SetMetrics(MetricsRegistry* registry) const {
+  if constexpr (!kMetricsCompiledIn) return;
+  if (registry == nullptr) {
+    metrics_costings_ = nullptr;
+    metrics_cache_hits_ = nullptr;
+    metrics_segment_cost_us_ = nullptr;
+    return;
+  }
+  metrics_costings_ = registry->counter("whatif.costings");
+  metrics_cache_hits_ = registry->counter("whatif.cache_hits");
+  metrics_segment_cost_us_ = registry->histogram("whatif.segment_cost_us");
 }
 
 }  // namespace cdpd

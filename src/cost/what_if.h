@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "catalog/configuration.h"
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "cost/cost_model.h"
 #include "workload/workload.h"
 
@@ -114,9 +116,20 @@ class WhatIfEngine {
   /// what-if probes out across `pool` (serial when pool is null). The
   /// memo cache is populated as a side effect, so later SegmentCost
   /// calls on the same pairs are hits. Results are identical for any
-  /// thread count.
+  /// thread count, with or without `tracer`: tracing only changes the
+  /// fan-out granularity (one span per work shard) and observes
+  /// timestamps, never values.
   CostMatrix PrecomputeCostMatrix(std::span<const Configuration> candidates,
-                                  ThreadPool* pool = nullptr) const;
+                                  ThreadPool* pool = nullptr,
+                                  Tracer* tracer = nullptr) const;
+
+  /// Mirrors the engine's activity into `registry` — counters
+  /// "whatif.costings" / "whatif.cache_hits" and the
+  /// "whatif.segment_cost_us" costing-latency histogram. Call before
+  /// handing the engine to concurrent solvers; pass nullptr to detach.
+  /// Const because it only touches observational state (like the
+  /// memo/counter members); no-op when metrics are compiled out.
+  void SetMetrics(MetricsRegistry* registry) const;
 
   /// Number of what-if statement costings performed so far (for the
   /// optimizer-cost experiments: the dominant work unit).
@@ -167,6 +180,11 @@ class WhatIfEngine {
   mutable std::array<CacheShard, kCacheShards> shards_;
   mutable std::atomic<int64_t> costings_{0};
   mutable std::atomic<int64_t> cache_hits_{0};
+  // Optional metric sinks (null until SetMetrics). Set before the
+  // solvers start probing; the probes only read the pointers.
+  mutable Counter* metrics_costings_ = nullptr;
+  mutable Counter* metrics_cache_hits_ = nullptr;
+  mutable Histogram* metrics_segment_cost_us_ = nullptr;
 };
 
 }  // namespace cdpd

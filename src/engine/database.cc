@@ -1,5 +1,7 @@
 #include "engine/database.h"
 
+#include <chrono>
+
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "sql/binder.h"
@@ -54,11 +56,36 @@ Status Database::ApplyConfiguration(const Configuration& target,
   // Drop first so peak space stays low during the transition.
   for (const IndexDef& def : delta.dropped) {
     CDPD_RETURN_IF_ERROR(catalog_.DropIndex(table_name, def, stats));
+    if (metrics_index_drops_ != nullptr) metrics_index_drops_->Add(1);
   }
   for (const IndexDef& def : delta.created) {
+    const auto start = metrics_index_build_us_ != nullptr
+                           ? std::chrono::steady_clock::now()
+                           : std::chrono::steady_clock::time_point{};
     CDPD_RETURN_IF_ERROR(catalog_.CreateIndex(table_name, def, stats));
+    if (metrics_index_builds_ != nullptr) metrics_index_builds_->Add(1);
+    if (metrics_index_build_us_ != nullptr) {
+      metrics_index_build_us_->Record(
+          std::chrono::duration<double, std::micro>(
+              std::chrono::steady_clock::now() - start)
+              .count());
+    }
   }
   return Status::OK();
+}
+
+void Database::SetMetrics(MetricsRegistry* registry) {
+  if constexpr (!kMetricsCompiledIn) return;
+  executor_->SetMetrics(registry);
+  if (registry == nullptr) {
+    metrics_index_builds_ = nullptr;
+    metrics_index_drops_ = nullptr;
+    metrics_index_build_us_ = nullptr;
+    return;
+  }
+  metrics_index_builds_ = registry->counter("engine.index_builds");
+  metrics_index_drops_ = registry->counter("engine.index_drops");
+  metrics_index_build_us_ = registry->histogram("engine.index_build_us");
 }
 
 Result<ExecutionResult> Database::Execute(const BoundStatement& statement,

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "cost/cost_model.h"
 #include "engine/executor.h"
@@ -71,12 +72,24 @@ class Database {
   /// aggregate physical work and wall time.
   Result<WorkloadRunResult> RunWorkload(std::span<const BoundStatement> batch);
 
+  /// Mirrors engine activity into `registry`: the executor's
+  /// "engine.statements"/page-access/latency metrics (see
+  /// Executor::SetMetrics) plus design-transition metrics —
+  /// "engine.index_builds" / "engine.index_drops" counters and the
+  /// "engine.index_build_us" histogram. Pass nullptr to detach; no-op
+  /// when metrics are compiled out.
+  void SetMetrics(MetricsRegistry* registry);
+
  private:
   Database(std::unique_ptr<CostModel> model);
 
   Catalog catalog_;
   std::unique_ptr<CostModel> model_;
   std::unique_ptr<Executor> executor_;
+  // Metric sinks, null until SetMetrics.
+  Counter* metrics_index_builds_ = nullptr;
+  Counter* metrics_index_drops_ = nullptr;
+  Histogram* metrics_index_build_us_ = nullptr;
 };
 
 }  // namespace cdpd

@@ -1,6 +1,7 @@
 #include "engine/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "index/btree.h"
 
@@ -172,8 +173,8 @@ Result<ExecutionResult> Executor::ExecuteInsert(const BoundStatement& statement,
   return result;
 }
 
-Result<ExecutionResult> Executor::Execute(const BoundStatement& statement,
-                                          AccessStats* stats) {
+Result<ExecutionResult> Executor::ExecuteDispatch(
+    const BoundStatement& statement, AccessStats* stats) {
   switch (statement.type) {
     case StatementType::kSelectPoint:
     case StatementType::kSelectRange:
@@ -184,6 +185,48 @@ Result<ExecutionResult> Executor::Execute(const BoundStatement& statement,
       return ExecuteInsert(statement, stats);
   }
   return Status::InvalidArgument("unknown statement type");
+}
+
+Result<ExecutionResult> Executor::Execute(const BoundStatement& statement,
+                                          AccessStats* stats) {
+  if (metrics_statements_ == nullptr) {
+    return ExecuteDispatch(statement, stats);
+  }
+  // Instrumented path: charge the statement's page-access delta and
+  // latency to the registry. The delta is computed against the
+  // caller's running stats, so aggregation batches charge correctly.
+  const AccessStats before = *stats;
+  const auto start = std::chrono::steady_clock::now();
+  Result<ExecutionResult> result = ExecuteDispatch(statement, stats);
+  metrics_statement_us_->Record(std::chrono::duration<double, std::micro>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count());
+  metrics_statements_->Add(1);
+  metrics_sequential_pages_->Add(stats->sequential_pages -
+                                 before.sequential_pages);
+  metrics_random_pages_->Add(stats->random_pages - before.random_pages);
+  metrics_written_pages_->Add(stats->written_pages - before.written_pages);
+  metrics_rows_examined_->Add(stats->rows_examined - before.rows_examined);
+  return result;
+}
+
+void Executor::SetMetrics(MetricsRegistry* registry) {
+  if constexpr (!kMetricsCompiledIn) return;
+  if (registry == nullptr) {
+    metrics_statements_ = nullptr;
+    metrics_sequential_pages_ = nullptr;
+    metrics_random_pages_ = nullptr;
+    metrics_written_pages_ = nullptr;
+    metrics_rows_examined_ = nullptr;
+    metrics_statement_us_ = nullptr;
+    return;
+  }
+  metrics_statements_ = registry->counter("engine.statements");
+  metrics_sequential_pages_ = registry->counter("engine.sequential_pages");
+  metrics_random_pages_ = registry->counter("engine.random_pages");
+  metrics_written_pages_ = registry->counter("engine.written_pages");
+  metrics_rows_examined_ = registry->counter("engine.rows_examined");
+  metrics_statement_us_ = registry->histogram("engine.statement_us");
 }
 
 }  // namespace cdpd

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "catalog/catalog.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "cost/cost_model.h"
 #include "storage/access_stats.h"
@@ -39,6 +40,15 @@ class Executor {
   Result<ExecutionResult> Execute(const BoundStatement& statement,
                                   AccessStats* stats);
 
+  /// Mirrors execution activity into `registry` — the
+  /// "engine.statements" counter, per-kind page-access counters
+  /// ("engine.sequential_pages" / "engine.random_pages" /
+  /// "engine.written_pages" / "engine.rows_examined", derived from the
+  /// per-statement AccessStats deltas), and the "engine.statement_us"
+  /// latency histogram. Pass nullptr to detach; no-op when metrics are
+  /// compiled out.
+  void SetMetrics(MetricsRegistry* registry);
+
  private:
   Result<ExecutionResult> ExecuteSelect(const BoundStatement& statement,
                                         AccessStats* stats);
@@ -54,8 +64,19 @@ class Executor {
                        AccessStats* stats, std::vector<RowId>* rids,
                        std::vector<Value>* values);
 
+  /// The Execute body, minus instrumentation.
+  Result<ExecutionResult> ExecuteDispatch(const BoundStatement& statement,
+                                          AccessStats* stats);
+
   Catalog* catalog_;
   const CostModel* model_;
+  // Metric sinks, null until SetMetrics. Set before execution starts.
+  Counter* metrics_statements_ = nullptr;
+  Counter* metrics_sequential_pages_ = nullptr;
+  Counter* metrics_random_pages_ = nullptr;
+  Counter* metrics_written_pages_ = nullptr;
+  Counter* metrics_rows_examined_ = nullptr;
+  Histogram* metrics_statement_us_ = nullptr;
 };
 
 }  // namespace cdpd

@@ -1,0 +1,197 @@
+#include "common/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/solve_stats.h"
+
+namespace cdpd {
+namespace {
+
+TEST(MetricsTest, CounterStartsAtZeroAndAccumulates) {
+  Counter counter;
+  EXPECT_EQ(counter.Value(), 0);
+  counter.Add();
+  counter.Add(41);
+  EXPECT_EQ(counter.Value(), 42);
+}
+
+TEST(MetricsTest, GaugeSetAndUpdateMax) {
+  Gauge gauge;
+  gauge.Set(7);
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.UpdateMax(3);  // Lower: no effect.
+  EXPECT_EQ(gauge.Value(), 7);
+  gauge.UpdateMax(11);
+  EXPECT_EQ(gauge.Value(), 11);
+  gauge.Set(2);  // Set is last-write-wins, even downward.
+  EXPECT_EQ(gauge.Value(), 2);
+}
+
+TEST(MetricsTest, HistogramExactFieldsAndBucketedPercentiles) {
+  Histogram histogram;
+  // 100 values 1..100: count/sum/min/max are exact, percentiles come
+  // from log2 buckets so only order-of-magnitude bounds hold.
+  double sum = 0.0;
+  for (int i = 1; i <= 100; ++i) {
+    histogram.Record(static_cast<double>(i));
+    sum += i;
+  }
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.count, 100);
+  EXPECT_DOUBLE_EQ(stats.sum, sum);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 100.0);
+  // True p50 = 50 lives in bucket (32, 64]; p95/p99 in (64, 128].
+  EXPECT_GE(stats.p50, 32.0);
+  EXPECT_LE(stats.p50, 64.0);
+  EXPECT_GE(stats.p95, 64.0);
+  EXPECT_LE(stats.p95, 128.0);
+  EXPECT_GE(stats.p99, 64.0);
+  EXPECT_LE(stats.p99, 128.0);
+  EXPECT_LE(stats.p50, stats.p95);
+  EXPECT_LE(stats.p95, stats.p99);
+}
+
+TEST(MetricsTest, EmptyHistogramSnapshotIsZeroed) {
+  Histogram histogram;
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_DOUBLE_EQ(stats.sum, 0.0);
+  EXPECT_DOUBLE_EQ(stats.min, 0.0);
+  EXPECT_DOUBLE_EQ(stats.max, 0.0);
+  EXPECT_DOUBLE_EQ(stats.p50, 0.0);
+}
+
+TEST(MetricsTest, RegistryIsIdempotentWithStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.counter("solver.costings");
+  Counter* c2 = registry.counter("solver.costings");
+  EXPECT_EQ(c1, c2);
+  EXPECT_NE(c1, registry.counter("solver.cache_hits"));
+  EXPECT_EQ(registry.gauge("pool.threads"), registry.gauge("pool.threads"));
+  EXPECT_EQ(registry.histogram("whatif.cost_us"),
+            registry.histogram("whatif.cost_us"));
+  // Counter / gauge / histogram namespaces are independent.
+  c1->Add(5);
+  registry.gauge("solver.costings")->Set(9);
+  EXPECT_EQ(c1->Value(), 5);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("solver.costings"), 5);
+  EXPECT_EQ(snapshot.GaugeValue("solver.costings"), 9);
+}
+
+TEST(MetricsTest, SnapshotReturnsZeroForAbsentNames) {
+  MetricsRegistry registry;
+  registry.counter("present")->Add(1);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("absent"), 0);
+  EXPECT_EQ(snapshot.GaugeValue("absent"), 0);
+  EXPECT_EQ(snapshot.CounterValue("present"), 1);
+}
+
+TEST(MetricsTest, SnapshotJsonAndTextContainMetricNames) {
+  MetricsRegistry registry;
+  registry.counter("solver.costings")->Add(3);
+  registry.gauge("pool.threads")->Set(8);
+  registry.histogram("whatif.cost_us")->Record(12.0);
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("solver.costings"), std::string::npos);
+  EXPECT_NE(json.find("pool.threads"), std::string::npos);
+  EXPECT_NE(json.find("whatif.cost_us"), std::string::npos);
+  const std::string text = snapshot.ToText();
+  EXPECT_NE(text.find("solver.costings"), std::string::npos);
+  EXPECT_NE(text.find("whatif.cost_us"), std::string::npos);
+}
+
+TEST(MetricsTest, GlobalRegistryIsASingleton) {
+  ASSERT_NE(MetricsRegistry::Global(), nullptr);
+  EXPECT_EQ(MetricsRegistry::Global(), MetricsRegistry::Global());
+}
+
+TEST(MetricsTest, SolveStatsRoundTripsThroughRegistry) {
+  SolveStats stats;
+  stats.wall_seconds = 0.25;
+  stats.costings = 1200;
+  stats.cache_hits = 340;
+  stats.threads_used = 8;
+  stats.nodes_expanded = 77;
+  stats.relaxations = 13;
+  stats.paths_enumerated = 5;
+  stats.merge_steps = 4;
+  stats.candidate_evaluations = 9;
+
+  MetricsRegistry registry;
+  stats.PublishTo(&registry);
+  stats.PublishTo(nullptr);  // Null registry must be a no-op, not a crash.
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("solver.solves"), 1);
+  const SolveStats back = SolveStats::FromSnapshot(snapshot);
+  EXPECT_NEAR(back.wall_seconds, stats.wall_seconds, 1e-6);
+  EXPECT_EQ(back.costings, stats.costings);
+  EXPECT_EQ(back.cache_hits, stats.cache_hits);
+  EXPECT_EQ(back.threads_used, stats.threads_used);
+  EXPECT_EQ(back.nodes_expanded, stats.nodes_expanded);
+  EXPECT_EQ(back.relaxations, stats.relaxations);
+  EXPECT_EQ(back.paths_enumerated, stats.paths_enumerated);
+  EXPECT_EQ(back.merge_steps, stats.merge_steps);
+  EXPECT_EQ(back.candidate_evaluations, stats.candidate_evaluations);
+}
+
+// The TSan target: many threads hammer the same named metrics through
+// the registry (mixing registration races with hot-path updates) while
+// another set of threads snapshots concurrently. Totals must be exact.
+TEST(MetricsConcurrencyTest, ParallelUpdatesAndSnapshotsAreExact) {
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 10'000;
+  MetricsRegistry registry;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 2);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&registry, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        // Re-register by name every iteration: exercises the
+        // idempotent-registration lock against concurrent lookups.
+        registry.counter("shared.counter")->Add(1);
+        registry.gauge("shared.gauge")->UpdateMax(t * kIterations + i);
+        registry.histogram("shared.histogram")
+            ->Record(static_cast<double>(i % 1'000));
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&registry] {
+      for (int i = 0; i < 100; ++i) {
+        const MetricsSnapshot snapshot = registry.Snapshot();
+        // Monotone, never torn beyond the running total.
+        EXPECT_GE(snapshot.CounterValue("shared.counter"), 0);
+        EXPECT_LE(snapshot.CounterValue("shared.counter"),
+                  int64_t{kThreads} * kIterations);
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const MetricsSnapshot snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("shared.counter"),
+            int64_t{kThreads} * kIterations);
+  EXPECT_EQ(snapshot.GaugeValue("shared.gauge"),
+            int64_t{kThreads - 1} * kIterations + (kIterations - 1));
+  const HistogramStats histogram = snapshot.histograms.at("shared.histogram");
+  EXPECT_EQ(histogram.count, int64_t{kThreads} * kIterations);
+  EXPECT_DOUBLE_EQ(histogram.min, 0.0);
+  EXPECT_DOUBLE_EQ(histogram.max, 999.0);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -1,0 +1,182 @@
+#include "common/tracing.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(TracingTest, NullTracerSpansAreNoOps) {
+  // Must not crash, allocate buffers, or record anything.
+  TraceSpan outer(nullptr, "outer");
+  outer.set_arg(7);
+  { CDPD_TRACE_SPAN(nullptr, "inner", "test", 3); }
+}
+
+TEST(TracingTest, RecordsSpanOnlyWhenItEnds) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "work", "test");
+    EXPECT_EQ(tracer.num_events(), 0u);  // Still open.
+  }
+  ASSERT_EQ(tracer.num_events(), 1u);
+  const Tracer::Event event = tracer.Events()[0];
+  EXPECT_STREQ(event.name, "work");
+  EXPECT_STREQ(event.category, "test");
+  EXPECT_EQ(event.arg, Tracer::kNoArg);
+  EXPECT_EQ(event.depth, 0);
+  EXPECT_GE(event.start_us, 0);
+  EXPECT_GE(event.duration_us, 0);
+}
+
+TEST(TracingTest, NestedSpansRecordDepthsAndContainment) {
+  Tracer tracer;
+  {
+    TraceSpan outer(&tracer, "outer", "test");
+    {
+      TraceSpan middle(&tracer, "middle", "test");
+      { CDPD_TRACE_SPAN(&tracer, "leaf", "test"); }
+    }
+  }
+  // After the stack unwinds, a sibling at the original depth.
+  { TraceSpan sibling(&tracer, "sibling", "test"); }
+  const std::vector<Tracer::Event> events = tracer.Events();
+  ASSERT_EQ(events.size(), 4u);
+  // Sub-microsecond spans can tie on (start, duration), so find by
+  // name rather than relying on positional order.
+  auto find = [&events](const char* name) {
+    for (const Tracer::Event& event : events) {
+      if (std::strcmp(event.name, name) == 0) return event;
+    }
+    ADD_FAILURE() << "missing span " << name;
+    return Tracer::Event{};
+  };
+  EXPECT_EQ(find("outer").depth, 0);
+  EXPECT_EQ(find("middle").depth, 1);
+  EXPECT_EQ(find("leaf").depth, 2);
+  EXPECT_EQ(find("sibling").depth, 0);  // Stack unwound fully.
+  for (const Tracer::Event& event : events) EXPECT_EQ(event.tid, 0u);
+  // Children start no earlier and end no later than their parent.
+  const Tracer::Event outer = find("outer");
+  const Tracer::Event leaf = find("leaf");
+  EXPECT_LE(outer.start_us, leaf.start_us);
+  EXPECT_LE(leaf.start_us + leaf.duration_us,
+            outer.start_us + outer.duration_us);
+}
+
+TEST(TracingTest, SetArgOverridesConstructionArg) {
+  Tracer tracer;
+  {
+    TraceSpan span(&tracer, "count", "test", 1);
+    span.set_arg(123);  // Count known only at scope exit.
+  }
+  { CDPD_TRACE_SPAN(&tracer, "fixed", "test", 45); }
+  const std::vector<Tracer::Event> events = tracer.Events();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].arg, 123);
+  EXPECT_EQ(events[1].arg, 45);
+}
+
+TEST(TracingTest, ChromeJsonExportRoundTrips) {
+  Tracer tracer;
+  {
+    TraceSpan outer(&tracer, "solver.optimal", "solver", 8);
+    { CDPD_TRACE_SPAN(&tracer, "whatif.precompute", "whatif"); }
+  }
+  const std::string json = tracer.ToChromeJson();
+  // The envelope and fields chrome://tracing / Perfetto require.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("solver.optimal"), std::string::npos);
+  EXPECT_NE(json.find("whatif.precompute"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\""), std::string::npos);
+  // Balanced braces/brackets — a cheap structural validity check (the
+  // CI job runs the full `python3 -m json.tool` validation).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TracingTest, TextTreeIndentsChildren) {
+  Tracer tracer;
+  {
+    TraceSpan outer(&tracer, "parent", "test");
+    {
+      // Make the child ~1ms long so the parent strictly outlasts it;
+      // two 0us spans would tie in the (start, -duration) ordering.
+      CDPD_TRACE_SPAN(&tracer, "child", "test");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  const std::string tree = tracer.ToTextTree();
+  const size_t parent_at = tree.find("parent");
+  const size_t child_at = tree.find("child");
+  ASSERT_NE(parent_at, std::string::npos);
+  ASSERT_NE(child_at, std::string::npos);
+  EXPECT_LT(parent_at, child_at);  // Parent listed before its child.
+}
+
+TEST(TracingTest, EmptyTracerExportsCleanly) {
+  Tracer tracer;
+  EXPECT_EQ(tracer.num_events(), 0u);
+  EXPECT_NE(tracer.ToChromeJson().find("\"traceEvents\""),
+            std::string::npos);
+  tracer.ToTextTree();  // Must not crash.
+}
+
+// The TSan target: spans open and close on many threads while other
+// threads export concurrently; every fully-ended span must be counted
+// exactly once, with a dense tid per recording thread.
+TEST(TracingConcurrencyTest, ParallelSpansAndConcurrentExport) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 2'000;
+  Tracer tracer;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads + 2);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&tracer] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan outer(&tracer, "outer", "test", i);
+        CDPD_TRACE_SPAN(&tracer, "inner", "test");
+      }
+    });
+  }
+  for (int t = 0; t < 2; ++t) {
+    workers.emplace_back([&tracer] {
+      for (int i = 0; i < 50; ++i) {
+        // Export while tracing is in flight: sees only ended spans.
+        EXPECT_LE(tracer.Events().size(),
+                  size_t{kThreads} * kSpansPerThread * 2);
+        tracer.ToChromeJson();
+      }
+    });
+  }
+  for (std::thread& worker : workers) worker.join();
+
+  const std::vector<Tracer::Event> events = tracer.Events();
+  ASSERT_EQ(events.size(), size_t{kThreads} * kSpansPerThread * 2);
+  std::vector<int64_t> outers_per_tid(kThreads, 0);
+  for (const Tracer::Event& event : events) {
+    ASSERT_LT(event.tid, static_cast<uint32_t>(kThreads));
+    if (std::strcmp(event.name, "outer") == 0) {
+      ++outers_per_tid[event.tid];
+      EXPECT_EQ(event.depth, 0);
+    } else {
+      EXPECT_EQ(event.depth, 1);
+    }
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(outers_per_tid[t], kSpansPerThread) << "tid " << t;
+  }
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -28,11 +28,11 @@ TEST(DesignMergingTest, NoOpWhenConstraintAlreadySatisfied) {
   auto unconstrained = SolveUnconstrained(fixture->problem);
   ASSERT_TRUE(unconstrained.ok());
   const int64_t l = CountChanges(fixture->problem, unconstrained->configs);
-  MergingStats stats;
+  SolveStats stats;
   auto merged =
       MergeToConstraint(fixture->problem, *unconstrained, l, &stats);
   ASSERT_TRUE(merged.ok());
-  EXPECT_EQ(stats.steps, 0);
+  EXPECT_EQ(stats.merge_steps, 0);
   EXPECT_EQ(merged->configs, unconstrained->configs);
 }
 
@@ -57,11 +57,11 @@ TEST(DesignMergingTest, StepCountBoundedByInitialChanges) {
   auto unconstrained = SolveUnconstrained(fixture->problem);
   ASSERT_TRUE(unconstrained.ok());
   const int64_t l = CountChanges(fixture->problem, unconstrained->configs);
-  MergingStats stats;
+  SolveStats stats;
   auto merged =
       MergeToConstraint(fixture->problem, *unconstrained, 0, &stats);
   ASSERT_TRUE(merged.ok());
-  EXPECT_LE(stats.steps, std::max<int64_t>(l, 1));
+  EXPECT_LE(stats.merge_steps, std::max<int64_t>(l, 1));
   if (l > 0) {
     EXPECT_GT(stats.candidate_evaluations, 0);
   }

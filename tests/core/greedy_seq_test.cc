@@ -71,8 +71,8 @@ TEST(GreedySeqTest, OftenMatchesOptimalOnSingleIndexSpace) {
 
 TEST(GreedySeqTest, UnconstrainedVariant) {
   auto fixture = MakeRandomProblem(77, 5, 15);
-  auto result =
-      SolveGreedySeq(fixture->problem, -1, PaperOptions(fixture->schema));
+  auto result = SolveGreedySeq(fixture->problem, std::nullopt,
+                               PaperOptions(fixture->schema));
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->schedule.configs.size(), 5u);
 }

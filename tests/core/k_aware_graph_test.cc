@@ -113,20 +113,20 @@ TEST(KAwareGraphTest, RejectsNegativeK) {
 
 TEST(KAwareGraphTest, ReportedCostMatchesEvaluationAndStats) {
   auto fixture = MakeRandomProblem(45, 6, 15);
-  KAwareSolveStats stats;
+  SolveStats stats;
   auto schedule = SolveKAware(fixture->problem, 2, &stats);
   ASSERT_TRUE(schedule.ok());
   EXPECT_NEAR(schedule->total_cost,
               EvaluateScheduleCost(fixture->problem, schedule->configs),
               1e-6);
-  EXPECT_GT(stats.states, 0);
+  EXPECT_GT(stats.nodes_expanded, 0);
   EXPECT_GT(stats.relaxations, 0);
 }
 
 TEST(KAwareGraphTest, RelaxationsGrowWithK) {
   auto fixture = MakeRandomProblem(46, 10, 15);
-  KAwareSolveStats stats_small;
-  KAwareSolveStats stats_large;
+  SolveStats stats_small;
+  SolveStats stats_large;
   ASSERT_TRUE(SolveKAware(fixture->problem, 1, &stats_small).ok());
   ASSERT_TRUE(SolveKAware(fixture->problem, 7, &stats_large).ok());
   EXPECT_GT(stats_large.relaxations, 2 * stats_small.relaxations);

@@ -22,7 +22,7 @@ class KSelectionTest : public ::testing::Test {
     KSelectionOptions options;
     options.advisor.block_size = kBlock;
     options.advisor.candidate_indexes = MakePaperCandidateIndexes(schema_);
-    options.candidate_ks = {0, 1, 2, 4, -1};
+    options.candidate_ks = {0, 1, 2, 4, std::nullopt};
     return options;
   }
 
@@ -82,8 +82,9 @@ TEST_F(KSelectionTest, ChoosesSmallKUnderJitter) {
   // chosen k must be far below the unconstrained change count.
   auto report = ChooseChangeBound(*model_, w1_, {}, BaseOptions());
   ASSERT_TRUE(report.ok()) << report.status();
-  EXPECT_GE(report->chosen_k, 0);
-  EXPECT_LE(report->chosen_k, 4);
+  ASSERT_TRUE(report->chosen_k.has_value());
+  EXPECT_GE(*report->chosen_k, 0);
+  EXPECT_LE(*report->chosen_k, 4);
   ASSERT_EQ(report->outcomes.size(), 5u);
   // Fit cost is monotone non-increasing in k (optimal solver).
   for (size_t i = 1; i + 1 < report->outcomes.size(); ++i) {
@@ -96,8 +97,8 @@ TEST_F(KSelectionTest, ChoosesLargeKWhenEvalTraceIsTheTraceItself) {
   KSelectionOptions options = BaseOptions();
   auto report = ChooseChangeBound(*model_, w1_, {w1_}, options);
   ASSERT_TRUE(report.ok());
-  // Fitting the evaluation trace exactly: unconstrained (k = -1) wins.
-  EXPECT_EQ(report->chosen_k, -1);
+  // Fitting the evaluation trace exactly: unconstrained wins.
+  EXPECT_EQ(report->chosen_k, std::nullopt);
 }
 
 TEST_F(KSelectionTest, RejectsMismatchedEvalTraceLength) {

@@ -86,7 +86,7 @@ TEST(SolveByRankingTest, FirstPathWinsWhenUnconstrainedFitsK) {
   auto unconstrained = SolveUnconstrained(fixture->problem);
   ASSERT_TRUE(unconstrained.ok());
   const int64_t l = CountChanges(fixture->problem, unconstrained->configs);
-  RankingStats stats;
+  SolveStats stats;
   auto ranked = SolveByRanking(fixture->problem, l, 1'000'000, &stats);
   ASSERT_TRUE(ranked.ok());
   EXPECT_EQ(stats.paths_enumerated, 1);
@@ -94,8 +94,8 @@ TEST(SolveByRankingTest, FirstPathWinsWhenUnconstrainedFitsK) {
 
 TEST(SolveByRankingTest, SmallKRanksMorePaths) {
   auto fixture = MakeRandomProblem(99, 5, 12);
-  RankingStats loose;
-  RankingStats tight;
+  SolveStats loose;
+  SolveStats tight;
   ASSERT_TRUE(SolveByRanking(fixture->problem, 4, 1'000'000, &loose).ok());
   ASSERT_TRUE(SolveByRanking(fixture->problem, 0, 1'000'000, &tight).ok());
   EXPECT_GE(tight.paths_enumerated, loose.paths_enumerated);
@@ -103,7 +103,7 @@ TEST(SolveByRankingTest, SmallKRanksMorePaths) {
 
 TEST(SolveByRankingTest, MaxPathsGuardTrips) {
   auto fixture = MakeRandomProblem(100, 5, 12);
-  RankingStats stats;
+  SolveStats stats;
   const auto status =
       SolveByRanking(fixture->problem, 0, /*max_paths=*/1, &stats).status();
   // Either the very first path already satisfies k=0 (possible) or the

@@ -6,11 +6,14 @@
 
 #include <cstdlib>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "common/thread_pool.h"
+#include "common/tracing.h"
 #include "core/solver.h"
 #include "test_util.h"
 #include "workload/standard_workloads.h"
@@ -23,13 +26,19 @@ using testing_util::ProblemFixture;
 
 /// Solves `method` with `threads` workers on a FRESH fixture (cold
 /// what-if memo), so costing counts are comparable across runs.
-SolveResult SolveFresh(uint64_t seed, OptimizerMethod method, int64_t k,
-                       int threads) {
+/// `metrics`/`tracer` attach observability sinks, which must never
+/// change the outcome.
+SolveResult SolveFresh(uint64_t seed, OptimizerMethod method,
+                       std::optional<int64_t> k, int threads,
+                       MetricsRegistry* metrics = nullptr,
+                       Tracer* tracer = nullptr) {
   std::unique_ptr<ProblemFixture> fixture = MakeRandomProblem(seed, 8, 12);
   SolveOptions options;
   options.method = method;
-  if (k >= 0) options.k = k;
+  options.k = k;
   options.num_threads = threads;
+  options.metrics = metrics;
+  options.tracer = tracer;
   if (method == OptimizerMethod::kGreedySeq) {
     options.greedy.candidate_indexes =
         MakePaperCandidateIndexes(fixture->schema);
@@ -46,23 +55,51 @@ class SolverDeterminismTest
 
 TEST_P(SolverDeterminismTest, SerialAndEightThreadsAgreeExactly) {
   const OptimizerMethod method = GetParam();
-  for (int64_t k : {-1, 0, 2, 4}) {
+  const std::optional<int64_t> bounds[] = {std::nullopt, 0, 2, 4};
+  for (const std::optional<int64_t>& k : bounds) {
+    const int64_t k_label = k.value_or(-1);  // -1 = unconstrained, log only.
     const SolveResult serial = SolveFresh(301, method, k, /*threads=*/1);
     const SolveResult parallel = SolveFresh(301, method, k, /*threads=*/8);
     // Byte-identical schedules and *exact* (not approximate) costs:
     // the parallel sweeps must take the same argmin decisions.
     EXPECT_EQ(serial.schedule.configs, parallel.schedule.configs)
-        << OptimizerMethodToString(method) << " k=" << k;
+        << OptimizerMethodToString(method) << " k=" << k_label;
     EXPECT_EQ(serial.schedule.total_cost, parallel.schedule.total_cost)
-        << OptimizerMethodToString(method) << " k=" << k;
+        << OptimizerMethodToString(method) << " k=" << k_label;
     // Exactly-once costing makes the work counter thread-invariant.
     EXPECT_EQ(serial.stats.costings, parallel.stats.costings)
-        << OptimizerMethodToString(method) << " k=" << k;
+        << OptimizerMethodToString(method) << " k=" << k_label;
     EXPECT_EQ(serial.stats.nodes_expanded, parallel.stats.nodes_expanded)
-        << OptimizerMethodToString(method) << " k=" << k;
+        << OptimizerMethodToString(method) << " k=" << k_label;
     EXPECT_EQ(serial.stats.threads_used, 1);
     EXPECT_EQ(parallel.stats.threads_used, 8);
   }
+}
+
+TEST_P(SolverDeterminismTest, TracingAndMetricsDoNotPerturbResults) {
+  const OptimizerMethod method = GetParam();
+  const SolveResult plain = SolveFresh(303, method, 2, /*threads=*/4);
+  MetricsRegistry registry;
+  Tracer tracer;
+  const SolveResult traced =
+      SolveFresh(303, method, 2, /*threads=*/4, &registry, &tracer);
+  EXPECT_EQ(plain.schedule.configs, traced.schedule.configs)
+      << OptimizerMethodToString(method);
+  EXPECT_EQ(plain.schedule.total_cost, traced.schedule.total_cost)
+      << OptimizerMethodToString(method);
+  EXPECT_EQ(plain.stats.costings, traced.stats.costings)
+      << OptimizerMethodToString(method);
+  EXPECT_EQ(plain.stats.nodes_expanded, traced.stats.nodes_expanded)
+      << OptimizerMethodToString(method);
+  // The instrumented run really recorded spans and published the
+  // typed snapshot whose counters match the stats it returned.
+  EXPECT_GT(tracer.num_events(), 0u) << OptimizerMethodToString(method);
+  EXPECT_EQ(traced.tracer, &tracer);
+  const SolveStats from_registry =
+      SolveStats::FromSnapshot(registry.Snapshot());
+  EXPECT_EQ(from_registry.costings, traced.stats.costings);
+  EXPECT_EQ(from_registry.cache_hits, traced.stats.cache_hits);
+  EXPECT_EQ(from_registry.nodes_expanded, traced.stats.nodes_expanded);
 }
 
 INSTANTIATE_TEST_SUITE_P(

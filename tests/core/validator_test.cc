@@ -21,13 +21,13 @@ class ValidatorTest : public ::testing::Test {
 };
 
 TEST_F(ValidatorTest, AcceptsOptimizerOutput) {
-  EXPECT_TRUE(ValidateSchedule(fixture_->problem, schedule_, -1).ok());
+  EXPECT_TRUE(ValidateSchedule(fixture_->problem, schedule_, std::nullopt).ok());
 }
 
 TEST_F(ValidatorTest, RejectsWrongLength) {
   DesignSchedule bad = schedule_;
   bad.configs.pop_back();
-  EXPECT_EQ(ValidateSchedule(fixture_->problem, bad, -1).code(),
+  EXPECT_EQ(ValidateSchedule(fixture_->problem, bad, std::nullopt).code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -35,7 +35,7 @@ TEST_F(ValidatorTest, RejectsNonCandidateConfiguration) {
   DesignSchedule bad = schedule_;
   bad.configs[0] =
       Configuration({IndexDef({3, 2, 1, 0})});  // Never a candidate.
-  EXPECT_EQ(ValidateSchedule(fixture_->problem, bad, -1).code(),
+  EXPECT_EQ(ValidateSchedule(fixture_->problem, bad, std::nullopt).code(),
             StatusCode::kInvalidArgument);
 }
 
@@ -53,7 +53,7 @@ TEST_F(ValidatorTest, RejectsChangeBoundViolation) {
 TEST_F(ValidatorTest, RejectsInconsistentReportedCost) {
   DesignSchedule bad = schedule_;
   bad.total_cost *= 1.5;
-  EXPECT_EQ(ValidateSchedule(fixture_->problem, bad, -1).code(),
+  EXPECT_EQ(ValidateSchedule(fixture_->problem, bad, std::nullopt).code(),
             StatusCode::kInternal);
 }
 
@@ -68,7 +68,7 @@ TEST_F(ValidatorTest, RejectsSpaceBoundViolation) {
   tight.space_bound_pages = 1;
   // The problem itself now fails validation (candidates too big), which
   // the validator surfaces.
-  EXPECT_FALSE(ValidateSchedule(tight, schedule_, -1).ok());
+  EXPECT_FALSE(ValidateSchedule(tight, schedule_, std::nullopt).ok());
 }
 
 }  // namespace

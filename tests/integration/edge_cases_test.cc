@@ -131,10 +131,10 @@ TEST(OptimizerEdgeCases, MergingOnAlreadyConstantScheduleIsStable) {
   constant.configs.assign(4, fixture->problem.candidates[0]);
   constant.total_cost =
       EvaluateScheduleCost(fixture->problem, constant.configs);
-  MergingStats stats;
+  SolveStats stats;
   auto merged = MergeToConstraint(fixture->problem, constant, 0, &stats);
   ASSERT_TRUE(merged.ok());
-  EXPECT_EQ(stats.steps, 0);
+  EXPECT_EQ(stats.merge_steps, 0);
   EXPECT_EQ(merged->configs, constant.configs);
 }
 

@@ -28,11 +28,11 @@ class PaperExperimentsTest : public ::testing::Test {
     w3_ = MakeScaledPaperWorkload("W3", kBlock, &gen).value();
   }
 
-  Recommendation Recommend(int64_t k) {
+  Recommendation Recommend(std::optional<int64_t> k) {
     Advisor advisor(model_.get());
     AdvisorOptions options;
     options.block_size = kBlock;
-    options.k = k < 0 ? std::nullopt : std::optional<int64_t>(k);
+    options.k = k;
     options.candidate_indexes = MakePaperCandidateIndexes(schema_);
     options.final_config = Configuration::Empty();  // As in §6.1.
     auto rec = advisor.Recommend(w1_, options);
@@ -63,7 +63,7 @@ class PaperExperimentsTest : public ::testing::Test {
 };
 
 TEST_F(PaperExperimentsTest, Table2UnconstrainedDesignTracksMinorShifts) {
-  const Recommendation rec = Recommend(/*k=*/-1);
+  const Recommendation rec = Recommend(/*k=*/std::nullopt);
   ASSERT_EQ(rec.schedule.configs.size(), 30u);
   const Configuration iab({IndexDef({0, 1})});
   const Configuration ib({IndexDef({1})});
@@ -103,7 +103,7 @@ TEST_F(PaperExperimentsTest, Table2ConstrainedDesignTracksOnlyMajorShifts) {
 }
 
 TEST_F(PaperExperimentsTest, Figure3CostOrderings) {
-  const Recommendation unconstrained = Recommend(/*k=*/-1);
+  const Recommendation unconstrained = Recommend(/*k=*/std::nullopt);
   const Recommendation constrained = Recommend(/*k=*/2);
 
   // W1: the unconstrained design is optimal for it by definition.
@@ -141,7 +141,7 @@ TEST_F(PaperExperimentsTest, ConstrainedCostsDecreaseInK) {
     EXPECT_LE(rec.schedule.total_cost, previous + 1e-6) << "k=" << k;
     previous = rec.schedule.total_cost;
   }
-  const Recommendation unconstrained = Recommend(-1);
+  const Recommendation unconstrained = Recommend(std::nullopt);
   EXPECT_NEAR(previous, unconstrained.schedule.total_cost, 1e-6);
 }
 
