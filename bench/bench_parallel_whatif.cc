@@ -13,6 +13,7 @@
 // Thread counts are requested explicitly via SolveOptions::num_threads,
 // so the sweep is independent of CDPD_THREADS.
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -21,6 +22,7 @@
 
 #include "bench_util.h"
 #include "advisor/config_enumeration.h"
+#include "common/budget.h"
 #include "common/metrics.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -79,9 +81,10 @@ struct Run {
 /// Solves with `threads` workers on a FRESH what-if engine (cold memo
 /// cache), so every run pays the full precompute and the wall times
 /// are comparable. `metrics`/`tracer` attach observability sinks to
-/// the solve (the determinism rows below prove they only observe).
+/// the solve (the determinism rows below prove they only observe);
+/// `deadline_ms >= 0` attaches a wall-clock budget.
 Run SolveWith(int threads, MetricsRegistry* metrics = nullptr,
-              Tracer* tracer = nullptr) {
+              Tracer* tracer = nullptr, int64_t deadline_ms = -1) {
   std::unique_ptr<ProblemFixture> fixture = MakeFixture();
   SolveOptions options;
   options.method = OptimizerMethod::kOptimal;
@@ -90,6 +93,7 @@ Run SolveWith(int threads, MetricsRegistry* metrics = nullptr,
   bench_util::AttachObservability(&options);
   if (metrics != nullptr) options.metrics = metrics;
   if (tracer != nullptr) options.tracer = tracer;
+  if (deadline_ms >= 0) options.deadline = std::chrono::milliseconds(deadline_ms);
   Run run;
   run.threads = threads;
   auto solved = Solve(fixture->problem, options);
@@ -151,6 +155,21 @@ void Report() {
   std::printf("with tracing + metrics on (4 threads): %zu spans, "
               "schedule %s\n",
               tracer.num_events(), traced_same ? "identical" : "DIVERGED");
+  // A deadline that never fires must be invisible: same schedule, same
+  // cost, same costing count, and the deadline_hit flag stays clear.
+  const Run budgeted =
+      SolveWith(4, nullptr, nullptr, /*deadline_ms=*/600'000);
+  const bool budgeted_same =
+      budgeted.result.schedule.configs == serial.result.schedule.configs &&
+      budgeted.result.schedule.total_cost ==
+          serial.result.schedule.total_cost &&
+      budgeted.result.stats.costings == serial.result.stats.costings &&
+      !budgeted.result.stats.deadline_hit;
+  all_identical = all_identical && budgeted_same;
+  std::printf("with a 600 s deadline (4 threads): schedule %s, "
+              "deadline_hit %s\n",
+              budgeted_same ? "identical" : "DIVERGED",
+              budgeted.result.stats.deadline_hit ? "SET" : "clear");
   PrintRule();
   std::printf("schedule, total cost, and costing count %s across all "
               "thread counts and instrumentation settings\n",
@@ -159,26 +178,29 @@ void Report() {
   if (!all_identical) std::exit(1);
 }
 
-/// The zero-overhead contract of the observability layer: a disabled
-/// trace-span site (null tracer) plus a disabled metric site (null
-/// counter) must compile down to pointer tests. Times millions of
+/// The zero-overhead contract of the observability layer and the
+/// budget poll: a disabled trace-span site (null tracer), a disabled
+/// metric site (null counter), and an unlimited-budget poll (null
+/// Budget) must all compile down to pointer tests. Times millions of
 /// such sites and fails the bench when the per-site cost exceeds a
 /// bound generous enough for any CI machine or sanitizer build — a
-/// regression here means instrumentation leaked real work onto the
-/// disabled path.
+/// regression here means instrumentation or deadline checking leaked
+/// real work onto the disabled path.
 void AssertDisabledInstrumentationIsFree() {
   using bench_util::PrintRule;
   constexpr int64_t kIters = 10'000'000;
   Tracer* tracer = nullptr;
   Counter* counter = nullptr;
+  const Budget* budget = nullptr;
   // Launder the nulls so the optimizer cannot fold the checks away;
   // what remains is exactly what an uninstrumented hot loop executes.
-  asm volatile("" : "+r"(tracer), "+r"(counter));
+  asm volatile("" : "+r"(tracer), "+r"(counter), "+r"(budget));
   int64_t sink = 0;
   Stopwatch watch;
   for (int64_t i = 0; i < kIters; ++i) {
     CDPD_TRACE_SPAN(tracer, "bench.noop", "bench", i);
     if (counter != nullptr) counter->Add(1);
+    if (BudgetExpired(budget)) sink += 1;
     sink += i;
     asm volatile("" : "+r"(sink));
   }

@@ -1,8 +1,8 @@
 // Command-line advisor: the adoption path for a real user.
 //
 //   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
-//               [--threads N] [--rows N] [--calibrate] [--emit-ddl]
-//               [--metrics-out=FILE] [--trace-out=FILE]
+//               [--threads N] [--rows N] [--deadline-ms N] [--calibrate]
+//               [--emit-ddl] [--metrics-out=FILE] [--trace-out=FILE]
 //
 // Reads a SQL workload trace (or generates the paper's W1 as a demo),
 // recommends a change-constrained dynamic design, and optionally emits
@@ -10,7 +10,10 @@
 // model constants are measured on a scratch database first.
 // --metrics-out writes a JSON metrics snapshot (counters, gauges,
 // histograms); --trace-out writes a Chrome trace_event JSON of the
-// solve's spans (load in chrome://tracing or Perfetto).
+// solve's spans (load in chrome://tracing or Perfetto). --deadline-ms
+// bounds the solve wall clock: on expiry the advisor reports the best
+// feasible schedule found so far, marked "(deadline hit: best-effort
+// schedule)".
 
 #include <cstdio>
 #include <cstring>
@@ -35,6 +38,7 @@ struct CliArgs {
   std::string method = "optimal";
   int64_t threads = 0;  // 0 = CDPD_THREADS / hardware default.
   int64_t rows = 250'000;
+  int64_t deadline_ms = -1;  // < 0 = no deadline.
   bool calibrate = false;
   bool emit_ddl = false;
   std::string metrics_out;  // Empty = no metrics artifact.
@@ -59,6 +63,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (!next(&args->threads) || args->threads < 0) return false;
     } else if (arg == "--rows") {
       if (!next(&args->rows) || args->rows <= 0) return false;
+    } else if (arg == "--deadline-ms") {
+      if (!next(&args->deadline_ms) || args->deadline_ms < 0) return false;
     } else if (arg == "--method") {
       if (i + 1 >= argc) return false;
       args->method = argv[++i];
@@ -145,8 +151,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr,
                  "usage: advisor_cli [trace.sql] [--k N] [--block N] "
                  "[--method optimal|greedy-seq|merging|ranking|hybrid] "
-                 "[--threads N] [--rows N] [--calibrate] [--emit-ddl] "
-                 "[--metrics-out=FILE] [--trace-out=FILE]\n");
+                 "[--threads N] [--rows N] [--deadline-ms N] [--calibrate] "
+                 "[--emit-ddl] [--metrics-out=FILE] [--trace-out=FILE]\n");
     return 2;
   }
 
@@ -200,6 +206,9 @@ int main(int argc, char** argv) {
   if (args.k >= 0) options.k = args.k;
   options.method = *method;
   options.num_threads = static_cast<int>(args.threads);
+  if (args.deadline_ms >= 0) {
+    options.deadline = std::chrono::milliseconds(args.deadline_ms);
+  }
   MetricsRegistry registry;
   Tracer tracer;
   if (!args.metrics_out.empty()) options.metrics = &registry;
@@ -214,6 +223,14 @@ int main(int argc, char** argv) {
   const SolveStats& stats = rec->stats;
   std::printf("\nmethod: %s (%s), optimized in %.3fs\n", args.method.c_str(),
               rec->method_detail.c_str(), stats.wall_seconds);
+  if (stats.deadline_hit) {
+    std::printf("deadline hit: best-effort schedule (the solver returned "
+                "the best feasible design found within %lld ms)\n",
+                static_cast<long long>(args.deadline_ms));
+  } else if (stats.best_effort) {
+    std::printf("best-effort schedule (the enumeration cap was reached "
+                "before an optimal answer)\n");
+  }
   std::printf(
       "solver stats: %d thread(s), %lld what-if costings, %lld cache "
       "hits, %lld nodes expanded\n",

@@ -1,0 +1,80 @@
+#ifndef CDPD_COMMON_BUDGET_H_
+#define CDPD_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+
+namespace cdpd {
+
+/// A cooperative cancellation flag, settable from any thread. The
+/// solvers poll it (via Budget) at coarse checkpoints — between
+/// precompute blocks, DP stages, merging rounds, ranked paths — so a
+/// cancelled solve stops within one checkpoint, never mid-update.
+/// Reusable: Reset() re-arms the token for the next solve.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Safe to call from any thread, any number
+  /// of times, including while a solve is polling the token.
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// Re-arms the token (call between solves, not during one).
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// The runtime budget of one solve: an optional wall-clock deadline
+/// plus an optional CancelToken, polled together through Expired().
+/// A default-constructed Budget is unlimited and never expires.
+///
+/// The solvers take a `const Budget*` (null = unlimited), so an
+/// un-budgeted solve pays exactly one pointer test per checkpoint —
+/// the same zero-overhead contract as the observability sinks.
+class Budget {
+ public:
+  /// Unlimited: never expires.
+  Budget() = default;
+
+  /// Expires `timeout` after now (a zero or negative timeout is
+  /// expired from the start), and/or when `cancel` is cancelled.
+  explicit Budget(std::chrono::nanoseconds timeout,
+                  const CancelToken* cancel = nullptr)
+      : cancel_(cancel),
+        has_deadline_(true),
+        deadline_(std::chrono::steady_clock::now() + timeout) {}
+
+  /// Cancellation-only budget (no deadline).
+  explicit Budget(const CancelToken* cancel) : cancel_(cancel) {}
+
+  /// True once the deadline has passed or the token is cancelled.
+  /// Cheap enough for per-block polling: one relaxed atomic load plus
+  /// (when a deadline is set) one steady_clock read.
+  bool Expired() const {
+    if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
+  }
+
+ private:
+  const CancelToken* cancel_ = nullptr;
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+};
+
+/// The null-tolerant check every solver checkpoint uses: a null budget
+/// is unlimited, so the disabled path is a single pointer test.
+inline bool BudgetExpired(const Budget* budget) {
+  return budget != nullptr && budget->Expired();
+}
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_BUDGET_H_

@@ -4,8 +4,38 @@
 #include <cassert>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 
 namespace cdpd {
+
+/// `*out = a * b` without overflow, else false (and `*out` unspecified).
+/// The graph-sizing arithmetic (`num_stages * (k+1) * num_configs`
+/// with 2^m configurations) overflows int64_t long before allocation
+/// would fail, so every size computation goes through these.
+inline bool CheckedMul(int64_t a, int64_t b, int64_t* out) {
+  return !__builtin_mul_overflow(a, b, out);
+}
+
+/// `*out = a + b` without overflow, else false (and `*out` unspecified).
+inline bool CheckedAdd(int64_t a, int64_t b, int64_t* out) {
+  return !__builtin_add_overflow(a, b, out);
+}
+
+/// a * b for non-negative operands, clamped to INT64_MAX on overflow.
+inline int64_t SaturatingMul(int64_t a, int64_t b) {
+  assert(a >= 0 && b >= 0);
+  int64_t out = 0;
+  return CheckedMul(a, b, &out) ? out
+                                : std::numeric_limits<int64_t>::max();
+}
+
+/// a + b for non-negative operands, clamped to INT64_MAX on overflow.
+inline int64_t SaturatingAdd(int64_t a, int64_t b) {
+  assert(a >= 0 && b >= 0);
+  int64_t out = 0;
+  return CheckedAdd(a, b, &out) ? out
+                                : std::numeric_limits<int64_t>::max();
+}
 
 /// ceil(a / b) for non-negative a and positive b.
 constexpr int64_t CeilDiv(int64_t a, int64_t b) {

@@ -18,6 +18,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "FailedPrecondition";
     case StatusCode::kResourceExhausted:
       return "ResourceExhausted";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
     case StatusCode::kNotSupported:
       return "NotSupported";
     case StatusCode::kInternal:

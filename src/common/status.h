@@ -19,6 +19,7 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kResourceExhausted,
+  kDeadlineExceeded,
   kNotSupported,
   kInternal,
   kParseError,
@@ -61,6 +62,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));

@@ -112,17 +112,21 @@ void ThreadPool::WorkerLoop(size_t worker_index) {
   }
 }
 
-void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& fn) {
-  if (begin >= end) return;
+bool ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 const Budget* budget) {
+  if (begin >= end) return true;
   const size_t count = end - begin;
   const int threads = pool == nullptr ? 1 : pool->num_threads();
   // Serial fallback: no pool, one worker, nothing to amortize, or a
   // nested call from inside a worker (re-entering the pool could
   // deadlock once every worker blocks on a nested wait).
   if (threads <= 1 || count == 1 || ThreadPool::InWorkerThread()) {
-    for (size_t i = begin; i < end; ++i) fn(i);
-    return;
+    for (size_t i = begin; i < end; ++i) {
+      if (BudgetExpired(budget)) return false;
+      fn(i);
+    }
+    return true;
   }
 
   // Shared dynamic chunking: tasks pull chunk numbers from an atomic
@@ -136,6 +140,7 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   struct Shared {
     std::atomic<size_t> next_chunk{0};
     std::atomic<size_t> pending{0};
+    std::atomic<bool> expired{false};
     std::mutex mu;
     std::condition_variable done_cv;
     std::exception_ptr error;  // Guarded by mu (first error wins).
@@ -143,13 +148,23 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
   auto shared = std::make_shared<Shared>();
   shared->pending.store(num_tasks, std::memory_order_relaxed);
 
-  auto run_chunks = [shared, begin, end, chunk, &fn] {
+  auto run_chunks = [shared, begin, end, chunk, budget, &fn] {
     try {
       for (;;) {
         const size_t c =
             shared->next_chunk.fetch_add(1, std::memory_order_relaxed);
         const size_t lo = begin + c * chunk;
         if (lo >= end) break;
+        // Budget poll between chunks: once one task sees expiry, every
+        // task abandons its remaining chunks (the chunk in flight on
+        // another thread still finishes). Polled only when a chunk is
+        // left to run, so a budget that expires after the last chunk
+        // was claimed does not mark a fully-run loop incomplete.
+        if (shared->expired.load(std::memory_order_relaxed)) break;
+        if (BudgetExpired(budget)) {
+          shared->expired.store(true, std::memory_order_relaxed);
+          break;
+        }
         const size_t hi = std::min(end, lo + chunk);
         for (size_t i = lo; i < hi; ++i) fn(i);
       }
@@ -177,6 +192,7 @@ void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
     });
   }
   if (shared->error) std::rethrow_exception(shared->error);
+  return !shared->expired.load(std::memory_order_relaxed);
 }
 
 }  // namespace cdpd

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/metrics.h"
 
 namespace cdpd {
@@ -86,8 +87,17 @@ class ThreadPool {
 /// fn must be safe to call concurrently for distinct indices; writes
 /// should target disjoint data (determinism is then automatic because
 /// each index computes the same value regardless of scheduling).
-void ParallelFor(ThreadPool* pool, size_t begin, size_t end,
-                 const std::function<void(size_t)>& fn);
+///
+/// `budget` (optional) makes the loop cooperatively interruptible:
+/// expiry is polled between chunks (and per index on the serial
+/// path), after which no further index runs — indices already started
+/// still finish, so fn is never abandoned mid-call. Returns true when
+/// every index ran, false when the budget expired first (the caller
+/// must then treat un-run indices' outputs as unwritten). A null
+/// budget costs one pointer test and always returns true.
+bool ParallelFor(ThreadPool* pool, size_t begin, size_t end,
+                 const std::function<void(size_t)>& fn,
+                 const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

@@ -25,6 +25,10 @@ Status AdvisorOptions::Validate() const {
   if (ranking_max_paths <= 0) {
     return Status::InvalidArgument("ranking_max_paths must be positive");
   }
+  if (deadline.has_value() && deadline->count() < 0) {
+    return Status::InvalidArgument(
+        "deadline must be >= 0 when set (use nullopt for no deadline)");
+  }
   return Status::OK();
 }
 
@@ -77,6 +81,8 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   solve_options.ranking_max_paths = options.ranking_max_paths;
   solve_options.metrics = options.metrics;
   solve_options.tracer = options.tracer;
+  solve_options.deadline = options.deadline;
+  solve_options.cancel = options.cancel;
   if (options.method == OptimizerMethod::kGreedySeq) {
     solve_options.greedy.candidate_indexes = rec.candidate_indexes;
     solve_options.greedy.max_indexes_per_config =

@@ -1,6 +1,7 @@
 #ifndef CDPD_CORE_ADVISOR_H_
 #define CDPD_CORE_ADVISOR_H_
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <optional>
@@ -63,10 +64,18 @@ struct AdvisorOptions {
   /// recommendation.
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  /// Wall-clock budget and cooperative cancellation for the solve,
+  /// forwarded to SolveOptions::deadline / SolveOptions::cancel (the
+  /// segmentation and candidate-generation phases are not covered —
+  /// they are cheap relative to the solve). On expiry the
+  /// recommendation carries the solver's best feasible schedule so
+  /// far, flagged in stats.deadline_hit.
+  std::optional<std::chrono::milliseconds> deadline;
+  const CancelToken* cancel = nullptr;
 
   /// All option validation in one place (block size, change bound,
-  /// space bound, thread count, enumeration cap); Recommend calls it
-  /// first, replacing the old scattered ad-hoc checks.
+  /// space bound, thread count, enumeration cap, deadline); Recommend
+  /// calls it first, replacing the old scattered ad-hoc checks.
   Status Validate() const;
 };
 

@@ -51,7 +51,8 @@ double ExitCost(const DesignProblem& problem, const Configuration& last) {
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k, SolveStats* stats,
-                                         ThreadPool* pool, Tracer* tracer) {
+                                         ThreadPool* pool, Tracer* tracer,
+                                         const Budget* budget) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -74,6 +75,24 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
   for (;;) {
     const int64_t changes = RunChanges(problem, runs);
     if (changes <= k) break;
+    if (BudgetExpired(budget)) {
+      // The refinement still violates k, so the runs in hand are not a
+      // feasible answer — degrade to the cheapest static design.
+      Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
+      if (!fallback.ok()) {
+        return Status::DeadlineExceeded(
+            "budget expired with " + std::to_string(changes) +
+            " changes still above k = " + std::to_string(k) +
+            ", and no static design satisfies the bound");
+      }
+      local_stats.deadline_hit = true;
+      local_stats.best_effort = true;
+      local_stats.wall_seconds = watch.ElapsedSeconds();
+      local_stats.costings = what_if.costings() - costings_before;
+      local_stats.cache_hits = what_if.cache_hits() - hits_before;
+      if (stats != nullptr) *stats = local_stats;
+      return std::move(fallback).value();
+    }
     CDPD_TRACE_SPAN(tracer, "merging.step", "solver", changes);
     if (runs.size() == 1) {
       // Only possible when the initial change counts and k == 0: the

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -34,12 +35,23 @@ namespace cdpd {
 /// `initial_schedule.configs` must have one entry per problem segment.
 /// With a `tracer` each merging step records a "merging.step" span
 /// (arg = remaining change count before the step).
+///
+/// `budget` (optional) bounds the refinement; expiry is polled between
+/// merging rounds (a started round always completes). A mid-refinement
+/// schedule still violates k — the partial refinement is NOT a
+/// feasible answer — so on expiry the solve degrades to the cheapest
+/// feasible static schedule with stats->deadline_hit and
+/// stats->best_effort set, and returns DeadlineExceeded only when not
+/// even a static design satisfies the bound. A budget that never
+/// expires changes nothing: the schedule is byte-identical to an
+/// un-budgeted run.
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k,
                                          SolveStats* stats = nullptr,
                                          ThreadPool* pool = nullptr,
-                                         Tracer* tracer = nullptr);
+                                         Tracer* tracer = nullptr,
+                                         const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

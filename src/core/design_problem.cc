@@ -44,6 +44,41 @@ int64_t CountChanges(const DesignProblem& problem,
   return changes;
 }
 
+Result<DesignSchedule> BestStaticSchedule(const DesignProblem& problem,
+                                          std::optional<int64_t> k) {
+  CDPD_RETURN_IF_ERROR(problem.Validate());
+  const WhatIfEngine& what_if = *problem.what_if;
+  const size_t n = problem.num_segments();
+  double best = std::numeric_limits<double>::infinity();
+  const Configuration* best_config = nullptr;
+  for (const Configuration& config : problem.candidates) {
+    // A static design makes at most one change — the initial build —
+    // and only when that build is charged against k.
+    const int64_t changes =
+        problem.count_initial_change && !(config == problem.initial) ? 1 : 0;
+    if (k.has_value() && changes > *k) continue;
+    double cost = what_if.TransitionCost(problem.initial, config) +
+                  what_if.RangeCost(0, n, config);
+    if (problem.final_config.has_value()) {
+      cost += what_if.TransitionCost(config, *problem.final_config);
+    }
+    if (cost < best) {
+      best = cost;
+      best_config = &config;
+    }
+  }
+  if (best_config == nullptr) {
+    return Status::FailedPrecondition(
+        "no candidate configuration admits a static design within the "
+        "change bound (k = 0 with a counted initial change requires the "
+        "initial configuration to be a candidate)");
+  }
+  DesignSchedule schedule;
+  schedule.configs.assign(n, *best_config);
+  schedule.total_cost = EvaluateScheduleCost(problem, schedule.configs);
+  return schedule;
+}
+
 double EvaluateScheduleCost(const DesignProblem& problem,
                             const std::vector<Configuration>& configs) {
   const WhatIfEngine& what_if = *problem.what_if;

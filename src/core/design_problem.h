@@ -66,6 +66,18 @@ struct DesignSchedule {
 int64_t CountChanges(const DesignProblem& problem,
                      const std::vector<Configuration>& configs);
 
+/// The cheapest feasible *static* schedule: one candidate held across
+/// every segment (at most one change — the initial build — so any
+/// k >= 1 is satisfied, as is k = 0 unless the initial change counts).
+/// This is the solvers' last-resort anytime fallback when a deadline
+/// expires before they have a better feasible answer; the serial scan
+/// over candidates is deterministic (first minimum wins).
+/// FailedPrecondition when no candidate satisfies the bound (only
+/// possible for k = 0 with count_initial_change and C0 absent from
+/// the candidate set).
+Result<DesignSchedule> BestStaticSchedule(const DesignProblem& problem,
+                                          std::optional<int64_t> k);
+
 /// Recomputes the sequence execution cost of `configs` from the
 /// oracle. Every optimizer's reported total_cost must agree with this
 /// (the tests enforce it).

@@ -11,7 +11,8 @@ namespace cdpd {
 Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
-                                       ThreadPool* pool, Tracer* tracer) {
+                                       ThreadPool* pool, Tracer* tracer,
+                                       const Budget* budget) {
   if (problem.what_if == nullptr) {
     return Status::InvalidArgument("design problem has no what-if oracle");
   }
@@ -38,12 +39,22 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
   reduced.push_back(problem.initial);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> grown_costs(num_indexes, kInf);
-  for (size_t segment = 0; segment < problem.num_segments(); ++segment) {
+  // Expiry is polled between growth steps, never inside one: a step's
+  // ParallelFor runs to completion so grown_costs never mixes stale
+  // cells, and the reduced set stays a deterministic prefix of the
+  // un-budgeted construction.
+  bool grow_expired = false;
+  for (size_t segment = 0;
+       segment < problem.num_segments() && !grow_expired; ++segment) {
     CDPD_TRACE_SPAN(tracer, "greedyseq.grow", "solver",
                     static_cast<int64_t>(segment));
     Configuration current;
     double current_cost = what_if.SegmentCost(segment, current);
     for (;;) {
+      if (BudgetExpired(budget)) {
+        grow_expired = true;
+        break;
+      }
       ParallelFor(pool, 0, num_indexes, [&](size_t i) {
         const IndexDef& index = options.candidate_indexes[i];
         grown_costs[i] = kInf;
@@ -80,18 +91,27 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
   {
     CDPD_TRACE_SPAN(tracer, "greedyseq.graph", "solver",
                     static_cast<int64_t>(reduced_problem.candidates.size()));
+    // When the growth was cut short the partial reduced set is the
+    // best candidate set solved so far — run the graph search on it
+    // WITHOUT the budget so a feasible schedule is guaranteed (the set
+    // always contains the empty and initial configurations). When the
+    // growth completed, pass the budget through and inherit the graph
+    // search's own anytime semantics.
+    const Budget* graph_budget = grow_expired ? nullptr : budget;
     if (!k.has_value()) {
-      CDPD_ASSIGN_OR_RETURN(
-          result.schedule,
-          SolveUnconstrained(reduced_problem, &graph_stats, pool, tracer));
+      CDPD_ASSIGN_OR_RETURN(result.schedule,
+                            SolveUnconstrained(reduced_problem, &graph_stats,
+                                               pool, tracer, graph_budget));
     } else {
-      CDPD_ASSIGN_OR_RETURN(
-          result.schedule,
-          SolveKAware(reduced_problem, *k, &graph_stats, pool, tracer));
+      CDPD_ASSIGN_OR_RETURN(result.schedule,
+                            SolveKAware(reduced_problem, *k, &graph_stats,
+                                        pool, tracer, graph_budget));
     }
   }
   result.stats.nodes_expanded = graph_stats.nodes_expanded;
   result.stats.relaxations = graph_stats.relaxations;
+  result.stats.deadline_hit = grow_expired || graph_stats.deadline_hit;
+  result.stats.best_effort = grow_expired || graph_stats.best_effort;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   result.stats.costings = what_if.costings() - costings_before;
   result.stats.cache_hits = what_if.cache_hits() - hits_before;

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -50,11 +51,24 @@ struct GreedySeqResult {
 /// search inherits the pool. With a `tracer` the solve records a
 /// "greedyseq.grow" span per segment and a "greedyseq.graph" span
 /// around the reduced-set graph search.
+///
+/// `budget` (optional) bounds the solve; expiry is polled between
+/// greedy growth steps and segments (a growth step always completes,
+/// so the reduced set is a deterministic prefix of the un-budgeted
+/// one). When the growth is cut short, the graph search still runs —
+/// un-budgeted, over the partial reduced set, which always contains
+/// the empty and initial configurations, so a feasible schedule is
+/// guaranteed — and the result carries stats.deadline_hit and
+/// stats.best_effort. When the growth completes, the graph search runs
+/// under the remaining budget and inherits the k-aware/unconstrained
+/// anytime semantics. A budget that never expires changes nothing: the
+/// result is byte-identical to an un-budgeted run.
 Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
                                        ThreadPool* pool = nullptr,
-                                       Tracer* tracer = nullptr);
+                                       Tracer* tracer = nullptr,
+                                       const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

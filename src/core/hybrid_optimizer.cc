@@ -19,7 +19,8 @@ std::string_view HybridChoiceToString(HybridChoice choice) {
 }
 
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
-                                 ThreadPool* pool, Tracer* tracer) {
+                                 ThreadPool* pool, Tracer* tracer,
+                                 const Budget* budget) {
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
@@ -28,7 +29,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   {
     CDPD_TRACE_SPAN(tracer, "hybrid.probe", "solver");
     CDPD_ASSIGN_OR_RETURN(
-        unconstrained, SolveUnconstrained(problem, &result.stats, pool, tracer));
+        unconstrained,
+        SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
   }
   const int64_t l = CountChanges(problem, unconstrained.configs);
   result.unconstrained_changes = l;
@@ -40,25 +42,59 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
 
   const auto n = static_cast<double>(problem.num_segments());
   const auto c = static_cast<double>(problem.candidates.size());
+  // l > k here, so k < l <= n + 1 and the int64 arithmetic is safe.
   const double graph_work = static_cast<double>(k + 1) * n * c * c;
   const double merging_work =
       c * (static_cast<double>(l * l - k * k)) / 2.0;
 
+  // An already-spent budget forces the merging branch: its static
+  // fallback answers immediately, whereas the k-aware DP would pay a
+  // precompute only to return DeadlineExceeded.
+  const bool prefer_kaware =
+      graph_work <= merging_work && !BudgetExpired(budget);
+
+  // Whichever branch is chosen, a failure there must not hide an
+  // answer the other branch can give — retry the other one and only
+  // surface the original error when both come up empty.
   SolveStats phase_stats;
-  if (graph_work <= merging_work) {
+  Status first_error = Status::OK();
+  if (prefer_kaware) {
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
-    CDPD_ASSIGN_OR_RETURN(
-        result.schedule, SolveKAware(problem, k, &phase_stats, pool, tracer));
-    result.choice = HybridChoice::kKAwareGraph;
-  } else {
-    CDPD_TRACE_SPAN(tracer, "hybrid.merge", "solver", l - k);
-    CDPD_ASSIGN_OR_RETURN(result.schedule,
-                          MergeToConstraint(problem, unconstrained, k,
-                                            &phase_stats, pool, tracer));
-    result.choice = HybridChoice::kMerging;
+    Result<DesignSchedule> kaware =
+        SolveKAware(problem, k, &phase_stats, pool, tracer, budget);
+    if (kaware.ok()) {
+      result.schedule = std::move(kaware).value();
+      result.choice = HybridChoice::kKAwareGraph;
+      result.stats.Accumulate(phase_stats);
+      return result;
+    }
+    first_error = kaware.status();
   }
-  result.stats.Accumulate(phase_stats);
-  return result;
+  {
+    CDPD_TRACE_SPAN(tracer, "hybrid.merge", "solver", l - k);
+    Result<DesignSchedule> merged = MergeToConstraint(
+        problem, unconstrained, k, &phase_stats, pool, tracer, budget);
+    if (merged.ok()) {
+      result.schedule = std::move(merged).value();
+      result.choice = HybridChoice::kMerging;
+      result.stats.Accumulate(phase_stats);
+      return result;
+    }
+    if (first_error.ok()) first_error = merged.status();
+  }
+  if (prefer_kaware) return first_error;
+  {
+    CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
+    Result<DesignSchedule> kaware =
+        SolveKAware(problem, k, &phase_stats, pool, tracer, budget);
+    if (kaware.ok()) {
+      result.schedule = std::move(kaware).value();
+      result.choice = HybridChoice::kKAwareGraph;
+      result.stats.Accumulate(phase_stats);
+      return result;
+    }
+  }
+  return first_error;
 }
 
 }  // namespace cdpd

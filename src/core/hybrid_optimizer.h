@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <string>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -51,9 +52,19 @@ struct HybridResult {
 /// the solve records a "hybrid.probe" span around the unconstrained
 /// probe and a "hybrid.kaware" or "hybrid.merge" span around the
 /// chosen constrained phase.
+///
+/// Resilience: when the chosen constrained technique fails, the hybrid
+/// retries the other one before surfacing an error — a failure of one
+/// branch must never hide an answer the other branch can give. With a
+/// `budget`, the probe and the constrained phase share it; if the
+/// budget is already spent after the probe the hybrid goes straight to
+/// merging, whose static fallback answers immediately, and the result
+/// carries stats.deadline_hit. A budget that never expires changes
+/// nothing: the result is byte-identical to an un-budgeted run.
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  ThreadPool* pool = nullptr,
-                                 Tracer* tracer = nullptr);
+                                 Tracer* tracer = nullptr,
+                                 const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "common/math_util.h"
 #include "common/stopwatch.h"
 
 namespace cdpd {
@@ -9,8 +10,11 @@ namespace cdpd {
 KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
                                        int64_t k) {
   KAwareGraphSize size;
-  const int64_t layers = k + 1;
-  size.nodes = num_stages * layers * num_configs + 2;
+  // Saturating throughout: k + 1 alone overflows for k = INT64_MAX,
+  // and the node/edge products overflow long before that.
+  const int64_t layers = SaturatingAdd(k, 1);
+  size.nodes = SaturatingAdd(
+      SaturatingMul(SaturatingMul(num_stages, layers), num_configs), 2);
   if (num_stages == 0) {
     size.edges = 0;
     return size;
@@ -22,18 +26,21 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
   // Between consecutive stages, per layer: num_configs stay edges, and
   // num_configs * (num_configs - 1) change edges into the next layer
   // (absent from the last layer).
-  const int64_t change_edges = num_configs * (num_configs - 1);
-  edges += (num_stages - 1) *
-           (layers * num_configs + (layers - 1) * change_edges);
+  const int64_t change_edges =
+      SaturatingMul(num_configs, num_configs > 0 ? num_configs - 1 : 0);
+  const int64_t per_gap =
+      SaturatingAdd(SaturatingMul(layers, num_configs),
+                    SaturatingMul(layers - 1, change_edges));
+  edges = SaturatingAdd(edges, SaturatingMul(num_stages - 1, per_gap));
   // Destination edges: from every node of the last stage.
-  edges += layers * num_configs;
+  edges = SaturatingAdd(edges, SaturatingMul(layers, num_configs));
   size.edges = edges;
   return size;
 }
 
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats, ThreadPool* pool,
-                                   Tracer* tracer) {
+                                   Tracer* tracer, const Budget* budget) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -45,7 +52,6 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   const size_t n = problem.num_segments();
   const std::vector<Configuration>& configs = problem.candidates;
   const size_t m = configs.size();
-  const size_t layers = static_cast<size_t>(k) + 1;
 
   SolveStats local_stats;
   local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
@@ -60,6 +66,28 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
     return schedule;
   }
 
+  // No schedule over n segments can make more changes than n - 1
+  // interior switches plus (when it counts) the initial build, so a
+  // larger k buys nothing — clamp before sizing the DP table. The
+  // clamp also makes k = INT64_MAX safe: layers is computed from the
+  // clamped value, never from k + 1 directly.
+  const int64_t max_changes =
+      static_cast<int64_t>(n) - 1 + (problem.count_initial_change ? 1 : 0);
+  const size_t layers =
+      static_cast<size_t>(k >= max_changes ? max_changes : k) + 1;
+  // The parent table holds n * layers * m cells; reject sizes that
+  // overflow int64 before allocating (the allocation itself would
+  // otherwise wrap size_t arithmetic or bad_alloc unpredictably).
+  int64_t table_cells = 0;
+  if (!CheckedMul(static_cast<int64_t>(n), static_cast<int64_t>(layers),
+                  &table_cells) ||
+      !CheckedMul(table_cells, static_cast<int64_t>(m), &table_cells)) {
+    return Status::InvalidArgument(
+        "k-aware DP table of " + std::to_string(n) + " stages x " +
+        std::to_string(layers) + " layers x " + std::to_string(m) +
+        " candidate configurations overflows the addressable size");
+  }
+
   // Phase 1 (parallel): dense EXEC/TRANS matrices plus the boundary
   // transition vectors. After this, the DP touches no shared mutable
   // state — every probe is a read-only table lookup.
@@ -68,7 +96,13 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   std::vector<double> final_trans(m, 0.0);
   {
     CDPD_TRACE_SPAN(tracer, "kaware.precompute", "solver");
-    matrix = what_if.PrecomputeCostMatrix(configs, pool, tracer);
+    CDPD_ASSIGN_OR_RETURN(
+        matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget));
+    if (!matrix.complete()) {
+      return Status::DeadlineExceeded(
+          "budget expired during the what-if precompute, before any "
+          "feasible schedule could be priced");
+    }
     ParallelFor(pool, 0, m, [&](size_t c) {
       init_trans[c] = what_if.TransitionCost(problem.initial, configs[c]);
       if (problem.final_config.has_value()) {
@@ -108,9 +142,70 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   // serial loop, so the argmin (and hence the schedule) is
   // thread-count-invariant.
   std::vector<double> next(layers * m, kInf);
+
+  const auto finish = [&](DesignSchedule done) -> DesignSchedule {
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+    return done;
+  };
+  // Anytime fallback: freeze the cheapest completed DP prefix. Holding
+  // the chosen cell's configuration for the remaining stages adds zero
+  // design changes, so whatever layer the prefix ended in, the frozen
+  // schedule still makes at most k changes. dist holds the
+  // stage-`last_stage` values; parent rows 1..last_stage are filled.
+  const auto freeze_prefix =
+      [&](size_t last_stage) -> Result<DesignSchedule> {
+    double best = kInf;
+    size_t best_l = 0;
+    size_t best_c = 0;
+    for (size_t l = 0; l < layers; ++l) {
+      for (size_t c = 0; c < m; ++c) {
+        if (dist[l * m + c] == kInf) continue;
+        double cost =
+            dist[l * m + c] + matrix.ExecRange(last_stage + 1, n, c);
+        if (problem.final_config.has_value()) cost += final_trans[c];
+        if (cost < best) {
+          best = cost;
+          best_l = l;
+          best_c = c;
+        }
+      }
+    }
+    if (best == kInf) {
+      return Status::DeadlineExceeded(
+          "budget expired before any feasible schedule was found (the "
+          "completed k-aware DP prefix has no reachable state)");
+    }
+    DesignSchedule frozen;
+    frozen.configs.assign(n, configs[best_c]);
+    size_t l = best_l;
+    size_t c = best_c;
+    for (size_t stage = last_stage; stage-- > 0;) {
+      const Parent p = parent[((stage + 1) * layers + l) * m + c];
+      l = static_cast<size_t>(p.layer);
+      c = static_cast<size_t>(p.config);
+      frozen.configs[stage] = configs[c];
+    }
+    frozen.total_cost = EvaluateScheduleCost(problem, frozen.configs);
+    local_stats.deadline_hit = true;
+    local_stats.best_effort = true;
+    return frozen;
+  };
+
   CDPD_TRACE_SPAN(tracer, "kaware.dp", "solver",
                   static_cast<int64_t>(n - 1));
   for (size_t stage = 1; stage < n; ++stage) {
+    if (BudgetExpired(budget)) {
+      local_stats.relaxations =
+          static_cast<int64_t>(stage - 1) *
+          (static_cast<int64_t>(layers * m) +
+           static_cast<int64_t>((layers - 1) * m) *
+               static_cast<int64_t>(m - 1));
+      CDPD_ASSIGN_OR_RETURN(DesignSchedule frozen, freeze_prefix(stage - 1));
+      return finish(std::move(frozen));
+    }
     CDPD_TRACE_SPAN(tracer, "kaware.stage", "solver",
                     static_cast<int64_t>(stage));
     Parent* stage_parent = parent.data() + stage * layers * m;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -23,6 +24,11 @@ struct KAwareGraphSize {
 /// (Figure 2's object): each stage has a node per (layer, config);
 /// a node at layer l has one stay edge per layer-l successor and
 /// (num_configs - 1) change edges into layer l+1.
+///
+/// Counts saturate at INT64_MAX instead of overflowing — the product
+/// n * (k+1) * |C|^2 exceeds int64 for plausible inputs (e.g.
+/// k = INT64_MAX), and a reporting function must not wrap to a
+/// nonsense (possibly negative) size. Inputs must be >= 0.
 KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
                                        int64_t num_configs, int64_t k);
 
@@ -40,14 +46,31 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
 /// given. The schedule, cost, and stats are identical for any thread
 /// count (each DP cell is a pure function of the previous stage).
 ///
-/// k must be >= 0. `stats`, `pool`, and `tracer` are optional; with a
-/// tracer the solve records "kaware.precompute", "kaware.dp", and a
-/// "kaware.stage" span per DP stage (timestamps only — results are
-/// unchanged).
+/// k must be >= 0. A bound larger than the most changes any schedule
+/// can make (n - 1 interior changes, plus the initial build when it
+/// counts) is clamped to that maximum, so huge k costs no extra layers
+/// and cannot overflow the DP table sizing; a table that would still
+/// not fit in int64 cells is rejected with InvalidArgument *before*
+/// any allocation.
+///
+/// `stats`, `pool`, and `tracer` are optional; with a tracer the solve
+/// records "kaware.precompute", "kaware.dp", and a "kaware.stage" span
+/// per DP stage (timestamps only — results are unchanged).
+///
+/// `budget` (optional) bounds the solve; expiry is polled between
+/// precompute blocks and DP stages. Anytime semantics — on expiry
+/// mid-DP the cheapest completed prefix is frozen (its best
+/// end-of-prefix (layer, config) cell is held for the remaining
+/// stages, which adds no changes, so the k bound still holds) and
+/// returned with stats->deadline_hit set; DeadlineExceeded when the
+/// budget expires before any feasible schedule can be priced. A budget
+/// that never expires changes nothing: the schedule is byte-identical
+/// to an un-budgeted run.
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats = nullptr,
                                    ThreadPool* pool = nullptr,
-                                   Tracer* tracer = nullptr);
+                                   Tracer* tracer = nullptr,
+                                   const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

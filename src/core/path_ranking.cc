@@ -7,8 +7,8 @@
 
 namespace cdpd {
 
-PathRanker::PathRanker(const SequenceGraph& graph)
-    : graph_(&graph), tree_(ComputeShortestPaths(graph)) {
+PathRanker::PathRanker(const SequenceGraph& graph, const Budget* budget)
+    : graph_(&graph), budget_(budget), tree_(ComputeShortestPaths(graph)) {
   nodes_.resize(static_cast<size_t>(graph.num_nodes()));
   // π^1 of every reachable node comes from the shortest-path tree.
   for (size_t v = 0; v < nodes_.size(); ++v) {
@@ -35,6 +35,7 @@ bool PathRanker::EnsurePath(SequenceGraph::NodeId node, size_t rank) {
     // The source has exactly one path (the graph is acyclic).
     if (node == graph_->source()) return false;
     if (state.paths.empty()) return false;  // Unreachable node.
+    if (BudgetExpired(budget_)) return false;
 
     // One-time: alternative predecessors of π^1 become candidates.
     if (!state.initialized_alternatives) {
@@ -62,10 +63,15 @@ bool PathRanker::EnsurePath(SequenceGraph::NodeId node, size_t rank) {
         PushCandidate(&state,
                       PathRef{pred.paths[next_rank].cost + edge.weight,
                               last.pred_edge,
-                              static_cast<int32_t>(next_rank)});
+                              static_cast<int64_t>(next_rank)});
       }
     }
 
+    // Expiry is monotone, so re-checking here distinguishes a
+    // recursive EnsurePath that failed from expiry (candidate set may
+    // be incomplete — popping it could yield paths out of cost order)
+    // from one that failed from true exhaustion (safe to pop).
+    if (BudgetExpired(budget_)) return false;
     if (state.candidates.empty()) return false;
     std::pop_heap(state.candidates.begin(), state.candidates.end(),
                   [](const PathRef& a, const PathRef& b) {
@@ -101,7 +107,8 @@ std::optional<RankedPath> PathRanker::Next() {
 
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths, SolveStats* stats,
-                                      ThreadPool* pool, Tracer* tracer) {
+                                      ThreadPool* pool, Tracer* tracer,
+                                      const Budget* budget) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -117,12 +124,18 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   CostMatrix matrix;
   {
     CDPD_TRACE_SPAN(tracer, "ranking.precompute", "solver");
-    matrix = what_if.PrecomputeCostMatrix(problem.candidates, pool, tracer);
+    CDPD_ASSIGN_OR_RETURN(matrix, what_if.PrecomputeCostMatrix(
+                                      problem.candidates, pool, tracer, budget));
+  }
+  if (!matrix.complete()) {
+    return Status::DeadlineExceeded(
+        "budget expired during the what-if precompute, before any "
+        "feasible schedule could be priced");
   }
   CDPD_ASSIGN_OR_RETURN(SequenceGraph graph,
                         SequenceGraph::Build(problem, &matrix));
   local_stats.nodes_expanded = graph.num_nodes();
-  PathRanker ranker(graph);
+  PathRanker ranker(graph, budget);
   TraceSpan enumerate_span(tracer, "ranking.enumerate", "solver");
   const auto finish = [&] {
     enumerate_span.set_arg(local_stats.paths_enumerated);
@@ -131,9 +144,10 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
     local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
   };
-  while (local_stats.paths_enumerated < max_paths) {
+  while (local_stats.paths_enumerated < max_paths &&
+         !BudgetExpired(budget)) {
     std::optional<RankedPath> path = ranker.Next();
-    if (!path.has_value()) break;  // Ranking exhausted.
+    if (!path.has_value()) break;  // Ranking exhausted (or expired).
     ++local_stats.paths_enumerated;
     if (graph.PathChanges(path->nodes) <= k) {
       DesignSchedule schedule;
@@ -143,10 +157,32 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
       return schedule;
     }
   }
+  // The enumeration ended empty-handed — max_paths cap, true
+  // exhaustion, or budget expiry. Degrade to the cheapest feasible
+  // static schedule rather than failing: a flagged suboptimal answer
+  // beats no answer, and the caller can read best_effort/deadline_hit
+  // to tell. (Cost note: the static scan reuses the memoized oracle
+  // the precompute already filled, so it is pure cache hits.)
+  const bool expired = BudgetExpired(budget);
+  Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
+  if (fallback.ok()) {
+    local_stats.best_effort = true;
+    local_stats.deadline_hit = expired;
+    finish();
+    return std::move(fallback).value();
+  }
   finish();
+  if (expired) {
+    return Status::DeadlineExceeded(
+        "budget expired after " +
+        std::to_string(local_stats.paths_enumerated) +
+        " ranked paths, and no static design satisfies k = " +
+        std::to_string(k));
+  }
   return Status::ResourceExhausted(
       "no path with <= " + std::to_string(k) + " changes within the first " +
-      std::to_string(local_stats.paths_enumerated) + " ranked paths");
+      std::to_string(local_stats.paths_enumerated) +
+      " ranked paths, and no static design satisfies the bound");
 }
 
 }  // namespace cdpd

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -28,10 +29,15 @@ struct RankedPath {
 /// one-time alternative-predecessor candidates).
 class PathRanker {
  public:
-  /// `graph` must outlive the ranker.
-  explicit PathRanker(const SequenceGraph& graph);
+  /// `graph` (and `budget`, when given) must outlive the ranker. With
+  /// a budget, Next() returns nullopt as soon as the budget expires —
+  /// callers distinguish expiry from true exhaustion by checking the
+  /// budget afterwards.
+  explicit PathRanker(const SequenceGraph& graph,
+                      const Budget* budget = nullptr);
 
-  /// The next path in the ranking, or nullopt when exhausted.
+  /// The next path in the ranking, or nullopt when exhausted (or the
+  /// budget expired).
   std::optional<RankedPath> Next();
 
   /// Paths yielded so far.
@@ -39,11 +45,14 @@ class PathRanker {
 
  private:
   /// A ranked path to a node, represented by its last edge and the
-  /// rank of the predecessor path it extends.
+  /// rank of the predecessor path it extends. The rank is 64-bit: the
+  /// ranking is worst-case exponential and a long enumeration pushes
+  /// per-node ranks past INT32_MAX, where a 32-bit field silently
+  /// truncates and corrupts the backtrack.
   struct PathRef {
     double cost = 0.0;
     int32_t pred_edge = -1;   // Edge id into the node; -1 at the source.
-    int32_t pred_index = -1;  // Rank (0-based) of the predecessor path.
+    int64_t pred_index = -1;  // Rank (0-based) of the predecessor path.
   };
   struct NodeState {
     std::vector<PathRef> paths;       // Ranked paths found so far.
@@ -52,11 +61,13 @@ class PathRanker {
   };
 
   /// Ensures π^{rank}(node) exists (0-based). Returns false when the
-  /// node has fewer than rank+1 paths.
+  /// node has fewer than rank+1 paths, or when the budget expires
+  /// mid-derivation.
   bool EnsurePath(SequenceGraph::NodeId node, size_t rank);
   void PushCandidate(NodeState* state, PathRef ref);
 
   const SequenceGraph* graph_;
+  const Budget* budget_;
   DagShortestPaths tree_;
   std::vector<NodeState> nodes_;
   int64_t paths_yielded_ = 0;
@@ -66,18 +77,31 @@ class PathRanker {
 /// of the *plain* sequence graph in cost order and return the first
 /// whose design sequence has at most k changes — optimal because every
 /// path not yet seen is at least as long. Worst-case exponential;
-/// `max_paths` bounds the enumeration (ResourceExhausted beyond it).
+/// `max_paths` bounds the enumeration.
+///
+/// When the enumeration ends without an answer — the `max_paths` cap
+/// tripped, the ranking ran dry, or the `budget` expired — the solve
+/// degrades to the cheapest feasible *static* schedule
+/// (BestStaticSchedule) with stats->best_effort set, plus
+/// stats->deadline_hit when a budget expiry caused it. Error statuses
+/// are reserved for genuinely empty-handed exits: DeadlineExceeded
+/// when the budget expired and not even the static fallback is
+/// feasible, ResourceExhausted when the cap/exhaustion hit and the
+/// fallback is infeasible.
 ///
 /// The EXEC/TRANS cost matrices are precomputed in parallel across
 /// `pool` before the graph is materialized; the enumeration itself is
 /// inherently sequential (each ranked path conditions the next). With
 /// a `tracer` the solve records "ranking.precompute" and
-/// "ranking.enumerate" spans (arg = paths enumerated).
+/// "ranking.enumerate" spans (arg = paths enumerated). A budget that
+/// never expires changes nothing: the schedule is byte-identical to an
+/// un-budgeted run.
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths = 1'000'000,
                                       SolveStats* stats = nullptr,
                                       ThreadPool* pool = nullptr,
-                                      Tracer* tracer = nullptr);
+                                      Tracer* tracer = nullptr,
+                                      const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

@@ -4,6 +4,7 @@
 #include <cassert>
 #include <limits>
 
+#include "common/math_util.h"
 #include "common/string_util.h"
 
 namespace cdpd {
@@ -32,6 +33,33 @@ Result<SequenceGraph> SequenceGraph::Build(const DesignProblem& problem,
                : problem.what_if->TransitionCost(problem.candidates[p],
                                                  problem.candidates[c]);
   };
+
+  // Node and edge ids are int32; reject problems whose materialized
+  // graph would not be addressable (the DP solvers handle such sizes
+  // without building the graph — only ranking/introspection needs it).
+  // Nodes: source + n*m stage nodes + destination. Edges: m source
+  // edges + (n-1)*m^2 bipartite edges + m destination edges.
+  {
+    int64_t nodes = 0;
+    int64_t edges = 0;
+    int64_t bipartite = 0;
+    const auto n64 = static_cast<int64_t>(n);
+    const auto m64 = static_cast<int64_t>(m);
+    const bool fits =
+        CheckedMul(n64, m64, &nodes) && CheckedAdd(nodes, 2, &nodes) &&
+        CheckedMul(m64, m64, &bipartite) &&
+        CheckedMul(bipartite, n64 > 0 ? n64 - 1 : 0, &bipartite) &&
+        CheckedAdd(bipartite, 2 * m64, &edges) &&
+        nodes <= std::numeric_limits<int32_t>::max() &&
+        edges <= std::numeric_limits<int32_t>::max();
+    if (!fits) {
+      return Status::InvalidArgument(
+          "sequence graph over " + std::to_string(n) + " segments and " +
+          std::to_string(m) +
+          " candidate configurations exceeds the 32-bit node/edge id "
+          "space");
+    }
+  }
 
   // Node layout: 0 = source; 1 + (stage-1)*m + c for stage in 1..n;
   // destination last.

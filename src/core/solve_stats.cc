@@ -18,6 +18,8 @@ void SolveStats::PublishTo(MetricsRegistry* registry) const {
   registry->counter("solver.merge_steps")->Add(merge_steps);
   registry->counter("solver.candidate_evaluations")
       ->Add(candidate_evaluations);
+  registry->counter("solver.deadline_hit")->Add(deadline_hit ? 1 : 0);
+  registry->counter("solver.best_effort")->Add(best_effort ? 1 : 0);
   registry->gauge("solver.threads_used")->UpdateMax(threads_used);
   registry->histogram("solver.solve_wall_us")
       ->Record(static_cast<double>(wall_us));
@@ -35,6 +37,8 @@ SolveStats SolveStats::FromSnapshot(const MetricsSnapshot& snapshot) {
   stats.merge_steps = snapshot.CounterValue("solver.merge_steps");
   stats.candidate_evaluations =
       snapshot.CounterValue("solver.candidate_evaluations");
+  stats.deadline_hit = snapshot.CounterValue("solver.deadline_hit") > 0;
+  stats.best_effort = snapshot.CounterValue("solver.best_effort") > 0;
   const int64_t threads = snapshot.GaugeValue("solver.threads_used");
   stats.threads_used = threads > 0 ? static_cast<int>(threads) : 1;
   return stats;

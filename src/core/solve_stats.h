@@ -40,10 +40,19 @@ struct SolveStats {
   int64_t merge_steps = 0;
   /// Merging/greedy: replacement or growth candidates evaluated.
   int64_t candidate_evaluations = 0;
+  /// The solve's deadline/cancellation budget expired and the schedule
+  /// is the method's anytime fallback (the best feasible answer it had
+  /// at expiry), not its normal result. Never set without a budget.
+  bool deadline_hit = false;
+  /// The schedule is a best-effort fallback rather than the method's
+  /// normal result. Implied by deadline_hit; also set when the ranking
+  /// method exhausts its enumeration cap and falls back (see
+  /// SolveByRanking).
+  bool best_effort = false;
 
   /// Accumulates another solve's counters (used by compound methods:
   /// hybrid, greedy-seq, merging-after-unconstrained). Wall time adds;
-  /// threads_used keeps the maximum.
+  /// threads_used keeps the maximum; the fallback flags OR.
   void Accumulate(const SolveStats& other) {
     wall_seconds += other.wall_seconds;
     costings += other.costings;
@@ -54,6 +63,8 @@ struct SolveStats {
     paths_enumerated += other.paths_enumerated;
     merge_steps += other.merge_steps;
     candidate_evaluations += other.candidate_evaluations;
+    deadline_hit = deadline_hit || other.deadline_hit;
+    best_effort = best_effort || other.best_effort;
   }
 
   /// Adds this solve's counters to the registry's "solver.*" metrics

@@ -62,6 +62,10 @@ Status SolveOptions::Validate() const {
   if (ranking_max_paths <= 0) {
     return Status::InvalidArgument("ranking_max_paths must be positive");
   }
+  if (deadline.has_value() && deadline->count() < 0) {
+    return Status::InvalidArgument(
+        "deadline must be >= 0 when set (use nullopt for no deadline)");
+  }
   if (method == OptimizerMethod::kGreedySeq &&
       greedy.candidate_indexes.empty()) {
     return Status::InvalidArgument("GREEDY-SEQ needs candidate indexes");
@@ -87,6 +91,23 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     }
   }
 
+  // One Budget for the whole solve, shared by every phase. Built only
+  // when a deadline or cancel token is set, so the common un-budgeted
+  // path costs each poll site a single null-pointer test. The clock
+  // starts here: pool spin-up above is deliberately not charged (it is
+  // bounded and paid before any cancellable work).
+  Budget owned_budget;
+  const Budget* budget = nullptr;
+  if (options.deadline.has_value()) {
+    owned_budget = Budget(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(*options.deadline),
+        options.cancel);
+    budget = &owned_budget;
+  } else if (options.cancel != nullptr) {
+    owned_budget = Budget(options.cancel);
+    budget = &owned_budget;
+  }
+
   const Stopwatch watch;
   SolveResult result;
   result.tracer = tracer;
@@ -97,20 +118,20 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer));
+            SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
         result.method_detail = "sequence-graph shortest path";
       } else {
         CDPD_ASSIGN_OR_RETURN(
-            result.schedule,
-            SolveKAware(problem, *options.k, &result.stats, pool, tracer));
+            result.schedule, SolveKAware(problem, *options.k, &result.stats,
+                                         pool, tracer, budget));
         result.method_detail = "k-aware sequence graph";
       }
       break;
     }
     case OptimizerMethod::kGreedySeq: {
-      CDPD_ASSIGN_OR_RETURN(
-          GreedySeqResult greedy_result,
-          SolveGreedySeq(problem, options.k, options.greedy, pool, tracer));
+      CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
+                            SolveGreedySeq(problem, options.k, options.greedy,
+                                           pool, tracer, budget));
       result.schedule = std::move(greedy_result.schedule);
       result.stats = greedy_result.stats;
       result.reduced_candidates =
@@ -123,7 +144,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     case OptimizerMethod::kMerging: {
       CDPD_ASSIGN_OR_RETURN(
           DesignSchedule unconstrained,
-          SolveUnconstrained(problem, &result.stats, pool, tracer));
+          SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
       if (!options.k.has_value()) {
         result.schedule = std::move(unconstrained);
         result.method_detail = "merging (no constraint; unconstrained optimum)";
@@ -132,7 +153,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             MergeToConstraint(problem, unconstrained, *options.k,
-                              &merge_stats, pool, tracer));
+                              &merge_stats, pool, tracer, budget));
         result.stats.Accumulate(merge_stats);
         result.method_detail =
             "merging steps: " + std::to_string(merge_stats.merge_steps);
@@ -143,13 +164,13 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer));
+            SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
         result.method_detail = "ranking (no constraint; shortest path)";
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveByRanking(problem, *options.k, options.ranking_max_paths,
-                           &result.stats, pool, tracer));
+                           &result.stats, pool, tracer, budget));
         result.method_detail =
             "ranked paths: " + std::to_string(result.stats.paths_enumerated);
       }
@@ -159,11 +180,12 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer));
+            SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
         result.method_detail = "hybrid (no constraint; shortest path)";
       } else {
-        CDPD_ASSIGN_OR_RETURN(HybridResult hybrid,
-                              SolveHybrid(problem, *options.k, pool, tracer));
+        CDPD_ASSIGN_OR_RETURN(
+            HybridResult hybrid,
+            SolveHybrid(problem, *options.k, pool, tracer, budget));
         result.schedule = std::move(hybrid.schedule);
         result.stats = hybrid.stats;
         result.method_detail =

@@ -1,12 +1,14 @@
 #ifndef CDPD_CORE_SOLVER_H_
 #define CDPD_CORE_SOLVER_H_
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/budget.h"
 #include "common/metrics.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
@@ -58,9 +60,23 @@ struct SolveOptions {
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
 
+  /// Wall-clock budget for the whole solve (measured from Solve()
+  /// entry). On expiry the solve returns the best feasible schedule it
+  /// has found so far — flagged with SolveResult::stats.deadline_hit —
+  /// and fails with DeadlineExceeded only when nothing feasible exists
+  /// yet (see DESIGN.md §6d for each method's anytime fallback).
+  /// nullopt = no deadline; checking is free in that case (one null
+  /// pointer test per poll site).
+  std::optional<std::chrono::milliseconds> deadline;
+  /// Cooperative cancellation (optional, borrowed — must outlive the
+  /// Solve call). Cancel() makes the solve wind down at its next poll
+  /// site with the same anytime semantics as a deadline expiry; safe
+  /// to call from any thread.
+  const CancelToken* cancel = nullptr;
+
   /// All option validation in one place: k >= 0 when set,
-  /// num_threads >= 0, ranking_max_paths > 0, and greedy candidate
-  /// indexes present for kGreedySeq.
+  /// num_threads >= 0, ranking_max_paths > 0, deadline >= 0 when set,
+  /// and greedy candidate indexes present for kGreedySeq.
   Status Validate() const;
 };
 
@@ -88,6 +104,13 @@ struct SolveResult {
 /// is exact for all of them. A thread pool of options.num_threads
 /// workers is spun up for the what-if precompute and the parallel DP
 /// sweeps; schedules and costs are identical for any thread count.
+///
+/// With options.deadline / options.cancel set the solve is *anytime*:
+/// expiry or cancellation makes it return its best feasible schedule
+/// so far with stats.deadline_hit = true (published as the
+/// "solver.deadline_hit" metric), or DeadlineExceeded when nothing
+/// feasible has been found yet. A deadline that never fires leaves
+/// the result byte-identical to an undeadlined run.
 Result<SolveResult> Solve(const DesignProblem& problem,
                           const SolveOptions& options);
 

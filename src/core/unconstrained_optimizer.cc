@@ -8,7 +8,8 @@ namespace cdpd {
 
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats, ThreadPool* pool,
-                                          Tracer* tracer) {
+                                          Tracer* tracer,
+                                          const Budget* budget) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
@@ -35,7 +36,13 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
   CostMatrix matrix;
   {
     CDPD_TRACE_SPAN(tracer, "unconstrained.precompute", "solver");
-    matrix = what_if.PrecomputeCostMatrix(configs, pool, tracer);
+    CDPD_ASSIGN_OR_RETURN(
+        matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget));
+  }
+  if (!matrix.complete()) {
+    return Status::DeadlineExceeded(
+        "budget expired during the what-if precompute, before any "
+        "feasible schedule could be priced");
   }
 
   constexpr double kInf = std::numeric_limits<double>::infinity();
@@ -49,7 +56,54 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
               matrix.Exec(0, c);
   });
   std::vector<double> next(m, kInf);
+
+  const auto finish = [&](DesignSchedule done) -> DesignSchedule {
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+    return done;
+  };
+  // Anytime fallback: the budget expired with the DP `last_stage`
+  // stages deep — freeze the cheapest completed prefix by holding its
+  // final configuration for the remaining stages. dist holds the
+  // stage-`last_stage` values and parent rows 1..last_stage are
+  // filled, so the frozen schedule is exactly a DP prefix plus a
+  // no-change tail (always feasible: the unconstrained problem has no
+  // change bound).
+  const auto freeze_prefix = [&](size_t last_stage) -> DesignSchedule {
+    double best = kInf;
+    size_t best_c = 0;
+    for (size_t c = 0; c < m; ++c) {
+      double cost = dist[c] + matrix.ExecRange(last_stage + 1, n, c);
+      if (problem.final_config.has_value()) {
+        cost += what_if.TransitionCost(configs[c], *problem.final_config);
+      }
+      if (cost < best) {
+        best = cost;
+        best_c = c;
+      }
+    }
+    DesignSchedule frozen;
+    frozen.configs.assign(n, configs[best_c]);
+    size_t c = best_c;
+    for (size_t s = last_stage + 1; s-- > 0;) {
+      frozen.configs[s] = configs[c];
+      c = parent[s][c];
+    }
+    frozen.total_cost = EvaluateScheduleCost(problem, frozen.configs);
+    local_stats.deadline_hit = true;
+    local_stats.best_effort = true;
+    return frozen;
+  };
+
   for (size_t stage = 1; stage < n; ++stage) {
+    if (BudgetExpired(budget)) {
+      local_stats.nodes_expanded = static_cast<int64_t>(stage * m);
+      local_stats.relaxations =
+          static_cast<int64_t>(stage - 1) * static_cast<int64_t>(m * m);
+      return finish(freeze_prefix(stage - 1));
+    }
     CDPD_TRACE_SPAN(tracer, "unconstrained.stage", "solver",
                     static_cast<int64_t>(stage));
     std::vector<size_t>& stage_parent = parent[stage];

@@ -1,6 +1,7 @@
 #ifndef CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_
 #define CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_
 
+#include "common/budget.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -26,10 +27,21 @@ namespace cdpd {
 /// result is identical for any thread count. With a `tracer` the solve
 /// records "unconstrained.precompute", "unconstrained.dp", and a
 /// "unconstrained.stage" span per DP stage.
+///
+/// `budget` (optional) bounds the solve: expiry is polled between
+/// precompute blocks and DP stages. Anytime semantics — on expiry
+/// mid-DP the best completed prefix is frozen (its cheapest
+/// end-of-prefix configuration is held for the remaining stages) and
+/// returned with stats->deadline_hit set; DeadlineExceeded only when
+/// the budget expires before the precompute finishes, i.e. before any
+/// feasible schedule can be priced. A budget that never expires
+/// changes nothing: the schedule is byte-identical to an un-budgeted
+/// run.
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats = nullptr,
                                           ThreadPool* pool = nullptr,
-                                          Tracer* tracer = nullptr);
+                                          Tracer* tracer = nullptr,
+                                          const Budget* budget = nullptr);
 
 }  // namespace cdpd
 

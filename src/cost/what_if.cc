@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
+#include <cmath>
+#include <optional>
+#include <string>
 
 namespace cdpd {
 
@@ -105,24 +108,58 @@ double WhatIfEngine::RangeCost(size_t begin, size_t end,
   return cost;
 }
 
-CostMatrix WhatIfEngine::PrecomputeCostMatrix(
+namespace {
+
+/// Lowest-cell-index-wins record of a non-finite cost, so the error a
+/// parallel fill reports is the one the serial fill would hit first.
+class NonFiniteCell {
+ public:
+  void Record(size_t cell) {
+    int64_t seen = cell_.load(std::memory_order_relaxed);
+    const auto mine = static_cast<int64_t>(cell);
+    while (seen < 0 || mine < seen) {
+      if (cell_.compare_exchange_weak(seen, mine,
+                                      std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
+  /// The offending flattened cell index, or nullopt when all finite.
+  std::optional<size_t> cell() const {
+    const int64_t cell = cell_.load(std::memory_order_relaxed);
+    return cell < 0 ? std::nullopt
+                    : std::optional<size_t>(static_cast<size_t>(cell));
+  }
+
+ private:
+  std::atomic<int64_t> cell_{-1};
+};
+
+}  // namespace
+
+Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
     std::span<const Configuration> candidates, ThreadPool* pool,
-    Tracer* tracer) const {
+    Tracer* tracer, const Budget* budget) const {
   const size_t n = segments_.size();
   const size_t m = candidates.size();
   CostMatrix matrix(n, m);
+  NonFiniteCell bad_exec;
+  NonFiniteCell bad_trans;
+  const auto fill_exec = [&](size_t i) {
+    const size_t segment = i / m;
+    const size_t config = i % m;
+    const double cost = SegmentCost(segment, candidates[config]);
+    if (!std::isfinite(cost)) bad_exec.Record(i);
+    matrix.MutableExec(segment, config) = cost;
+  };
   // EXEC over all (segment, config) pairs: each flattened index writes
   // one disjoint matrix cell, so the fill is race-free and the values
   // are identical for any thread count. With a tracer attached the
   // same cells are filled through coarser work shards (one span each);
   // either way every cell computes the same value.
+  bool complete = true;
   if (tracer == nullptr) {
-    ParallelFor(pool, 0, n * m, [&](size_t i) {
-      const size_t segment = i / m;
-      const size_t config = i % m;
-      matrix.MutableExec(segment, config) =
-          SegmentCost(segment, candidates[config]);
-    });
+    complete = ParallelFor(pool, 0, n * m, fill_exec, budget);
   } else {
     CDPD_TRACE_SPAN(tracer, "whatif.exec_matrix", "whatif",
                     static_cast<int64_t>(n * m));
@@ -131,32 +168,57 @@ CostMatrix WhatIfEngine::PrecomputeCostMatrix(
     const size_t num_shards =
         std::min(n * m, std::max<size_t>(1, threads * 4));
     const size_t per_shard = (n * m + num_shards - 1) / num_shards;
-    ParallelFor(pool, 0, num_shards, [&](size_t shard) {
-      CDPD_TRACE_SPAN(tracer, "whatif.exec_shard", "whatif",
-                      static_cast<int64_t>(shard));
-      const size_t lo = shard * per_shard;
-      const size_t hi = std::min(n * m, lo + per_shard);
-      for (size_t i = lo; i < hi; ++i) {
-        const size_t segment = i / m;
-        const size_t config = i % m;
-        matrix.MutableExec(segment, config) =
-            SegmentCost(segment, candidates[config]);
-      }
-    });
+    complete = ParallelFor(
+        pool, 0, num_shards,
+        [&](size_t shard) {
+          CDPD_TRACE_SPAN(tracer, "whatif.exec_shard", "whatif",
+                          static_cast<int64_t>(shard));
+          const size_t lo = shard * per_shard;
+          const size_t hi = std::min(n * m, lo + per_shard);
+          for (size_t i = lo; i < hi; ++i) fill_exec(i);
+        },
+        budget);
   }
   // TRANS over all candidate pairs (pure model arithmetic; no memo).
   {
     CDPD_TRACE_SPAN(tracer, "whatif.trans_matrix", "whatif",
                     static_cast<int64_t>(m * m));
-    ParallelFor(pool, 0, m * m, [&](size_t i) {
-      const size_t from = i / m;
-      const size_t to = i % m;
-      matrix.MutableTrans(from, to) =
-          from == to
-              ? 0.0
-              : model_->TransitionCost(candidates[from], candidates[to]);
-    });
+    const bool trans_complete = ParallelFor(
+        pool, 0, m * m,
+        [&](size_t i) {
+          const size_t from = i / m;
+          const size_t to = i % m;
+          const double cost =
+              from == to
+                  ? 0.0
+                  : model_->TransitionCost(candidates[from], candidates[to]);
+          if (!std::isfinite(cost)) bad_trans.Record(i);
+          matrix.MutableTrans(from, to) = cost;
+        },
+        budget);
+    complete = complete && trans_complete;
   }
+  // A non-finite cost is a corrupt oracle whatever the budget said:
+  // report it even when the fill was cut short (the bad cell was
+  // actually written, so the error is real, though an interrupted fill
+  // may not name the lowest bad cell of the full matrix).
+  if (const std::optional<size_t> cell = bad_exec.cell()) {
+    const size_t segment = *cell / m;
+    const size_t config = *cell % m;
+    return Status::Internal(
+        "what-if EXEC cost is not finite for segment " +
+        std::to_string(segment) + " (statements " +
+        std::to_string(segments_[segment].begin) + ".." +
+        std::to_string(segments_[segment].end) + "), candidate configuration #" +
+        std::to_string(config));
+  }
+  if (const std::optional<size_t> cell = bad_trans.cell()) {
+    return Status::Internal(
+        "what-if TRANS cost is not finite for transition from candidate "
+        "configuration #" +
+        std::to_string(*cell / m) + " to #" + std::to_string(*cell % m));
+  }
+  matrix.set_complete(complete);
   return matrix;
 }
 

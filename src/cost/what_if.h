@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "catalog/configuration.h"
+#include "common/budget.h"
 #include "common/metrics.h"
+#include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "cost/cost_model.h"
@@ -58,9 +60,17 @@ class CostMatrix {
     return trans_[from * num_configs_ + to];
   }
 
+  /// False when a budget expired mid-precompute, leaving some cells
+  /// unwritten. An incomplete matrix must not be read — the solvers
+  /// check this and report DeadlineExceeded instead of consuming
+  /// garbage costs.
+  bool complete() const { return complete_; }
+  void set_complete(bool complete) { complete_ = complete; }
+
  private:
   size_t num_segments_ = 0;
   size_t num_configs_ = 0;
+  bool complete_ = true;
   std::vector<double> exec_;   // [segment * num_configs + config]
   std::vector<double> trans_;  // [from * num_configs + to]
 };
@@ -119,9 +129,22 @@ class WhatIfEngine {
   /// thread count, with or without `tracer`: tracing only changes the
   /// fan-out granularity (one span per work shard) and observes
   /// timestamps, never values.
-  CostMatrix PrecomputeCostMatrix(std::span<const Configuration> candidates,
-                                  ThreadPool* pool = nullptr,
-                                  Tracer* tracer = nullptr) const;
+  ///
+  /// Every cell is validated with std::isfinite as it is written: a
+  /// NaN or infinite cost would silently corrupt the solvers'
+  /// shortest-path ordering (their reachability checks only compare
+  /// against +inf), so a non-finite probe fails the whole precompute
+  /// with an Internal status naming the offending segment/transition
+  /// and configuration (the lowest flattened cell index wins, so the
+  /// error is deterministic for any thread count).
+  ///
+  /// `budget` (optional) makes the fill cooperatively interruptible:
+  /// on expiry the remaining cells are skipped and the returned matrix
+  /// has complete() == false. Cancellation is polled between work
+  /// chunks, so mid-precompute Cancel() from another thread is safe.
+  Result<CostMatrix> PrecomputeCostMatrix(
+      std::span<const Configuration> candidates, ThreadPool* pool = nullptr,
+      Tracer* tracer = nullptr, const Budget* budget = nullptr) const;
 
   /// Mirrors the engine's activity into `registry` — counters
   /// "whatif.costings" / "whatif.cache_hits" and the

@@ -1,0 +1,73 @@
+#include "common/budget.h"
+
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+TEST(BudgetTest, DefaultBudgetNeverExpires) {
+  Budget unlimited;
+  EXPECT_FALSE(unlimited.Expired());
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_FALSE(unlimited.Expired());
+}
+
+TEST(BudgetTest, ZeroTimeoutExpiresImmediately) {
+  Budget zero(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(zero.Expired());
+  Budget negative(std::chrono::nanoseconds(-1));
+  EXPECT_TRUE(negative.Expired());
+}
+
+TEST(BudgetTest, GenerousTimeoutNotYetExpired) {
+  Budget roomy(std::chrono::minutes(10));
+  EXPECT_FALSE(roomy.Expired());
+}
+
+TEST(BudgetTest, ShortTimeoutEventuallyExpires) {
+  Budget brief(std::chrono::milliseconds(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_TRUE(brief.Expired());
+}
+
+TEST(BudgetTest, CancelTokenFlipsBudget) {
+  CancelToken token;
+  Budget budget(&token);
+  EXPECT_FALSE(budget.Expired());
+  token.Cancel();
+  EXPECT_TRUE(budget.Expired());
+  // Cancelling twice is fine; expiry is sticky until Reset.
+  token.Cancel();
+  EXPECT_TRUE(budget.Expired());
+  token.Reset();
+  EXPECT_FALSE(budget.Expired());
+}
+
+TEST(BudgetTest, DeadlineAndTokenCombine) {
+  CancelToken token;
+  Budget budget(std::chrono::minutes(10), &token);
+  EXPECT_FALSE(budget.Expired());
+  token.Cancel();
+  EXPECT_TRUE(budget.Expired());
+}
+
+TEST(BudgetTest, CancelFromAnotherThreadIsObserved) {
+  CancelToken token;
+  Budget budget(&token);
+  std::thread canceller([&token] { token.Cancel(); });
+  canceller.join();
+  EXPECT_TRUE(budget.Expired());
+  EXPECT_TRUE(token.cancelled());
+}
+
+TEST(BudgetTest, NullBudgetIsUnlimited) {
+  EXPECT_FALSE(BudgetExpired(nullptr));
+  Budget zero(std::chrono::nanoseconds(0));
+  EXPECT_TRUE(BudgetExpired(&zero));
+}
+
+}  // namespace
+}  // namespace cdpd

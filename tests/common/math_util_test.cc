@@ -1,9 +1,55 @@
 #include "common/math_util.h"
 
+#include <cstdint>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace cdpd {
 namespace {
+
+constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+
+TEST(MathUtilTest, CheckedMulInRange) {
+  int64_t out = 0;
+  EXPECT_TRUE(CheckedMul(1'000'000, 1'000'000, &out));
+  EXPECT_EQ(out, 1'000'000'000'000);
+  EXPECT_TRUE(CheckedMul(kMax, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_TRUE(CheckedMul(0, kMax, &out));
+  EXPECT_EQ(out, 0);
+  EXPECT_TRUE(CheckedMul(-3, 4, &out));
+  EXPECT_EQ(out, -12);
+}
+
+TEST(MathUtilTest, CheckedMulOverflow) {
+  int64_t out = 0;
+  EXPECT_FALSE(CheckedMul(kMax, 2, &out));
+  EXPECT_FALSE(CheckedMul(int64_t{1} << 32, int64_t{1} << 32, &out));
+  EXPECT_FALSE(CheckedMul(kMin, -1, &out));
+}
+
+TEST(MathUtilTest, CheckedAddInRangeAndOverflow) {
+  int64_t out = 0;
+  EXPECT_TRUE(CheckedAdd(kMax - 1, 1, &out));
+  EXPECT_EQ(out, kMax);
+  EXPECT_FALSE(CheckedAdd(kMax, 1, &out));
+  EXPECT_FALSE(CheckedAdd(kMin, -1, &out));
+}
+
+TEST(MathUtilTest, SaturatingMulClampsAtMax) {
+  EXPECT_EQ(SaturatingMul(3, 7), 21);
+  EXPECT_EQ(SaturatingMul(kMax, 2), kMax);
+  EXPECT_EQ(SaturatingMul(kMax, kMax), kMax);
+  EXPECT_EQ(SaturatingMul(kMax, 0), 0);
+}
+
+TEST(MathUtilTest, SaturatingAddClampsAtMax) {
+  EXPECT_EQ(SaturatingAdd(3, 7), 10);
+  EXPECT_EQ(SaturatingAdd(kMax, 1), kMax);
+  EXPECT_EQ(SaturatingAdd(kMax, kMax), kMax);
+}
 
 TEST(MathUtilTest, CeilDivExact) { EXPECT_EQ(CeilDiv(10, 5), 2); }
 

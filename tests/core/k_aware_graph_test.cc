@@ -32,6 +32,36 @@ TEST(KAwareGraphTest, GraphSizeGrowsLinearlyInK) {
   EXPECT_EQ(nodes_k8 - nodes_k4, 4 * n * m);
 }
 
+TEST(KAwareGraphTest, GraphSizeSaturatesInsteadOfOverflowing) {
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  // k = INT64_MAX used to compute k+1 layers with signed overflow (UB);
+  // now every product/sum saturates at INT64_MAX.
+  const KAwareGraphSize huge_k = ComputeKAwareGraphSize(3, 2, kMax);
+  EXPECT_EQ(huge_k.nodes, kMax);
+  EXPECT_EQ(huge_k.edges, kMax);
+  const KAwareGraphSize huge_all =
+      ComputeKAwareGraphSize(kMax, kMax, kMax);
+  EXPECT_EQ(huge_all.nodes, kMax);
+  EXPECT_EQ(huge_all.edges, kMax);
+  // Sanity: a modest instance is still exact.
+  EXPECT_EQ(ComputeKAwareGraphSize(3, 2, 2).nodes, 3 * 3 * 2 + 2);
+}
+
+TEST(KAwareGraphTest, HugeKSolvesViaLayerClamping) {
+  // k beyond n-1 cannot change the answer, so the solver clamps the
+  // layer count instead of allocating (or overflowing) a k+1-layer
+  // table. INT64_MAX must behave exactly like k = n-1.
+  auto fixture = MakeRandomProblem(48, 6, 15);
+  auto unconstrained = SolveUnconstrained(fixture->problem);
+  ASSERT_TRUE(unconstrained.ok());
+  auto huge = SolveKAware(fixture->problem, std::numeric_limits<int64_t>::max());
+  ASSERT_TRUE(huge.ok()) << huge.status().ToString();
+  EXPECT_NEAR(huge->total_cost, unconstrained->total_cost, 1e-6);
+  auto exact = SolveKAware(fixture->problem, 5);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_EQ(huge->configs, exact->configs);
+}
+
 TEST(KAwareGraphTest, RespectsChangeBound) {
   auto fixture = MakeRandomProblem(20, 6, 15);
   for (int64_t k = 0; k <= 4; ++k) {

@@ -1,0 +1,205 @@
+// Anytime behavior of the unified Solve() entry point: deadlines and
+// cooperative cancellation either yield a feasible best-effort
+// schedule (stats.deadline_hit) or DeadlineExceeded — never a crash,
+// never an infeasible answer — and a deadline that never fires leaves
+// every method's result byte-identical to an undeadlined run.
+
+#include <chrono>
+#include <cmath>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/budget.h"
+#include "common/metrics.h"
+#include "core/solver.h"
+#include "core/validator.h"
+#include "test_util.h"
+#include "workload/standard_workloads.h"
+
+namespace cdpd {
+namespace {
+
+using testing_util::MakeRandomProblem;
+
+constexpr OptimizerMethod kAllMethods[] = {
+    OptimizerMethod::kOptimal, OptimizerMethod::kGreedySeq,
+    OptimizerMethod::kMerging, OptimizerMethod::kRanking,
+    OptimizerMethod::kHybrid};
+
+SolveOptions MethodOptions(const testing_util::ProblemFixture& fixture,
+                           OptimizerMethod method, int64_t k,
+                           int num_threads = 1) {
+  SolveOptions options;
+  options.method = method;
+  options.k = k;
+  options.num_threads = num_threads;
+  if (method == OptimizerMethod::kGreedySeq) {
+    options.greedy.candidate_indexes =
+        MakePaperCandidateIndexes(fixture.schema);
+    options.greedy.max_indexes_per_config = 1;
+  }
+  return options;
+}
+
+/// The anytime contract: a budgeted solve either returns a schedule
+/// that is feasible under k (flagged deadline_hit when the budget
+/// fired) or fails with DeadlineExceeded — no other status, no
+/// infeasible schedule, no non-finite cost.
+void ExpectAnytimeContract(const DesignProblem& problem,
+                           const Result<SolveResult>& result, int64_t k,
+                           OptimizerMethod method) {
+  if (result.ok()) {
+    EXPECT_EQ(result->schedule.configs.size(), problem.num_segments())
+        << OptimizerMethodToString(method);
+    EXPECT_LE(CountChanges(problem, result->schedule.configs), k)
+        << OptimizerMethodToString(method);
+    EXPECT_TRUE(std::isfinite(result->schedule.total_cost))
+        << OptimizerMethodToString(method);
+    EXPECT_NEAR(result->schedule.total_cost,
+                EvaluateScheduleCost(problem, result->schedule.configs), 1e-6)
+        << OptimizerMethodToString(method);
+  } else {
+    EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded)
+        << OptimizerMethodToString(method) << ": " << result.status();
+  }
+}
+
+TEST(SolverDeadlineTest, ZeroDeadlineFeasibleOrDeadlineExceeded) {
+  auto fixture = MakeRandomProblem(301, 8, 12);
+  for (OptimizerMethod method : kAllMethods) {
+    SolveOptions options = MethodOptions(*fixture, method, 2);
+    options.deadline = std::chrono::milliseconds(0);
+    auto result = Solve(fixture->problem, options);
+    ExpectAnytimeContract(fixture->problem, result, 2, method);
+    if (result.ok()) {
+      EXPECT_TRUE(result->stats.deadline_hit)
+          << OptimizerMethodToString(method);
+      EXPECT_TRUE(result->stats.best_effort)
+          << OptimizerMethodToString(method);
+    }
+  }
+}
+
+TEST(SolverDeadlineTest, ShortDeadlineSweepHoldsTheContract) {
+  auto fixture = MakeRandomProblem(302, 10, 12);
+  for (OptimizerMethod method : kAllMethods) {
+    for (int64_t deadline_ms : {0, 1, 2, 5}) {
+      SolveOptions options = MethodOptions(*fixture, method, 3);
+      options.deadline = std::chrono::milliseconds(deadline_ms);
+      auto result = Solve(fixture->problem, options);
+      ExpectAnytimeContract(fixture->problem, result, 3, method);
+    }
+  }
+}
+
+TEST(SolverDeadlineTest, GenerousDeadlineIsByteIdentical) {
+  auto fixture = MakeRandomProblem(303, 8, 12);
+  CancelToken never_cancelled;
+  for (OptimizerMethod method : kAllMethods) {
+    for (int num_threads : {1, 4}) {
+      SolveOptions plain = MethodOptions(*fixture, method, 2, num_threads);
+      auto reference = Solve(fixture->problem, plain);
+      ASSERT_TRUE(reference.ok()) << OptimizerMethodToString(method);
+
+      SolveOptions budgeted = plain;
+      budgeted.deadline = std::chrono::minutes(10);
+      budgeted.cancel = &never_cancelled;
+      auto result = Solve(fixture->problem, budgeted);
+      ASSERT_TRUE(result.ok()) << OptimizerMethodToString(method);
+
+      EXPECT_EQ(result->schedule.configs, reference->schedule.configs)
+          << OptimizerMethodToString(method) << " threads " << num_threads;
+      EXPECT_EQ(result->schedule.total_cost, reference->schedule.total_cost)
+          << OptimizerMethodToString(method) << " threads " << num_threads;
+      EXPECT_FALSE(result->stats.deadline_hit)
+          << OptimizerMethodToString(method);
+      EXPECT_EQ(result->stats.best_effort, reference->stats.best_effort)
+          << OptimizerMethodToString(method);
+    }
+  }
+}
+
+TEST(SolverDeadlineTest, PreCancelledTokenBehavesLikeExpiredDeadline) {
+  auto fixture = MakeRandomProblem(304, 8, 12);
+  CancelToken token;
+  token.Cancel();
+  for (OptimizerMethod method : kAllMethods) {
+    SolveOptions options = MethodOptions(*fixture, method, 2);
+    options.cancel = &token;
+    auto result = Solve(fixture->problem, options);
+    ExpectAnytimeContract(fixture->problem, result, 2, method);
+    if (result.ok()) {
+      EXPECT_TRUE(result->stats.deadline_hit)
+          << OptimizerMethodToString(method);
+    }
+  }
+}
+
+TEST(SolverDeadlineTest, CancellationFromAnotherThreadMidSolve) {
+  // A problem big enough that the solve usually straddles the cancel;
+  // the assertions hold for every interleaving (cancel before, during,
+  // or after the solve), and the test doubles as the TSan probe for
+  // the token's cross-thread handoff into the pooled precompute.
+  auto fixture = MakeRandomProblem(305, 24, 14, /*max_indexes_per_config=*/2);
+  for (OptimizerMethod method :
+       {OptimizerMethod::kOptimal, OptimizerMethod::kMerging,
+        OptimizerMethod::kRanking}) {
+    CancelToken token;
+    SolveOptions options = MethodOptions(*fixture, method, 2,
+                                         /*num_threads=*/4);
+    options.cancel = &token;
+    std::thread canceller([&token] {
+      std::this_thread::sleep_for(std::chrono::microseconds(300));
+      token.Cancel();
+    });
+    auto result = Solve(fixture->problem, options);
+    canceller.join();
+    ExpectAnytimeContract(fixture->problem, result, 2, method);
+  }
+}
+
+TEST(SolverDeadlineTest, DeadlineHitIsPublishedAsAMetric) {
+  auto fixture = MakeRandomProblem(306, 8, 12);
+  // GREEDY-SEQ always has a feasible fallback (the reduced set keeps
+  // the initial configuration), so a zero deadline yields a flagged
+  // best-effort schedule rather than DeadlineExceeded.
+  SolveOptions options = MethodOptions(*fixture, OptimizerMethod::kGreedySeq, 2);
+  options.deadline = std::chrono::milliseconds(0);
+  MetricsRegistry metrics;
+  options.metrics = &metrics;
+  auto result = Solve(fixture->problem, options);
+  ASSERT_TRUE(result.ok()) << result.status();
+  ASSERT_TRUE(result->stats.deadline_hit);
+  MetricsSnapshot snapshot = metrics.Snapshot();
+  EXPECT_EQ(snapshot.CounterValue("solver.deadline_hit"), 1);
+  EXPECT_EQ(snapshot.CounterValue("solver.best_effort"), 1);
+}
+
+TEST(SolverDeadlineTest, NegativeDeadlineIsRejected) {
+  auto fixture = MakeRandomProblem(307, 4, 10);
+  SolveOptions options = MethodOptions(*fixture, OptimizerMethod::kOptimal, 2);
+  options.deadline = std::chrono::milliseconds(-1);
+  auto result = Solve(fixture->problem, options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SolverDeadlineTest, BudgetedSchedulesStillValidate) {
+  auto fixture = MakeRandomProblem(308, 10, 12);
+  for (OptimizerMethod method : kAllMethods) {
+    SolveOptions options = MethodOptions(*fixture, method, 2);
+    options.deadline = std::chrono::milliseconds(1);
+    auto result = Solve(fixture->problem, options);
+    if (!result.ok()) {
+      EXPECT_EQ(result.status().code(), StatusCode::kDeadlineExceeded);
+      continue;
+    }
+    EXPECT_TRUE(
+        ValidateSchedule(fixture->problem, result->schedule, 2).ok())
+        << OptimizerMethodToString(method);
+  }
+}
+
+}  // namespace
+}  // namespace cdpd

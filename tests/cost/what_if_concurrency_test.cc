@@ -93,11 +93,14 @@ TEST_F(WhatIfConcurrencyTest, ConcurrentSegmentCostMatchesSerial) {
 TEST_F(WhatIfConcurrencyTest, PrecomputeCostMatrixMatchesSerialProbes) {
   ThreadPool pool(4);
   std::unique_ptr<WhatIfEngine> parallel_engine = FreshEngine();
-  const CostMatrix matrix =
+  Result<CostMatrix> matrix_result =
       parallel_engine->PrecomputeCostMatrix(configs_, &pool);
+  ASSERT_TRUE(matrix_result.ok()) << matrix_result.status().ToString();
+  const CostMatrix& matrix = *matrix_result;
 
   ASSERT_EQ(matrix.num_segments(), segments_.size());
   ASSERT_EQ(matrix.num_configs(), configs_.size());
+  EXPECT_TRUE(matrix.complete());
 
   std::unique_ptr<WhatIfEngine> serial = FreshEngine();
   for (size_t s = 0; s < segments_.size(); ++s) {
@@ -122,9 +125,10 @@ TEST_F(WhatIfConcurrencyTest, PrecomputeWithNullPoolIsIdentical) {
   std::unique_ptr<WhatIfEngine> a = FreshEngine();
   std::unique_ptr<WhatIfEngine> b = FreshEngine();
   ThreadPool pool(4);
-  const CostMatrix serial_matrix = a->PrecomputeCostMatrix(configs_);
+  const CostMatrix serial_matrix =
+      a->PrecomputeCostMatrix(configs_).value();
   const CostMatrix parallel_matrix =
-      b->PrecomputeCostMatrix(configs_, &pool);
+      b->PrecomputeCostMatrix(configs_, &pool).value();
   for (size_t s = 0; s < segments_.size(); ++s) {
     for (size_t c = 0; c < configs_.size(); ++c) {
       ASSERT_EQ(serial_matrix.Exec(s, c), parallel_matrix.Exec(s, c));
@@ -141,7 +145,8 @@ TEST_F(WhatIfConcurrencyTest, PrecomputeWithNullPoolIsIdentical) {
 
 TEST_F(WhatIfConcurrencyTest, ExecRangeMatchesRangeCost) {
   ThreadPool pool(2);
-  const CostMatrix matrix = what_if_->PrecomputeCostMatrix(configs_, &pool);
+  const CostMatrix matrix =
+      what_if_->PrecomputeCostMatrix(configs_, &pool).value();
   for (size_t c = 0; c < configs_.size(); ++c) {
     EXPECT_EQ(matrix.ExecRange(2, 6, c),
               what_if_->RangeCost(2, 6, configs_[c]));

@@ -1,6 +1,11 @@
 #include "cost/what_if.h"
 
+#include <limits>
+#include <memory>
+
 #include <gtest/gtest.h>
+
+#include "common/thread_pool.h"
 
 namespace cdpd {
 namespace {
@@ -81,6 +86,57 @@ TEST_F(WhatIfTest, DistinctShapesAreCostedSeparately) {
   WhatIfEngine engine(&model_, mixed, segments);
   (void)engine.SegmentCost(0, Configuration::Empty());
   EXPECT_EQ(engine.costings(), 3);  // Three distinct shapes.
+}
+
+TEST_F(WhatIfTest, PrecomputeValidatesCellsAreFinite) {
+  // A poisoned cost model (NaN page cost) must surface as a diagnosed
+  // Internal error from the precompute — not as a silent NaN that a DP
+  // later compares itself into garbage with.
+  CostParams params;
+  params.seq_page_cost = std::numeric_limits<double>::quiet_NaN();
+  CostModel poisoned(schema_, 100'000, 1000, params);
+  WhatIfEngine engine(&poisoned, statements_, segments_);
+  const std::vector<Configuration> configs = {Configuration::Empty()};
+
+  Result<CostMatrix> serial = engine.PrecomputeCostMatrix(configs);
+  ASSERT_FALSE(serial.ok());
+  EXPECT_EQ(serial.status().code(), StatusCode::kInternal);
+  // The diagnosis names the segment (its statement range) and the
+  // candidate configuration of the offending cell.
+  EXPECT_NE(serial.status().ToString().find("segment 0"), std::string::npos)
+      << serial.status().ToString();
+  EXPECT_NE(serial.status().ToString().find("statements 0..10"),
+            std::string::npos)
+      << serial.status().ToString();
+  EXPECT_NE(serial.status().ToString().find("configuration #0"),
+            std::string::npos)
+      << serial.status().ToString();
+
+  // The parallel fill reports the identical (lowest) cell, so the
+  // error message is thread-count invariant.
+  WhatIfEngine fresh(&poisoned, statements_, segments_);
+  ThreadPool pool(4);
+  Result<CostMatrix> parallel = fresh.PrecomputeCostMatrix(configs, &pool);
+  ASSERT_FALSE(parallel.ok());
+  EXPECT_EQ(parallel.status().ToString(), serial.status().ToString());
+}
+
+TEST_F(WhatIfTest, PrecomputeValidatesTransitionsAreFinite) {
+  // Poison only the write path: point-select EXEC cells stay finite,
+  // but building an index (a transition) goes through write_page_cost,
+  // so the TRANS matrix is where the NaN lands.
+  CostParams params;
+  params.write_page_cost = std::numeric_limits<double>::infinity();
+  CostModel poisoned(schema_, 100'000, 1000, params);
+  WhatIfEngine engine(&poisoned, statements_, segments_);
+  const std::vector<Configuration> configs = {
+      Configuration::Empty(), Configuration({IndexDef({0})})};
+
+  Result<CostMatrix> matrix = engine.PrecomputeCostMatrix(configs);
+  ASSERT_FALSE(matrix.ok());
+  EXPECT_EQ(matrix.status().code(), StatusCode::kInternal);
+  EXPECT_NE(matrix.status().ToString().find("TRANS"), std::string::npos)
+      << matrix.status().ToString();
 }
 
 }  // namespace
