@@ -16,7 +16,7 @@
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   auto model = MakePaperCostModel();
   const Schema schema = MakePaperSchema();
@@ -73,6 +73,8 @@ void Run() {
     }
     const double eval_cost = EvaluateScheduleCost(eval_problem, fine);
     if (block_size == 100) finest_cost = eval_cost;
+    report->AddCase("block" + std::to_string(block_size), opt_time,
+                    result->stats);
     std::printf("%10zu %8zu %14.2f %11.2f%% %10lld\n", block_size,
                 segments.size(), opt_time * 1e3,
                 100.0 * eval_cost / finest_cost,
@@ -94,6 +96,7 @@ void Run() {
     auto result = Solve(problem, solve_options);
     const double opt_time = watch.ElapsedSeconds();
     if (result.ok()) {
+      report->AddCase("adaptive", opt_time, result->stats);
       const DesignSchedule& schedule = result->schedule;
       std::vector<Configuration> fine(eval_segments.size());
       for (size_t s = 0; s < eval_segments.size(); ++s) {
@@ -126,7 +129,9 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("ablation_block_size");
+  cdpd::Run(&report);
+  report.Write();
   cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

@@ -68,7 +68,7 @@ std::unique_ptr<AblationFixture> MakeFixture(int32_t num_columns,
   return f;
 }
 
-void PrintQualityTable() {
+void PrintQualityTable(bench_util::BenchReport* report) {
   using bench_util::PrintHeader;
   using bench_util::PrintRule;
   PrintHeader("Ablation A: GREEDY-SEQ candidate reduction vs full "
@@ -99,6 +99,9 @@ void PrintQualityTable() {
       std::printf("solver failed at m=%d\n", m);
       continue;
     }
+    report->AddCase("full_m" + std::to_string(m), full_time, optimal->stats);
+    report->AddCase("greedyseq_m" + std::to_string(m), reduced_time,
+                    greedy->stats);
     std::printf("%3d %6zu %10zu %9.2f%% %12.2f %12.2f %8.1fx\n", m,
                 fixture->problem.candidates.size(),
                 greedy->reduced_candidates.size(),
@@ -152,7 +155,9 @@ BENCHMARK(BM_GreedySeqReduced);
 }  // namespace cdpd
 
 int main(int argc, char** argv) {
-  cdpd::PrintQualityTable();
+  cdpd::bench_util::BenchReport report("ablation_candidates");
+  cdpd::PrintQualityTable(&report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

@@ -14,7 +14,7 @@
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   auto model = MakePaperCostModel();
   const Schema schema = MakePaperSchema();
@@ -83,6 +83,11 @@ void Run() {
                 100.0 * hybrid.schedule.total_cost /
                     graph.schedule.total_cost);
     (void)merged;
+    report->AddCase("hybrid_k" + std::to_string(k), hybrid_time,
+                    hybrid.stats);
+    report->AddCase("kaware_k" + std::to_string(k), graph_time, graph.stats);
+    report->AddCase("merging_k" + std::to_string(k), merge_time,
+                    merged.stats);
   }
   PrintRule();
   std::printf("quality = hybrid cost / optimal (k-aware) cost. The hybrid\n"
@@ -95,7 +100,9 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("ablation_hybrid");
+  cdpd::Run(&report);
+  report.Write();
   cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

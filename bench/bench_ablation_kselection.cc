@@ -12,6 +12,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "common/stopwatch.h"
 #include "core/k_selection.h"
 #include "workload/shift_detector.h"
 
@@ -23,7 +24,7 @@ void Report(const char* regime, const KSelectionReport& report) {
               report.ToString().c_str());
 }
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   auto model = MakePaperCostModel();
   const Workload w1 = MakeFullWorkload("W1", kSeed);
@@ -37,13 +38,20 @@ void Run() {
   PrintHeader("Ablation E: choosing k by holdout validation "
               "(the paper's open question #1)");
 
+  Stopwatch exact_watch;
   auto exact = ChooseChangeBound(*model, w1, {w1}, options);
+  report->AddCase("choose_k_exact_repeat", exact_watch.ElapsedSeconds());
   if (exact.ok()) Report("exact repeat of W1", *exact);
 
+  Stopwatch variations_watch;
   auto variations = ChooseChangeBound(*model, w1, {w2, w3}, options);
+  report->AddCase("choose_k_true_variations",
+                  variations_watch.ElapsedSeconds());
   if (variations.ok()) Report("true variations W2 and W3", *variations);
 
+  Stopwatch jitter_watch;
   auto jittered = ChooseChangeBound(*model, w1, {}, options);
+  report->AddCase("choose_k_synthetic_jitter", jitter_watch.ElapsedSeconds());
   if (jittered.ok()) {
     Report("synthetic jittered variants of W1 (no second trace needed)",
            *jittered);
@@ -69,6 +77,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("ablation_kselection");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

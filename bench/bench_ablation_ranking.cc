@@ -18,7 +18,7 @@
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   auto model = MakePaperCostModel();
   const Schema schema = MakePaperSchema();
@@ -64,6 +64,14 @@ void Run() {
       auto graph = Solve(problem, graph_options);
       const double graph_time = graph_watch.ElapsedSeconds();
 
+      const std::string point = "s" + std::to_string(segments.size()) +
+                                "_k" + std::to_string(k);
+      if (ranked.ok()) {
+        report->AddCase("ranking_" + point, rank_time, ranked->stats);
+      }
+      if (graph.ok()) {
+        report->AddCase("kaware_" + point, graph_time, graph->stats);
+      }
       if (!ranked.ok()) {
         std::printf("%8zu %4lld %14s %12.2f %12.3f %10s\n", segments.size(),
                     static_cast<long long>(k), "exhausted", rank_time * 1e3,
@@ -91,7 +99,9 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("ablation_ranking");
+  cdpd::Run(&report);
+  report.Write();
   cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

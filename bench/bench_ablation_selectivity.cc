@@ -51,7 +51,7 @@ double ExecuteUnderSchedule(Database* db, const Workload& workload,
   return db->cost_model().StatsToCost(total);
 }
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   constexpr int64_t kRows = 100'000;
   auto db = MakeSkewedDatabase(kRows);
@@ -97,6 +97,10 @@ void Run() {
     std::printf("advisor failed\n");
     return;
   }
+  report->AddCase("uniform_advisor", uniform_rec->stats.wall_seconds,
+                  uniform_rec->stats);
+  report->AddCase("stats_aware_advisor", stats_rec->stats.wall_seconds,
+                  stats_rec->stats);
   std::printf("uniform-assumption design: %s\n",
               uniform_rec->schedule.configs[0].ToString(schema).c_str());
   std::printf("stats-aware design:        %s\n\n",
@@ -125,6 +129,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("ablation_selectivity");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

@@ -14,7 +14,7 @@
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   auto model = MakePaperCostModel();
   const Schema schema = MakePaperSchema();
@@ -47,6 +47,8 @@ void Run() {
       continue;
     }
     unbounded_cost = rec->schedule.total_cost;  // Last row = unbounded.
+    report->AddCase("bound" + std::to_string(bound),
+                    rec->stats.wall_seconds, rec->stats);
     std::printf("%16lld %10zu %8lld %14.4e %s\n",
                 static_cast<long long>(bound), rec->candidate_configs.size(),
                 static_cast<long long>(rec->changes),
@@ -65,6 +67,8 @@ void Run() {
     options.max_indexes_per_config = max_indexes;
     auto rec = advisor.Recommend(w1, options);
     if (!rec.ok()) continue;
+    report->AddCase("max_indexes" + std::to_string(max_indexes),
+                    rec->stats.wall_seconds, rec->stats);
     std::printf("%12d %10zu %14.4e %s\n", max_indexes,
                 rec->candidate_configs.size(), rec->schedule.total_cost,
                 rec->schedule.configs[0].ToString(schema).c_str());
@@ -81,6 +85,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("ablation_space_bound");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

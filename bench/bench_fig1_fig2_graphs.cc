@@ -16,7 +16,7 @@
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using bench_util::PrintHeader;
   const Schema schema = MakePaperSchema();
   CostModel model(schema, bench_util::kPaperRows, bench_util::kPaperDomain);
@@ -62,6 +62,7 @@ void Run() {
   solve_options.k = 2;
   bench_util::AttachObservability(&solve_options);
   const SolveResult result = Solve(problem, solve_options).value();
+  report->AddCase("kaware_n3_k2", result.stats.wall_seconds, result.stats);
   const DesignSchedule& schedule = result.schedule;
   std::printf("\nshortest path through the k-aware graph (k = 2):\n");
   for (size_t i = 0; i < schedule.configs.size(); ++i) {
@@ -80,7 +81,9 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("fig1_fig2_graphs");
+  cdpd::Run(&report);
+  report.Write();
   cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

@@ -52,7 +52,7 @@ RunOutcome ExecuteUnderSchedule(const Workload& workload,
   return outcome;
 }
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   const int64_t rows = ExecutionRows();
   const Schema schema = MakePaperSchema();
@@ -104,6 +104,10 @@ void Run() {
       }
       rows_out.push_back(
           Row{names[w], d == 0 ? "unconstrained" : "constrained", outcome});
+      report->AddCase(std::string(names[w]) + "_" +
+                          (d == 0 ? "unconstrained" : "constrained"),
+                      outcome.wall_seconds,
+                      {{"page_cost", outcome.cost_units}});
     }
   }
   for (const Row& row : rows_out) {
@@ -125,6 +129,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("fig3_workload_variations");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

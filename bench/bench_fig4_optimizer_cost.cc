@@ -127,7 +127,7 @@ double MedianSeconds(Fn&& fn, int reps = 15) {
   return times[static_cast<size_t>(reps / 2)];
 }
 
-void PrintRelativeTable() {
+void PrintRelativeTable(bench_util::BenchReport* report) {
   using bench_util::PrintHeader;
   using bench_util::PrintRule;
   Fig4Fixture* f = GetFixture();
@@ -135,6 +135,7 @@ void PrintRelativeTable() {
     auto result = Solve(f->problem, OptionsFor(OptimizerMethod::kOptimal));
     benchmark::DoNotOptimize(result);
   });
+  report->AddCase("unconstrained", base);
   const int64_t l = CountChanges(f->problem, f->unconstrained.configs);
 
   PrintHeader("Figure 4: Runtimes of Constrained Design Optimizers "
@@ -156,6 +157,10 @@ void PrintRelativeTable() {
     });
     std::printf("%4lld %21.0f%% %21.0f%%\n", static_cast<long long>(k),
                 100.0 * graph_time / base, 100.0 * merge_time / base);
+    report->AddCase("kaware_k" + std::to_string(k), graph_time,
+                    {{"relative_to_unconstrained", graph_time / base}});
+    report->AddCase("merging_k" + std::to_string(k), merge_time,
+                    {{"relative_to_unconstrained", merge_time / base}});
   }
   PrintRule();
   std::printf("expected shape (paper): graph grows ~linearly with k; "
@@ -168,7 +173,9 @@ void PrintRelativeTable() {
 }  // namespace cdpd
 
 int main(int argc, char** argv) {
-  cdpd::PrintRelativeTable();
+  cdpd::bench_util::BenchReport report("fig4_optimizer_cost");
+  cdpd::PrintRelativeTable(&report);
+  report.Write();
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();

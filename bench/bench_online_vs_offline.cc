@@ -9,6 +9,7 @@
 #include <memory>
 
 #include "bench_util.h"
+#include "common/stopwatch.h"
 #include "core/online_tuner.h"
 #include "cost/what_if.h"
 
@@ -27,7 +28,7 @@ double OfflineCost(const CostModel& model, const Workload& workload,
   return EvaluateScheduleCost(problem, schedule);
 }
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   auto model = MakePaperCostModel();
   const Schema schema = MakePaperSchema();
@@ -58,6 +59,7 @@ void Run() {
   const Workload* workloads[3] = {&w1, &w2, &w3};
   const char* names[3] = {"W1", "W2", "W3"};
   for (int w = 0; w < 3; ++w) {
+    const Stopwatch watch;
     const double off_unc =
         OfflineCost(*model, *workloads[w], unconstrained->schedule.configs);
     const double off_con =
@@ -77,6 +79,10 @@ void Run() {
     std::printf("%-9s %18.4e %18.4e %18.4e %14lld\n", names[w], off_unc,
                 off_con, online_cost,
                 static_cast<long long>(tuner.stats().changes));
+    report->AddCase(names[w], watch.ElapsedSeconds(),
+                    {{"offline_unconstrained_cost", off_unc},
+                     {"offline_k2_cost", off_con},
+                     {"online_cost", online_cost}});
   }
   PrintRule();
   std::printf(
@@ -93,6 +99,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("online_vs_offline");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

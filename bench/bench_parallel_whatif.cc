@@ -107,7 +107,7 @@ Run SolveWith(int threads, MetricsRegistry* metrics = nullptr,
   return run;
 }
 
-void Report() {
+void Report(bench_util::BenchReport* report) {
   using bench_util::PrintHeader;
   using bench_util::PrintRule;
   PrintHeader(
@@ -118,6 +118,7 @@ void Report() {
               ThreadPool::DefaultThreadCount());
 
   const Run serial = SolveWith(1);
+  report->AddCase("solve_threads1", serial.seconds, serial.result.stats);
   std::printf("%8s %12s %10s %12s %12s %10s\n", "threads", "wall ms",
               "speedup", "costings", "cache hits", "same?");
   std::printf("%8d %12.2f %10s %12lld %12lld %10s\n", serial.threads,
@@ -129,6 +130,8 @@ void Report() {
   bool all_identical = true;
   for (int threads : {2, 4, 8}) {
     const Run run = SolveWith(threads);
+    report->AddCase("solve_threads" + std::to_string(threads), run.seconds,
+                    run.result.stats);
     const bool same_schedule =
         run.result.schedule.configs == serial.result.schedule.configs &&
         run.result.schedule.total_cost == serial.result.schedule.total_cost &&
@@ -180,36 +183,45 @@ void Report() {
 
 /// The zero-overhead contract of the observability layer and the
 /// budget poll: a disabled trace-span site (null tracer), a disabled
-/// metric site (null counter), and an unlimited-budget poll (null
-/// Budget) must all compile down to pointer tests. Times millions of
-/// such sites and fails the bench when the per-site cost exceeds a
-/// bound generous enough for any CI machine or sanitizer build — a
-/// regression here means instrumentation or deadline checking leaked
-/// real work onto the disabled path.
-void AssertDisabledInstrumentationIsFree() {
+/// metric site (null counter), a disabled log site (null logger), a
+/// disabled progress site (null callback), and an unlimited-budget
+/// poll (null Budget) must all compile down to pointer tests. Times
+/// millions of such sites and fails the bench when the per-site cost
+/// exceeds a bound generous enough for any CI machine or sanitizer
+/// build — a regression here means instrumentation or deadline
+/// checking leaked real work onto the disabled path.
+void AssertDisabledInstrumentationIsFree(bench_util::BenchReport* report) {
   using bench_util::PrintRule;
   constexpr int64_t kIters = 10'000'000;
   Tracer* tracer = nullptr;
   Counter* counter = nullptr;
   const Budget* budget = nullptr;
+  Logger* logger = nullptr;
+  const ProgressFn* progress = nullptr;
   // Launder the nulls so the optimizer cannot fold the checks away;
   // what remains is exactly what an uninstrumented hot loop executes.
-  asm volatile("" : "+r"(tracer), "+r"(counter), "+r"(budget));
+  asm volatile("" : "+r"(tracer), "+r"(counter), "+r"(budget), "+r"(logger),
+               "+r"(progress));
   int64_t sink = 0;
   Stopwatch watch;
   for (int64_t i = 0; i < kIters; ++i) {
     CDPD_TRACE_SPAN(tracer, "bench.noop", "bench", i);
     if (counter != nullptr) counter->Add(1);
     if (BudgetExpired(budget)) sink += 1;
+    CDPD_LOG(logger, LogLevel::kInfo, "bench.noop", LogField("i", i));
+    ReportProgress(progress, "bench.noop",
+                   static_cast<double>(i) / kIters);
     sink += i;
     asm volatile("" : "+r"(sink));
   }
   const double ns_per_site = watch.ElapsedSeconds() * 1e9 / kIters;
   constexpr double kBoundNs = 100.0;
-  std::printf("disabled instrumentation: %.2f ns per span+counter site "
-              "(bound %.0f ns) — %s\n",
+  std::printf("disabled instrumentation: %.2f ns per span+counter+log+"
+              "progress site (bound %.0f ns) — %s\n",
               ns_per_site, kBoundNs, ns_per_site < kBoundNs ? "ok" : "FAIL");
   PrintRule();
+  report->AddCase("disabled_instrumentation_site", ns_per_site * 1e-9,
+                  {{"ns_per_site", ns_per_site}, {"bound_ns", kBoundNs}});
   if (ns_per_site >= kBoundNs) std::exit(1);
 }
 
@@ -217,8 +229,10 @@ void AssertDisabledInstrumentationIsFree() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Report();
-  cdpd::AssertDisabledInstrumentationIsFree();
+  cdpd::bench_util::BenchReport report("parallel_whatif");
+  cdpd::Report(&report);
+  cdpd::AssertDisabledInstrumentationIsFree(&report);
+  report.Write();
   cdpd::bench_util::WriteObservabilityArtifacts();
   return 0;
 }

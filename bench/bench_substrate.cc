@@ -138,7 +138,39 @@ void BM_ApplyConfigurationRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_ApplyConfigurationRoundTrip)->Unit(benchmark::kMillisecond);
 
+/// Feeds every google-benchmark result into the BENCH_*.json telemetry
+/// artifact (one case per benchmark, per-iteration real time) while
+/// still printing the usual console table.
+class ReportingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit ReportingReporter(bench_util::BenchReport* report)
+      : report_(report) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations == 0) continue;
+      report_->AddCase(
+          run.benchmark_name(),
+          run.real_accumulated_time / static_cast<double>(run.iterations),
+          {{"iterations", static_cast<double>(run.iterations)}});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+ private:
+  bench_util::BenchReport* report_;
+};
+
 }  // namespace
 }  // namespace cdpd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  cdpd::bench_util::BenchReport report("substrate");
+  cdpd::ReportingReporter reporter(&report);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  report.Write();
+  return 0;
+}

@@ -4,13 +4,14 @@
 #include <cstdio>
 
 #include "bench_util.h"
+#include "common/stopwatch.h"
 #include "workload/generator.h"
 #include "workload/query_mix.h"
 
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using bench_util::PrintHeader;
   const Schema schema = MakePaperSchema();
   const std::vector<QueryMix> mixes = MakePaperQueryMixes();
@@ -35,9 +36,12 @@ void Run() {
   constexpr int kQueries = 100'000;
   for (const QueryMix& mix : mixes) {
     std::vector<int64_t> counts(4, 0);
+    const Stopwatch watch;
     for (int i = 0; i < kQueries; ++i) {
       ++counts[static_cast<size_t>(gen.GenerateQuery(mix).where_column)];
     }
+    report->AddCase("generate_mix_" + mix.name, watch.ElapsedSeconds(),
+                    {{"queries", static_cast<double>(kQueries)}});
     std::printf("Query Mix %-4s", mix.name.c_str());
     for (int64_t count : counts) {
       std::printf("%7.2f%%", 100.0 * static_cast<double>(count) / kQueries);
@@ -51,6 +55,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("table1_query_mixes");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

@@ -10,7 +10,7 @@
 namespace cdpd {
 namespace {
 
-void Run() {
+void Run(bench_util::BenchReport* report) {
   using namespace bench_util;
   const Schema schema = MakePaperSchema();
   auto model = MakePaperCostModel();
@@ -25,6 +25,10 @@ void Run() {
                 constrained.status().ToString().c_str());
     return;
   }
+  report->AddCase("w1_unconstrained", unconstrained->stats.wall_seconds,
+                  unconstrained->stats);
+  report->AddCase("w1_k2", constrained->stats.wall_seconds,
+                  constrained->stats);
 
   PrintHeader("Table 2: Dynamic Workloads and Physical Designs");
   std::printf("%-14s %-4s %-10s %-10s %-4s %-4s\n", "query number", "W1",
@@ -67,6 +71,8 @@ void Run() {
 }  // namespace cdpd
 
 int main() {
-  cdpd::Run();
+  cdpd::bench_util::BenchReport report("table2_designs");
+  cdpd::Run(&report);
+  report.Write();
   return 0;
 }

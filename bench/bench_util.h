@@ -3,12 +3,16 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/json_util.h"
 #include "common/metrics.h"
+#include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "core/advisor.h"
 #include "cost/cost_model.h"
@@ -99,6 +103,128 @@ inline void WriteObservabilityArtifacts() {
     write(path, BenchTracer().ToChromeJson(), "trace");
   }
 }
+
+/// Continuous benchmark telemetry: every bench main builds one
+/// BenchReport, records a case per measured experiment point, and
+/// writes `BENCH_<bench>.json` on exit. The artifact is the unit the
+/// perf trajectory is built from — tools/bench_compare diffs two sets
+/// of them, and CI uploads every run's set next to the committed
+/// baseline in bench/baselines/.
+///
+/// Schema (version 1):
+///   {
+///     "schema_version": 1,
+///     "kind": "cdpd.bench",
+///     "bench": "<name>",
+///     "git_sha": "<$CDPD_GIT_SHA or 'unknown'>",
+///     "threads": <default worker-thread count>,
+///     "rows": <ExecutionRows()>,
+///     "unix_time": <seconds since epoch>,
+///     "cases": [
+///       {"name": "...", "wall_seconds": 1.25, "metrics": {"costings":
+///        831, ...}},
+///       ...
+///     ]
+///   }
+///
+/// Case metrics are optional flat numeric key/value pairs — pass a
+/// SolveStats to embed the solver counters, or hand-picked values for
+/// substrate benches. The artifact lands in $CDPD_BENCH_OUT_DIR (else
+/// the working directory).
+class BenchReport {
+ public:
+  explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
+
+  /// Records one measured case with optional flat numeric metrics.
+  void AddCase(std::string name, double wall_seconds,
+               std::vector<std::pair<std::string, double>> metrics = {}) {
+    cases_.push_back(Case{std::move(name), wall_seconds, std::move(metrics),
+                          /*stats_json=*/""});
+  }
+
+  /// Records one measured solve, embedding the full SolveStats
+  /// counters (core/solve_stats.h ToJson) as the case metrics.
+  void AddCase(std::string name, double wall_seconds,
+               const SolveStats& stats) {
+    cases_.push_back(Case{std::move(name), wall_seconds, {},
+                          stats.ToJson()});
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\"schema_version\":1,\"kind\":\"cdpd.bench\"";
+    out += ",\"bench\":" + JsonString(bench_);
+    const char* sha = std::getenv("CDPD_GIT_SHA");
+    out += ",\"git_sha\":" +
+           JsonString(sha != nullptr && sha[0] != '\0' ? sha : "unknown");
+    out += ",\"threads\":" +
+           std::to_string(ThreadPool::DefaultThreadCount());
+    out += ",\"rows\":" + std::to_string(ExecutionRows());
+    out += ",\"unix_time\":" +
+           std::to_string(static_cast<int64_t>(std::time(nullptr)));
+    out += ",\"cases\":[";
+    for (size_t i = 0; i < cases_.size(); ++i) {
+      const Case& c = cases_[i];
+      if (i > 0) out += ',';
+      out += "{\"name\":" + JsonString(c.name);
+      out += ",\"wall_seconds\":" + JsonDouble(c.wall_seconds);
+      if (!c.stats_json.empty()) {
+        out += ",\"metrics\":" + c.stats_json;
+      } else {
+        out += ",\"metrics\":{";
+        for (size_t m = 0; m < c.metrics.size(); ++m) {
+          if (m > 0) out += ',';
+          out += JsonString(c.metrics[m].first) + ":" +
+                 JsonDouble(c.metrics[m].second);
+        }
+        out += '}';
+      }
+      out += '}';
+    }
+    out += "]}\n";
+    return out;
+  }
+
+  /// Writes BENCH_<bench>.json into $CDPD_BENCH_OUT_DIR (else cwd).
+  /// Returns false (after a diagnostic) when the file cannot be
+  /// written; benches report but do not fail on that.
+  bool Write() const {
+    std::string path;
+    if (const char* dir = std::getenv("CDPD_BENCH_OUT_DIR")) {
+      if (dir[0] != '\0') {
+        path = dir;
+        if (path.back() != '/') path += '/';
+      }
+    }
+    path += "BENCH_" + bench_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write bench report to %s\n", path.c_str());
+      return false;
+    }
+    const std::string json = ToJson();
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    const bool ok = std::fclose(f) == 0 && written == json.size();
+    if (ok) {
+      std::printf("bench report (%zu cases) written to %s\n", cases_.size(),
+                  path.c_str());
+    } else {
+      std::fprintf(stderr, "short write of bench report %s\n", path.c_str());
+    }
+    return ok;
+  }
+
+ private:
+  struct Case {
+    std::string name;
+    double wall_seconds = 0.0;
+    std::vector<std::pair<std::string, double>> metrics;
+    /// Pre-rendered SolveStats JSON (takes precedence over `metrics`).
+    std::string stats_json;
+  };
+
+  std::string bench_;
+  std::vector<Case> cases_;
+};
 
 /// The advisor options of §6: 7-configuration space over the six
 /// candidate indexes, initial and final design empty. std::nullopt is

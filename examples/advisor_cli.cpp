@@ -2,24 +2,35 @@
 //
 //   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
 //               [--threads N] [--rows N] [--deadline-ms N] [--calibrate]
-//               [--emit-ddl] [--metrics-out=FILE] [--trace-out=FILE]
+//               [--emit-ddl] [--explain] [--quiet]
+//               [--metrics-out=FILE] [--trace-out=FILE]
+//               [--explain-out=FILE] [--log-out=FILE]
 //
 // Reads a SQL workload trace (or generates the paper's W1 as a demo),
 // recommends a change-constrained dynamic design, and optionally emits
 // the CREATE/DROP INDEX script that enacts it. With --calibrate, cost
-// model constants are measured on a scratch database first.
-// --metrics-out writes a JSON metrics snapshot (counters, gauges,
-// histograms); --trace-out writes a Chrome trace_event JSON of the
-// solve's spans (load in chrome://tracing or Perfetto). --deadline-ms
-// bounds the solve wall clock: on expiry the advisor reports the best
-// feasible schedule found so far, marked "(deadline hit: best-effort
-// schedule)".
+// model constants are measured on a scratch database first. Run
+// `advisor_cli --help` for the full flag reference, including the
+// observability artifacts (metrics, traces, explain reports, logs).
 
 #include <cstdio>
 #include <cstring>
+#include <mutex>
 #include <string>
 
+#if defined(_WIN32)
+#include <io.h>
+#define CDPD_CLI_ISATTY _isatty
+#define CDPD_CLI_FILENO _fileno
+#else
+#include <unistd.h>
+#define CDPD_CLI_ISATTY isatty
+#define CDPD_CLI_FILENO fileno
+#endif
+
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/progress.h"
 #include "common/tracing.h"
 #include "core/advisor.h"
 #include "cost/calibration.h"
@@ -41,9 +52,52 @@ struct CliArgs {
   int64_t deadline_ms = -1;  // < 0 = no deadline.
   bool calibrate = false;
   bool emit_ddl = false;
+  bool explain = false;     // Print the EXEC/TRANS attribution table.
+  bool quiet = false;       // Suppress progress + informational chatter.
+  bool help = false;
   std::string metrics_out;  // Empty = no metrics artifact.
   std::string trace_out;    // Empty = no trace artifact.
+  std::string explain_out;  // Empty = no explain JSON artifact.
+  std::string log_out;      // Empty = no JSONL log artifact.
 };
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out,
+      "usage: advisor_cli [trace.sql] [flags]\n"
+      "\n"
+      "Recommends a change-constrained dynamic physical design for a\n"
+      "SQL workload trace (no trace: the paper's W1 is generated as a\n"
+      "demo).\n"
+      "\n"
+      "solve flags:\n"
+      "  --k N             change bound k (N < 0 = unconstrained; "
+      "default 2)\n"
+      "  --block N         statements per advisor segment (default 500)\n"
+      "  --method NAME     optimal|greedy-seq|merging|ranking|hybrid\n"
+      "  --threads N       worker threads (0 = CDPD_THREADS / hardware)\n"
+      "  --rows N          table rows assumed by the cost model\n"
+      "  --deadline-ms N   wall-clock budget; on expiry the best\n"
+      "                    feasible schedule found so far is reported\n"
+      "  --calibrate       measure cost-model constants on a scratch db\n"
+      "  --emit-ddl        print the CREATE/DROP INDEX script\n"
+      "\n"
+      "observability flags (see docs/observability.md):\n"
+      "  --explain             print the per-transition EXEC/TRANS\n"
+      "                        attribution of the schedule\n"
+      "  --explain-out=FILE    write the attribution as JSON\n"
+      "                        (cdpd.explain schema; implies building\n"
+      "                        the report)\n"
+      "  --metrics-out=FILE    write a JSON metrics snapshot (counters,\n"
+      "                        gauges, histograms)\n"
+      "  --trace-out=FILE      write Chrome trace_event JSON of the\n"
+      "                        solve's spans (chrome://tracing,\n"
+      "                        Perfetto)\n"
+      "  --log-out=FILE        write the structured JSONL log of the\n"
+      "                        solve (one JSON object per event)\n"
+      "  --quiet               no progress bar, no informational\n"
+      "                        chatter; results and artifacts only\n"
+      "  --help                this text\n");
+}
 
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
   for (int i = 1; i < argc; ++i) {
@@ -72,12 +126,24 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->calibrate = true;
     } else if (arg == "--emit-ddl") {
       args->emit_ddl = true;
+    } else if (arg == "--explain") {
+      args->explain = true;
+    } else if (arg == "--quiet") {
+      args->quiet = true;
+    } else if (arg == "--help" || arg == "-h") {
+      args->help = true;
     } else if (arg.rfind("--metrics-out=", 0) == 0) {
       args->metrics_out = arg.substr(std::strlen("--metrics-out="));
       if (args->metrics_out.empty()) return false;
     } else if (arg.rfind("--trace-out=", 0) == 0) {
       args->trace_out = arg.substr(std::strlen("--trace-out="));
       if (args->trace_out.empty()) return false;
+    } else if (arg.rfind("--explain-out=", 0) == 0) {
+      args->explain_out = arg.substr(std::strlen("--explain-out="));
+      if (args->explain_out.empty()) return false;
+    } else if (arg.rfind("--log-out=", 0) == 0) {
+      args->log_out = arg.substr(std::strlen("--log-out="));
+      if (args->log_out.empty()) return false;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
       return false;
@@ -143,23 +209,62 @@ bool WriteFile(const std::string& path, const std::string& content) {
   return std::fclose(f) == 0 && written == content.size();
 }
 
+/// A stderr progress bar fed by the solver's ProgressFn. The callback
+/// arrives from worker threads (precompute shards), so updates are
+/// mutex-protected; redraws are throttled to whole-percent changes per
+/// phase to keep the terminal readable.
+class ProgressBar {
+ public:
+  void Update(const ProgressUpdate& update) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int percent = static_cast<int>(update.fraction * 100.0);
+    if (update.phase == last_phase_ && percent == last_percent_) return;
+    if (update.phase != last_phase_ && !last_phase_.empty()) {
+      std::fprintf(stderr, "\n");
+    }
+    last_phase_ = update.phase;
+    last_percent_ = percent;
+    constexpr int kWidth = 32;
+    const int filled = percent * kWidth / 100;
+    char bar[kWidth + 1];
+    for (int i = 0; i < kWidth; ++i) bar[i] = i < filled ? '=' : ' ';
+    bar[kWidth] = '\0';
+    std::fprintf(stderr, "\r  %-20s [%s] %3d%%", update.phase, bar, percent);
+  }
+
+  void Finish() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!last_phase_.empty()) std::fprintf(stderr, "\n");
+    last_phase_.clear();
+    last_percent_ = -1;
+  }
+
+ private:
+  std::mutex mu_;
+  std::string last_phase_;
+  int last_percent_ = -1;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliArgs args;
   if (!ParseArgs(argc, argv, &args)) {
-    std::fprintf(stderr,
-                 "usage: advisor_cli [trace.sql] [--k N] [--block N] "
-                 "[--method optimal|greedy-seq|merging|ranking|hybrid] "
-                 "[--threads N] [--rows N] [--deadline-ms N] [--calibrate] "
-                 "[--emit-ddl] [--metrics-out=FILE] [--trace-out=FILE]\n");
+    PrintHelp(stderr);
     return 2;
   }
+  if (args.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  const bool chatty = !args.quiet;
 
   const Schema schema = MakePaperSchema();
   Workload trace;
   if (args.trace_path.empty()) {
-    std::printf("no trace given; generating the paper's W1 as a demo\n");
+    if (chatty) {
+      std::printf("no trace given; generating the paper's W1 as a demo\n");
+    }
     WorkloadGenerator gen(schema, 500'000, 1);
     trace = MakePaperWorkload("W1", &gen).value();
   } else {
@@ -171,8 +276,10 @@ int main(int argc, char** argv) {
     }
     trace = std::move(loaded).value();
   }
-  std::printf("trace: %zu statements, advisor block size %zu\n",
-              trace.size(), args.block);
+  if (chatty) {
+    std::printf("trace: %zu statements, advisor block size %zu\n",
+                trace.size(), args.block);
+  }
 
   CostParams params;
   if (args.calibrate) {
@@ -211,9 +318,23 @@ int main(int argc, char** argv) {
   }
   MetricsRegistry registry;
   Tracer tracer;
+  Logger logger(LogLevel::kInfo);
+  ProgressBar bar;
   if (!args.metrics_out.empty()) options.metrics = &registry;
   if (!args.trace_out.empty()) options.tracer = &tracer;
+  if (!args.log_out.empty()) options.logger = &logger;
+  if (args.explain || !args.explain_out.empty()) options.explain = true;
+  // The live progress bar only makes sense on an interactive stderr
+  // and is pure noise in --quiet runs or redirected logs.
+  const bool show_progress =
+      chatty && CDPD_CLI_ISATTY(CDPD_CLI_FILENO(stderr)) != 0;
+  if (show_progress) {
+    options.progress = [&bar](const ProgressUpdate& update) {
+      bar.Update(update);
+    };
+  }
   auto rec = advisor.Recommend(trace, options);
+  if (show_progress) bar.Finish();
   if (!rec.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
                  rec.status().ToString().c_str());
@@ -231,12 +352,14 @@ int main(int argc, char** argv) {
     std::printf("best-effort schedule (the enumeration cap was reached "
                 "before an optimal answer)\n");
   }
-  std::printf(
-      "solver stats: %d thread(s), %lld what-if costings, %lld cache "
-      "hits, %lld nodes expanded\n",
-      stats.threads_used, static_cast<long long>(stats.costings),
-      static_cast<long long>(stats.cache_hits),
-      static_cast<long long>(stats.nodes_expanded));
+  if (chatty) {
+    std::printf(
+        "solver stats: %d thread(s), %lld what-if costings, %lld cache "
+        "hits, %lld nodes expanded\n",
+        stats.threads_used, static_cast<long long>(stats.costings),
+        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.nodes_expanded));
+  }
   if (args.k >= 0) {
     std::printf("design changes: %lld (bound %lld), estimated cost %.4e\n",
                 static_cast<long long>(rec->changes),
@@ -258,6 +381,45 @@ int main(int argc, char** argv) {
   }
   if (args.emit_ddl) {
     std::printf("\n-- DDL script --\n%s", EmitDdl(schema, *rec).c_str());
+  }
+  if (options.explain) {
+    if (!rec->explain.has_value()) {
+      std::fprintf(stderr, "explain report missing from recommendation\n");
+      return 1;
+    }
+    if (args.explain) {
+      std::printf("\n%s", rec->explain->ToText(schema).c_str());
+    }
+    if (!rec->explain->exact) {
+      // The attribution is built to reproduce the solver's cost
+      // bit-for-bit; any drift means the report cannot be trusted.
+      std::fprintf(stderr,
+                   "explain totals do not match the solver cost "
+                   "(attribution %.17g vs solver %.17g)\n",
+                   rec->explain->total_cost,
+                   rec->explain->solver_reported_cost);
+      return 1;
+    }
+    if (!args.explain_out.empty()) {
+      if (!WriteFile(args.explain_out, rec->explain->ToJson(schema))) {
+        std::fprintf(stderr, "cannot write %s\n", args.explain_out.c_str());
+        return 1;
+      }
+      if (chatty) {
+        std::printf("\nexplain report written to %s\n",
+                    args.explain_out.c_str());
+      }
+    }
+  }
+  if (!args.log_out.empty()) {
+    if (!WriteFile(args.log_out, logger.ToJsonl())) {
+      std::fprintf(stderr, "cannot write %s\n", args.log_out.c_str());
+      return 1;
+    }
+    if (chatty) {
+      std::printf("log (%zu events) written to %s\n", logger.num_events(),
+                  args.log_out.c_str());
+    }
   }
   if (!args.metrics_out.empty()) {
     const MetricsSnapshot snapshot = registry.Snapshot();

@@ -1,0 +1,66 @@
+#ifndef CDPD_COMMON_JSON_UTIL_H_
+#define CDPD_COMMON_JSON_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace cdpd {
+
+/// Appends `s` to `out` with the JSON-significant characters escaped
+/// (quote, backslash, control characters). No surrounding quotes.
+inline void AppendJsonEscaped(std::string* out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+}
+
+/// `s` as a quoted, escaped JSON string literal.
+inline std::string JsonString(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  AppendJsonEscaped(&out, s);
+  out.push_back('"');
+  return out;
+}
+
+/// A double as a JSON number. %.17g round-trips every finite double
+/// exactly (the artifacts are diffed and replayed, so full precision
+/// matters); non-finite values have no JSON literal and become null.
+inline std::string JsonDouble(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_JSON_UTIL_H_

@@ -1,0 +1,94 @@
+#include "common/log.h"
+
+#include <atomic>
+
+#include "common/json_util.h"
+
+namespace cdpd {
+
+namespace {
+
+/// Process-wide dense thread numbering, assigned on a thread's first
+/// log line. Stable across loggers (unlike Tracer's per-tracer tids)
+/// so one process's logs correlate by thread.
+int ThisThreadNumber() {
+  static std::atomic<int> next{0};
+  thread_local const int number = next.fetch_add(1);
+  return number;
+}
+
+}  // namespace
+
+std::string_view LogLevelToString(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+void Logger::Log(LogLevel level, std::string_view event,
+                 std::initializer_list<LogField> fields) {
+  if (!enabled(level)) return;
+  const int64_t ts_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count();
+  // Render outside the lock; only the append contends.
+  std::string line = "{\"ts_us\":" + std::to_string(ts_us) +
+                     ",\"level\":" + JsonString(LogLevelToString(level)) +
+                     ",\"thread\":" + std::to_string(ThisThreadNumber()) +
+                     ",\"event\":" + JsonString(event);
+  for (const LogField& field : fields) {
+    line.push_back(',');
+    line += JsonString(field.key);
+    line.push_back(':');
+    switch (field.kind) {
+      case LogField::Kind::kInt:
+        line += std::to_string(field.int_value);
+        break;
+      case LogField::Kind::kDouble:
+        line += JsonDouble(field.double_value);
+        break;
+      case LogField::Kind::kBool:
+        line += field.bool_value ? "true" : "false";
+        break;
+      case LogField::Kind::kString:
+        line += JsonString(field.string_value);
+        break;
+    }
+  }
+  line.push_back('}');
+  std::lock_guard<std::mutex> lock(mu_);
+  lines_.push_back(std::move(line));
+}
+
+size_t Logger::num_events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lines_.size();
+}
+
+std::string Logger::ToJsonl() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const std::string& line : lines_) {
+    out += line;
+    out.push_back('\n');
+  }
+  return out;
+}
+
+std::vector<std::string> Logger::TakeLines() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> taken = std::move(lines_);
+  lines_.clear();
+  return taken;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,141 @@
+#ifndef CDPD_COMMON_LOG_H_
+#define CDPD_COMMON_LOG_H_
+
+#include <chrono>
+#include <cstdint>
+#include <initializer_list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cdpd {
+
+/// Compile-time kill switch: building with -DCDPD_DISABLE_LOGGING
+/// turns every CDPD_LOG site into dead code the compiler removes. The
+/// default build keeps the sites, which cost one pointer test when no
+/// logger is injected — the same zero-overhead contract as
+/// MetricsRegistry and Tracer (asserted by bench_parallel_whatif).
+#if defined(CDPD_DISABLE_LOGGING)
+inline constexpr bool kLoggingCompiledIn = false;
+#else
+inline constexpr bool kLoggingCompiledIn = true;
+#endif
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+std::string_view LogLevelToString(LogLevel level);
+
+/// One structured field of a log event. Construction is cheap (no
+/// allocation for numeric fields); keys must be string literals or
+/// otherwise outlive the Log() call — the field only borrows them.
+struct LogField {
+  enum class Kind { kInt, kDouble, kBool, kString };
+
+  LogField(std::string_view key, int64_t value)
+      : key(key), kind(Kind::kInt), int_value(value) {}
+  LogField(std::string_view key, int value)
+      : key(key), kind(Kind::kInt), int_value(value) {}
+  LogField(std::string_view key, size_t value)
+      : key(key), kind(Kind::kInt), int_value(static_cast<int64_t>(value)) {}
+  LogField(std::string_view key, double value)
+      : key(key), kind(Kind::kDouble), double_value(value) {}
+  LogField(std::string_view key, bool value)
+      : key(key), kind(Kind::kBool), bool_value(value) {}
+  LogField(std::string_view key, std::string_view value)
+      : key(key), kind(Kind::kString), string_value(value) {}
+  LogField(std::string_view key, const char* value)
+      : key(key), kind(Kind::kString), string_value(value) {}
+
+  std::string_view key;
+  Kind kind;
+  int64_t int_value = 0;
+  double double_value = 0.0;
+  bool bool_value = false;
+  std::string_view string_value;
+};
+
+/// A leveled, thread-safe structured logger that accumulates one JSON
+/// object per event (JSONL). Each line carries a microsecond timestamp
+/// relative to the logger's construction, the level, a process-wide
+/// dense thread number, the event name, and the structured fields:
+///
+///   {"ts_us":1234,"level":"info","thread":0,"event":"solve.start","k":2}
+///
+/// Lines are buffered in memory; export the log with ToJsonl() (or
+/// drain incrementally with TakeLines()). Logging is safe from any
+/// thread — the line is rendered outside the lock and appended under
+/// it — and never influences what the instrumented code computes.
+///
+/// Injection contract: instrumentation sites take a Logger* and treat
+/// null as disabled, so an uninstrumented run pays one pointer test
+/// per site (use the CDPD_LOG macro, which also skips rendering for
+/// events below the minimum level).
+class Logger {
+ public:
+  explicit Logger(LogLevel min_level = LogLevel::kInfo)
+      : min_level_(min_level),
+        epoch_(std::chrono::steady_clock::now()) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+
+  /// True when events of `level` are recorded. Checked by CDPD_LOG
+  /// before any field is constructed.
+  bool enabled(LogLevel level) const { return level >= min_level_; }
+  LogLevel min_level() const { return min_level_; }
+
+  /// Records one event. Fields appear in the given order after the
+  /// fixed ts_us/level/thread/event prefix. Events below the minimum
+  /// level are dropped (CDPD_LOG avoids even the call).
+  void Log(LogLevel level, std::string_view event,
+           std::initializer_list<LogField> fields = {});
+
+  /// Number of events recorded (and not yet taken) so far.
+  size_t num_events() const;
+
+  /// The whole buffered log as newline-terminated JSONL.
+  std::string ToJsonl() const;
+
+  /// Drains the buffer: returns the accumulated lines and leaves the
+  /// logger empty (for incremental flushing to a file).
+  std::vector<std::string> TakeLines();
+
+ private:
+  const LogLevel min_level_;
+  const std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<std::string> lines_;
+};
+
+/// Logs a structured event iff `logger` is non-null and the level is
+/// enabled; compiles to nothing under -DCDPD_DISABLE_LOGGING. The
+/// variadic part lists the structured fields as braced pairs:
+///
+///   CDPD_LOG(logger, LogLevel::kInfo, "solve.start",
+///            {"method", "optimal"}, {"k", k});
+///
+/// The disabled path (null logger) is a single pointer test; fields
+/// are only constructed when the event will actually be recorded.
+#if defined(CDPD_DISABLE_LOGGING)
+#define CDPD_LOG(logger, level, event, ...) \
+  do {                                      \
+  } while (0)
+#else
+#define CDPD_LOG(logger, level, event, ...)                      \
+  do {                                                           \
+    ::cdpd::Logger* cdpd_log_logger_ = (logger);                 \
+    if (cdpd_log_logger_ != nullptr &&                           \
+        cdpd_log_logger_->enabled(level)) {                      \
+      cdpd_log_logger_->Log((level), (event), {__VA_ARGS__});    \
+    }                                                            \
+  } while (0)
+#endif
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_LOG_H_

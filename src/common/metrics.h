@@ -36,22 +36,33 @@ class Counter {
   std::atomic<int64_t> value_{0};
 };
 
-/// A last-write-wins (or running-maximum) atomic gauge.
+/// A last-write-wins (or running-maximum) atomic gauge. A fresh gauge
+/// is *unset* (reads as 0) rather than holding a real 0, so the first
+/// UpdateMax records its value even when that value is negative — with
+/// a zero initializer a negative peak could never be observed.
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
-  /// Raises the gauge to `v` if it is currently lower (peak tracking).
+  /// Raises the gauge to `v` if it is currently lower or unset (peak
+  /// tracking over all recorded values, whatever their sign).
   void UpdateMax(int64_t v) {
     int64_t current = value_.load(std::memory_order_relaxed);
-    while (v > current &&
+    while ((current == kUnset || v > current) &&
            !value_.compare_exchange_weak(current, v,
                                          std::memory_order_relaxed)) {
     }
   }
-  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  /// The recorded value, or 0 when nothing was ever recorded. (The
+  /// unset sentinel is int64_t min, so Set(int64_t min) reads as 0 —
+  /// an acceptable corner for statistics gauges.)
+  int64_t Value() const {
+    const int64_t v = value_.load(std::memory_order_relaxed);
+    return v == kUnset ? 0 : v;
+  }
 
  private:
-  std::atomic<int64_t> value_{0};
+  static constexpr int64_t kUnset = std::numeric_limits<int64_t>::min();
+  std::atomic<int64_t> value_{kUnset};
 };
 
 /// Aggregated view of a histogram at snapshot time. Percentiles are

@@ -1,0 +1,43 @@
+#ifndef CDPD_COMMON_PROGRESS_H_
+#define CDPD_COMMON_PROGRESS_H_
+
+#include <functional>
+#include <limits>
+
+namespace cdpd {
+
+/// One progress observation from a running solve. Phases follow the
+/// solver's trace-span names ("whatif.precompute", "kaware.dp",
+/// "merging", ...); `fraction` is the phase's completed share in
+/// [0, 1]; `best_cost` is the cheapest cost the phase can currently
+/// prove feasible, or NaN when the phase has no such notion yet.
+struct ProgressUpdate {
+  /// Phase name; a string literal (borrowed, valid only for the
+  /// duration of the callback).
+  const char* phase = "";
+  double fraction = 0.0;
+  double best_cost = std::numeric_limits<double>::quiet_NaN();
+};
+
+/// Progress callback, invoked at the solvers' existing Budget poll
+/// sites (between DP stages, merging rounds, ranked paths, and
+/// precompute shards). MUST be thread-safe: precompute shards complete
+/// on worker threads, so concurrent invocations happen whenever the
+/// solve is parallel. The callback observes only — it must not block
+/// for long (it runs inside the solve) and cannot influence results.
+using ProgressFn = std::function<void(const ProgressUpdate&)>;
+
+/// The null-tolerant report every instrumentation site uses: a null
+/// (or empty) callback costs one pointer test plus one bool test —
+/// the same zero-overhead contract as the observability sinks.
+inline void ReportProgress(
+    const ProgressFn* fn, const char* phase, double fraction,
+    double best_cost = std::numeric_limits<double>::quiet_NaN()) {
+  if (fn != nullptr && *fn) {
+    (*fn)(ProgressUpdate{phase, fraction, best_cost});
+  }
+}
+
+}  // namespace cdpd
+
+#endif  // CDPD_COMMON_PROGRESS_H_

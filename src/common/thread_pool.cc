@@ -26,12 +26,16 @@ ThreadPool::ThreadPool(int num_threads) {
 }
 
 ThreadPool::~ThreadPool() {
+  Logger* logger = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     stop_ = true;
+    logger = logger_;
   }
   cv_.notify_all();
   for (std::thread& worker : workers_) worker.join();
+  CDPD_LOG(logger, LogLevel::kInfo, "threadpool.stop",
+           LogField("threads", num_threads()));
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
@@ -65,6 +69,16 @@ void ThreadPool::EnableMetrics(MetricsRegistry* registry) {
     worker_busy_us_[i] = registry->counter(
         "threadpool.worker." + std::to_string(i) + ".busy_us");
   }
+}
+
+void ThreadPool::EnableLogging(Logger* logger) {
+  if constexpr (!kLoggingCompiledIn) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    logger_ = logger;
+  }
+  CDPD_LOG(logger, LogLevel::kInfo, "threadpool.attach",
+           LogField("threads", num_threads()));
 }
 
 int ThreadPool::DefaultThreadCount() {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/log.h"
 #include "common/metrics.h"
 
 namespace cdpd {
@@ -57,6 +58,13 @@ class ThreadPool {
   /// no-op when metrics are compiled out.
   void EnableMetrics(MetricsRegistry* registry);
 
+  /// Attaches a structured logger: records one "threadpool.attach"
+  /// event now and a "threadpool.stop" event when the pool shuts
+  /// down. Pass nullptr to detach. Deliberately coarse — per-task
+  /// logging would serialize the hot path. No-op when logging is
+  /// compiled out.
+  void EnableLogging(Logger* logger);
+
  private:
   void WorkerLoop(size_t worker_index);
 
@@ -72,6 +80,8 @@ class ThreadPool {
   Gauge* queue_depth_gauge_ = nullptr;
   Gauge* queue_depth_peak_gauge_ = nullptr;
   std::vector<Counter*> worker_busy_us_;
+  // Structured-log sink, guarded by mu_; null until EnableLogging.
+  Logger* logger_ = nullptr;
 };
 
 /// Runs fn(i) for every i in [begin, end), fanning contiguous chunks

@@ -48,6 +48,12 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
     rec.segments = SegmentFixed(workload.size(), options.block_size);
   }
 
+  CDPD_LOG(options.logger, LogLevel::kInfo, "advisor.segmented",
+           LogField("statements", workload.size()),
+           LogField("segments", rec.segments.size()),
+           LogField("adaptive",
+                    options.segmentation == SegmentationMode::kAdaptive));
+
   // Candidate indexes: given or generated from the workload.
   rec.candidate_indexes = options.candidate_indexes;
   if (rec.candidate_indexes.empty()) {
@@ -65,6 +71,10 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
       rec.candidate_configs,
       EnumerateConfigurations(rec.candidate_indexes, enum_options));
 
+  CDPD_LOG(options.logger, LogLevel::kInfo, "advisor.candidates",
+           LogField("candidate_indexes", rec.candidate_indexes.size()),
+           LogField("candidate_configs", rec.candidate_configs.size()));
+
   WhatIfEngine what_if(model_, workload.Span(), rec.segments);
   DesignProblem problem;
   problem.what_if = &what_if;
@@ -81,6 +91,9 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   solve_options.ranking_max_paths = options.ranking_max_paths;
   solve_options.metrics = options.metrics;
   solve_options.tracer = options.tracer;
+  solve_options.logger = options.logger;
+  solve_options.progress = options.progress;
+  solve_options.explain = options.explain;
   solve_options.deadline = options.deadline;
   solve_options.cancel = options.cancel;
   if (options.method == OptimizerMethod::kGreedySeq) {
@@ -94,6 +107,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   rec.stats = solved.stats;
   rec.optimize_seconds = solved.stats.wall_seconds;
   rec.method_detail = std::move(solved.method_detail);
+  rec.explain = std::move(solved.explain);
   if (!solved.reduced_candidates.empty()) {
     // GREEDY-SEQ searched its own reduced configuration set; report
     // that set so the recommendation is reproducible.

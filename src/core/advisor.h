@@ -64,6 +64,16 @@ struct AdvisorOptions {
   /// recommendation.
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  /// Structured JSONL logger and progress callback, forwarded to
+  /// SolveOptions::logger / SolveOptions::progress; the advisor adds
+  /// its own "advisor.*" events (segmentation and candidate-space
+  /// sizes) around the solve. The callback must be thread-safe (see
+  /// common/progress.h). Both optional, both observational only.
+  Logger* logger = nullptr;
+  ProgressFn progress;
+  /// Build the per-transition EXEC/TRANS attribution into
+  /// Recommendation::explain (see core/explain.h).
+  bool explain = false;
   /// Wall-clock budget and cooperative cancellation for the solve,
   /// forwarded to SolveOptions::deadline / SolveOptions::cancel (the
   /// segmentation and candidate-generation phases are not covered —
@@ -94,6 +104,10 @@ struct Recommendation {
   double optimize_seconds = 0.0;
   /// Technique detail (e.g. which branch the hybrid picked).
   std::string method_detail;
+  /// Per-transition attribution of the schedule (set iff
+  /// AdvisorOptions::explain). Render with ExplainReport::ToText /
+  /// ToJson against the model's schema.
+  std::optional<ExplainReport> explain;
 };
 
 /// One-call entry point to the constrained dynamic physical design

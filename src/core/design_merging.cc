@@ -52,7 +52,9 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k, SolveStats* stats,
                                          ThreadPool* pool, Tracer* tracer,
-                                         const Budget* budget) {
+                                         const Budget* budget,
+                                         const ProgressFn* progress,
+                                         Logger* logger) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -71,11 +73,23 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
   const int64_t costings_before = what_if.costings();
   const int64_t hits_before = what_if.cache_hits();
   std::vector<Run> runs = BuildRuns(initial_schedule.configs);
+  const int64_t initial_changes = RunChanges(problem, runs);
+  CDPD_LOG(logger, LogLevel::kInfo, "merging.start",
+           LogField("initial_changes", initial_changes), LogField("k", k),
+           LogField("candidates", problem.candidates.size()));
 
   for (;;) {
     const int64_t changes = RunChanges(problem, runs);
+    // Fraction of the excess changes merged away so far.
+    if (initial_changes > k) {
+      ReportProgress(progress, "merging",
+                     static_cast<double>(initial_changes - changes) /
+                         static_cast<double>(initial_changes - k));
+    }
     if (changes <= k) break;
     if (BudgetExpired(budget)) {
+      CDPD_LOG(logger, LogLevel::kWarn, "merging.deadline",
+               LogField("changes", changes), LogField("k", k));
       // The refinement still violates k, so the runs in hand are not a
       // feasible answer — degrade to the cheapest static design.
       Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
@@ -190,6 +204,11 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
     }
   }
   schedule.total_cost = EvaluateScheduleCost(problem, schedule.configs);
+  CDPD_LOG(logger, LogLevel::kInfo, "merging.end",
+           LogField("cost", schedule.total_cost),
+           LogField("merge_steps", local_stats.merge_steps),
+           LogField("candidate_evaluations",
+                    local_stats.candidate_evaluations));
   local_stats.wall_seconds = watch.ElapsedSeconds();
   local_stats.costings = what_if.costings() - costings_before;
   local_stats.cache_hits = what_if.cache_hits() - hits_before;

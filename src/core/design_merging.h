@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/budget.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -45,13 +47,21 @@ namespace cdpd {
 /// even a static design satisfies the bound. A budget that never
 /// expires changes nothing: the schedule is byte-identical to an
 /// un-budgeted run.
+///
+/// `progress` receives "merging" updates between rounds, the fraction
+/// being the share of excess changes merged away so far (thread-safe
+/// callback required; see common/progress.h); `logger` records
+/// start/end, per-round, and fallback events. Both optional, both
+/// observational only.
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k,
                                          SolveStats* stats = nullptr,
                                          ThreadPool* pool = nullptr,
                                          Tracer* tracer = nullptr,
-                                         const Budget* budget = nullptr);
+                                         const Budget* budget = nullptr,
+                                         const ProgressFn* progress = nullptr,
+                                         Logger* logger = nullptr);
 
 }  // namespace cdpd
 

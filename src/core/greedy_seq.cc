@@ -12,7 +12,9 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
                                        ThreadPool* pool, Tracer* tracer,
-                                       const Budget* budget) {
+                                       const Budget* budget,
+                                       const ProgressFn* progress,
+                                       Logger* logger) {
   if (problem.what_if == nullptr) {
     return Status::InvalidArgument("design problem has no what-if oracle");
   }
@@ -43,9 +45,15 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
   // ParallelFor runs to completion so grown_costs never mixes stale
   // cells, and the reduced set stays a deterministic prefix of the
   // un-budgeted construction.
+  CDPD_LOG(logger, LogLevel::kInfo, "greedyseq.start",
+           LogField("segments", problem.num_segments()),
+           LogField("candidate_indexes", num_indexes));
   bool grow_expired = false;
   for (size_t segment = 0;
        segment < problem.num_segments() && !grow_expired; ++segment) {
+    ReportProgress(progress, "greedyseq.grow",
+                   static_cast<double>(segment) /
+                       static_cast<double>(problem.num_segments()));
     CDPD_TRACE_SPAN(tracer, "greedyseq.grow", "solver",
                     static_cast<int64_t>(segment));
     Configuration current;
@@ -98,14 +106,25 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
     // growth completed, pass the budget through and inherit the graph
     // search's own anytime semantics.
     const Budget* graph_budget = grow_expired ? nullptr : budget;
-    if (!k.has_value()) {
-      CDPD_ASSIGN_OR_RETURN(result.schedule,
-                            SolveUnconstrained(reduced_problem, &graph_stats,
-                                               pool, tracer, graph_budget));
+    if (grow_expired) {
+      CDPD_LOG(logger, LogLevel::kWarn, "greedyseq.grow_deadline",
+               LogField("reduced_candidates",
+                        reduced_problem.candidates.size()));
     } else {
-      CDPD_ASSIGN_OR_RETURN(result.schedule,
-                            SolveKAware(reduced_problem, *k, &graph_stats,
-                                        pool, tracer, graph_budget));
+      CDPD_LOG(logger, LogLevel::kInfo, "greedyseq.grown",
+               LogField("reduced_candidates",
+                        reduced_problem.candidates.size()));
+    }
+    if (!k.has_value()) {
+      CDPD_ASSIGN_OR_RETURN(
+          result.schedule,
+          SolveUnconstrained(reduced_problem, &graph_stats, pool, tracer,
+                             graph_budget, progress, logger));
+    } else {
+      CDPD_ASSIGN_OR_RETURN(
+          result.schedule,
+          SolveKAware(reduced_problem, *k, &graph_stats, pool, tracer,
+                      graph_budget, progress, logger));
     }
   }
   result.stats.nodes_expanded = graph_stats.nodes_expanded;

@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -63,12 +65,19 @@ struct GreedySeqResult {
 /// under the remaining budget and inherits the k-aware/unconstrained
 /// anytime semantics. A budget that never expires changes nothing: the
 /// result is byte-identical to an un-budgeted run.
+///
+/// `progress` receives "greedyseq.grow" updates per grown segment and
+/// the inherited graph-search phases (thread-safe callback required;
+/// see common/progress.h); `logger` records start/end and the reduced
+/// candidate-set size. Both optional, both observational only.
 Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
                                        ThreadPool* pool = nullptr,
                                        Tracer* tracer = nullptr,
-                                       const Budget* budget = nullptr);
+                                       const Budget* budget = nullptr,
+                                       const ProgressFn* progress = nullptr,
+                                       Logger* logger = nullptr);
 
 }  // namespace cdpd
 

@@ -20,7 +20,8 @@ std::string_view HybridChoiceToString(HybridChoice choice) {
 
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  ThreadPool* pool, Tracer* tracer,
-                                 const Budget* budget) {
+                                 const Budget* budget,
+                                 const ProgressFn* progress, Logger* logger) {
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
@@ -30,11 +31,16 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "hybrid.probe", "solver");
     CDPD_ASSIGN_OR_RETURN(
         unconstrained,
-        SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
+        SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+                           progress, logger));
   }
   const int64_t l = CountChanges(problem, unconstrained.configs);
   result.unconstrained_changes = l;
+  result.unconstrained_cost = unconstrained.total_cost;
   if (l <= k) {
+    CDPD_LOG(logger, LogLevel::kInfo, "hybrid.choice",
+             LogField("choice", "unconstrained"),
+             LogField("unconstrained_changes", l), LogField("k", k));
     result.schedule = std::move(unconstrained);
     result.choice = HybridChoice::kUnconstrainedSufficed;
     return result;
@@ -52,6 +58,11 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   // precompute only to return DeadlineExceeded.
   const bool prefer_kaware =
       graph_work <= merging_work && !BudgetExpired(budget);
+  CDPD_LOG(logger, LogLevel::kInfo, "hybrid.choice",
+           LogField("choice", prefer_kaware ? "k-aware-graph" : "merging"),
+           LogField("unconstrained_changes", l), LogField("k", k),
+           LogField("graph_work", graph_work),
+           LogField("merging_work", merging_work));
 
   // Whichever branch is chosen, a failure there must not hide an
   // answer the other branch can give — retry the other one and only
@@ -60,8 +71,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   Status first_error = Status::OK();
   if (prefer_kaware) {
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
-    Result<DesignSchedule> kaware =
-        SolveKAware(problem, k, &phase_stats, pool, tracer, budget);
+    Result<DesignSchedule> kaware = SolveKAware(
+        problem, k, &phase_stats, pool, tracer, budget, progress, logger);
     if (kaware.ok()) {
       result.schedule = std::move(kaware).value();
       result.choice = HybridChoice::kKAwareGraph;
@@ -72,8 +83,9 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   }
   {
     CDPD_TRACE_SPAN(tracer, "hybrid.merge", "solver", l - k);
-    Result<DesignSchedule> merged = MergeToConstraint(
-        problem, unconstrained, k, &phase_stats, pool, tracer, budget);
+    Result<DesignSchedule> merged =
+        MergeToConstraint(problem, unconstrained, k, &phase_stats, pool,
+                          tracer, budget, progress, logger);
     if (merged.ok()) {
       result.schedule = std::move(merged).value();
       result.choice = HybridChoice::kMerging;
@@ -85,8 +97,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   if (prefer_kaware) return first_error;
   {
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
-    Result<DesignSchedule> kaware =
-        SolveKAware(problem, k, &phase_stats, pool, tracer, budget);
+    Result<DesignSchedule> kaware = SolveKAware(
+        problem, k, &phase_stats, pool, tracer, budget, progress, logger);
     if (kaware.ok()) {
       result.schedule = std::move(kaware).value();
       result.choice = HybridChoice::kKAwareGraph;

@@ -5,6 +5,8 @@
 #include <string>
 
 #include "common/budget.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -28,6 +30,9 @@ struct HybridResult {
   HybridChoice choice = HybridChoice::kUnconstrainedSufficed;
   /// Changes of the unconstrained optimum (the l of §4.2).
   int64_t unconstrained_changes = 0;
+  /// Cost of the unconstrained optimum the probe computed — the lower
+  /// bound the explain report quotes as the optimality-gap baseline.
+  double unconstrained_cost = 0.0;
   /// Unified counters accumulated over both phases (unconstrained
   /// probe plus the chosen constrained technique).
   SolveStats stats;
@@ -61,10 +66,18 @@ struct HybridResult {
 /// merging, whose static fallback answers immediately, and the result
 /// carries stats.deadline_hit. A budget that never expires changes
 /// nothing: the result is byte-identical to an un-budgeted run.
+///
+/// `progress` receives the phases' updates (probe, then the chosen
+/// constrained technique; thread-safe callback required — see
+/// common/progress.h); `logger` records the branch choice with both
+/// work estimates, plus the phases' own events. Both optional, both
+/// observational only.
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  ThreadPool* pool = nullptr,
                                  Tracer* tracer = nullptr,
-                                 const Budget* budget = nullptr);
+                                 const Budget* budget = nullptr,
+                                 const ProgressFn* progress = nullptr,
+                                 Logger* logger = nullptr);
 
 }  // namespace cdpd
 

@@ -40,7 +40,9 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
 
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats, ThreadPool* pool,
-                                   Tracer* tracer, const Budget* budget) {
+                                   Tracer* tracer, const Budget* budget,
+                                   const ProgressFn* progress,
+                                   Logger* logger) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -94,10 +96,14 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   CostMatrix matrix;
   std::vector<double> init_trans(m, 0.0);
   std::vector<double> final_trans(m, 0.0);
+  CDPD_LOG(logger, LogLevel::kInfo, "kaware.start", LogField("segments", n),
+           LogField("candidates", m), LogField("k", k),
+           LogField("layers", layers));
   {
     CDPD_TRACE_SPAN(tracer, "kaware.precompute", "solver");
     CDPD_ASSIGN_OR_RETURN(
-        matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget));
+        matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget,
+                                             progress, logger));
     if (!matrix.complete()) {
       return Status::DeadlineExceeded(
           "budget expired during the what-if precompute, before any "
@@ -203,9 +209,13 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
           (static_cast<int64_t>(layers * m) +
            static_cast<int64_t>((layers - 1) * m) *
                static_cast<int64_t>(m - 1));
+      CDPD_LOG(logger, LogLevel::kWarn, "kaware.deadline",
+               LogField("stage", stage), LogField("stages", n));
       CDPD_ASSIGN_OR_RETURN(DesignSchedule frozen, freeze_prefix(stage - 1));
       return finish(std::move(frozen));
     }
+    ReportProgress(progress, "kaware.dp",
+                   static_cast<double>(stage) / static_cast<double>(n));
     CDPD_TRACE_SPAN(tracer, "kaware.stage", "solver",
                     static_cast<int64_t>(stage));
     Parent* stage_parent = parent.data() + stage * layers * m;
@@ -286,6 +296,11 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
     l = static_cast<size_t>(p.layer);
     c = static_cast<size_t>(p.config);
   }
+  ReportProgress(progress, "kaware.dp", 1.0, schedule.total_cost);
+  CDPD_LOG(logger, LogLevel::kInfo, "kaware.end",
+           LogField("cost", schedule.total_cost),
+           LogField("nodes_expanded", local_stats.nodes_expanded),
+           LogField("relaxations", local_stats.relaxations));
   local_stats.wall_seconds = watch.ElapsedSeconds();
   local_stats.costings = what_if.costings() - costings_before;
   local_stats.cache_hits = what_if.cache_hits() - hits_before;

@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/budget.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -66,11 +68,18 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
 /// budget expires before any feasible schedule can be priced. A budget
 /// that never expires changes nothing: the schedule is byte-identical
 /// to an un-budgeted run.
+///
+/// `progress` receives "whatif.precompute" / "kaware.dp" updates at
+/// the existing poll sites (thread-safe callback required; see
+/// common/progress.h); `logger` records phase start/end and
+/// anytime-fallback events. Both optional, both observational only.
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats = nullptr,
                                    ThreadPool* pool = nullptr,
                                    Tracer* tracer = nullptr,
-                                   const Budget* budget = nullptr);
+                                   const Budget* budget = nullptr,
+                                   const ProgressFn* progress = nullptr,
+                                   Logger* logger = nullptr);
 
 }  // namespace cdpd
 

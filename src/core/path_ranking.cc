@@ -108,7 +108,9 @@ std::optional<RankedPath> PathRanker::Next() {
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths, SolveStats* stats,
                                       ThreadPool* pool, Tracer* tracer,
-                                      const Budget* budget) {
+                                      const Budget* budget,
+                                      const ProgressFn* progress,
+                                      Logger* logger) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -121,11 +123,16 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
   // Parallel phase: the dense cost tables. The graph build and the
   // path enumeration below are then pure lookups.
+  CDPD_LOG(logger, LogLevel::kInfo, "ranking.start",
+           LogField("segments", problem.num_segments()),
+           LogField("candidates", problem.candidates.size()),
+           LogField("k", k), LogField("max_paths", max_paths));
   CostMatrix matrix;
   {
     CDPD_TRACE_SPAN(tracer, "ranking.precompute", "solver");
-    CDPD_ASSIGN_OR_RETURN(matrix, what_if.PrecomputeCostMatrix(
-                                      problem.candidates, pool, tracer, budget));
+    CDPD_ASSIGN_OR_RETURN(
+        matrix, what_if.PrecomputeCostMatrix(problem.candidates, pool, tracer,
+                                             budget, progress, logger));
   }
   if (!matrix.complete()) {
     return Status::DeadlineExceeded(
@@ -146,6 +153,13 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   };
   while (local_stats.paths_enumerated < max_paths &&
          !BudgetExpired(budget)) {
+    // Every 1024 paths so a megapath enumeration doesn't spend its
+    // time in the callback (cost when detached: one AND + one test).
+    if ((local_stats.paths_enumerated & 1023) == 0) {
+      ReportProgress(progress, "ranking.enumerate",
+                     static_cast<double>(local_stats.paths_enumerated) /
+                         static_cast<double>(max_paths));
+    }
     std::optional<RankedPath> path = ranker.Next();
     if (!path.has_value()) break;  // Ranking exhausted (or expired).
     ++local_stats.paths_enumerated;
@@ -153,6 +167,11 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
       DesignSchedule schedule;
       schedule.configs = graph.PathConfigs(path->nodes);
       schedule.total_cost = path->cost;
+      ReportProgress(progress, "ranking.enumerate", 1.0, path->cost);
+      CDPD_LOG(logger, LogLevel::kInfo, "ranking.end",
+               LogField("cost", path->cost),
+               LogField("paths_enumerated", local_stats.paths_enumerated),
+               LogField("changes", graph.PathChanges(path->nodes)));
       finish();
       return schedule;
     }
@@ -164,6 +183,9 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   // to tell. (Cost note: the static scan reuses the memoized oracle
   // the precompute already filled, so it is pure cache hits.)
   const bool expired = BudgetExpired(budget);
+  CDPD_LOG(logger, LogLevel::kWarn, "ranking.fallback",
+           LogField("paths_enumerated", local_stats.paths_enumerated),
+           LogField("expired", expired));
   Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
   if (fallback.ok()) {
     local_stats.best_effort = true;

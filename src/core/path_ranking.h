@@ -6,6 +6,8 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -96,12 +98,20 @@ class PathRanker {
 /// "ranking.enumerate" spans (arg = paths enumerated). A budget that
 /// never expires changes nothing: the schedule is byte-identical to an
 /// un-budgeted run.
+///
+/// `progress` receives "whatif.precompute" / "ranking.enumerate"
+/// updates at the existing poll sites, the enumeration fraction being
+/// paths yielded over `max_paths` (thread-safe callback required; see
+/// common/progress.h); `logger` records start/end and fallback events.
+/// Both optional, both observational only.
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths = 1'000'000,
                                       SolveStats* stats = nullptr,
                                       ThreadPool* pool = nullptr,
                                       Tracer* tracer = nullptr,
-                                      const Budget* budget = nullptr);
+                                      const Budget* budget = nullptr,
+                                      const ProgressFn* progress = nullptr,
+                                      Logger* logger = nullptr);
 
 }  // namespace cdpd
 

@@ -25,6 +25,26 @@ void SolveStats::PublishTo(MetricsRegistry* registry) const {
       ->Record(static_cast<double>(wall_us));
 }
 
+std::string SolveStats::ToJson() const {
+  const int64_t wall_us =
+      static_cast<int64_t>(std::llround(wall_seconds * 1e6));
+  std::string out = "{";
+  out += "\"wall_us\": " + std::to_string(wall_us);
+  out += ", \"costings\": " + std::to_string(costings);
+  out += ", \"cache_hits\": " + std::to_string(cache_hits);
+  out += ", \"threads_used\": " + std::to_string(threads_used);
+  out += ", \"nodes_expanded\": " + std::to_string(nodes_expanded);
+  out += ", \"relaxations\": " + std::to_string(relaxations);
+  out += ", \"paths_enumerated\": " + std::to_string(paths_enumerated);
+  out += ", \"merge_steps\": " + std::to_string(merge_steps);
+  out += ", \"candidate_evaluations\": " + std::to_string(candidate_evaluations);
+  out += std::string(", \"deadline_hit\": ") +
+         (deadline_hit ? "true" : "false");
+  out += std::string(", \"best_effort\": ") + (best_effort ? "true" : "false");
+  out += "}";
+  return out;
+}
+
 SolveStats SolveStats::FromSnapshot(const MetricsSnapshot& snapshot) {
   SolveStats stats;
   stats.wall_seconds =

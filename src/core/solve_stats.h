@@ -2,6 +2,7 @@
 #define CDPD_CORE_SOLVE_STATS_H_
 
 #include <cstdint>
+#include <string>
 
 #include "common/metrics.h"
 
@@ -76,6 +77,13 @@ struct SolveStats {
   /// the inverse of PublishTo over however many solves the registry
   /// has seen (wall_seconds is the total, threads_used the maximum).
   static SolveStats FromSnapshot(const MetricsSnapshot& snapshot);
+
+  /// One flat JSON object, keyed like the "solver.*" metrics minus the
+  /// prefix. Wall time is emitted as the integer "wall_us" — the same
+  /// microsecond rounding PublishTo applies — so a publish/FromSnapshot
+  /// round trip reproduces the JSON bit-for-bit (the tests enforce it).
+  /// Embedded by the explain report and the bench_report artifacts.
+  std::string ToJson() const;
 };
 
 }  // namespace cdpd

@@ -84,12 +84,29 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   if (threads > 1) owned_pool = std::make_unique<ThreadPool>(threads);
   ThreadPool* pool = owned_pool.get();
   Tracer* const tracer = options.tracer;
+  Logger* const logger = options.logger;
+  // Null when no callback is injected, so every ReportProgress site
+  // downstream is a single pointer test.
+  const ProgressFn* const progress = options.progress ? &options.progress
+                                                      : nullptr;
   if (options.metrics != nullptr) {
     if (pool != nullptr) pool->EnableMetrics(options.metrics);
     if (problem.what_if != nullptr) {
       problem.what_if->SetMetrics(options.metrics);
     }
   }
+  if (logger != nullptr && pool != nullptr) pool->EnableLogging(logger);
+  CDPD_LOG(logger, LogLevel::kInfo, "solve.start",
+           LogField("method", OptimizerMethodToString(options.method)),
+           LogField("k", options.k.value_or(-1)),  // -1 = unconstrained.
+           LogField("threads", threads),
+           LogField("segments", problem.what_if != nullptr
+                                    ? problem.num_segments()
+                                    : size_t{0}),
+           LogField("candidates", problem.candidates.size()),
+           LogField("deadline_ms",
+                    options.deadline.has_value() ? options.deadline->count()
+                                                 : int64_t{-1}));
 
   // One Budget for the whole solve, shared by every phase. Built only
   // when a deadline or cancel token is set, so the common un-budgeted
@@ -118,12 +135,15 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
+            SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+                               progress, logger));
         result.method_detail = "sequence-graph shortest path";
+        result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
-            result.schedule, SolveKAware(problem, *options.k, &result.stats,
-                                         pool, tracer, budget));
+            result.schedule,
+            SolveKAware(problem, *options.k, &result.stats, pool, tracer,
+                        budget, progress, logger));
         result.method_detail = "k-aware sequence graph";
       }
       break;
@@ -131,7 +151,8 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     case OptimizerMethod::kGreedySeq: {
       CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
                             SolveGreedySeq(problem, options.k, options.greedy,
-                                           pool, tracer, budget));
+                                           pool, tracer, budget, progress,
+                                           logger));
       result.schedule = std::move(greedy_result.schedule);
       result.stats = greedy_result.stats;
       result.reduced_candidates =
@@ -144,7 +165,9 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     case OptimizerMethod::kMerging: {
       CDPD_ASSIGN_OR_RETURN(
           DesignSchedule unconstrained,
-          SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
+          SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+                             progress, logger));
+      result.unconstrained_cost = unconstrained.total_cost;
       if (!options.k.has_value()) {
         result.schedule = std::move(unconstrained);
         result.method_detail = "merging (no constraint; unconstrained optimum)";
@@ -153,7 +176,8 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             MergeToConstraint(problem, unconstrained, *options.k,
-                              &merge_stats, pool, tracer, budget));
+                              &merge_stats, pool, tracer, budget, progress,
+                              logger));
         result.stats.Accumulate(merge_stats);
         result.method_detail =
             "merging steps: " + std::to_string(merge_stats.merge_steps);
@@ -164,13 +188,16 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
+            SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+                               progress, logger));
         result.method_detail = "ranking (no constraint; shortest path)";
+        result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveByRanking(problem, *options.k, options.ranking_max_paths,
-                           &result.stats, pool, tracer, budget));
+                           &result.stats, pool, tracer, budget, progress,
+                           logger));
         result.method_detail =
             "ranked paths: " + std::to_string(result.stats.paths_enumerated);
       }
@@ -180,14 +207,18 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer, budget));
+            SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+                               progress, logger));
         result.method_detail = "hybrid (no constraint; shortest path)";
+        result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             HybridResult hybrid,
-            SolveHybrid(problem, *options.k, pool, tracer, budget));
+            SolveHybrid(problem, *options.k, pool, tracer, budget, progress,
+                        logger));
         result.schedule = std::move(hybrid.schedule);
         result.stats = hybrid.stats;
+        result.unconstrained_cost = hybrid.unconstrained_cost;
         result.method_detail =
             std::string("hybrid chose ") +
             std::string(HybridChoiceToString(hybrid.choice));
@@ -200,6 +231,20 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   result.stats.wall_seconds = watch.ElapsedSeconds();
   result.stats.threads_used = threads;
   result.stats.PublishTo(options.metrics);
+  // The attribution reads the finalized stats, so build it last. Pure
+  // read-side pass over the memoized oracle; the schedule, cost, and
+  // stats above are already fixed.
+  if (options.explain) {
+    result.explain = BuildExplainReport(
+        problem, result.schedule, OptimizerMethodToString(options.method),
+        result.method_detail, options.k, result.stats,
+        result.unconstrained_cost);
+  }
+  CDPD_LOG(logger, LogLevel::kInfo, "solve.end",
+           LogField("cost", result.schedule.total_cost),
+           LogField("deadline_hit", result.stats.deadline_hit),
+           LogField("best_effort", result.stats.best_effort),
+           LogField("costings", result.stats.costings));
   return result;
 }
 

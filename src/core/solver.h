@@ -9,11 +9,14 @@
 #include <vector>
 
 #include "common/budget.h"
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "core/design_problem.h"
+#include "core/explain.h"
 #include "core/greedy_seq.h"
 #include "core/solve_stats.h"
 
@@ -59,6 +62,25 @@ struct SolveOptions {
   /// byte-identical with or without them, for any thread count.
   MetricsRegistry* metrics = nullptr;
   Tracer* tracer = nullptr;
+  /// Structured JSONL logger (optional, borrowed — must outlive the
+  /// Solve call). Receives phase start/end events, candidate-set
+  /// sizes, anytime-fallback warnings, and deadline hits from every
+  /// method. Null = disabled: each instrumentation site then costs one
+  /// pointer test, the same contract as `metrics`/`tracer` (and the
+  /// CDPD_DISABLE_LOGGING build removes the sites outright).
+  Logger* logger = nullptr;
+  /// Progress callback, invoked at the solvers' existing budget poll
+  /// sites (precompute shards, DP stages, merging rounds, ranked
+  /// paths). MUST be thread-safe — precompute shards report from
+  /// worker threads. Empty = disabled at the same one-test cost.
+  /// Observational only: results are identical with or without it.
+  ProgressFn progress;
+
+  /// Build a per-transition EXEC/TRANS attribution of the returned
+  /// schedule into SolveResult::explain (see core/explain.h). Costs
+  /// one extra pass over the schedule through the memoized what-if
+  /// cache after the solve; never changes the schedule.
+  bool explain = false;
 
   /// Wall-clock budget for the whole solve (measured from Solve()
   /// entry). On expiry the solve returns the best feasible schedule it
@@ -95,6 +117,16 @@ struct SolveResult {
   /// null when tracing was off). Export its spans with
   /// Tracer::ToChromeJson() / ToTextTree().
   Tracer* tracer = nullptr;
+  /// Cost of the unconstrained optimum, when the method computed one
+  /// on the way (every unconstrained dispatch, merging's first phase,
+  /// and the hybrid's probe). The explain report quotes it as the
+  /// optimality-gap baseline; absent when the method never priced the
+  /// unconstrained problem (k-aware graph, ranking with a bound).
+  std::optional<double> unconstrained_cost;
+  /// Per-transition attribution of `schedule` (set iff
+  /// SolveOptions::explain). Render with ExplainReport::ToText /
+  /// ToJson.
+  std::optional<ExplainReport> explain;
 };
 
 /// The unified solver entry point: dispatches to the technique

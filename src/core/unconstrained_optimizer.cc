@@ -8,8 +8,9 @@ namespace cdpd {
 
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats, ThreadPool* pool,
-                                          Tracer* tracer,
-                                          const Budget* budget) {
+                                          Tracer* tracer, const Budget* budget,
+                                          const ProgressFn* progress,
+                                          Logger* logger) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
@@ -32,12 +33,15 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
     return schedule;
   }
 
+  CDPD_LOG(logger, LogLevel::kInfo, "unconstrained.start",
+           LogField("segments", n), LogField("candidates", m));
   // Parallel precompute; the DP below is pure table lookups.
   CostMatrix matrix;
   {
     CDPD_TRACE_SPAN(tracer, "unconstrained.precompute", "solver");
     CDPD_ASSIGN_OR_RETURN(
-        matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget));
+        matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget,
+                                             progress, logger));
   }
   if (!matrix.complete()) {
     return Status::DeadlineExceeded(
@@ -102,8 +106,12 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
       local_stats.nodes_expanded = static_cast<int64_t>(stage * m);
       local_stats.relaxations =
           static_cast<int64_t>(stage - 1) * static_cast<int64_t>(m * m);
+      CDPD_LOG(logger, LogLevel::kWarn, "unconstrained.deadline",
+               LogField("stage", stage), LogField("stages", n));
       return finish(freeze_prefix(stage - 1));
     }
+    ReportProgress(progress, "unconstrained.dp",
+                   static_cast<double>(stage) / static_cast<double>(n));
     CDPD_TRACE_SPAN(tracer, "unconstrained.stage", "solver",
                     static_cast<int64_t>(stage));
     std::vector<size_t>& stage_parent = parent[stage];
@@ -147,6 +155,11 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
     schedule.configs[stage] = configs[c];
     c = parent[stage][c];
   }
+  ReportProgress(progress, "unconstrained.dp", 1.0, schedule.total_cost);
+  CDPD_LOG(logger, LogLevel::kInfo, "unconstrained.end",
+           LogField("cost", schedule.total_cost),
+           LogField("nodes_expanded", local_stats.nodes_expanded),
+           LogField("relaxations", local_stats.relaxations));
   local_stats.wall_seconds = watch.ElapsedSeconds();
   local_stats.costings = what_if.costings() - costings_before;
   local_stats.cache_hits = what_if.cache_hits() - hits_before;

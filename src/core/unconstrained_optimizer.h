@@ -2,6 +2,8 @@
 #define CDPD_CORE_UNCONSTRAINED_OPTIMIZER_H_
 
 #include "common/budget.h"
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -37,11 +39,18 @@ namespace cdpd {
 /// feasible schedule can be priced. A budget that never expires
 /// changes nothing: the schedule is byte-identical to an un-budgeted
 /// run.
+///
+/// `progress` receives "whatif.precompute" / "unconstrained.dp"
+/// updates at the existing poll sites (thread-safe callback required;
+/// see common/progress.h); `logger` records phase start/end and
+/// anytime-fallback events. Both optional, both observational only.
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats = nullptr,
                                           ThreadPool* pool = nullptr,
                                           Tracer* tracer = nullptr,
-                                          const Budget* budget = nullptr);
+                                          const Budget* budget = nullptr,
+                                          const ProgressFn* progress = nullptr,
+                                          Logger* logger = nullptr);
 
 }  // namespace cdpd
 

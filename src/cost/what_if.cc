@@ -139,10 +139,14 @@ class NonFiniteCell {
 
 Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
     std::span<const Configuration> candidates, ThreadPool* pool,
-    Tracer* tracer, const Budget* budget) const {
+    Tracer* tracer, const Budget* budget, const ProgressFn* progress,
+    Logger* logger) const {
   const size_t n = segments_.size();
   const size_t m = candidates.size();
   CostMatrix matrix(n, m);
+  CDPD_LOG(logger, LogLevel::kInfo, "whatif.precompute.start",
+           LogField("segments", n), LogField("configs", m),
+           LogField("exec_cells", n * m), LogField("trans_cells", m * m));
   NonFiniteCell bad_exec;
   NonFiniteCell bad_trans;
   const auto fill_exec = [&](size_t i) {
@@ -154,11 +158,13 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
   };
   // EXEC over all (segment, config) pairs: each flattened index writes
   // one disjoint matrix cell, so the fill is race-free and the values
-  // are identical for any thread count. With a tracer attached the
-  // same cells are filled through coarser work shards (one span each);
-  // either way every cell computes the same value.
+  // are identical for any thread count. With a tracer or progress
+  // callback attached the same cells are filled through coarser work
+  // shards (one span / one progress update each); either way every
+  // cell computes the same value.
   bool complete = true;
-  if (tracer == nullptr) {
+  const bool sharded = tracer != nullptr || progress != nullptr;
+  if (!sharded) {
     complete = ParallelFor(pool, 0, n * m, fill_exec, budget);
   } else {
     CDPD_TRACE_SPAN(tracer, "whatif.exec_matrix", "whatif",
@@ -168,6 +174,7 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
     const size_t num_shards =
         std::min(n * m, std::max<size_t>(1, threads * 4));
     const size_t per_shard = (n * m + num_shards - 1) / num_shards;
+    std::atomic<size_t> shards_done{0};
     complete = ParallelFor(
         pool, 0, num_shards,
         [&](size_t shard) {
@@ -176,6 +183,13 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
           const size_t lo = shard * per_shard;
           const size_t hi = std::min(n * m, lo + per_shard);
           for (size_t i = lo; i < hi; ++i) fill_exec(i);
+          // Reported from whichever worker finishes the shard — the
+          // callback contract requires thread safety.
+          const size_t done =
+              shards_done.fetch_add(1, std::memory_order_relaxed) + 1;
+          ReportProgress(progress, "whatif.precompute",
+                         static_cast<double>(done) /
+                             static_cast<double>(num_shards));
         },
         budget);
   }
@@ -219,6 +233,14 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
         std::to_string(*cell / m) + " to #" + std::to_string(*cell % m));
   }
   matrix.set_complete(complete);
+  if (!complete) {
+    CDPD_LOG(logger, LogLevel::kWarn, "whatif.precompute.interrupted",
+             LogField("segments", n), LogField("configs", m));
+  }
+  CDPD_LOG(logger, LogLevel::kInfo, "whatif.precompute.end",
+           LogField("complete", complete),
+           LogField("costings", costings()),
+           LogField("cache_hits", cache_hits()));
   return matrix;
 }
 

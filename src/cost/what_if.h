@@ -11,7 +11,9 @@
 
 #include "catalog/configuration.h"
 #include "common/budget.h"
+#include "common/log.h"
 #include "common/metrics.h"
+#include "common/progress.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
@@ -142,9 +144,17 @@ class WhatIfEngine {
   /// on expiry the remaining cells are skipped and the returned matrix
   /// has complete() == false. Cancellation is polled between work
   /// chunks, so mid-precompute Cancel() from another thread is safe.
+  ///
+  /// `progress` (optional) receives "whatif.precompute" updates as
+  /// work shards complete — invoked from worker threads, so the
+  /// callback must be thread-safe (see common/progress.h). `logger`
+  /// (optional) records precompute start/end events. Like the tracer,
+  /// neither perturbs values; attaching progress only switches the
+  /// fill to the coarser sharded fan-out tracing already uses.
   Result<CostMatrix> PrecomputeCostMatrix(
       std::span<const Configuration> candidates, ThreadPool* pool = nullptr,
-      Tracer* tracer = nullptr, const Budget* budget = nullptr) const;
+      Tracer* tracer = nullptr, const Budget* budget = nullptr,
+      const ProgressFn* progress = nullptr, Logger* logger = nullptr) const;
 
   /// Mirrors the engine's activity into `registry` — counters
   /// "whatif.costings" / "whatif.cache_hits" and the

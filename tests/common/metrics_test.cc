@@ -33,6 +33,22 @@ TEST(MetricsTest, GaugeSetAndUpdateMax) {
   EXPECT_EQ(gauge.Value(), 2);
 }
 
+TEST(MetricsTest, GaugeUpdateMaxTracksNegativePeaks) {
+  // A fresh gauge is unset, not zero: the first recorded peak wins
+  // even when it is negative (a zero-initialized gauge would silently
+  // swallow it).
+  Gauge gauge;
+  gauge.UpdateMax(-5);
+  EXPECT_EQ(gauge.Value(), -5);
+  gauge.UpdateMax(-9);  // Lower peak: no effect.
+  EXPECT_EQ(gauge.Value(), -5);
+  gauge.UpdateMax(-2);
+  EXPECT_EQ(gauge.Value(), -2);
+  // Never-touched gauges still read as 0 in snapshots.
+  Gauge untouched;
+  EXPECT_EQ(untouched.Value(), 0);
+}
+
 TEST(MetricsTest, HistogramExactFieldsAndBucketedPercentiles) {
   Histogram histogram;
   // 100 values 1..100: count/sum/min/max are exact, percentiles come

@@ -3,13 +3,18 @@
 // configuration) pair is costed exactly once, and the parallel
 // PrecomputeCostMatrix matches serial probes cell for cell.
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
+#include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "common/log.h"
+#include "common/progress.h"
 #include "common/thread_pool.h"
 #include "cost/what_if.h"
 
@@ -141,6 +146,62 @@ TEST_F(WhatIfConcurrencyTest, PrecomputeWithNullPoolIsIdentical) {
     }
   }
   EXPECT_EQ(a->costings(), b->costings());
+}
+
+TEST_F(WhatIfConcurrencyTest, PrecomputeWithProgressAndLoggerOnlyObserves) {
+  // The instrumented fill takes the coarser sharded path (progress !=
+  // nullptr) with updates fired from worker threads — under TSan this
+  // proves the callback/logger locking discipline; everywhere it
+  // proves instrumentation cannot perturb a single matrix cell.
+  ThreadPool pool(4);
+  std::unique_ptr<WhatIfEngine> instrumented = FreshEngine();
+  Logger logger(LogLevel::kDebug);
+  std::mutex mutex;
+  std::vector<double> fractions;
+  ProgressFn progress = [&](const ProgressUpdate& update) {
+    std::lock_guard<std::mutex> lock(mutex);
+    EXPECT_STREQ(update.phase, "whatif.precompute");
+    fractions.push_back(update.fraction);
+  };
+  const CostMatrix instrumented_matrix =
+      instrumented
+          ->PrecomputeCostMatrix(configs_, &pool, /*tracer=*/nullptr,
+                                 /*budget=*/nullptr, &progress, &logger)
+          .value();
+
+  std::unique_ptr<WhatIfEngine> plain = FreshEngine();
+  const CostMatrix plain_matrix =
+      plain->PrecomputeCostMatrix(configs_, &pool).value();
+  for (size_t s = 0; s < segments_.size(); ++s) {
+    for (size_t c = 0; c < configs_.size(); ++c) {
+      ASSERT_EQ(instrumented_matrix.Exec(s, c), plain_matrix.Exec(s, c));
+    }
+  }
+  for (size_t from = 0; from < configs_.size(); ++from) {
+    for (size_t to = 0; to < configs_.size(); ++to) {
+      ASSERT_EQ(instrumented_matrix.Trans(from, to),
+                plain_matrix.Trans(from, to));
+    }
+  }
+  EXPECT_EQ(instrumented->costings(), plain->costings());
+
+  // Every shard reported a fraction in (0, 1], and the last one
+  // reported exactly 1.0 (done == num_shards).
+  ASSERT_FALSE(fractions.empty());
+  for (double fraction : fractions) {
+    EXPECT_GT(fraction, 0.0);
+    EXPECT_LE(fraction, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(*std::max_element(fractions.begin(), fractions.end()),
+                   1.0);
+
+  // The logger captured the precompute bracket.
+  const std::string log = logger.ToJsonl();
+  EXPECT_NE(log.find("\"event\":\"whatif.precompute.start\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"event\":\"whatif.precompute.end\""),
+            std::string::npos);
+  EXPECT_NE(log.find("\"complete\":true"), std::string::npos);
 }
 
 TEST_F(WhatIfConcurrencyTest, ExecRangeMatchesRangeCost) {
