@@ -12,6 +12,7 @@
 
 #include "common/json_util.h"
 #include "common/metrics.h"
+#include "common/resource_tracker.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
 #include "core/advisor.h"
@@ -111,47 +112,58 @@ inline void WriteObservabilityArtifacts() {
 /// of them, and CI uploads every run's set next to the committed
 /// baseline in bench/baselines/.
 ///
-/// Schema (version 1):
+/// Schema (version 2 — v1 plus the memory/cpu telemetry; readers
+/// accept both):
 ///   {
-///     "schema_version": 1,
+///     "schema_version": 2,
 ///     "kind": "cdpd.bench",
 ///     "bench": "<name>",
 ///     "git_sha": "<$CDPD_GIT_SHA or 'unknown'>",
 ///     "threads": <default worker-thread count>,
 ///     "rows": <ExecutionRows()>,
 ///     "unix_time": <seconds since epoch>,
+///     "rss_peak_bytes": <process lifetime peak RSS at write time>,
 ///     "cases": [
-///       {"name": "...", "wall_seconds": 1.25, "metrics": {"costings":
-///        831, ...}},
+///       {"name": "...", "wall_seconds": 1.25, "cpu_seconds": 4.8,
+///        "peak_bytes": 1048576, "metrics": {"costings": 831, ...}},
 ///       ...
 ///     ]
 ///   }
 ///
 /// Case metrics are optional flat numeric key/value pairs — pass a
-/// SolveStats to embed the solver counters, or hand-picked values for
-/// substrate benches. The artifact lands in $CDPD_BENCH_OUT_DIR (else
-/// the working directory).
+/// SolveStats to embed the solver counters (which also fills the
+/// case's cpu_seconds/peak_bytes columns from the solve's process-CPU
+/// delta and tracked allocation peak), or hand-picked values for
+/// substrate benches. tools/bench_compare diffs wall time on every
+/// case and peak_bytes on cases that report one. The artifact lands in
+/// $CDPD_BENCH_OUT_DIR (else the working directory).
 class BenchReport {
  public:
   explicit BenchReport(std::string bench) : bench_(std::move(bench)) {}
 
   /// Records one measured case with optional flat numeric metrics.
+  /// `cpu_seconds`/`peak_bytes` fill the schema-v2 telemetry columns;
+  /// leave 0 when the case has nothing to report.
   void AddCase(std::string name, double wall_seconds,
-               std::vector<std::pair<std::string, double>> metrics = {}) {
+               std::vector<std::pair<std::string, double>> metrics = {},
+               double cpu_seconds = 0.0, int64_t peak_bytes = 0) {
     cases_.push_back(Case{std::move(name), wall_seconds, std::move(metrics),
-                          /*stats_json=*/""});
+                          /*stats_json=*/"", cpu_seconds, peak_bytes});
   }
 
   /// Records one measured solve, embedding the full SolveStats
-  /// counters (core/solve_stats.h ToJson) as the case metrics.
+  /// counters (core/solve_stats.h ToJson) as the case metrics. The
+  /// v2 telemetry columns come from the solve itself: process-CPU
+  /// delta and the ResourceTracker's concurrent high-water mark.
   void AddCase(std::string name, double wall_seconds,
                const SolveStats& stats) {
     cases_.push_back(Case{std::move(name), wall_seconds, {},
-                          stats.ToJson()});
+                          stats.ToJson(), stats.cpu_seconds,
+                          stats.peak_bytes_total});
   }
 
   std::string ToJson() const {
-    std::string out = "{\"schema_version\":1,\"kind\":\"cdpd.bench\"";
+    std::string out = "{\"schema_version\":2,\"kind\":\"cdpd.bench\"";
     out += ",\"bench\":" + JsonString(bench_);
     const char* sha = std::getenv("CDPD_GIT_SHA");
     out += ",\"git_sha\":" +
@@ -161,12 +173,15 @@ class BenchReport {
     out += ",\"rows\":" + std::to_string(ExecutionRows());
     out += ",\"unix_time\":" +
            std::to_string(static_cast<int64_t>(std::time(nullptr)));
+    out += ",\"rss_peak_bytes\":" + std::to_string(PeakRssBytes());
     out += ",\"cases\":[";
     for (size_t i = 0; i < cases_.size(); ++i) {
       const Case& c = cases_[i];
       if (i > 0) out += ',';
       out += "{\"name\":" + JsonString(c.name);
       out += ",\"wall_seconds\":" + JsonDouble(c.wall_seconds);
+      out += ",\"cpu_seconds\":" + JsonDouble(c.cpu_seconds);
+      out += ",\"peak_bytes\":" + std::to_string(c.peak_bytes);
       if (!c.stats_json.empty()) {
         out += ",\"metrics\":" + c.stats_json;
       } else {
@@ -220,6 +235,9 @@ class BenchReport {
     std::vector<std::pair<std::string, double>> metrics;
     /// Pre-rendered SolveStats JSON (takes precedence over `metrics`).
     std::string stats_json;
+    /// Schema-v2 telemetry columns; 0 = not reported.
+    double cpu_seconds = 0.0;
+    int64_t peak_bytes = 0;
   };
 
   std::string bench_;

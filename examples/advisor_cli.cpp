@@ -1,8 +1,9 @@
 // Command-line advisor: the adoption path for a real user.
 //
 //   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
-//               [--threads N] [--rows N] [--deadline-ms N] [--calibrate]
-//               [--emit-ddl] [--explain] [--quiet]
+//               [--threads N] [--rows N] [--deadline-ms N]
+//               [--memory-limit-bytes N] [--calibrate]
+//               [--emit-ddl] [--explain] [--mem-stats] [--quiet]
 //               [--metrics-out=FILE] [--trace-out=FILE]
 //               [--explain-out=FILE] [--log-out=FILE]
 //
@@ -31,6 +32,7 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/progress.h"
+#include "common/resource_tracker.h"
 #include "common/tracing.h"
 #include "core/advisor.h"
 #include "cost/calibration.h"
@@ -50,9 +52,11 @@ struct CliArgs {
   int64_t threads = 0;  // 0 = CDPD_THREADS / hardware default.
   int64_t rows = 250'000;
   int64_t deadline_ms = -1;  // < 0 = no deadline.
+  int64_t memory_limit_bytes = -1;  // < 0 = no limit.
   bool calibrate = false;
   bool emit_ddl = false;
   bool explain = false;     // Print the EXEC/TRANS attribution table.
+  bool mem_stats = false;   // Print the solve's memory/cpu accounting.
   bool quiet = false;       // Suppress progress + informational chatter.
   bool help = false;
   std::string metrics_out;  // Empty = no metrics artifact.
@@ -78,6 +82,11 @@ void PrintHelp(std::FILE* out) {
       "  --rows N          table rows assumed by the cost model\n"
       "  --deadline-ms N   wall-clock budget; on expiry the best\n"
       "                    feasible schedule found so far is reported\n"
+      "  --memory-limit-bytes N\n"
+      "                    soft byte budget for the solver's tracked\n"
+      "                    allocations; an over-budget solve degrades\n"
+      "                    to a best-effort schedule instead of\n"
+      "                    allocating past the limit\n"
       "  --calibrate       measure cost-model constants on a scratch db\n"
       "  --emit-ddl        print the CREATE/DROP INDEX script\n"
       "\n"
@@ -94,6 +103,9 @@ void PrintHelp(std::FILE* out) {
       "                        Perfetto)\n"
       "  --log-out=FILE        write the structured JSONL log of the\n"
       "                        solve (one JSON object per event)\n"
+      "  --mem-stats           print the solve's memory accounting:\n"
+      "                        tracked peak bytes per component, cpu\n"
+      "                        time, and process peak RSS\n"
       "  --quiet               no progress bar, no informational\n"
       "                        chatter; results and artifacts only\n"
       "  --help                this text\n");
@@ -119,6 +131,10 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (!next(&args->rows) || args->rows <= 0) return false;
     } else if (arg == "--deadline-ms") {
       if (!next(&args->deadline_ms) || args->deadline_ms < 0) return false;
+    } else if (arg == "--memory-limit-bytes") {
+      if (!next(&args->memory_limit_bytes) || args->memory_limit_bytes <= 0) {
+        return false;
+      }
     } else if (arg == "--method") {
       if (i + 1 >= argc) return false;
       args->method = argv[++i];
@@ -128,6 +144,8 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       args->emit_ddl = true;
     } else if (arg == "--explain") {
       args->explain = true;
+    } else if (arg == "--mem-stats") {
+      args->mem_stats = true;
     } else if (arg == "--quiet") {
       args->quiet = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -316,6 +334,9 @@ int main(int argc, char** argv) {
   if (args.deadline_ms >= 0) {
     options.deadline = std::chrono::milliseconds(args.deadline_ms);
   }
+  if (args.memory_limit_bytes > 0) {
+    options.memory_limit_bytes = args.memory_limit_bytes;
+  }
   MetricsRegistry registry;
   Tracer tracer;
   Logger logger(LogLevel::kInfo);
@@ -344,7 +365,11 @@ int main(int argc, char** argv) {
   const SolveStats& stats = rec->stats;
   std::printf("\nmethod: %s (%s), optimized in %.3fs\n", args.method.c_str(),
               rec->method_detail.c_str(), stats.wall_seconds);
-  if (stats.deadline_hit) {
+  if (stats.memory_limit_hit) {
+    std::printf("memory limit hit: best-effort schedule (the solver "
+                "degraded rather than allocate past %lld bytes)\n",
+                static_cast<long long>(args.memory_limit_bytes));
+  } else if (stats.deadline_hit) {
     std::printf("deadline hit: best-effort schedule (the solver returned "
                 "the best feasible design found within %lld ms)\n",
                 static_cast<long long>(args.deadline_ms));
@@ -359,6 +384,21 @@ int main(int argc, char** argv) {
         stats.threads_used, static_cast<long long>(stats.costings),
         static_cast<long long>(stats.cache_hits),
         static_cast<long long>(stats.nodes_expanded));
+  }
+  if (args.mem_stats) {
+    std::printf("memory: %lld bytes tracked peak, %.3fs cpu, "
+                "%lld bytes process peak rss\n",
+                static_cast<long long>(stats.peak_bytes_total),
+                stats.cpu_seconds,
+                static_cast<long long>(PeakRssBytes()));
+    for (int c = 0; c < kNumMemComponents; ++c) {
+      const auto component = static_cast<MemComponent>(c);
+      const int64_t peak = stats.component_peak_bytes[c];
+      if (peak == 0) continue;
+      std::printf("  %-15s %lld bytes peak\n",
+                  std::string(MemComponentName(component)).c_str(),
+                  static_cast<long long>(peak));
+    }
   }
   if (args.k >= 0) {
     std::printf("design changes: %lld (bound %lld), estimated cost %.4e\n",

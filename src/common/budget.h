@@ -4,6 +4,8 @@
 #include <atomic>
 #include <chrono>
 
+#include "common/resource_tracker.h"
+
 namespace cdpd {
 
 /// A cooperative cancellation flag, settable from any thread. The
@@ -32,9 +34,11 @@ class CancelToken {
   std::atomic<bool> cancelled_{false};
 };
 
-/// The runtime budget of one solve: an optional wall-clock deadline
-/// plus an optional CancelToken, polled together through Expired().
-/// A default-constructed Budget is unlimited and never expires.
+/// The runtime budget of one solve: an optional wall-clock deadline,
+/// an optional CancelToken, and an optional memory budget (a
+/// ResourceTracker whose soft byte limit has tripped), polled together
+/// through Expired(). A default-constructed Budget is unlimited and
+/// never expires.
 ///
 /// The solvers take a `const Budget*` (null = unlimited), so an
 /// un-budgeted solve pays exactly one pointer test per checkpoint —
@@ -55,16 +59,27 @@ class Budget {
   /// Cancellation-only budget (no deadline).
   explicit Budget(const CancelToken* cancel) : cancel_(cancel) {}
 
-  /// True once the deadline has passed or the token is cancelled.
-  /// Cheap enough for per-block polling: one relaxed atomic load plus
-  /// (when a deadline is set) one steady_clock read.
+  /// Attaches a memory budget: once `tracker`'s soft byte limit trips
+  /// (ResourceTracker::limit_exceeded), the budget reports Expired()
+  /// and the solve winds down through the same anytime machinery as a
+  /// deadline. A tracker with no limit never expires the budget, so
+  /// attaching one for pure accounting is free.
+  void set_tracker(const ResourceTracker* tracker) { tracker_ = tracker; }
+  const ResourceTracker* tracker() const { return tracker_; }
+
+  /// True once the deadline has passed, the token is cancelled, or the
+  /// attached tracker's memory limit tripped. Cheap enough for
+  /// per-block polling: relaxed atomic loads plus (when a deadline is
+  /// set) one steady_clock read.
   bool Expired() const {
     if (cancel_ != nullptr && cancel_->cancelled()) return true;
+    if (tracker_ != nullptr && tracker_->limit_exceeded()) return true;
     return has_deadline_ && std::chrono::steady_clock::now() >= deadline_;
   }
 
  private:
   const CancelToken* cancel_ = nullptr;
+  const ResourceTracker* tracker_ = nullptr;
   bool has_deadline_ = false;
   std::chrono::steady_clock::time_point deadline_{};
 };

@@ -90,10 +90,11 @@ std::string Tracer::ToChromeJson() const {
     out += ", \"ph\": \"X\", \"ts\": " + std::to_string(event.start_us) +
            ", \"dur\": " + std::to_string(event.duration_us) +
            ", \"pid\": 0, \"tid\": " + std::to_string(event.tid);
+    out += ", \"args\": {\"cpu_us\": " + std::to_string(event.cpu_us);
     if (event.arg != kNoArg) {
-      out += ", \"args\": {\"arg\": " + std::to_string(event.arg) + "}";
+      out += ", \"arg\": " + std::to_string(event.arg);
     }
-    out += "}";
+    out += "}}";
   }
   out += "\n], \"displayTimeUnit\": \"ms\"}\n";
   return out;
@@ -110,9 +111,10 @@ std::string Tracer::ToTextTree() const {
       std::snprintf(line, sizeof(line), "thread %u\n", current_tid);
       out += line;
     }
-    std::snprintf(line, sizeof(line), "  [%10lld us +%10lld us] ",
+    std::snprintf(line, sizeof(line), "  [%10lld us +%10lld us cpu %lld us] ",
                   static_cast<long long>(event.start_us),
-                  static_cast<long long>(event.duration_us));
+                  static_cast<long long>(event.duration_us),
+                  static_cast<long long>(event.cpu_us));
     out += line;
     out.append(static_cast<size_t>(event.depth) * 2, ' ');
     out += event.name;

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "common/resource_tracker.h"
+
 namespace cdpd {
 
 /// Collects RAII TraceSpans into per-thread buffers and exports them as
@@ -30,13 +32,18 @@ class Tracer {
 
   /// One completed span. `tid` is a dense per-tracer thread number in
   /// buffer-registration order; `depth` is the span nesting depth on
-  /// its thread at the time the span opened.
+  /// its thread at the time the span opened. `cpu_us` is the CPU time
+  /// the owning thread consumed over the span
+  /// (CLOCK_THREAD_CPUTIME_ID; 0 where unavailable) — a span whose
+  /// cpu_us is far below its duration_us spent its wall time blocked,
+  /// not computing.
   struct Event {
     const char* name = "";
     const char* category = "";
     int64_t arg = kNoArg;
     int64_t start_us = 0;
     int64_t duration_us = 0;
+    int64_t cpu_us = 0;
     uint32_t tid = 0;
     int32_t depth = 0;
   };
@@ -97,16 +104,19 @@ class TraceSpan {
     arg_ = arg;
     buffer_ = tracer_->BufferForThisThread();
     depth_ = buffer_->depth++;
+    start_cpu_us_ = ThreadCpuTimeMicros();
     start_us_ = tracer_->NowMicros();
   }
 
   ~TraceSpan() {
     if (tracer_ == nullptr) return;
     const int64_t end_us = tracer_->NowMicros();
+    const int64_t cpu_us = ThreadCpuTimeMicros() - start_cpu_us_;
     --buffer_->depth;
     std::lock_guard<std::mutex> lock(buffer_->mu);
     buffer_->events.push_back(Event{name_, category_, arg_, start_us_,
-                                    end_us - start_us_, buffer_->tid,
+                                    end_us - start_us_,
+                                    cpu_us > 0 ? cpu_us : 0, buffer_->tid,
                                     depth_});
   }
 
@@ -129,6 +139,7 @@ class TraceSpan {
   Tracer::ThreadBuffer* buffer_ = nullptr;
   int32_t depth_ = 0;
   int64_t start_us_ = 0;
+  int64_t start_cpu_us_ = 0;
 };
 
 #define CDPD_TRACE_CONCAT_INNER_(a, b) a##b

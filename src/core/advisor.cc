@@ -29,6 +29,11 @@ Status AdvisorOptions::Validate() const {
     return Status::InvalidArgument(
         "deadline must be >= 0 when set (use nullopt for no deadline)");
   }
+  if (memory_limit_bytes.has_value() && *memory_limit_bytes <= 0) {
+    return Status::InvalidArgument(
+        "memory_limit_bytes must be > 0 when set (use nullopt for no "
+        "limit)");
+  }
   return Status::OK();
 }
 
@@ -96,6 +101,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   solve_options.explain = options.explain;
   solve_options.deadline = options.deadline;
   solve_options.cancel = options.cancel;
+  solve_options.memory_limit_bytes = options.memory_limit_bytes;
   if (options.method == OptimizerMethod::kGreedySeq) {
     solve_options.greedy.candidate_indexes = rec.candidate_indexes;
     solve_options.greedy.max_indexes_per_config =

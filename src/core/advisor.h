@@ -82,6 +82,12 @@ struct AdvisorOptions {
   /// far, flagged in stats.deadline_hit.
   std::optional<std::chrono::milliseconds> deadline;
   const CancelToken* cancel = nullptr;
+  /// Soft byte budget for the solve's tracked allocations, forwarded
+  /// to SolveOptions::memory_limit_bytes. An over-budget solve
+  /// degrades to the best schedule it can build within budget, flagged
+  /// in stats.memory_limit_hit; nullopt = no limit (the allocations
+  /// are still tracked into stats.peak_bytes_total).
+  std::optional<int64_t> memory_limit_bytes;
 
   /// All option validation in one place (block size, change bound,
   /// space bound, thread count, enumeration cap, deadline); Recommend

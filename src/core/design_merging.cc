@@ -54,7 +54,8 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          ThreadPool* pool, Tracer* tracer,
                                          const Budget* budget,
                                          const ProgressFn* progress,
-                                         Logger* logger) {
+                                         Logger* logger,
+                                         ResourceTracker* tracker) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -78,6 +79,31 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
            LogField("initial_changes", initial_changes), LogField("k", k),
            LogField("candidates", problem.candidates.size()));
 
+  // The mid-refinement runs still violate k, so they are never a
+  // feasible answer — on a budget expiry or a refused memory
+  // reservation the solve degrades to the cheapest static design
+  // instead. Shared by both exits.
+  const auto static_fallback =
+      [&](int64_t changes, const char* cause) -> Result<DesignSchedule> {
+    CDPD_LOG(logger, LogLevel::kWarn, "merging.fallback",
+             LogField("changes", changes), LogField("k", k),
+             LogField("cause", cause));
+    Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
+    if (!fallback.ok()) {
+      return Status::DeadlineExceeded(
+          "budget expired with " + std::to_string(changes) +
+          " changes still above k = " + std::to_string(k) +
+          ", and no static design satisfies the bound");
+    }
+    local_stats.deadline_hit = true;
+    local_stats.best_effort = true;
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+    return std::move(fallback).value();
+  };
+
   for (;;) {
     const int64_t changes = RunChanges(problem, runs);
     // Fraction of the excess changes merged away so far.
@@ -88,24 +114,7 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
     }
     if (changes <= k) break;
     if (BudgetExpired(budget)) {
-      CDPD_LOG(logger, LogLevel::kWarn, "merging.deadline",
-               LogField("changes", changes), LogField("k", k));
-      // The refinement still violates k, so the runs in hand are not a
-      // feasible answer — degrade to the cheapest static design.
-      Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
-      if (!fallback.ok()) {
-        return Status::DeadlineExceeded(
-            "budget expired with " + std::to_string(changes) +
-            " changes still above k = " + std::to_string(k) +
-            ", and no static design satisfies the bound");
-      }
-      local_stats.deadline_hit = true;
-      local_stats.best_effort = true;
-      local_stats.wall_seconds = watch.ElapsedSeconds();
-      local_stats.costings = what_if.costings() - costings_before;
-      local_stats.cache_hits = what_if.cache_hits() - hits_before;
-      if (stats != nullptr) *stats = local_stats;
-      return std::move(fallback).value();
+      return static_fallback(changes, "deadline");
     }
     CDPD_TRACE_SPAN(tracer, "merging.step", "solver", changes);
     if (runs.size() == 1) {
@@ -131,6 +140,16 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
     // any thread count.
     const size_t num_pairs = runs.size() - 1;
     const size_t num_cands = problem.candidates.size();
+    // This round's penalty tables, released when the round ends. A
+    // refusal degrades now rather than waiting for the next budget
+    // poll — the tables are exactly what there is no budget for.
+    const ScopedReservation round_reservation = ScopedReservation::Try(
+        tracker, MemComponent::kMergingTable,
+        static_cast<int64_t>((num_pairs + num_pairs * num_cands) *
+                             sizeof(double)));
+    if (!round_reservation.ok()) {
+      return static_fallback(changes, "memory-limit");
+    }
     std::vector<double> old_costs(num_pairs);
     ParallelFor(pool, 0, num_pairs, [&](size_t i) {
       const Run& left = runs[i];

@@ -53,6 +53,12 @@ namespace cdpd {
 /// callback required; see common/progress.h); `logger` records
 /// start/end, per-round, and fallback events. Both optional, both
 /// observational only.
+///
+/// `tracker` (optional) accounts each round's penalty tables
+/// (kMergingTable), released when the round ends. A round whose tables
+/// the tracker's soft limit refuses degrades immediately to the static
+/// fallback (the partial refinement still violates k, so it is not a
+/// feasible answer to return).
 Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          const DesignSchedule& initial_schedule,
                                          int64_t k,
@@ -61,7 +67,8 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                                          Tracer* tracer = nullptr,
                                          const Budget* budget = nullptr,
                                          const ProgressFn* progress = nullptr,
-                                         Logger* logger = nullptr);
+                                         Logger* logger = nullptr,
+                                         ResourceTracker* tracker = nullptr);
 
 }  // namespace cdpd
 

@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "common/json_util.h"
+#include "core/k_aware_graph.h"
 
 namespace cdpd {
 
@@ -76,6 +77,17 @@ ExplainReport BuildExplainReport(const DesignProblem& problem,
   report.best_effort = stats.best_effort;
   report.solver_reported_cost = schedule.total_cost;
   report.unconstrained_cost = unconstrained_cost;
+  // Space-bound check: what §3 says the k-aware table should cost for
+  // these dimensions, against what the tracker saw the solve reserve.
+  if (k.has_value()) {
+    report.predicted_kaware_bytes = PredictKAwareTableBytes(
+        static_cast<int64_t>(problem.num_segments()),
+        static_cast<int64_t>(problem.candidates.size()), *k,
+        problem.count_initial_change);
+  }
+  report.actual_kaware_bytes =
+      stats.component_peak_bytes[static_cast<size_t>(
+          MemComponent::kKAwareTable)];
 
   // Totals, accumulated in exactly EvaluateScheduleCost's interleaved
   // TRANS/EXEC order so `total_cost` reproduces the solver-reported
@@ -195,6 +207,29 @@ std::string ExplainReport::ToText(const Schema& schema) const {
          std::to_string(stats.threads_used) + " threads, " +
          std::to_string(stats.costings) + " costings (" +
          std::to_string(stats.cache_hits) + " cached)\n";
+  // Memory block only when the solve tracked anything (golden reports
+  // built without a tracker render byte-identically to schema v1).
+  if (stats.peak_bytes_total > 0 || predicted_kaware_bytes > 0 ||
+      stats.memory_limit_hit) {
+    out += "  memory:         peak " + std::to_string(stats.peak_bytes_total) +
+           " bytes tracked, cpu " + ShortDouble(stats.cpu_seconds) + " s";
+    if (stats.memory_limit_hit) out += "  (memory limit hit)";
+    out += "\n";
+    if (predicted_kaware_bytes > 0) {
+      out += "    k-aware:      predicted " +
+             std::to_string(predicted_kaware_bytes) + " bytes";
+      if (actual_kaware_bytes > 0) {
+        out += ", actual " + std::to_string(actual_kaware_bytes) +
+               " bytes (ratio " +
+               ShortDouble(static_cast<double>(actual_kaware_bytes) /
+                           static_cast<double>(predicted_kaware_bytes)) +
+               ")";
+      } else {
+        out += ", table never built";
+      }
+      out += "\n";
+    }
+  }
 
   out += "transitions (" + std::to_string(transitions.size()) + "):\n";
   // Two passes so the statement and work columns align.
@@ -264,6 +299,14 @@ std::string ExplainReport::ToJson(const Schema& schema) const {
          (optimality_gap.has_value() ? JsonDouble(*optimality_gap) : "null");
   out += std::string(", \"deadline_hit\": ") + (deadline_hit ? "true" : "false");
   out += std::string(", \"best_effort\": ") + (best_effort ? "true" : "false");
+  out += ", \"predicted_kaware_bytes\": " +
+         std::to_string(predicted_kaware_bytes);
+  out += ", \"actual_kaware_bytes\": " + std::to_string(actual_kaware_bytes);
+  out += ", \"kaware_bytes_ratio\": " +
+         (predicted_kaware_bytes > 0 && actual_kaware_bytes > 0
+              ? JsonDouble(static_cast<double>(actual_kaware_bytes) /
+                           static_cast<double>(predicted_kaware_bytes))
+              : std::string("null"));
   out += "}";
   out += ", \"stats\": " + stats.ToJson();
   out += ", \"transitions\": [";

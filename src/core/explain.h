@@ -99,6 +99,19 @@ struct ExplainReport {
   bool best_effort = false;
   SolveStats stats;
 
+  /// Space-bound validation (§3's O(k·n·2^{2m}) claim, measured):
+  /// the k-aware DP table footprint PredictKAwareTableBytes computes
+  /// from the problem dimensions, versus the bytes the solve actually
+  /// reserved against MemComponent::kKAwareTable. `predicted` is 0 for
+  /// unconstrained solves (no layered table exists); `actual` is 0
+  /// when the method never built the table (ranking, merging) or
+  /// tracking found nothing to charge. The renderers print the
+  /// actual/predicted ratio when both are present — the number the
+  /// space-validation experiment in EXPERIMENTS.md asserts stays
+  /// within 2x.
+  int64_t predicted_kaware_bytes = 0;
+  int64_t actual_kaware_bytes = 0;
+
   std::vector<ExplainTransition> transitions;
 
   /// Human-readable report: summary block plus one aligned row per

@@ -14,7 +14,8 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        ThreadPool* pool, Tracer* tracer,
                                        const Budget* budget,
                                        const ProgressFn* progress,
-                                       Logger* logger) {
+                                       Logger* logger,
+                                       ResourceTracker* tracker) {
   if (problem.what_if == nullptr) {
     return Status::InvalidArgument("design problem has no what-if oracle");
   }
@@ -36,9 +37,37 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
   // growth step prices all candidate indexes in parallel (disjoint
   // writes into `grown_costs`), then picks the winner with a serial
   // scan in index order — the same argmin the serial loop computes.
+  // Meters the reduced set as it grows (released when the solve
+  // returns, error paths included). A limit tripped mid-growth stops
+  // the construction at the next budget poll; the partial set is still
+  // a valid (smaller) candidate set.
+  struct CandidateCharge {
+    ResourceTracker* tracker;
+    int64_t bytes = 0;
+    void Add(const Configuration& config) {
+      if (tracker == nullptr) return;
+      int64_t b = static_cast<int64_t>(sizeof(Configuration));
+      for (const IndexDef& index : config.indexes()) {
+        b += static_cast<int64_t>(
+            sizeof(IndexDef) +
+            index.key_columns().size() *
+                sizeof(index.key_columns()[0]));
+      }
+      tracker->Reserve(MemComponent::kCandidates, b);
+      bytes += b;
+    }
+    ~CandidateCharge() {
+      if (tracker != nullptr) {
+        tracker->Release(MemComponent::kCandidates, bytes);
+      }
+    }
+  } candidate_charge{tracker};
+
   std::vector<Configuration> reduced;
   reduced.push_back(Configuration::Empty());
   reduced.push_back(problem.initial);
+  candidate_charge.Add(reduced[0]);
+  candidate_charge.Add(reduced[1]);
   constexpr double kInf = std::numeric_limits<double>::infinity();
   std::vector<double> grown_costs(num_indexes, kInf);
   // Expiry is polled between growth steps, never inside one: a step's
@@ -86,6 +115,7 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
       current = current.With(*best_index);
       current_cost = best_cost;
       reduced.push_back(current);
+      candidate_charge.Add(current);
     }
   }
   std::sort(reduced.begin(), reduced.end());
@@ -119,12 +149,12 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
       CDPD_ASSIGN_OR_RETURN(
           result.schedule,
           SolveUnconstrained(reduced_problem, &graph_stats, pool, tracer,
-                             graph_budget, progress, logger));
+                             graph_budget, progress, logger, tracker));
     } else {
       CDPD_ASSIGN_OR_RETURN(
           result.schedule,
           SolveKAware(reduced_problem, *k, &graph_stats, pool, tracer,
-                      graph_budget, progress, logger));
+                      graph_budget, progress, logger, tracker));
     }
   }
   result.stats.nodes_expanded = graph_stats.nodes_expanded;

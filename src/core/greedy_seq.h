@@ -70,6 +70,12 @@ struct GreedySeqResult {
 /// the inherited graph-search phases (thread-safe callback required;
 /// see common/progress.h); `logger` records start/end and the reduced
 /// candidate-set size. Both optional, both observational only.
+///
+/// `tracker` (optional) meters the growing reduced candidate set
+/// (kCandidates) as it is built — a tracker limit tripped mid-growth
+/// stops the growth at the next poll via the attached Budget, exactly
+/// like a deadline — and flows into the graph search, which charges
+/// its own tables (kCostMatrix, kKAwareTable / kSequenceGraph).
 Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        std::optional<int64_t> k,
                                        const GreedySeqOptions& options,
@@ -77,7 +83,8 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        Tracer* tracer = nullptr,
                                        const Budget* budget = nullptr,
                                        const ProgressFn* progress = nullptr,
-                                       Logger* logger = nullptr);
+                                       Logger* logger = nullptr,
+                                       ResourceTracker* tracker = nullptr);
 
 }  // namespace cdpd
 

@@ -21,7 +21,8 @@ std::string_view HybridChoiceToString(HybridChoice choice) {
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  ThreadPool* pool, Tracer* tracer,
                                  const Budget* budget,
-                                 const ProgressFn* progress, Logger* logger) {
+                                 const ProgressFn* progress, Logger* logger,
+                                 ResourceTracker* tracker) {
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
@@ -32,7 +33,7 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
     CDPD_ASSIGN_OR_RETURN(
         unconstrained,
         SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                           progress, logger));
+                           progress, logger, tracker));
   }
   const int64_t l = CountChanges(problem, unconstrained.configs);
   result.unconstrained_changes = l;
@@ -72,7 +73,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   if (prefer_kaware) {
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
     Result<DesignSchedule> kaware = SolveKAware(
-        problem, k, &phase_stats, pool, tracer, budget, progress, logger);
+        problem, k, &phase_stats, pool, tracer, budget, progress, logger,
+        tracker);
     if (kaware.ok()) {
       result.schedule = std::move(kaware).value();
       result.choice = HybridChoice::kKAwareGraph;
@@ -85,7 +87,7 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "hybrid.merge", "solver", l - k);
     Result<DesignSchedule> merged =
         MergeToConstraint(problem, unconstrained, k, &phase_stats, pool,
-                          tracer, budget, progress, logger);
+                          tracer, budget, progress, logger, tracker);
     if (merged.ok()) {
       result.schedule = std::move(merged).value();
       result.choice = HybridChoice::kMerging;
@@ -98,7 +100,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
   {
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
     Result<DesignSchedule> kaware = SolveKAware(
-        problem, k, &phase_stats, pool, tracer, budget, progress, logger);
+        problem, k, &phase_stats, pool, tracer, budget, progress, logger,
+        tracker);
     if (kaware.ok()) {
       result.schedule = std::move(kaware).value();
       result.choice = HybridChoice::kKAwareGraph;

@@ -72,12 +72,17 @@ struct HybridResult {
 /// common/progress.h); `logger` records the branch choice with both
 /// work estimates, plus the phases' own events. Both optional, both
 /// observational only.
+///
+/// `tracker` (optional) flows into both phases, which charge their own
+/// allocation classes (kCostMatrix, kSequenceGraph, kKAwareTable,
+/// kMergingTable); the hybrid itself allocates nothing tracked.
 Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  ThreadPool* pool = nullptr,
                                  Tracer* tracer = nullptr,
                                  const Budget* budget = nullptr,
                                  const ProgressFn* progress = nullptr,
-                                 Logger* logger = nullptr);
+                                 Logger* logger = nullptr,
+                                 ResourceTracker* tracker = nullptr);
 
 }  // namespace cdpd
 

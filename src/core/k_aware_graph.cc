@@ -38,11 +38,36 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages, int64_t num_configs,
   return size;
 }
 
+int64_t PredictKAwareTableBytes(int64_t num_stages, int64_t num_configs,
+                                int64_t k, bool count_initial_change) {
+  if (num_stages <= 0 || num_configs <= 0) return 0;
+  if (k < 0) k = 0;
+  // The same layer clamp SolveKAware applies before sizing its tables.
+  const int64_t max_changes = num_stages - 1 + (count_initial_change ? 1 : 0);
+  const int64_t layers =
+      SaturatingAdd(k >= max_changes ? max_changes : k, 1);
+  const int64_t layer_cells = SaturatingMul(layers, num_configs);
+  // dist + next: two layers x m double arrays.
+  int64_t bytes = SaturatingMul(
+      SaturatingMul(int64_t{2}, layer_cells),
+      static_cast<int64_t>(sizeof(double)));
+  // parent: n x layers x m cells of 8 bytes ({int32 layer, int32
+  // config}).
+  bytes = SaturatingAdd(
+      bytes, SaturatingMul(SaturatingMul(num_stages, layer_cells),
+                           int64_t{8}));
+  // init_trans + final_trans boundary vectors.
+  bytes = SaturatingAdd(
+      bytes, SaturatingMul(SaturatingMul(int64_t{2}, num_configs),
+                           static_cast<int64_t>(sizeof(double))));
+  return bytes;
+}
+
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats, ThreadPool* pool,
                                    Tracer* tracer, const Budget* budget,
-                                   const ProgressFn* progress,
-                                   Logger* logger) {
+                                   const ProgressFn* progress, Logger* logger,
+                                   ResourceTracker* tracker) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -88,6 +113,35 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
         "k-aware DP table of " + std::to_string(n) + " stages x " +
         std::to_string(layers) + " layers x " + std::to_string(m) +
         " candidate configurations overflows the addressable size");
+  }
+
+  // Charge the two big allocation classes before making either. A
+  // refusal (the tracker's soft limit would be passed) degrades to the
+  // cheapest static schedule instead of allocating past budget — the
+  // same anytime contract as a deadline, reached before any table
+  // exists.
+  ScopedReservation matrix_reservation = ScopedReservation::Try(
+      tracker, MemComponent::kCostMatrix, CostMatrix::EstimateBytes(n, m));
+  ScopedReservation table_reservation;
+  if (matrix_reservation.ok()) {
+    table_reservation = ScopedReservation::Try(
+        tracker, MemComponent::kKAwareTable,
+        PredictKAwareTableBytes(static_cast<int64_t>(n),
+                                static_cast<int64_t>(m), k,
+                                problem.count_initial_change));
+  }
+  if (!matrix_reservation.ok() || !table_reservation.ok()) {
+    CDPD_LOG(logger, LogLevel::kWarn, "kaware.memory_limit",
+             LogField("limit_bytes", tracker->limit_bytes()),
+             LogField("fallback", "best-static"));
+    CDPD_ASSIGN_OR_RETURN(schedule, BestStaticSchedule(problem, k));
+    local_stats.deadline_hit = true;
+    local_stats.best_effort = true;
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+    return schedule;
   }
 
   // Phase 1 (parallel): dense EXEC/TRANS matrices plus the boundary

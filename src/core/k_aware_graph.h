@@ -34,6 +34,19 @@ struct KAwareGraphSize {
 KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
                                        int64_t num_configs, int64_t k);
 
+/// Predicted bytes of SolveKAware's DP working set — the dist/next
+/// arrays (2 x layers x m doubles), the parent table (n x layers x m
+/// 8-byte cells), and the boundary transition vectors — using the same
+/// layer clamp the solver applies (layers = min(k, n - 1 +
+/// count_initial_change) + 1). This is the model the explain report
+/// quotes against the measured MemComponent::kKAwareTable peak, and
+/// the figure a caller should budget when sizing
+/// SolveOptions::memory_limit_bytes; saturates at INT64_MAX. The
+/// O(k n 2^{2m}) space bound of §3 is this quantity with m = 2^{2m'}
+/// candidate configurations.
+int64_t PredictKAwareTableBytes(int64_t num_stages, int64_t num_configs,
+                                int64_t k, bool count_initial_change);
+
 /// Optimal *constrained* dynamic physical design (§3, the paper's
 /// contribution): shortest path through the k-aware sequence graph,
 /// whose layers 0..k record the number of design changes used so far.
@@ -73,13 +86,21 @@ KAwareGraphSize ComputeKAwareGraphSize(int64_t num_stages,
 /// the existing poll sites (thread-safe callback required; see
 /// common/progress.h); `logger` records phase start/end and
 /// anytime-fallback events. Both optional, both observational only.
+///
+/// `tracker` (optional) accounts the big allocations — the dense cost
+/// matrix (kCostMatrix) and the DP tables (kKAwareTable). When the
+/// tracker carries a soft byte limit that a reservation would pass,
+/// the solve degrades instead of allocating: it returns
+/// BestStaticSchedule (flagged best_effort/deadline_hit) rather than
+/// building tables it has no budget for.
 Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats = nullptr,
                                    ThreadPool* pool = nullptr,
                                    Tracer* tracer = nullptr,
                                    const Budget* budget = nullptr,
                                    const ProgressFn* progress = nullptr,
-                                   Logger* logger = nullptr);
+                                   Logger* logger = nullptr,
+                                   ResourceTracker* tracker = nullptr);
 
 }  // namespace cdpd
 

@@ -7,9 +7,16 @@
 
 namespace cdpd {
 
-PathRanker::PathRanker(const SequenceGraph& graph, const Budget* budget)
+PathRanker::PathRanker(const SequenceGraph& graph, const Budget* budget,
+                       ResourceTracker* tracker)
     : graph_(&graph), budget_(budget), tree_(ComputeShortestPaths(graph)) {
-  nodes_.resize(static_cast<size_t>(graph.num_nodes()));
+  nodes_.assign(
+      static_cast<size_t>(graph.num_nodes()),
+      NodeState(TrackingAllocator<PathRef>(tracker,
+                                           MemComponent::kRankingQueue)));
+  state_reservation_ = ScopedReservation(
+      tracker, MemComponent::kRankingQueue,
+      static_cast<int64_t>(nodes_.size() * sizeof(NodeState)));
   // π^1 of every reachable node comes from the shortest-path tree.
   for (size_t v = 0; v < nodes_.size(); ++v) {
     if (tree_.dist[v] == std::numeric_limits<double>::infinity()) continue;
@@ -110,7 +117,8 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       ThreadPool* pool, Tracer* tracer,
                                       const Budget* budget,
                                       const ProgressFn* progress,
-                                      Logger* logger) {
+                                      Logger* logger,
+                                      ResourceTracker* tracker) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -127,6 +135,42 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
            LogField("segments", problem.num_segments()),
            LogField("candidates", problem.candidates.size()),
            LogField("k", k), LogField("max_paths", max_paths));
+
+  // Charge the dense cost tables and the materialized graph before
+  // building either; a refusal skips the enumeration entirely and
+  // degrades to the cheapest static schedule (the same last-resort
+  // fallback a failed enumeration reaches below).
+  ScopedReservation matrix_reservation = ScopedReservation::Try(
+      tracker, MemComponent::kCostMatrix,
+      CostMatrix::EstimateBytes(problem.num_segments(),
+                                problem.candidates.size()));
+  ScopedReservation graph_reservation;
+  if (matrix_reservation.ok()) {
+    graph_reservation = ScopedReservation::Try(
+        tracker, MemComponent::kSequenceGraph,
+        EstimateSequenceGraphBytes(
+            static_cast<int64_t>(problem.num_segments()),
+            static_cast<int64_t>(problem.candidates.size())));
+  }
+  if (!matrix_reservation.ok() || !graph_reservation.ok()) {
+    CDPD_LOG(logger, LogLevel::kWarn, "ranking.memory_limit",
+             LogField("limit_bytes", tracker->limit_bytes()),
+             LogField("fallback", "best-static"));
+    Result<DesignSchedule> fallback = BestStaticSchedule(problem, k);
+    if (!fallback.ok()) {
+      return Status::DeadlineExceeded(
+          "memory budget exhausted before the ranking could start, and "
+          "no static design satisfies k = " + std::to_string(k));
+    }
+    local_stats.best_effort = true;
+    local_stats.deadline_hit = true;
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+    return std::move(fallback).value();
+  }
+
   CostMatrix matrix;
   {
     CDPD_TRACE_SPAN(tracer, "ranking.precompute", "solver");
@@ -142,7 +186,7 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   CDPD_ASSIGN_OR_RETURN(SequenceGraph graph,
                         SequenceGraph::Build(problem, &matrix));
   local_stats.nodes_expanded = graph.num_nodes();
-  PathRanker ranker(graph, budget);
+  PathRanker ranker(graph, budget, tracker);
   TraceSpan enumerate_span(tracer, "ranking.enumerate", "solver");
   const auto finish = [&] {
     enumerate_span.set_arg(local_stats.paths_enumerated);

@@ -31,12 +31,19 @@ struct RankedPath {
 /// one-time alternative-predecessor candidates).
 class PathRanker {
  public:
-  /// `graph` (and `budget`, when given) must outlive the ranker. With
-  /// a budget, Next() returns nullopt as soon as the budget expires —
-  /// callers distinguish expiry from true exhaustion by checking the
-  /// budget afterwards.
+  /// `graph` (and `budget` / `tracker`, when given) must outlive the
+  /// ranker. With a budget, Next() returns nullopt as soon as the
+  /// budget expires — callers distinguish expiry from true exhaustion
+  /// by checking the budget afterwards. With a tracker, every growth
+  /// of the per-node path/candidate state is charged to
+  /// MemComponent::kRankingQueue through a counting allocator (the
+  /// enumeration state is worst-case exponential, so a priori
+  /// reservation is impossible — the allocator meters it as it
+  /// grows, and a tracker limit trips the attached Budget at the next
+  /// poll).
   explicit PathRanker(const SequenceGraph& graph,
-                      const Budget* budget = nullptr);
+                      const Budget* budget = nullptr,
+                      ResourceTracker* tracker = nullptr);
 
   /// The next path in the ranking, or nullopt when exhausted (or the
   /// budget expired).
@@ -56,10 +63,18 @@ class PathRanker {
     int32_t pred_edge = -1;   // Edge id into the node; -1 at the source.
     int64_t pred_index = -1;  // Rank (0-based) of the predecessor path.
   };
+  /// Counting vectors: the enumeration state grows unpredictably, so
+  /// its true allocated size is metered through the allocator rather
+  /// than reserved up front. A default-constructed allocator (no
+  /// tracker) counts nothing.
+  using PathRefVec = std::vector<PathRef, TrackingAllocator<PathRef>>;
   struct NodeState {
-    std::vector<PathRef> paths;       // Ranked paths found so far.
-    std::vector<PathRef> candidates;  // Min-heap by cost.
+    PathRefVec paths;       // Ranked paths found so far.
+    PathRefVec candidates;  // Min-heap by cost.
     bool initialized_alternatives = false;
+    NodeState() = default;
+    explicit NodeState(const TrackingAllocator<PathRef>& alloc)
+        : paths(alloc), candidates(alloc) {}
   };
 
   /// Ensures π^{rank}(node) exists (0-based). Returns false when the
@@ -72,6 +87,9 @@ class PathRanker {
   const Budget* budget_;
   DagShortestPaths tree_;
   std::vector<NodeState> nodes_;
+  /// Fixed footprint of nodes_ itself (the growing vectors inside are
+  /// metered by the allocator).
+  ScopedReservation state_reservation_;
   int64_t paths_yielded_ = 0;
 };
 
@@ -104,6 +122,13 @@ class PathRanker {
 /// paths yielded over `max_paths` (thread-safe callback required; see
 /// common/progress.h); `logger` records start/end and fallback events.
 /// Both optional, both observational only.
+///
+/// `tracker` (optional) accounts the cost matrix (kCostMatrix), the
+/// materialized graph (kSequenceGraph), and — through PathRanker's
+/// counting allocator — the enumeration state (kRankingQueue). A limit
+/// refusal before the graph exists degrades straight to the static
+/// fallback; a limit tripped mid-enumeration winds down at the next
+/// poll via the attached Budget.
 Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       int64_t max_paths = 1'000'000,
                                       SolveStats* stats = nullptr,
@@ -111,7 +136,8 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       Tracer* tracer = nullptr,
                                       const Budget* budget = nullptr,
                                       const ProgressFn* progress = nullptr,
-                                      Logger* logger = nullptr);
+                                      Logger* logger = nullptr,
+                                      ResourceTracker* tracker = nullptr);
 
 }  // namespace cdpd
 

@@ -208,4 +208,26 @@ std::vector<SequenceGraph::NodeId> ExtractPath(const SequenceGraph& graph,
   return path;
 }
 
+int64_t EstimateSequenceGraphBytes(int64_t num_stages, int64_t num_configs) {
+  if (num_stages <= 0 || num_configs <= 0) return 0;
+  const int64_t nodes =
+      SaturatingAdd(SaturatingMul(num_stages, num_configs), 2);
+  // Source fan-out + complete bipartite layers + destination fan-in
+  // (Figure 1's edge inventory, matching Build).
+  int64_t edges = SaturatingMul(int64_t{2}, num_configs);
+  edges = SaturatingAdd(
+      edges, SaturatingMul(num_stages - 1,
+                           SaturatingMul(num_configs, num_configs)));
+  // Each edge: the Edge struct plus one int32 id in each adjacency
+  // index; each node: the two adjacency-vector headers.
+  int64_t bytes = SaturatingMul(
+      edges, static_cast<int64_t>(sizeof(SequenceGraph::Edge) +
+                                  2 * sizeof(int32_t)));
+  bytes = SaturatingAdd(
+      bytes, SaturatingMul(
+                 nodes, static_cast<int64_t>(2 *
+                                             sizeof(std::vector<int32_t>))));
+  return bytes;
+}
+
 }  // namespace cdpd

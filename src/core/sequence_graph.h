@@ -102,6 +102,12 @@ struct DagShortestPaths {
 
 DagShortestPaths ComputeShortestPaths(const SequenceGraph& graph);
 
+/// Predicted bytes of a materialized SequenceGraph over n stages and m
+/// candidate configurations — the edge array plus both adjacency
+/// indexes — what SolveByRanking charges to
+/// MemComponent::kSequenceGraph before Build. Saturates at INT64_MAX.
+int64_t EstimateSequenceGraphBytes(int64_t num_stages, int64_t num_configs);
+
 /// Reconstructs the node path from the source to `target` (inclusive).
 std::vector<SequenceGraph::NodeId> ExtractPath(const SequenceGraph& graph,
                                                const DagShortestPaths& paths,

@@ -20,6 +20,17 @@ void SolveStats::PublishTo(MetricsRegistry* registry) const {
       ->Add(candidate_evaluations);
   registry->counter("solver.deadline_hit")->Add(deadline_hit ? 1 : 0);
   registry->counter("solver.best_effort")->Add(best_effort ? 1 : 0);
+  registry->counter("solver.cpu_us")
+      ->Add(static_cast<int64_t>(std::llround(cpu_seconds * 1e6)));
+  registry->counter("solver.memory_limit_hit")->Add(memory_limit_hit ? 1 : 0);
+  registry->gauge("solver.peak_bytes_total")->UpdateMax(peak_bytes_total);
+  for (int i = 0; i < kNumMemComponents; ++i) {
+    if (component_peak_bytes[i] == 0) continue;
+    registry
+        ->gauge("solver.peak_bytes_" +
+                std::string(MemComponentName(static_cast<MemComponent>(i))))
+        ->UpdateMax(component_peak_bytes[i]);
+  }
   registry->gauge("solver.threads_used")->UpdateMax(threads_used);
   registry->histogram("solver.solve_wall_us")
       ->Record(static_cast<double>(wall_us));
@@ -41,6 +52,16 @@ std::string SolveStats::ToJson() const {
   out += std::string(", \"deadline_hit\": ") +
          (deadline_hit ? "true" : "false");
   out += std::string(", \"best_effort\": ") + (best_effort ? "true" : "false");
+  out += ", \"cpu_us\": " +
+         std::to_string(static_cast<int64_t>(std::llround(cpu_seconds * 1e6)));
+  out += ", \"peak_bytes_total\": " + std::to_string(peak_bytes_total);
+  for (int i = 0; i < kNumMemComponents; ++i) {
+    out += ", \"peak_bytes_" +
+           std::string(MemComponentName(static_cast<MemComponent>(i))) +
+           "\": " + std::to_string(component_peak_bytes[i]);
+  }
+  out += std::string(", \"memory_limit_hit\": ") +
+         (memory_limit_hit ? "true" : "false");
   out += "}";
   return out;
 }
@@ -59,6 +80,16 @@ SolveStats SolveStats::FromSnapshot(const MetricsSnapshot& snapshot) {
       snapshot.CounterValue("solver.candidate_evaluations");
   stats.deadline_hit = snapshot.CounterValue("solver.deadline_hit") > 0;
   stats.best_effort = snapshot.CounterValue("solver.best_effort") > 0;
+  stats.cpu_seconds =
+      static_cast<double>(snapshot.CounterValue("solver.cpu_us")) / 1e6;
+  stats.memory_limit_hit =
+      snapshot.CounterValue("solver.memory_limit_hit") > 0;
+  stats.peak_bytes_total = snapshot.GaugeValue("solver.peak_bytes_total");
+  for (int i = 0; i < kNumMemComponents; ++i) {
+    stats.component_peak_bytes[i] = snapshot.GaugeValue(
+        "solver.peak_bytes_" +
+        std::string(MemComponentName(static_cast<MemComponent>(i))));
+  }
   const int64_t threads = snapshot.GaugeValue("solver.threads_used");
   stats.threads_used = threads > 0 ? static_cast<int>(threads) : 1;
   return stats;

@@ -1,10 +1,12 @@
 #ifndef CDPD_CORE_SOLVE_STATS_H_
 #define CDPD_CORE_SOLVE_STATS_H_
 
+#include <array>
 #include <cstdint>
 #include <string>
 
 #include "common/metrics.h"
+#include "common/resource_tracker.h"
 
 namespace cdpd {
 
@@ -50,6 +52,23 @@ struct SolveStats {
   /// method exhausts its enumeration cap and falls back (see
   /// SolveByRanking).
   bool best_effort = false;
+  /// Process CPU time consumed over the solve (CLOCK_PROCESS_CPUTIME_ID
+  /// delta) — covers the worker pool, so cpu_seconds well above
+  /// wall_seconds means the parallel phases actually parallelised.
+  /// 0 where the platform offers no process clock.
+  double cpu_seconds = 0.0;
+  /// High-water mark of the solve's tracked allocations, summed over
+  /// components (the true concurrent peak, not the sum of the
+  /// per-component peaks below). 0 when the solve tracked nothing.
+  int64_t peak_bytes_total = 0;
+  /// Per-component peaks, indexed by MemComponent (the what-if cost
+  /// matrix, the k-aware DP table, the sequence graph, the ranking
+  /// queue, the greedy candidate set, the merging tables).
+  std::array<int64_t, kNumMemComponents> component_peak_bytes{};
+  /// The solve's SolveOptions::memory_limit_bytes budget tripped and
+  /// the schedule is an anytime fallback. Implies deadline_hit (memory
+  /// expiry flows through the same Budget) and best_effort.
+  bool memory_limit_hit = false;
 
   /// Accumulates another solve's counters (used by compound methods:
   /// hybrid, greedy-seq, merging-after-unconstrained). Wall time adds;
@@ -66,6 +85,27 @@ struct SolveStats {
     candidate_evaluations += other.candidate_evaluations;
     deadline_hit = deadline_hit || other.deadline_hit;
     best_effort = best_effort || other.best_effort;
+    cpu_seconds += other.cpu_seconds;
+    if (other.peak_bytes_total > peak_bytes_total) {
+      peak_bytes_total = other.peak_bytes_total;
+    }
+    for (int i = 0; i < kNumMemComponents; ++i) {
+      if (other.component_peak_bytes[i] > component_peak_bytes[i]) {
+        component_peak_bytes[i] = other.component_peak_bytes[i];
+      }
+    }
+    memory_limit_hit = memory_limit_hit || other.memory_limit_hit;
+  }
+
+  /// Copies `tracker`'s peaks into the memory fields (memory_limit_hit
+  /// is set by Solve() from tracker.limit_exceeded(), not here, so a
+  /// caller-owned tracker shared across solves doesn't mislabel them).
+  void CaptureMemory(const ResourceTracker& tracker) {
+    peak_bytes_total = tracker.peak_total();
+    for (int i = 0; i < kNumMemComponents; ++i) {
+      component_peak_bytes[i] =
+          tracker.peak_bytes(static_cast<MemComponent>(i));
+    }
   }
 
   /// Adds this solve's counters to the registry's "solver.*" metrics

@@ -66,6 +66,11 @@ Status SolveOptions::Validate() const {
     return Status::InvalidArgument(
         "deadline must be >= 0 when set (use nullopt for no deadline)");
   }
+  if (memory_limit_bytes.has_value() && *memory_limit_bytes <= 0) {
+    return Status::InvalidArgument(
+        "memory_limit_bytes must be > 0 when set (use nullopt for no "
+        "limit)");
+  }
   if (method == OptimizerMethod::kGreedySeq &&
       greedy.candidate_indexes.empty()) {
     return Status::InvalidArgument("GREEDY-SEQ needs candidate indexes");
@@ -108,11 +113,17 @@ Result<SolveResult> Solve(const DesignProblem& problem,
                     options.deadline.has_value() ? options.deadline->count()
                                                  : int64_t{-1}));
 
+  // One ResourceTracker for the whole solve: every phase charges its
+  // big allocations here, so stats.peak_bytes_total is the true
+  // concurrent high-water mark across phases. Carries the soft byte
+  // budget when one is set.
+  ResourceTracker tracker(options.memory_limit_bytes.value_or(0));
+
   // One Budget for the whole solve, shared by every phase. Built only
-  // when a deadline or cancel token is set, so the common un-budgeted
-  // path costs each poll site a single null-pointer test. The clock
-  // starts here: pool spin-up above is deliberately not charged (it is
-  // bounded and paid before any cancellable work).
+  // when a deadline, cancel token, or memory limit is set, so the
+  // common un-budgeted path costs each poll site a single null-pointer
+  // test. The clock starts here: pool spin-up above is deliberately
+  // not charged (it is bounded and paid before any cancellable work).
   Budget owned_budget;
   const Budget* budget = nullptr;
   if (options.deadline.has_value()) {
@@ -123,8 +134,18 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   } else if (options.cancel != nullptr) {
     owned_budget = Budget(options.cancel);
     budget = &owned_budget;
+  } else if (options.memory_limit_bytes.has_value()) {
+    owned_budget = Budget();
+    budget = &owned_budget;
+  }
+  if (budget != nullptr && options.memory_limit_bytes.has_value()) {
+    // Memory expiry rides the same poll sites as a deadline: once a
+    // reservation trips the tracker's limit, the next BudgetExpired
+    // poll winds the solve down through its anytime fallback.
+    owned_budget.set_tracker(&tracker);
   }
 
+  const int64_t cpu_before = ProcessCpuTimeMicros();
   const Stopwatch watch;
   SolveResult result;
   result.tracer = tracer;
@@ -136,14 +157,14 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                               progress, logger));
+                               progress, logger, &tracker));
         result.method_detail = "sequence-graph shortest path";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveKAware(problem, *options.k, &result.stats, pool, tracer,
-                        budget, progress, logger));
+                        budget, progress, logger, &tracker));
         result.method_detail = "k-aware sequence graph";
       }
       break;
@@ -152,7 +173,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
                             SolveGreedySeq(problem, options.k, options.greedy,
                                            pool, tracer, budget, progress,
-                                           logger));
+                                           logger, &tracker));
       result.schedule = std::move(greedy_result.schedule);
       result.stats = greedy_result.stats;
       result.reduced_candidates =
@@ -166,7 +187,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       CDPD_ASSIGN_OR_RETURN(
           DesignSchedule unconstrained,
           SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                             progress, logger));
+                             progress, logger, &tracker));
       result.unconstrained_cost = unconstrained.total_cost;
       if (!options.k.has_value()) {
         result.schedule = std::move(unconstrained);
@@ -177,7 +198,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
             result.schedule,
             MergeToConstraint(problem, unconstrained, *options.k,
                               &merge_stats, pool, tracer, budget, progress,
-                              logger));
+                              logger, &tracker));
         result.stats.Accumulate(merge_stats);
         result.method_detail =
             "merging steps: " + std::to_string(merge_stats.merge_steps);
@@ -189,7 +210,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                               progress, logger));
+                               progress, logger, &tracker));
         result.method_detail = "ranking (no constraint; shortest path)";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
@@ -197,7 +218,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
             result.schedule,
             SolveByRanking(problem, *options.k, options.ranking_max_paths,
                            &result.stats, pool, tracer, budget, progress,
-                           logger));
+                           logger, &tracker));
         result.method_detail =
             "ranked paths: " + std::to_string(result.stats.paths_enumerated);
       }
@@ -208,14 +229,14 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                               progress, logger));
+                               progress, logger, &tracker));
         result.method_detail = "hybrid (no constraint; shortest path)";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             HybridResult hybrid,
             SolveHybrid(problem, *options.k, pool, tracer, budget, progress,
-                        logger));
+                        logger, &tracker));
         result.schedule = std::move(hybrid.schedule);
         result.stats = hybrid.stats;
         result.unconstrained_cost = hybrid.unconstrained_cost;
@@ -229,8 +250,21 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   // The per-solver wall times cover their own phases; the top-level
   // clock covers dispatch plus pool setup and is what callers see.
   result.stats.wall_seconds = watch.ElapsedSeconds();
+  result.stats.cpu_seconds =
+      static_cast<double>(ProcessCpuTimeMicros() - cpu_before) / 1e6;
   result.stats.threads_used = threads;
+  result.stats.CaptureMemory(tracker);
+  result.stats.memory_limit_hit = tracker.limit_exceeded();
+  if (result.stats.memory_limit_hit) {
+    // Memory expiry flows through the shared Budget, so it carries the
+    // same flags a deadline does; the schedule in hand is the method's
+    // anytime fallback.
+    result.stats.deadline_hit = true;
+    result.stats.best_effort = true;
+  }
   result.stats.PublishTo(options.metrics);
+  tracker.PublishTo(options.metrics);
+  SampleProcessMemory(options.metrics);
   // The attribution reads the finalized stats, so build it last. Pure
   // read-side pass over the memoized oracle; the schedule, cost, and
   // stats above are already fixed.

@@ -96,9 +96,21 @@ struct SolveOptions {
   /// to call from any thread.
   const CancelToken* cancel = nullptr;
 
+  /// Soft byte budget over the solve's tracked allocations (the
+  /// what-if cost matrix, the DP tables, the sequence graph, the
+  /// ranking queue, the greedy candidate set, the merging tables).
+  /// When a reservation would pass the budget the solve degrades
+  /// through the same anytime machinery as a deadline — it returns the
+  /// best feasible schedule it can build within budget, flagged with
+  /// stats.memory_limit_hit, and never overshoots by more than the one
+  /// allocation block that tripped the flag. nullopt = no limit
+  /// (allocations are still tracked, for stats.peak_bytes_total).
+  std::optional<int64_t> memory_limit_bytes;
+
   /// All option validation in one place: k >= 0 when set,
   /// num_threads >= 0, ranking_max_paths > 0, deadline >= 0 when set,
-  /// and greedy candidate indexes present for kGreedySeq.
+  /// memory_limit_bytes > 0 when set, and greedy candidate indexes
+  /// present for kGreedySeq.
   Status Validate() const;
 };
 

@@ -10,7 +10,8 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats, ThreadPool* pool,
                                           Tracer* tracer, const Budget* budget,
                                           const ProgressFn* progress,
-                                          Logger* logger) {
+                                          Logger* logger,
+                                          ResourceTracker* tracker) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
@@ -35,6 +36,34 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
 
   CDPD_LOG(logger, LogLevel::kInfo, "unconstrained.start",
            LogField("segments", n), LogField("candidates", m));
+
+  // Charge the matrix and the DP arrays (dist/next doubles plus the
+  // n x m parent table) before allocating either; a refusal degrades
+  // to the cheapest static schedule instead of blowing the budget.
+  ScopedReservation matrix_reservation = ScopedReservation::Try(
+      tracker, MemComponent::kCostMatrix, CostMatrix::EstimateBytes(n, m));
+  ScopedReservation dp_reservation;
+  if (matrix_reservation.ok()) {
+    dp_reservation = ScopedReservation::Try(
+        tracker, MemComponent::kSequenceGraph,
+        static_cast<int64_t>((2 * m) * sizeof(double) +
+                             n * m * sizeof(size_t)));
+  }
+  if (!matrix_reservation.ok() || !dp_reservation.ok()) {
+    CDPD_LOG(logger, LogLevel::kWarn, "unconstrained.memory_limit",
+             LogField("limit_bytes", tracker->limit_bytes()),
+             LogField("fallback", "best-static"));
+    CDPD_ASSIGN_OR_RETURN(schedule,
+                          BestStaticSchedule(problem, std::nullopt));
+    local_stats.deadline_hit = true;
+    local_stats.best_effort = true;
+    local_stats.wall_seconds = watch.ElapsedSeconds();
+    local_stats.costings = what_if.costings() - costings_before;
+    local_stats.cache_hits = what_if.cache_hits() - hits_before;
+    if (stats != nullptr) *stats = local_stats;
+    return schedule;
+  }
+
   // Parallel precompute; the DP below is pure table lookups.
   CostMatrix matrix;
   {

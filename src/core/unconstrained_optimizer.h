@@ -44,13 +44,20 @@ namespace cdpd {
 /// updates at the existing poll sites (thread-safe callback required;
 /// see common/progress.h); `logger` records phase start/end and
 /// anytime-fallback events. Both optional, both observational only.
+///
+/// `tracker` (optional) accounts the dense cost matrix (kCostMatrix)
+/// and the sequence-graph DP arrays (kSequenceGraph); when its soft
+/// limit refuses either reservation the solve returns
+/// BestStaticSchedule flagged best_effort/deadline_hit instead of
+/// allocating past budget.
 Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           SolveStats* stats = nullptr,
                                           ThreadPool* pool = nullptr,
                                           Tracer* tracer = nullptr,
                                           const Budget* budget = nullptr,
                                           const ProgressFn* progress = nullptr,
-                                          Logger* logger = nullptr);
+                                          Logger* logger = nullptr,
+                                          ResourceTracker* tracker = nullptr);
 
 }  // namespace cdpd
 

@@ -39,6 +39,14 @@ class CostMatrix {
   size_t num_segments() const { return num_segments_; }
   size_t num_configs() const { return num_configs_; }
 
+  /// Bytes the EXEC + TRANS tables of an (n x m) matrix occupy — what a
+  /// solver charges to MemComponent::kCostMatrix before the precompute.
+  static int64_t EstimateBytes(size_t num_segments, size_t num_configs) {
+    return static_cast<int64_t>(
+        (num_segments * num_configs + num_configs * num_configs) *
+        sizeof(double));
+  }
+
   /// EXEC(S_segment, candidates[config]).
   double Exec(size_t segment, size_t config) const {
     return exec_[segment * num_configs_ + config];

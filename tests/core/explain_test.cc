@@ -117,6 +117,11 @@ TEST(ExplainTest, GoldenJsonRendering) {
   EXPECT_NE(json.find("\"optimality_gap\": 9"), std::string::npos);
   // Embedded stats (microsecond rounding).
   EXPECT_NE(json.find("\"stats\": {\"wall_us\": 250000"), std::string::npos);
+  // Memory columns: a golden report built without a tracker has no
+  // prediction, no measurement, and a null ratio.
+  EXPECT_NE(json.find("\"predicted_kaware_bytes\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"actual_kaware_bytes\": 0"), std::string::npos);
+  EXPECT_NE(json.find("\"kaware_bytes_ratio\": null"), std::string::npos);
   // Both transitions, with nullable break-even.
   EXPECT_NE(json.find("\"kind\": \"initial\""), std::string::npos);
   EXPECT_NE(json.find("\"built\": [\"I(a)\"]"), std::string::npos);
@@ -179,6 +184,42 @@ TEST(ExplainTest, SolvedScheduleAttributionIsExact) {
     EXPECT_EQ(t.trans_cost,
               fixture->what_if->TransitionCost(t.from, t.to));
   }
+}
+
+TEST(ExplainTest, ConstrainedSolveReportsPredictedVsActualKAwareBytes) {
+  auto fixture = MakeRandomProblem(/*seed=*/7, /*num_segments=*/4,
+                                   /*block_size=*/10);
+  SolveOptions options;
+  options.method = OptimizerMethod::kOptimal;
+  options.k = 2;
+  options.explain = true;
+  const SolveResult result = Solve(fixture->problem, options).value();
+  ASSERT_TRUE(result.explain.has_value());
+  const ExplainReport& report = *result.explain;
+
+  // The §3 space-bound check: the prediction comes from the problem
+  // dimensions, the measurement from the tracker, and the DP's real
+  // footprint stays within 2x of the formula in both directions.
+  ASSERT_GT(report.predicted_kaware_bytes, 0);
+  ASSERT_GT(report.actual_kaware_bytes, 0);
+  const double ratio = static_cast<double>(report.actual_kaware_bytes) /
+                       static_cast<double>(report.predicted_kaware_bytes);
+  EXPECT_GE(ratio, 0.5);
+  EXPECT_LE(ratio, 2.0);
+
+  // Both renderers carry the comparison.
+  const std::string text = report.ToText(fixture->schema);
+  EXPECT_NE(text.find("k-aware:"), std::string::npos);
+  EXPECT_NE(text.find("predicted"), std::string::npos);
+  EXPECT_NE(text.find("ratio"), std::string::npos);
+  const std::string json = report.ToJson(fixture->schema);
+  EXPECT_NE(json.find("\"predicted_kaware_bytes\": " +
+                      std::to_string(report.predicted_kaware_bytes)),
+            std::string::npos);
+  EXPECT_NE(json.find("\"actual_kaware_bytes\": " +
+                      std::to_string(report.actual_kaware_bytes)),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"kaware_bytes_ratio\": null"), std::string::npos);
 }
 
 TEST(ExplainTest, UnconstrainedSolveReportsZeroGap) {

@@ -18,6 +18,7 @@ namespace {
 SolveStats MakeStats() {
   SolveStats stats;
   stats.wall_seconds = 0.123456789;  // Rounds to 123457 us.
+  stats.cpu_seconds = 0.5;           // 500000 us exactly.
   stats.costings = 1200;
   stats.cache_hits = 340;
   stats.threads_used = 8;
@@ -28,6 +29,12 @@ SolveStats MakeStats() {
   stats.candidate_evaluations = 9;
   stats.deadline_hit = true;
   stats.best_effort = true;
+  stats.peak_bytes_total = 4096;
+  stats.component_peak_bytes[static_cast<size_t>(
+      MemComponent::kCostMatrix)] = 1024;
+  stats.component_peak_bytes[static_cast<size_t>(
+      MemComponent::kKAwareTable)] = 3072;
+  stats.memory_limit_hit = true;
   return stats;
 }
 
@@ -44,6 +51,12 @@ TEST(SolveStatsTest, ToJsonEmitsEveryFieldWithMicrosecondRounding) {
   EXPECT_NE(json.find("\"candidate_evaluations\": 9"), std::string::npos);
   EXPECT_NE(json.find("\"deadline_hit\": true"), std::string::npos);
   EXPECT_NE(json.find("\"best_effort\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"cpu_us\": 500000"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_bytes_total\": 4096"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_bytes_cost_matrix\": 1024"), std::string::npos);
+  EXPECT_NE(json.find("\"peak_bytes_kaware_table\": 3072"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"memory_limit_hit\": true"), std::string::npos);
   EXPECT_EQ(json.front(), '{');
   EXPECT_EQ(json.back(), '}');
 }

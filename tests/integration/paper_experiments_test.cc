@@ -134,6 +134,33 @@ TEST_F(PaperExperimentsTest, Figure3CostOrderings) {
   EXPECT_GT(w3_unc / w3_con, w2_unc / w2_con * 0.99);
 }
 
+TEST_F(PaperExperimentsTest, KAwareSpaceStaysWithinTwiceThePrediction) {
+  // §3's space claim, measured at paper-experiment scale: across the
+  // k sweep, the DP table's tracked peak stays within 2x of the
+  // O(k n 2^{2m})-derived prediction in both directions.
+  Advisor advisor(model_.get());
+  for (int64_t k : {1, 2, 4, 8}) {
+    AdvisorOptions options;
+    options.block_size = kBlock;
+    options.k = k;
+    options.candidate_indexes = MakePaperCandidateIndexes(schema_);
+    options.final_config = Configuration::Empty();
+    options.explain = true;
+    const Recommendation rec = advisor.Recommend(w1_, options).value();
+    ASSERT_TRUE(rec.explain.has_value()) << "k=" << k;
+    const ExplainReport& report = *rec.explain;
+    ASSERT_GT(report.predicted_kaware_bytes, 0) << "k=" << k;
+    ASSERT_GT(report.actual_kaware_bytes, 0) << "k=" << k;
+    const double ratio =
+        static_cast<double>(report.actual_kaware_bytes) /
+        static_cast<double>(report.predicted_kaware_bytes);
+    EXPECT_GE(ratio, 0.5) << "k=" << k;
+    EXPECT_LE(ratio, 2.0) << "k=" << k;
+    EXPECT_GT(rec.stats.peak_bytes_total, 0) << "k=" << k;
+    EXPECT_FALSE(rec.stats.memory_limit_hit) << "k=" << k;
+  }
+}
+
 TEST_F(PaperExperimentsTest, ConstrainedCostsDecreaseInK) {
   double previous = std::numeric_limits<double>::infinity();
   for (int64_t k : {0, 1, 2, 4, 8, 29}) {
