@@ -120,11 +120,11 @@ void Report(bench_util::BenchReport* report) {
   const Run serial = SolveWith(1);
   report->AddCase("solve_threads1", serial.seconds, serial.result.stats);
   std::printf("%8s %12s %10s %12s %12s %10s\n", "threads", "wall ms",
-              "speedup", "costings", "cache hits", "same?");
+              "speedup", "costings", "cc hits", "same?");
   std::printf("%8d %12.2f %10s %12lld %12lld %10s\n", serial.threads,
               serial.seconds * 1e3, "1.00x",
               static_cast<long long>(serial.result.stats.costings),
-              static_cast<long long>(serial.result.stats.cache_hits),
+              static_cast<long long>(serial.result.stats.cost_cache_hits),
               "(base)");
 
   bool all_identical = true;
@@ -140,7 +140,7 @@ void Report(bench_util::BenchReport* report) {
     std::printf("%8d %12.2f %9.2fx %12lld %12lld %10s\n", run.threads,
                 run.seconds * 1e3, serial.seconds / run.seconds,
                 static_cast<long long>(run.result.stats.costings),
-                static_cast<long long>(run.result.stats.cache_hits),
+                static_cast<long long>(run.result.stats.cost_cache_hits),
                 same_schedule ? "yes" : "NO");
   }
   // Observability must only observe: the same solve with a tracer and

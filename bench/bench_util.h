@@ -112,10 +112,10 @@ inline void WriteObservabilityArtifacts() {
 /// of them, and CI uploads every run's set next to the committed
 /// baseline in bench/baselines/.
 ///
-/// Schema (version 2 — v1 plus the memory/cpu telemetry; readers
-/// accept both):
+/// Schema (version 3 — v2 plus the DP-throughput and cost-cache
+/// columns; readers accept all three):
 ///   {
-///     "schema_version": 2,
+///     "schema_version": 3,
 ///     "kind": "cdpd.bench",
 ///     "bench": "<name>",
 ///     "git_sha": "<$CDPD_GIT_SHA or 'unknown'>",
@@ -125,7 +125,10 @@ inline void WriteObservabilityArtifacts() {
 ///     "rss_peak_bytes": <process lifetime peak RSS at write time>,
 ///     "cases": [
 ///       {"name": "...", "wall_seconds": 1.25, "cpu_seconds": 4.8,
-///        "peak_bytes": 1048576, "metrics": {"costings": 831, ...}},
+///        "peak_bytes": 1048576,
+///        "relaxations_per_sec": 2.1e8,      // solver cases only
+///        "cache_hit_rate": 0.97,            // cost-cache cases only
+///        "metrics": {"costings": 831, ...}},
 ///       ...
 ///     ]
 ///   }
@@ -133,9 +136,14 @@ inline void WriteObservabilityArtifacts() {
 /// Case metrics are optional flat numeric key/value pairs — pass a
 /// SolveStats to embed the solver counters (which also fills the
 /// case's cpu_seconds/peak_bytes columns from the solve's process-CPU
-/// delta and tracked allocation peak), or hand-picked values for
-/// substrate benches. tools/bench_compare diffs wall time on every
-/// case and peak_bytes on cases that report one. The artifact lands in
+/// delta and tracked allocation peak, plus the v3 columns:
+/// relaxations_per_sec = stats.relaxations / wall, emitted when the
+/// solve relaxed anything, and cache_hit_rate = cost-cache hits /
+/// (hits + misses), emitted when a persistent cost cache was probed),
+/// or hand-picked values for substrate benches. tools/bench_compare
+/// diffs wall time on every case, peak_bytes on cases that report
+/// one, and (v3) gates throughput drops on relaxations_per_sec and
+/// hit-rate drops on cache_hit_rate. The artifact lands in
 /// $CDPD_BENCH_OUT_DIR (else the working directory).
 class BenchReport {
  public:
@@ -154,16 +162,29 @@ class BenchReport {
   /// Records one measured solve, embedding the full SolveStats
   /// counters (core/solve_stats.h ToJson) as the case metrics. The
   /// v2 telemetry columns come from the solve itself: process-CPU
-  /// delta and the ResourceTracker's concurrent high-water mark.
+  /// delta and the ResourceTracker's concurrent high-water mark. The
+  /// v3 columns are derived: DP throughput from relaxations / wall,
+  /// cost-cache hit rate from the solve's hit/miss deltas (absent
+  /// when the solve relaxed nothing / probed no persistent cache).
   void AddCase(std::string name, double wall_seconds,
                const SolveStats& stats) {
-    cases_.push_back(Case{std::move(name), wall_seconds, {},
-                          stats.ToJson(), stats.cpu_seconds,
-                          stats.peak_bytes_total});
+    Case c{std::move(name), wall_seconds, {}, stats.ToJson(),
+           stats.cpu_seconds, stats.peak_bytes_total};
+    if (stats.relaxations > 0 && wall_seconds > 0.0) {
+      c.relaxations_per_sec =
+          static_cast<double>(stats.relaxations) / wall_seconds;
+    }
+    const int64_t probes = stats.cost_cache_hits + stats.cost_cache_misses;
+    if (probes > 0) {
+      c.cache_hit_rate =
+          static_cast<double>(stats.cost_cache_hits) /
+          static_cast<double>(probes);
+    }
+    cases_.push_back(std::move(c));
   }
 
   std::string ToJson() const {
-    std::string out = "{\"schema_version\":2,\"kind\":\"cdpd.bench\"";
+    std::string out = "{\"schema_version\":3,\"kind\":\"cdpd.bench\"";
     out += ",\"bench\":" + JsonString(bench_);
     const char* sha = std::getenv("CDPD_GIT_SHA");
     out += ",\"git_sha\":" +
@@ -182,6 +203,12 @@ class BenchReport {
       out += ",\"wall_seconds\":" + JsonDouble(c.wall_seconds);
       out += ",\"cpu_seconds\":" + JsonDouble(c.cpu_seconds);
       out += ",\"peak_bytes\":" + std::to_string(c.peak_bytes);
+      if (c.relaxations_per_sec > 0.0) {
+        out += ",\"relaxations_per_sec\":" + JsonDouble(c.relaxations_per_sec);
+      }
+      if (c.cache_hit_rate >= 0.0) {
+        out += ",\"cache_hit_rate\":" + JsonDouble(c.cache_hit_rate);
+      }
       if (!c.stats_json.empty()) {
         out += ",\"metrics\":" + c.stats_json;
       } else {
@@ -238,6 +265,9 @@ class BenchReport {
     /// Schema-v2 telemetry columns; 0 = not reported.
     double cpu_seconds = 0.0;
     int64_t peak_bytes = 0;
+    /// Schema-v3 columns; <= 0 / < 0 = not reported (omitted).
+    double relaxations_per_sec = 0.0;
+    double cache_hit_rate = -1.0;
   };
 
   std::string bench_;

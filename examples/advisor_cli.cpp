@@ -379,10 +379,10 @@ int main(int argc, char** argv) {
   }
   if (chatty) {
     std::printf(
-        "solver stats: %d thread(s), %lld what-if costings, %lld cache "
+        "solver stats: %d thread(s), %lld what-if costings, %lld cost-cache "
         "hits, %lld nodes expanded\n",
         stats.threads_used, static_cast<long long>(stats.costings),
-        static_cast<long long>(stats.cache_hits),
+        static_cast<long long>(stats.cost_cache_hits),
         static_cast<long long>(stats.nodes_expanded));
   }
   if (args.mem_stats) {
@@ -468,14 +468,14 @@ int main(int argc, char** argv) {
     // exporting, so the artifact can be trusted to match the printout.
     const SolveStats from_registry = SolveStats::FromSnapshot(snapshot);
     if (from_registry.costings != stats.costings ||
-        from_registry.cache_hits != stats.cache_hits) {
+        from_registry.cost_cache_hits != stats.cost_cache_hits) {
       std::fprintf(stderr,
                    "metrics/stats mismatch: registry %lld costings / %lld "
-                   "hits, SolveStats %lld / %lld\n",
+                   "cost-cache hits, SolveStats %lld / %lld\n",
                    static_cast<long long>(from_registry.costings),
-                   static_cast<long long>(from_registry.cache_hits),
+                   static_cast<long long>(from_registry.cost_cache_hits),
                    static_cast<long long>(stats.costings),
-                   static_cast<long long>(stats.cache_hits));
+                   static_cast<long long>(stats.cost_cache_hits));
       return 1;
     }
     if (!WriteFile(args.metrics_out, snapshot.ToJson())) {

@@ -30,6 +30,8 @@ std::string_view MemComponentName(MemComponent component) {
       return "candidates";
     case MemComponent::kMergingTable:
       return "merging_table";
+    case MemComponent::kCostCache:
+      return "cost_cache";
   }
   return "unknown";
 }

@@ -24,8 +24,9 @@ enum class MemComponent : int {
   kRankingQueue,       // Path ranker per-node path/candidate heaps.
   kCandidates,         // GREEDY-SEQ reduced candidate set.
   kMergingTable,       // Design-merging penalty tables.
+  kCostCache,          // Persistent what-if cost cache growth.
 };
-inline constexpr int kNumMemComponents = 6;
+inline constexpr int kNumMemComponents = 7;
 
 /// Stable short name ("cost_matrix", "kaware_table", ...), used as the
 /// metrics suffix and the JSON key.

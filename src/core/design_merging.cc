@@ -72,7 +72,6 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
   const Stopwatch watch;
   const WhatIfEngine& what_if = *problem.what_if;
   const int64_t costings_before = what_if.costings();
-  const int64_t hits_before = what_if.cache_hits();
   std::vector<Run> runs = BuildRuns(initial_schedule.configs);
   const int64_t initial_changes = RunChanges(problem, runs);
   CDPD_LOG(logger, LogLevel::kInfo, "merging.start",
@@ -99,7 +98,6 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
     local_stats.best_effort = true;
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
     return std::move(fallback).value();
   };
@@ -230,7 +228,6 @@ Result<DesignSchedule> MergeToConstraint(const DesignProblem& problem,
                     local_stats.candidate_evaluations));
   local_stats.wall_seconds = watch.ElapsedSeconds();
   local_stats.costings = what_if.costings() - costings_before;
-  local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
   return schedule;
 }

@@ -6,6 +6,7 @@
 #include <optional>
 #include <vector>
 
+#include "advisor/candidate_space.h"
 #include "catalog/configuration.h"
 #include "common/result.h"
 #include "cost/what_if.h"
@@ -21,9 +22,11 @@ struct DesignProblem {
   /// outlive the problem.
   const WhatIfEngine* what_if = nullptr;
 
-  /// The configuration space the C_i are drawn from. Every entry must
+  /// The pinned configuration space the C_i are drawn from, addressed
+  /// by ConfigId inside every solver (a std::vector<Configuration> or
+  /// braced list assigned here promotes implicitly). Every entry must
   /// satisfy SIZE <= space_bound_pages (Validate checks).
-  std::vector<Configuration> candidates;
+  CandidateSpace candidates;
 
   /// C0: the design in effect before S_1. Need not be in `candidates`.
   Configuration initial;

@@ -205,8 +205,9 @@ std::string ExplainReport::ToText(const Schema& schema) const {
   }
   out += "  solve:          " + ShortDouble(stats.wall_seconds) + " s, " +
          std::to_string(stats.threads_used) + " threads, " +
-         std::to_string(stats.costings) + " costings (" +
-         std::to_string(stats.cache_hits) + " cached)\n";
+         std::to_string(stats.costings) + " costings (cost cache " +
+         std::to_string(stats.cost_cache_hits) + " hits / " +
+         std::to_string(stats.cost_cache_misses) + " misses)\n";
   // Memory block only when the solve tracked anything (golden reports
   // built without a tracker render byte-identically to schema v1).
   if (stats.peak_bytes_total > 0 || predicted_kaware_bytes > 0 ||

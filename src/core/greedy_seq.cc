@@ -15,7 +15,8 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        const Budget* budget,
                                        const ProgressFn* progress,
                                        Logger* logger,
-                                       ResourceTracker* tracker) {
+                                       ResourceTracker* tracker,
+                                       CostCache* cost_cache) {
   if (problem.what_if == nullptr) {
     return Status::InvalidArgument("design problem has no what-if oracle");
   }
@@ -25,7 +26,6 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
   const int64_t costings_before = what_if.costings();
-  const int64_t hits_before = what_if.cache_hits();
   const int64_t rows = what_if.model().num_rows();
   const size_t num_indexes = options.candidate_indexes.size();
 
@@ -149,12 +149,13 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
       CDPD_ASSIGN_OR_RETURN(
           result.schedule,
           SolveUnconstrained(reduced_problem, &graph_stats, pool, tracer,
-                             graph_budget, progress, logger, tracker));
+                             graph_budget, progress, logger, tracker,
+                             cost_cache));
     } else {
       CDPD_ASSIGN_OR_RETURN(
           result.schedule,
           SolveKAware(reduced_problem, *k, &graph_stats, pool, tracer,
-                      graph_budget, progress, logger, tracker));
+                      graph_budget, progress, logger, tracker, cost_cache));
     }
   }
   result.stats.nodes_expanded = graph_stats.nodes_expanded;
@@ -163,7 +164,6 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
   result.stats.best_effort = grow_expired || graph_stats.best_effort;
   result.stats.wall_seconds = watch.ElapsedSeconds();
   result.stats.costings = what_if.costings() - costings_before;
-  result.stats.cache_hits = what_if.cache_hits() - hits_before;
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include "core/design_problem.h"
 #include "core/k_aware_graph.h"
 #include "core/solve_stats.h"
+#include "cost/cost_cache.h"
 
 namespace cdpd {
 
@@ -84,7 +85,8 @@ Result<GreedySeqResult> SolveGreedySeq(const DesignProblem& problem,
                                        const Budget* budget = nullptr,
                                        const ProgressFn* progress = nullptr,
                                        Logger* logger = nullptr,
-                                       ResourceTracker* tracker = nullptr);
+                                       ResourceTracker* tracker = nullptr,
+                                       CostCache* cost_cache = nullptr);
 
 }  // namespace cdpd
 

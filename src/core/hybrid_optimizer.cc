@@ -22,7 +22,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  ThreadPool* pool, Tracer* tracer,
                                  const Budget* budget,
                                  const ProgressFn* progress, Logger* logger,
-                                 ResourceTracker* tracker) {
+                                 ResourceTracker* tracker,
+                                 CostCache* cost_cache) {
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
   }
@@ -33,7 +34,7 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
     CDPD_ASSIGN_OR_RETURN(
         unconstrained,
         SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                           progress, logger, tracker));
+                           progress, logger, tracker, cost_cache));
   }
   const int64_t l = CountChanges(problem, unconstrained.configs);
   result.unconstrained_changes = l;
@@ -74,7 +75,7 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
     Result<DesignSchedule> kaware = SolveKAware(
         problem, k, &phase_stats, pool, tracer, budget, progress, logger,
-        tracker);
+        tracker, cost_cache);
     if (kaware.ok()) {
       result.schedule = std::move(kaware).value();
       result.choice = HybridChoice::kKAwareGraph;
@@ -101,7 +102,7 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "hybrid.kaware", "solver", k);
     Result<DesignSchedule> kaware = SolveKAware(
         problem, k, &phase_stats, pool, tracer, budget, progress, logger,
-        tracker);
+        tracker, cost_cache);
     if (kaware.ok()) {
       result.schedule = std::move(kaware).value();
       result.choice = HybridChoice::kKAwareGraph;

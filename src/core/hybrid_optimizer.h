@@ -12,6 +12,7 @@
 #include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/solve_stats.h"
+#include "cost/cost_cache.h"
 
 namespace cdpd {
 
@@ -82,7 +83,8 @@ Result<HybridResult> SolveHybrid(const DesignProblem& problem, int64_t k,
                                  const Budget* budget = nullptr,
                                  const ProgressFn* progress = nullptr,
                                  Logger* logger = nullptr,
-                                 ResourceTracker* tracker = nullptr);
+                                 ResourceTracker* tracker = nullptr,
+                                 CostCache* cost_cache = nullptr);
 
 }  // namespace cdpd
 

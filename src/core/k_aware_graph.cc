@@ -67,7 +67,8 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
                                    SolveStats* stats, ThreadPool* pool,
                                    Tracer* tracer, const Budget* budget,
                                    const ProgressFn* progress, Logger* logger,
-                                   ResourceTracker* tracker) {
+                                   ResourceTracker* tracker,
+                                   CostCache* cost_cache) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -75,9 +76,8 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
   const int64_t costings_before = what_if.costings();
-  const int64_t hits_before = what_if.cache_hits();
   const size_t n = problem.num_segments();
-  const std::vector<Configuration>& configs = problem.candidates;
+  const CandidateSpace& configs = problem.candidates;
   const size_t m = configs.size();
 
   SolveStats local_stats;
@@ -139,7 +139,6 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
     local_stats.best_effort = true;
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
     return schedule;
   }
@@ -157,7 +156,8 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "kaware.precompute", "solver");
     CDPD_ASSIGN_OR_RETURN(
         matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget,
-                                             progress, logger));
+                                             progress, logger, cost_cache,
+                                             tracker));
     if (!matrix.complete()) {
       return Status::DeadlineExceeded(
           "budget expired during the what-if precompute, before any "
@@ -206,7 +206,6 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
   const auto finish = [&](DesignSchedule done) -> DesignSchedule {
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
     return done;
   };
@@ -273,36 +272,52 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "kaware.stage", "solver",
                     static_cast<int64_t>(stage));
     Parent* stage_parent = parent.data() + stage * layers * m;
-    ParallelFor(pool, 0, layers * m, [&](size_t cell) {
-      const size_t l = cell / m;
-      const size_t c = cell % m;
-      double best = kInf;
-      Parent best_parent;
-      // Stay edge: same configuration, same layer.
-      if (dist[cell] < kInf) {
-        best = dist[cell];
-        best_parent =
+    const double* dist_data = dist.data();
+    ParallelFor(pool, 0, m, [&](size_t c) {
+      // One transposed TRANS row per destination config, reused across
+      // every layer of this stage: the row stays cache-hot while the
+      // layer loop sweeps it, and each sweep is a unit-stride read
+      // (trans_into[p] == Trans(p, c)) instead of a stride-m gather.
+      const double* trans_into = matrix.TransInto(c);
+      const double exec = matrix.Exec(stage, c);
+      for (size_t l = 0; l < layers; ++l) {
+        const size_t cell = l * m + c;
+        // Stay edge: same configuration, same layer. An unreachable
+        // cell carries +inf through unchanged — no guard needed.
+        double best = dist_data[cell];
+        Parent best_parent =
             Parent{static_cast<int32_t>(l), static_cast<int32_t>(c)};
-      }
-      // Change edges: arrive from a different configuration one layer
-      // up.
-      if (l > 0) {
-        const double* prev_layer = dist.data() + (l - 1) * m;
-        for (size_t p = 0; p < m; ++p) {
-          if (p == c || prev_layer[p] == kInf) continue;
-          const double cost = prev_layer[p] + matrix.Trans(p, c);
-          if (cost < best) {
-            best = cost;
-            best_parent = Parent{static_cast<int32_t>(l - 1),
-                                 static_cast<int32_t>(p)};
+        // Change edges: arrive from a different configuration one
+        // layer up. The p == c exclusion becomes two contiguous
+        // ranges [0, c) and (c, m); both sweep ascending, so the
+        // argmin tie-break matches the serial p = 0..m-1 scan.
+        // Unreachable predecessors need no kInf guard either:
+        // inf + finite = inf never wins `cost < best`.
+        if (l > 0) {
+          const double* prev_layer = dist_data + (l - 1) * m;
+          for (size_t p = 0; p < c; ++p) {
+            const double cost = prev_layer[p] + trans_into[p];
+            if (cost < best) {
+              best = cost;
+              best_parent = Parent{static_cast<int32_t>(l - 1),
+                                   static_cast<int32_t>(p)};
+            }
+          }
+          for (size_t p = c + 1; p < m; ++p) {
+            const double cost = prev_layer[p] + trans_into[p];
+            if (cost < best) {
+              best = cost;
+              best_parent = Parent{static_cast<int32_t>(l - 1),
+                                   static_cast<int32_t>(p)};
+            }
           }
         }
-      }
-      if (best < kInf) {
-        next[cell] = best + matrix.Exec(stage, c);
-        stage_parent[cell] = best_parent;
-      } else {
-        next[cell] = kInf;
+        if (best < kInf) {
+          next[cell] = best + exec;
+          stage_parent[cell] = best_parent;
+        } else {
+          next[cell] = kInf;
+        }
       }
     });
     std::swap(dist, next);
@@ -357,7 +372,6 @@ Result<DesignSchedule> SolveKAware(const DesignProblem& problem, int64_t k,
            LogField("relaxations", local_stats.relaxations));
   local_stats.wall_seconds = watch.ElapsedSeconds();
   local_stats.costings = what_if.costings() - costings_before;
-  local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
   return schedule;
 }

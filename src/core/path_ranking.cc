@@ -118,7 +118,8 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
                                       const Budget* budget,
                                       const ProgressFn* progress,
                                       Logger* logger,
-                                      ResourceTracker* tracker) {
+                                      ResourceTracker* tracker,
+                                      CostCache* cost_cache) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   if (k < 0) {
     return Status::InvalidArgument("change bound k must be >= 0");
@@ -126,7 +127,6 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
   const int64_t costings_before = what_if.costings();
-  const int64_t hits_before = what_if.cache_hits();
   SolveStats local_stats;
   local_stats.threads_used = pool != nullptr ? pool->num_threads() : 1;
   // Parallel phase: the dense cost tables. The graph build and the
@@ -166,7 +166,6 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
     local_stats.deadline_hit = true;
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
     return std::move(fallback).value();
   }
@@ -176,7 +175,8 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
     CDPD_TRACE_SPAN(tracer, "ranking.precompute", "solver");
     CDPD_ASSIGN_OR_RETURN(
         matrix, what_if.PrecomputeCostMatrix(problem.candidates, pool, tracer,
-                                             budget, progress, logger));
+                                             budget, progress, logger,
+                                             cost_cache, tracker));
   }
   if (!matrix.complete()) {
     return Status::DeadlineExceeded(
@@ -192,7 +192,6 @@ Result<DesignSchedule> SolveByRanking(const DesignProblem& problem, int64_t k,
     enumerate_span.set_arg(local_stats.paths_enumerated);
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
   };
   while (local_stats.paths_enumerated < max_paths &&

@@ -11,7 +11,9 @@ void SolveStats::PublishTo(MetricsRegistry* registry) const {
   registry->counter("solver.solves")->Add(1);
   registry->counter("solver.wall_us")->Add(wall_us);
   registry->counter("solver.costings")->Add(costings);
-  registry->counter("solver.cache_hits")->Add(cache_hits);
+  registry->counter("cost_cache.hits")->Add(cost_cache_hits);
+  registry->counter("cost_cache.misses")->Add(cost_cache_misses);
+  registry->counter("cost_cache.evictions")->Add(cost_cache_evictions);
   registry->counter("solver.nodes_expanded")->Add(nodes_expanded);
   registry->counter("solver.relaxations")->Add(relaxations);
   registry->counter("solver.paths_enumerated")->Add(paths_enumerated);
@@ -42,7 +44,9 @@ std::string SolveStats::ToJson() const {
   std::string out = "{";
   out += "\"wall_us\": " + std::to_string(wall_us);
   out += ", \"costings\": " + std::to_string(costings);
-  out += ", \"cache_hits\": " + std::to_string(cache_hits);
+  out += ", \"cost_cache_hits\": " + std::to_string(cost_cache_hits);
+  out += ", \"cost_cache_misses\": " + std::to_string(cost_cache_misses);
+  out += ", \"cost_cache_evictions\": " + std::to_string(cost_cache_evictions);
   out += ", \"threads_used\": " + std::to_string(threads_used);
   out += ", \"nodes_expanded\": " + std::to_string(nodes_expanded);
   out += ", \"relaxations\": " + std::to_string(relaxations);
@@ -71,7 +75,9 @@ SolveStats SolveStats::FromSnapshot(const MetricsSnapshot& snapshot) {
   stats.wall_seconds =
       static_cast<double>(snapshot.CounterValue("solver.wall_us")) / 1e6;
   stats.costings = snapshot.CounterValue("solver.costings");
-  stats.cache_hits = snapshot.CounterValue("solver.cache_hits");
+  stats.cost_cache_hits = snapshot.CounterValue("cost_cache.hits");
+  stats.cost_cache_misses = snapshot.CounterValue("cost_cache.misses");
+  stats.cost_cache_evictions = snapshot.CounterValue("cost_cache.evictions");
   stats.nodes_expanded = snapshot.CounterValue("solver.nodes_expanded");
   stats.relaxations = snapshot.CounterValue("solver.relaxations");
   stats.paths_enumerated = snapshot.CounterValue("solver.paths_enumerated");

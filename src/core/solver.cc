@@ -145,6 +145,19 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     owned_budget.set_tracker(&tracker);
   }
 
+  // Cache traffic is attributed to this solve centrally — deltas of
+  // the shared cache's counters around the dispatch — so compound
+  // methods (hybrid, greedy-seq, merging) never double count. With a
+  // shared cache and concurrent solves the deltas interleave, which is
+  // inherent to sharing; each counter is still exact in aggregate.
+  CostCache* const cost_cache = options.cost_cache;
+  const int64_t cache_hits_before =
+      cost_cache != nullptr ? cost_cache->hits() : 0;
+  const int64_t cache_misses_before =
+      cost_cache != nullptr ? cost_cache->misses() : 0;
+  const int64_t cache_evictions_before =
+      cost_cache != nullptr ? cost_cache->evictions() : 0;
+
   const int64_t cpu_before = ProcessCpuTimeMicros();
   const Stopwatch watch;
   SolveResult result;
@@ -157,14 +170,14 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                               progress, logger, &tracker));
+                               progress, logger, &tracker, cost_cache));
         result.method_detail = "sequence-graph shortest path";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveKAware(problem, *options.k, &result.stats, pool, tracer,
-                        budget, progress, logger, &tracker));
+                        budget, progress, logger, &tracker, cost_cache));
         result.method_detail = "k-aware sequence graph";
       }
       break;
@@ -173,7 +186,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
                             SolveGreedySeq(problem, options.k, options.greedy,
                                            pool, tracer, budget, progress,
-                                           logger, &tracker));
+                                           logger, &tracker, cost_cache));
       result.schedule = std::move(greedy_result.schedule);
       result.stats = greedy_result.stats;
       result.reduced_candidates =
@@ -187,7 +200,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       CDPD_ASSIGN_OR_RETURN(
           DesignSchedule unconstrained,
           SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                             progress, logger, &tracker));
+                             progress, logger, &tracker, cost_cache));
       result.unconstrained_cost = unconstrained.total_cost;
       if (!options.k.has_value()) {
         result.schedule = std::move(unconstrained);
@@ -210,7 +223,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                               progress, logger, &tracker));
+                               progress, logger, &tracker, cost_cache));
         result.method_detail = "ranking (no constraint; shortest path)";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
@@ -218,7 +231,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
             result.schedule,
             SolveByRanking(problem, *options.k, options.ranking_max_paths,
                            &result.stats, pool, tracer, budget, progress,
-                           logger, &tracker));
+                           logger, &tracker, cost_cache));
         result.method_detail =
             "ranked paths: " + std::to_string(result.stats.paths_enumerated);
       }
@@ -229,14 +242,14 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
             SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
-                               progress, logger, &tracker));
+                               progress, logger, &tracker, cost_cache));
         result.method_detail = "hybrid (no constraint; shortest path)";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             HybridResult hybrid,
             SolveHybrid(problem, *options.k, pool, tracer, budget, progress,
-                        logger, &tracker));
+                        logger, &tracker, cost_cache));
         result.schedule = std::move(hybrid.schedule);
         result.stats = hybrid.stats;
         result.unconstrained_cost = hybrid.unconstrained_cost;
@@ -253,6 +266,18 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   result.stats.cpu_seconds =
       static_cast<double>(ProcessCpuTimeMicros() - cpu_before) / 1e6;
   result.stats.threads_used = threads;
+  if (cost_cache != nullptr) {
+    result.stats.cost_cache_hits = cost_cache->hits() - cache_hits_before;
+    result.stats.cost_cache_misses =
+        cost_cache->misses() - cache_misses_before;
+    result.stats.cost_cache_evictions =
+        cost_cache->evictions() - cache_evictions_before;
+    // Timestamp-only span carrying the solve's hit delta, so a trace
+    // shows at a glance whether the precompute ran warm or cold.
+    TraceSpan cache_span(tracer, "solve.cost_cache", "solver");
+    cache_span.set_arg(result.stats.cost_cache_hits);
+    cost_cache->PublishTo(options.metrics);
+  }
   result.stats.CaptureMemory(tracker);
   result.stats.memory_limit_hit = tracker.limit_exceeded();
   if (result.stats.memory_limit_hit) {

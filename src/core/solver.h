@@ -19,6 +19,7 @@
 #include "core/explain.h"
 #include "core/greedy_seq.h"
 #include "core/solve_stats.h"
+#include "cost/cost_cache.h"
 
 namespace cdpd {
 
@@ -107,6 +108,18 @@ struct SolveOptions {
   /// (allocations are still tracked, for stats.peak_bytes_total).
   std::optional<int64_t> memory_limit_bytes;
 
+  /// Persistent what-if cost cache (optional, borrowed — must outlive
+  /// the Solve call). When set, the precompute answers per-statement
+  /// probes from the cache and inserts what it had to cost, so a
+  /// second Solve() over an unchanged cost model and candidate
+  /// universe is nearly costing-free. The cache self-invalidates on a
+  /// cost-model change (see cost/cost_cache.h), may be shared by
+  /// concurrent solves, and its growth during this solve is charged
+  /// against memory_limit_bytes under MemComponent::kCostCache.
+  /// Observational invariant: schedules and costs are bit-identical
+  /// with or without a cache; only probe counts and wall time change.
+  CostCache* cost_cache = nullptr;
+
   /// All option validation in one place: k >= 0 when set,
   /// num_threads >= 0, ranking_max_paths > 0, deadline >= 0 when set,
   /// memory_limit_bytes > 0 when set, and greedy candidate indexes
@@ -117,8 +130,8 @@ struct SolveOptions {
 /// Uniform outcome of a Solve() call.
 struct SolveResult {
   DesignSchedule schedule;
-  /// Unified counters (wall time, costings, cache hits, threads used,
-  /// nodes expanded, ...) for every method.
+  /// Unified counters (wall time, costings, cost-cache traffic,
+  /// threads used, nodes expanded, ...) for every method.
   SolveStats stats;
   /// Technique detail (e.g. which branch the hybrid picked).
   std::string method_detail;

@@ -11,14 +11,14 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
                                           Tracer* tracer, const Budget* budget,
                                           const ProgressFn* progress,
                                           Logger* logger,
-                                          ResourceTracker* tracker) {
+                                          ResourceTracker* tracker,
+                                          CostCache* cost_cache) {
   CDPD_RETURN_IF_ERROR(problem.Validate());
   const WhatIfEngine& what_if = *problem.what_if;
   const Stopwatch watch;
   const int64_t costings_before = what_if.costings();
-  const int64_t hits_before = what_if.cache_hits();
   const size_t n = problem.num_segments();
-  const std::vector<Configuration>& configs = problem.candidates;
+  const CandidateSpace& configs = problem.candidates;
   const size_t m = configs.size();
 
   SolveStats local_stats;
@@ -59,7 +59,6 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
     local_stats.best_effort = true;
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
     return schedule;
   }
@@ -70,7 +69,8 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
     CDPD_TRACE_SPAN(tracer, "unconstrained.precompute", "solver");
     CDPD_ASSIGN_OR_RETURN(
         matrix, what_if.PrecomputeCostMatrix(configs, pool, tracer, budget,
-                                             progress, logger));
+                                             progress, logger, cost_cache,
+                                             tracker));
   }
   if (!matrix.complete()) {
     return Status::DeadlineExceeded(
@@ -93,7 +93,6 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
   const auto finish = [&](DesignSchedule done) -> DesignSchedule {
     local_stats.wall_seconds = watch.ElapsedSeconds();
     local_stats.costings = what_if.costings() - costings_before;
-    local_stats.cache_hits = what_if.cache_hits() - hits_before;
     if (stats != nullptr) *stats = local_stats;
     return done;
   };
@@ -144,11 +143,15 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
     CDPD_TRACE_SPAN(tracer, "unconstrained.stage", "solver",
                     static_cast<int64_t>(stage));
     std::vector<size_t>& stage_parent = parent[stage];
+    const double* dist_data = dist.data();
     ParallelFor(pool, 0, m, [&](size_t c) {
+      // Unit-stride sweep over the transposed TRANS row: for the fixed
+      // destination c, trans_into[p] == Trans(p, c).
+      const double* trans_into = matrix.TransInto(c);
       double best = kInf;
       size_t best_prev = 0;
       for (size_t p = 0; p < m; ++p) {
-        const double cost = dist[p] + matrix.Trans(p, c);
+        const double cost = dist_data[p] + trans_into[p];
         if (cost < best) {
           best = cost;
           best_prev = p;
@@ -191,7 +194,6 @@ Result<DesignSchedule> SolveUnconstrained(const DesignProblem& problem,
            LogField("relaxations", local_stats.relaxations));
   local_stats.wall_seconds = watch.ElapsedSeconds();
   local_stats.costings = what_if.costings() - costings_before;
-  local_stats.cache_hits = what_if.cache_hits() - hits_before;
   if (stats != nullptr) *stats = local_stats;
   return schedule;
 }

@@ -1,0 +1,114 @@
+#include "cost/cost_cache.h"
+
+namespace cdpd {
+
+bool CostCache::EnsureValid(uint64_t token) {
+  if (token_.load(std::memory_order_acquire) == token) return false;
+  // One validator at a time: concurrent EnsureValid calls with the
+  // same new token clear once, and a mid-solve token change (two
+  // engines over different models sharing one cache) serializes on the
+  // sweep rather than interleaving clears with inserts shard by shard.
+  std::lock_guard<std::mutex> lock(validate_mu_);
+  const uint64_t previous = token_.load(std::memory_order_acquire);
+  if (previous == token) return false;
+  int64_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> shard_lock(shard.mu);
+    dropped += static_cast<int64_t>(shard.map.size());
+    shard.map.clear();
+  }
+  entries_.fetch_sub(dropped, std::memory_order_relaxed);
+  if (dropped > 0) evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  // The first validation of a never-validated cache (token 0 is
+  // reserved for that state) starts empty — nothing stale was dropped.
+  if (previous != 0) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+  }
+  token_.store(token, std::memory_order_release);
+  return true;
+}
+
+bool CostCache::Lookup(uint64_t statement_fp, uint64_t config_mask,
+                       double* cost) const {
+  const Key key{statement_fp, config_mask};
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.map.find(key);
+  if (it == shard.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  *cost = it->second;
+  return true;
+}
+
+void CostCache::EvictForSpace(size_t first_shard, int64_t needed) {
+  // Coarse shard-granularity eviction: sweep shards in a deterministic
+  // order starting past the inserting shard, dropping whole shards
+  // until the accounted footprint leaves room. Statement costs are
+  // cheap to recompute, so over-eviction only costs future misses.
+  for (size_t step = 1; step <= kShards; ++step) {
+    if (ApproxBytes() + needed <= max_bytes_) return;
+    Shard& shard = shards_[(first_shard + step) % kShards];
+    int64_t dropped = 0;
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      dropped = static_cast<int64_t>(shard.map.size());
+      shard.map.clear();
+    }
+    if (dropped > 0) {
+      entries_.fetch_sub(dropped, std::memory_order_relaxed);
+      evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool CostCache::Insert(uint64_t statement_fp, uint64_t config_mask,
+                       double cost, ResourceTracker* tracker) {
+  const Key key{statement_fp, config_mask};
+  Shard& shard = ShardFor(key);
+  {
+    // Fast path: overwrite in place (no growth, no charge).
+    std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.map.find(key);
+    if (it != shard.map.end()) {
+      it->second = cost;
+      return true;
+    }
+  }
+  if (max_bytes_ > 0 && ApproxBytes() + kEntryBytes > max_bytes_) {
+    EvictForSpace(KeyHash()(key) % kShards, kEntryBytes);
+    if (ApproxBytes() + kEntryBytes > max_bytes_) return false;
+  }
+  // Charge the solve's budget before growing; a refusal trips the
+  // tracker's limit flag (anytime degradation) and skips the insert.
+  if (tracker != nullptr &&
+      !tracker->TryReserve(MemComponent::kCostCache, kEntryBytes)) {
+    return false;
+  }
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    inserted = shard.map.emplace(key, cost).second;
+    if (!inserted) shard.map[key] = cost;
+  }
+  if (inserted) {
+    entries_.fetch_add(1, std::memory_order_relaxed);
+  } else if (tracker != nullptr) {
+    // Lost an insert race: the entry was already charged by the
+    // winner; return this call's reservation.
+    tracker->Release(MemComponent::kCostCache, kEntryBytes);
+  }
+  return true;
+}
+
+void CostCache::PublishTo(MetricsRegistry* registry) const {
+  if constexpr (!kMetricsCompiledIn) return;
+  if (registry == nullptr) return;
+  registry->gauge("cost_cache.entries")->Set(entries());
+  registry->gauge("cost_cache.bytes")->Set(ApproxBytes());
+  registry->gauge("cost_cache.invalidations")->Set(invalidations());
+}
+
+}  // namespace cdpd

@@ -1,6 +1,7 @@
 #include "cost/what_if.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cmath>
@@ -28,7 +29,48 @@ BoundStatement ShapeOf(const BoundStatement& statement) {
   return shape;
 }
 
+/// 64-bit FNV-1a identity of a literal-erased statement shape — the
+/// statement half of the persistent cost cache's key. Hashes every
+/// cost-relevant field of the (already normalized) shape.
+uint64_t ShapeFingerprint(const BoundStatement& shape) {
+  constexpr uint64_t kFnvPrime = 0x100000001b3ULL;
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&](uint64_t value) {
+    for (int byte = 0; byte < 8; ++byte) {
+      hash ^= (value >> (byte * 8)) & 0xff;
+      hash *= kFnvPrime;
+    }
+  };
+  mix(static_cast<uint64_t>(shape.type));
+  mix(static_cast<uint64_t>(shape.select_column));
+  mix(static_cast<uint64_t>(shape.where_column));
+  mix(static_cast<uint64_t>(shape.where_lo));
+  mix(static_cast<uint64_t>(shape.where_hi));
+  mix(static_cast<uint64_t>(shape.set_column));
+  mix(shape.insert_values.size());
+  return hash;
+}
+
 }  // namespace
+
+void CostMatrix::Finalize() {
+  const size_t n = num_segments_;
+  const size_t m = num_configs_;
+  exec_prefix_.assign((n + 1) * m, 0.0);
+  for (size_t s = 0; s < n; ++s) {
+    const double* row = exec_.data() + s * m;
+    const double* prefix = exec_prefix_.data() + s * m;
+    double* next = exec_prefix_.data() + (s + 1) * m;
+    for (size_t c = 0; c < m; ++c) next[c] = prefix[c] + row[c];
+  }
+  trans_transposed_.assign(m * m, 0.0);
+  for (size_t from = 0; from < m; ++from) {
+    const double* row = trans_.data() + from * m;
+    for (size_t to = 0; to < m; ++to) {
+      trans_transposed_[to * m + from] = row[to];
+    }
+  }
+}
 
 WhatIfEngine::WhatIfEngine(const CostModel* model,
                            std::span<const BoundStatement> statements,
@@ -49,7 +91,9 @@ WhatIfEngine::WhatIfEngine(const CostModel* model,
           break;
         }
       }
-      if (!found) profile.push_back(ProfileEntry{shape, 1});
+      if (!found) {
+        profile.push_back(ProfileEntry{shape, 1, ShapeFingerprint(shape)});
+      }
     }
   }
 }
@@ -73,6 +117,31 @@ double WhatIfEngine::ComputeSegmentCost(size_t segment,
         std::chrono::duration<double, std::micro>(
             std::chrono::steady_clock::now() - start)
             .count());
+  }
+  return cost;
+}
+
+double WhatIfEngine::CachedSegmentCost(size_t segment,
+                                       const Configuration& config,
+                                       uint64_t config_mask, CostCache* cache,
+                                       ResourceTracker* tracker) const {
+  double cost = 0.0;
+  int64_t costed = 0;
+  for (const ProfileEntry& entry : profiles_[segment]) {
+    double statement_cost = 0.0;
+    if (!cache->Lookup(entry.fingerprint, config_mask, &statement_cost)) {
+      statement_cost = model_->StatementCost(entry.representative, config);
+      cache->Insert(entry.fingerprint, config_mask, statement_cost, tracker);
+      ++costed;
+    }
+    // Summing in profile order, like ComputeSegmentCost: a cached
+    // value is the exact double a miss computed, so the assembled cell
+    // is bit-identical however the hit/miss pattern falls.
+    cost += static_cast<double>(entry.count) * statement_cost;
+  }
+  if (costed > 0) {
+    costings_.fetch_add(costed, std::memory_order_relaxed);
+    if (metrics_costings_ != nullptr) metrics_costings_->Add(costed);
   }
   return cost;
 }
@@ -138,21 +207,41 @@ class NonFiniteCell {
 }  // namespace
 
 Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
-    std::span<const Configuration> candidates, ThreadPool* pool,
-    Tracer* tracer, const Budget* budget, const ProgressFn* progress,
-    Logger* logger) const {
+    const CandidateSpace& candidates, ThreadPool* pool, Tracer* tracer,
+    const Budget* budget, const ProgressFn* progress, Logger* logger,
+    CostCache* cost_cache, ResourceTracker* tracker) const {
   const size_t n = segments_.size();
   const size_t m = candidates.size();
   CostMatrix matrix(n, m);
+  // The persistent cache is sound only while config masks are exact
+  // bijections; with fingerprint masks (universe > 64) it is skipped
+  // and the fill runs through the engine memo exactly as before.
+  CostCache* cache =
+      (cost_cache != nullptr && candidates.exact_masks()) ? cost_cache
+                                                          : nullptr;
+  if (cache != nullptr) {
+    // The token covers everything a cached statement cost depends on:
+    // the cost-model state (schema, rows, params, table stats) and the
+    // universe that defines the masks' bit assignment.
+    uint64_t token = model_->Fingerprint();
+    token ^= candidates.universe_fingerprint() * 0x9e3779b97f4a7c15ULL;
+    if (token == 0) token = 1;  // 0 is CostCache's never-validated state.
+    cache->EnsureValid(token);
+  }
   CDPD_LOG(logger, LogLevel::kInfo, "whatif.precompute.start",
            LogField("segments", n), LogField("configs", m),
-           LogField("exec_cells", n * m), LogField("trans_cells", m * m));
+           LogField("exec_cells", n * m), LogField("trans_cells", m * m),
+           LogField("cost_cache", cache != nullptr));
   NonFiniteCell bad_exec;
   NonFiniteCell bad_trans;
   const auto fill_exec = [&](size_t i) {
     const size_t segment = i / m;
     const size_t config = i % m;
-    const double cost = SegmentCost(segment, candidates[config]);
+    const double cost =
+        cache != nullptr
+            ? CachedSegmentCost(segment, candidates[config],
+                                candidates.mask(config), cache, tracker)
+            : SegmentCost(segment, candidates[config]);
     if (!std::isfinite(cost)) bad_exec.Record(i);
     matrix.MutableExec(segment, config) = cost;
   };
@@ -197,19 +286,62 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
   {
     CDPD_TRACE_SPAN(tracer, "whatif.trans_matrix", "whatif",
                     static_cast<int64_t>(m * m));
-    const bool trans_complete = ParallelFor(
-        pool, 0, m * m,
-        [&](size_t i) {
-          const size_t from = i / m;
-          const size_t to = i % m;
-          const double cost =
-              from == to
-                  ? 0.0
-                  : model_->TransitionCost(candidates[from], candidates[to]);
-          if (!std::isfinite(cost)) bad_trans.Record(i);
-          matrix.MutableTrans(from, to) = cost;
-        },
-        budget);
+    bool trans_complete = true;
+    if (candidates.exact_masks()) {
+      // Mask path: TRANS is additive over the created/dropped index
+      // sets, so per-universe-index build/drop costs turn each pair
+      // into two mask differences summed over set bits. Bits are
+      // consumed in ascending (= universe = sorted-index) order — the
+      // exact order CostModel::TransitionCost sums the materialized
+      // delta in — so the cells are bit-identical to the slow path.
+      const size_t u = candidates.num_indexes();
+      std::vector<double> build_cost(u, 0.0);
+      std::vector<double> drop_cost(u, 0.0);
+      for (size_t i = 0; i < u; ++i) {
+        build_cost[i] = model_->BuildCost(candidates.universe()[i]);
+        drop_cost[i] = model_->DropCost(candidates.universe()[i]);
+      }
+      const std::vector<uint64_t>& masks = candidates.masks();
+      trans_complete = ParallelFor(
+          pool, 0, m,
+          [&](size_t from) {
+            const uint64_t from_mask = masks[from];
+            for (size_t to = 0; to < m; ++to) {
+              double cost = 0.0;
+              if (to != from) {
+                const uint64_t to_mask = masks[to];
+                for (uint64_t created = to_mask & ~from_mask; created != 0;
+                     created &= created - 1) {
+                  cost += build_cost[static_cast<size_t>(
+                      std::countr_zero(created))];
+                }
+                for (uint64_t dropped = from_mask & ~to_mask; dropped != 0;
+                     dropped &= dropped - 1) {
+                  cost += drop_cost[static_cast<size_t>(
+                      std::countr_zero(dropped))];
+                }
+              }
+              if (!std::isfinite(cost)) bad_trans.Record(from * m + to);
+              matrix.MutableTrans(from, to) = cost;
+            }
+          },
+          budget);
+    } else {
+      trans_complete = ParallelFor(
+          pool, 0, m * m,
+          [&](size_t i) {
+            const size_t from = i / m;
+            const size_t to = i % m;
+            const double cost =
+                from == to
+                    ? 0.0
+                    : model_->TransitionCost(candidates[from],
+                                             candidates[to]);
+            if (!std::isfinite(cost)) bad_trans.Record(i);
+            matrix.MutableTrans(from, to) = cost;
+          },
+          budget);
+    }
     complete = complete && trans_complete;
   }
   // A non-finite cost is a corrupt oracle whatever the budget said:
@@ -233,6 +365,7 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
         std::to_string(*cell / m) + " to #" + std::to_string(*cell % m));
   }
   matrix.set_complete(complete);
+  matrix.Finalize();
   if (!complete) {
     CDPD_LOG(logger, LogLevel::kWarn, "whatif.precompute.interrupted",
              LogField("segments", n), LogField("configs", m));

@@ -9,6 +9,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "advisor/candidate_space.h"
 #include "catalog/configuration.h"
 #include "common/budget.h"
 #include "common/log.h"
@@ -17,16 +18,25 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "common/tracing.h"
+#include "cost/cost_cache.h"
 #include "cost/cost_model.h"
 #include "workload/workload.h"
 
 namespace cdpd {
 
-/// Dense EXEC/TRANS lookup tables over an *indexed* candidate set —
+/// Dense EXEC/TRANS lookup tables over a pinned CandidateSpace —
 /// the read-only phase the graph solvers consume after
 /// WhatIfEngine::PrecomputeCostMatrix. Once built, every cost probe of
 /// a solver inner loop is a plain array read: no hashing, no locks, no
-/// shared mutable state.
+/// shared mutable state. Configurations are addressed by ConfigId
+/// only; the solvers materialize Configuration objects from the space
+/// at the API boundary (the returned schedule), never inside the DP.
+///
+/// The tables are stored structure-of-arrays: the EXEC matrix row-major
+/// by segment, a per-config prefix-sum table for O(1) range sums, and
+/// the TRANS matrix in both orientations so a relaxation sweep over
+/// predecessors reads one contiguous row (TransInto) instead of a
+/// stride-m column.
 class CostMatrix {
  public:
   CostMatrix() = default;
@@ -39,11 +49,14 @@ class CostMatrix {
   size_t num_segments() const { return num_segments_; }
   size_t num_configs() const { return num_configs_; }
 
-  /// Bytes the EXEC + TRANS tables of an (n x m) matrix occupy — what a
-  /// solver charges to MemComponent::kCostMatrix before the precompute.
+  /// Bytes the EXEC + prefix + TRANS (both orientations) tables of an
+  /// (n x m) matrix occupy — what a solver charges to
+  /// MemComponent::kCostMatrix before the precompute.
   static int64_t EstimateBytes(size_t num_segments, size_t num_configs) {
     return static_cast<int64_t>(
-        (num_segments * num_configs + num_configs * num_configs) *
+        (num_segments * num_configs +              // EXEC
+         (num_segments + 1) * num_configs +        // prefix sums
+         2 * num_configs * num_configs) *          // TRANS + transposed
         sizeof(double));
   }
 
@@ -51,16 +64,27 @@ class CostMatrix {
   double Exec(size_t segment, size_t config) const {
     return exec_[segment * num_configs_ + config];
   }
-  /// EXEC(S_begin ∪ ... ∪ S_{end-1}, candidates[config]), summed in
-  /// segment order (bit-identical to WhatIfEngine::RangeCost).
+  /// EXEC(S_begin ∪ ... ∪ S_{end-1}, candidates[config]), computed as
+  /// a difference of two precomputed per-config prefix sums (built by
+  /// Finalize()) — O(1) whatever the range width. Equal to the
+  /// segment-order forward sum up to floating-point re-association;
+  /// every caller that reports a schedule cost recomputes the total
+  /// through EvaluateScheduleCost, so the rounding difference never
+  /// reaches a reported cost.
   double ExecRange(size_t begin, size_t end, size_t config) const {
-    double cost = 0.0;
-    for (size_t s = begin; s < end; ++s) cost += Exec(s, config);
-    return cost;
+    return exec_prefix_[end * num_configs_ + config] -
+           exec_prefix_[begin * num_configs_ + config];
   }
   /// TRANS(candidates[from], candidates[to]).
   double Trans(size_t from, size_t to) const {
     return trans_[from * num_configs_ + to];
+  }
+  /// Contiguous row of transition costs *into* `to`: TransInto(to)[p]
+  /// == Trans(p, to). This is the orientation the relaxation inner
+  /// loops sweep (for a fixed destination, scan all predecessors), so
+  /// the scan is a unit-stride read instead of a stride-m gather.
+  const double* TransInto(size_t to) const {
+    return trans_transposed_.data() + to * num_configs_;
   }
 
   double& MutableExec(size_t segment, size_t config) {
@@ -69,6 +93,12 @@ class CostMatrix {
   double& MutableTrans(size_t from, size_t to) {
     return trans_[from * num_configs_ + to];
   }
+
+  /// Builds the derived SoA tables (per-config EXEC prefix sums and
+  /// the transposed TRANS matrix) from the raw cells. Must be called
+  /// after the fill and before ExecRange/TransInto; PrecomputeCostMatrix
+  /// does this, so only hand-built matrices (tests) call it directly.
+  void Finalize();
 
   /// False when a budget expired mid-precompute, leaving some cells
   /// unwritten. An incomplete matrix must not be read — the solvers
@@ -83,6 +113,10 @@ class CostMatrix {
   bool complete_ = true;
   std::vector<double> exec_;   // [segment * num_configs + config]
   std::vector<double> trans_;  // [from * num_configs + to]
+  // Derived by Finalize():
+  // exec_prefix_[(s) * m + c] = sum of exec over segments [0, s).
+  std::vector<double> exec_prefix_;
+  std::vector<double> trans_transposed_;  // [to * num_configs + from]
 };
 
 /// The what-if oracle the design optimizers query: EXEC(S_i, C) for
@@ -92,7 +126,7 @@ class CostMatrix {
 ///  * per-segment statement *profiles* — a point statement's estimated
 ///    cost depends only on its shape (type and columns), not on its
 ///    literal, so a segment of 500 queries collapses into a handful of
-///    (shape, count) pairs;
+///    (shape, count) pairs, each carrying a 64-bit shape fingerprint;
 ///  * per-(segment, configuration) memoization across the many times
 ///    the graph algorithms revisit the same node.
 ///
@@ -131,14 +165,22 @@ class WhatIfEngine {
     return model_->TransitionCost(from, to);
   }
 
-  /// Fills the dense EXEC matrix over all (segment, candidate) pairs
-  /// and the TRANS matrix over all candidate pairs, fanning the
-  /// what-if probes out across `pool` (serial when pool is null). The
-  /// memo cache is populated as a side effect, so later SegmentCost
-  /// calls on the same pairs are hits. Results are identical for any
-  /// thread count, with or without `tracer`: tracing only changes the
-  /// fan-out granularity (one span per work shard) and observes
-  /// timestamps, never values.
+  /// Fills the dense EXEC matrix over all (segment, ConfigId) pairs
+  /// and the TRANS matrix over all ConfigId pairs of the pinned
+  /// `candidates` space, fanning the what-if probes out across `pool`
+  /// (serial when pool is null), then finalizes the SoA tables (prefix
+  /// sums, transposed TRANS). This is the single enumeration entry
+  /// point: the solvers never cost materialized Configuration vectors.
+  /// Results are identical for any thread count, with or without
+  /// `tracer`: tracing only changes the fan-out granularity (one span
+  /// per work shard) and observes timestamps, never values.
+  ///
+  /// With exact masks (candidates.exact_masks()), the TRANS matrix is
+  /// computed additively from per-universe-index build/drop costs via
+  /// mask arithmetic — O(popcount) per pair, no Configuration diffs —
+  /// summing the per-index terms in universe (= sorted) order, which is
+  /// the exact summation order of CostModel::TransitionCost, so the
+  /// cells are bit-identical to the materialized path.
   ///
   /// Every cell is validated with std::isfinite as it is written: a
   /// NaN or infinite cost would silently corrupt the solvers'
@@ -159,10 +201,25 @@ class WhatIfEngine {
   /// (optional) records precompute start/end events. Like the tracer,
   /// neither perturbs values; attaching progress only switches the
   /// fill to the coarser sharded fan-out tracing already uses.
+  ///
+  /// `cost_cache` (optional) is the persistent cross-solve cache: EXEC
+  /// cells are then assembled from per-(statement fingerprint, config
+  /// mask) entries — looked up before costing, inserted after — so a
+  /// warm precompute over an unchanged model answers essentially every
+  /// probe from the cache. The cache is validated first against a
+  /// token derived from CostModel::Fingerprint() and the space's
+  /// universe fingerprint, and is silently skipped when
+  /// candidates.exact_masks() is false (fingerprint masks would make
+  /// keying unsound). `tracker` (optional) charges cache growth to
+  /// MemComponent::kCostCache; a refused reservation skips the insert
+  /// and trips the solve's memory limit (see cost/cost_cache.h).
+  /// Cached and uncached fills produce bit-identical matrices.
   Result<CostMatrix> PrecomputeCostMatrix(
-      std::span<const Configuration> candidates, ThreadPool* pool = nullptr,
+      const CandidateSpace& candidates, ThreadPool* pool = nullptr,
       Tracer* tracer = nullptr, const Budget* budget = nullptr,
-      const ProgressFn* progress = nullptr, Logger* logger = nullptr) const;
+      const ProgressFn* progress = nullptr, Logger* logger = nullptr,
+      CostCache* cost_cache = nullptr,
+      ResourceTracker* tracker = nullptr) const;
 
   /// Mirrors the engine's activity into `registry` — counters
   /// "whatif.costings" / "whatif.cache_hits" and the
@@ -178,16 +235,19 @@ class WhatIfEngine {
     return costings_.load(std::memory_order_relaxed);
   }
 
-  /// Number of SegmentCost calls answered from the memo cache.
+  /// Number of SegmentCost calls answered from the engine's own memo
+  /// cache (distinct from the persistent CostCache's hits()).
   int64_t cache_hits() const {
     return cache_hits_.load(std::memory_order_relaxed);
   }
 
  private:
-  /// A statement shape with literals erased, plus its multiplicity.
+  /// A statement shape with literals erased, plus its multiplicity and
+  /// 64-bit fingerprint (the persistent cost cache's statement key).
   struct ProfileEntry {
     BoundStatement representative;
     int64_t count = 0;
+    uint64_t fingerprint = 0;
   };
 
   /// Memo key: one (segment, configuration) what-if probe.
@@ -214,6 +274,15 @@ class WhatIfEngine {
 
   /// The uncached cost computation (pure; reads only immutable state).
   double ComputeSegmentCost(size_t segment, const Configuration& config) const;
+
+  /// EXEC(S_segment, config) assembled from the persistent cache:
+  /// per profile entry, look up (entry.fingerprint, config_mask), cost
+  /// and insert on miss. Summation runs in profile order — the same
+  /// order as ComputeSegmentCost — so the result is bit-identical to
+  /// the uncached path.
+  double CachedSegmentCost(size_t segment, const Configuration& config,
+                           uint64_t config_mask, CostCache* cache,
+                           ResourceTracker* tracker) const;
 
   const CostModel* model_;
   std::vector<Segment> segments_;

@@ -89,7 +89,7 @@ TEST(MetricsTest, RegistryIsIdempotentWithStablePointers) {
   Counter* c1 = registry.counter("solver.costings");
   Counter* c2 = registry.counter("solver.costings");
   EXPECT_EQ(c1, c2);
-  EXPECT_NE(c1, registry.counter("solver.cache_hits"));
+  EXPECT_NE(c1, registry.counter("cost_cache.hits"));
   EXPECT_EQ(registry.gauge("pool.threads"), registry.gauge("pool.threads"));
   EXPECT_EQ(registry.histogram("whatif.cost_us"),
             registry.histogram("whatif.cost_us"));
@@ -138,7 +138,9 @@ TEST(MetricsTest, SolveStatsRoundTripsThroughRegistry) {
   SolveStats stats;
   stats.wall_seconds = 0.25;
   stats.costings = 1200;
-  stats.cache_hits = 340;
+  stats.cost_cache_hits = 340;
+  stats.cost_cache_misses = 12;
+  stats.cost_cache_evictions = 2;
   stats.threads_used = 8;
   stats.nodes_expanded = 77;
   stats.relaxations = 13;
@@ -155,7 +157,9 @@ TEST(MetricsTest, SolveStatsRoundTripsThroughRegistry) {
   const SolveStats back = SolveStats::FromSnapshot(snapshot);
   EXPECT_NEAR(back.wall_seconds, stats.wall_seconds, 1e-6);
   EXPECT_EQ(back.costings, stats.costings);
-  EXPECT_EQ(back.cache_hits, stats.cache_hits);
+  EXPECT_EQ(back.cost_cache_hits, stats.cost_cache_hits);
+  EXPECT_EQ(back.cost_cache_misses, stats.cost_cache_misses);
+  EXPECT_EQ(back.cost_cache_evictions, stats.cost_cache_evictions);
   EXPECT_EQ(back.threads_used, stats.threads_used);
   EXPECT_EQ(back.nodes_expanded, stats.nodes_expanded);
   EXPECT_EQ(back.relaxations, stats.relaxations);

@@ -32,7 +32,7 @@ TEST_F(DesignProblemTest, RejectsMissingOracle) {
 
 TEST_F(DesignProblemTest, RejectsEmptyCandidates) {
   DesignProblem problem = fixture_->problem;
-  problem.candidates.clear();
+  problem.candidates = CandidateSpace();
   EXPECT_EQ(problem.Validate().code(), StatusCode::kInvalidArgument);
 }
 

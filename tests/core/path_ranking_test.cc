@@ -52,7 +52,7 @@ TEST(PathRankerTest, PathsComeInNonDecreasingCostOrder) {
 TEST(PathRankerTest, EnumeratesAllPathsExactlyOnce) {
   auto fixture = MakeRandomProblem(92, 3, 10);
   // Shrink to 3 configurations for an exactly countable space.
-  fixture->problem.candidates.resize(3);
+  fixture->problem.candidates = fixture->problem.candidates.Prefix(3);
   auto graph = SequenceGraph::Build(fixture->problem);
   ASSERT_TRUE(graph.ok());
   PathRanker ranker(*graph);

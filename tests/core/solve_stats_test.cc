@@ -20,7 +20,9 @@ SolveStats MakeStats() {
   stats.wall_seconds = 0.123456789;  // Rounds to 123457 us.
   stats.cpu_seconds = 0.5;           // 500000 us exactly.
   stats.costings = 1200;
-  stats.cache_hits = 340;
+  stats.cost_cache_hits = 340;
+  stats.cost_cache_misses = 12;
+  stats.cost_cache_evictions = 2;
   stats.threads_used = 8;
   stats.nodes_expanded = 77;
   stats.relaxations = 13;
@@ -42,7 +44,9 @@ TEST(SolveStatsTest, ToJsonEmitsEveryFieldWithMicrosecondRounding) {
   const std::string json = MakeStats().ToJson();
   EXPECT_NE(json.find("\"wall_us\": 123457"), std::string::npos);
   EXPECT_NE(json.find("\"costings\": 1200"), std::string::npos);
-  EXPECT_NE(json.find("\"cache_hits\": 340"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_cache_hits\": 340"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_cache_misses\": 12"), std::string::npos);
+  EXPECT_NE(json.find("\"cost_cache_evictions\": 2"), std::string::npos);
   EXPECT_NE(json.find("\"threads_used\": 8"), std::string::npos);
   EXPECT_NE(json.find("\"nodes_expanded\": 77"), std::string::npos);
   EXPECT_NE(json.find("\"relaxations\": 13"), std::string::npos);

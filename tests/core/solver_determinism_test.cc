@@ -98,7 +98,7 @@ TEST_P(SolverDeterminismTest, TracingAndMetricsDoNotPerturbResults) {
   const SolveStats from_registry =
       SolveStats::FromSnapshot(registry.Snapshot());
   EXPECT_EQ(from_registry.costings, traced.stats.costings);
-  EXPECT_EQ(from_registry.cache_hits, traced.stats.cache_hits);
+  EXPECT_EQ(from_registry.cost_cache_hits, traced.stats.cost_cache_hits);
   EXPECT_EQ(from_registry.nodes_expanded, traced.stats.nodes_expanded);
 }
 

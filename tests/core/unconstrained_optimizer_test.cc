@@ -75,7 +75,7 @@ TEST(UnconstrainedOptimizerTest, TracksHeavilySkewedWorkload) {
 
 TEST(UnconstrainedOptimizerTest, ValidatesProblem) {
   auto fixture = MakeRandomProblem(11, 2, 5);
-  fixture->problem.candidates.clear();
+  fixture->problem.candidates = CandidateSpace();
   EXPECT_FALSE(SolveUnconstrained(fixture->problem).ok());
 }
 

@@ -148,7 +148,7 @@ TEST(OptimizerEdgeCases, RankingHandlesTiedEdgeWeights) {
   WhatIfEngine what_if(fixture->model.get(), fixture->statements,
                        fixture->segments);
   fixture->problem.what_if = &what_if;
-  fixture->problem.candidates.resize(3);
+  fixture->problem.candidates = fixture->problem.candidates.Prefix(3);
   auto graph = SequenceGraph::Build(fixture->problem);
   ASSERT_TRUE(graph.ok());
   PathRanker ranker(*graph);

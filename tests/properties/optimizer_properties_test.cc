@@ -36,7 +36,7 @@ TEST_P(OptimizerAgreementTest, OptimalSolversAgreeForEveryK) {
   if (max_per_config > 1) {
     // Keep brute force tractable: restrict to the first 5 configs.
     if (fixture->problem.candidates.size() > 5) {
-      fixture->problem.candidates.resize(5);
+      fixture->problem.candidates = fixture->problem.candidates.Prefix(5);
     }
   }
 
@@ -115,7 +115,8 @@ TEST_P(OptimizerAgreementTest, InitialChangePolicyAgreesAcrossSolvers) {
   auto fixture =
       MakeRandomProblem(seed, segments, /*block_size=*/8, max_per_config);
   if (fixture->problem.candidates.size() > 5) {
-    fixture->problem.candidates.resize(5);  // Keep brute force tractable.
+    fixture->problem.candidates =
+        fixture->problem.candidates.Prefix(5);  // Keep brute force tractable.
   }
   fixture->problem.count_initial_change = true;
 
@@ -136,7 +137,8 @@ TEST_P(OptimizerAgreementTest, ForcedFinalConfigAgreesAcrossSolvers) {
   auto fixture =
       MakeRandomProblem(seed, segments, /*block_size=*/8, max_per_config);
   if (fixture->problem.candidates.size() > 5) {
-    fixture->problem.candidates.resize(5);  // Keep brute force tractable.
+    fixture->problem.candidates =
+        fixture->problem.candidates.Prefix(5);  // Keep brute force tractable.
   }
   fixture->problem.final_config = Configuration::Empty();
 

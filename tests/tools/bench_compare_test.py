@@ -1,13 +1,15 @@
 #!/usr/bin/env python3
-"""Unit tests for tools/bench_compare (cdpd.bench schema v1/v2).
+"""Unit tests for tools/bench_compare (cdpd.bench schema v1/v2/v3).
 
 Each test builds a baseline and a current artifact directory in a
 tempdir, runs the comparator as a subprocess (the same way CI does),
 and asserts on its exit status and report text: a wall-time regression
 above the threshold fails, one below the --min-seconds noise floor
 does not, a missing case is reported without failing, malformed JSON
-is skipped with a warning, and a schema-v2 memory regression fails on
-its own even when the wall times are flat.
+is skipped with a warning, a schema-v2 memory regression fails on its
+own even when the wall times are flat, and the schema-v3 throughput
+(relaxations_per_sec, lower = regression) and cost-cache
+(cache_hit_rate, absolute delta) columns gate independently.
 
 Registered with ctest as `bench_compare_test` (see tests/CMakeLists.txt).
 """
@@ -23,7 +25,7 @@ SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
                       os.pardir, os.pardir, "tools", "bench_compare")
 
 
-def report(bench, cases, schema_version=2):
+def report(bench, cases, schema_version=3):
     data = {
         "schema_version": schema_version,
         "kind": "cdpd.bench",
@@ -39,11 +41,16 @@ def report(bench, cases, schema_version=2):
     return data
 
 
-def case(name, wall_seconds, peak_bytes=None, cpu_seconds=0.0):
+def case(name, wall_seconds, peak_bytes=None, cpu_seconds=0.0,
+         relaxations_per_sec=None, cache_hit_rate=None):
     c = {"name": name, "wall_seconds": wall_seconds,
          "cpu_seconds": cpu_seconds, "metrics": {}}
     if peak_bytes is not None:
         c["peak_bytes"] = peak_bytes
+    if relaxations_per_sec is not None:
+        c["relaxations_per_sec"] = relaxations_per_sec
+    if cache_hit_rate is not None:
+        c["cache_hit_rate"] = cache_hit_rate
     return c
 
 
@@ -153,6 +160,61 @@ class BenchCompareTest(unittest.TestCase):
         result = self.run_compare()
         self.assertEqual(result.returncode, 0, result.stdout)
         self.assertIn("0 with memory columns", result.stdout)
+
+    def test_throughput_drop_fails_even_with_flat_wall_time(self):
+        self.write(self.base_dir,
+                   report("r", [case("c", 1.0, relaxations_per_sec=2e8)]))
+        self.write(self.cur_dir,
+                   report("r", [case("c", 1.0, relaxations_per_sec=1e8)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("[relax]", result.stdout)
+
+    def test_throughput_gain_is_an_improvement_not_a_regression(self):
+        self.write(self.base_dir,
+                   report("r", [case("c", 1.0, relaxations_per_sec=1e8)]))
+        self.write(self.cur_dir,
+                   report("r", [case("c", 0.95, relaxations_per_sec=5e8)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("[relax]", result.stdout)
+        self.assertIn("improvements", result.stdout)
+
+    def test_throughput_below_noise_floor_is_ignored(self):
+        # Huge apparent drop, but over sub-millisecond wall times.
+        self.write(self.base_dir,
+                   report("r", [case("c", 0.001, relaxations_per_sec=9e8)]))
+        self.write(self.cur_dir,
+                   report("r", [case("c", 0.001, relaxations_per_sec=1e8)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_cache_hit_rate_drop_fails(self):
+        self.write(self.base_dir,
+                   report("h", [case("warm", 1.0, cache_hit_rate=0.97)]))
+        self.write(self.cur_dir,
+                   report("h", [case("warm", 1.0, cache_hit_rate=0.50)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("[cache]", result.stdout)
+
+    def test_cache_hit_rate_wobble_within_delta_passes(self):
+        self.write(self.base_dir,
+                   report("h", [case("warm", 1.0, cache_hit_rate=0.97)]))
+        self.write(self.cur_dir,
+                   report("h", [case("warm", 1.0, cache_hit_rate=0.95)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_v2_baseline_against_v3_run_has_no_rate_columns(self):
+        self.write(self.base_dir,
+                   report("r", [case("c", 1.0)], schema_version=2))
+        self.write(self.cur_dir,
+                   report("r", [case("c", 1.0, relaxations_per_sec=1e6,
+                                     cache_hit_rate=0.1)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("0 with throughput/cache columns", result.stdout)
 
     def test_warn_only_reports_but_exits_zero(self):
         self.write(self.base_dir, report("b", [case("slow", 1.0)]))
