@@ -91,8 +91,8 @@ Run SolveWith(int threads, MetricsRegistry* metrics = nullptr,
   options.k = 4;
   options.num_threads = threads;
   bench_util::AttachObservability(&options);
-  if (metrics != nullptr) options.metrics = metrics;
-  if (tracer != nullptr) options.tracer = tracer;
+  if (metrics != nullptr) options.observability.metrics = metrics;
+  if (tracer != nullptr) options.observability.tracer = tracer;
   if (deadline_ms >= 0) options.deadline = std::chrono::milliseconds(deadline_ms);
   Run run;
   run.threads = threads;

@@ -74,10 +74,10 @@ inline Tracer& BenchTracer() {
 template <typename Options>
 inline void AttachObservability(Options* options) {
   if (std::getenv("CDPD_METRICS_OUT") != nullptr) {
-    options->metrics = &BenchMetricsRegistry();
+    options->observability.metrics = &BenchMetricsRegistry();
   }
   if (std::getenv("CDPD_TRACE_OUT") != nullptr) {
-    options->tracer = &BenchTracer();
+    options->observability.tracer = &BenchTracer();
   }
 }
 
@@ -128,6 +128,7 @@ inline void WriteObservabilityArtifacts() {
 ///        "peak_bytes": 1048576,
 ///        "relaxations_per_sec": 2.1e8,      // solver cases only
 ///        "cache_hit_rate": 0.97,            // cost-cache cases only
+///        "statements_per_sec": 3.4e5,       // scaling cases only
 ///        "metrics": {"costings": 831, ...}},
 ///       ...
 ///     ]
@@ -166,13 +167,21 @@ class BenchReport {
   /// v3 columns are derived: DP throughput from relaxations / wall,
   /// cost-cache hit rate from the solve's hit/miss deltas (absent
   /// when the solve relaxed nothing / probed no persistent cache).
+  /// `num_statements` (optional) is the workload length the solve
+  /// covered; when given with a positive wall time the case also
+  /// reports statements_per_sec — the end-to-end scaling throughput
+  /// the bench_scale_* family gates on.
   void AddCase(std::string name, double wall_seconds,
-               const SolveStats& stats) {
+               const SolveStats& stats, int64_t num_statements = 0) {
     Case c{std::move(name), wall_seconds, {}, stats.ToJson(),
            stats.cpu_seconds, stats.peak_bytes_total};
     if (stats.relaxations > 0 && wall_seconds > 0.0) {
       c.relaxations_per_sec =
           static_cast<double>(stats.relaxations) / wall_seconds;
+    }
+    if (num_statements > 0 && wall_seconds > 0.0) {
+      c.statements_per_sec =
+          static_cast<double>(num_statements) / wall_seconds;
     }
     const int64_t probes = stats.cost_cache_hits + stats.cost_cache_misses;
     if (probes > 0) {
@@ -205,6 +214,9 @@ class BenchReport {
       out += ",\"peak_bytes\":" + std::to_string(c.peak_bytes);
       if (c.relaxations_per_sec > 0.0) {
         out += ",\"relaxations_per_sec\":" + JsonDouble(c.relaxations_per_sec);
+      }
+      if (c.statements_per_sec > 0.0) {
+        out += ",\"statements_per_sec\":" + JsonDouble(c.statements_per_sec);
       }
       if (c.cache_hit_rate >= 0.0) {
         out += ",\"cache_hit_rate\":" + JsonDouble(c.cache_hit_rate);
@@ -268,6 +280,7 @@ class BenchReport {
     /// Schema-v3 columns; <= 0 / < 0 = not reported (omitted).
     double relaxations_per_sec = 0.0;
     double cache_hit_rate = -1.0;
+    double statements_per_sec = 0.0;
   };
 
   std::string bench_;

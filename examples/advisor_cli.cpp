@@ -2,7 +2,8 @@
 //
 //   advisor_cli [trace.sql] [--k N] [--block N] [--method NAME]
 //               [--threads N] [--rows N] [--deadline-ms N]
-//               [--memory-limit-bytes N] [--calibrate]
+//               [--memory-limit-bytes N] [--segments N] [--prune]
+//               [--session-reuse N] [--calibrate]
 //               [--emit-ddl] [--explain] [--mem-stats] [--quiet]
 //               [--metrics-out=FILE] [--trace-out=FILE]
 //               [--explain-out=FILE] [--log-out=FILE]
@@ -53,6 +54,9 @@ struct CliArgs {
   int64_t rows = 250'000;
   int64_t deadline_ms = -1;  // < 0 = no deadline.
   int64_t memory_limit_bytes = -1;  // < 0 = no limit.
+  int64_t segments = 0;       // Chunks for segment-parallel solving; 0 = auto.
+  int64_t session_reuse = 1;  // Recommend() passes through one warm cache.
+  bool prune = false;         // Dominance-prune the candidate space.
   bool calibrate = false;
   bool emit_ddl = false;
   bool explain = false;     // Print the EXEC/TRANS attribution table.
@@ -87,6 +91,15 @@ void PrintHelp(std::FILE* out) {
       "                    allocations; an over-budget solve degrades\n"
       "                    to a best-effort schedule instead of\n"
       "                    allocating past the limit\n"
+      "  --segments N      chunks for segment-parallel k-aware solving\n"
+      "                    (0 = auto-size from the stage count, 1 =\n"
+      "                    monolithic; exact for every value)\n"
+      "  --prune           drop dominated candidate configurations\n"
+      "                    before solving (exact; see the explain\n"
+      "                    header's scale line)\n"
+      "  --session-reuse N run the recommendation N times through one\n"
+      "                    warm what-if cost cache (the SolverSession\n"
+      "                    amortization path); reports per-pass times\n"
       "  --calibrate       measure cost-model constants on a scratch db\n"
       "  --emit-ddl        print the CREATE/DROP INDEX script\n"
       "\n"
@@ -135,6 +148,12 @@ bool ParseArgs(int argc, char** argv, CliArgs* args) {
       if (!next(&args->memory_limit_bytes) || args->memory_limit_bytes <= 0) {
         return false;
       }
+    } else if (arg == "--segments") {
+      if (!next(&args->segments) || args->segments < 0) return false;
+    } else if (arg == "--session-reuse") {
+      if (!next(&args->session_reuse) || args->session_reuse < 1) return false;
+    } else if (arg == "--prune") {
+      args->prune = true;
     } else if (arg == "--method") {
       if (i + 1 >= argc) return false;
       args->method = argv[++i];
@@ -337,24 +356,38 @@ int main(int argc, char** argv) {
   if (args.memory_limit_bytes > 0) {
     options.memory_limit_bytes = args.memory_limit_bytes;
   }
+  options.segmented.num_chunks = static_cast<int>(args.segments);
+  options.prune_dominated = args.prune;
   MetricsRegistry registry;
   Tracer tracer;
   Logger logger(LogLevel::kInfo);
   ProgressBar bar;
-  if (!args.metrics_out.empty()) options.metrics = &registry;
-  if (!args.trace_out.empty()) options.tracer = &tracer;
-  if (!args.log_out.empty()) options.logger = &logger;
+  if (!args.metrics_out.empty()) options.observability.metrics = &registry;
+  if (!args.trace_out.empty()) options.observability.tracer = &tracer;
+  if (!args.log_out.empty()) options.observability.logger = &logger;
   if (args.explain || !args.explain_out.empty()) options.explain = true;
   // The live progress bar only makes sense on an interactive stderr
   // and is pure noise in --quiet runs or redirected logs.
   const bool show_progress =
       chatty && CDPD_CLI_ISATTY(CDPD_CLI_FILENO(stderr)) != 0;
   if (show_progress) {
-    options.progress = [&bar](const ProgressUpdate& update) {
+    options.observability.progress = [&bar](const ProgressUpdate& update) {
       bar.Update(update);
     };
   }
+  CostCache session_cache;
+  if (args.session_reuse > 1) options.cost_cache = &session_cache;
   auto rec = advisor.Recommend(trace, options);
+  for (int64_t pass = 2; pass <= args.session_reuse && rec.ok(); ++pass) {
+    if (chatty) {
+      std::printf("session pass %lld/%lld: %.3fs, %lld cost-cache hits\n",
+                  static_cast<long long>(pass - 1),
+                  static_cast<long long>(args.session_reuse),
+                  rec->stats.wall_seconds,
+                  static_cast<long long>(rec->stats.cost_cache_hits));
+    }
+    rec = advisor.Recommend(trace, options);
+  }
   if (show_progress) bar.Finish();
   if (!rec.ok()) {
     std::fprintf(stderr, "advisor failed: %s\n",
@@ -384,6 +417,13 @@ int main(int argc, char** argv) {
         stats.threads_used, static_cast<long long>(stats.costings),
         static_cast<long long>(stats.cost_cache_hits),
         static_cast<long long>(stats.nodes_expanded));
+    if (stats.pruned_configs > 0 || stats.segment_chunks > 0) {
+      std::printf("scale: %lld dominated configs pruned, %lld segment "
+                  "chunks (stitch window %lld)\n",
+                  static_cast<long long>(stats.pruned_configs),
+                  static_cast<long long>(stats.segment_chunks),
+                  static_cast<long long>(stats.stitch_window));
+    }
   }
   if (args.mem_stats) {
     std::printf("memory: %lld bytes tracked peak, %.3fs cpu, "

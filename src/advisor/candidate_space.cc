@@ -100,6 +100,13 @@ CandidateSpace CandidateSpace::Prefix(size_t n) const {
                                  configs_.begin() + static_cast<int64_t>(n)));
 }
 
+CandidateSpace CandidateSpace::Subset(const std::vector<ConfigId>& ids) const {
+  std::vector<Configuration> selected;
+  selected.reserve(ids.size());
+  for (const ConfigId id : ids) selected.push_back(configs_[id]);
+  return CandidateSpace(std::move(selected));
+}
+
 std::optional<ConfigId> CandidateSpace::IdOf(const Configuration& config) const {
   const uint64_t mask = MaskOf(config);
   for (size_t i = 0; i < configs_.size(); ++i) {

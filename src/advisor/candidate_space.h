@@ -95,6 +95,17 @@ class CandidateSpace {
   /// universe is re-derived from the survivors, so masks stay minimal.
   CandidateSpace Prefix(size_t n) const;
 
+  /// The space over the member configurations `ids` selects, in the
+  /// given order (dominance pruning passes the surviving ConfigIds in
+  /// ascending original order, so relative ConfigId order is
+  /// preserved). Like Prefix, the universe is re-derived from the
+  /// survivors — when a dropped configuration held the only occurrence
+  /// of some index, the subset's masks are assigned over a smaller
+  /// universe and its universe_fingerprint changes (the cost cache
+  /// then keys the subset's probes separately; a *stable* subset
+  /// reused across solves still shares entries with itself).
+  CandidateSpace Subset(const std::vector<ConfigId>& ids) const;
+
   /// ConfigId of `config` if it is a member (linear scan over masks
   /// with an equality check — called at the API boundary, never in a
   /// solver inner loop).

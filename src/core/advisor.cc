@@ -34,6 +34,7 @@ Status AdvisorOptions::Validate() const {
         "memory_limit_bytes must be > 0 when set (use nullopt for no "
         "limit)");
   }
+  CDPD_RETURN_IF_ERROR(segmented.Validate());
   return Status::OK();
 }
 
@@ -53,7 +54,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
     rec.segments = SegmentFixed(workload.size(), options.block_size);
   }
 
-  CDPD_LOG(options.logger, LogLevel::kInfo, "advisor.segmented",
+  CDPD_LOG(options.observability.logger, LogLevel::kInfo, "advisor.segmented",
            LogField("statements", workload.size()),
            LogField("segments", rec.segments.size()),
            LogField("adaptive",
@@ -76,7 +77,7 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
       rec.candidate_configs,
       EnumerateConfigurations(rec.candidate_indexes, enum_options));
 
-  CDPD_LOG(options.logger, LogLevel::kInfo, "advisor.candidates",
+  CDPD_LOG(options.observability.logger, LogLevel::kInfo, "advisor.candidates",
            LogField("candidate_indexes", rec.candidate_indexes.size()),
            LogField("candidate_configs", rec.candidate_configs.size()));
 
@@ -94,10 +95,10 @@ Result<Recommendation> Advisor::Recommend(const Workload& workload,
   solve_options.k = options.k;
   solve_options.num_threads = options.num_threads;
   solve_options.ranking_max_paths = options.ranking_max_paths;
-  solve_options.metrics = options.metrics;
-  solve_options.tracer = options.tracer;
-  solve_options.logger = options.logger;
-  solve_options.progress = options.progress;
+  solve_options.observability = options.observability;
+  solve_options.prune_dominated = options.prune_dominated;
+  solve_options.segmented = options.segmented;
+  solve_options.cost_cache = options.cost_cache;
   solve_options.explain = options.explain;
   solve_options.deadline = options.deadline;
   solve_options.cancel = options.cancel;

@@ -57,20 +57,23 @@ struct AdvisorOptions {
   CandidateGenOptions candidate_gen;
   /// Enumeration cap for the ranking method.
   int64_t ranking_max_paths = 1'000'000;
-  /// Observability injection points, forwarded to Solve() (see
-  /// SolveOptions::metrics / SolveOptions::tracer). Both optional,
-  /// both borrowed; `metrics` additionally receives the what-if
-  /// engine's "whatif.*" counters and histogram. Neither perturbs the
+  /// Observability sinks in one bundle, forwarded to
+  /// SolveOptions::observability (see common/observability.h). All
+  /// optional, all borrowed; `metrics` additionally receives the
+  /// what-if engine's "whatif.*" counters and histogram, and the
+  /// advisor adds its own "advisor.*" log events (segmentation and
+  /// candidate-space sizes) around the solve. The progress callback
+  /// must be thread-safe (see common/progress.h). None perturb the
   /// recommendation.
-  MetricsRegistry* metrics = nullptr;
-  Tracer* tracer = nullptr;
-  /// Structured JSONL logger and progress callback, forwarded to
-  /// SolveOptions::logger / SolveOptions::progress; the advisor adds
-  /// its own "advisor.*" events (segmentation and candidate-space
-  /// sizes) around the solve. The callback must be thread-safe (see
-  /// common/progress.h). Both optional, both observational only.
-  Logger* logger = nullptr;
-  ProgressFn progress;
+  Observability observability;
+  /// Dominance pruning and segment-parallel solving, forwarded to
+  /// SolveOptions::prune_dominated / SolveOptions::segmented.
+  bool prune_dominated = false;
+  SegmentSolveOptions segmented;
+  /// Persistent what-if cost cache, forwarded to
+  /// SolveOptions::cost_cache (optional, borrowed; see
+  /// cost/cost_cache.h). SolverSession is the usual owner.
+  CostCache* cost_cache = nullptr;
   /// Build the per-transition EXEC/TRANS attribution into
   /// Recommendation::explain (see core/explain.h).
   bool explain = false;

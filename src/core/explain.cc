@@ -208,6 +208,18 @@ std::string ExplainReport::ToText(const Schema& schema) const {
          std::to_string(stats.costings) + " costings (cost cache " +
          std::to_string(stats.cost_cache_hits) + " hits / " +
          std::to_string(stats.cost_cache_misses) + " misses)\n";
+  // Scale line only when pruning or segmenting actually engaged, so
+  // golden reports from plain solves render byte-identically.
+  if (stats.pruned_configs > 0 || stats.segment_chunks > 0) {
+    out += "  scale:          " + std::to_string(stats.pruned_configs) +
+           " dominated configs pruned";
+    if (stats.segment_chunks > 0) {
+      out += ", " + std::to_string(stats.segment_chunks) +
+             " segment chunks (stitch window " +
+             std::to_string(stats.stitch_window) + ")";
+    }
+    out += "\n";
+  }
   // Memory block only when the solve tracked anything (golden reports
   // built without a tracker render byte-identically to schema v1).
   if (stats.peak_bytes_total > 0 || predicted_kaware_bytes > 0 ||

@@ -20,6 +20,9 @@ void SolveStats::PublishTo(MetricsRegistry* registry) const {
   registry->counter("solver.merge_steps")->Add(merge_steps);
   registry->counter("solver.candidate_evaluations")
       ->Add(candidate_evaluations);
+  registry->counter("solver.pruned_configs")->Add(pruned_configs);
+  registry->gauge("solver.segment_chunks")->UpdateMax(segment_chunks);
+  registry->gauge("solver.stitch_window")->UpdateMax(stitch_window);
   registry->counter("solver.deadline_hit")->Add(deadline_hit ? 1 : 0);
   registry->counter("solver.best_effort")->Add(best_effort ? 1 : 0);
   registry->counter("solver.cpu_us")
@@ -53,6 +56,9 @@ std::string SolveStats::ToJson() const {
   out += ", \"paths_enumerated\": " + std::to_string(paths_enumerated);
   out += ", \"merge_steps\": " + std::to_string(merge_steps);
   out += ", \"candidate_evaluations\": " + std::to_string(candidate_evaluations);
+  out += ", \"pruned_configs\": " + std::to_string(pruned_configs);
+  out += ", \"segment_chunks\": " + std::to_string(segment_chunks);
+  out += ", \"stitch_window\": " + std::to_string(stitch_window);
   out += std::string(", \"deadline_hit\": ") +
          (deadline_hit ? "true" : "false");
   out += std::string(", \"best_effort\": ") + (best_effort ? "true" : "false");
@@ -84,6 +90,9 @@ SolveStats SolveStats::FromSnapshot(const MetricsSnapshot& snapshot) {
   stats.merge_steps = snapshot.CounterValue("solver.merge_steps");
   stats.candidate_evaluations =
       snapshot.CounterValue("solver.candidate_evaluations");
+  stats.pruned_configs = snapshot.CounterValue("solver.pruned_configs");
+  stats.segment_chunks = snapshot.GaugeValue("solver.segment_chunks");
+  stats.stitch_window = snapshot.GaugeValue("solver.stitch_window");
   stats.deadline_hit = snapshot.CounterValue("solver.deadline_hit") > 0;
   stats.best_effort = snapshot.CounterValue("solver.best_effort") > 0;
   stats.cpu_seconds =

@@ -49,6 +49,17 @@ struct SolveStats {
   int64_t merge_steps = 0;
   /// Merging/greedy: replacement or growth candidates evaluated.
   int64_t candidate_evaluations = 0;
+  /// Candidate configurations eliminated by dominance pruning before
+  /// the method ran (SolveOptions::prune_dominated); 0 when pruning
+  /// was off or nothing was dominated.
+  int64_t pruned_configs = 0;
+  /// Segment-parallel decomposition shape (the k-aware segmented
+  /// solver only; see core/segment_solver.h): the number of chunks the
+  /// statement sequence was split into, and the width of the boundary
+  /// stitch DP's change-budget window (clamped k + 1 layers). Both 0
+  /// when the solve ran monolithically.
+  int64_t segment_chunks = 0;
+  int64_t stitch_window = 0;
   /// The solve's deadline/cancellation budget expired and the schedule
   /// is the method's anytime fallback (the best feasible answer it had
   /// at expiry), not its normal result. Never set without a budget.
@@ -91,6 +102,15 @@ struct SolveStats {
     paths_enumerated += other.paths_enumerated;
     merge_steps += other.merge_steps;
     candidate_evaluations += other.candidate_evaluations;
+    pruned_configs += other.pruned_configs;
+    // Decomposition shape, not work: keep the widest decomposition
+    // seen, like threads_used.
+    if (other.segment_chunks > segment_chunks) {
+      segment_chunks = other.segment_chunks;
+    }
+    if (other.stitch_window > stitch_window) {
+      stitch_window = other.stitch_window;
+    }
     deadline_hit = deadline_hit || other.deadline_hit;
     best_effort = best_effort || other.best_effort;
     cpu_seconds += other.cpu_seconds;

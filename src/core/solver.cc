@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "advisor/dominance.h"
 #include "common/stopwatch.h"
 #include "core/design_merging.h"
 #include "core/hybrid_optimizer.h"
@@ -75,6 +76,7 @@ Status SolveOptions::Validate() const {
       greedy.candidate_indexes.empty()) {
     return Status::InvalidArgument("GREEDY-SEQ needs candidate indexes");
   }
+  CDPD_RETURN_IF_ERROR(segmented.Validate());
   return Status::OK();
 }
 
@@ -82,22 +84,31 @@ Result<SolveResult> Solve(const DesignProblem& problem,
                           const SolveOptions& options) {
   CDPD_RETURN_IF_ERROR(options.Validate());
 
-  const int threads = options.num_threads == 0
-                          ? ThreadPool::DefaultThreadCount()
-                          : options.num_threads;
+  // A borrowed pool (SolverSession's amortization path) wins over
+  // num_threads; otherwise the solve owns a pool for its duration.
   std::unique_ptr<ThreadPool> owned_pool;
-  if (threads > 1) owned_pool = std::make_unique<ThreadPool>(threads);
-  ThreadPool* pool = owned_pool.get();
-  Tracer* const tracer = options.tracer;
-  Logger* const logger = options.logger;
+  ThreadPool* pool = options.pool;
+  int threads;
+  if (pool != nullptr) {
+    threads = pool->num_threads();
+  } else {
+    threads = options.num_threads == 0 ? ThreadPool::DefaultThreadCount()
+                                       : options.num_threads;
+    if (threads > 1) {
+      owned_pool = std::make_unique<ThreadPool>(threads);
+      pool = owned_pool.get();
+    }
+  }
+  const Observability& obs = options.observability;
+  Tracer* const tracer = obs.tracer;
+  Logger* const logger = obs.logger;
   // Null when no callback is injected, so every ReportProgress site
   // downstream is a single pointer test.
-  const ProgressFn* const progress = options.progress ? &options.progress
-                                                      : nullptr;
-  if (options.metrics != nullptr) {
-    if (pool != nullptr) pool->EnableMetrics(options.metrics);
+  const ProgressFn* const progress = obs.progress ? &obs.progress : nullptr;
+  if (obs.metrics != nullptr) {
+    if (pool != nullptr) pool->EnableMetrics(obs.metrics);
     if (problem.what_if != nullptr) {
-      problem.what_if->SetMetrics(options.metrics);
+      problem.what_if->SetMetrics(obs.metrics);
     }
   }
   if (logger != nullptr && pool != nullptr) pool->EnableLogging(logger);
@@ -145,6 +156,33 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     owned_budget.set_tracker(&tracker);
   }
 
+  const int64_t cpu_before = ProcessCpuTimeMicros();
+  const Stopwatch watch;
+
+  // Dominance pruning runs before dispatch so every method sees the
+  // reduced candidate space. The dispatched problem is a shallow copy
+  // sharing the what-if oracle; pruning's probe costs are folded into
+  // stats.costings after dispatch (sub-solvers reset stats wholesale).
+  const DesignProblem* active = &problem;
+  DesignProblem pruned_problem;
+  int64_t pruned_configs = 0;
+  int64_t prune_costings = 0;
+  if (options.prune_dominated && problem.what_if != nullptr &&
+      problem.candidates.size() > 1) {
+    CDPD_TRACE_SPAN(tracer, "solve.prune", "solver",
+                    static_cast<int64_t>(problem.candidates.size()));
+    const int64_t costings_before = problem.what_if->costings();
+    DominanceResult pruned =
+        PruneDominatedConfigs(problem, pool, budget, logger, &tracker);
+    prune_costings = problem.what_if->costings() - costings_before;
+    pruned_configs = pruned.pruned;
+    if (pruned.pruned > 0) {
+      pruned_problem = problem;
+      pruned_problem.candidates = problem.candidates.Subset(pruned.survivors);
+      active = &pruned_problem;
+    }
+  }
+
   // Cache traffic is attributed to this solve centrally — deltas of
   // the shared cache's counters around the dispatch — so compound
   // methods (hybrid, greedy-seq, merging) never double count. With a
@@ -158,8 +196,6 @@ Result<SolveResult> Solve(const DesignProblem& problem,
   const int64_t cache_evictions_before =
       cost_cache != nullptr ? cost_cache->evictions() : 0;
 
-  const int64_t cpu_before = ProcessCpuTimeMicros();
-  const Stopwatch watch;
   SolveResult result;
   result.tracer = tracer;
   CDPD_TRACE_SPAN(tracer, MethodSpanName(options.method), "solver",
@@ -169,22 +205,34 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+            SolveUnconstrained(*active, &result.stats, pool, tracer, budget,
                                progress, logger, &tracker, cost_cache));
         result.method_detail = "sequence-graph shortest path";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
-        CDPD_ASSIGN_OR_RETURN(
-            result.schedule,
-            SolveKAware(problem, *options.k, &result.stats, pool, tracer,
-                        budget, progress, logger, &tracker, cost_cache));
-        result.method_detail = "k-aware sequence graph";
+        const size_t chunks =
+            ResolveNumChunks(options.segmented, active->num_segments());
+        if (chunks >= 2) {
+          CDPD_ASSIGN_OR_RETURN(
+              result.schedule,
+              SolveKAwareSegmented(*active, *options.k, chunks, &result.stats,
+                                   pool, tracer, budget, progress, logger,
+                                   &tracker, cost_cache));
+          result.method_detail = "segment-parallel k-aware (" +
+                                 std::to_string(chunks) + " chunks)";
+        } else {
+          CDPD_ASSIGN_OR_RETURN(
+              result.schedule,
+              SolveKAware(*active, *options.k, &result.stats, pool, tracer,
+                          budget, progress, logger, &tracker, cost_cache));
+          result.method_detail = "k-aware sequence graph";
+        }
       }
       break;
     }
     case OptimizerMethod::kGreedySeq: {
       CDPD_ASSIGN_OR_RETURN(GreedySeqResult greedy_result,
-                            SolveGreedySeq(problem, options.k, options.greedy,
+                            SolveGreedySeq(*active, options.k, options.greedy,
                                            pool, tracer, budget, progress,
                                            logger, &tracker, cost_cache));
       result.schedule = std::move(greedy_result.schedule);
@@ -199,7 +247,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     case OptimizerMethod::kMerging: {
       CDPD_ASSIGN_OR_RETURN(
           DesignSchedule unconstrained,
-          SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+          SolveUnconstrained(*active, &result.stats, pool, tracer, budget,
                              progress, logger, &tracker, cost_cache));
       result.unconstrained_cost = unconstrained.total_cost;
       if (!options.k.has_value()) {
@@ -209,7 +257,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
         SolveStats merge_stats;
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            MergeToConstraint(problem, unconstrained, *options.k,
+            MergeToConstraint(*active, unconstrained, *options.k,
                               &merge_stats, pool, tracer, budget, progress,
                               logger, &tracker));
         result.stats.Accumulate(merge_stats);
@@ -222,14 +270,14 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+            SolveUnconstrained(*active, &result.stats, pool, tracer, budget,
                                progress, logger, &tracker, cost_cache));
         result.method_detail = "ranking (no constraint; shortest path)";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveByRanking(problem, *options.k, options.ranking_max_paths,
+            SolveByRanking(*active, *options.k, options.ranking_max_paths,
                            &result.stats, pool, tracer, budget, progress,
                            logger, &tracker, cost_cache));
         result.method_detail =
@@ -241,14 +289,14 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       if (!options.k.has_value()) {
         CDPD_ASSIGN_OR_RETURN(
             result.schedule,
-            SolveUnconstrained(problem, &result.stats, pool, tracer, budget,
+            SolveUnconstrained(*active, &result.stats, pool, tracer, budget,
                                progress, logger, &tracker, cost_cache));
         result.method_detail = "hybrid (no constraint; shortest path)";
         result.unconstrained_cost = result.schedule.total_cost;
       } else {
         CDPD_ASSIGN_OR_RETURN(
             HybridResult hybrid,
-            SolveHybrid(problem, *options.k, pool, tracer, budget, progress,
+            SolveHybrid(*active, *options.k, pool, tracer, budget, progress,
                         logger, &tracker, cost_cache));
         result.schedule = std::move(hybrid.schedule);
         result.stats = hybrid.stats;
@@ -260,6 +308,10 @@ Result<SolveResult> Solve(const DesignProblem& problem,
       break;
     }
   }
+  // Pruning ran before the dispatched solver reset the stats, so its
+  // contribution is folded in here.
+  result.stats.pruned_configs = pruned_configs;
+  result.stats.costings += prune_costings;
   // The per-solver wall times cover their own phases; the top-level
   // clock covers dispatch plus pool setup and is what callers see.
   result.stats.wall_seconds = watch.ElapsedSeconds();
@@ -276,7 +328,7 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     // shows at a glance whether the precompute ran warm or cold.
     TraceSpan cache_span(tracer, "solve.cost_cache", "solver");
     cache_span.set_arg(result.stats.cost_cache_hits);
-    cost_cache->PublishTo(options.metrics);
+    cost_cache->PublishTo(obs.metrics);
   }
   result.stats.CaptureMemory(tracker);
   result.stats.memory_limit_hit = tracker.limit_exceeded();
@@ -287,9 +339,9 @@ Result<SolveResult> Solve(const DesignProblem& problem,
     result.stats.deadline_hit = true;
     result.stats.best_effort = true;
   }
-  result.stats.PublishTo(options.metrics);
-  tracker.PublishTo(options.metrics);
-  SampleProcessMemory(options.metrics);
+  result.stats.PublishTo(obs.metrics);
+  tracker.PublishTo(obs.metrics);
+  SampleProcessMemory(obs.metrics);
   // The attribution reads the finalized stats, so build it last. Pure
   // read-side pass over the memoized oracle; the schedule, cost, and
   // stats above are already fixed.

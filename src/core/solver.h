@@ -9,15 +9,13 @@
 #include <vector>
 
 #include "common/budget.h"
-#include "common/log.h"
-#include "common/metrics.h"
-#include "common/progress.h"
+#include "common/observability.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
-#include "common/tracing.h"
 #include "core/design_problem.h"
 #include "core/explain.h"
 #include "core/greedy_seq.h"
+#include "core/segment_solver.h"
 #include "core/solve_stats.h"
 #include "cost/cost_cache.h"
 
@@ -49,33 +47,49 @@ struct SolveOptions {
   /// environment variable, else the hardware concurrency); 1 = serial.
   /// Results are identical for any value.
   int num_threads = 0;
+  /// Borrowed worker pool (optional — must outlive the Solve call).
+  /// When set it overrides num_threads and the solve spins up no pool
+  /// of its own; this is how SolverSession amortizes thread start-up
+  /// across repeated Solve() calls. Safe to share across sequential
+  /// solves; results are identical either way.
+  ThreadPool* pool = nullptr;
   /// Enumeration cap for the ranking method.
   int64_t ranking_max_paths = 1'000'000;
   /// GREEDY-SEQ parameters (candidate indexes + per-config cap); only
   /// read when method == kGreedySeq.
   GreedySeqOptions greedy;
-  /// Observability injection points (both optional, both borrowed —
-  /// must outlive the Solve call). `metrics` receives the "solver.*"
+  /// The observability sinks in one bundle (all optional, all
+  /// borrowed — must outlive the Solve call; see
+  /// common/observability.h). `metrics` receives the "solver.*"
   /// counters (via SolveStats::PublishTo), the what-if engine's
   /// "whatif.*" metrics, and the owned pool's "threadpool.*" metrics;
-  /// `tracer` records a "solve" span plus per-stage solver spans.
-  /// Neither perturbs results: schedules, costs, and counters are
-  /// byte-identical with or without them, for any thread count.
-  MetricsRegistry* metrics = nullptr;
-  Tracer* tracer = nullptr;
-  /// Structured JSONL logger (optional, borrowed — must outlive the
-  /// Solve call). Receives phase start/end events, candidate-set
-  /// sizes, anytime-fallback warnings, and deadline hits from every
-  /// method. Null = disabled: each instrumentation site then costs one
-  /// pointer test, the same contract as `metrics`/`tracer` (and the
-  /// CDPD_DISABLE_LOGGING build removes the sites outright).
-  Logger* logger = nullptr;
-  /// Progress callback, invoked at the solvers' existing budget poll
-  /// sites (precompute shards, DP stages, merging rounds, ranked
-  /// paths). MUST be thread-safe — precompute shards report from
-  /// worker threads. Empty = disabled at the same one-test cost.
-  /// Observational only: results are identical with or without it.
-  ProgressFn progress;
+  /// `tracer` records a "solve" span plus per-phase solver spans;
+  /// `logger` gets phase start/end events, candidate-set sizes,
+  /// anytime-fallback warnings, and deadline hits; `progress` is
+  /// invoked at the solvers' budget poll sites (MUST be thread-safe —
+  /// precompute shards report from worker threads). Unset sinks cost
+  /// one pointer test per site. None perturb results: schedules,
+  /// costs, and counters are byte-identical with or without them, for
+  /// any thread count.
+  Observability observability;
+
+  /// Drop candidate configurations that provably cannot appear in any
+  /// optimal schedule (see advisor/dominance.h for the exactness
+  /// argument) before dispatching to the method. Exact for every
+  /// method: the optimal cost is unchanged, though a method may return
+  /// a different cost-identical schedule when the pruned configuration
+  /// was one of several optima. The pruning pass probes O(shapes * m +
+  /// m^2) costs up front — worth it when m is large or n is huge
+  /// (every DP stage then scans fewer configs), skippable when m is
+  /// already tiny. stats.pruned_configs reports the drop count.
+  bool prune_dominated = false;
+
+  /// Segment-parallel solving of the k-aware DP (method == kOptimal
+  /// with k set only; see core/segment_solver.h). The default
+  /// (num_chunks = 0, auto) engages chunking only when the stage
+  /// sequence is long enough to amortize it, so short solves are
+  /// byte-identical to the monolithic path.
+  SegmentSolveOptions segmented;
 
   /// Build a per-transition EXEC/TRANS attribution of the returned
   /// schedule into SolveResult::explain (see core/explain.h). Costs
@@ -122,8 +136,9 @@ struct SolveOptions {
 
   /// All option validation in one place: k >= 0 when set,
   /// num_threads >= 0, ranking_max_paths > 0, deadline >= 0 when set,
-  /// memory_limit_bytes > 0 when set, and greedy candidate indexes
-  /// present for kGreedySeq.
+  /// memory_limit_bytes > 0 when set, greedy candidate indexes
+  /// present for kGreedySeq, and sensible segment widths
+  /// (segmented.Validate()).
   Status Validate() const;
 };
 

@@ -96,6 +96,36 @@ WhatIfEngine::WhatIfEngine(const CostModel* model,
       }
     }
   }
+  // Workload-wide profile: the per-segment profiles merged by
+  // fingerprint (with a full equality check so a fingerprint collision
+  // cannot merge distinct shapes), keeping first-appearance order —
+  // segment order, then within-segment profile order — so the profile
+  // is deterministic for a given statement sequence.
+  std::unordered_map<uint64_t, std::vector<size_t>> by_fingerprint;
+  for (const std::vector<ProfileEntry>& profile : profiles_) {
+    for (const ProfileEntry& entry : profile) {
+      bool merged = false;
+      for (const size_t at : by_fingerprint[entry.fingerprint]) {
+        if (workload_profile_[at].representative == entry.representative) {
+          workload_profile_[at].count += entry.count;
+          merged = true;
+          break;
+        }
+      }
+      if (!merged) {
+        by_fingerprint[entry.fingerprint].push_back(workload_profile_.size());
+        workload_profile_.push_back(WorkloadShape{
+            entry.representative, entry.count, entry.fingerprint});
+      }
+    }
+  }
+}
+
+double WhatIfEngine::ShapeCost(const WorkloadShape& shape,
+                               const Configuration& config) const {
+  costings_.fetch_add(1, std::memory_order_relaxed);
+  if (metrics_costings_ != nullptr) metrics_costings_->Add(1);
+  return model_->StatementCost(shape.representative, config);
 }
 
 double WhatIfEngine::ComputeSegmentCost(size_t segment,

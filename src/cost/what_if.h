@@ -24,6 +24,19 @@
 
 namespace cdpd {
 
+/// One literal-erased statement shape aggregated over the *whole*
+/// workload: the representative statement, its total multiplicity
+/// across every segment, and its 64-bit fingerprint (the persistent
+/// cost cache's statement key). Because every segment's EXEC cost is a
+/// nonnegative-weighted sum of per-shape costs, any pointwise
+/// inequality over these shapes transfers to every segment — the fact
+/// dominance pruning (advisor/dominance.h) is built on.
+struct WorkloadShape {
+  BoundStatement representative;
+  int64_t count = 0;
+  uint64_t fingerprint = 0;
+};
+
 /// Dense EXEC/TRANS lookup tables over a pinned CandidateSpace —
 /// the read-only phase the graph solvers consume after
 /// WhatIfEngine::PrecomputeCostMatrix. Once built, every cost probe of
@@ -150,6 +163,24 @@ class WhatIfEngine {
   const CostModel& model() const { return *model_; }
   size_t num_segments() const { return segments_.size(); }
   const std::vector<Segment>& segments() const { return segments_; }
+
+  /// The workload-wide shape profile: every distinct literal-erased
+  /// statement shape with its total multiplicity, in first-appearance
+  /// (= statement) order. EXEC(S_i, C) is, for every segment i, a
+  /// nonnegative-weighted sum of StatementCost over a subset of these
+  /// shapes — dominance pruning probes them instead of the full n x m
+  /// EXEC matrix, so its cost is |shapes| x m costings however long
+  /// the statement sequence is.
+  const std::vector<WorkloadShape>& workload_profile() const {
+    return workload_profile_;
+  }
+
+  /// StatementCost(shape.representative, config), counted as one
+  /// what-if costing (it is one model probe, same as the profile
+  /// entries behind SegmentCost). Not memoized — callers (dominance
+  /// pruning) probe each (shape, config) pair once.
+  double ShapeCost(const WorkloadShape& shape,
+                   const Configuration& config) const;
 
   /// EXEC(S_i, config), memoized. Safe to call concurrently.
   double SegmentCost(size_t segment, const Configuration& config) const;
@@ -287,6 +318,9 @@ class WhatIfEngine {
   const CostModel* model_;
   std::vector<Segment> segments_;
   std::vector<std::vector<ProfileEntry>> profiles_;  // Per segment.
+  // The per-segment profiles merged by fingerprint, first appearance
+  // first (built once in the constructor; immutable afterwards).
+  std::vector<WorkloadShape> workload_profile_;
   mutable std::array<CacheShard, kCacheShards> shards_;
   mutable std::atomic<int64_t> costings_{0};
   mutable std::atomic<int64_t> cache_hits_{0};

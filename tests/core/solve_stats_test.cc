@@ -29,6 +29,9 @@ SolveStats MakeStats() {
   stats.paths_enumerated = 5;
   stats.merge_steps = 4;
   stats.candidate_evaluations = 9;
+  stats.pruned_configs = 3;
+  stats.segment_chunks = 6;
+  stats.stitch_window = 5;
   stats.deadline_hit = true;
   stats.best_effort = true;
   stats.peak_bytes_total = 4096;
@@ -53,6 +56,9 @@ TEST(SolveStatsTest, ToJsonEmitsEveryFieldWithMicrosecondRounding) {
   EXPECT_NE(json.find("\"paths_enumerated\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"merge_steps\": 4"), std::string::npos);
   EXPECT_NE(json.find("\"candidate_evaluations\": 9"), std::string::npos);
+  EXPECT_NE(json.find("\"pruned_configs\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\"segment_chunks\": 6"), std::string::npos);
+  EXPECT_NE(json.find("\"stitch_window\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"deadline_hit\": true"), std::string::npos);
   EXPECT_NE(json.find("\"best_effort\": true"), std::string::npos);
   EXPECT_NE(json.find("\"cpu_us\": 500000"), std::string::npos);
@@ -91,10 +97,16 @@ TEST(SolveStatsTest, AccumulatedSolvesSerializeTheirSums) {
   first.wall_seconds = 0.25;
   first.costings = 100;
   first.threads_used = 2;
+  first.pruned_configs = 2;
+  first.segment_chunks = 8;
+  first.stitch_window = 3;
   SolveStats second;
   second.wall_seconds = 0.5;
   second.costings = 50;
   second.threads_used = 4;
+  second.pruned_configs = 3;
+  second.segment_chunks = 4;
+  second.stitch_window = 5;
   first.PublishTo(&registry);
   second.PublishTo(&registry);
 
@@ -102,7 +114,11 @@ TEST(SolveStatsTest, AccumulatedSolvesSerializeTheirSums) {
   summed.Accumulate(second);
   const SolveStats back = SolveStats::FromSnapshot(registry.Snapshot());
   // The registry accumulates exactly like Accumulate: counters add,
-  // threads_used keeps the max — so the JSON views agree.
+  // shape gauges (threads_used, segment_chunks, stitch_window) keep
+  // the max — so the JSON views agree.
+  EXPECT_EQ(summed.pruned_configs, 5);
+  EXPECT_EQ(summed.segment_chunks, 8);
+  EXPECT_EQ(summed.stitch_window, 5);
   EXPECT_EQ(back.ToJson(), summed.ToJson());
 }
 

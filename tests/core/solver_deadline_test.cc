@@ -167,7 +167,7 @@ TEST(SolverDeadlineTest, DeadlineHitIsPublishedAsAMetric) {
   SolveOptions options = MethodOptions(*fixture, OptimizerMethod::kGreedySeq, 2);
   options.deadline = std::chrono::milliseconds(0);
   MetricsRegistry metrics;
-  options.metrics = &metrics;
+  options.observability.metrics = &metrics;
   auto result = Solve(fixture->problem, options);
   ASSERT_TRUE(result.ok()) << result.status();
   ASSERT_TRUE(result->stats.deadline_hit);

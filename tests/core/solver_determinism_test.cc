@@ -37,8 +37,8 @@ SolveResult SolveFresh(uint64_t seed, OptimizerMethod method,
   options.method = method;
   options.k = k;
   options.num_threads = threads;
-  options.metrics = metrics;
-  options.tracer = tracer;
+  options.observability.metrics = metrics;
+  options.observability.tracer = tracer;
   if (method == OptimizerMethod::kGreedySeq) {
     options.greedy.candidate_indexes =
         MakePaperCandidateIndexes(fixture->schema);

@@ -170,7 +170,7 @@ TEST(SolverMemoryTest, StatsAndMetricsCarryTheMemoryTelemetry) {
                                    /*block_size=*/10);
   MetricsRegistry registry;
   SolveOptions options = BaseOptions(*fixture, OptimizerMethod::kOptimal, 2);
-  options.metrics = &registry;
+  options.observability.metrics = &registry;
   const SolveResult result = Solve(fixture->problem, options).value();
   const MetricsSnapshot snapshot = registry.Snapshot();
   EXPECT_EQ(snapshot.GaugeValue("solver.peak_bytes_total"),
@@ -195,7 +195,7 @@ TEST(SolverMemoryTest, MemoryLimitHitRoundTripsThroughMetrics) {
                                    /*block_size=*/10);
   MetricsRegistry registry;
   SolveOptions options = BaseOptions(*fixture, OptimizerMethod::kOptimal, 2);
-  options.metrics = &registry;
+  options.observability.metrics = &registry;
   options.memory_limit_bytes = 1024;
   const SolveResult result = Solve(fixture->problem, options).value();
   ASSERT_TRUE(result.stats.memory_limit_hit);

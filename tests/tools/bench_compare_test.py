@@ -42,7 +42,8 @@ def report(bench, cases, schema_version=3):
 
 
 def case(name, wall_seconds, peak_bytes=None, cpu_seconds=0.0,
-         relaxations_per_sec=None, cache_hit_rate=None):
+         relaxations_per_sec=None, cache_hit_rate=None,
+         statements_per_sec=None):
     c = {"name": name, "wall_seconds": wall_seconds,
          "cpu_seconds": cpu_seconds, "metrics": {}}
     if peak_bytes is not None:
@@ -51,6 +52,8 @@ def case(name, wall_seconds, peak_bytes=None, cpu_seconds=0.0,
         c["relaxations_per_sec"] = relaxations_per_sec
     if cache_hit_rate is not None:
         c["cache_hit_rate"] = cache_hit_rate
+    if statements_per_sec is not None:
+        c["statements_per_sec"] = statements_per_sec
     return c
 
 
@@ -186,6 +189,27 @@ class BenchCompareTest(unittest.TestCase):
                    report("r", [case("c", 0.001, relaxations_per_sec=9e8)]))
         self.write(self.cur_dir,
                    report("r", [case("c", 0.001, relaxations_per_sec=1e8)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_scaling_throughput_drop_fails(self):
+        self.write(self.base_dir,
+                   report("s", [case("n1M_m12", 1.0,
+                                     statements_per_sec=1e6)]))
+        self.write(self.cur_dir,
+                   report("s", [case("n1M_m12", 1.0,
+                                     statements_per_sec=5e5)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("[stmt]", result.stdout)
+
+    def test_scaling_throughput_wobble_within_threshold_passes(self):
+        self.write(self.base_dir,
+                   report("s", [case("n1M_m12", 1.0,
+                                     statements_per_sec=1e6)]))
+        self.write(self.cur_dir,
+                   report("s", [case("n1M_m12", 1.0,
+                                     statements_per_sec=0.9e6)]))
         result = self.run_compare()
         self.assertEqual(result.returncode, 0, result.stdout)
 
