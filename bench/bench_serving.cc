@@ -1,0 +1,227 @@
+// Serving throughput and latency of the resident advisor. Starts an
+// in-process AdvisorServer on an ephemeral loopback port, pre-ingests
+// a sliding window of paper-style statements, then drives it open-loop
+// from N client connections (real sockets, real frames) through four
+// load shapes:
+//
+//   ping            transport + frame floor
+//   whatif          configuration costing against the resident window
+//   recommend_warm  deadline-free re-solves (resident-solution reuse)
+//   mixed           90% whatif / 8% recommend / 2% ingest — ingests
+//                   slide the window, so the recommends re-solve
+//                   warm-started instead of reusing the resident answer
+//
+// Every case reports requests_per_sec (the schema-v3 column
+// tools/bench_compare gates on — drops are regressions) plus
+// client-observed p50/p95/p99 latency measured through a
+// MetricsRegistry histogram. The bench fails when the mixed case
+// cannot sustain kMinRequestsPerSec: the serving tier's contract is
+// >= 1000 req/s on a development machine.
+//
+// Sizing overrides: CDPD_SERVING_CONNS (connections, default 8) and
+// CDPD_SERVING_REQS (requests per connection per case, default 1500).
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+#include "server/advisor_server.h"
+#include "server/client.h"
+
+namespace cdpd {
+namespace {
+
+constexpr double kMinRequestsPerSec = 1000.0;
+
+int64_t EnvSize(const char* name, int64_t fallback) {
+  if (const char* env = std::getenv(name)) {
+    const int64_t v = std::atoll(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+/// A paper-shaped trace block: selects over every single-column
+/// candidate plus one update, ';'-terminated as ReadTrace expects.
+std::string TraceBlock() {
+  return "SELECT a FROM t WHERE a = 1;\n"
+         "SELECT b FROM t WHERE b = 2;\n"
+         "SELECT c FROM t WHERE c = 3;\n"
+         "SELECT d FROM t WHERE d = 4;\n"
+         "UPDATE t SET a = 5 WHERE b = 6;\n";
+}
+
+struct CaseResult {
+  double wall_seconds = 0.0;
+  int64_t requests = 0;
+  int64_t errors = 0;
+  HistogramStats latency;  // client-observed, microseconds
+};
+
+/// Runs one load shape: `conns` connections, each issuing
+/// `reqs_per_conn` back-to-back requests produced by `issue(client, i)`
+/// (open loop — the next request leaves as soon as the previous
+/// response lands). Latency is recorded client-side into a registry
+/// histogram so the percentiles come out of the same machinery the
+/// server uses for server.request_us.
+template <typename IssueFn>
+CaseResult RunCase(int port, int conns, int64_t reqs_per_conn,
+                   IssueFn issue) {
+  MetricsRegistry registry;
+  Histogram* latency_us = registry.histogram("client.request_us");
+  std::atomic<int64_t> errors{0};
+
+  std::vector<AdvisorClient> clients;
+  clients.reserve(static_cast<size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    Result<AdvisorClient> client = AdvisorClient::Connect("127.0.0.1", port);
+    if (!client.ok()) {
+      std::fprintf(stderr, "connect failed: %s\n",
+                   client.status().ToString().c_str());
+      std::exit(1);
+    }
+    clients.push_back(std::move(client).value());
+  }
+
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(conns));
+  for (int c = 0; c < conns; ++c) {
+    threads.emplace_back([&, c] {
+      AdvisorClient& client = clients[static_cast<size_t>(c)];
+      for (int64_t i = 0; i < reqs_per_conn; ++i) {
+        Stopwatch request_watch;
+        if (!issue(client, i)) errors.fetch_add(1);
+        latency_us->Record(request_watch.ElapsedSeconds() * 1e6);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  CaseResult result;
+  result.wall_seconds = watch.ElapsedSeconds();
+  result.requests = static_cast<int64_t>(conns) * reqs_per_conn;
+  result.errors = errors.load();
+  result.latency = registry.Snapshot().histograms.at("client.request_us");
+  return result;
+}
+
+void ReportCase(bench_util::BenchReport* report, const std::string& name,
+                int conns, const CaseResult& r) {
+  const double rps =
+      r.wall_seconds > 0.0 ? r.requests / r.wall_seconds : 0.0;
+  std::printf("%-16s %8lld req %8.0f req/s   p50 %6.0f us   p95 %6.0f us"
+              "   p99 %6.0f us   errors %lld\n",
+              name.c_str(), static_cast<long long>(r.requests), rps,
+              r.latency.p50, r.latency.p95, r.latency.p99,
+              static_cast<long long>(r.errors));
+  report->AddServingCase(name, r.wall_seconds, r.requests,
+                         {{"connections", static_cast<double>(conns)},
+                          {"errors", static_cast<double>(r.errors)},
+                          {"p50_us", r.latency.p50},
+                          {"p95_us", r.latency.p95},
+                          {"p99_us", r.latency.p99}});
+  if (r.errors > 0) {
+    std::fprintf(stderr, "case %s had %lld request errors\n", name.c_str(),
+                 static_cast<long long>(r.errors));
+    std::exit(1);
+  }
+}
+
+void Run(bench_util::BenchReport* report) {
+  using bench_util::PrintHeader;
+  using bench_util::PrintRule;
+
+  const int conns = static_cast<int>(EnvSize("CDPD_SERVING_CONNS", 8));
+  const int64_t reqs = EnvSize("CDPD_SERVING_REQS", 1500);
+
+  ServiceOptions options;
+  options.rows = bench_util::ExecutionRows();
+  options.window_statements = 2'000;
+  AdvisorService service(std::move(options));
+  AdvisorServer server(&service);
+  if (const Status status = server.Start(ServerOptions{}); !status.ok()) {
+    std::fprintf(stderr, "cannot start server: %s\n",
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  const int port = server.port();
+
+  PrintHeader("Serving: advisor_server over loopback TCP");
+  std::printf("%d connections x %lld requests per case, window %zu "
+              "statements, port %d\n\n",
+              conns, static_cast<long long>(reqs),
+              service.options().window_statements, port);
+
+  // Seed the resident window: 120 blocks -> 6 segments at the default
+  // block size, enough for recommends to have real structure.
+  {
+    Result<AdvisorClient> seeder = AdvisorClient::Connect("127.0.0.1", port);
+    if (!seeder.ok()) std::exit(1);
+    std::string batch;
+    for (int i = 0; i < 24; ++i) batch += TraceBlock();
+    for (int i = 0; i < 5; ++i) {
+      if (!seeder->Ingest(batch).ok()) std::exit(1);
+    }
+  }
+
+  ReportCase(report, "ping", conns,
+             RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t) {
+               return client.Ping().ok();
+             }));
+  ReportCase(report, "whatif", conns,
+             RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t i) {
+               static const char* kSpecs[] = {"a", "a;b", "c,d", "{}"};
+               return client.WhatIf(kSpecs[i % 4]).ok();
+             }));
+  ReportCase(report, "recommend_warm", conns,
+             RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t) {
+               return client.Recommend("k=2\nmethod=optimal").ok();
+             }));
+  const std::string ingest_batch = TraceBlock();
+  const CaseResult mixed =
+      RunCase(port, conns, reqs,
+              [&ingest_batch](AdvisorClient& client, int64_t i) {
+                const int64_t r = i % 100;
+                if (r < 90) return client.WhatIf("a;c,d").ok();
+                if (r < 98) return client.Recommend("k=2").ok();
+                return client.Ingest(ingest_batch).ok();
+              });
+  ReportCase(report, "mixed", conns, mixed);
+
+  const MetricsSnapshot server_side = service.registry()->Snapshot();
+  const HistogramStats server_lat =
+      server_side.histograms.count("server.request_us")
+          ? server_side.histograms.at("server.request_us")
+          : HistogramStats{};
+  PrintRule();
+  std::printf("server-side request_us over all cases: count %lld, "
+              "p50 %.0f, p95 %.0f, p99 %.0f\n",
+              static_cast<long long>(server_lat.count), server_lat.p50,
+              server_lat.p95, server_lat.p99);
+
+  const double mixed_rps = mixed.requests / mixed.wall_seconds;
+  std::printf("mixed sustained %.0f req/s (floor %.0f) — %s\n", mixed_rps,
+              kMinRequestsPerSec,
+              mixed_rps >= kMinRequestsPerSec ? "ok" : "FAIL");
+  PrintRule();
+  server.Shutdown();
+  if (mixed_rps < kMinRequestsPerSec) std::exit(1);
+}
+
+}  // namespace
+}  // namespace cdpd
+
+int main() {
+  cdpd::bench_util::BenchReport report("serving");
+  cdpd::Run(&report);
+  report.Write();
+  cdpd::bench_util::WriteObservabilityArtifacts();
+  return 0;
+}

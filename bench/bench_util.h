@@ -129,6 +129,7 @@ inline void WriteObservabilityArtifacts() {
 ///        "relaxations_per_sec": 2.1e8,      // solver cases only
 ///        "cache_hit_rate": 0.97,            // cost-cache cases only
 ///        "statements_per_sec": 3.4e5,       // scaling cases only
+///        "requests_per_sec": 1.2e4,         // serving cases only
 ///        "metrics": {"costings": 831, ...}},
 ///       ...
 ///     ]
@@ -158,6 +159,23 @@ class BenchReport {
                double cpu_seconds = 0.0, int64_t peak_bytes = 0) {
     cases_.push_back(Case{std::move(name), wall_seconds, std::move(metrics),
                           /*stats_json=*/"", cpu_seconds, peak_bytes});
+  }
+
+  /// Records one measured serving case: `requests` completed requests
+  /// driven open-loop for `wall_seconds`. Emits the v3
+  /// requests_per_sec column, which tools/bench_compare gates on
+  /// (drops are regressions). Latency percentiles and any other flat
+  /// numbers ride along in `metrics`.
+  void AddServingCase(std::string name, double wall_seconds,
+                      int64_t requests,
+                      std::vector<std::pair<std::string, double>> metrics = {},
+                      double cpu_seconds = 0.0, int64_t peak_bytes = 0) {
+    Case c{std::move(name), wall_seconds, std::move(metrics),
+           /*stats_json=*/"", cpu_seconds, peak_bytes};
+    if (requests > 0 && wall_seconds > 0.0) {
+      c.requests_per_sec = static_cast<double>(requests) / wall_seconds;
+    }
+    cases_.push_back(std::move(c));
   }
 
   /// Records one measured solve, embedding the full SolveStats
@@ -217,6 +235,9 @@ class BenchReport {
       }
       if (c.statements_per_sec > 0.0) {
         out += ",\"statements_per_sec\":" + JsonDouble(c.statements_per_sec);
+      }
+      if (c.requests_per_sec > 0.0) {
+        out += ",\"requests_per_sec\":" + JsonDouble(c.requests_per_sec);
       }
       if (c.cache_hit_rate >= 0.0) {
         out += ",\"cache_hit_rate\":" + JsonDouble(c.cache_hit_rate);
@@ -281,6 +302,7 @@ class BenchReport {
     double relaxations_per_sec = 0.0;
     double cache_hit_rate = -1.0;
     double statements_per_sec = 0.0;
+    double requests_per_sec = 0.0;
   };
 
   std::string bench_;

@@ -15,9 +15,12 @@
 // `advisor_cli --help` for the full flag reference, including the
 // observability artifacts (metrics, traces, explain reports, logs).
 
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <mutex>
+#include <set>
 #include <string>
 
 #if defined(_WIN32)
@@ -124,68 +127,132 @@ void PrintHelp(std::FILE* out) {
       "  --help                this text\n");
 }
 
+/// Strict base-10 parse: the whole string must be a number. atoll's
+/// silent garbage-to-0 coercion turned typos like `--rows 25O000` into
+/// a valid-looking run over the wrong table size.
+bool ParseInt64(const std::string& text, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno != 0 || end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
 bool ParseArgs(int argc, char** argv, CliArgs* args) {
+  std::set<std::string> seen;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
-    auto next = [&](int64_t* out) {
-      if (i + 1 >= argc) return false;
-      *out = std::atoll(argv[++i]);
-      return true;
-    };
-    if (arg == "--k") {
-      if (!next(&args->k)) return false;
-    } else if (arg == "--block") {
-      int64_t value = 0;
-      if (!next(&value) || value <= 0) return false;
-      args->block = static_cast<size_t>(value);
-    } else if (arg == "--threads") {
-      if (!next(&args->threads) || args->threads < 0) return false;
-    } else if (arg == "--rows") {
-      if (!next(&args->rows) || args->rows <= 0) return false;
-    } else if (arg == "--deadline-ms") {
-      if (!next(&args->deadline_ms) || args->deadline_ms < 0) return false;
-    } else if (arg == "--memory-limit-bytes") {
-      if (!next(&args->memory_limit_bytes) || args->memory_limit_bytes <= 0) {
+    if (arg.rfind('-', 0) != 0) {
+      if (!args->trace_path.empty()) {
+        std::fprintf(stderr,
+                     "unexpected positional argument '%s' (the trace is "
+                     "already '%s')\n",
+                     arg.c_str(), args->trace_path.c_str());
         return false;
       }
-    } else if (arg == "--segments") {
-      if (!next(&args->segments) || args->segments < 0) return false;
-    } else if (arg == "--session-reuse") {
-      if (!next(&args->session_reuse) || args->session_reuse < 1) return false;
-    } else if (arg == "--prune") {
-      args->prune = true;
-    } else if (arg == "--method") {
-      if (i + 1 >= argc) return false;
-      args->method = argv[++i];
-    } else if (arg == "--calibrate") {
-      args->calibrate = true;
-    } else if (arg == "--emit-ddl") {
-      args->emit_ddl = true;
-    } else if (arg == "--explain") {
-      args->explain = true;
-    } else if (arg == "--mem-stats") {
-      args->mem_stats = true;
-    } else if (arg == "--quiet") {
-      args->quiet = true;
-    } else if (arg == "--help" || arg == "-h") {
-      args->help = true;
-    } else if (arg.rfind("--metrics-out=", 0) == 0) {
-      args->metrics_out = arg.substr(std::strlen("--metrics-out="));
-      if (args->metrics_out.empty()) return false;
-    } else if (arg.rfind("--trace-out=", 0) == 0) {
-      args->trace_out = arg.substr(std::strlen("--trace-out="));
-      if (args->trace_out.empty()) return false;
-    } else if (arg.rfind("--explain-out=", 0) == 0) {
-      args->explain_out = arg.substr(std::strlen("--explain-out="));
-      if (args->explain_out.empty()) return false;
-    } else if (arg.rfind("--log-out=", 0) == 0) {
-      args->log_out = arg.substr(std::strlen("--log-out="));
-      if (args->log_out.empty()) return false;
-    } else if (arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
-      return false;
-    } else {
       args->trace_path = arg;
+      continue;
+    }
+    // Both `--flag value` and `--flag=value` spellings are accepted.
+    std::string name = arg;
+    std::string value;
+    bool has_value = false;
+    if (const size_t eq = arg.find('='); eq != std::string::npos) {
+      name = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+      has_value = true;
+    }
+    if (name != "--help" && name != "-h" && !seen.insert(name).second) {
+      std::fprintf(stderr, "duplicate flag %s\n", name.c_str());
+      return false;
+    }
+    auto take_string = [&](std::string* out) {
+      if (has_value) {
+        *out = value;
+      } else if (i + 1 < argc) {
+        *out = argv[++i];
+      } else {
+        std::fprintf(stderr, "flag %s needs a value\n", name.c_str());
+        return false;
+      }
+      if (out->empty()) {
+        std::fprintf(stderr, "flag %s needs a non-empty value\n",
+                     name.c_str());
+        return false;
+      }
+      return true;
+    };
+    auto take_int = [&](int64_t* out) {
+      std::string text;
+      if (!take_string(&text)) return false;
+      if (!ParseInt64(text, out)) {
+        std::fprintf(stderr, "flag %s needs an integer, got '%s'\n",
+                     name.c_str(), text.c_str());
+        return false;
+      }
+      return true;
+    };
+    auto set_bool = [&](bool* out) {
+      if (has_value) {
+        std::fprintf(stderr, "flag %s takes no value\n", name.c_str());
+        return false;
+      }
+      *out = true;
+      return true;
+    };
+    if (name == "--k") {
+      if (!take_int(&args->k)) return false;
+    } else if (name == "--block") {
+      int64_t block = 0;
+      if (!take_int(&block) || block <= 0) return false;
+      args->block = static_cast<size_t>(block);
+    } else if (name == "--threads") {
+      if (!take_int(&args->threads) || args->threads < 0) return false;
+    } else if (name == "--rows") {
+      if (!take_int(&args->rows) || args->rows <= 0) return false;
+    } else if (name == "--deadline-ms") {
+      if (!take_int(&args->deadline_ms) || args->deadline_ms < 0) {
+        return false;
+      }
+    } else if (name == "--memory-limit-bytes") {
+      if (!take_int(&args->memory_limit_bytes) ||
+          args->memory_limit_bytes <= 0) {
+        return false;
+      }
+    } else if (name == "--segments") {
+      if (!take_int(&args->segments) || args->segments < 0) return false;
+    } else if (name == "--session-reuse") {
+      if (!take_int(&args->session_reuse) || args->session_reuse < 1) {
+        return false;
+      }
+    } else if (name == "--method") {
+      if (!take_string(&args->method)) return false;
+    } else if (name == "--metrics-out") {
+      if (!take_string(&args->metrics_out)) return false;
+    } else if (name == "--trace-out") {
+      if (!take_string(&args->trace_out)) return false;
+    } else if (name == "--explain-out") {
+      if (!take_string(&args->explain_out)) return false;
+    } else if (name == "--log-out") {
+      if (!take_string(&args->log_out)) return false;
+    } else if (name == "--prune") {
+      if (!set_bool(&args->prune)) return false;
+    } else if (name == "--calibrate") {
+      if (!set_bool(&args->calibrate)) return false;
+    } else if (name == "--emit-ddl") {
+      if (!set_bool(&args->emit_ddl)) return false;
+    } else if (name == "--explain") {
+      if (!set_bool(&args->explain)) return false;
+    } else if (name == "--mem-stats") {
+      if (!set_bool(&args->mem_stats)) return false;
+    } else if (name == "--quiet") {
+      if (!set_bool(&args->quiet)) return false;
+    } else if (name == "--help" || name == "-h") {
+      if (!set_bool(&args->help)) return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", name.c_str());
+      return false;
     }
   }
   return true;

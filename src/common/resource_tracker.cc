@@ -56,6 +56,23 @@ void ResourceTracker::Release(MemComponent component, int64_t bytes) {
   total_current_.fetch_sub(bytes, std::memory_order_relaxed);
 }
 
+int64_t ResourceTracker::ReleaseUpTo(MemComponent component, int64_t bytes) {
+  if (bytes <= 0) return 0;
+  Cell64& cell = Cell(component);
+  // CAS-clamp on the component gauge: concurrent evictors each release
+  // only what is actually charged, so the sum of releases never
+  // exceeds the sum of reservations.
+  int64_t seen = cell.current.load(std::memory_order_relaxed);
+  int64_t take = 0;
+  do {
+    take = seen < bytes ? seen : bytes;
+    if (take <= 0) return 0;
+  } while (!cell.current.compare_exchange_weak(seen, seen - take,
+                                               std::memory_order_relaxed));
+  total_current_.fetch_sub(take, std::memory_order_relaxed);
+  return take;
+}
+
 bool ResourceTracker::TryReserve(MemComponent component, int64_t bytes) {
   if (limit_bytes_ > 0) {
     // The gate is advisory (two threads may both pass and overshoot by

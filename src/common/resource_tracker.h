@@ -71,6 +71,15 @@ class ResourceTracker {
   /// flag: expiry is monotone, like a deadline.
   void Release(MemComponent component, int64_t bytes);
 
+  /// Releases min(bytes, current_bytes(component)) and returns the
+  /// amount actually released. This is the safe release for shared
+  /// structures (the persistent cost cache) that evict entries charged
+  /// by *several* trackers over their lifetime: the evicting solve
+  /// returns what it is still carrying, clamped so entries charged to
+  /// an earlier (possibly dead) tracker can never drive this one's
+  /// gauge negative. Like Release, never un-trips the limit flag.
+  int64_t ReleaseUpTo(MemComponent component, int64_t bytes);
+
   /// Pre-allocation gate: charges and returns true when the new total
   /// stays within the limit; otherwise charges *nothing*, trips the
   /// limit flag, and returns false (the caller skips the allocation

@@ -2,7 +2,7 @@
 
 namespace cdpd {
 
-bool CostCache::EnsureValid(uint64_t token) {
+bool CostCache::EnsureValid(uint64_t token, ResourceTracker* tracker) {
   if (token_.load(std::memory_order_acquire) == token) return false;
   // One validator at a time: concurrent EnsureValid calls with the
   // same new token clear once, and a mid-solve token change (two
@@ -18,7 +18,12 @@ bool CostCache::EnsureValid(uint64_t token) {
     shard.map.clear();
   }
   entries_.fetch_sub(dropped, std::memory_order_relaxed);
-  if (dropped > 0) evictions_.fetch_add(dropped, std::memory_order_relaxed);
+  if (dropped > 0) {
+    evictions_.fetch_add(dropped, std::memory_order_relaxed);
+    if (tracker != nullptr) {
+      tracker->ReleaseUpTo(MemComponent::kCostCache, dropped * kEntryBytes);
+    }
+  }
   // The first validation of a never-validated cache (token 0 is
   // reserved for that state) starts empty — nothing stale was dropped.
   if (previous != 0) {
@@ -43,14 +48,21 @@ bool CostCache::Lookup(uint64_t statement_fp, uint64_t config_mask,
   return true;
 }
 
-void CostCache::EvictForSpace(size_t first_shard, int64_t needed) {
+void CostCache::EvictForSpace(int64_t needed, ResourceTracker* tracker) {
   // Coarse shard-granularity eviction: sweep shards in a deterministic
-  // order starting past the inserting shard, dropping whole shards
-  // until the accounted footprint leaves room. Statement costs are
-  // cheap to recompute, so over-eviction only costs future misses.
-  for (size_t step = 1; step <= kShards; ++step) {
-    if (ApproxBytes() + needed <= max_bytes_) return;
-    Shard& shard = shards_[(first_shard + step) % kShards];
+  // rotating order — each episode resumes where the last one stopped,
+  // so sustained cap pressure cycles through all shards instead of
+  // repeatedly clearing the neighbours of whichever shard the hot keys
+  // hash to (the old key-derived start starved distant shards, letting
+  // their entries sit forever while near ones churned). Statement
+  // costs are cheap to recompute, so over-eviction only costs future
+  // misses.
+  int64_t dropped_total = 0;
+  for (size_t step = 0; step < kShards; ++step) {
+    if (ApproxBytes() + needed <= max_bytes_) break;
+    Shard& shard =
+        shards_[sweep_cursor_.fetch_add(1, std::memory_order_relaxed) %
+                kShards];
     int64_t dropped = 0;
     {
       std::lock_guard<std::mutex> lock(shard.mu);
@@ -60,7 +72,16 @@ void CostCache::EvictForSpace(size_t first_shard, int64_t needed) {
     if (dropped > 0) {
       entries_.fetch_sub(dropped, std::memory_order_relaxed);
       evictions_.fetch_add(dropped, std::memory_order_relaxed);
+      dropped_total += dropped;
     }
+  }
+  // Return the evicted entries' reservation to the inserting solve —
+  // exactly once, at the end of the sweep, clamped to what this
+  // tracker is actually carrying (entries charged by earlier trackers
+  // must not drive the gauge negative).
+  if (dropped_total > 0 && tracker != nullptr) {
+    tracker->ReleaseUpTo(MemComponent::kCostCache,
+                         dropped_total * kEntryBytes);
   }
 }
 
@@ -78,7 +99,7 @@ bool CostCache::Insert(uint64_t statement_fp, uint64_t config_mask,
     }
   }
   if (max_bytes_ > 0 && ApproxBytes() + kEntryBytes > max_bytes_) {
-    EvictForSpace(KeyHash()(key) % kShards, kEntryBytes);
+    EvictForSpace(kEntryBytes, tracker);
     if (ApproxBytes() + kEntryBytes > max_bytes_) return false;
   }
   // Charge the solve's budget before growing; a refusal trips the

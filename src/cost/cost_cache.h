@@ -69,8 +69,13 @@ class CostCache {
   /// Drops every entry unless the cache is already valid for `token`.
   /// Returns true when the cache was (re)validated by clearing, false
   /// when it was already valid. Call before a batch of Lookup/Insert
-  /// against one cost-model state.
-  bool EnsureValid(uint64_t token);
+  /// against one cost-model state. `tracker` (optional) is the calling
+  /// solve's ResourceTracker: the dropped entries' accounted bytes are
+  /// returned to it under MemComponent::kCostCache, clamped to what
+  /// that tracker is actually carrying (entries charged by an earlier,
+  /// possibly dead tracker release nothing — see
+  /// ResourceTracker::ReleaseUpTo).
+  bool EnsureValid(uint64_t token, ResourceTracker* tracker = nullptr);
 
   /// Cached cost of (statement fingerprint, config mask), if present.
   /// Counts a hit or a miss.
@@ -146,12 +151,18 @@ class CostCache {
     return shards_[KeyHash()(key) % kShards];
   }
 
-  /// Evicts whole shards (starting from `first_shard`, wrapping) until
-  /// at least `needed` accounted bytes are free under max_bytes_.
+  /// Evicts whole shards — resuming from where the previous sweep
+  /// stopped (a rotating cursor, so repeated cap-pressure episodes
+  /// visit every shard instead of starving the ones far from a hot
+  /// insert shard) — until at least `needed` accounted bytes are free
+  /// under max_bytes_. The dropped entries' bytes are returned to
+  /// `tracker` (clamped; see ReleaseUpTo) so the inserting solve's
+  /// kCostCache gauge tracks resident entries, not historical inserts.
   /// Caller must not hold any shard lock.
-  void EvictForSpace(size_t first_shard, int64_t needed);
+  void EvictForSpace(int64_t needed, ResourceTracker* tracker);
 
   const int64_t max_bytes_;
+  std::atomic<size_t> sweep_cursor_{0};
   mutable std::array<Shard, kShards> shards_;
   std::atomic<uint64_t> token_{0};
   std::atomic<int64_t> entries_{0};

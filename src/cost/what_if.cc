@@ -124,13 +124,17 @@ WhatIfEngine::WhatIfEngine(const CostModel* model,
 double WhatIfEngine::ShapeCost(const WorkloadShape& shape,
                                const Configuration& config) const {
   costings_.fetch_add(1, std::memory_order_relaxed);
-  if (metrics_costings_ != nullptr) metrics_costings_->Add(1);
+  if (Counter* sink = metrics_costings_.load(std::memory_order_relaxed)) {
+    sink->Add(1);
+  }
   return model_->StatementCost(shape.representative, config);
 }
 
 double WhatIfEngine::ComputeSegmentCost(size_t segment,
                                         const Configuration& config) const {
-  const auto start = metrics_segment_cost_us_ != nullptr
+  Histogram* const latency_sink =
+      metrics_segment_cost_us_.load(std::memory_order_relaxed);
+  const auto start = latency_sink != nullptr
                          ? std::chrono::steady_clock::now()
                          : std::chrono::steady_clock::time_point{};
   double cost = 0.0;
@@ -141,12 +145,13 @@ double WhatIfEngine::ComputeSegmentCost(size_t segment,
     ++costed;
   }
   costings_.fetch_add(costed, std::memory_order_relaxed);
-  if (metrics_costings_ != nullptr) metrics_costings_->Add(costed);
-  if (metrics_segment_cost_us_ != nullptr) {
-    metrics_segment_cost_us_->Record(
-        std::chrono::duration<double, std::micro>(
-            std::chrono::steady_clock::now() - start)
-            .count());
+  if (Counter* sink = metrics_costings_.load(std::memory_order_relaxed)) {
+    sink->Add(costed);
+  }
+  if (latency_sink != nullptr) {
+    latency_sink->Record(std::chrono::duration<double, std::micro>(
+                             std::chrono::steady_clock::now() - start)
+                             .count());
   }
   return cost;
 }
@@ -171,7 +176,9 @@ double WhatIfEngine::CachedSegmentCost(size_t segment,
   }
   if (costed > 0) {
     costings_.fetch_add(costed, std::memory_order_relaxed);
-    if (metrics_costings_ != nullptr) metrics_costings_->Add(costed);
+    if (Counter* sink = metrics_costings_.load(std::memory_order_relaxed)) {
+      sink->Add(costed);
+    }
   }
   return cost;
 }
@@ -189,7 +196,9 @@ double WhatIfEngine::SegmentCost(size_t segment,
   CacheKey key{segment, config};
   if (auto it = shard.memo.find(key); it != shard.memo.end()) {
     cache_hits_.fetch_add(1, std::memory_order_relaxed);
-    if (metrics_cache_hits_ != nullptr) metrics_cache_hits_->Add(1);
+    if (Counter* sink = metrics_cache_hits_.load(std::memory_order_relaxed)) {
+      sink->Add(1);
+    }
     return it->second;
   }
   const double cost = ComputeSegmentCost(segment, config);
@@ -256,7 +265,7 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
     uint64_t token = model_->Fingerprint();
     token ^= candidates.universe_fingerprint() * 0x9e3779b97f4a7c15ULL;
     if (token == 0) token = 1;  // 0 is CostCache's never-validated state.
-    cache->EnsureValid(token);
+    cache->EnsureValid(token, tracker);
   }
   CDPD_LOG(logger, LogLevel::kInfo, "whatif.precompute.start",
            LogField("segments", n), LogField("configs", m),
@@ -410,14 +419,20 @@ Result<CostMatrix> WhatIfEngine::PrecomputeCostMatrix(
 void WhatIfEngine::SetMetrics(MetricsRegistry* registry) const {
   if constexpr (!kMetricsCompiledIn) return;
   if (registry == nullptr) {
-    metrics_costings_ = nullptr;
-    metrics_cache_hits_ = nullptr;
-    metrics_segment_cost_us_ = nullptr;
+    metrics_costings_.store(nullptr, std::memory_order_relaxed);
+    metrics_cache_hits_.store(nullptr, std::memory_order_relaxed);
+    metrics_segment_cost_us_.store(nullptr, std::memory_order_relaxed);
     return;
   }
-  metrics_costings_ = registry->counter("whatif.costings");
-  metrics_cache_hits_ = registry->counter("whatif.cache_hits");
-  metrics_segment_cost_us_ = registry->histogram("whatif.segment_cost_us");
+  // The registry hands out stable pointers, so concurrent attaches of
+  // the same registry store identical values.
+  metrics_costings_.store(registry->counter("whatif.costings"),
+                          std::memory_order_relaxed);
+  metrics_cache_hits_.store(registry->counter("whatif.cache_hits"),
+                            std::memory_order_relaxed);
+  metrics_segment_cost_us_.store(
+      registry->histogram("whatif.segment_cost_us"),
+      std::memory_order_relaxed);
 }
 
 }  // namespace cdpd

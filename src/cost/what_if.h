@@ -254,10 +254,13 @@ class WhatIfEngine {
 
   /// Mirrors the engine's activity into `registry` — counters
   /// "whatif.costings" / "whatif.cache_hits" and the
-  /// "whatif.segment_cost_us" costing-latency histogram. Call before
-  /// handing the engine to concurrent solvers; pass nullptr to detach.
-  /// Const because it only touches observational state (like the
-  /// memo/counter members); no-op when metrics are compiled out.
+  /// "whatif.segment_cost_us" costing-latency histogram. Pass nullptr
+  /// to detach. Safe to call concurrently with probes and with other
+  /// SetMetrics calls (the sink pointers are atomic): an engine shared
+  /// by concurrent Solve() calls over the same registry — the serving
+  /// path — is race-free. Const because it only touches observational
+  /// state (like the memo/counter members); no-op when metrics are
+  /// compiled out.
   void SetMetrics(MetricsRegistry* registry) const;
 
   /// Number of what-if statement costings performed so far (for the
@@ -324,11 +327,14 @@ class WhatIfEngine {
   mutable std::array<CacheShard, kCacheShards> shards_;
   mutable std::atomic<int64_t> costings_{0};
   mutable std::atomic<int64_t> cache_hits_{0};
-  // Optional metric sinks (null until SetMetrics). Set before the
-  // solvers start probing; the probes only read the pointers.
-  mutable Counter* metrics_costings_ = nullptr;
-  mutable Counter* metrics_cache_hits_ = nullptr;
-  mutable Histogram* metrics_segment_cost_us_ = nullptr;
+  // Optional metric sinks (null until SetMetrics). Atomic because
+  // every concurrent Solve() over a shared engine re-attaches them
+  // while other solves' probes read them; the registry hands out
+  // stable pointers, so concurrent attaches of the same registry are
+  // idempotent.
+  mutable std::atomic<Counter*> metrics_costings_{nullptr};
+  mutable std::atomic<Counter*> metrics_cache_hits_{nullptr};
+  mutable std::atomic<Histogram*> metrics_segment_cost_us_{nullptr};
 };
 
 }  // namespace cdpd

@@ -1,0 +1,211 @@
+#include "server/advisor_server.h"
+
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace cdpd {
+
+#if defined(_WIN32)
+
+AdvisorServer::~AdvisorServer() = default;
+Status AdvisorServer::Start(const ServerOptions&) {
+  return Status::Internal("advisor serving requires POSIX sockets");
+}
+void AdvisorServer::Wait() {}
+void AdvisorServer::Shutdown() {}
+void AdvisorServer::AcceptLoop() {}
+void AdvisorServer::ServeConnection(int) {}
+void AdvisorServer::RequestStop() {}
+
+#else
+
+namespace {
+
+std::string_view OpName(uint8_t opcode) {
+  switch (static_cast<ServerOp>(opcode)) {
+    case ServerOp::kPing:
+      return "ping";
+    case ServerOp::kIngest:
+      return "ingest";
+    case ServerOp::kWhatIf:
+      return "whatif";
+    case ServerOp::kRecommend:
+      return "recommend";
+    case ServerOp::kStats:
+      return "stats";
+    case ServerOp::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+AdvisorServer::~AdvisorServer() { Shutdown(); }
+
+Status AdvisorServer::Start(const ServerOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host '" + options.host +
+                                   "' as an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind to " + options.host + ":" +
+                            std::to_string(options.port) + " failed: " +
+                            error);
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void AdvisorServer::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0 || stopping_.load(std::memory_order_acquire)) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // The listener was closed by RequestStop, or broke; either way
+      // the accept loop is done.
+      break;
+    }
+    const int one = 1;
+    // One small request frame per round trip — Nagle only adds
+    // latency here.
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void AdvisorServer::ServeConnection(int fd) {
+  MetricsRegistry* registry = service_->registry();
+  // Registry pointers are stable — resolve once per connection so the
+  // per-request hot path touches only lock-free metrics.
+  Counter* requests = registry->counter("server.requests");
+  Counter* errors = registry->counter("server.request_errors");
+  Histogram* latency = registry->histogram("server.request_us");
+  for (;;) {
+    Frame frame;
+    bool clean_eof = false;
+    if (!ReadFrame(fd, &frame, &clean_eof).ok()) break;
+    const auto start = std::chrono::steady_clock::now();
+    requests->Add(1);
+    registry->counter("server.op." + std::string(OpName(frame.opcode)))
+        ->Add(1);
+    if (frame.opcode == static_cast<uint8_t>(ServerOp::kShutdown)) {
+      // Ack first so the requesting client sees a clean success, then
+      // stop the transport. RequestStop never joins, so calling it
+      // from this handler thread is safe.
+      (void)WriteFrame(fd, 0, "");
+      RequestStop();
+      break;
+    }
+    uint8_t status_byte = 0;
+    std::string payload;
+    Result<std::string> result = service_->Handle(frame.opcode, frame.payload);
+    if (result.ok()) {
+      payload = std::move(result).value();
+    } else {
+      status_byte = WireStatusCode(result.status());
+      payload = result.status().message();
+      errors->Add(1);
+    }
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    latency->Record(static_cast<double>(
+        std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
+            .count()));
+    if (!WriteFrame(fd, status_byte, payload).ok()) break;
+  }
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (size_t i = 0; i < open_fds_.size(); ++i) {
+    if (open_fds_[i] == fd) {
+      open_fds_.erase(open_fds_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void AdvisorServer::RequestStop() {
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) return;
+  service_->CancelAll();
+  const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+  if (lfd >= 0) {
+    // shutdown() wakes a blocked accept(); close() releases the port.
+    ::shutdown(lfd, SHUT_RDWR);
+    ::close(lfd);
+  }
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (const int fd : open_fds_) {
+    // Unblock reads so every connection thread can wind down; the
+    // threads close their own fds.
+    ::shutdown(fd, SHUT_RDWR);
+  }
+}
+
+void AdvisorServer::Wait() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // The listener is gone, so connections_ can only shrink now; drain
+  // it in batches until every handler has exited.
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn_mu_);
+      batch.swap(connections_);
+    }
+    if (batch.empty()) break;
+    for (std::thread& thread : batch) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+}
+
+void AdvisorServer::Shutdown() {
+  RequestStop();
+  Wait();
+}
+
+#endif  // _WIN32
+
+}  // namespace cdpd

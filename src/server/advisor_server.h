@@ -1,0 +1,93 @@
+#ifndef CDPD_SERVER_ADVISOR_SERVER_H_
+#define CDPD_SERVER_ADVISOR_SERVER_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/advisor_service.h"
+
+namespace cdpd {
+
+/// Transport knobs of the advisor server.
+struct ServerOptions {
+  /// Loopback by default: the protocol is unauthenticated, so the
+  /// server should not listen on a routable interface unless the
+  /// deployment supplies its own perimeter.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by port().
+  int port = 0;
+  int backlog = 64;
+};
+
+/// The advisor's TCP front end: accepts connections on a loopback
+/// socket and speaks the length-prefixed frame protocol of
+/// server/frame.h, dispatching each request frame to an AdvisorService
+/// (borrowed — must outlive the server) on a per-connection thread.
+/// One request, one response; requests on one connection are
+/// sequential, concurrency comes from multiple connections.
+///
+/// Lifecycle: Start() binds and spawns the accept thread; Wait()
+/// blocks until a SHUTDOWN frame (or Shutdown() from another thread)
+/// stops the server; the destructor shuts down and joins. A SHUTDOWN
+/// request is acked first, then the listener closes, in-flight solves
+/// are cancelled through the service's cancel token, and every
+/// connection thread is joined.
+///
+/// Per-request metrics land in the service registry: the
+/// "server.requests" / "server.request_errors" counters, a per-opcode
+/// "server.op.<name>" counter, and the "server.request_us" latency
+/// histogram (p50/p95/p99 via MetricsSnapshot).
+class AdvisorServer {
+ public:
+  /// `service` is borrowed and must outlive the server.
+  explicit AdvisorServer(AdvisorService* service) : service_(service) {}
+  AdvisorServer(const AdvisorServer&) = delete;
+  AdvisorServer& operator=(const AdvisorServer&) = delete;
+  ~AdvisorServer();
+
+  /// Binds, listens, and spawns the accept thread. Fails with Internal
+  /// on socket errors (port in use, no permission).
+  Status Start(const ServerOptions& options = {});
+
+  /// The bound port (the ephemeral port when options.port was 0); 0
+  /// before Start().
+  int port() const { return port_; }
+
+  /// Blocks until the server has stopped (SHUTDOWN frame or
+  /// Shutdown()).
+  void Wait();
+
+  /// Stops accepting, cancels in-flight solves, unblocks connection
+  /// reads, and joins every thread. Idempotent; safe from any thread
+  /// (including a connection handler, via the deferred self-join in
+  /// Wait()).
+  void Shutdown();
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+  /// The non-blocking half of Shutdown(): flips the stop flag, cancels
+  /// solves, closes the listener, and unblocks connection reads. Safe
+  /// from a connection handler (no joins).
+  void RequestStop();
+
+  AdvisorService* service_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+  /// Serializes Wait()/Shutdown() joins (either may be called from the
+  /// main thread and the destructor).
+  std::mutex join_mu_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_SERVER_ADVISOR_SERVER_H_

@@ -1,0 +1,95 @@
+#include "server/client.h"
+
+#include <cstring>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+namespace cdpd {
+
+#if defined(_WIN32)
+
+Result<AdvisorClient> AdvisorClient::Connect(const std::string&, int) {
+  return Status::Internal("advisor serving requires POSIX sockets");
+}
+void AdvisorClient::Close() {}
+
+#else
+
+Result<AdvisorClient> AdvisorClient::Connect(const std::string& host,
+                                             int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host '" + host +
+                                   "' as an IPv4 address");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("connect to " + host + ":" +
+                            std::to_string(port) + " failed: " + error);
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return AdvisorClient(fd);
+}
+
+void AdvisorClient::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+#endif  // _WIN32
+
+Result<std::string> AdvisorClient::Call(ServerOp op,
+                                        std::string_view payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
+  CDPD_RETURN_IF_ERROR(
+      WriteFrame(fd_, static_cast<uint8_t>(op), payload));
+  Frame response;
+  CDPD_RETURN_IF_ERROR(ReadFrame(fd_, &response));
+  if (response.opcode != 0) {
+    return StatusFromWire(response.opcode, response.payload);
+  }
+  return std::move(response.payload);
+}
+
+Status AdvisorClient::Ping() { return Call(ServerOp::kPing, "").status(); }
+
+Result<std::string> AdvisorClient::Ingest(std::string_view sql) {
+  return Call(ServerOp::kIngest, sql);
+}
+
+Result<std::string> AdvisorClient::WhatIf(std::string_view config_spec) {
+  return Call(ServerOp::kWhatIf, config_spec);
+}
+
+Result<std::string> AdvisorClient::Recommend(std::string_view options) {
+  return Call(ServerOp::kRecommend, options);
+}
+
+Result<std::string> AdvisorClient::Stats() {
+  return Call(ServerOp::kStats, "");
+}
+
+Status AdvisorClient::Shutdown() {
+  return Call(ServerOp::kShutdown, "").status();
+}
+
+}  // namespace cdpd

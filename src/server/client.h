@@ -1,0 +1,74 @@
+#ifndef CDPD_SERVER_CLIENT_H_
+#define CDPD_SERVER_CLIENT_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "common/result.h"
+#include "server/frame.h"
+
+namespace cdpd {
+
+/// A blocking client of the advisor serving protocol: one TCP
+/// connection, one in-flight request at a time (the protocol is
+/// strictly request/response per connection — run several clients for
+/// concurrency; bench_serving does exactly that).
+///
+/// Every call returns the response payload on success; a non-zero wire
+/// status comes back as the corresponding Status with the server's
+/// message. Transport failures (connection reset, short frame) are
+/// Internal.
+///
+/// Move-only; the destructor closes the connection.
+class AdvisorClient {
+ public:
+  static Result<AdvisorClient> Connect(const std::string& host, int port);
+
+  AdvisorClient(AdvisorClient&& other) noexcept : fd_(other.fd_) {
+    other.fd_ = -1;
+  }
+  AdvisorClient& operator=(AdvisorClient&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  AdvisorClient(const AdvisorClient&) = delete;
+  AdvisorClient& operator=(const AdvisorClient&) = delete;
+  ~AdvisorClient() { Close(); }
+
+  /// One request/response exchange.
+  Result<std::string> Call(ServerOp op, std::string_view payload);
+
+  /// Transport liveness (empty payload both ways).
+  Status Ping();
+  /// Feeds ';'-terminated SQL statements into the sliding window;
+  /// returns the JSON ack ({"accepted":...,"window_statements":...}).
+  Result<std::string> Ingest(std::string_view sql);
+  /// Prices a hypothetical configuration ("a" / "a,b;c" / "{}") over
+  /// the current window; returns the JSON answer.
+  Result<std::string> WhatIf(std::string_view config_spec);
+  /// Requests a re-solve; `options` is the key=value request text (see
+  /// ParseRecommendRequest), "" for the service defaults. Returns the
+  /// JSON recommendation.
+  Result<std::string> Recommend(std::string_view options);
+  /// The server's metrics snapshot JSON.
+  Result<std::string> Stats();
+  /// Asks the server to stop (acked before the server exits).
+  Status Shutdown();
+
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  explicit AdvisorClient(int fd) : fd_(fd) {}
+  void Close();
+
+  int fd_ = -1;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_SERVER_CLIENT_H_

@@ -1,0 +1,167 @@
+// Concurrent SolverSession::Solve: many threads funnel through one
+// session (one pool, one persistent cost cache, one stats ledger).
+// The contract under test: every call returns the schedule a solo
+// solve produces, each call's SolveResult::stats describe that call
+// alone (no bleed between concurrent calls), and the session's
+// accumulated totals equal the sum of the per-call stats. Runs under
+// TSan in CI (the test-name filter matches SolverSession), where it
+// also vouches for the cache/pool/ledger synchronization.
+
+#include "core/solver_session.h"
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace cdpd {
+namespace {
+
+using testing_util::MakeRandomProblem;
+
+SolveOptions SessionCallOptions() {
+  SolveOptions options;
+  options.method = OptimizerMethod::kOptimal;
+  options.k = 2;
+  return options;
+}
+
+TEST(SolverSessionConcurrentTest, ParallelSolvesMatchSoloAndKeepStatsDisjoint) {
+  // The solo reference: same problem, fresh everything.
+  auto reference_fixture = MakeRandomProblem(/*seed=*/21, /*num_segments=*/4,
+                                             /*block_size=*/10);
+  const SolveResult reference =
+      Solve(reference_fixture->problem, SessionCallOptions()).value();
+
+  // A cold cached solo solve bounds what any one call can report:
+  // its probe count is the full cost-matrix demand (uncached solves
+  // report zero probes, so the plain reference can't provide this).
+  auto cached_fixture = MakeRandomProblem(/*seed=*/21, /*num_segments=*/4,
+                                          /*block_size=*/10);
+  CostCache solo_cache;
+  SolveOptions cached_options = SessionCallOptions();
+  cached_options.cost_cache = &solo_cache;
+  const SolveResult cached_reference =
+      Solve(cached_fixture->problem, cached_options).value();
+
+  SessionOptions session_options;
+  session_options.num_threads = 2;
+  SolverSession session(session_options);
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 3;
+  std::vector<std::vector<SolveResult>> results(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Per-thread fixture: engines are not shared, only the session.
+      auto fixture = MakeRandomProblem(/*seed=*/21, /*num_segments=*/4,
+                                       /*block_size=*/10);
+      for (int round = 0; round < kRounds; ++round) {
+        Result<SolveResult> solved =
+            session.Solve(fixture->problem, SessionCallOptions());
+        if (!solved.ok()) {
+          failures.fetch_add(1);
+          return;
+        }
+        results[t].push_back(std::move(solved).value());
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Every concurrent call produced the solo schedule, bit for bit.
+  for (int t = 0; t < kThreads; ++t) {
+    ASSERT_EQ(results[t].size(), static_cast<size_t>(kRounds));
+    for (const SolveResult& result : results[t]) {
+      EXPECT_EQ(result.schedule.configs, reference.schedule.configs);
+      EXPECT_EQ(result.schedule.total_cost, reference.schedule.total_cost);
+    }
+  }
+
+  // Per-call stats are disjoint: no call can report more costings
+  // (real evaluations) than a solo solve does, nor more cache misses
+  // than a fully *cold* cached solve — a warm or shared cache can only
+  // lower both. A concurrent call's counters bleeding into another's
+  // ledger would break these bounds. (Probe counts are not bounded by
+  // the cold solve: a warm call re-probes the shared cache per
+  // request, a cold one computes each unique key once.)
+  const int64_t solo_costings = reference.stats.costings;
+  const int64_t solo_misses = cached_reference.stats.cost_cache_misses;
+  ASSERT_GT(solo_misses, 0);
+  SolveStats summed;
+  for (int t = 0; t < kThreads; ++t) {
+    for (const SolveResult& result : results[t]) {
+      EXPECT_LE(result.stats.costings, solo_costings);
+      EXPECT_LE(result.stats.cost_cache_misses, solo_misses);
+      summed.Accumulate(result.stats);
+    }
+  }
+
+  // The session's ledger saw exactly the calls that completed, and its
+  // counters are the sum of what the calls reported — nothing counted
+  // twice, nothing dropped.
+  EXPECT_EQ(session.solves(), int64_t{kThreads} * kRounds);
+  const SolveStats totals = session.total_stats();
+  EXPECT_EQ(totals.costings, summed.costings);
+  EXPECT_EQ(totals.cost_cache_hits, summed.cost_cache_hits);
+  EXPECT_EQ(totals.cost_cache_misses, summed.cost_cache_misses);
+  EXPECT_EQ(totals.nodes_expanded, summed.nodes_expanded);
+  EXPECT_EQ(totals.relaxations, summed.relaxations);
+
+  // The warm cache did its job across the fleet: no thread can miss
+  // more than a fully cold solo solve does, and sharing produced hits.
+  EXPECT_LE(totals.cost_cache_misses,
+            static_cast<int64_t>(kThreads) *
+                cached_reference.stats.cost_cache_misses);
+  EXPECT_GT(totals.cost_cache_hits, 0);
+}
+
+TEST(SolverSessionConcurrentTest, ConcurrentCallsWithDistinctProblems) {
+  // Different seeds -> different workloads -> different cache keys,
+  // all through one session. Each call must still match its own solo
+  // reference; the shared cache may only change hit counts.
+  constexpr int kThreads = 6;
+  std::vector<SolveResult> solo(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    auto fixture = MakeRandomProblem(/*seed=*/100 + t, /*num_segments=*/3,
+                                     /*block_size=*/10);
+    solo[t] = Solve(fixture->problem, SessionCallOptions()).value();
+  }
+
+  SolverSession session;
+  std::vector<SolveResult> concurrent(kThreads);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      auto fixture = MakeRandomProblem(/*seed=*/100 + t, /*num_segments=*/3,
+                                       /*block_size=*/10);
+      Result<SolveResult> solved =
+          session.Solve(fixture->problem, SessionCallOptions());
+      if (!solved.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      concurrent[t] = std::move(solved).value();
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_EQ(failures.load(), 0);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(concurrent[t].schedule.configs, solo[t].schedule.configs);
+    EXPECT_EQ(concurrent[t].schedule.total_cost,
+              solo[t].schedule.total_cost);
+  }
+  EXPECT_EQ(session.solves(), kThreads);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -102,6 +102,62 @@ TEST(CostCacheTest, TrackerRefusalSkipsInsertAndTripsLimit) {
   EXPECT_EQ(cost, 1.0);
 }
 
+TEST(CostCacheTest, EvictionReleasesTrackerChargeExactlyOnce) {
+  // Regression: EvictForSpace used to clear shards without releasing
+  // the entries' ResourceTracker reservation, so under cap pressure
+  // the mem.cost_cache gauge grew monotonically with churn and
+  // eventually tripped a limit that the live entries were nowhere
+  // near. The tracker's current bytes must equal the *resident*
+  // entries exactly, after any amount of eviction.
+  CostCache cache(4 * CostCache::kEntryBytes);
+  cache.EnsureValid(1);
+  // Budget for 16 entries: far above the 4-entry cap, so with correct
+  // release accounting the limit can never trip.
+  ResourceTracker tracker(16 * CostCache::kEntryBytes);
+  for (uint64_t i = 0; i < 512; ++i) {
+    EXPECT_TRUE(cache.Insert(i * 2654435761u + 1, i + 1,
+                             static_cast<double>(i), &tracker));
+    EXPECT_EQ(tracker.current_bytes(MemComponent::kCostCache),
+              cache.entries() * CostCache::kEntryBytes);
+  }
+  EXPECT_GT(cache.evictions(), 0);
+  EXPECT_FALSE(tracker.limit_exceeded());
+  EXPECT_LE(cache.ApproxBytes(), cache.max_bytes());
+}
+
+TEST(CostCacheTest, InvalidationReleasesTrackerCharge) {
+  CostCache cache;
+  cache.EnsureValid(1);
+  ResourceTracker tracker(64 * CostCache::kEntryBytes);
+  for (uint64_t i = 0; i < 8; ++i) {
+    ASSERT_TRUE(cache.Insert(i + 1, i + 1, 1.0, &tracker));
+  }
+  ASSERT_EQ(tracker.current_bytes(MemComponent::kCostCache),
+            8 * CostCache::kEntryBytes);
+  // A token change drops every entry; the charge must go with them.
+  EXPECT_TRUE(cache.EnsureValid(2, &tracker));
+  EXPECT_EQ(cache.entries(), 0);
+  EXPECT_EQ(tracker.current_bytes(MemComponent::kCostCache), 0);
+}
+
+TEST(CostCacheTest, EvictionSweepDoesNotStarveShards) {
+  // Regression: the eviction sweep used to start at a deterministic
+  // shard, so an entry whose shard sat "behind" the usual start could
+  // survive unboundedly many eviction episodes while the cache stayed
+  // at its cap. The rotating cursor guarantees every shard is reached;
+  // a marker entry must not outlive heavy churn.
+  CostCache cache(2 * CostCache::kEntryBytes);
+  cache.EnsureValid(1);
+  ASSERT_TRUE(cache.Insert(1, 1, 1.0));
+  double cost = 0.0;
+  ASSERT_TRUE(cache.Lookup(1, 1, &cost));
+  for (uint64_t i = 0; i < 512; ++i) {
+    cache.Insert((i + 2) * 2654435761u, i + 2, static_cast<double>(i));
+  }
+  EXPECT_FALSE(cache.Lookup(1, 1, &cost));
+  EXPECT_LE(cache.ApproxBytes(), cache.max_bytes());
+}
+
 TEST(CostCacheTest, PublishToMirrorsResidentState) {
   CostCache cache;
   cache.EnsureValid(5);

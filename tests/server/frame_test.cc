@@ -1,0 +1,146 @@
+// The wire layer: length-prefixed frame encode/decode across a real
+// socketpair, the payload cap, clean-EOF detection, and the
+// Status <-> wire-status-code mapping the client reconstructs errors
+// from.
+
+#include "server/frame.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+struct SocketPair {
+  int a = -1;
+  int b = -1;
+  SocketPair() {
+    int fds[2] = {-1, -1};
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~SocketPair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+TEST(FrameTest, EncodeLayoutIsLengthTagPayload) {
+  std::string out;
+  ASSERT_TRUE(EncodeFrame(7, "abc", &out).ok());
+  ASSERT_EQ(out.size(), 5 + 3u);
+  // Little-endian u32 payload length, then the tag byte, then payload.
+  EXPECT_EQ(static_cast<unsigned char>(out[0]), 3);
+  EXPECT_EQ(static_cast<unsigned char>(out[1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(out[2]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(out[3]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(out[4]), 7);
+  EXPECT_EQ(out.substr(5), "abc");
+}
+
+TEST(FrameTest, EncodeRejectsOversizedPayload) {
+  std::string out;
+  std::string huge(kMaxPayloadBytes + 1, 'x');
+  const Status status = EncodeFrame(1, huge, &out);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, RoundTripOverSocketPair) {
+  SocketPair pair;
+  const std::string payload = "SELECT a FROM t WHERE a = 1;";
+  ASSERT_TRUE(WriteFrame(pair.a, 3, payload).ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(pair.b, &frame).ok());
+  EXPECT_EQ(frame.opcode, 3);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  SocketPair pair;
+  ASSERT_TRUE(WriteFrame(pair.a, 0, "").ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(pair.b, &frame).ok());
+  EXPECT_EQ(frame.opcode, 0);
+  EXPECT_TRUE(frame.payload.empty());
+}
+
+TEST(FrameTest, LargePayloadRoundTripsAcrossPartialReads) {
+  // 1 MiB forces the kernel to split the transfer into many reads and
+  // writes; ReadExact/WriteExact must stitch them back together. The
+  // writer runs on its own thread so the socket buffers never deadlock.
+  SocketPair pair;
+  std::string payload(1 << 20, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>(i * 131 % 251);
+  }
+  std::thread writer(
+      [&] { EXPECT_TRUE(WriteFrame(pair.a, 9, payload).ok()); });
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(pair.b, &frame).ok());
+  writer.join();
+  EXPECT_EQ(frame.opcode, 9);
+  EXPECT_EQ(frame.payload, payload);
+}
+
+TEST(FrameTest, OversizedHeaderIsRejectedWithoutAllocating) {
+  SocketPair pair;
+  // Hand-craft a header claiming a payload far over the cap.
+  unsigned char header[5] = {0xff, 0xff, 0xff, 0xff, 1};
+  ASSERT_EQ(::send(pair.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  Frame frame;
+  const Status status = ReadFrame(pair.b, &frame);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FrameTest, CleanEofAtFrameBoundaryIsReported) {
+  SocketPair pair;
+  ::close(pair.a);
+  pair.a = -1;
+  Frame frame;
+  bool clean_eof = false;
+  const Status status = ReadFrame(pair.b, &frame, &clean_eof);
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(clean_eof);
+}
+
+TEST(FrameTest, EofMidFrameIsNotClean) {
+  SocketPair pair;
+  // A header promising 100 bytes, then the connection dies.
+  unsigned char header[5] = {100, 0, 0, 0, 2};
+  ASSERT_EQ(::send(pair.a, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  ::close(pair.a);
+  pair.a = -1;
+  Frame frame;
+  bool clean_eof = false;
+  const Status status = ReadFrame(pair.b, &frame, &clean_eof);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(clean_eof);
+}
+
+TEST(FrameTest, WireStatusCodesRoundTripTheStatusClass) {
+  const Status statuses[] = {
+      Status::InvalidArgument("bad"),    Status::NotFound("gone"),
+      Status::FailedPrecondition("no"), Status::ResourceExhausted("full"),
+      Status::DeadlineExceeded("late"), Status::Internal("boom"),
+  };
+  for (const Status& status : statuses) {
+    const uint8_t wire = WireStatusCode(status);
+    EXPECT_NE(wire, 0) << status.ToString();
+    const Status back = StatusFromWire(wire, status.message());
+    EXPECT_EQ(back.code(), status.code()) << status.ToString();
+    EXPECT_EQ(back.message(), status.message());
+  }
+  EXPECT_EQ(WireStatusCode(Status::OK()), 0);
+}
+
+}  // namespace
+}  // namespace cdpd

@@ -43,9 +43,10 @@ def report(bench, cases, schema_version=3):
 
 def case(name, wall_seconds, peak_bytes=None, cpu_seconds=0.0,
          relaxations_per_sec=None, cache_hit_rate=None,
-         statements_per_sec=None):
-    c = {"name": name, "wall_seconds": wall_seconds,
-         "cpu_seconds": cpu_seconds, "metrics": {}}
+         statements_per_sec=None, requests_per_sec=None):
+    c = {"name": name, "cpu_seconds": cpu_seconds, "metrics": {}}
+    if wall_seconds is not None:
+        c["wall_seconds"] = wall_seconds
     if peak_bytes is not None:
         c["peak_bytes"] = peak_bytes
     if relaxations_per_sec is not None:
@@ -54,6 +55,8 @@ def case(name, wall_seconds, peak_bytes=None, cpu_seconds=0.0,
         c["cache_hit_rate"] = cache_hit_rate
     if statements_per_sec is not None:
         c["statements_per_sec"] = statements_per_sec
+    if requests_per_sec is not None:
+        c["requests_per_sec"] = requests_per_sec
     return c
 
 
@@ -212,6 +215,54 @@ class BenchCompareTest(unittest.TestCase):
                                      statements_per_sec=0.9e6)]))
         result = self.run_compare()
         self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_serving_throughput_drop_fails(self):
+        self.write(self.base_dir,
+                   report("serving", [case("mixed", 1.0,
+                                           requests_per_sec=6e4)]))
+        self.write(self.cur_dir,
+                   report("serving", [case("mixed", 1.0,
+                                           requests_per_sec=3e4)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("[rps]", result.stdout)
+
+    def test_serving_throughput_wobble_within_threshold_passes(self):
+        self.write(self.base_dir,
+                   report("serving", [case("mixed", 1.0,
+                                           requests_per_sec=6e4)]))
+        self.write(self.cur_dir,
+                   report("serving", [case("mixed", 1.0,
+                                           requests_per_sec=5e4)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_missing_wall_seconds_is_skipped_not_crashed(self):
+        self.write(self.base_dir,
+                   report("b", [case("broken", None), case("ok", 1.0)]))
+        self.write(self.cur_dir,
+                   report("b", [case("broken", 1.0), case("ok", 1.0)]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("[skip] b/broken", result.stdout)
+        self.assertIn("missing wall_seconds", result.stdout)
+
+    def test_unparsable_wall_seconds_is_skipped_not_crashed(self):
+        self.write(self.base_dir, report("b", [case("broken", 1.0)]))
+        self.write(self.cur_dir, report("b", [case("broken", "oops")]))
+        result = self.run_compare()
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("[skip] b/broken", result.stdout)
+
+    def test_zero_baseline_wall_time_is_skipped_not_infinite(self):
+        # With the noise floor disabled a 0 s baseline used to divide
+        # by zero into an infinite ratio (a spurious regression).
+        self.write(self.base_dir, report("b", [case("zero", 0.0)]))
+        self.write(self.cur_dir, report("b", [case("zero", 1.0)]))
+        result = self.run_compare("--min-seconds", "0")
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("[skip] b/zero", result.stdout)
+        self.assertIn("zero", result.stdout)
 
     def test_cache_hit_rate_drop_fails(self):
         self.write(self.base_dir,

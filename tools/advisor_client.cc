@@ -1,0 +1,156 @@
+// Command-line client for advisor_server. One process per request —
+// the resident state lives server-side, so scripting a session is just
+// a sequence of invocations against the same port:
+//
+//   advisor_client --port N ping
+//   advisor_client --port N ingest trace.sql     ('-' reads stdin)
+//   advisor_client --port N whatif "a;c,d"
+//   advisor_client --port N recommend k=2 method=optimal
+//   advisor_client --port N stats
+//   advisor_client --port N shutdown
+//
+// Successful responses (JSON for ingest/whatif/recommend/stats) are
+// printed to stdout; errors go to stderr with a non-zero exit.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+
+using namespace cdpd;
+
+namespace {
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out,
+      "usage: advisor_client [--host A.B.C.D] [--port N] <command> [args]\n"
+      "\n"
+      "commands:\n"
+      "  ping                     check the server is alive\n"
+      "  ingest FILE              append a SQL trace to the window\n"
+      "                           (FILE of ';'-terminated statements,\n"
+      "                           '-' reads standard input)\n"
+      "  whatif SPEC              cost a configuration; SPEC lists\n"
+      "                           indexes ';'-separated, each index a\n"
+      "                           comma list of columns (e.g. 'a;c,d';\n"
+      "                           '{}' = the empty configuration)\n"
+      "  recommend [KEY=VALUE..]  solve over the current window; keys:\n"
+      "                           k, method, deadline_ms,\n"
+      "                           memory_limit_bytes, prune, chunks,\n"
+      "                           apply\n"
+      "  stats                    dump the server metrics snapshot\n"
+      "  shutdown                 stop the server\n");
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+bool ReadAll(const std::string& path, std::string* out) {
+  if (path == "-") {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    *out = buffer.str();
+    return true;
+  }
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      PrintHelp(stdout);
+      return 0;
+    } else {
+      break;
+    }
+  }
+  if (i >= argc) {
+    PrintHelp(stderr);
+    return 2;
+  }
+  const std::string command = argv[i++];
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "a valid --port is required\n");
+    return 2;
+  }
+
+  Result<AdvisorClient> client = AdvisorClient::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+
+  if (command == "ping") {
+    if (i != argc) { PrintHelp(stderr); return 2; }
+    const Status status = client->Ping();
+    if (!status.ok()) return Fail(status);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "ingest") {
+    if (i + 1 != argc) { PrintHelp(stderr); return 2; }
+    std::string sql;
+    if (!ReadAll(argv[i], &sql)) {
+      std::fprintf(stderr, "cannot read %s\n", argv[i]);
+      return 1;
+    }
+    Result<std::string> reply = client->Ingest(sql);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  if (command == "whatif") {
+    if (i + 1 != argc) { PrintHelp(stderr); return 2; }
+    Result<std::string> reply = client->WhatIf(argv[i]);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  if (command == "recommend") {
+    std::string options;
+    for (; i < argc; ++i) {
+      if (!options.empty()) options += '\n';
+      options += argv[i];
+    }
+    Result<std::string> reply = client->Recommend(options);
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  if (command == "stats") {
+    if (i != argc) { PrintHelp(stderr); return 2; }
+    Result<std::string> reply = client->Stats();
+    if (!reply.ok()) return Fail(reply.status());
+    std::printf("%s\n", reply->c_str());
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (i != argc) { PrintHelp(stderr); return 2; }
+    const Status status = client->Shutdown();
+    if (!status.ok()) return Fail(status);
+    std::printf("ok\n");
+    return 0;
+  }
+  std::fprintf(stderr, "unknown command %s\n", command.c_str());
+  PrintHelp(stderr);
+  return 2;
+}

@@ -1,0 +1,173 @@
+// The resident advisor: a long-lived server that keeps the catalog, a
+// warm SolverSession (persistent cost cache + thread pool + metrics)
+// and the last solution in memory, and serves INGEST / WHATIF /
+// RECOMMEND / STATS / SHUTDOWN over the length-prefixed frame protocol
+// of src/server/frame.h (see docs/serving.md).
+//
+//   advisor_server [--port N] [--host A.B.C.D] [--rows N] [--block N]
+//                  [--k N] [--window N] [--threads N]
+//                  [--cache-max-bytes N] [--deadline-ms N]
+//                  [--memory-limit-bytes N]
+//
+// Prints "listening on <host>:<port>" once ready (scripts scrape the
+// port when --port 0 picked an ephemeral one), then serves until a
+// SHUTDOWN frame arrives.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "server/advisor_server.h"
+
+using namespace cdpd;
+
+namespace {
+
+struct ServerCliArgs {
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  int64_t rows = 250'000;
+  int64_t block = 100;
+  int64_t k = 2;  // < 0 = unconstrained default.
+  int64_t window = 10'000;
+  int64_t threads = 0;
+  int64_t cache_max_bytes = 0;
+  int64_t deadline_ms = -1;
+  int64_t memory_limit_bytes = -1;
+  bool help = false;
+};
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out,
+      "usage: advisor_server [flags]\n"
+      "\n"
+      "Serves the dynamic physical design advisor over a loopback TCP\n"
+      "socket (protocol: docs/serving.md; client: advisor_client).\n"
+      "\n"
+      "  --host A.B.C.D    listen address (default 127.0.0.1)\n"
+      "  --port N          listen port (0 = ephemeral; the bound port\n"
+      "                    is printed on the 'listening on' line)\n"
+      "  --rows N          table rows assumed by the cost model\n"
+      "  --block N         statements per advisor segment (default 100)\n"
+      "  --k N             default change bound (N < 0 = unconstrained;\n"
+      "                    RECOMMEND requests can override per call)\n"
+      "  --window N        sliding-window cap in statements (0 = keep\n"
+      "                    everything; default 10000)\n"
+      "  --threads N       solver pool workers (0 = hardware default)\n"
+      "  --cache-max-bytes N\n"
+      "                    byte cap of the persistent cost cache\n"
+      "                    (0 = unbounded)\n"
+      "  --deadline-ms N   default per-request solve deadline\n"
+      "  --memory-limit-bytes N\n"
+      "                    default per-request solver memory budget\n"
+      "  --help            this text\n");
+}
+
+bool ParseInt(const char* text, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, ServerCliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](int64_t* out) {
+      return i + 1 < argc && ParseInt(argv[++i], out);
+    };
+    if (arg == "--host") {
+      if (i + 1 >= argc) return false;
+      args->host = argv[++i];
+    } else if (arg == "--port") {
+      if (!next(&args->port) || args->port < 0 || args->port > 65535) {
+        return false;
+      }
+    } else if (arg == "--rows") {
+      if (!next(&args->rows) || args->rows <= 0) return false;
+    } else if (arg == "--block") {
+      if (!next(&args->block) || args->block <= 0) return false;
+    } else if (arg == "--k") {
+      if (!next(&args->k)) return false;
+    } else if (arg == "--window") {
+      if (!next(&args->window) || args->window < 0) return false;
+    } else if (arg == "--threads") {
+      if (!next(&args->threads) || args->threads < 0) return false;
+    } else if (arg == "--cache-max-bytes") {
+      if (!next(&args->cache_max_bytes) || args->cache_max_bytes < 0) {
+        return false;
+      }
+    } else if (arg == "--deadline-ms") {
+      if (!next(&args->deadline_ms) || args->deadline_ms < 0) return false;
+    } else if (arg == "--memory-limit-bytes") {
+      if (!next(&args->memory_limit_bytes) || args->memory_limit_bytes <= 0) {
+        return false;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      args->help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ServerCliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintHelp(stderr);
+    return 2;
+  }
+  if (args.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+
+  ServiceOptions service_options;
+  service_options.rows = args.rows;
+  service_options.block_size = static_cast<size_t>(args.block);
+  if (args.k >= 0) {
+    service_options.k = args.k;
+  } else {
+    service_options.k.reset();
+  }
+  service_options.window_statements = static_cast<size_t>(args.window);
+  service_options.num_threads = static_cast<int>(args.threads);
+  service_options.cost_cache_max_bytes = args.cache_max_bytes;
+  if (args.deadline_ms >= 0) {
+    service_options.default_deadline =
+        std::chrono::milliseconds(args.deadline_ms);
+  }
+  if (args.memory_limit_bytes > 0) {
+    service_options.default_memory_limit_bytes = args.memory_limit_bytes;
+  }
+  if (const Status status = service_options.Validate(); !status.ok()) {
+    std::fprintf(stderr, "invalid options: %s\n", status.ToString().c_str());
+    return 2;
+  }
+
+  AdvisorService service(std::move(service_options));
+  AdvisorServer server(&service);
+  ServerOptions server_options;
+  server_options.host = args.host;
+  server_options.port = static_cast<int>(args.port);
+  if (const Status status = server.Start(server_options); !status.ok()) {
+    std::fprintf(stderr, "cannot start: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("listening on %s:%d\n", args.host.c_str(), server.port());
+  std::fflush(stdout);
+  server.Wait();
+  std::printf("shut down after %lld requests\n",
+              static_cast<long long>(
+                  service.registry()->Snapshot().CounterValue(
+                      "server.requests")));
+  return 0;
+}
