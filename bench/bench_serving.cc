@@ -112,21 +112,40 @@ CaseResult RunCase(int port, int conns, int64_t reqs_per_conn,
   return result;
 }
 
+/// The server-side latency histogram for `op` ("ping", "whatif", ...)
+/// as it stands right now. Cases run sequentially and each op
+/// concentrates in one case, so sampling "server.op_us.<op>" right
+/// after its case finishes gives that case's server-observed
+/// percentiles (includes the response write; excludes client-side
+/// socket time — the gap to the client percentiles is the loopback +
+/// frame overhead).
+HistogramStats ServerOpStats(AdvisorService* service, const std::string& op) {
+  const MetricsSnapshot snapshot = service->registry()->Snapshot();
+  const auto it = snapshot.histograms.find("server.op_us." + op);
+  return it != snapshot.histograms.end() ? it->second : HistogramStats{};
+}
+
 void ReportCase(bench_util::BenchReport* report, const std::string& name,
-                int conns, const CaseResult& r) {
+                int conns, const CaseResult& r,
+                const HistogramStats& server) {
   const double rps =
       r.wall_seconds > 0.0 ? r.requests / r.wall_seconds : 0.0;
   std::printf("%-16s %8lld req %8.0f req/s   p50 %6.0f us   p95 %6.0f us"
-              "   p99 %6.0f us   errors %lld\n",
+              "   p99 %6.0f us   srv p50 %6.0f us   p99 %6.0f us"
+              "   errors %lld\n",
               name.c_str(), static_cast<long long>(r.requests), rps,
-              r.latency.p50, r.latency.p95, r.latency.p99,
-              static_cast<long long>(r.errors));
+              r.latency.p50, r.latency.p95, r.latency.p99, server.p50,
+              server.p99, static_cast<long long>(r.errors));
   report->AddServingCase(name, r.wall_seconds, r.requests,
                          {{"connections", static_cast<double>(conns)},
                           {"errors", static_cast<double>(r.errors)},
                           {"p50_us", r.latency.p50},
                           {"p95_us", r.latency.p95},
-                          {"p99_us", r.latency.p99}});
+                          {"p99_us", r.latency.p99},
+                          {"server_p50_us", server.p50},
+                          {"server_p95_us", server.p95},
+                          {"server_p99_us", server.p99},
+                          {"server_count", static_cast<double>(server.count)}});
   if (r.errors > 0) {
     std::fprintf(stderr, "case %s had %lld request errors\n", name.c_str(),
                  static_cast<long long>(r.errors));
@@ -171,19 +190,27 @@ void Run(bench_util::BenchReport* report) {
     }
   }
 
-  ReportCase(report, "ping", conns,
-             RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t) {
-               return client.Ping().ok();
-             }));
-  ReportCase(report, "whatif", conns,
-             RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t i) {
-               static const char* kSpecs[] = {"a", "a;b", "c,d", "{}"};
-               return client.WhatIf(kSpecs[i % 4]).ok();
-             }));
-  ReportCase(report, "recommend_warm", conns,
-             RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t) {
-               return client.Recommend("k=2\nmethod=optimal").ok();
-             }));
+  // The server-side histogram must be snapshotted *after* its case ran
+  // (function arguments have no evaluation order), so each case is
+  // sequenced explicitly.
+  const CaseResult ping =
+      RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t) {
+        return client.Ping().ok();
+      });
+  ReportCase(report, "ping", conns, ping, ServerOpStats(&service, "ping"));
+  const CaseResult whatif =
+      RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t i) {
+        static const char* kSpecs[] = {"a", "a;b", "c,d", "{}"};
+        return client.WhatIf(kSpecs[i % 4]).ok();
+      });
+  ReportCase(report, "whatif", conns, whatif,
+             ServerOpStats(&service, "whatif"));
+  const CaseResult recommend_warm =
+      RunCase(port, conns, reqs, [](AdvisorClient& client, int64_t) {
+        return client.Recommend("k=2\nmethod=optimal").ok();
+      });
+  ReportCase(report, "recommend_warm", conns, recommend_warm,
+             ServerOpStats(&service, "recommend"));
   const std::string ingest_batch = TraceBlock();
   const CaseResult mixed =
       RunCase(port, conns, reqs,
@@ -193,13 +220,14 @@ void Run(bench_util::BenchReport* report) {
                 if (r < 98) return client.Recommend("k=2").ok();
                 return client.Ingest(ingest_batch).ok();
               });
-  ReportCase(report, "mixed", conns, mixed);
-
   const MetricsSnapshot server_side = service.registry()->Snapshot();
   const HistogramStats server_lat =
       server_side.histograms.count("server.request_us")
           ? server_side.histograms.at("server.request_us")
           : HistogramStats{};
+  // Mixed spans three ops, so its server-side column is the overall
+  // request_us histogram — cumulative over all cases, not per-case.
+  ReportCase(report, "mixed", conns, mixed, server_lat);
   PrintRule();
   std::printf("server-side request_us over all cases: count %lld, "
               "p50 %.0f, p95 %.0f, p99 %.0f\n",

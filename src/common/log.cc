@@ -17,7 +17,24 @@ int ThisThreadNumber() {
   return number;
 }
 
+/// The calling thread's context stack (function-local thread_local so
+/// construction is lazy and per-thread).
+std::vector<std::pair<std::string, std::string>>& ThreadContextStack() {
+  thread_local std::vector<std::pair<std::string, std::string>> stack;
+  return stack;
+}
+
 }  // namespace
+
+LogContext::LogContext(std::string_view key, std::string_view value) {
+  ThreadContextStack().emplace_back(std::string(key), std::string(value));
+}
+
+LogContext::~LogContext() { ThreadContextStack().pop_back(); }
+
+const std::vector<std::pair<std::string, std::string>>& LogContext::Fields() {
+  return ThreadContextStack();
+}
 
 std::string_view LogLevelToString(LogLevel level) {
   switch (level) {
@@ -45,6 +62,12 @@ void Logger::Log(LogLevel level, std::string_view event,
                      ",\"level\":" + JsonString(LogLevelToString(level)) +
                      ",\"thread\":" + std::to_string(ThisThreadNumber()) +
                      ",\"event\":" + JsonString(event);
+  for (const auto& [key, value] : LogContext::Fields()) {
+    line.push_back(',');
+    line += JsonString(key);
+    line.push_back(':');
+    line += JsonString(value);
+  }
   for (const LogField& field : fields) {
     line.push_back(',');
     line += JsonString(field.key);

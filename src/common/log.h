@@ -7,6 +7,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 namespace cdpd {
@@ -110,6 +111,23 @@ class Logger {
   const std::chrono::steady_clock::time_point epoch_;
   mutable std::mutex mu_;
   std::vector<std::string> lines_;
+};
+
+/// RAII thread-scoped log context: while alive, every log line emitted
+/// *from this thread* (whatever the logger) carries `key`:`value` right
+/// after the fixed prefix — how the server stamps a request id onto
+/// each line a request produces without threading the id through every
+/// call signature. Contexts nest (inner-most last); work handed to
+/// pool threads does not inherit the caller's context.
+class LogContext {
+ public:
+  LogContext(std::string_view key, std::string_view value);
+  ~LogContext();
+  LogContext(const LogContext&) = delete;
+  LogContext& operator=(const LogContext&) = delete;
+
+  /// This thread's active context fields, outermost first.
+  static const std::vector<std::pair<std::string, std::string>>& Fields();
 };
 
 /// Logs a structured event iff `logger` is non-null and the level is

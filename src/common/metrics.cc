@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <set>
 #include <thread>
 
 namespace cdpd {
@@ -49,6 +50,20 @@ std::string FormatDouble(double v) {
 
 }  // namespace
 
+std::string PrometheusMetricName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out.front() >= '0' && out.front() <= '9')) {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
 Histogram::Stripe& Histogram::StripeForThisThread() {
   const size_t h = std::hash<std::thread::id>()(std::this_thread::get_id());
   return stripes_[h % kStripes];
@@ -63,6 +78,13 @@ void Histogram::Record(double value) {
   stripe.sum += value;
   if (value < stripe.min) stripe.min = value;
   if (value > stripe.max) stripe.max = value;
+}
+
+void Histogram::Record(double value, std::string_view exemplar_id) {
+  Record(value);
+  std::lock_guard<std::mutex> lock(exemplar_mu_);
+  exemplar_id_.assign(exemplar_id);
+  exemplar_value_ = value < 0.0 ? 0.0 : value;
 }
 
 HistogramStats Histogram::Snapshot() const {
@@ -100,6 +122,11 @@ HistogramStats Histogram::Snapshot() const {
   stats.p50 = percentile(0.50);
   stats.p95 = percentile(0.95);
   stats.p99 = percentile(0.99);
+  {
+    std::lock_guard<std::mutex> lock(exemplar_mu_);
+    stats.exemplar_id = exemplar_id_;
+    stats.exemplar_value = exemplar_value_;
+  }
   return stats;
 }
 
@@ -168,6 +195,59 @@ std::string MetricsSnapshot::ToText() const {
                   name.c_str(), static_cast<long long>(h.count), h.sum, h.min,
                   h.p50, h.p95, h.p99, h.max);
     out += line;
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToPrometheus() const {
+  std::string out;
+  std::set<std::string> used;
+  // Sanitized names can collide (distinct registry names mapping to
+  // one Prometheus name, or one name reused across kinds); a numeric
+  // suffix keeps every emitted series unique instead of emitting a
+  // duplicate `# TYPE`.
+  auto unique_name = [&used](std::string name) {
+    std::string candidate = name;
+    for (int suffix = 2; !used.insert(candidate).second; ++suffix) {
+      candidate = name + "_" + std::to_string(suffix);
+    }
+    return candidate;
+  };
+  for (const auto& [name, value] : counters) {
+    const std::string prom = unique_name(PrometheusMetricName(name));
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = unique_name(PrometheusMetricName(name));
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = unique_name(PrometheusMetricName(name));
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "{quantile=\"0.5\"} " + FormatDouble(h.p50) + "\n";
+    out += prom + "{quantile=\"0.95\"} " + FormatDouble(h.p95) + "\n";
+    out += prom + "{quantile=\"0.99\"} " + FormatDouble(h.p99) + "\n";
+    out += prom + "_sum " + FormatDouble(h.sum) + "\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+    const std::string prom_min = unique_name(prom + "_min");
+    out += "# TYPE " + prom_min + " gauge\n";
+    out += prom_min + " " + FormatDouble(h.min) + "\n";
+    const std::string prom_max = unique_name(prom + "_max");
+    out += "# TYPE " + prom_max + " gauge\n";
+    out += prom_max + " " + FormatDouble(h.max) + "\n";
+    if (!h.exemplar_id.empty()) {
+      // Comment line (not HELP/TYPE), ignored by scrapers: the last
+      // sample's request id, resolvable via the server's /trace?id=.
+      std::string id;
+      for (char c : h.exemplar_id) {
+        if (c == '"' || c == '\\' || c == '\n') continue;
+        id.push_back(c);
+      }
+      out += "# exemplar " + prom + " request_id=\"" + id + "\" value=" +
+             FormatDouble(h.exemplar_value) + "\n";
+    }
   }
   return out;
 }

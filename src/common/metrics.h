@@ -43,6 +43,18 @@ class Counter {
 class Gauge {
  public:
   void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Adjusts the gauge by `delta` (an unset gauge counts as 0) — the
+  /// increment/decrement pair an in-flight-requests gauge needs.
+  void Add(int64_t delta) {
+    int64_t current = value_.load(std::memory_order_relaxed);
+    for (;;) {
+      const int64_t base = current == kUnset ? 0 : current;
+      if (value_.compare_exchange_weak(current, base + delta,
+                                       std::memory_order_relaxed)) {
+        return;
+      }
+    }
+  }
   /// Raises the gauge to `v` if it is currently lower or unset (peak
   /// tracking over all recorded values, whatever their sign).
   void UpdateMax(int64_t v) {
@@ -77,6 +89,11 @@ struct HistogramStats {
   double p50 = 0.0;
   double p95 = 0.0;
   double p99 = 0.0;
+  /// Last exemplar recorded through Record(value, exemplar_id): a
+  /// request id that can be looked up in the server's slow log /
+  /// trace store. Empty when the histogram never saw an exemplar.
+  std::string exemplar_id;
+  double exemplar_value = 0.0;
 };
 
 /// A lock-striped histogram of non-negative values (typically
@@ -86,6 +103,10 @@ struct HistogramStats {
 class Histogram {
  public:
   void Record(double value);
+  /// Records `value` and remembers `exemplar_id` (last-write-wins) as
+  /// the sample's provenance — typically a request id, surfaced by the
+  /// Prometheus exposition so one slow sample is traceable end-to-end.
+  void Record(double value, std::string_view exemplar_id);
   HistogramStats Snapshot() const;
 
  private:
@@ -104,7 +125,16 @@ class Histogram {
   Stripe& StripeForThisThread();
 
   std::array<Stripe, kStripes> stripes_;
+  mutable std::mutex exemplar_mu_;
+  std::string exemplar_id_;
+  double exemplar_value_ = 0.0;
 };
+
+/// `name` rewritten into the Prometheus metric-name alphabet
+/// ([a-zA-Z_:][a-zA-Z0-9_:]*): every other character (the registry's
+/// '.' separators, '-', ...) becomes '_', and a leading digit is
+/// prefixed with '_'. An empty name sanitizes to "_".
+std::string PrometheusMetricName(std::string_view name);
 
 /// One coherent reading of a registry: plain maps, detached from the
 /// live metrics, safe to serialize or diff at leisure.
@@ -122,6 +152,17 @@ struct MetricsSnapshot {
   std::string ToJson() const;
   /// Aligned human-readable listing, one metric per line.
   std::string ToText() const;
+  /// Prometheus text exposition format (version 0.0.4): counters and
+  /// gauges become scalar samples, histograms become summaries
+  /// (quantile="0.5"/"0.95"/"0.99" plus _sum/_count and _min/_max
+  /// gauges). Names are sanitized through PrometheusMetricName; a
+  /// sanitized-name collision across metric kinds is disambiguated
+  /// with a numeric suffix rather than emitting a duplicate series.
+  /// A histogram's last exemplar rides along as a comment line
+  /// (`# exemplar <name> request_id="..." value=...`) — scrapers
+  /// ignore it, humans and the CI checker can follow the id into
+  /// /trace.
+  std::string ToPrometheus() const;
 };
 
 /// A process- or component-wide named-metric registry. Registration is

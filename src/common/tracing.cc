@@ -100,6 +100,30 @@ std::string Tracer::ToChromeJson() const {
   return out;
 }
 
+std::string Tracer::EventsToJson(const std::vector<Event>& events) {
+  std::string out = "[";
+  bool first = true;
+  for (const Event& event : events) {
+    out += first ? "" : ",";
+    first = false;
+    out += "{\"name\": ";
+    AppendJsonString(&out, event.name);
+    out += ", \"category\": ";
+    AppendJsonString(&out, event.category);
+    out += ", \"start_us\": " + std::to_string(event.start_us) +
+           ", \"duration_us\": " + std::to_string(event.duration_us) +
+           ", \"cpu_us\": " + std::to_string(event.cpu_us) +
+           ", \"tid\": " + std::to_string(event.tid) +
+           ", \"depth\": " + std::to_string(event.depth);
+    if (event.arg != kNoArg) {
+      out += ", \"arg\": " + std::to_string(event.arg);
+    }
+    out += "}";
+  }
+  out += "]";
+  return out;
+}
+
 std::string Tracer::ToTextTree() const {
   const std::vector<Event> events = Events();
   std::string out;

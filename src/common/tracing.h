@@ -63,6 +63,15 @@ class Tracer {
   /// Indented per-thread span tree with start offsets and durations.
   std::string ToTextTree() const;
 
+  /// `events` as a flat JSON array of span objects ({"name","category",
+  /// "start_us","duration_us","cpu_us","tid","depth"[,"arg"]}), in the
+  /// given order — the per-request trace summary the server's slow log
+  /// and /trace?id= endpoint serve.
+  static std::string EventsToJson(const std::vector<Event>& events);
+
+  /// EventsToJson(Events()): every ended span so far as JSON.
+  std::string ToJsonSpans() const { return EventsToJson(Events()); }
+
  private:
   friend class TraceSpan;
 

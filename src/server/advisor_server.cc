@@ -1,8 +1,13 @@
 #include "server/advisor_server.h"
 
+#include <atomic>
 #include <chrono>
 #include <cstring>
+#include <string>
 #include <utility>
+
+#include "common/log.h"
+#include "common/tracing.h"
 
 #if !defined(_WIN32)
 #include <arpa/inet.h>
@@ -46,6 +51,34 @@ std::string_view OpName(uint8_t opcode) {
       return "shutdown";
   }
   return "unknown";
+}
+
+/// Ops whose requests get a per-request Tracer and a slow-log entry.
+/// Pings and stats polls stay untraced: they are the throughput floor,
+/// and a monitoring loop must not evict real solves from the log.
+bool IsTracedOp(uint8_t opcode) {
+  switch (static_cast<ServerOp>(opcode)) {
+    case ServerOp::kIngest:
+    case ServerOp::kWhatIf:
+    case ServerOp::kRecommend:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Server-generated fallback id for clients that sent none — keeps the
+/// slow log and log lines attributable without changing what goes back
+/// on the wire (an unflagged request gets an unflagged response).
+std::string GenerateServerRequestId() {
+  static std::atomic<uint64_t> next{0};
+  return "srv-" + std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+int64_t UnixMicrosNow() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
 }
 
 }  // namespace
@@ -124,37 +157,121 @@ void AdvisorServer::ServeConnection(int fd) {
   Counter* requests = registry->counter("server.requests");
   Counter* errors = registry->counter("server.request_errors");
   Histogram* latency = registry->histogram("server.request_us");
+  Gauge* inflight = registry->gauge("server.inflight_requests");
   for (;;) {
     Frame frame;
     bool clean_eof = false;
     if (!ReadFrame(fd, &frame, &clean_eof).ok()) break;
     const auto start = std::chrono::steady_clock::now();
+    const int64_t start_unix_us = UnixMicrosNow();
+    const uint8_t opcode = BaseTag(frame.opcode);
+    const bool wire_id = HasRequestId(frame.opcode);
+    inflight->Add(1);
     requests->Add(1);
-    registry->counter("server.op." + std::string(OpName(frame.opcode)))
-        ->Add(1);
-    if (frame.opcode == static_cast<uint8_t>(ServerOp::kShutdown)) {
+    const std::string_view op_name = OpName(opcode);
+    registry->counter("server.op." + std::string(op_name))->Add(1);
+
+    // Resolve the request id (wire header, or a server-generated
+    // fallback) and the opcode's real payload. An unparsable header is
+    // a request error like any other — but answered unflagged, since
+    // there is no trustworthy id to echo.
+    std::string request_id;
+    std::string_view payload_view = frame.payload;
+    Status id_status = Status::OK();
+    if (wire_id) {
+      std::string_view id;
+      id_status = SplitRequestId(frame.payload, &id, &payload_view);
+      if (id_status.ok()) request_id.assign(id);
+    }
+    if (request_id.empty()) request_id = GenerateServerRequestId();
+    // Every log line this request produces on this thread carries the
+    // id, whatever logger it lands in.
+    LogContext log_ctx("request_id", request_id);
+
+    if (id_status.ok() &&
+        opcode == static_cast<uint8_t>(ServerOp::kShutdown)) {
       // Ack first so the requesting client sees a clean success, then
       // stop the transport. RequestStop never joins, so calling it
       // from this handler thread is safe.
-      (void)WriteFrame(fd, 0, "");
+      std::string ack;
+      uint8_t ack_tag = 0;
+      if (wire_id &&
+          AttachRequestId(request_id, "", &ack).ok()) {
+        ack_tag = static_cast<uint8_t>(ack_tag | kRequestIdFlag);
+      }
+      (void)WriteFrame(fd, ack_tag, ack);
+      inflight->Add(-1);
       RequestStop();
       break;
     }
+
+    // Solve-class ops get a request-scoped span tree; the transport
+    // owns it, the service and solver add spans through RequestContext.
+    const bool traced = id_status.ok() && IsTracedOp(opcode);
+    Tracer tracer;
     uint8_t status_byte = 0;
-    std::string payload;
-    Result<std::string> result = service_->Handle(frame.opcode, frame.payload);
-    if (result.ok()) {
-      payload = std::move(result).value();
-    } else {
-      status_byte = WireStatusCode(result.status());
-      payload = result.status().message();
+    std::string body;
+    if (!id_status.ok()) {
+      status_byte = WireStatusCode(id_status);
+      body = id_status.message();
       errors->Add(1);
+    } else {
+      RequestContext ctx;
+      ctx.request_id = request_id;
+      ctx.tracer = traced ? &tracer : nullptr;
+      Result<std::string> result = service_->Handle(opcode, payload_view, ctx);
+      if (result.ok()) {
+        body = std::move(result).value();
+      } else {
+        status_byte = WireStatusCode(result.status());
+        body = result.status().message();
+        errors->Add(1);
+      }
     }
+
+    // A flagged request is answered flagged: same status code space in
+    // the low bits, the echoed id as the payload's header line.
+    uint8_t wire_tag = status_byte;
+    std::string wire_payload;
+    std::string_view response = body;
+    if (wire_id && id_status.ok() &&
+        AttachRequestId(request_id, body, &wire_payload).ok()) {
+      wire_tag = static_cast<uint8_t>(wire_tag | kRequestIdFlag);
+      response = wire_payload;
+    }
+    Status write_status;
+    {
+      CDPD_TRACE_SPAN(traced ? &tracer : nullptr, "request.respond", "server",
+                      static_cast<int64_t>(response.size()));
+      write_status = WriteFrame(fd, wire_tag, response);
+    }
+
+    // Latency includes the response write — a stalled client reading a
+    // large answer is server-observed time, and the bug of recording
+    // before WriteExact hid exactly that.
     const auto elapsed = std::chrono::steady_clock::now() - start;
-    latency->Record(static_cast<double>(
+    const double elapsed_us = static_cast<double>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
-            .count()));
-    if (!WriteFrame(fd, status_byte, payload).ok()) break;
+            .count());
+    latency->Record(elapsed_us, request_id);
+    registry->histogram("server.op_us." + std::string(op_name))
+        ->Record(elapsed_us, request_id);
+    if (traced) {
+      SlowLogEntry entry;
+      entry.request_id = request_id;
+      entry.op = std::string(op_name);
+      entry.wire_status = status_byte;
+      entry.start_unix_us = start_unix_us;
+      entry.duration_us = static_cast<int64_t>(elapsed_us);
+      entry.window_epoch = service_->epoch();
+      entry.request_bytes = frame.payload.size();
+      entry.response_bytes = response.size();
+      entry.spans = tracer.Events();
+      service_->slow_log()->Record(std::move(entry));
+      registry->counter("server.slowlog_recorded")->Add(1);
+    }
+    inflight->Add(-1);
+    if (!write_status.ok()) break;
   }
   ::close(fd);
   std::lock_guard<std::mutex> lock(conn_mu_);

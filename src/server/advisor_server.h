@@ -38,9 +38,19 @@ struct ServerOptions {
 /// connection thread is joined.
 ///
 /// Per-request metrics land in the service registry: the
-/// "server.requests" / "server.request_errors" counters, a per-opcode
-/// "server.op.<name>" counter, and the "server.request_us" latency
-/// histogram (p50/p95/p99 via MetricsSnapshot).
+/// "server.requests" / "server.request_errors" counters, the
+/// "server.inflight_requests" gauge, a per-opcode "server.op.<name>"
+/// counter and "server.op_us.<name>" latency histogram, and the
+/// overall "server.request_us" histogram (p50/p95/p99 via
+/// MetricsSnapshot). Latency is recorded *after* the response write
+/// completes, so it covers the full server-observed request.
+///
+/// Request ids: a frame whose tag carries kRequestIdFlag prefixes its
+/// payload with an "id\n" header; the server echoes the id on the
+/// response (same flag, same header) and stamps it into every log
+/// line, the latency histograms' exemplars, and the slow-log entry
+/// with its request-scoped span tree (parse → solve → respond).
+/// Unflagged frames round-trip bit-identically to the pre-id protocol.
 class AdvisorServer {
  public:
   /// `service` is borrowed and must outlive the server.

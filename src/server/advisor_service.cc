@@ -226,7 +226,8 @@ AdvisorService::AdvisorService(ServiceOptions options)
         session_options.observability = options_.observability;
         session_options.observability.metrics = &registry_;
         return session_options;
-      }()) {
+      }()),
+      slow_log_(options_.slow_log_capacity, options_.slow_log_recent) {
   candidate_indexes_ = options_.candidate_indexes;
   if (candidate_indexes_.empty()) {
     candidate_indexes_ = MakePaperCandidateIndexes(options_.schema);
@@ -359,7 +360,7 @@ Result<WhatIfAnswer> AdvisorService::WhatIfConfig(const Configuration& config) {
 }
 
 Result<RecommendAnswer> AdvisorService::RecommendNow(
-    const RecommendRequest& request) {
+    const RecommendRequest& request, Tracer* tracer) {
   const std::shared_ptr<const WindowState> window = CurrentWindow();
   if (window->segments.empty()) {
     return Status::FailedPrecondition(
@@ -426,6 +427,10 @@ Result<RecommendAnswer> AdvisorService::RecommendNow(
   solve_options.deadline = deadline;
   solve_options.memory_limit_bytes = memory_limit;
   solve_options.cancel = &cancel_;
+  // Per-call sinks win slot-by-slot over the session defaults, so the
+  // request-scoped tracer captures this solve's spans while metrics
+  // keep flowing into the service registry.
+  solve_options.observability.tracer = tracer;
   if (method == OptimizerMethod::kGreedySeq) {
     solve_options.greedy.candidate_indexes = candidate_indexes_;
     solve_options.greedy.max_indexes_per_config =
@@ -468,23 +473,37 @@ Result<RecommendAnswer> AdvisorService::RecommendNow(
 }
 
 Result<std::string> AdvisorService::Handle(uint8_t opcode,
-                                           std::string_view payload) {
+                                           std::string_view payload,
+                                           const RequestContext& ctx) {
   switch (static_cast<ServerOp>(opcode)) {
     case ServerOp::kPing:
       return std::string();
     case ServerOp::kIngest: {
+      // Parse and window swap are one operation here (ReadTrace runs
+      // inside IngestSql), so the whole op is the "solve" span.
+      CDPD_TRACE_SPAN(ctx.tracer, "request.solve", "server");
       CDPD_ASSIGN_OR_RETURN(IngestAck ack, IngestSql(payload));
       return ack.ToJson();
     }
     case ServerOp::kWhatIf: {
-      CDPD_ASSIGN_OR_RETURN(Configuration config, ParseConfigSpec(payload));
-      CDPD_ASSIGN_OR_RETURN(WhatIfAnswer answer, WhatIfConfig(config));
+      Result<Configuration> config = [&]() -> Result<Configuration> {
+        CDPD_TRACE_SPAN(ctx.tracer, "request.parse", "server");
+        return ParseConfigSpec(payload);
+      }();
+      CDPD_RETURN_IF_ERROR(config.status());
+      CDPD_TRACE_SPAN(ctx.tracer, "request.solve", "server");
+      CDPD_ASSIGN_OR_RETURN(WhatIfAnswer answer, WhatIfConfig(*config));
       return answer.ToJson(options_.schema);
     }
     case ServerOp::kRecommend: {
-      CDPD_ASSIGN_OR_RETURN(RecommendRequest request,
-                            ParseRecommendRequest(payload));
-      CDPD_ASSIGN_OR_RETURN(RecommendAnswer answer, RecommendNow(request));
+      Result<RecommendRequest> request = [&]() -> Result<RecommendRequest> {
+        CDPD_TRACE_SPAN(ctx.tracer, "request.parse", "server");
+        return ParseRecommendRequest(payload);
+      }();
+      CDPD_RETURN_IF_ERROR(request.status());
+      CDPD_TRACE_SPAN(ctx.tracer, "request.solve", "server");
+      CDPD_ASSIGN_OR_RETURN(RecommendAnswer answer,
+                            RecommendNow(*request, ctx.tracer));
       return answer.ToJson(options_.schema);
     }
     case ServerOp::kStats:
@@ -497,7 +516,7 @@ Result<std::string> AdvisorService::Handle(uint8_t opcode,
                                  std::to_string(static_cast<int>(opcode)));
 }
 
-std::string AdvisorService::StatsJson() {
+MetricsSnapshot AdvisorService::StatsSnapshot() {
   if (session_.cost_cache() != nullptr) {
     session_.cost_cache()->PublishTo(&registry_);
   }
@@ -508,8 +527,13 @@ std::string AdvisorService::StatsJson() {
     registry_.gauge("server.window_epoch")
         ->Set(static_cast<int64_t>(window_->epoch));
   }
+  registry_.gauge("server.slowlog_entries")
+      ->Set(static_cast<int64_t>(slow_log_.Slowest().size()));
+  registry_.counter("server.slowlog_recorded");  // Ensure it is visible.
   SampleProcessMemory(&registry_);
-  return registry_.Snapshot().ToJson();
+  return registry_.Snapshot();
 }
+
+std::string AdvisorService::StatsJson() { return StatsSnapshot().ToJson(); }
 
 }  // namespace cdpd

@@ -21,6 +21,7 @@
 #include "cost/cost_model.h"
 #include "cost/what_if.h"
 #include "server/frame.h"
+#include "server/slow_log.h"
 #include "storage/schema.h"
 #include "workload/workload.h"
 
@@ -65,8 +66,22 @@ struct ServiceOptions {
   /// metrics registry (the registry always receives the solver and
   /// server metrics; these add tracing/logging/progress).
   Observability observability;
+  /// Slowest-request entries GET /slowlog keeps (0 disables) and the
+  /// recent-request ring GET /trace?id= resolves ids from.
+  size_t slow_log_capacity = 32;
+  size_t slow_log_recent = 256;
 
   Status Validate() const;
+};
+
+/// Per-request attribution the transport threads into Handle(): the
+/// wire request id (empty when the client sent none and the server
+/// generated one) and an optional request-scoped tracer the service
+/// opens its parse/solve spans on — the solver's own spans land on the
+/// same tracer through SolveOptions::observability.
+struct RequestContext {
+  std::string_view request_id;
+  Tracer* tracer = nullptr;
 };
 
 /// INGEST outcome: how many statements the batch added and what the
@@ -167,6 +182,13 @@ class AdvisorService {
   /// land here; STATS serializes it.
   MetricsRegistry* registry() { return &registry_; }
   SolverSession* session() { return &session_; }
+  /// The bounded record of the slowest (and most recent) requests the
+  /// transport served; GET /slowlog and /trace?id= read it.
+  SlowLog* slow_log() { return &slow_log_; }
+  /// Readiness for traffic: the catalog is pinned at construction, so
+  /// the service is ready once the first INGEST left a non-empty
+  /// window to solve over (GET /readyz).
+  bool ready() const { return window_size() > 0; }
   /// Trips the service-wide cancel token: every in-flight solve winds
   /// down through the anytime machinery. Called by the server on
   /// SHUTDOWN; irreversible.
@@ -179,16 +201,29 @@ class AdvisorService {
   /// RECOMMEND with apply=1).
   Configuration initial_config() const;
 
-  // Typed entry points (tests and in-process callers).
+  // Typed entry points (tests and in-process callers). `tracer`
+  // (optional) receives the solve's spans — the per-request tracer the
+  // transport passes through RequestContext.
   Result<IngestAck> IngestSql(std::string_view sql);
   Result<WhatIfAnswer> WhatIfConfig(const Configuration& config);
-  Result<RecommendAnswer> RecommendNow(const RecommendRequest& request);
+  Result<RecommendAnswer> RecommendNow(const RecommendRequest& request,
+                                       Tracer* tracer = nullptr);
 
   /// Wire entry point: dispatches a request frame's opcode to the
-  /// typed methods and serializes the answer as JSON. kShutdown is the
-  /// server's job (transport lifecycle), not the service's — it is
-  /// rejected here.
-  Result<std::string> Handle(uint8_t opcode, std::string_view payload);
+  /// typed methods and serializes the answer as JSON, opening
+  /// "request.parse" / "request.solve" spans on ctx.tracer. kShutdown
+  /// is the server's job (transport lifecycle), not the service's — it
+  /// is rejected here.
+  Result<std::string> Handle(uint8_t opcode, std::string_view payload,
+                             const RequestContext& ctx);
+  Result<std::string> Handle(uint8_t opcode, std::string_view payload) {
+    return Handle(opcode, payload, RequestContext{});
+  }
+
+  /// One coherent registry reading, refreshed with the cache, window,
+  /// and process gauges — what /varz serializes as JSON and /metrics
+  /// renders as Prometheus text.
+  MetricsSnapshot StatsSnapshot();
 
   /// Metrics snapshot JSON ({"counters":...,"gauges":...,
   /// "histograms":...}), refreshed with the cache and process gauges.
@@ -226,6 +261,7 @@ class AdvisorService {
   MetricsRegistry registry_;
   SolverSession session_;
   CancelToken cancel_;
+  SlowLog slow_log_;
 
   mutable std::mutex mu_;
   std::shared_ptr<const WindowState> window_;

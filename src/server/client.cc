@@ -1,6 +1,9 @@
 #include "server/client.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstring>
+#include <utility>
 
 #if !defined(_WIN32)
 #include <arpa/inet.h>
@@ -57,17 +60,61 @@ void AdvisorClient::Close() {
 
 #endif  // _WIN32
 
+namespace {
+
+/// Process-unique client-side ids: a connect-time-ish epoch plus a
+/// dense counter. No cryptographic uniqueness needed — collisions only
+/// blur which slow-log entry is whose.
+std::string GenerateClientRequestId() {
+  static const int64_t epoch_us =
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  static std::atomic<uint64_t> next{0};
+  return "c" + std::to_string(epoch_us) + "-" +
+         std::to_string(next.fetch_add(1, std::memory_order_relaxed));
+}
+
+}  // namespace
+
 Result<std::string> AdvisorClient::Call(ServerOp op,
                                         std::string_view payload) {
   if (fd_ < 0) return Status::FailedPrecondition("client is not connected");
-  CDPD_RETURN_IF_ERROR(
-      WriteFrame(fd_, static_cast<uint8_t>(op), payload));
+  std::string request_id;
+  if (!next_request_id_.empty()) {
+    request_id = std::move(next_request_id_);
+    next_request_id_.clear();
+  } else if (request_ids_enabled_) {
+    request_id = GenerateClientRequestId();
+  }
+  if (request_id.empty()) {
+    last_request_id_.clear();
+    CDPD_RETURN_IF_ERROR(WriteFrame(fd_, static_cast<uint8_t>(op), payload));
+  } else {
+    std::string wire;
+    CDPD_RETURN_IF_ERROR(AttachRequestId(request_id, payload, &wire));
+    CDPD_RETURN_IF_ERROR(WriteFrame(
+        fd_, static_cast<uint8_t>(static_cast<uint8_t>(op) | kRequestIdFlag),
+        wire));
+    last_request_id_ = std::move(request_id);
+  }
   Frame response;
   CDPD_RETURN_IF_ERROR(ReadFrame(fd_, &response));
-  if (response.opcode != 0) {
-    return StatusFromWire(response.opcode, response.payload);
+  std::string_view body = response.payload;
+  if (HasRequestId(response.opcode)) {
+    std::string_view echoed;
+    CDPD_RETURN_IF_ERROR(SplitRequestId(response.payload, &echoed, &body));
+    if (!last_request_id_.empty() && echoed != last_request_id_) {
+      return Status::Internal("response echoes request id '" +
+                              std::string(echoed) + "' for request '" +
+                              last_request_id_ + "'");
+    }
   }
-  return std::move(response.payload);
+  const uint8_t status = BaseTag(response.opcode);
+  if (status != 0) {
+    return StatusFromWire(status, body);
+  }
+  return std::string(body);
 }
 
 Status AdvisorClient::Ping() { return Call(ServerOp::kPing, "").status(); }

@@ -20,18 +20,33 @@ namespace cdpd {
 /// message. Transport failures (connection reset, short frame) are
 /// Internal.
 ///
+/// Request ids: by default every call attaches a generated request-id
+/// header (kRequestIdFlag + "id\n" payload prefix) and verifies the
+/// server echoes it; last_request_id() reports the id of the most
+/// recent call, which /slowlog and /trace?id= resolve server-side.
+/// set_next_request_id() overrides the id for the next call (end-to-end
+/// correlation with an external system); set_request_ids_enabled(false)
+/// restores the pre-id wire bytes for servers that predate the header.
+///
 /// Move-only; the destructor closes the connection.
 class AdvisorClient {
  public:
   static Result<AdvisorClient> Connect(const std::string& host, int port);
 
-  AdvisorClient(AdvisorClient&& other) noexcept : fd_(other.fd_) {
+  AdvisorClient(AdvisorClient&& other) noexcept
+      : fd_(other.fd_),
+        request_ids_enabled_(other.request_ids_enabled_),
+        next_request_id_(std::move(other.next_request_id_)),
+        last_request_id_(std::move(other.last_request_id_)) {
     other.fd_ = -1;
   }
   AdvisorClient& operator=(AdvisorClient&& other) noexcept {
     if (this != &other) {
       Close();
       fd_ = other.fd_;
+      request_ids_enabled_ = other.request_ids_enabled_;
+      next_request_id_ = std::move(other.next_request_id_);
+      last_request_id_ = std::move(other.last_request_id_);
       other.fd_ = -1;
     }
     return *this;
@@ -62,11 +77,32 @@ class AdvisorClient {
 
   bool connected() const { return fd_ >= 0; }
 
+  /// Attach request-id headers to outgoing frames (default true). Off,
+  /// the client's wire bytes are identical to the pre-id protocol.
+  void set_request_ids_enabled(bool enabled) {
+    request_ids_enabled_ = enabled;
+  }
+  bool request_ids_enabled() const { return request_ids_enabled_; }
+
+  /// Overrides the id of the next call only (must satisfy
+  /// ValidateRequestId; an invalid id fails that call). Subsequent
+  /// calls go back to generated ids.
+  void set_next_request_id(std::string id) {
+    next_request_id_ = std::move(id);
+  }
+
+  /// The id the most recent call carried ("" before the first call or
+  /// with ids disabled) — what /trace?id= resolves.
+  const std::string& last_request_id() const { return last_request_id_; }
+
  private:
   explicit AdvisorClient(int fd) : fd_(fd) {}
   void Close();
 
   int fd_ = -1;
+  bool request_ids_enabled_ = true;
+  std::string next_request_id_;
+  std::string last_request_id_;
 };
 
 }  // namespace cdpd

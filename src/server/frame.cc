@@ -48,6 +48,49 @@ Status StatusFromWire(uint8_t code, std::string_view message) {
   }
 }
 
+Status ValidateRequestId(std::string_view id) {
+  if (id.empty()) return Status::InvalidArgument("request id is empty");
+  if (id.size() > kMaxRequestIdBytes) {
+    return Status::InvalidArgument(
+        "request id of " + std::to_string(id.size()) +
+        " bytes exceeds the " + std::to_string(kMaxRequestIdBytes) +
+        "-byte cap");
+  }
+  for (char c : id) {
+    if (c < 0x21 || c > 0x7e || c == '"' || c == '\\') {
+      return Status::InvalidArgument(
+          "request id contains a character outside printable ASCII "
+          "(spaces, quotes, and backslashes are also rejected)");
+    }
+  }
+  return Status::OK();
+}
+
+Status AttachRequestId(std::string_view id, std::string_view payload,
+                       std::string* out) {
+  CDPD_RETURN_IF_ERROR(ValidateRequestId(id));
+  out->clear();
+  out->reserve(id.size() + 1 + payload.size());
+  out->append(id);
+  out->push_back('\n');
+  out->append(payload);
+  return Status::OK();
+}
+
+Status SplitRequestId(std::string_view wire_payload, std::string_view* id,
+                      std::string_view* payload) {
+  const size_t newline = wire_payload.find('\n');
+  if (newline == std::string_view::npos) {
+    return Status::InvalidArgument(
+        "flagged frame carries no request-id header line");
+  }
+  const std::string_view header = wire_payload.substr(0, newline);
+  CDPD_RETURN_IF_ERROR(ValidateRequestId(header));
+  *id = header;
+  *payload = wire_payload.substr(newline + 1);
+  return Status::OK();
+}
+
 Status EncodeFrame(uint8_t tag, std::string_view payload, std::string* out) {
   if (payload.size() > kMaxPayloadBytes) {
     return Status::InvalidArgument(

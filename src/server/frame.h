@@ -45,6 +45,46 @@ enum class ServerOp : uint8_t {
 /// ingest batch, small enough that a corrupt length prefix fails fast.
 inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
 
+/// Optional request-id header. A client that wants end-to-end
+/// attribution sets the top bit of the opcode byte and prefixes the
+/// payload with `<request-id>\n`; the server echoes the same flag and
+/// id on the response (success or error) and stamps the id into its
+/// logs, metric exemplars, slow log, and per-request trace. Frames
+/// without the flag are the PR 8 wire format, byte for byte — an old
+/// client round-trips bit-identically against a new server.
+///
+/// Opcodes and wire status codes both live in [0, 0x7f], so the flag
+/// bit is unambiguous in both directions; BaseTag() recovers the
+/// opcode/status.
+inline constexpr uint8_t kRequestIdFlag = 0x80;
+
+/// Longest accepted request id. Ids are opaque client-chosen tokens;
+/// the cap keeps header parsing trivially bounded.
+inline constexpr size_t kMaxRequestIdBytes = 128;
+
+inline constexpr uint8_t BaseTag(uint8_t tag) {
+  return static_cast<uint8_t>(tag & 0x7f);
+}
+inline constexpr bool HasRequestId(uint8_t tag) {
+  return (tag & kRequestIdFlag) != 0;
+}
+
+/// Checks an id is usable as a wire header: non-empty, at most
+/// kMaxRequestIdBytes, printable ASCII, no '\n'/'"'/'\\' (the id is
+/// embedded raw in the header line and in JSON/log output).
+Status ValidateRequestId(std::string_view id);
+
+/// `id` + '\n' + `payload`, validated. The result is the flagged
+/// frame's payload.
+Status AttachRequestId(std::string_view id, std::string_view payload,
+                       std::string* out);
+
+/// Splits a flagged frame's payload back into the id and the real
+/// payload (views into `wire_payload` — no copy). Fails when the
+/// header line is missing or the id is invalid.
+Status SplitRequestId(std::string_view wire_payload, std::string_view* id,
+                      std::string_view* payload);
+
 /// The one-byte wire form of a Status (0 = OK). Stable across
 /// releases: new StatusCode values map to the generic internal code
 /// rather than shifting existing ones.

@@ -1,0 +1,283 @@
+#include "server/http_endpoint.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#if !defined(_WIN32)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+#endif
+
+#include "server/frame.h"
+#include "server/slow_log.h"
+
+namespace cdpd {
+
+namespace {
+
+std::string_view StatusText(int status) {
+  switch (status) {
+    case 200:
+      return "OK";
+    case 400:
+      return "Bad Request";
+    case 404:
+      return "Not Found";
+    case 405:
+      return "Method Not Allowed";
+    case 503:
+      return "Service Unavailable";
+    default:
+      return "Error";
+  }
+}
+
+}  // namespace
+
+HttpResponse HttpEndpoint::Route(std::string_view target) {
+  std::string_view path = target;
+  std::string_view query;
+  const size_t qmark = target.find('?');
+  if (qmark != std::string_view::npos) {
+    path = target.substr(0, qmark);
+    query = target.substr(qmark + 1);
+  }
+  service_->registry()->counter("server.http_requests")->Add(1);
+
+  HttpResponse response;
+  if (path == "/metrics") {
+    // The 0.0.4 text exposition format Prometheus scrapes.
+    response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    response.body = service_->StatsSnapshot().ToPrometheus();
+    return response;
+  }
+  if (path == "/healthz") {
+    response.body = "ok\n";
+    return response;
+  }
+  if (path == "/readyz") {
+    if (service_->ready()) {
+      response.body = "ready\n";
+    } else {
+      response.status = 503;
+      response.body = "not ready: waiting for the first INGEST\n";
+    }
+    return response;
+  }
+  if (path == "/varz") {
+    response.content_type = "application/json";
+    response.body = service_->StatsJson();
+    return response;
+  }
+  if (path == "/slowlog") {
+    response.content_type = "application/json";
+    response.body = service_->slow_log()->ToJson();
+    return response;
+  }
+  if (path == "/trace") {
+    constexpr std::string_view kIdParam = "id=";
+    std::string_view id;
+    for (std::string_view rest = query; !rest.empty();) {
+      const size_t amp = rest.find('&');
+      const std::string_view param = rest.substr(0, amp);
+      rest = amp == std::string_view::npos ? std::string_view()
+                                          : rest.substr(amp + 1);
+      if (param.substr(0, kIdParam.size()) == kIdParam) {
+        id = param.substr(kIdParam.size());
+      }
+    }
+    if (id.empty() || !ValidateRequestId(id).ok()) {
+      response.status = 400;
+      response.body = "usage: /trace?id=<request-id>\n";
+      return response;
+    }
+    std::optional<SlowLogEntry> entry = service_->slow_log()->Find(id);
+    if (!entry.has_value()) {
+      response.status = 404;
+      response.body = "no recorded request with that id (the recent ring "
+                      "holds the last " +
+                      std::to_string(service_->options().slow_log_recent) +
+                      " requests)\n";
+      return response;
+    }
+    response.content_type = "application/json";
+    response.body = entry->ToJson();
+    return response;
+  }
+  response.status = 404;
+  response.body =
+      "not found; endpoints: /metrics /healthz /readyz /varz /slowlog "
+      "/trace?id=\n";
+  return response;
+}
+
+#if defined(_WIN32)
+
+HttpEndpoint::~HttpEndpoint() = default;
+Status HttpEndpoint::Start(const HttpOptions&) {
+  return Status::Internal("the observability endpoint requires POSIX sockets");
+}
+void HttpEndpoint::Shutdown() {}
+void HttpEndpoint::AcceptLoop() {}
+void HttpEndpoint::ServeConnection(int) {}
+
+#else
+
+HttpEndpoint::~HttpEndpoint() { Shutdown(); }
+
+Status HttpEndpoint::Start(const HttpOptions& options) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("cannot parse host '" + options.host +
+                                   "' as an IPv4 address");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("bind to " + options.host + ":" +
+                            std::to_string(options.port) + " failed: " +
+                            error);
+  }
+  if (::listen(fd, options.backlog) != 0) {
+    const std::string error = std::strerror(errno);
+    ::close(fd);
+    return Status::Internal("listen failed: " + error);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) ==
+      0) {
+    port_ = static_cast<int>(ntohs(bound.sin_port));
+  }
+  listen_fd_.store(fd, std::memory_order_release);
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void HttpEndpoint::AcceptLoop() {
+  for (;;) {
+    const int lfd = listen_fd_.load(std::memory_order_acquire);
+    if (lfd < 0 || stopping_.load(std::memory_order_acquire)) break;
+    const int fd = ::accept(lfd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (stopping_.load(std::memory_order_acquire)) {
+      ::close(fd);
+      break;
+    }
+    open_fds_.push_back(fd);
+    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+  }
+}
+
+void HttpEndpoint::ServeConnection(int fd) {
+  // Read until the header terminator; the request line is all we use.
+  // 8 KiB is generous for "GET /metrics HTTP/1.1" plus curl's headers.
+  std::string request;
+  char buf[1024];
+  bool have_headers = false;
+  while (request.size() < 8192) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      request.append(buf, static_cast<size_t>(n));
+      if (request.find("\r\n\r\n") != std::string::npos ||
+          request.find("\n\n") != std::string::npos) {
+        have_headers = true;
+        break;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    break;
+  }
+
+  HttpResponse response;
+  if (!have_headers) {
+    response.status = 400;
+    response.body = "malformed request\n";
+  } else {
+    const size_t line_end = request.find_first_of("\r\n");
+    const std::string_view line =
+        std::string_view(request).substr(0, line_end);
+    const size_t sp1 = line.find(' ');
+    const size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos) {
+      response.status = 400;
+      response.body = "malformed request line\n";
+    } else if (line.substr(0, sp1) != "GET") {
+      response.status = 405;
+      response.body = "only GET is served\n";
+    } else {
+      response = Route(line.substr(sp1 + 1, sp2 - sp1 - 1));
+    }
+  }
+
+  std::string wire = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                     std::string(StatusText(response.status)) + "\r\n";
+  wire += "Content-Type: " + response.content_type + "\r\n";
+  wire += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+  wire += "Connection: close\r\n\r\n";
+  wire += response.body;
+  (void)WriteExact(fd, wire.data(), wire.size());
+
+  ::close(fd);
+  std::lock_guard<std::mutex> lock(conn_mu_);
+  for (size_t i = 0; i < open_fds_.size(); ++i) {
+    if (open_fds_[i] == fd) {
+      open_fds_.erase(open_fds_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+}
+
+void HttpEndpoint::Shutdown() {
+  if (!stopping_.exchange(true, std::memory_order_acq_rel)) {
+    const int lfd = listen_fd_.exchange(-1, std::memory_order_acq_rel);
+    if (lfd >= 0) {
+      ::shutdown(lfd, SHUT_RDWR);
+      ::close(lfd);
+    }
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (const int open_fd : open_fds_) {
+      ::shutdown(open_fd, SHUT_RDWR);
+    }
+  }
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (;;) {
+    std::vector<std::thread> batch;
+    {
+      std::lock_guard<std::mutex> conn_lock(conn_mu_);
+      batch.swap(connections_);
+    }
+    if (batch.empty()) break;
+    for (std::thread& thread : batch) {
+      if (thread.joinable()) thread.join();
+    }
+  }
+}
+
+#endif  // _WIN32
+
+}  // namespace cdpd

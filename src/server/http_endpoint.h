@@ -1,0 +1,95 @@
+#ifndef CDPD_SERVER_HTTP_ENDPOINT_H_
+#define CDPD_SERVER_HTTP_ENDPOINT_H_
+
+#include <atomic>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "server/advisor_service.h"
+
+namespace cdpd {
+
+/// Transport knobs of the observability listener.
+struct HttpOptions {
+  /// Loopback by default, same rationale as ServerOptions: the
+  /// endpoints are unauthenticated.
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is reported by port().
+  int port = 0;
+  int backlog = 16;
+};
+
+/// One parsed HTTP request target and the response to send back —
+/// separated from the socket loop so the routing logic is unit-testable
+/// without a live listener.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+};
+
+/// The advisor's observability plane: a minimal HTTP/1.0 listener that
+/// runs in the same process as the frame-protocol server (separate
+/// port) and serves read-only views of the AdvisorService:
+///
+///   GET /metrics   Prometheus text exposition of the live snapshot
+///                  (counters, gauges, histogram summaries, exemplars).
+///   GET /healthz   200 once the process serves — liveness.
+///   GET /readyz    200 after the first INGEST left a non-empty window
+///                  (the catalog is pinned at construction), else 503 —
+///                  readiness for real traffic.
+///   GET /varz      The metrics snapshot as JSON (StatsJson).
+///   GET /slowlog   The slowest recorded requests, slowest first, with
+///                  their span trees.
+///   GET /trace?id=<request-id>
+///                  One request's slow-log entry by id (recent ring
+///                  first), 404 when the id has aged out.
+///
+/// One request per connection (Connection: close), one thread per
+/// connection; request bodies are ignored and only GET is served. The
+/// service is borrowed and must outlive the endpoint.
+class HttpEndpoint {
+ public:
+  explicit HttpEndpoint(AdvisorService* service) : service_(service) {}
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+  ~HttpEndpoint();
+
+  /// Binds, listens, and spawns the accept thread.
+  Status Start(const HttpOptions& options = {});
+
+  /// The bound port (the ephemeral port when options.port was 0); 0
+  /// before Start().
+  int port() const { return port_; }
+
+  /// Stops accepting, unblocks in-flight connections, joins all
+  /// threads. Idempotent.
+  void Shutdown();
+
+  /// Pure routing: maps a request target ("/metrics",
+  /// "/trace?id=abc") to the response the socket loop would send.
+  /// Exposed for tests.
+  HttpResponse Route(std::string_view target);
+
+ private:
+  void AcceptLoop();
+  void ServeConnection(int fd);
+
+  AdvisorService* service_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<int> listen_fd_{-1};
+  int port_ = 0;
+  std::thread accept_thread_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> connections_;
+  std::vector<int> open_fds_;
+  std::mutex join_mu_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_SERVER_HTTP_ENDPOINT_H_

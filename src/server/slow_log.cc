@@ -1,0 +1,88 @@
+#include "server/slow_log.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/json_util.h"
+
+namespace cdpd {
+
+std::string SlowLogEntry::ToJson() const {
+  std::string out = "{\"request_id\":" + JsonString(request_id);
+  out += ",\"op\":" + JsonString(op);
+  out += ",\"wire_status\":" + std::to_string(static_cast<int>(wire_status));
+  out += ",\"start_unix_us\":" + std::to_string(start_unix_us);
+  out += ",\"duration_us\":" + std::to_string(duration_us);
+  out += ",\"window_epoch\":" + std::to_string(window_epoch);
+  out += ",\"request_bytes\":" + std::to_string(request_bytes);
+  out += ",\"response_bytes\":" + std::to_string(response_bytes);
+  out += ",\"spans\":" + Tracer::EventsToJson(spans);
+  out += "}";
+  return out;
+}
+
+void SlowLog::Record(SlowLogEntry entry) {
+  if (capacity_ == 0 && recent_capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  ++recorded_;
+  if (recent_capacity_ > 0) {
+    recent_.push_back(entry);
+    if (recent_.size() > recent_capacity_) recent_.pop_front();
+  }
+  if (capacity_ == 0) return;
+  if (slowest_.size() >= capacity_ &&
+      entry.duration_us <= slowest_.back().duration_us) {
+    return;  // Faster than the current floor: not a slow request.
+  }
+  // Insert keeping the slowest-first order; the comparison is on
+  // duration only, so ties keep insertion order (stable).
+  const auto at = std::upper_bound(
+      slowest_.begin(), slowest_.end(), entry,
+      [](const SlowLogEntry& a, const SlowLogEntry& b) {
+        return a.duration_us > b.duration_us;
+      });
+  slowest_.insert(at, std::move(entry));
+  if (slowest_.size() > capacity_) slowest_.pop_back();
+}
+
+std::vector<SlowLogEntry> SlowLog::Slowest() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slowest_;
+}
+
+std::optional<SlowLogEntry> SlowLog::Find(std::string_view request_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = recent_.rbegin(); it != recent_.rend(); ++it) {
+    if (it->request_id == request_id) return *it;
+  }
+  for (const SlowLogEntry& entry : slowest_) {
+    if (entry.request_id == request_id) return entry;
+  }
+  return std::nullopt;
+}
+
+int64_t SlowLog::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recorded_;
+}
+
+std::string SlowLog::ToJson() const {
+  std::vector<SlowLogEntry> entries;
+  int64_t recorded = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries = slowest_;
+    recorded = recorded_;
+  }
+  std::string out = "{\"capacity\":" + std::to_string(capacity_);
+  out += ",\"recorded\":" + std::to_string(recorded);
+  out += ",\"entries\":[";
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i > 0) out += ",";
+    out += entries[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace cdpd

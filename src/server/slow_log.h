@@ -1,0 +1,82 @@
+#ifndef CDPD_SERVER_SLOW_LOG_H_
+#define CDPD_SERVER_SLOW_LOG_H_
+
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/tracing.h"
+
+namespace cdpd {
+
+/// One fully-served request as the slow log remembers it: identity,
+/// outcome, wall time **including the response write**, and the
+/// per-request trace summary (parse → solve → respond spans, plus the
+/// solver's own spans when the op solved anything). Span names are
+/// string literals, so the copied events stay valid after the
+/// per-request Tracer is gone.
+struct SlowLogEntry {
+  std::string request_id;
+  std::string op;           // "whatif", "recommend", ...
+  uint8_t wire_status = 0;  // 0 = success (see WireStatusCode).
+  int64_t start_unix_us = 0;
+  int64_t duration_us = 0;
+  uint64_t window_epoch = 0;
+  size_t request_bytes = 0;
+  size_t response_bytes = 0;
+  std::vector<Tracer::Event> spans;
+
+  /// {"request_id":...,"op":...,"duration_us":...,"spans":[...]}.
+  std::string ToJson() const;
+};
+
+/// A bounded, thread-safe record of the N slowest requests plus a
+/// short ring of the most recent ones. The slowest set backs
+/// GET /slowlog (what should a human look at first?); the recent ring
+/// backs GET /trace?id= (any just-issued request id resolves, slow or
+/// not). Both are bounded, so a server that lives for months never
+/// grows this beyond (capacity + recent_capacity) entries.
+class SlowLog {
+ public:
+  explicit SlowLog(size_t capacity = 32, size_t recent_capacity = 256)
+      : capacity_(capacity), recent_capacity_(recent_capacity) {}
+  SlowLog(const SlowLog&) = delete;
+  SlowLog& operator=(const SlowLog&) = delete;
+
+  /// Records one served request: always enters the recent ring
+  /// (evicting the oldest), enters the slowest set iff it beats the
+  /// current floor (evicting the fastest resident).
+  void Record(SlowLogEntry entry);
+
+  /// The slowest recorded requests, slowest first.
+  std::vector<SlowLogEntry> Slowest() const;
+
+  /// Looks `request_id` up in the recent ring (newest first), then the
+  /// slowest set — a slow request stays resolvable after it ages out
+  /// of the ring.
+  std::optional<SlowLogEntry> Find(std::string_view request_id) const;
+
+  /// Requests recorded since construction (not capped).
+  int64_t recorded() const;
+
+  size_t capacity() const { return capacity_; }
+
+  /// {"capacity":N,"recorded":M,"entries":[slowest-first...]}.
+  std::string ToJson() const;
+
+ private:
+  const size_t capacity_;
+  const size_t recent_capacity_;
+  mutable std::mutex mu_;
+  std::vector<SlowLogEntry> slowest_;  // Sorted, slowest first.
+  std::deque<SlowLogEntry> recent_;    // Newest at the back.
+  int64_t recorded_ = 0;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_SERVER_SLOW_LOG_H_

@@ -74,6 +74,47 @@ TEST(LoggerTest, TakeLinesDrainsTheBuffer) {
   EXPECT_EQ(logger.num_events(), 1u);
 }
 
+TEST(LogContextTest, StampsEveryLineOnThisThreadWhileAlive) {
+  Logger logger(LogLevel::kDebug);
+  logger.Log(LogLevel::kInfo, "before");
+  {
+    LogContext ctx("request_id", "req-42");
+    logger.Log(LogLevel::kInfo, "during", {LogField("k", 1)});
+    {
+      LogContext inner("op", "recommend");  // Contexts nest.
+      logger.Log(LogLevel::kInfo, "nested");
+    }
+    logger.Log(LogLevel::kInfo, "after.inner");
+  }
+  logger.Log(LogLevel::kInfo, "after");
+
+  const std::vector<std::string> lines = logger.TakeLines();
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].find("request_id"), std::string::npos);
+  // Context fields sit between the fixed prefix and the call's fields.
+  EXPECT_NE(lines[1].find("\"event\":\"during\",\"request_id\":\"req-42\","
+                          "\"k\":1"),
+            std::string::npos)
+      << lines[1];
+  EXPECT_NE(lines[2].find("\"request_id\":\"req-42\",\"op\":\"recommend\""),
+            std::string::npos)
+      << lines[2];
+  EXPECT_NE(lines[3].find("\"request_id\":\"req-42\""), std::string::npos);
+  EXPECT_EQ(lines[3].find("\"op\""), std::string::npos);
+  EXPECT_EQ(lines[4].find("request_id"), std::string::npos);
+}
+
+TEST(LogContextTest, DoesNotLeakAcrossThreads) {
+  Logger logger(LogLevel::kDebug);
+  LogContext ctx("request_id", "main-thread-only");
+  std::thread other([&logger] {
+    logger.Log(LogLevel::kInfo, "from.other.thread");
+  });
+  other.join();
+  const std::string line = logger.ToJsonl();
+  EXPECT_EQ(line.find("main-thread-only"), std::string::npos) << line;
+}
+
 TEST(LoggerTest, ConcurrentLoggingKeepsEveryLineIntact) {
   // 8 threads x 200 events; every line must be a complete JSON object
   // on its own line (no interleaving), and all 1600 must arrive. Run

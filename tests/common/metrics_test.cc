@@ -84,6 +84,117 @@ TEST(MetricsTest, EmptyHistogramSnapshotIsZeroed) {
   EXPECT_DOUBLE_EQ(stats.p50, 0.0);
 }
 
+TEST(MetricsTest, SingleSampleHistogramCollapsesToThatSample) {
+  Histogram histogram;
+  histogram.Record(42.0);
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.count, 1);
+  EXPECT_DOUBLE_EQ(stats.sum, 42.0);
+  EXPECT_DOUBLE_EQ(stats.min, 42.0);
+  EXPECT_DOUBLE_EQ(stats.max, 42.0);
+  // Bucketed estimates are clamped to [min, max], so every percentile
+  // of a single sample is exactly that sample.
+  EXPECT_DOUBLE_EQ(stats.p50, 42.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 42.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 42.0);
+}
+
+TEST(MetricsTest, AllEqualSamplesReportTheConstant) {
+  Histogram histogram;
+  for (int i = 0; i < 1'000; ++i) histogram.Record(7.0);
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.count, 1'000);
+  EXPECT_DOUBLE_EQ(stats.p50, 7.0);
+  EXPECT_DOUBLE_EQ(stats.p95, 7.0);
+  EXPECT_DOUBLE_EQ(stats.p99, 7.0);
+  EXPECT_DOUBLE_EQ(stats.min, 7.0);
+  EXPECT_DOUBLE_EQ(stats.max, 7.0);
+}
+
+TEST(MetricsTest, GaugeAddTreatsUnsetAsZero) {
+  Gauge gauge;
+  gauge.Add(5);  // Unset sentinel must read as 0, not INT64_MIN.
+  EXPECT_EQ(gauge.Value(), 5);
+  gauge.Add(-2);
+  EXPECT_EQ(gauge.Value(), 3);
+  gauge.Add(-3);
+  EXPECT_EQ(gauge.Value(), 0);
+  Gauge seeded;
+  seeded.Set(10);
+  seeded.Add(1);
+  EXPECT_EQ(seeded.Value(), 11);
+}
+
+TEST(MetricsTest, HistogramExemplarTracksLastTaggedSample) {
+  Histogram histogram;
+  histogram.Record(5.0);  // Untagged: no exemplar.
+  EXPECT_TRUE(histogram.Snapshot().exemplar_id.empty());
+  histogram.Record(9.0, "req-1");
+  histogram.Record(2.0, "req-2");
+  const HistogramStats stats = histogram.Snapshot();
+  EXPECT_EQ(stats.exemplar_id, "req-2");
+  EXPECT_DOUBLE_EQ(stats.exemplar_value, 2.0);
+  EXPECT_EQ(stats.count, 3);
+}
+
+TEST(MetricsTest, PrometheusMetricNameSanitizesTheAlphabet) {
+  EXPECT_EQ(PrometheusMetricName("server.request_us"), "server_request_us");
+  EXPECT_EQ(PrometheusMetricName("cost_cache.hits"), "cost_cache_hits");
+  EXPECT_EQ(PrometheusMetricName("a-b/c d"), "a_b_c_d");
+  EXPECT_EQ(PrometheusMetricName("ns:metric"), "ns:metric");  // Colons ok.
+  EXPECT_EQ(PrometheusMetricName("9lives"), "_9lives");  // No leading digit.
+  EXPECT_EQ(PrometheusMetricName(""), "_");
+}
+
+TEST(MetricsTest, ToPrometheusRendersEveryKind) {
+  MetricsRegistry registry;
+  registry.counter("server.requests")->Add(3);
+  registry.gauge("server.inflight_requests")->Set(1);
+  Histogram* latency = registry.histogram("server.request_us");
+  for (int i = 0; i < 10; ++i) latency->Record(100.0, "req-x");
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE server_requests counter\n"), std::string::npos);
+  EXPECT_NE(text.find("server_requests 3\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_inflight_requests gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_inflight_requests 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_request_us summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_request_us{quantile=\"0.5\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_request_us{quantile=\"0.95\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_request_us{quantile=\"0.99\"} 100\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_request_us_sum 1000\n"), std::string::npos);
+  EXPECT_NE(text.find("server_request_us_count 10\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_request_us_min gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_request_us_max gauge\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("# exemplar server_request_us request_id=\"req-x\" value="),
+      std::string::npos);
+}
+
+TEST(MetricsTest, ToPrometheusDisambiguatesCollidingSanitizedNames) {
+  MetricsRegistry registry;
+  // Distinct registry names, one sanitized Prometheus name.
+  registry.counter("op.stats")->Add(1);
+  registry.counter("op_stats")->Add(2);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE op_stats counter\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE op_stats_2 counter\n"), std::string::npos);
+  // Exactly one bare "op_stats <value>" sample line.
+  size_t bare = 0;
+  for (size_t pos = 0; (pos = text.find("\nop_stats ", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++bare;
+  }
+  EXPECT_EQ(bare, 1u);
+}
+
 TEST(MetricsTest, RegistryIsIdempotentWithStablePointers) {
   MetricsRegistry registry;
   Counter* c1 = registry.counter("solver.costings");
@@ -184,8 +295,12 @@ TEST(MetricsConcurrencyTest, ParallelUpdatesAndSnapshotsAreExact) {
         // idempotent-registration lock against concurrent lookups.
         registry.counter("shared.counter")->Add(1);
         registry.gauge("shared.gauge")->UpdateMax(t * kIterations + i);
+        // Add +1/-1 pairs must cancel exactly whatever the interleaving
+        // (the inflight-requests pattern).
+        registry.gauge("shared.inflight")->Add(1);
         registry.histogram("shared.histogram")
-            ->Record(static_cast<double>(i % 1'000));
+            ->Record(static_cast<double>(i % 1'000), "req");
+        registry.gauge("shared.inflight")->Add(-1);
       }
     });
   }
@@ -211,6 +326,8 @@ TEST(MetricsConcurrencyTest, ParallelUpdatesAndSnapshotsAreExact) {
   EXPECT_EQ(histogram.count, int64_t{kThreads} * kIterations);
   EXPECT_DOUBLE_EQ(histogram.min, 0.0);
   EXPECT_DOUBLE_EQ(histogram.max, 999.0);
+  EXPECT_EQ(histogram.exemplar_id, "req");
+  EXPECT_EQ(snapshot.GaugeValue("shared.inflight"), 0);
 }
 
 }  // namespace

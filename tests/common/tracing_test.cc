@@ -178,5 +178,28 @@ TEST(TracingConcurrencyTest, ParallelSpansAndConcurrentExport) {
   }
 }
 
+TEST(TracerTest, EventsToJsonRendersFlatSpanObjects) {
+  Tracer tracer;
+  {
+    CDPD_TRACE_SPAN(&tracer, "request.solve", "server");
+    CDPD_TRACE_SPAN(&tracer, "kaware.dp", "solver", 42);
+  }
+  const std::string json = tracer.ToJsonSpans();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json.back(), ']');
+  EXPECT_NE(json.find("\"request.solve\""), std::string::npos);
+  EXPECT_NE(json.find("\"category\": \"server\""), std::string::npos);
+  EXPECT_NE(json.find("\"kaware.dp\""), std::string::npos);
+  EXPECT_NE(json.find("\"arg\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"depth\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"duration_us\""), std::string::npos);
+  // kNoArg spans omit the arg key entirely.
+  const size_t solve = json.find("\"request.solve\"");
+  const size_t solve_end = json.find('}', solve);
+  EXPECT_EQ(json.substr(solve, solve_end - solve).find("\"arg\""),
+            std::string::npos);
+  EXPECT_EQ(Tracer::EventsToJson({}), "[]");
+}
+
 }  // namespace
 }  // namespace cdpd

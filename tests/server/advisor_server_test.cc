@@ -179,6 +179,120 @@ TEST(AdvisorServerTest, ConcurrentClientsShareOneResidentService) {
   server.Wait();
 }
 
+TEST(AdvisorServerTest, RequestIdsRoundTripIntoSlowLogAndTraces) {
+  AdvisorService service(TestServiceOptions());
+  AdvisorServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  AdvisorClient client =
+      AdvisorClient::Connect("127.0.0.1", server.port()).value();
+
+  // Default: every call carries a generated id the server echoes.
+  ASSERT_TRUE(client.Ingest(TestTrace()).ok());
+  EXPECT_FALSE(client.last_request_id().empty());
+
+  // A caller-supplied id resolves server-side with the span tree.
+  client.set_next_request_id("trace-me-1");
+  ASSERT_TRUE(client.Recommend("k=2\nmethod=optimal").ok());
+  EXPECT_EQ(client.last_request_id(), "trace-me-1");
+  // Metrics and the slow-log entry are recorded after the response
+  // write; a follow-up request on the same connection serializes past
+  // that (the per-connection loop is strictly sequential).
+  ASSERT_TRUE(client.Ping().ok());
+  const auto entry = service.slow_log()->Find("trace-me-1");
+  ASSERT_TRUE(entry.has_value());
+  EXPECT_EQ(entry->op, "recommend");
+  EXPECT_EQ(entry->wire_status, 0);
+  EXPECT_GT(entry->duration_us, 0);
+  bool saw_parse = false, saw_solve = false, saw_respond = false;
+  for (const Tracer::Event& span : entry->spans) {
+    const std::string_view name = span.name;
+    saw_parse |= name == "request.parse";
+    saw_solve |= name == "request.solve";
+    saw_respond |= name == "request.respond";
+  }
+  EXPECT_TRUE(saw_parse);
+  EXPECT_TRUE(saw_solve);
+  EXPECT_TRUE(saw_respond);
+
+  // The override is one-shot: the next call generates again.
+  ASSERT_TRUE(client.WhatIf("a").ok());
+  EXPECT_NE(client.last_request_id(), "trace-me-1");
+  const std::string whatif_id = client.last_request_id();
+  ASSERT_TRUE(client.Ping().ok());  // Serialize past the record.
+  EXPECT_TRUE(service.slow_log()->Find(whatif_id).has_value());
+
+  // Error replies echo the id too, and land in the slow log with the
+  // wire status.
+  client.set_next_request_id("trace-err-1");
+  EXPECT_FALSE(client.Recommend("k=two").ok());
+  EXPECT_EQ(client.last_request_id(), "trace-err-1");
+  ASSERT_TRUE(client.Ping().ok());  // Serialize past the record.
+  const auto err_entry = service.slow_log()->Find("trace-err-1");
+  ASSERT_TRUE(err_entry.has_value());
+  EXPECT_NE(err_entry->wire_status, 0);
+
+  // An invalid caller id fails client-side before hitting the wire.
+  client.set_next_request_id("bad id with spaces");
+  EXPECT_FALSE(client.Ping().ok());
+  EXPECT_TRUE(client.Ping().ok());  // Connection still healthy.
+
+  // The histograms carry the latest id as their exemplar.
+  const MetricsSnapshot snapshot = service.registry()->Snapshot();
+  const auto it = snapshot.histograms.find("server.request_us");
+  ASSERT_NE(it, snapshot.histograms.end());
+  EXPECT_FALSE(it->second.exemplar_id.empty());
+  EXPECT_GT(snapshot.histograms.at("server.op_us.recommend").count, 0);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(AdvisorServerTest, UnflaggedFramesRoundTripBitIdentically) {
+  // A pre-request-id client: hand-built frames, no flag bit. The
+  // response bytes must be exactly what the old protocol produced —
+  // same tag byte, no id header in the payload.
+  AdvisorService service(TestServiceOptions());
+  AdvisorServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+
+  AdvisorClient raw =
+      AdvisorClient::Connect("127.0.0.1", server.port()).value();
+  raw.set_request_ids_enabled(false);
+
+  // PING: empty payload both ways, tag byte exactly 0.
+  ASSERT_TRUE(raw.Ping().ok());
+  EXPECT_TRUE(raw.last_request_id().empty());
+
+  // Cross-check at the frame level on a second connection.
+  {
+    AdvisorClient probe =
+        AdvisorClient::Connect("127.0.0.1", server.port()).value();
+    probe.set_request_ids_enabled(false);
+    ASSERT_TRUE(probe.Ingest(TestTrace()).ok());
+    const Result<std::string> ack = probe.Ingest(TestTrace());
+    ASSERT_TRUE(ack.ok());
+    // JSON body starts immediately — no "id\n" prefix.
+    EXPECT_EQ(ack->front(), '{');
+  }
+
+  // Mixed traffic on one server: flagged and unflagged clients
+  // interleave without confusing each other.
+  AdvisorClient flagged =
+      AdvisorClient::Connect("127.0.0.1", server.port()).value();
+  ASSERT_TRUE(flagged.WhatIf("a").ok());
+  EXPECT_FALSE(flagged.last_request_id().empty());
+  ASSERT_TRUE(raw.WhatIf("a").ok());
+  EXPECT_TRUE(raw.last_request_id().empty());
+
+  // The same logical answer comes back on both paths.
+  const std::string with_id = flagged.WhatIf("c,d").value();
+  const std::string without_id = raw.WhatIf("c,d").value();
+  EXPECT_EQ(with_id, without_id);
+
+  server.Shutdown();
+  server.Wait();
+}
+
 TEST(AdvisorServerTest, ShutdownIsIdempotentAndWaitReturns) {
   AdvisorService service(TestServiceOptions());
   AdvisorServer server(&service);

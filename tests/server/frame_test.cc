@@ -126,6 +126,69 @@ TEST(FrameTest, EofMidFrameIsNotClean) {
   EXPECT_FALSE(clean_eof);
 }
 
+TEST(FrameRequestIdTest, TagHelpersSplitTheFlagBit) {
+  const uint8_t flagged = static_cast<uint8_t>(3 | kRequestIdFlag);
+  EXPECT_TRUE(HasRequestId(flagged));
+  EXPECT_EQ(BaseTag(flagged), 3);
+  EXPECT_FALSE(HasRequestId(3));
+  EXPECT_EQ(BaseTag(3), 3);
+}
+
+TEST(FrameRequestIdTest, ValidationRejectsTheRightIds) {
+  EXPECT_TRUE(ValidateRequestId("abc-123_XYZ.99").ok());
+  EXPECT_TRUE(ValidateRequestId(std::string(kMaxRequestIdBytes, 'a')).ok());
+  EXPECT_FALSE(ValidateRequestId("").ok());
+  EXPECT_FALSE(
+      ValidateRequestId(std::string(kMaxRequestIdBytes + 1, 'a')).ok());
+  EXPECT_FALSE(ValidateRequestId("has space").ok());
+  EXPECT_FALSE(ValidateRequestId("has\"quote").ok());
+  EXPECT_FALSE(ValidateRequestId("has\\backslash").ok());
+  EXPECT_FALSE(ValidateRequestId("has\nnewline").ok());
+  EXPECT_FALSE(ValidateRequestId(std::string("nul\0byte", 8)).ok());
+}
+
+TEST(FrameRequestIdTest, AttachSplitRoundTrip) {
+  std::string wire;
+  ASSERT_TRUE(AttachRequestId("req-7", "k=2\nmethod=optimal", &wire).ok());
+  EXPECT_EQ(wire, "req-7\nk=2\nmethod=optimal");
+  std::string_view id;
+  std::string_view payload;
+  ASSERT_TRUE(SplitRequestId(wire, &id, &payload).ok());
+  EXPECT_EQ(id, "req-7");
+  EXPECT_EQ(payload, "k=2\nmethod=optimal");
+  // Empty inner payload (PING with an id) round-trips too.
+  ASSERT_TRUE(AttachRequestId("p", "", &wire).ok());
+  ASSERT_TRUE(SplitRequestId(wire, &id, &payload).ok());
+  EXPECT_EQ(id, "p");
+  EXPECT_TRUE(payload.empty());
+}
+
+TEST(FrameRequestIdTest, SplitRejectsHeaderlessOrInvalidPayloads) {
+  std::string_view id;
+  std::string_view payload;
+  EXPECT_FALSE(SplitRequestId("no newline anywhere", &id, &payload).ok());
+  EXPECT_FALSE(SplitRequestId("\nempty header", &id, &payload).ok());
+  EXPECT_FALSE(SplitRequestId("bad id\nrest", &id, &payload).ok());
+}
+
+TEST(FrameRequestIdTest, FlaggedFrameRoundTripsOverSocketPair) {
+  SocketPair pair;
+  std::string wire;
+  ASSERT_TRUE(AttachRequestId("sock-1", "payload", &wire).ok());
+  ASSERT_TRUE(
+      WriteFrame(pair.a, static_cast<uint8_t>(2 | kRequestIdFlag), wire)
+          .ok());
+  Frame frame;
+  ASSERT_TRUE(ReadFrame(pair.b, &frame).ok());
+  ASSERT_TRUE(HasRequestId(frame.opcode));
+  EXPECT_EQ(BaseTag(frame.opcode), 2);
+  std::string_view id;
+  std::string_view payload;
+  ASSERT_TRUE(SplitRequestId(frame.payload, &id, &payload).ok());
+  EXPECT_EQ(id, "sock-1");
+  EXPECT_EQ(payload, "payload");
+}
+
 TEST(FrameTest, WireStatusCodesRoundTripTheStatusClass) {
   const Status statuses[] = {
       Status::InvalidArgument("bad"),    Status::NotFound("gone"),

@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Unit tests for tools/check_prometheus.py.
+
+Each test writes an exposition fixture to a tempdir and runs the
+checker as a subprocess, exactly the way CI gates advisor_server's
+GET /metrics output: valid counter/gauge/summary expositions pass,
+samples without a TYPE, non-numeric values, duplicate declarations,
+and quantile labels on non-summaries fail, and the --require /
+--require-prefix presence flags gate independently.
+
+Registered with ctest as `check_prometheus_test` (see
+tests/CMakeLists.txt).
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+SCRIPT = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                      os.pardir, os.pardir, "tools", "check_prometheus.py")
+
+VALID = """\
+# TYPE server_requests counter
+server_requests 42
+# TYPE server_inflight_requests gauge
+server_inflight_requests 0
+# TYPE server_request_us summary
+server_request_us{quantile="0.5"} 120
+server_request_us{quantile="0.95"} 340
+server_request_us{quantile="0.99"} 560.5
+server_request_us_sum 12345.6
+server_request_us_count 42
+# TYPE server_request_us_min gauge
+server_request_us_min 80
+# exemplar server_request_us request_id="req-1" value=560.5
+"""
+
+
+class CheckPrometheusTest(unittest.TestCase):
+    def run_checker(self, text, *flags):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "metrics.txt")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            return subprocess.run(
+                [sys.executable, SCRIPT, path, *flags],
+                capture_output=True, text=True)
+
+    def test_valid_exposition_passes(self):
+        result = self.run_checker(VALID)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_stdin_is_accepted(self):
+        result = subprocess.run([sys.executable, SCRIPT, "-"],
+                                input=VALID, capture_output=True, text=True)
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_sample_without_type_fails(self):
+        result = self.run_checker("orphan_metric 1\n")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no preceding TYPE", result.stderr)
+
+    def test_non_numeric_value_fails(self):
+        result = self.run_checker(
+            "# TYPE m counter\nm not-a-number\n")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("not a number", result.stderr)
+
+    def test_special_float_values_pass(self):
+        text = ("# TYPE m gauge\nm +Inf\n"
+                "# TYPE n gauge\nn NaN\n")
+        self.assertEqual(self.run_checker(text).returncode, 0)
+
+    def test_duplicate_type_declaration_fails(self):
+        text = ("# TYPE m counter\nm 1\n"
+                "# TYPE m counter\nm 2\n")
+        result = self.run_checker(text)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("declared twice", result.stderr)
+
+    def test_bad_metric_name_fails(self):
+        result = self.run_checker("# TYPE 9bad counter\n9bad 1\n")
+        self.assertEqual(result.returncode, 1)
+
+    def test_quantile_on_counter_fails(self):
+        text = '# TYPE m counter\nm{quantile="0.5"} 1\n'
+        result = self.run_checker(text)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("quantile", result.stderr)
+
+    def test_summary_sum_count_belong_to_family(self):
+        text = ("# TYPE lat summary\n"
+                'lat{quantile="0.5"} 1\nlat_sum 10\nlat_count 3\n')
+        self.assertEqual(self.run_checker(text).returncode, 0)
+
+    def test_require_present_and_missing(self):
+        ok = self.run_checker(VALID, "--require", "server_requests")
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        missing = self.run_checker(VALID, "--require", "no_such_family")
+        self.assertEqual(missing.returncode, 1)
+        self.assertIn("no_such_family", missing.stderr)
+
+    def test_require_rejects_declared_but_unsampled_family(self):
+        text = VALID + "# TYPE ghost counter\n"
+        result = self.run_checker(text, "--require", "ghost")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no samples", result.stderr)
+
+    def test_require_prefix(self):
+        ok = self.run_checker(VALID, "--require-prefix", "server_")
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+        missing = self.run_checker(VALID, "--require-prefix", "cost_cache_")
+        self.assertEqual(missing.returncode, 1)
+        self.assertIn("cost_cache_", missing.stderr)
+
+    def test_comments_and_blank_lines_are_ignored(self):
+        text = "\n# free-form comment\n# HELP m helps\n" + VALID
+        self.assertEqual(self.run_checker(text).returncode, 0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -28,7 +28,18 @@ namespace {
 
 void PrintHelp(std::FILE* out) {
   std::fprintf(out,
-      "usage: advisor_client [--host A.B.C.D] [--port N] <command> [args]\n"
+      "usage: advisor_client [--host A.B.C.D] [--port N] [--request-id ID]\n"
+      "                      [--no-request-id] [--stats-out FILE]\n"
+      "                      [--print-request-id] <command> [args]\n"
+      "\n"
+      "flags:\n"
+      "  --request-id ID     send this request id instead of a generated\n"
+      "                      one (printable ASCII, no spaces/quotes)\n"
+      "  --no-request-id     pre-id wire bytes (for old servers)\n"
+      "  --print-request-id  print 'request_id <id>' to stderr after the\n"
+      "                      call (what /trace?id= resolves)\n"
+      "  --stats-out FILE    after the command, fetch the server metrics\n"
+      "                      snapshot and write the JSON to FILE\n"
       "\n"
       "commands:\n"
       "  ping                     check the server is alive\n"
@@ -69,9 +80,36 @@ bool ReadAll(const std::string& path, std::string* out) {
 
 }  // namespace
 
+/// After the command: report the id the call carried and, with
+/// --stats-out, snapshot the server metrics next to the command's own
+/// output (how the bench harness pairs client-side percentiles with
+/// the server-side op.* histograms).
+int Epilogue(AdvisorClient* client, bool print_request_id,
+             const std::string& stats_out, int exit_code) {
+  if (print_request_id && !client->last_request_id().empty()) {
+    std::fprintf(stderr, "request_id %s\n",
+                 client->last_request_id().c_str());
+  }
+  if (!stats_out.empty() && client->connected()) {
+    Result<std::string> stats = client->Stats();
+    if (!stats.ok()) return Fail(stats.status());
+    std::ofstream out(stats_out, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "cannot write %s\n", stats_out.c_str());
+      return 1;
+    }
+    out << *stats << "\n";
+  }
+  return exit_code;
+}
+
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  std::string request_id;
+  std::string stats_out;
+  bool request_ids_enabled = true;
+  bool print_request_id = false;
   int i = 1;
   for (; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,6 +117,14 @@ int main(int argc, char** argv) {
       host = argv[++i];
     } else if (arg == "--port" && i + 1 < argc) {
       port = std::atoi(argv[++i]);
+    } else if (arg == "--request-id" && i + 1 < argc) {
+      request_id = argv[++i];
+    } else if (arg == "--no-request-id") {
+      request_ids_enabled = false;
+    } else if (arg == "--print-request-id") {
+      print_request_id = true;
+    } else if (arg == "--stats-out" && i + 1 < argc) {
+      stats_out = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       PrintHelp(stdout);
       return 0;
@@ -98,13 +144,18 @@ int main(int argc, char** argv) {
 
   Result<AdvisorClient> client = AdvisorClient::Connect(host, port);
   if (!client.ok()) return Fail(client.status());
+  client->set_request_ids_enabled(request_ids_enabled);
+  if (!request_id.empty()) client->set_next_request_id(request_id);
+  auto finish = [&](int exit_code) {
+    return Epilogue(&*client, print_request_id, stats_out, exit_code);
+  };
 
   if (command == "ping") {
     if (i != argc) { PrintHelp(stderr); return 2; }
     const Status status = client->Ping();
     if (!status.ok()) return Fail(status);
     std::printf("ok\n");
-    return 0;
+    return finish(0);
   }
   if (command == "ingest") {
     if (i + 1 != argc) { PrintHelp(stderr); return 2; }
@@ -116,14 +167,14 @@ int main(int argc, char** argv) {
     Result<std::string> reply = client->Ingest(sql);
     if (!reply.ok()) return Fail(reply.status());
     std::printf("%s\n", reply->c_str());
-    return 0;
+    return finish(0);
   }
   if (command == "whatif") {
     if (i + 1 != argc) { PrintHelp(stderr); return 2; }
     Result<std::string> reply = client->WhatIf(argv[i]);
     if (!reply.ok()) return Fail(reply.status());
     std::printf("%s\n", reply->c_str());
-    return 0;
+    return finish(0);
   }
   if (command == "recommend") {
     std::string options;
@@ -134,21 +185,22 @@ int main(int argc, char** argv) {
     Result<std::string> reply = client->Recommend(options);
     if (!reply.ok()) return Fail(reply.status());
     std::printf("%s\n", reply->c_str());
-    return 0;
+    return finish(0);
   }
   if (command == "stats") {
     if (i != argc) { PrintHelp(stderr); return 2; }
     Result<std::string> reply = client->Stats();
     if (!reply.ok()) return Fail(reply.status());
     std::printf("%s\n", reply->c_str());
-    return 0;
+    return finish(0);
   }
   if (command == "shutdown") {
     if (i != argc) { PrintHelp(stderr); return 2; }
     const Status status = client->Shutdown();
     if (!status.ok()) return Fail(status);
     std::printf("ok\n");
-    return 0;
+    // The server is gone: print the id but skip the stats fetch.
+    return Epilogue(&*client, print_request_id, "", 0);
   }
   std::fprintf(stderr, "unknown command %s\n", command.c_str());
   PrintHelp(stderr);

@@ -4,22 +4,26 @@
 // RECOMMEND / STATS / SHUTDOWN over the length-prefixed frame protocol
 // of src/server/frame.h (see docs/serving.md).
 //
-//   advisor_server [--port N] [--host A.B.C.D] [--rows N] [--block N]
-//                  [--k N] [--window N] [--threads N]
-//                  [--cache-max-bytes N] [--deadline-ms N]
+//   advisor_server [--port N] [--host A.B.C.D] [--http-port N]
+//                  [--rows N] [--block N] [--k N] [--window N]
+//                  [--threads N] [--cache-max-bytes N] [--deadline-ms N]
 //                  [--memory-limit-bytes N]
 //
 // Prints "listening on <host>:<port>" once ready (scripts scrape the
-// port when --port 0 picked an ephemeral one), then serves until a
-// SHUTDOWN frame arrives.
+// port when --port 0 picked an ephemeral one) and, with --http-port,
+// "http listening on <host>:<port>" for the observability plane
+// (/metrics, /healthz, /readyz, /varz, /slowlog, /trace?id=), then
+// serves until a SHUTDOWN frame arrives.
 
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
 #include "server/advisor_server.h"
+#include "server/http_endpoint.h"
 
 using namespace cdpd;
 
@@ -28,6 +32,7 @@ namespace {
 struct ServerCliArgs {
   std::string host = "127.0.0.1";
   int64_t port = 0;
+  int64_t http_port = -1;  // < 0 = no observability listener.
   int64_t rows = 250'000;
   int64_t block = 100;
   int64_t k = 2;  // < 0 = unconstrained default.
@@ -49,6 +54,11 @@ void PrintHelp(std::FILE* out) {
       "  --host A.B.C.D    listen address (default 127.0.0.1)\n"
       "  --port N          listen port (0 = ephemeral; the bound port\n"
       "                    is printed on the 'listening on' line)\n"
+      "  --http-port N     also serve the HTTP observability plane on\n"
+      "                    this port (0 = ephemeral, printed on the\n"
+      "                    'http listening on' line): /metrics /healthz\n"
+      "                    /readyz /varz /slowlog /trace?id=\n"
+      "                    (omit the flag for no HTTP listener)\n"
       "  --rows N          table rows assumed by the cost model\n"
       "  --block N         statements per advisor segment (default 100)\n"
       "  --k N             default change bound (N < 0 = unconstrained;\n"
@@ -85,6 +95,11 @@ bool ParseArgs(int argc, char** argv, ServerCliArgs* args) {
       args->host = argv[++i];
     } else if (arg == "--port") {
       if (!next(&args->port) || args->port < 0 || args->port > 65535) {
+        return false;
+      }
+    } else if (arg == "--http-port") {
+      if (!next(&args->http_port) || args->http_port < 0 ||
+          args->http_port > 65535) {
         return false;
       }
     } else if (arg == "--rows") {
@@ -163,8 +178,22 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("listening on %s:%d\n", args.host.c_str(), server.port());
+  std::unique_ptr<HttpEndpoint> http;
+  if (args.http_port >= 0) {
+    http = std::make_unique<HttpEndpoint>(&service);
+    HttpOptions http_options;
+    http_options.host = args.host;
+    http_options.port = static_cast<int>(args.http_port);
+    if (const Status status = http->Start(http_options); !status.ok()) {
+      std::fprintf(stderr, "cannot start the observability endpoint: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::printf("http listening on %s:%d\n", args.host.c_str(), http->port());
+  }
   std::fflush(stdout);
   server.Wait();
+  if (http != nullptr) http->Shutdown();
   std::printf("shut down after %lld requests\n",
               static_cast<long long>(
                   service.registry()->Snapshot().CounterValue(

@@ -1,0 +1,159 @@
+#!/usr/bin/env python3
+"""Validates Prometheus text exposition format (0.0.4).
+
+Used by CI to gate advisor_server's GET /metrics output, and by the
+ctest suite against canned fixtures. Checks, line by line:
+
+  * sample lines parse as  name[{labels}] value  with a legal metric
+    name ([a-zA-Z_:][a-zA-Z0-9_:]*) and a float-parseable value
+    (including +Inf/-Inf/NaN);
+  * every sample belongs to a family declared by a preceding
+    `# TYPE family kind` line (summaries also own family_sum and
+    family_count);
+  * no family is TYPE-declared twice, and kinds are legal;
+  * quantile labels only appear on summary samples.
+
+Presence requirements:
+
+  --require NAME          this exact family must be declared
+  --require-prefix P      at least one declared family starts with P
+
+Both repeat. Reads the exposition from FILE (or stdin with '-').
+Exit status: 0 clean, 1 violations (each printed to stderr), 2 usage.
+"""
+
+import argparse
+import re
+import sys
+
+METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE = re.compile(
+    r"(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+LABEL = re.compile(r'\s*(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)\s*=\s*'
+                   r'"(?P<value>(?:[^"\\]|\\.)*)"\s*(?:,|$)')
+KINDS = {"counter", "gauge", "summary", "histogram", "untyped"}
+
+
+def parse_value(text):
+    if text in ("+Inf", "-Inf", "Inf", "NaN"):
+        return True
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def check(lines, require=(), require_prefix=()):
+    """Returns a list of violation strings (empty = clean)."""
+    errors = []
+    families = {}   # family name -> kind
+    sampled = set()  # family names that own at least one sample
+
+    def family_of(name):
+        if name in families:
+            return name
+        for suffix in ("_sum", "_count", "_bucket"):
+            if name.endswith(suffix) and name[: -len(suffix)] in families:
+                base = name[: -len(suffix)]
+                if families[base] in ("summary", "histogram"):
+                    return base
+        return None
+
+    for lineno, line in enumerate(lines, start=1):
+        line = line.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 2 and parts[1] == "TYPE":
+                if len(parts) != 4:
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                _, _, name, kind = parts
+                if not METRIC_NAME.match(name):
+                    errors.append(
+                        f"line {lineno}: illegal metric name '{name}'")
+                if kind not in KINDS:
+                    errors.append(f"line {lineno}: unknown kind '{kind}'")
+                if name in families:
+                    errors.append(
+                        f"line {lineno}: family '{name}' declared twice")
+                families[name] = kind
+            # HELP, exemplar, and free comments are fine as-is.
+            continue
+        match = SAMPLE.match(line)
+        if not match:
+            errors.append(f"line {lineno}: unparsable sample: {line!r}")
+            continue
+        name = match.group("name")
+        if not parse_value(match.group("value")):
+            errors.append(
+                f"line {lineno}: value {match.group('value')!r} is not a "
+                "number")
+        family = family_of(name)
+        if family is None:
+            errors.append(
+                f"line {lineno}: sample '{name}' has no preceding TYPE")
+            continue
+        sampled.add(family)
+        labels = match.group("labels")
+        if labels is not None:
+            consumed = 0
+            for label in LABEL.finditer(labels):
+                consumed = label.end()
+                if (label.group("key") == "quantile"
+                        and families[family] != "summary"):
+                    errors.append(
+                        f"line {lineno}: quantile label on "
+                        f"non-summary '{name}'")
+            if consumed < len(labels.rstrip()):
+                errors.append(f"line {lineno}: malformed labels {{{labels}}}")
+
+    for name in require:
+        if name not in families:
+            errors.append(f"required metric family '{name}' is missing")
+        elif name not in sampled:
+            errors.append(f"required metric family '{name}' has no samples")
+    for prefix in require_prefix:
+        if not any(name.startswith(prefix) for name in families):
+            errors.append(f"no metric family starts with '{prefix}'")
+    return errors
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("file", help="exposition file ('-' = stdin)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME", help="family that must be present")
+    parser.add_argument("--require-prefix", action="append", default=[],
+                        metavar="PREFIX",
+                        help="at least one family must start with this")
+    args = parser.parse_args(argv)
+
+    if args.file == "-":
+        lines = sys.stdin.readlines()
+    else:
+        try:
+            with open(args.file, encoding="utf-8") as handle:
+                lines = handle.readlines()
+        except OSError as error:
+            print(f"cannot read {args.file}: {error}", file=sys.stderr)
+            return 2
+
+    errors = check(lines, require=args.require,
+                   require_prefix=args.require_prefix)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if not errors:
+        print(f"{args.file}: {len(lines)} lines ok")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
