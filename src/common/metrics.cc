@@ -213,6 +213,24 @@ std::string MetricsSnapshot::ToPrometheus() const {
     }
     return candidate;
   };
+  // A summary owns three series that must share a base name (`name`,
+  // `name_sum`, `name_count`), so a base is only usable when all three
+  // are free; reserving the trio keeps a counter or gauge that
+  // sanitizes to e.g. `..._sum` from colliding with the summary's own
+  // series (and vice versa).
+  auto unique_summary_name = [&used](const std::string& name) {
+    std::string candidate = name;
+    for (int suffix = 2;; ++suffix) {
+      if (used.count(candidate) == 0 && used.count(candidate + "_sum") == 0 &&
+          used.count(candidate + "_count") == 0) {
+        used.insert(candidate);
+        used.insert(candidate + "_sum");
+        used.insert(candidate + "_count");
+        return candidate;
+      }
+      candidate = name + "_" + std::to_string(suffix);
+    }
+  };
   for (const auto& [name, value] : counters) {
     const std::string prom = unique_name(PrometheusMetricName(name));
     out += "# TYPE " + prom + " counter\n";
@@ -224,7 +242,7 @@ std::string MetricsSnapshot::ToPrometheus() const {
     out += prom + " " + std::to_string(value) + "\n";
   }
   for (const auto& [name, h] : histograms) {
-    const std::string prom = unique_name(PrometheusMetricName(name));
+    const std::string prom = unique_summary_name(PrometheusMetricName(name));
     out += "# TYPE " + prom + " summary\n";
     out += prom + "{quantile=\"0.5\"} " + FormatDouble(h.p50) + "\n";
     out += prom + "{quantile=\"0.95\"} " + FormatDouble(h.p95) + "\n";

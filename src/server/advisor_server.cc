@@ -28,7 +28,8 @@ Status AdvisorServer::Start(const ServerOptions&) {
 void AdvisorServer::Wait() {}
 void AdvisorServer::Shutdown() {}
 void AdvisorServer::AcceptLoop() {}
-void AdvisorServer::ServeConnection(int) {}
+void AdvisorServer::ServeConnection(Connection*) {}
+void AdvisorServer::ReapFinished() {}
 void AdvisorServer::RequestStop() {}
 
 #else
@@ -127,11 +128,23 @@ Status AdvisorServer::Start(const ServerOptions& options) {
 
 void AdvisorServer::AcceptLoop() {
   for (;;) {
+    ReapFinished();
     const int lfd = listen_fd_.load(std::memory_order_acquire);
     if (lfd < 0 || stopping_.load(std::memory_order_acquire)) break;
     const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // A transient failure must not permanently kill the listener
+      // while the process lives on: aborted handshakes just retry,
+      // and descriptor exhaustion is waited out.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       // The listener was closed by RequestStop, or broke; either way
       // the accept loop is done.
       break;
@@ -140,17 +153,44 @@ void AdvisorServer::AcceptLoop() {
     // One small request frame per round trip — Nagle only adds
     // latency here.
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(fd);
+    Connection* raw = conn.get();
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       break;
     }
     open_fds_.push_back(fd);
-    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+    connections_.push_back(std::move(conn));
+    // Spawned under conn_mu_: the handler's completion store can only
+    // happen after its own final conn_mu_ section, i.e. after this
+    // assignment — so a reaper never joins a half-assigned thread.
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
   }
 }
 
-void AdvisorServer::ServeConnection(int fd) {
+void AdvisorServer::ReapFinished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(connections_[i]));
+        connections_.erase(connections_.begin() +
+                           static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  // `done` is the handler's last act, so these joins return promptly.
+  for (std::unique_ptr<Connection>& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void AdvisorServer::ServeConnection(Connection* conn) {
+  const int fd = conn->fd;
   MetricsRegistry* registry = service_->registry();
   // Registry pointers are stable — resolve once per connection so the
   // per-request hot path touches only lock-free metrics.
@@ -253,9 +293,18 @@ void AdvisorServer::ServeConnection(int fd) {
     const double elapsed_us = static_cast<double>(
         std::chrono::duration_cast<std::chrono::microseconds>(elapsed)
             .count());
-    latency->Record(elapsed_us, request_id);
-    registry->histogram("server.op_us." + std::string(op_name))
-        ->Record(elapsed_us, request_id);
+    // Only traced ops leave an exemplar: an exemplar id the exposition
+    // advertises must resolve via /trace?id=, and only traced requests
+    // enter the slow log. Untraced ping/stats samples stay anonymous.
+    Histogram* op_latency =
+        registry->histogram("server.op_us." + std::string(op_name));
+    if (traced) {
+      latency->Record(elapsed_us, request_id);
+      op_latency->Record(elapsed_us, request_id);
+    } else {
+      latency->Record(elapsed_us);
+      op_latency->Record(elapsed_us);
+    }
     if (traced) {
       SlowLogEntry entry;
       entry.request_id = request_id;
@@ -273,14 +322,23 @@ void AdvisorServer::ServeConnection(int fd) {
     inflight->Add(-1);
     if (!write_status.ok()) break;
   }
-  ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (size_t i = 0; i < open_fds_.size(); ++i) {
-    if (open_fds_[i] == fd) {
-      open_fds_.erase(open_fds_.begin() + static_cast<ptrdiff_t>(i));
-      break;
+  // Drop the fd from the shutdown set *before* closing it: once closed
+  // the number can be recycled by any other part of the process, and a
+  // concurrent RequestStop() iterating open_fds_ must never shut down
+  // a stranger's descriptor.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < open_fds_.size(); ++i) {
+      if (open_fds_[i] == fd) {
+        open_fds_.erase(open_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
     }
   }
+  ::close(fd);
+  // Last act: publish completion so the accept loop can reap this
+  // thread. Nothing may touch `this` or `conn` past this store.
+  conn->done.store(true, std::memory_order_release);
 }
 
 void AdvisorServer::RequestStop() {
@@ -306,14 +364,14 @@ void AdvisorServer::Wait() {
   // The listener is gone, so connections_ can only shrink now; drain
   // it in batches until every handler has exited.
   for (;;) {
-    std::vector<std::thread> batch;
+    std::vector<std::unique_ptr<Connection>> batch;
     {
       std::lock_guard<std::mutex> conn_lock(conn_mu_);
       batch.swap(connections_);
     }
     if (batch.empty()) break;
-    for (std::thread& thread : batch) {
-      if (thread.joinable()) thread.join();
+    for (std::unique_ptr<Connection>& conn : batch) {
+      if (conn->thread.joinable()) conn->thread.join();
     }
   }
 }

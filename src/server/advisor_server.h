@@ -2,6 +2,7 @@
 #define CDPD_SERVER_ADVISOR_SERVER_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -78,8 +79,22 @@ class AdvisorServer {
   void Shutdown();
 
  private:
+  /// One accepted connection: its socket, the thread serving it, and a
+  /// completion flag the accept loop polls so finished threads are
+  /// joined during operation rather than hoarding one mapped stack per
+  /// past connection until shutdown.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    int fd;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(Connection* conn);
+  /// Joins and frees every connection whose handler has finished.
+  /// Called by the accept loop before each accept.
+  void ReapFinished();
   /// The non-blocking half of Shutdown(): flips the stop flag, cancels
   /// solves, closes the listener, and unblocks connection reads. Safe
   /// from a connection handler (no joins).
@@ -91,7 +106,7 @@ class AdvisorServer {
   int port_ = 0;
   std::thread accept_thread_;
   std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<int> open_fds_;
   /// Serializes Wait()/Shutdown() joins (either may be called from the
   /// main thread and the destructor).

@@ -1,7 +1,10 @@
 #include "server/http_endpoint.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <memory>
+#include <thread>
 #include <utility>
 
 #if !defined(_WIN32)
@@ -123,7 +126,8 @@ Status HttpEndpoint::Start(const HttpOptions&) {
 }
 void HttpEndpoint::Shutdown() {}
 void HttpEndpoint::AcceptLoop() {}
-void HttpEndpoint::ServeConnection(int) {}
+void HttpEndpoint::ServeConnection(Connection*) {}
+void HttpEndpoint::ReapFinished() {}
 
 #else
 
@@ -171,26 +175,66 @@ Status HttpEndpoint::Start(const HttpOptions& options) {
 
 void HttpEndpoint::AcceptLoop() {
   for (;;) {
+    ReapFinished();
     const int lfd = listen_fd_.load(std::memory_order_acquire);
     if (lfd < 0 || stopping_.load(std::memory_order_acquire)) break;
     const int fd = ::accept(lfd, nullptr, nullptr);
     if (fd < 0) {
-      if (errno == EINTR) continue;
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // A transient failure must not kill the observability listener
+      // for the rest of the process's life: aborted handshakes just
+      // retry, and descriptor exhaustion (often caused elsewhere in
+      // the process) is waited out.
+      if (errno == EINTR || errno == ECONNABORTED || errno == EPROTO) {
+        continue;
+      }
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
       break;
     }
     const int one = 1;
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    auto conn = std::make_unique<Connection>(fd);
+    Connection* raw = conn.get();
     std::lock_guard<std::mutex> lock(conn_mu_);
     if (stopping_.load(std::memory_order_acquire)) {
       ::close(fd);
       break;
     }
     open_fds_.push_back(fd);
-    connections_.emplace_back([this, fd] { ServeConnection(fd); });
+    connections_.push_back(std::move(conn));
+    // Spawned under conn_mu_: the handler's completion store can only
+    // happen after its own final conn_mu_ section, i.e. after this
+    // assignment — so a reaper never joins a half-assigned thread.
+    raw->thread = std::thread([this, raw] { ServeConnection(raw); });
   }
 }
 
-void HttpEndpoint::ServeConnection(int fd) {
+void HttpEndpoint::ReapFinished() {
+  std::vector<std::unique_ptr<Connection>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < connections_.size();) {
+      if (connections_[i]->done.load(std::memory_order_acquire)) {
+        finished.push_back(std::move(connections_[i]));
+        connections_.erase(connections_.begin() +
+                           static_cast<ptrdiff_t>(i));
+      } else {
+        ++i;
+      }
+    }
+  }
+  // `done` is the handler's last act, so these joins return promptly.
+  for (std::unique_ptr<Connection>& conn : finished) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+}
+
+void HttpEndpoint::ServeConnection(Connection* conn) {
+  const int fd = conn->fd;
   // Read until the header terminator; the request line is all we use.
   // 8 KiB is generous for "GET /metrics HTTP/1.1" plus curl's headers.
   std::string request;
@@ -241,14 +285,23 @@ void HttpEndpoint::ServeConnection(int fd) {
   wire += response.body;
   (void)WriteExact(fd, wire.data(), wire.size());
 
-  ::close(fd);
-  std::lock_guard<std::mutex> lock(conn_mu_);
-  for (size_t i = 0; i < open_fds_.size(); ++i) {
-    if (open_fds_[i] == fd) {
-      open_fds_.erase(open_fds_.begin() + static_cast<ptrdiff_t>(i));
-      break;
+  // Drop the fd from the shutdown set *before* closing it: once closed
+  // the number can be recycled by any other part of the process, and a
+  // concurrent Shutdown() iterating open_fds_ must never shut down a
+  // stranger's descriptor.
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    for (size_t i = 0; i < open_fds_.size(); ++i) {
+      if (open_fds_[i] == fd) {
+        open_fds_.erase(open_fds_.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
     }
   }
+  ::close(fd);
+  // Last act: publish completion so the accept loop can reap this
+  // thread. Nothing may touch `this` or `conn` past this store.
+  conn->done.store(true, std::memory_order_release);
 }
 
 void HttpEndpoint::Shutdown() {
@@ -266,14 +319,14 @@ void HttpEndpoint::Shutdown() {
   std::lock_guard<std::mutex> lock(join_mu_);
   if (accept_thread_.joinable()) accept_thread_.join();
   for (;;) {
-    std::vector<std::thread> batch;
+    std::vector<std::unique_ptr<Connection>> batch;
     {
       std::lock_guard<std::mutex> conn_lock(conn_mu_);
       batch.swap(connections_);
     }
     if (batch.empty()) break;
-    for (std::thread& thread : batch) {
-      if (thread.joinable()) thread.join();
+    for (std::unique_ptr<Connection>& conn : batch) {
+      if (conn->thread.joinable()) conn->thread.join();
     }
   }
 }

@@ -2,6 +2,7 @@
 #define CDPD_SERVER_HTTP_ENDPOINT_H_
 
 #include <atomic>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <string_view>
@@ -70,14 +71,37 @@ class HttpEndpoint {
   /// threads. Idempotent.
   void Shutdown();
 
+  /// Connections still tracked (serving, or finished and awaiting the
+  /// accept loop's next reap). Exposed so tests can assert the set
+  /// stays bounded across many sequential requests.
+  size_t TrackedConnectionsForTest() {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    return connections_.size();
+  }
+
   /// Pure routing: maps a request target ("/metrics",
   /// "/trace?id=abc") to the response the socket loop would send.
   /// Exposed for tests.
   HttpResponse Route(std::string_view target);
 
  private:
+  /// One accepted connection: its socket, the thread serving it, and a
+  /// completion flag the accept loop polls so finished threads are
+  /// joined during operation — an unjoined thread keeps its stack
+  /// mapped, and a server scraped every few seconds must not hoard one
+  /// mapping per past request until shutdown.
+  struct Connection {
+    explicit Connection(int fd) : fd(fd) {}
+    int fd;
+    std::atomic<bool> done{false};
+    std::thread thread;
+  };
+
   void AcceptLoop();
-  void ServeConnection(int fd);
+  void ServeConnection(Connection* conn);
+  /// Joins and frees every connection whose handler has finished.
+  /// Called by the accept loop before each accept.
+  void ReapFinished();
 
   AdvisorService* service_;
   std::atomic<bool> stopping_{false};
@@ -85,7 +109,7 @@ class HttpEndpoint {
   int port_ = 0;
   std::thread accept_thread_;
   std::mutex conn_mu_;
-  std::vector<std::thread> connections_;
+  std::vector<std::unique_ptr<Connection>> connections_;
   std::vector<int> open_fds_;
   std::mutex join_mu_;
 };

@@ -195,6 +195,32 @@ TEST(MetricsTest, ToPrometheusDisambiguatesCollidingSanitizedNames) {
   EXPECT_EQ(bare, 1u);
 }
 
+TEST(MetricsTest, ToPrometheusReservesSummarySumAndCountSeries) {
+  MetricsRegistry registry;
+  // A counter whose sanitized name equals the summary's _sum series:
+  // the summary must move aside as a whole (its three series share a
+  // base), leaving exactly one sample per series name.
+  registry.counter("server.request_us_sum")->Add(7);
+  registry.histogram("server.request_us")->Record(100.0);
+  const std::string text = registry.Snapshot().ToPrometheus();
+  EXPECT_NE(text.find("# TYPE server_request_us_sum counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_request_us_sum 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE server_request_us_2 summary\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("server_request_us_2_sum 100\n"), std::string::npos);
+  EXPECT_NE(text.find("server_request_us_2_count 1\n"), std::string::npos);
+  // Exactly one "server_request_us_sum <value>" sample line.
+  size_t sum_samples = 0;
+  for (size_t pos = 0;
+       (pos = text.find("\nserver_request_us_sum ", pos)) !=
+       std::string::npos;
+       ++pos) {
+    ++sum_samples;
+  }
+  EXPECT_EQ(sum_samples, 1u);
+}
+
 TEST(MetricsTest, RegistryIsIdempotentWithStablePointers) {
   MetricsRegistry registry;
   Counter* c1 = registry.counter("solver.costings");

@@ -236,12 +236,42 @@ TEST(AdvisorServerTest, RequestIdsRoundTripIntoSlowLogAndTraces) {
   EXPECT_FALSE(client.Ping().ok());
   EXPECT_TRUE(client.Ping().ok());  // Connection still healthy.
 
-  // The histograms carry the latest id as their exemplar.
+  // The histograms carry the latest *traced* id as their exemplar —
+  // the pings that interleaved above must not overwrite it with an id
+  // /trace?id= would 404 on. The last traced request was trace-err-1.
   const MetricsSnapshot snapshot = service.registry()->Snapshot();
   const auto it = snapshot.histograms.find("server.request_us");
   ASSERT_NE(it, snapshot.histograms.end());
-  EXPECT_FALSE(it->second.exemplar_id.empty());
+  EXPECT_EQ(it->second.exemplar_id, "trace-err-1");
   EXPECT_GT(snapshot.histograms.at("server.op_us.recommend").count, 0);
+
+  server.Shutdown();
+  server.Wait();
+}
+
+TEST(AdvisorServerTest, UntracedOpsLeaveNoExemplar) {
+  // Pings and stats polls never enter the slow log, so they must not
+  // advertise their ids as exemplars either — every exemplar the
+  // exposition shows has to resolve via /trace?id=.
+  AdvisorService service(TestServiceOptions());
+  AdvisorServer server(&service);
+  ASSERT_TRUE(server.Start().ok());
+  AdvisorClient client =
+      AdvisorClient::Connect("127.0.0.1", server.port()).value();
+  ASSERT_TRUE(client.Ping().ok());
+  ASSERT_TRUE(client.Stats().ok());
+  ASSERT_TRUE(client.Ping().ok());  // Serialize past the stats record.
+
+  // The last ping's own record may still be in flight (it commits
+  // after the response write); the first two ops are guaranteed in.
+  const MetricsSnapshot snapshot = service.registry()->Snapshot();
+  const auto latency = snapshot.histograms.find("server.request_us");
+  ASSERT_NE(latency, snapshot.histograms.end());
+  EXPECT_GE(latency->second.count, 2);
+  EXPECT_TRUE(latency->second.exemplar_id.empty());
+  const auto ping = snapshot.histograms.find("server.op_us.ping");
+  ASSERT_NE(ping, snapshot.histograms.end());
+  EXPECT_TRUE(ping->second.exemplar_id.empty());
 
   server.Shutdown();
   server.Wait();

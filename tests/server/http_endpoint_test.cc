@@ -10,8 +10,10 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
@@ -134,6 +136,30 @@ TEST(HttpEndpointTest, UnknownTargetsAre404) {
   HttpEndpoint endpoint(&service);
   EXPECT_EQ(endpoint.Route("/nope").status, 404);
   EXPECT_EQ(endpoint.Route("/").status, 404);
+}
+
+TEST(HttpEndpointTest, FinishedConnectionThreadsAreReapedDuringOperation) {
+  // A long-lived server scraped forever must not accumulate one
+  // unjoined thread per past request: the accept loop joins finished
+  // handlers before each accept, so the tracked set stays bounded.
+  AdvisorService service(TestServiceOptions());
+  HttpEndpoint endpoint(&service);
+  ASSERT_TRUE(endpoint.Start().ok());
+  for (int i = 0; i < 16; ++i) {
+    ASSERT_NE(HttpGet(endpoint.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+  }
+  // Reaping happens on the accept after a handler finishes; keep
+  // issuing requests until the backlog of finished threads drains.
+  bool reaped = false;
+  for (int i = 0; i < 200 && !reaped; ++i) {
+    ASSERT_NE(HttpGet(endpoint.port(), "/healthz").find("200 OK"),
+              std::string::npos);
+    reaped = endpoint.TrackedConnectionsForTest() <= 2;
+    if (!reaped) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(reaped);
+  endpoint.Shutdown();
 }
 
 TEST(HttpEndpointTest, ServesRealSocketsNextToTheFrameServer) {
