@@ -10,6 +10,10 @@
 //   mixed           90% whatif / 8% recommend / 2% ingest — ingests
 //                   slide the window, so the recommends re-solve
 //                   warm-started instead of reusing the resident answer
+//   mixed_recorded  the mixed shape again with the flight recorder
+//                   journaling every request — best-of-3 alternating
+//                   rounds against the best plain round; the req/s
+//                   delta is the recording overhead (CI gates < 5%)
 //
 // Every case reports requests_per_sec (the schema-v3 column
 // tools/bench_compare gates on — drops are regressions) plus
@@ -21,9 +25,11 @@
 // Sizing overrides: CDPD_SERVING_CONNS (connections, default 8) and
 // CDPD_SERVING_REQS (requests per connection per case, default 1500).
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -33,6 +39,7 @@
 #include "common/stopwatch.h"
 #include "server/advisor_server.h"
 #include "server/client.h"
+#include "server/recorder.h"
 
 namespace cdpd {
 namespace {
@@ -212,14 +219,13 @@ void Run(bench_util::BenchReport* report) {
   ReportCase(report, "recommend_warm", conns, recommend_warm,
              ServerOpStats(&service, "recommend"));
   const std::string ingest_batch = TraceBlock();
-  const CaseResult mixed =
-      RunCase(port, conns, reqs,
-              [&ingest_batch](AdvisorClient& client, int64_t i) {
-                const int64_t r = i % 100;
-                if (r < 90) return client.WhatIf("a;c,d").ok();
-                if (r < 98) return client.Recommend("k=2").ok();
-                return client.Ingest(ingest_batch).ok();
-              });
+  const auto mixed_issue = [&ingest_batch](AdvisorClient& client, int64_t i) {
+    const int64_t r = i % 100;
+    if (r < 90) return client.WhatIf("a;c,d").ok();
+    if (r < 98) return client.Recommend("k=2").ok();
+    return client.Ingest(ingest_batch).ok();
+  };
+  const CaseResult mixed = RunCase(port, conns, reqs, mixed_issue);
   const MetricsSnapshot server_side = service.registry()->Snapshot();
   const HistogramStats server_lat =
       server_side.histograms.count("server.request_us")
@@ -228,6 +234,105 @@ void Run(bench_util::BenchReport* report) {
   // Mixed spans three ops, so its server-side column is the overall
   // request_us histogram — cumulative over all cases, not per-case.
   ReportCase(report, "mixed", conns, mixed, server_lat);
+
+  // The same mixed workload with the flight recorder journaling every
+  // request: the Append() ring keeps the hot path off the disk, so the
+  // req/s delta against the plain mixed case is the recording tax.
+  // The journal lands next to the BENCH artifact.
+  std::string journal_base = "bench_serving_journal";
+  if (const char* dir = std::getenv("CDPD_BENCH_OUT_DIR")) {
+    if (dir[0] != '\0') {
+      journal_base = std::string(dir) + "/" + journal_base;
+    }
+  }
+  Recorder::Options recorder_options;
+  recorder_options.path = journal_base;
+  recorder_options.meta.rows = service.options().rows;
+  recorder_options.meta.window_statements =
+      static_cast<int64_t>(service.options().window_statements);
+  Result<std::unique_ptr<Recorder>> recorder =
+      Recorder::Open(std::move(recorder_options), service.registry());
+  if (!recorder.ok()) {
+    std::fprintf(stderr, "cannot start the recorder: %s\n",
+                 recorder.status().ToString().c_str());
+    std::exit(1);
+  }
+  // The recording tax cannot be read off one recorded/plain pair: on a
+  // busy or single-core machine the plain mixed case alone drifts by
+  // double-digit percentages across seconds, which swamps a 5% signal.
+  // So each round runs both shapes back to back (order alternating, so
+  // slow drift hits each side equally) and contributes one
+  // recorded/plain throughput ratio; the median ratio over the rounds
+  // is the overhead estimate. Adjacent-pair ratios cancel drift, the
+  // median discards the odd preempted round.
+  const auto case_rps = [](const CaseResult& r) {
+    return r.wall_seconds > 0.0 ? r.requests / r.wall_seconds : 0.0;
+  };
+  CaseResult best_plain = mixed;
+  CaseResult mixed_recorded;
+  std::vector<double> ratios;
+  constexpr int kOverheadRounds = 5;
+  for (int round = 0; round < kOverheadRounds; ++round) {
+    const auto run_recorded = [&] {
+      service.set_recorder(recorder->get());
+      const CaseResult rec = RunCase(port, conns, reqs, mixed_issue);
+      service.set_recorder(nullptr);
+      if (case_rps(rec) > case_rps(mixed_recorded)) mixed_recorded = rec;
+      return case_rps(rec);
+    };
+    const auto run_plain = [&] {
+      const CaseResult plain = RunCase(port, conns, reqs, mixed_issue);
+      if (case_rps(plain) > case_rps(best_plain)) best_plain = plain;
+      return case_rps(plain);
+    };
+    double rec_rps = 0.0;
+    double plain_rps = 0.0;
+    if (round % 2 == 0) {
+      rec_rps = run_recorded();
+      plain_rps = run_plain();
+    } else {
+      plain_rps = run_plain();
+      rec_rps = run_recorded();
+    }
+    if (plain_rps > 0.0) ratios.push_back(rec_rps / plain_rps);
+  }
+  // A connection thread appends its journal frame after writing the
+  // response, so the client side can return while the last few appends
+  // are still in flight; Shutdown() joins those threads (it is
+  // idempotent — the exit path calls it again) so the frame counts
+  // below are final.
+  server.Shutdown();
+  (*recorder)->Close();
+  std::sort(ratios.begin(), ratios.end());
+  const double median_ratio =
+      ratios.empty() ? 1.0 : ratios[ratios.size() / 2];
+  const double recorded_rps = case_rps(mixed_recorded);
+  const double overhead_pct = (1.0 - median_ratio) * 100.0;
+  std::printf("%-16s %8lld req %8.0f req/s   p50 %6.0f us   p99 %6.0f us"
+              "   overhead %+.1f%%   frames %lld   dropped %lld\n",
+              "mixed_recorded",
+              static_cast<long long>(mixed_recorded.requests), recorded_rps,
+              mixed_recorded.latency.p50, mixed_recorded.latency.p99,
+              overhead_pct,
+              static_cast<long long>((*recorder)->frames_written()),
+              static_cast<long long>((*recorder)->frames_dropped()));
+  report->AddServingCase(
+      "mixed_recorded", mixed_recorded.wall_seconds, mixed_recorded.requests,
+      {{"connections", static_cast<double>(conns)},
+       {"errors", static_cast<double>(mixed_recorded.errors)},
+       {"p50_us", mixed_recorded.latency.p50},
+       {"p95_us", mixed_recorded.latency.p95},
+       {"p99_us", mixed_recorded.latency.p99},
+       {"overhead_pct", overhead_pct},
+       {"frames_written",
+        static_cast<double>((*recorder)->frames_written())},
+       {"frames_dropped",
+        static_cast<double>((*recorder)->frames_dropped())}});
+  if (mixed_recorded.errors > 0) {
+    std::fprintf(stderr, "case mixed_recorded had %lld request errors\n",
+                 static_cast<long long>(mixed_recorded.errors));
+    std::exit(1);
+  }
   PrintRule();
   std::printf("server-side request_us over all cases: count %lld, "
               "p50 %.0f, p95 %.0f, p99 %.0f\n",

@@ -28,6 +28,17 @@ std::string_view OptimizerMethodToString(OptimizerMethod method) {
   return "unknown";
 }
 
+Result<OptimizerMethod> OptimizerMethodFromString(std::string_view name) {
+  if (name == "optimal") return OptimizerMethod::kOptimal;
+  if (name == "greedy-seq") return OptimizerMethod::kGreedySeq;
+  if (name == "merging") return OptimizerMethod::kMerging;
+  if (name == "ranking") return OptimizerMethod::kRanking;
+  if (name == "hybrid") return OptimizerMethod::kHybrid;
+  return Status::InvalidArgument(
+      "unknown method '" + std::string(name) +
+      "' (optimal|greedy-seq|merging|ranking|hybrid)");
+}
+
 namespace {
 
 /// Span name of the top-level solve, per method. TraceSpan stores the

@@ -33,6 +33,12 @@ enum class OptimizerMethod {
 
 std::string_view OptimizerMethodToString(OptimizerMethod method);
 
+/// The inverse of OptimizerMethodToString: parses the wire/CLI spelling
+/// ("optimal" | "greedy-seq" | "merging" | "ranking" | "hybrid").
+/// Shared by the RECOMMEND request parser and the journal replay
+/// harness so a recorded method name round-trips exactly.
+Result<OptimizerMethod> OptimizerMethodFromString(std::string_view name);
+
 /// Everything that parameterizes one Solve() call, uniform across the
 /// five techniques. Replaces the divergent free-function signatures
 /// (SolveKAware/SolveGreedySeq/SolveHybrid/SolveByRanking/

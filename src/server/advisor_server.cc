@@ -8,6 +8,7 @@
 
 #include "common/log.h"
 #include "common/tracing.h"
+#include "server/recorder.h"
 
 #if !defined(_WIN32)
 #include <arpa/inet.h>
@@ -36,24 +37,6 @@ void AdvisorServer::RequestStop() {}
 
 namespace {
 
-std::string_view OpName(uint8_t opcode) {
-  switch (static_cast<ServerOp>(opcode)) {
-    case ServerOp::kPing:
-      return "ping";
-    case ServerOp::kIngest:
-      return "ingest";
-    case ServerOp::kWhatIf:
-      return "whatif";
-    case ServerOp::kRecommend:
-      return "recommend";
-    case ServerOp::kStats:
-      return "stats";
-    case ServerOp::kShutdown:
-      return "shutdown";
-  }
-  return "unknown";
-}
-
 /// Ops whose requests get a per-request Tracer and a slow-log entry.
 /// Pings and stats polls stay untraced: they are the throughput floor,
 /// and a monitoring loop must not evict real solves from the log.
@@ -79,6 +62,12 @@ std::string GenerateServerRequestId() {
 int64_t UnixMicrosNow() {
   return std::chrono::duration_cast<std::chrono::microseconds>(
              std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+int64_t SteadyMicros(std::chrono::steady_clock::time_point t) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             t.time_since_epoch())
       .count();
 }
 
@@ -208,7 +197,7 @@ void AdvisorServer::ServeConnection(Connection* conn) {
     const bool wire_id = HasRequestId(frame.opcode);
     inflight->Add(1);
     requests->Add(1);
-    const std::string_view op_name = OpName(opcode);
+    const std::string_view op_name = ServerOpName(opcode);
     registry->counter("server.op." + std::string(op_name))->Add(1);
 
     // Resolve the request id (wire header, or a server-generated
@@ -240,6 +229,20 @@ void AdvisorServer::ServeConnection(Connection* conn) {
         ack_tag = static_cast<uint8_t>(ack_tag | kRequestIdFlag);
       }
       (void)WriteFrame(fd, ack_tag, ack);
+      if (Recorder* recorder = service_->recorder()) {
+        JournalRecord record;
+        record.opcode = opcode;
+        if (wire_id) record.flags |= JournalRecord::kFlagWireRequestId;
+        record.window_epoch = service_->epoch();
+        record.mono_us = SteadyMicros(start);
+        record.wall_us = start_unix_us;
+        record.duration_us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - start)
+                .count();
+        record.request_id = request_id;
+        recorder->Append(std::move(record));
+      }
       inflight->Add(-1);
       RequestStop();
       break;
@@ -318,6 +321,36 @@ void AdvisorServer::ServeConnection(Connection* conn) {
       entry.spans = tracer.Events();
       service_->slow_log()->Record(std::move(entry));
       registry->counter("server.slowlog_recorded")->Add(1);
+    }
+    // Journal the served request exactly as the service saw it: the
+    // real payload and the response body, id headers stripped. Append
+    // only buffers in memory — the hot path never waits on the disk.
+    if (Recorder* recorder = service_->recorder()) {
+      JournalRecord record;
+      record.opcode = opcode;
+      record.wire_status = status_byte;
+      if (wire_id && id_status.ok()) {
+        record.flags |= JournalRecord::kFlagWireRequestId;
+      }
+      record.window_epoch = service_->epoch();
+      record.mono_us = SteadyMicros(start);
+      record.wall_us = start_unix_us;
+      record.duration_us = static_cast<int64_t>(elapsed_us);
+      record.request_id = request_id;
+      record.payload.assign(payload_view);
+      if (status_byte == 0) {
+        // Last use of the body on the success path — steal it rather
+        // than copy a response at request rate.
+        record.response = std::move(body);
+      } else {
+        record.response = body;  // The failure postmortem below needs it.
+      }
+      recorder->Append(std::move(record));
+    }
+    if (status_byte != 0) {
+      service_->MaybeWriteFailurePostmortem(
+          std::string("request failed: op=") + std::string(op_name) +
+          " request_id=" + request_id + " error=" + body);
     }
     inflight->Add(-1);
     if (!write_status.ok()) break;

@@ -78,6 +78,12 @@ class AdvisorServer {
   /// Wait()).
   void Shutdown();
 
+  /// The non-blocking half of Shutdown(): flips the stop flag, cancels
+  /// solves, closes the listener, and unblocks connection reads —
+  /// without joining anything, so it is safe from a connection handler
+  /// and from a signal watcher while another thread sits in Wait().
+  void RequestStop();
+
  private:
   /// One accepted connection: its socket, the thread serving it, and a
   /// completion flag the accept loop polls so finished threads are
@@ -95,10 +101,6 @@ class AdvisorServer {
   /// Joins and frees every connection whose handler has finished.
   /// Called by the accept loop before each accept.
   void ReapFinished();
-  /// The non-blocking half of Shutdown(): flips the stop flag, cancels
-  /// solves, closes the listener, and unblocks connection reads. Safe
-  /// from a connection handler (no joins).
-  void RequestStop();
 
   AdvisorService* service_;
   std::atomic<bool> stopping_{false};

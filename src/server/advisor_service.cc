@@ -11,9 +11,27 @@
 #include "core/design_problem.h"
 #include "core/validator.h"
 #include "index/index_def.h"
+#include "server/recorder.h"
 #include "workload/trace_io.h"
 
 namespace cdpd {
+
+const std::string& BuildGitSha() {
+  static const std::string sha = [] {
+    const char* env = std::getenv("CDPD_GIT_SHA");
+    return std::string(env != nullptr && *env != '\0' ? env : "unknown");
+  }();
+  return sha;
+}
+
+std::string_view BuildTypeName() {
+#if defined(CDPD_BUILD_TYPE)
+  if (std::string_view(CDPD_BUILD_TYPE).empty()) return "unknown";
+  return CDPD_BUILD_TYPE;
+#else
+  return "unknown";
+#endif
+}
 
 namespace {
 
@@ -42,18 +60,6 @@ bool ParseBoolStrict(std::string_view text, bool* out) {
     return true;
   }
   return false;
-}
-
-Result<OptimizerMethod> MethodFromString(std::string_view name) {
-  const std::string_view field = Trim(name);
-  if (field == "optimal") return OptimizerMethod::kOptimal;
-  if (field == "greedy-seq") return OptimizerMethod::kGreedySeq;
-  if (field == "merging") return OptimizerMethod::kMerging;
-  if (field == "ranking") return OptimizerMethod::kRanking;
-  if (field == "hybrid") return OptimizerMethod::kHybrid;
-  return Status::InvalidArgument(
-      "unknown method '" + std::string(field) +
-      "' (optimal|greedy-seq|merging|ranking|hybrid)");
 }
 
 }  // namespace
@@ -131,7 +137,8 @@ Result<RecommendRequest> ParseRecommendRequest(std::string_view text) {
       }
       request.k = k;  // k < 0 selects the unconstrained solve.
     } else if (key == "method") {
-      CDPD_ASSIGN_OR_RETURN(request.method, MethodFromString(value));
+      CDPD_ASSIGN_OR_RETURN(request.method,
+                            OptimizerMethodFromString(Trim(value)));
     } else if (key == "deadline_ms") {
       int64_t ms = 0;
       if (!ParseInt64Strict(value, &ms) || ms < 0) {
@@ -535,5 +542,43 @@ MetricsSnapshot AdvisorService::StatsSnapshot() {
 }
 
 std::string AdvisorService::StatsJson() { return StatsSnapshot().ToJson(); }
+
+double AdvisorService::UptimeSeconds() const {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start_time_)
+      .count();
+}
+
+std::string AdvisorService::VarzJson() {
+  std::string out = "{\"git_sha\":" + JsonString(BuildGitSha());
+  out += ",\"build_type\":" + JsonString(BuildTypeName());
+  out += ",\"uptime_seconds\":" + JsonDouble(UptimeSeconds());
+  out += ",\"recorder\":";
+  Recorder* recorder = recorder_.load(std::memory_order_acquire);
+  out += recorder != nullptr ? recorder->StatusJson()
+                             : std::string("{\"recording\":false}");
+  // Splice the stats document's members in at the top level: StatsJson
+  // yields "{...}"; drop its opening brace and keep the rest.
+  const std::string stats = StatsJson();
+  out += ",";
+  out += std::string_view(stats).substr(1);
+  return out;
+}
+
+void AdvisorService::MaybeWriteFailurePostmortem(const std::string& reason) {
+  if (options_.postmortem_dir.empty()) return;
+  bool expected = false;
+  if (!failure_postmortem_written_.compare_exchange_strong(expected, true)) {
+    return;
+  }
+  const Status status =
+      WritePostmortemBundle(this, recorder_.load(std::memory_order_acquire),
+                            options_.postmortem_dir + "/failure", reason);
+  if (!status.ok()) {
+    CDPD_LOG(options_.observability.logger, LogLevel::kWarn,
+             "postmortem.write_failed", {"reason", reason},
+             {"error", status.message()});
+  }
+}
 
 }  // namespace cdpd

@@ -1,6 +1,7 @@
 #ifndef CDPD_SERVER_ADVISOR_SERVICE_H_
 #define CDPD_SERVER_ADVISOR_SERVICE_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <limits>
@@ -26,6 +27,17 @@
 #include "workload/workload.h"
 
 namespace cdpd {
+
+class Recorder;
+
+/// The git commit this binary was built from. CI stamps it through the
+/// CDPD_GIT_SHA environment variable (read once, at first call);
+/// "unknown" otherwise. Reported by /varz and postmortem manifests.
+const std::string& BuildGitSha();
+
+/// The CMake build flavor ("Release", "Debug", ...; "unknown" when the
+/// build did not stamp one).
+std::string_view BuildTypeName();
 
 /// Everything that parameterizes a resident advisor: the catalog (one
 /// schema + cost-model state, fixed for the service's lifetime), the
@@ -70,6 +82,10 @@ struct ServiceOptions {
   /// recent-request ring GET /trace?id= resolves ids from.
   size_t slow_log_capacity = 32;
   size_t slow_log_recent = 256;
+  /// When non-empty, the first failed request flushes a postmortem
+  /// bundle under `<postmortem_dir>/failure` (once per process — the
+  /// first failure is the interesting one; see WritePostmortemBundle).
+  std::string postmortem_dir;
 
   Status Validate() const;
 };
@@ -185,6 +201,19 @@ class AdvisorService {
   /// The bounded record of the slowest (and most recent) requests the
   /// transport served; GET /slowlog and /trace?id= read it.
   SlowLog* slow_log() { return &slow_log_; }
+  /// The flight recorder the transport journals served requests into,
+  /// or null when not recording. The service does not own it; the
+  /// owner (advisor_server's main, a test) sets it after construction
+  /// and must outlive the traffic. Atomic so /varz and the transport
+  /// can read it without a lock.
+  Recorder* recorder() const {
+    return recorder_.load(std::memory_order_acquire);
+  }
+  void set_recorder(Recorder* recorder) {
+    recorder_.store(recorder, std::memory_order_release);
+  }
+  /// Seconds since this service was constructed (steady clock).
+  double UptimeSeconds() const;
   /// Readiness for traffic: the catalog is pinned at construction, so
   /// the service is ready once the first INGEST left a non-empty
   /// window to solve over (GET /readyz).
@@ -229,6 +258,19 @@ class AdvisorService {
   /// "histograms":...}), refreshed with the cache and process gauges.
   std::string StatsJson();
 
+  /// The /varz document: build identity (git_sha, build_type), uptime,
+  /// the recorder's status, and then the full StatsJson content
+  /// (counters/gauges/histograms) at the top level — a strict superset
+  /// of StatsJson, so existing consumers keep working.
+  std::string VarzJson();
+
+  /// Flushes a failure postmortem bundle to
+  /// `<options().postmortem_dir>/failure` — at most once per process,
+  /// and only when postmortem_dir is configured. The transport calls
+  /// this when a request fails; later failures are no-ops so a
+  /// misbehaving client cannot grind the server with bundle IO.
+  void MaybeWriteFailurePostmortem(const std::string& reason);
+
   /// Parses a WHATIF payload: ';'-separated indexes, each a
   /// comma-separated column list ("a" / "a,b;c" / "{}" or empty for
   /// the empty configuration).
@@ -262,6 +304,10 @@ class AdvisorService {
   SolverSession session_;
   CancelToken cancel_;
   SlowLog slow_log_;
+  std::atomic<Recorder*> recorder_{nullptr};
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
+  std::atomic<bool> failure_postmortem_written_{false};
 
   mutable std::mutex mu_;
   std::shared_ptr<const WindowState> window_;

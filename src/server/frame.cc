@@ -9,6 +9,24 @@
 
 namespace cdpd {
 
+std::string_view ServerOpName(uint8_t opcode) {
+  switch (static_cast<ServerOp>(opcode)) {
+    case ServerOp::kPing:
+      return "ping";
+    case ServerOp::kIngest:
+      return "ingest";
+    case ServerOp::kWhatIf:
+      return "whatif";
+    case ServerOp::kRecommend:
+      return "recommend";
+    case ServerOp::kStats:
+      return "stats";
+    case ServerOp::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
 uint8_t WireStatusCode(const Status& status) {
   switch (status.code()) {
     case StatusCode::kOk:

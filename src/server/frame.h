@@ -45,6 +45,12 @@ enum class ServerOp : uint8_t {
 /// ingest batch, small enough that a corrupt length prefix fails fast.
 inline constexpr uint32_t kMaxPayloadBytes = 16u << 20;
 
+/// The stable lowercase name of an opcode ("ping", "ingest", ...;
+/// "unknown" for anything outside the ServerOp range). Shared by the
+/// transport's metrics/logs, the flight recorder's journal dumps, and
+/// advisor_replay's report.
+std::string_view ServerOpName(uint8_t opcode);
+
 /// Optional request-id header. A client that wants end-to-end
 /// attribution sets the top bit of the opcode byte and prefixes the
 /// payload with `<request-id>\n`; the server echoes the same flag and

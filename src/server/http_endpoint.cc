@@ -16,6 +16,7 @@
 #endif
 
 #include "server/frame.h"
+#include "server/recorder.h"
 #include "server/slow_log.h"
 
 namespace cdpd {
@@ -73,7 +74,26 @@ HttpResponse HttpEndpoint::Route(std::string_view target) {
   }
   if (path == "/varz") {
     response.content_type = "application/json";
-    response.body = service_->StatsJson();
+    response.body = service_->VarzJson();
+    return response;
+  }
+  if (path == "/recorder") {
+    Recorder* recorder = service_->recorder();
+    response.content_type = "application/json";
+    if (recorder == nullptr) {
+      response.body = "{\"recording\":false}";
+      return response;
+    }
+    if (query == "rotate=1") {
+      const Status status = recorder->Rotate();
+      if (!status.ok()) {
+        response.status = 503;
+        response.content_type = "text/plain; charset=utf-8";
+        response.body = status.message() + "\n";
+        return response;
+      }
+    }
+    response.body = recorder->StatusJson();
     return response;
   }
   if (path == "/slowlog") {
@@ -114,7 +134,7 @@ HttpResponse HttpEndpoint::Route(std::string_view target) {
   response.status = 404;
   response.body =
       "not found; endpoints: /metrics /healthz /readyz /varz /slowlog "
-      "/trace?id=\n";
+      "/trace?id= /recorder\n";
   return response;
 }
 

@@ -1,0 +1,193 @@
+#ifndef CDPD_SERVER_JOURNAL_H_
+#define CDPD_SERVER_JOURNAL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace cdpd {
+
+/// The workload flight recorder's durable unit: one fully-served
+/// request as the transport observed it — the opcode and raw payload
+/// that arrived, the response body and wire status that went back, and
+/// enough context (window epoch, timestamps, duration) to replay the
+/// session deterministically and to reconstruct its timing.
+///
+/// `mono_us` is a monotonic capture timestamp (steady clock): the
+/// difference between consecutive frames is the original inter-arrival
+/// gap, which advisor_replay can preserve or compress (--speed).
+/// `wall_us` is the wall clock at the same instant, for humans lining
+/// a journal up against external logs.
+struct JournalRecord {
+  /// flags bit: the request id arrived on the wire (kRequestIdFlag) —
+  /// replay re-attaches it; a server-generated fallback id is recorded
+  /// for attribution but never re-sent.
+  static constexpr uint8_t kFlagWireRequestId = 0x01;
+
+  uint8_t opcode = 0;
+  uint8_t wire_status = 0;  // 0 = success (see WireStatusCode).
+  uint8_t flags = 0;
+  uint64_t window_epoch = 0;  // Service epoch after the request.
+  int64_t mono_us = 0;
+  int64_t wall_us = 0;
+  int64_t duration_us = 0;  // Includes the response write.
+  std::string request_id;
+  std::string payload;   // The op's real payload (id header stripped).
+  std::string response;  // Response body (id header stripped).
+
+  bool has_wire_request_id() const {
+    return (flags & kFlagWireRequestId) != 0;
+  }
+};
+
+/// On-disk layout of a journal segment:
+///
+///   [8-byte magic "CDPDJRN1"]
+///   [u32 meta_len LE] [u32 crc32(meta) LE] [meta_len bytes JSON]
+///   then zero or more frames:
+///   [u32 record_len LE] [u32 crc32(record) LE] [record_len bytes]
+///
+/// Every length is validated against a hard cap before allocation and
+/// every body is CRC-checked, so a torn tail (the process died
+/// mid-write) or flipped bits are detected: the reader stops cleanly
+/// at the last valid frame and reports `truncated()` instead of
+/// crashing or replaying garbage.
+inline constexpr char kJournalMagic[8] = {'C', 'D', 'P', 'D',
+                                          'J', 'R', 'N', '1'};
+
+/// Caps a declared record length: a record carries at most a request
+/// payload plus a response payload (each bounded by the wire protocol)
+/// plus a small fixed header.
+inline constexpr uint32_t kMaxJournalRecordBytes = (2u * (16u << 20)) + 4096u;
+
+/// CRC-32 (IEEE 802.3, reflected, as used by zip/png) of `data`.
+uint32_t Crc32(std::string_view data);
+
+/// Serializes `record` into the journal's binary record form (no
+/// length/CRC framing — JournalWriter adds that).
+std::string EncodeJournalRecord(const JournalRecord& record);
+
+/// The inverse of EncodeJournalRecord. Fails on short or
+/// internally-inconsistent bytes.
+Result<JournalRecord> DecodeJournalRecord(std::string_view bytes);
+
+/// What a journal needs to remember about the service that produced it
+/// so replay can reconstruct an equivalent fresh AdvisorService: the
+/// catalog scale, segmentation, window cap, and request defaults.
+/// Serialized as JSON into every segment's header — any one segment
+/// file is self-describing.
+struct JournalMeta {
+  int64_t rows = 250'000;
+  int64_t domain_size = 500'000;
+  int64_t block_size = 100;
+  int64_t window_statements = 10'000;
+  /// Default change bound; nullopt = unconstrained.
+  std::optional<int64_t> k = 2;
+  std::string method = "optimal";
+  int64_t max_indexes_per_config = 1;
+
+  std::string ToJson() const;
+  static Result<JournalMeta> FromJson(std::string_view json);
+};
+
+/// The path of segment `index` of the journal at `base`:
+/// `<base>.000000`, `<base>.000001`, ... Rotation only ever creates the
+/// next index; segments are never renamed, so readers see a stable
+/// ordered set.
+std::string JournalSegmentPath(const std::string& base, int index);
+
+/// Appends records to one journal segment file. Not thread-safe — the
+/// recorder's single writer thread owns it. Open() writes the header
+/// (magic + meta) immediately; Append() frames into a user-space
+/// buffer that is written out once it passes ~256 KiB (one syscall per
+/// many frames, not per frame), and Sync() flushes the buffer and
+/// fsyncs, so the durability lag is under the caller's control.
+class JournalWriter {
+ public:
+  JournalWriter() = default;
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+  ~JournalWriter() { Close(); }
+
+  /// Creates (truncating) `path` and writes the header.
+  Status Open(const std::string& path, const JournalMeta& meta);
+
+  /// Appends one framed record; `*bytes` (optional) receives the
+  /// on-disk size of the frame (length + CRC + record).
+  Status Append(const JournalRecord& record, int64_t* bytes = nullptr);
+
+  /// Flushes buffered frames and fsyncs the file.
+  Status Sync();
+
+  /// Sync + close. Idempotent.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+  /// Bytes appended so far (header included, buffered included).
+  int64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  /// Writes the buffered frames to the fd.
+  Status FlushBuffer();
+
+  int fd_ = -1;
+  std::string path_;
+  std::string buffer_;
+  int64_t bytes_written_ = 0;
+};
+
+/// Reads a journal back, frame by frame, across its rotated segments.
+/// Open() accepts either one segment file or a journal base path (the
+/// `--record` argument): for a base, every `<base>.NNNNNN` segment is
+/// read in order. A CRC mismatch or torn tail ends the stream cleanly:
+/// Next() reports end-of-journal and truncated() explains what was
+/// dropped — corruption in segment i also drops segments > i, since
+/// the stream's order past the damage is no longer trustworthy.
+class JournalReader {
+ public:
+  JournalReader() = default;
+  JournalReader(const JournalReader&) = delete;
+  JournalReader& operator=(const JournalReader&) = delete;
+  ~JournalReader();
+
+  Status Open(const std::string& path);
+
+  /// Reads the next record. Returns true and fills `record` while
+  /// frames remain; false at the end of the journal (clean or
+  /// truncated — check truncated()).
+  bool Next(JournalRecord* record);
+
+  const JournalMeta& meta() const { return meta_; }
+  const std::vector<std::string>& segments() const { return segments_; }
+  /// Records successfully decoded so far.
+  int64_t records_read() const { return records_read_; }
+
+  /// True once the stream ended because of corruption (CRC mismatch,
+  /// torn frame, bad segment header) rather than a clean end of file.
+  bool truncated() const { return truncated_; }
+  const std::string& truncated_error() const { return truncated_error_; }
+
+ private:
+  /// Opens segments_[segment_index_] and validates its header. On
+  /// damage: marks the stream truncated.
+  bool OpenCurrentSegment();
+  void MarkTruncated(const std::string& error);
+
+  std::vector<std::string> segments_;
+  size_t segment_index_ = 0;
+  int fd_ = -1;
+  bool header_read_ = false;
+  JournalMeta meta_;
+  int64_t records_read_ = 0;
+  bool truncated_ = false;
+  std::string truncated_error_;
+};
+
+}  // namespace cdpd
+
+#endif  // CDPD_SERVER_JOURNAL_H_

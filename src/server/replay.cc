@@ -1,0 +1,220 @@
+#include "server/replay.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/solver.h"
+#include "server/client.h"
+#include "server/frame.h"
+
+namespace cdpd {
+
+namespace {
+
+bool IsReplayableOp(uint8_t opcode) {
+  switch (static_cast<ServerOp>(opcode)) {
+    case ServerOp::kPing:
+    case ServerOp::kIngest:
+    case ServerOp::kWhatIf:
+    case ServerOp::kRecommend:
+    case ServerOp::kStats:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// Whether this record's response must be reproduced bit-identically
+/// by a fresh service fed the same request sequence. STATS snapshots
+/// metrics (timings, memory) and error bodies are prose — those only
+/// have their status byte checked. A RECOMMEND that carried a deadline
+/// is anytime: its answer depends on wall time, so it is excluded too.
+bool IsDeterministicResponse(const JournalRecord& record) {
+  if (record.wire_status != 0) return false;
+  switch (static_cast<ServerOp>(record.opcode)) {
+    case ServerOp::kPing:
+    case ServerOp::kIngest:
+    case ServerOp::kWhatIf:
+      return true;
+    case ServerOp::kRecommend:
+      return record.payload.find("deadline_ms") == std::string::npos;
+    default:
+      return false;
+  }
+}
+
+void NoteMismatch(ReplayOutcome* outcome, const ReplayOptions& options,
+                  std::string detail) {
+  ++outcome->mismatches;
+  if (outcome->mismatch_details.size() < options.max_mismatch_details) {
+    outcome->mismatch_details.push_back(std::move(detail));
+  }
+}
+
+/// In-process verification of one record against a fresh service.
+void VerifyRecord(AdvisorService* service, const JournalRecord& record,
+                  const ReplayOptions& options, ReplayOutcome* outcome) {
+  RequestContext ctx;
+  ctx.request_id = record.request_id;
+  const Result<std::string> result =
+      service->Handle(record.opcode, record.payload, ctx);
+  ++outcome->replayed;
+
+  const uint8_t status_byte =
+      result.ok() ? 0 : WireStatusCode(result.status());
+  const std::string frame_tag = "frame " + std::to_string(outcome->frames) +
+                                " (" + std::string(ServerOpName(record.opcode)) +
+                                ", id=" + record.request_id + ")";
+  if (status_byte != record.wire_status) {
+    NoteMismatch(outcome, options,
+                 frame_tag + ": recorded wire status " +
+                     std::to_string(static_cast<int>(record.wire_status)) +
+                     ", replay produced " +
+                     std::to_string(static_cast<int>(status_byte)) +
+                     (result.ok() ? "" : " (" + result.status().message() +
+                                             ")"));
+    return;
+  }
+  if (!IsDeterministicResponse(record)) return;
+
+  ++outcome->compared;
+  const std::string& replayed = result.value();
+  const bool recommend =
+      record.opcode == static_cast<uint8_t>(ServerOp::kRecommend);
+  const std::string want = recommend
+                               ? DeterministicRecommendCore(record.response)
+                               : record.response;
+  const std::string got =
+      recommend ? DeterministicRecommendCore(replayed) : replayed;
+  if (want != got) {
+    // Pinpoint the first divergent byte — "responses differ" alone is
+    // useless against two multi-kilobyte JSON documents.
+    size_t at = 0;
+    while (at < want.size() && at < got.size() && want[at] == got[at]) ++at;
+    const auto context = [at](const std::string& s) {
+      const size_t begin = at < 40 ? 0 : at - 40;
+      return s.substr(begin, 80);
+    };
+    NoteMismatch(outcome, options,
+                 frame_tag + ": responses diverge at byte " +
+                     std::to_string(at) + "; recorded ..." + context(want) +
+                     "... vs replayed ..." + context(got) + "...");
+  }
+}
+
+}  // namespace
+
+std::string DeterministicRecommendCore(std::string_view response_json) {
+  const size_t wall = response_json.find(",\"wall_seconds\":");
+  const size_t schedule = response_json.find(",\"schedule\":");
+  const size_t stats = response_json.find(",\"stats\":");
+  if (wall == std::string_view::npos || schedule == std::string_view::npos ||
+      stats == std::string_view::npos || stats < schedule ||
+      schedule < wall) {
+    // Not the shape RecommendAnswer::ToJson produces — compare as-is.
+    return std::string(response_json);
+  }
+  std::string core(response_json.substr(0, wall));
+  core += response_json.substr(schedule, stats - schedule);
+  return core;
+}
+
+Result<ServiceOptions> ServiceOptionsFromMeta(const JournalMeta& meta) {
+  ServiceOptions options;
+  options.rows = meta.rows;
+  options.domain_size = meta.domain_size;
+  options.block_size = static_cast<size_t>(meta.block_size);
+  options.window_statements = static_cast<size_t>(meta.window_statements);
+  options.k = meta.k;
+  CDPD_ASSIGN_OR_RETURN(options.method,
+                        OptimizerMethodFromString(meta.method));
+  options.max_indexes_per_config =
+      static_cast<int32_t>(meta.max_indexes_per_config);
+  CDPD_RETURN_IF_ERROR(options.Validate());
+  return options;
+}
+
+Result<ReplayOutcome> ReplayJournal(const std::string& path,
+                                    const ReplayOptions& options) {
+  JournalReader reader;
+  CDPD_RETURN_IF_ERROR(reader.Open(path));
+
+  ReplayOutcome outcome;
+  const auto start = std::chrono::steady_clock::now();
+
+  if (options.port > 0) {
+    // Live TCP replay: reproduce the session (and optionally its
+    // pacing) against a running server.
+    CDPD_ASSIGN_OR_RETURN(AdvisorClient client,
+                          AdvisorClient::Connect(options.host, options.port));
+    int64_t previous_mono_us = 0;
+    JournalRecord record;
+    while (reader.Next(&record)) {
+      ++outcome.frames;
+      ++outcome.op_counts[std::string(ServerOpName(record.opcode))];
+      if (options.speed > 0.0 && previous_mono_us > 0 &&
+          record.mono_us > previous_mono_us) {
+        const double gap_us =
+            static_cast<double>(record.mono_us - previous_mono_us) /
+            options.speed;
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(static_cast<int64_t>(gap_us)));
+      }
+      previous_mono_us = record.mono_us;
+
+      const bool shutdown =
+          record.opcode == static_cast<uint8_t>(ServerOp::kShutdown);
+      if ((shutdown && !options.send_shutdown) ||
+          (!shutdown && !IsReplayableOp(record.opcode))) {
+        ++outcome.skipped;
+        continue;
+      }
+      if (record.has_wire_request_id()) {
+        client.set_request_ids_enabled(true);
+        client.set_next_request_id(record.request_id);
+      } else {
+        client.set_request_ids_enabled(false);
+      }
+      const Result<std::string> result = client.Call(
+          static_cast<ServerOp>(record.opcode), record.payload);
+      ++outcome.replayed;
+      client.set_request_ids_enabled(true);
+      // An Internal status from Call is the transport dying (reset,
+      // short frame) — a server-side error rides back as its own wire
+      // code and is a legitimate replayed answer. Keep the counts so
+      // far; the caller sees how far the replay got.
+      if (!result.ok() &&
+          result.status().code() == StatusCode::kInternal) {
+        outcome.transport_error = result.status().message();
+        break;
+      }
+      if (shutdown) break;  // The target is stopping; nothing follows.
+    }
+  } else {
+    // In-process verify: rebuild the service the journal describes and
+    // property-check every deterministic response.
+    CDPD_ASSIGN_OR_RETURN(ServiceOptions service_options,
+                          ServiceOptionsFromMeta(reader.meta()));
+    AdvisorService service(std::move(service_options));
+    JournalRecord record;
+    while (reader.Next(&record)) {
+      ++outcome.frames;
+      ++outcome.op_counts[std::string(ServerOpName(record.opcode))];
+      if (!IsReplayableOp(record.opcode)) {
+        ++outcome.skipped;
+        continue;
+      }
+      VerifyRecord(&service, record, options, &outcome);
+    }
+  }
+
+  outcome.truncated = reader.truncated();
+  outcome.truncated_error = reader.truncated_error();
+  outcome.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return outcome;
+}
+
+}  // namespace cdpd

@@ -1,0 +1,83 @@
+#ifndef CDPD_SERVER_REPLAY_H_
+#define CDPD_SERVER_REPLAY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "server/advisor_service.h"
+#include "server/journal.h"
+
+namespace cdpd {
+
+/// How a recorded journal is replayed (tools/advisor_replay):
+///
+/// - In-process (port == 0): a fresh AdvisorService is built from the
+///   journal's meta header and every recorded request is re-issued
+///   through Handle(). Each response is checked against the recorded
+///   one — the determinism property the resident advisor guarantees
+///   (see docs/serving.md): same request sequence, bit-identical
+///   answers, timing fields excepted.
+/// - Live TCP (port > 0): the requests are re-sent to a running
+///   advisor_server over the wire, preserving the recorded
+///   inter-arrival gaps scaled by `speed` — load reproduction, no
+///   response verification (the target's state is not the recording's).
+struct ReplayOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = in-process verify mode; > 0 = live TCP replay.
+  int port = 0;
+  /// Inter-arrival pacing for TCP replay: 0 replays as fast as
+  /// possible, 1.0 preserves the recorded gaps, 2.0 halves them.
+  /// Ignored in-process (verification wants throughput).
+  double speed = 0.0;
+  /// Forward recorded SHUTDOWN frames in TCP mode (default: skipped,
+  /// so replaying a journal does not kill the target server).
+  bool send_shutdown = false;
+  /// Cap on retained human-readable mismatch descriptions.
+  size_t max_mismatch_details = 8;
+};
+
+struct ReplayOutcome {
+  int64_t frames = 0;     // Journal records read.
+  int64_t replayed = 0;   // Requests re-issued.
+  int64_t skipped = 0;    // Frames not re-issued (shutdown, unknown op).
+  int64_t compared = 0;   // Responses strictly compared (in-process).
+  int64_t mismatches = 0; // Comparisons that failed.
+  std::map<std::string, int64_t> op_counts;  // By opcode name.
+  /// The journal ended at damage rather than a clean EOF; replay
+  /// covered everything up to the last valid frame.
+  bool truncated = false;
+  std::string truncated_error;
+  /// TCP mode: the connection died mid-replay (non-empty = the error);
+  /// everything counted above still happened.
+  std::string transport_error;
+  double wall_seconds = 0.0;
+  std::vector<std::string> mismatch_details;
+
+  bool ok() const { return mismatches == 0; }
+};
+
+/// The portion of a RECOMMEND response JSON that a deterministic
+/// re-solve must reproduce exactly: everything up to the timing fields
+/// (epoch, reused_resident, segments, changes, k, method,
+/// method_detail, total_cost) plus the full change-point schedule.
+/// wall_seconds, cache hit counts, and the stats block legitimately
+/// differ between runs and are cut out.
+std::string DeterministicRecommendCore(std::string_view response_json);
+
+/// A fresh service equivalent to the one that wrote the journal.
+Result<ServiceOptions> ServiceOptionsFromMeta(const JournalMeta& meta);
+
+/// Reads the journal at `path` (a base or one segment file) and
+/// replays it per `options`. Fails on an unreadable journal or an
+/// unreachable target; mismatches and truncation are reported in the
+/// outcome, not as errors — the caller decides what is fatal.
+Result<ReplayOutcome> ReplayJournal(const std::string& path,
+                                    const ReplayOptions& options);
+
+}  // namespace cdpd
+
+#endif  // CDPD_SERVER_REPLAY_H_

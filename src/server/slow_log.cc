@@ -66,6 +66,11 @@ int64_t SlowLog::recorded() const {
   return recorded_;
 }
 
+size_t SlowLog::recent_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recent_.size();
+}
+
 std::string SlowLog::ToJson() const {
   std::vector<SlowLogEntry> entries;
   int64_t recorded = 0;

@@ -64,6 +64,11 @@ class SlowLog {
   int64_t recorded() const;
 
   size_t capacity() const { return capacity_; }
+  size_t recent_capacity() const { return recent_capacity_; }
+
+  /// Entries currently in the recent ring (never above
+  /// recent_capacity() — the bound the concurrency test pins).
+  size_t recent_size() const;
 
   /// {"capacity":N,"recorded":M,"entries":[slowest-first...]}.
   std::string ToJson() const;

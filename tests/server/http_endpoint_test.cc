@@ -11,6 +11,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -19,6 +20,7 @@
 
 #include "server/advisor_server.h"
 #include "server/client.h"
+#include "server/recorder.h"
 
 namespace cdpd {
 namespace {
@@ -136,6 +138,63 @@ TEST(HttpEndpointTest, UnknownTargetsAre404) {
   HttpEndpoint endpoint(&service);
   EXPECT_EQ(endpoint.Route("/nope").status, 404);
   EXPECT_EQ(endpoint.Route("/").status, 404);
+  // The 404 body advertises the endpoint surface, recorder included.
+  EXPECT_NE(endpoint.Route("/nope").body.find("/recorder"),
+            std::string::npos);
+}
+
+TEST(HttpEndpointTest, VarzCarriesBuildIdentityAndRecorderState) {
+  AdvisorService service(TestServiceOptions());
+  HttpEndpoint endpoint(&service);
+  const std::string varz = endpoint.Route("/varz").body;
+  EXPECT_NE(varz.find("\"git_sha\":"), std::string::npos) << varz;
+  EXPECT_NE(varz.find("\"build_type\":"), std::string::npos);
+  EXPECT_NE(varz.find("\"uptime_seconds\":"), std::string::npos);
+  // No --record: the recorder object says so.
+  EXPECT_NE(varz.find("\"recorder\":{\"recording\":false}"),
+            std::string::npos)
+      << varz;
+  // Still a strict superset of the stats document.
+  EXPECT_NE(varz.find("\"counters\""), std::string::npos);
+}
+
+TEST(HttpEndpointTest, RecorderEndpointReportsAndRotates) {
+  AdvisorService service(TestServiceOptions());
+  HttpEndpoint endpoint(&service);
+
+  // Without a recorder the endpoint degrades to a status document.
+  EXPECT_EQ(endpoint.Route("/recorder").status, 200);
+  EXPECT_EQ(endpoint.Route("/recorder").body, "{\"recording\":false}");
+
+  Recorder::Options options;
+  options.path = ::testing::TempDir() + "/http_recorder_journal";
+  // The recorder resumes after existing segments; drop any journal a
+  // previous test run left behind (the assertions pin segment_index).
+  for (int i = 0;; ++i) {
+    if (std::remove(JournalSegmentPath(options.path, i).c_str()) != 0) break;
+  }
+  auto recorder = Recorder::Open(std::move(options), service.registry());
+  ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+  service.set_recorder(recorder->get());
+
+  const HttpResponse status = endpoint.Route("/recorder");
+  EXPECT_EQ(status.status, 200);
+  EXPECT_EQ(status.content_type, "application/json");
+  EXPECT_NE(status.body.find("\"recording\":true"), std::string::npos)
+      << status.body;
+  EXPECT_NE(status.body.find("\"segment_index\":0"), std::string::npos);
+
+  // /varz mirrors the live recorder status.
+  EXPECT_NE(endpoint.Route("/varz").body.find("\"recording\":true"),
+            std::string::npos);
+
+  const HttpResponse rotated = endpoint.Route("/recorder?rotate=1");
+  EXPECT_EQ(rotated.status, 200);
+  EXPECT_NE(rotated.body.find("\"segment_index\":1"), std::string::npos)
+      << rotated.body;
+
+  service.set_recorder(nullptr);
+  (*recorder)->Close();
 }
 
 TEST(HttpEndpointTest, FinishedConnectionThreadsAreReapedDuringOperation) {

@@ -1,0 +1,286 @@
+// The flight recorder's durable layer: the record codec, the CRC, the
+// segment header, and — most importantly — the reader's corruption
+// contract: a torn or bit-flipped tail ends the stream cleanly at the
+// last valid frame instead of crashing or replaying garbage.
+
+#include "server/journal.h"
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdpd {
+namespace {
+
+JournalRecord SampleRecord(int i) {
+  JournalRecord record;
+  record.opcode = static_cast<uint8_t>(3);  // RECOMMEND.
+  record.wire_status = i % 2 == 0 ? 0 : 3;
+  record.flags = i % 2 == 0 ? JournalRecord::kFlagWireRequestId : 0;
+  record.window_epoch = static_cast<uint64_t>(10 + i);
+  record.mono_us = 1'000'000 + i * 250;
+  record.wall_us = 1'700'000'000'000'000 + i * 250;
+  record.duration_us = 42 + i;
+  record.request_id = "req-" + std::to_string(i);
+  record.payload = "k=" + std::to_string(i) + "\nmethod=optimal";
+  record.response = "{\"epoch\":" + std::to_string(10 + i) + "}";
+  return record;
+}
+
+void ExpectRecordsEqual(const JournalRecord& a, const JournalRecord& b) {
+  EXPECT_EQ(a.opcode, b.opcode);
+  EXPECT_EQ(a.wire_status, b.wire_status);
+  EXPECT_EQ(a.flags, b.flags);
+  EXPECT_EQ(a.window_epoch, b.window_epoch);
+  EXPECT_EQ(a.mono_us, b.mono_us);
+  EXPECT_EQ(a.wall_us, b.wall_us);
+  EXPECT_EQ(a.duration_us, b.duration_us);
+  EXPECT_EQ(a.request_id, b.request_id);
+  EXPECT_EQ(a.payload, b.payload);
+  EXPECT_EQ(a.response, b.response);
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Appends `n` sample records at `base` (one segment) and returns the
+/// segment path.
+std::string WriteJournal(const std::string& base, int n,
+                         const JournalMeta& meta = {}) {
+  JournalWriter writer;
+  EXPECT_TRUE(writer.Open(JournalSegmentPath(base, 0), meta).ok());
+  for (int i = 0; i < n; ++i) {
+    EXPECT_TRUE(writer.Append(SampleRecord(i)).ok());
+  }
+  EXPECT_TRUE(writer.Close().ok());
+  return JournalSegmentPath(base, 0);
+}
+
+int64_t FileSize(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  return size;
+}
+
+void TruncateFile(const std::string& path, int64_t size) {
+  ASSERT_EQ(::truncate(path.c_str(), size), 0) << path;
+}
+
+void FlipByte(const std::string& path, int64_t offset) {
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+  std::fputc(byte ^ 0xFF, f);
+  std::fclose(f);
+}
+
+TEST(JournalTest, Crc32MatchesTheIeeeCheckValue) {
+  // The standard CRC-32 check value ("123456789" -> 0xCBF43926) pins
+  // the polynomial, reflection, and final xor all at once.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(JournalTest, RecordCodecRoundTrips) {
+  for (int i = 0; i < 3; ++i) {
+    const JournalRecord record = SampleRecord(i);
+    const std::string bytes = EncodeJournalRecord(record);
+    const Result<JournalRecord> decoded = DecodeJournalRecord(bytes);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    ExpectRecordsEqual(record, decoded.value());
+  }
+  JournalRecord empty;
+  const Result<JournalRecord> decoded =
+      DecodeJournalRecord(EncodeJournalRecord(empty));
+  ASSERT_TRUE(decoded.ok());
+  ExpectRecordsEqual(empty, decoded.value());
+}
+
+TEST(JournalTest, RecordDecodeRejectsShortOrInconsistentBytes) {
+  const std::string bytes = EncodeJournalRecord(SampleRecord(0));
+  EXPECT_FALSE(DecodeJournalRecord("").ok());
+  EXPECT_FALSE(DecodeJournalRecord(bytes.substr(0, 4)).ok());
+  EXPECT_FALSE(
+      DecodeJournalRecord(bytes.substr(0, bytes.size() - 1)).ok());
+  // A trailing byte past the declared strings is inconsistent too.
+  EXPECT_FALSE(DecodeJournalRecord(bytes + "x").ok());
+}
+
+TEST(JournalTest, MetaJsonRoundTripsIncludingUnconstrainedK) {
+  JournalMeta meta;
+  meta.rows = 123'456;
+  meta.domain_size = 789;
+  meta.block_size = 25;
+  meta.window_statements = 400;
+  meta.k = 3;
+  meta.method = "greedy-seq";
+  meta.max_indexes_per_config = 2;
+  const Result<JournalMeta> parsed = JournalMeta::FromJson(meta.ToJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed.value().rows, 123'456);
+  EXPECT_EQ(parsed.value().domain_size, 789);
+  EXPECT_EQ(parsed.value().block_size, 25);
+  EXPECT_EQ(parsed.value().window_statements, 400);
+  ASSERT_TRUE(parsed.value().k.has_value());
+  EXPECT_EQ(*parsed.value().k, 3);
+  EXPECT_EQ(parsed.value().method, "greedy-seq");
+  EXPECT_EQ(parsed.value().max_indexes_per_config, 2);
+
+  meta.k.reset();  // Unconstrained serializes as JSON null.
+  EXPECT_NE(meta.ToJson().find("\"k\":null"), std::string::npos);
+  const Result<JournalMeta> unconstrained =
+      JournalMeta::FromJson(meta.ToJson());
+  ASSERT_TRUE(unconstrained.ok());
+  EXPECT_FALSE(unconstrained.value().k.has_value());
+
+  EXPECT_FALSE(JournalMeta::FromJson("not json").ok());
+}
+
+TEST(JournalTest, SegmentPathsAreZeroPaddedAndOrdered) {
+  EXPECT_EQ(JournalSegmentPath("/tmp/j", 0), "/tmp/j.000000");
+  EXPECT_EQ(JournalSegmentPath("/tmp/j", 7), "/tmp/j.000007");
+  EXPECT_EQ(JournalSegmentPath("/tmp/j", 123456), "/tmp/j.123456");
+}
+
+TEST(JournalTest, WriterThenReaderRoundTripsAllRecords) {
+  const std::string base = TempPath("journal_roundtrip");
+  JournalMeta meta;
+  meta.rows = 1000;
+  meta.method = "merging";
+  WriteJournal(base, 5, meta);
+
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(base).ok());
+  EXPECT_EQ(reader.meta().rows, 1000);
+  EXPECT_EQ(reader.meta().method, "merging");
+  JournalRecord record;
+  int count = 0;
+  while (reader.Next(&record)) {
+    ExpectRecordsEqual(SampleRecord(count), record);
+    ++count;
+  }
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(reader.records_read(), 5);
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(JournalTest, ReaderOpensOneSegmentFileDirectly) {
+  const std::string base = TempPath("journal_single_segment");
+  const std::string segment = WriteJournal(base, 2);
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(segment).ok());
+  JournalRecord record;
+  EXPECT_TRUE(reader.Next(&record));
+  EXPECT_TRUE(reader.Next(&record));
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(JournalTest, ReaderWalksRotatedSegmentsInOrder) {
+  const std::string base = TempPath("journal_rotated");
+  JournalMeta meta;
+  for (int segment = 0; segment < 3; ++segment) {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.Open(JournalSegmentPath(base, segment), meta).ok());
+    ASSERT_TRUE(writer.Append(SampleRecord(segment * 2)).ok());
+    ASSERT_TRUE(writer.Append(SampleRecord(segment * 2 + 1)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(base).ok());
+  ASSERT_EQ(reader.segments().size(), 3u);
+  JournalRecord record;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(reader.Next(&record)) << i;
+    ExpectRecordsEqual(SampleRecord(i), record);
+  }
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_FALSE(reader.truncated());
+}
+
+TEST(JournalTest, MissingJournalIsNotFound) {
+  JournalReader reader;
+  const Status status = reader.Open(TempPath("no_such_journal"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+}
+
+TEST(JournalTest, TornTailStopsCleanlyAtTheLastValidFrame) {
+  const std::string base = TempPath("journal_torn");
+  const std::string segment = WriteJournal(base, 4);
+  // Tear the last frame mid-write: drop the final byte.
+  TruncateFile(segment, FileSize(segment) - 1);
+
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(base).ok());
+  JournalRecord record;
+  int count = 0;
+  while (reader.Next(&record)) ++count;
+  EXPECT_EQ(count, 3);  // The first three frames survive intact.
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_FALSE(reader.truncated_error().empty());
+}
+
+TEST(JournalTest, FlippedBitInAFrameIsCaughtByTheCrc) {
+  const std::string base = TempPath("journal_bitflip");
+  const std::string segment = WriteJournal(base, 3);
+  // Corrupt a byte inside the last frame's body.
+  FlipByte(segment, FileSize(segment) - 5);
+
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(base).ok());
+  JournalRecord record;
+  int count = 0;
+  while (reader.Next(&record)) ++count;
+  EXPECT_EQ(count, 2);
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_NE(reader.truncated_error().find("CRC"), std::string::npos)
+      << reader.truncated_error();
+}
+
+TEST(JournalTest, CorruptionInOneSegmentDropsTheLaterOnes) {
+  const std::string base = TempPath("journal_mid_corruption");
+  JournalMeta meta;
+  for (int segment = 0; segment < 2; ++segment) {
+    JournalWriter writer;
+    ASSERT_TRUE(writer.Open(JournalSegmentPath(base, segment), meta).ok());
+    ASSERT_TRUE(writer.Append(SampleRecord(segment)).ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  // Damage segment 0's only frame: its record — and everything in
+  // segment 1, whose position in the stream is now untrustworthy — is
+  // dropped.
+  const std::string first = JournalSegmentPath(base, 0);
+  FlipByte(first, FileSize(first) - 5);
+
+  JournalReader reader;
+  ASSERT_TRUE(reader.Open(base).ok());
+  JournalRecord record;
+  EXPECT_FALSE(reader.Next(&record));
+  EXPECT_TRUE(reader.truncated());
+  EXPECT_EQ(reader.records_read(), 0);
+}
+
+TEST(JournalTest, BadMagicOnTheFirstSegmentFailsOpen) {
+  const std::string base = TempPath("journal_bad_magic");
+  const std::string segment = WriteJournal(base, 1);
+  FlipByte(segment, 0);
+  JournalReader reader;
+  EXPECT_FALSE(reader.Open(base).ok());
+}
+
+}  // namespace
+}  // namespace cdpd

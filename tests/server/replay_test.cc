@@ -1,0 +1,308 @@
+// The replay harness: the acceptance property of the flight recorder
+// — a session recorded through a real server replays in-process with
+// every deterministic response reproduced bit-identically — plus the
+// corruption and tamper edges and the deterministic-core projection.
+
+#include "server/replay.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/advisor_server.h"
+#include "server/client.h"
+#include "server/frame.h"
+#include "server/journal.h"
+#include "server/recorder.h"
+
+namespace cdpd {
+namespace {
+
+/// The scale the tests serve and replay at. The replay service is
+/// rebuilt purely from the journal's meta header, so every field here
+/// must be representable in JournalMeta.
+ServiceOptions SmallServiceOptions() {
+  ServiceOptions options;
+  options.rows = 50'000;
+  options.domain_size = 100'000;
+  options.block_size = 5;
+  options.window_statements = 6;  // Two 5-statement ingests slide it.
+  options.k = 2;
+  return options;
+}
+
+JournalMeta MetaFor(const ServiceOptions& options) {
+  JournalMeta meta;
+  meta.rows = options.rows;
+  meta.domain_size = options.domain_size;
+  meta.block_size = static_cast<int64_t>(options.block_size);
+  meta.window_statements = static_cast<int64_t>(options.window_statements);
+  meta.k = options.k;
+  meta.method = std::string(OptimizerMethodToString(options.method));
+  meta.max_indexes_per_config = options.max_indexes_per_config;
+  return meta;
+}
+
+std::string TraceA() {
+  return "SELECT a FROM t WHERE a = 1;\n"
+         "SELECT b FROM t WHERE b = 2;\n"
+         "SELECT c FROM t WHERE d = 3;\n"
+         "UPDATE t SET a = 4 WHERE b = 5;\n"
+         "SELECT d FROM t WHERE b = 6;\n";
+}
+
+std::string TraceB() {
+  return "SELECT a FROM t WHERE c = 7;\n"
+         "SELECT b FROM t WHERE a = 8;\n"
+         "UPDATE t SET c = 9 WHERE d = 10;\n"
+         "SELECT c FROM t WHERE c = 11;\n"
+         "SELECT d FROM t WHERE a = 12;\n";
+}
+
+/// Serves `payload` through a live service and returns the journal
+/// record the transport would have persisted for it.
+JournalRecord ServeAndRecord(AdvisorService* service, ServerOp op,
+                             const std::string& payload,
+                             const std::string& id, int64_t mono_us) {
+  RequestContext ctx;
+  ctx.request_id = id;
+  const Result<std::string> result =
+      service->Handle(static_cast<uint8_t>(op), payload, ctx);
+  JournalRecord record;
+  record.opcode = static_cast<uint8_t>(op);
+  record.wire_status = result.ok() ? 0 : WireStatusCode(result.status());
+  record.flags = JournalRecord::kFlagWireRequestId;
+  record.window_epoch = service->epoch();
+  record.mono_us = mono_us;
+  record.wall_us = mono_us;
+  record.duration_us = 5;
+  record.request_id = id;
+  record.payload = payload;
+  record.response = result.ok() ? result.value() : result.status().message();
+  return record;
+}
+
+/// Records a scripted session (2 window-sliding ingests, a what-if, 4
+/// recommends) into a journal at `base` and returns the records.
+std::vector<JournalRecord> RecordScriptedSession(const std::string& base) {
+  AdvisorService service(SmallServiceOptions());
+  std::vector<JournalRecord> records;
+  int64_t mono = 0;
+  const auto add = [&](ServerOp op, const std::string& payload) {
+    records.push_back(ServeAndRecord(&service, op, payload,
+                                     "s-" + std::to_string(records.size()),
+                                     mono += 1000));
+  };
+  add(ServerOp::kIngest, TraceA());
+  add(ServerOp::kRecommend, "");
+  add(ServerOp::kRecommend, "k=1");
+  add(ServerOp::kIngest, TraceB());
+  add(ServerOp::kWhatIf, "a");
+  add(ServerOp::kRecommend, "k=2\nmethod=greedy-seq");
+  add(ServerOp::kRecommend, "method=merging");
+
+  JournalWriter writer;
+  EXPECT_TRUE(
+      writer.Open(JournalSegmentPath(base, 0),
+                  MetaFor(SmallServiceOptions()))
+          .ok());
+  for (const JournalRecord& record : records) {
+    EXPECT_TRUE(writer.Append(record).ok());
+  }
+  EXPECT_TRUE(writer.Close().ok());
+  return records;
+}
+
+TEST(ReplayTest, DeterministicCoreDropsTimingsAndStatsKeepsTheSchedule) {
+  const std::string response =
+      "{\"epoch\":3,\"k\":2,\"total_cost\":12.5,\"wall_seconds\":0.0123,"
+      "\"cost_cache_hits\":7,\"schedule\":[\"{I(a)}\"],"
+      "\"stats\":{\"mem_peak\":123}}";
+  const std::string core = DeterministicRecommendCore(response);
+  EXPECT_NE(core.find("\"total_cost\":12.5"), std::string::npos) << core;
+  EXPECT_NE(core.find("\"schedule\":[\"{I(a)}\"]"), std::string::npos);
+  EXPECT_EQ(core.find("wall_seconds"), std::string::npos) << core;
+  EXPECT_EQ(core.find("cost_cache_hits"), std::string::npos);
+  EXPECT_EQ(core.find("\"stats\""), std::string::npos);
+
+  // Two answers differing only in timing/cache noise project equally.
+  const std::string other =
+      "{\"epoch\":3,\"k\":2,\"total_cost\":12.5,\"wall_seconds\":0.9,"
+      "\"cost_cache_hits\":0,\"schedule\":[\"{I(a)}\"],"
+      "\"stats\":{\"mem_peak\":456}}";
+  EXPECT_EQ(core, DeterministicRecommendCore(other));
+
+  // Different schedules stay different.
+  const std::string changed =
+      "{\"epoch\":3,\"k\":2,\"total_cost\":12.5,\"wall_seconds\":0.9,"
+      "\"cost_cache_hits\":0,\"schedule\":[\"{I(b)}\"],"
+      "\"stats\":{\"mem_peak\":456}}";
+  EXPECT_NE(core, DeterministicRecommendCore(changed));
+
+  // An unexpected shape is compared as-is rather than misprojected.
+  EXPECT_EQ(DeterministicRecommendCore("{\"error\":1}"), "{\"error\":1}");
+}
+
+TEST(ReplayTest, ServiceOptionsRebuildFromMeta) {
+  JournalMeta meta = MetaFor(SmallServiceOptions());
+  const Result<ServiceOptions> rebuilt = ServiceOptionsFromMeta(meta);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  EXPECT_EQ(rebuilt.value().rows, 50'000);
+  EXPECT_EQ(rebuilt.value().block_size, 5u);
+  EXPECT_EQ(rebuilt.value().window_statements, 6u);
+  ASSERT_TRUE(rebuilt.value().k.has_value());
+  EXPECT_EQ(*rebuilt.value().k, 2);
+  EXPECT_EQ(rebuilt.value().method, OptimizerMethod::kOptimal);
+
+  meta.method = "no-such-method";
+  EXPECT_FALSE(ServiceOptionsFromMeta(meta).ok());
+}
+
+// THE acceptance property: a session served by a real AdvisorServer
+// over TCP with a live Recorder attached — two window-sliding INGESTs,
+// a WHATIF, four RECOMMENDs — replays in-process from the journal with
+// every deterministic response reproduced bit-identically.
+TEST(ReplayTest, RecordedTcpSessionReplaysBitIdentically) {
+  const std::string base = ::testing::TempDir() + "/replay_e2e_journal";
+  // The recorder resumes after existing segments; drop any journal a
+  // previous test run left behind.
+  for (int i = 0;; ++i) {
+    if (std::remove(JournalSegmentPath(base, i).c_str()) != 0) break;
+  }
+  {
+    AdvisorService service(SmallServiceOptions());
+    Recorder::Options recorder_options;
+    recorder_options.path = base;
+    recorder_options.meta = MetaFor(SmallServiceOptions());
+    auto recorder =
+        Recorder::Open(std::move(recorder_options), service.registry());
+    ASSERT_TRUE(recorder.ok()) << recorder.status().ToString();
+    service.set_recorder(recorder->get());
+
+    AdvisorServer server(&service);
+    ASSERT_TRUE(server.Start().ok());
+    AdvisorClient client =
+        AdvisorClient::Connect("127.0.0.1", server.port()).value();
+    client.set_next_request_id("e2e-ingest-a");
+    ASSERT_TRUE(client.Ingest(TraceA()).ok());
+    client.set_next_request_id("e2e-rec-1");
+    ASSERT_TRUE(client.Recommend("").ok());
+    client.set_next_request_id("e2e-rec-2");
+    ASSERT_TRUE(client.Recommend("k=1").ok());
+    client.set_next_request_id("e2e-ingest-b");
+    ASSERT_TRUE(client.Ingest(TraceB()).ok());  // Slides the window.
+    client.set_next_request_id("e2e-whatif");
+    ASSERT_TRUE(client.WhatIf("a").ok());
+    client.set_next_request_id("e2e-rec-3");
+    ASSERT_TRUE(client.Recommend("k=2\nmethod=greedy-seq").ok());
+    client.set_next_request_id("e2e-rec-4");
+    ASSERT_TRUE(client.Recommend("method=merging").ok());
+    ASSERT_TRUE(client.Shutdown().ok());
+    server.Wait();
+
+    service.set_recorder(nullptr);
+    (*recorder)->Close();
+    EXPECT_EQ((*recorder)->frames_dropped(), 0);
+  }
+
+  const Result<ReplayOutcome> replayed = ReplayJournal(base, ReplayOptions{});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  const ReplayOutcome& outcome = replayed.value();
+  EXPECT_EQ(outcome.frames, 8);    // 7 requests + the SHUTDOWN frame.
+  EXPECT_EQ(outcome.replayed, 7);  // SHUTDOWN is not replayable.
+  EXPECT_EQ(outcome.skipped, 1);
+  // Every successful PING/INGEST/WHATIF/RECOMMEND response is
+  // deterministic here (no deadlines) — all 7 are compared.
+  EXPECT_EQ(outcome.compared, 7);
+  EXPECT_EQ(outcome.mismatches, 0)
+      << (outcome.mismatch_details.empty()
+              ? ""
+              : outcome.mismatch_details.front());
+  EXPECT_FALSE(outcome.truncated);
+  EXPECT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome.op_counts.at("recommend"), 4);
+  EXPECT_EQ(outcome.op_counts.at("ingest"), 2);
+}
+
+TEST(ReplayTest, InProcessSessionsReplayTooAndCountPerOp) {
+  const std::string base = ::testing::TempDir() + "/replay_scripted_journal";
+  const std::vector<JournalRecord> records = RecordScriptedSession(base);
+  ASSERT_EQ(records.size(), 7u);
+
+  const Result<ReplayOutcome> replayed = ReplayJournal(base, ReplayOptions{});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed.value().frames, 7);
+  EXPECT_EQ(replayed.value().compared, 7);
+  EXPECT_EQ(replayed.value().mismatches, 0)
+      << (replayed.value().mismatch_details.empty()
+              ? ""
+              : replayed.value().mismatch_details.front());
+}
+
+TEST(ReplayTest, CorruptTailStopsAtTheLastValidFrameWithoutMismatches) {
+  const std::string base = ::testing::TempDir() + "/replay_corrupt_journal";
+  RecordScriptedSession(base);
+  const std::string segment = JournalSegmentPath(base, 0);
+
+  // Tear the final frame: everything before it still verifies.
+  std::FILE* f = std::fopen(segment.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(::truncate(segment.c_str(), size - 7), 0);
+
+  const Result<ReplayOutcome> replayed = ReplayJournal(base, ReplayOptions{});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  const ReplayOutcome& outcome = replayed.value();
+  EXPECT_EQ(outcome.frames, 6);  // The 7th frame is gone, not garbled.
+  EXPECT_EQ(outcome.mismatches, 0);
+  EXPECT_TRUE(outcome.truncated);
+  EXPECT_FALSE(outcome.truncated_error.empty());
+}
+
+TEST(ReplayTest, TamperedResponseIsDetectedAsAMismatch) {
+  const std::string base = ::testing::TempDir() + "/replay_tampered_journal";
+  std::vector<JournalRecord> records = RecordScriptedSession(base);
+
+  // Rewrite the journal with one recommend's schedule altered — the
+  // replayed service cannot reproduce the forged answer.
+  bool tampered = false;
+  for (JournalRecord& record : records) {
+    const size_t at = record.response.find("\"schedule\":[");
+    if (record.opcode == static_cast<uint8_t>(ServerOp::kRecommend) &&
+        record.wire_status == 0 && !tampered &&
+        at != std::string::npos) {
+      record.response.insert(at + strlen("\"schedule\":["), "\"{FORGED}\",");
+      tampered = true;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  const std::string tampered_base = base + "_rewritten";
+  JournalWriter writer;
+  ASSERT_TRUE(writer.Open(JournalSegmentPath(tampered_base, 0),
+                          MetaFor(SmallServiceOptions()))
+                  .ok());
+  for (const JournalRecord& record : records) {
+    ASSERT_TRUE(writer.Append(record).ok());
+  }
+  ASSERT_TRUE(writer.Close().ok());
+
+  const Result<ReplayOutcome> replayed =
+      ReplayJournal(tampered_base, ReplayOptions{});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_EQ(replayed.value().mismatches, 1);
+  ASSERT_FALSE(replayed.value().mismatch_details.empty());
+  EXPECT_NE(replayed.value().mismatch_details.front().find("diverge"),
+            std::string::npos)
+      << replayed.value().mismatch_details.front();
+  EXPECT_FALSE(replayed.value().ok());
+}
+
+}  // namespace
+}  // namespace cdpd

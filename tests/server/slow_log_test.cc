@@ -101,6 +101,42 @@ TEST(SlowLogTest, ToJsonCarriesEntriesAndSpans) {
   EXPECT_NE(entry_json.find("\"spans\":["), std::string::npos);
 }
 
+TEST(SlowLogTest, ManyThreadsRecordingKeepInvariantsUnderContention) {
+  // Heavier than ConcurrentRecordsStayBounded below: more threads than
+  // cores hammering Record() while the invariants are checked — the
+  // slowest set stays sorted and capped, the recent ring never
+  // overflows its capacity, and no record is lost. Runs under the TSan
+  // preset (the Recorder|Journal|Replay|SlowLog filter).
+  SlowLog log(/*capacity=*/16, /*recent_capacity=*/32);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 400;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(Entry("c" + std::to_string(t) + "-" + std::to_string(i),
+                         (i * 7919 + t) % 10'000));
+        if (i % 64 == 0) {
+          // Concurrent readers race the writers on purpose.
+          (void)log.Slowest();
+          (void)log.Find("c0-0");
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(log.recorded(), kThreads * kPerThread);
+  EXPECT_EQ(log.recent_capacity(), 32u);
+  EXPECT_LE(log.recent_size(), log.recent_capacity());
+  const std::vector<SlowLogEntry> slowest = log.Slowest();
+  ASSERT_LE(slowest.size(), 16u);
+  ASSERT_EQ(slowest.size(), 16u);  // 3200 records easily fill 16 slots.
+  for (size_t i = 1; i < slowest.size(); ++i) {
+    EXPECT_GE(slowest[i - 1].duration_us, slowest[i].duration_us);
+  }
+}
+
 TEST(SlowLogTest, ConcurrentRecordsStayBounded) {
   SlowLog log(/*capacity=*/8, /*recent_capacity=*/16);
   std::vector<std::thread> threads;

@@ -115,6 +115,27 @@ class CheckPrometheusTest(unittest.TestCase):
         self.assertEqual(missing.returncode, 1)
         self.assertIn("cost_cache_", missing.stderr)
 
+    def test_require_nonzero_passes_on_a_live_counter(self):
+        ok = self.run_checker(VALID, "--require-nonzero", "server_requests")
+        self.assertEqual(ok.returncode, 0, ok.stderr)
+
+    def test_require_nonzero_rejects_all_zero_samples(self):
+        text = "# TYPE idle counter\nidle 0\nidle 0\n"
+        result = self.run_checker(text, "--require-nonzero", "idle")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("only has zero samples", result.stderr)
+
+    def test_require_nonzero_rejects_missing_family(self):
+        result = self.run_checker(VALID, "--require-nonzero", "no_such")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no_such", result.stderr)
+
+    def test_require_nonzero_accepts_any_nonzero_sample(self):
+        text = "# TYPE mixed gauge\nmixed 0\nmixed 3\n"
+        self.assertEqual(
+            self.run_checker(text, "--require-nonzero", "mixed").returncode,
+            0)
+
     def test_comments_and_blank_lines_are_ignored(self):
         text = "\n# free-form comment\n# HELP m helps\n" + VALID
         self.assertEqual(self.run_checker(text).returncode, 0)

@@ -1,0 +1,214 @@
+// Replays a journal recorded by `advisor_server --record` (see
+// docs/serving.md).
+//
+//   advisor_replay --journal PATH [--verify]
+//                  [--host A.B.C.D --port N] [--speed X]
+//                  [--send-shutdown] [--report FILE]
+//
+// Two modes:
+//   - In-process (no --port): rebuilds a fresh AdvisorService from the
+//     journal's meta header, re-issues every recorded request, and
+//     checks each deterministic response is bit-identical to the
+//     recorded one. With --verify, any mismatch makes the exit code 1.
+//   - Live TCP (--port N): re-sends the requests to a running
+//     advisor_server, preserving recorded inter-arrival gaps scaled by
+//     --speed (0 = as fast as possible, 1 = real time).
+//
+// --report FILE writes a cdpd.bench-schema JSON artifact with the
+// replay throughput and verification counts.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "bench_util.h"
+#include "server/replay.h"
+
+using namespace cdpd;
+
+namespace {
+
+struct ReplayCliArgs {
+  std::string journal;
+  bool verify = false;
+  std::string host = "127.0.0.1";
+  int64_t port = 0;
+  double speed = 0.0;
+  bool send_shutdown = false;
+  std::string report;
+  bool help = false;
+};
+
+void PrintHelp(std::FILE* out) {
+  std::fprintf(out,
+      "usage: advisor_replay --journal PATH [flags]\n"
+      "\n"
+      "Replays a request journal recorded by advisor_server --record.\n"
+      "Without --port the replay runs in-process against a fresh\n"
+      "service built from the journal's meta header and checks that\n"
+      "every deterministic response is reproduced bit-identically;\n"
+      "with --port the requests are re-sent to a live server.\n"
+      "\n"
+      "  --journal PATH    the journal base (or one segment file)\n"
+      "                    written by advisor_server --record PATH\n"
+      "  --verify          exit 1 when any replayed response differs\n"
+      "                    from the recorded one (in-process mode)\n"
+      "  --host A.B.C.D    live-replay target host (default 127.0.0.1)\n"
+      "  --port N          live-replay target port (omit for the\n"
+      "                    in-process verify mode)\n"
+      "  --speed X         live-replay pacing: 0 = as fast as possible\n"
+      "                    (default), 1 = recorded gaps, 2 = twice as\n"
+      "                    fast\n"
+      "  --send-shutdown   forward a recorded SHUTDOWN frame to the\n"
+      "                    live target (default: skipped)\n"
+      "  --report FILE     write a cdpd.bench JSON artifact here\n"
+      "  --help            this text\n");
+}
+
+bool ParseInt(const char* text, int64_t* out) {
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = static_cast<int64_t>(value);
+  return true;
+}
+
+bool ParseDouble(const char* text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  *out = value;
+  return true;
+}
+
+bool ParseArgs(int argc, char** argv, ReplayCliArgs* args) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--journal") {
+      if (i + 1 >= argc) return false;
+      args->journal = argv[++i];
+      if (args->journal.empty()) return false;
+    } else if (arg == "--verify") {
+      args->verify = true;
+    } else if (arg == "--host") {
+      if (i + 1 >= argc) return false;
+      args->host = argv[++i];
+    } else if (arg == "--port") {
+      if (i + 1 >= argc || !ParseInt(argv[++i], &args->port) ||
+          args->port <= 0 || args->port > 65535) {
+        return false;
+      }
+    } else if (arg == "--speed") {
+      if (i + 1 >= argc || !ParseDouble(argv[++i], &args->speed) ||
+          args->speed < 0.0) {
+        return false;
+      }
+    } else if (arg == "--send-shutdown") {
+      args->send_shutdown = true;
+    } else if (arg == "--report") {
+      if (i + 1 >= argc) return false;
+      args->report = argv[++i];
+      if (args->report.empty()) return false;
+    } else if (arg == "--help" || arg == "-h") {
+      args->help = true;
+    } else {
+      std::fprintf(stderr, "unknown argument %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ReplayCliArgs args;
+  if (!ParseArgs(argc, argv, &args)) {
+    PrintHelp(stderr);
+    return 2;
+  }
+  if (args.help) {
+    PrintHelp(stdout);
+    return 0;
+  }
+  if (args.journal.empty()) {
+    std::fprintf(stderr, "--journal is required\n");
+    PrintHelp(stderr);
+    return 2;
+  }
+
+  ReplayOptions options;
+  options.host = args.host;
+  options.port = static_cast<int>(args.port);
+  options.speed = args.speed;
+  options.send_shutdown = args.send_shutdown;
+  const Result<ReplayOutcome> result = ReplayJournal(args.journal, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "replay failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+  const ReplayOutcome& outcome = result.value();
+
+  const char* mode = args.port > 0 ? "live" : "in-process";
+  std::printf("replayed %lld of %lld journal frames (%s) in %.3fs\n",
+              static_cast<long long>(outcome.replayed),
+              static_cast<long long>(outcome.frames), mode,
+              outcome.wall_seconds);
+  for (const auto& [op, count] : outcome.op_counts) {
+    std::printf("  %-10s %lld\n", op.c_str(),
+                static_cast<long long>(count));
+  }
+  if (outcome.skipped > 0) {
+    std::printf("skipped %lld frames\n",
+                static_cast<long long>(outcome.skipped));
+  }
+  if (args.port == 0) {
+    std::printf("verified %lld deterministic responses, %lld mismatches\n",
+                static_cast<long long>(outcome.compared),
+                static_cast<long long>(outcome.mismatches));
+    for (const std::string& detail : outcome.mismatch_details) {
+      std::printf("  MISMATCH %s\n", detail.c_str());
+    }
+  }
+  if (outcome.truncated) {
+    std::printf("journal truncated: %s\n", outcome.truncated_error.c_str());
+  }
+  if (!outcome.transport_error.empty()) {
+    std::fprintf(stderr, "replay target lost: %s\n",
+                 outcome.transport_error.c_str());
+  }
+
+  if (!args.report.empty()) {
+    bench_util::BenchReport report("advisor_replay");
+    report.AddServingCase(
+        args.port > 0 ? "replay_live" : "replay_verify",
+        outcome.wall_seconds, outcome.replayed,
+        {{"frames", static_cast<double>(outcome.frames)},
+         {"replayed", static_cast<double>(outcome.replayed)},
+         {"skipped", static_cast<double>(outcome.skipped)},
+         {"compared", static_cast<double>(outcome.compared)},
+         {"mismatches", static_cast<double>(outcome.mismatches)},
+         {"truncated", outcome.truncated ? 1.0 : 0.0}});
+    const std::string json = report.ToJson();
+    std::FILE* f = std::fopen(args.report.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write report to %s\n",
+                   args.report.c_str());
+      return 1;
+    }
+    const size_t written = std::fwrite(json.data(), 1, json.size(), f);
+    if (std::fclose(f) != 0 || written != json.size()) {
+      std::fprintf(stderr, "short write of report %s\n", args.report.c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", args.report.c_str());
+  }
+
+  if (!outcome.transport_error.empty()) return 1;
+  if (args.verify && outcome.mismatches > 0) return 1;
+  return 0;
+}

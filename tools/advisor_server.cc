@@ -7,23 +7,37 @@
 //   advisor_server [--port N] [--host A.B.C.D] [--http-port N]
 //                  [--rows N] [--block N] [--k N] [--window N]
 //                  [--threads N] [--cache-max-bytes N] [--deadline-ms N]
-//                  [--memory-limit-bytes N]
+//                  [--memory-limit-bytes N] [--slowlog-n N]
+//                  [--record PATH] [--record-ring N]
+//                  [--record-segment-bytes N] [--postmortem-dir DIR]
 //
 // Prints "listening on <host>:<port>" once ready (scripts scrape the
 // port when --port 0 picked an ephemeral one) and, with --http-port,
 // "http listening on <host>:<port>" for the observability plane
-// (/metrics, /healthz, /readyz, /varz, /slowlog, /trace?id=), then
-// serves until a SHUTDOWN frame arrives.
+// (/metrics, /healthz, /readyz, /varz, /slowlog, /trace?id=,
+// /recorder), then serves until a SHUTDOWN frame arrives.
+//
+// With --record, every served request is journaled to
+// <PATH>.000000, ... (replayable with advisor_replay); with
+// --postmortem-dir, SIGTERM/SIGINT and the first failed request each
+// flush a postmortem bundle before the server winds down.
 
 #include <cerrno>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
+#include <thread>
+
+#if !defined(_WIN32)
+#include <unistd.h>
+#endif
 
 #include "server/advisor_server.h"
 #include "server/http_endpoint.h"
+#include "server/recorder.h"
 
 using namespace cdpd;
 
@@ -41,6 +55,11 @@ struct ServerCliArgs {
   int64_t cache_max_bytes = 0;
   int64_t deadline_ms = -1;
   int64_t memory_limit_bytes = -1;
+  int64_t slowlog_n = 32;
+  std::string record;  // Journal base path; empty = no recording.
+  int64_t record_ring = 4096;
+  int64_t record_segment_bytes = 64ll << 20;
+  std::string postmortem_dir;  // Empty = no bundles.
   bool help = false;
 };
 
@@ -57,7 +76,7 @@ void PrintHelp(std::FILE* out) {
       "  --http-port N     also serve the HTTP observability plane on\n"
       "                    this port (0 = ephemeral, printed on the\n"
       "                    'http listening on' line): /metrics /healthz\n"
-      "                    /readyz /varz /slowlog /trace?id=\n"
+      "                    /readyz /varz /slowlog /trace?id= /recorder\n"
       "                    (omit the flag for no HTTP listener)\n"
       "  --rows N          table rows assumed by the cost model\n"
       "  --block N         statements per advisor segment (default 100)\n"
@@ -72,6 +91,21 @@ void PrintHelp(std::FILE* out) {
       "  --deadline-ms N   default per-request solve deadline\n"
       "  --memory-limit-bytes N\n"
       "                    default per-request solver memory budget\n"
+      "  --slowlog-n N     slowest-request entries GET /slowlog keeps\n"
+      "                    (default 32; must be positive)\n"
+      "  --record PATH     journal every served request to PATH.000000,\n"
+      "                    PATH.000001, ... (replay: advisor_replay)\n"
+      "  --record-ring N   in-memory frames buffered between the hot\n"
+      "                    path and the journal writer (default 4096;\n"
+      "                    overflow drops frames, never blocks serving)\n"
+      "  --record-segment-bytes N\n"
+      "                    rotate journal segments at this size\n"
+      "                    (default 64 MiB)\n"
+      "  --postmortem-dir DIR\n"
+      "                    flush a postmortem bundle (varz, slowlog,\n"
+      "                    metrics, journal tail) to DIR/shutdown on\n"
+      "                    SIGTERM/SIGINT and to DIR/failure on the\n"
+      "                    first failed request\n"
       "  --help            this text\n");
 }
 
@@ -122,6 +156,23 @@ bool ParseArgs(int argc, char** argv, ServerCliArgs* args) {
       if (!next(&args->memory_limit_bytes) || args->memory_limit_bytes <= 0) {
         return false;
       }
+    } else if (arg == "--slowlog-n") {
+      if (!next(&args->slowlog_n) || args->slowlog_n <= 0) return false;
+    } else if (arg == "--record") {
+      if (i + 1 >= argc) return false;
+      args->record = argv[++i];
+      if (args->record.empty()) return false;
+    } else if (arg == "--record-ring") {
+      if (!next(&args->record_ring) || args->record_ring <= 0) return false;
+    } else if (arg == "--record-segment-bytes") {
+      if (!next(&args->record_segment_bytes) ||
+          args->record_segment_bytes <= 0) {
+        return false;
+      }
+    } else if (arg == "--postmortem-dir") {
+      if (i + 1 >= argc) return false;
+      args->postmortem_dir = argv[++i];
+      if (args->postmortem_dir.empty()) return false;
     } else if (arg == "--help" || arg == "-h") {
       args->help = true;
     } else {
@@ -131,6 +182,18 @@ bool ParseArgs(int argc, char** argv, ServerCliArgs* args) {
   }
   return true;
 }
+
+#if !defined(_WIN32)
+// Self-pipe: the only async-signal-safe thing the handler does is
+// write one byte; a watcher thread does the real work (postmortem
+// bundle, journal flush, server stop) in normal context.
+int g_signal_pipe[2] = {-1, -1};
+
+void HandleStopSignal(int) {
+  const char byte = 's';
+  (void)!::write(g_signal_pipe[1], &byte, 1);
+}
+#endif
 
 }  // namespace
 
@@ -163,12 +226,42 @@ int main(int argc, char** argv) {
   if (args.memory_limit_bytes > 0) {
     service_options.default_memory_limit_bytes = args.memory_limit_bytes;
   }
+  service_options.slow_log_capacity = static_cast<size_t>(args.slowlog_n);
+  service_options.postmortem_dir = args.postmortem_dir;
   if (const Status status = service_options.Validate(); !status.ok()) {
     std::fprintf(stderr, "invalid options: %s\n", status.ToString().c_str());
     return 2;
   }
 
   AdvisorService service(std::move(service_options));
+
+  std::unique_ptr<Recorder> recorder;
+  if (!args.record.empty()) {
+    Recorder::Options recorder_options;
+    recorder_options.path = args.record;
+    recorder_options.ring_capacity = static_cast<size_t>(args.record_ring);
+    recorder_options.segment_max_bytes = args.record_segment_bytes;
+    JournalMeta& meta = recorder_options.meta;
+    meta.rows = service.options().rows;
+    meta.domain_size = service.options().domain_size;
+    meta.block_size = static_cast<int64_t>(service.options().block_size);
+    meta.window_statements =
+        static_cast<int64_t>(service.options().window_statements);
+    meta.k = service.options().k;
+    meta.method =
+        std::string(OptimizerMethodToString(service.options().method));
+    meta.max_indexes_per_config = service.options().max_indexes_per_config;
+    Result<std::unique_ptr<Recorder>> opened =
+        Recorder::Open(std::move(recorder_options), service.registry());
+    if (!opened.ok()) {
+      std::fprintf(stderr, "cannot start the recorder: %s\n",
+                   opened.status().ToString().c_str());
+      return 1;
+    }
+    recorder = std::move(opened).value();
+    service.set_recorder(recorder.get());
+  }
+
   AdvisorServer server(&service);
   ServerOptions server_options;
   server_options.host = args.host;
@@ -191,9 +284,62 @@ int main(int argc, char** argv) {
     }
     std::printf("http listening on %s:%d\n", args.host.c_str(), http->port());
   }
+  if (recorder != nullptr) {
+    std::printf("recording to %s\n", recorder->path().c_str());
+  }
   std::fflush(stdout);
+
+#if !defined(_WIN32)
+  std::thread signal_watcher;
+  if (::pipe(g_signal_pipe) == 0) {
+    struct sigaction action {};
+    action.sa_handler = HandleStopSignal;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    signal_watcher = std::thread([&] {
+      for (;;) {
+        char byte = 0;
+        const ssize_t n = ::read(g_signal_pipe[0], &byte, 1);
+        if (n < 0 && errno == EINTR) continue;
+        if (n != 1 || byte == 'q') return;
+        // A stop signal: capture the postmortem while the metrics and
+        // slow log still describe live traffic, make the journal
+        // durable, then let the server wind down.
+        if (!args.postmortem_dir.empty()) {
+          const Status status = WritePostmortemBundle(
+              &service, recorder.get(), args.postmortem_dir + "/shutdown",
+              "stop signal (SIGTERM/SIGINT)");
+          if (!status.ok()) {
+            std::fprintf(stderr, "postmortem bundle failed: %s\n",
+                         status.ToString().c_str());
+          }
+        }
+        if (recorder != nullptr) (void)recorder->Flush();
+        server.RequestStop();
+      }
+    });
+  }
+#endif
+
   server.Wait();
   if (http != nullptr) http->Shutdown();
+
+#if !defined(_WIN32)
+  if (signal_watcher.joinable()) {
+    const char quit = 'q';
+    (void)!::write(g_signal_pipe[1], &quit, 1);
+    signal_watcher.join();
+  }
+  for (int& fd : g_signal_pipe) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+#endif
+
+  if (recorder != nullptr) {
+    service.set_recorder(nullptr);
+    recorder->Close();
+  }
   std::printf("shut down after %lld requests\n",
               static_cast<long long>(
                   service.registry()->Snapshot().CounterValue(

@@ -17,8 +17,12 @@ Presence requirements:
 
   --require NAME          this exact family must be declared
   --require-prefix P      at least one declared family starts with P
+  --require-nonzero NAME  family must be declared AND own at least one
+                          sample with a nonzero value (gates "the
+                          subsystem actually ran", e.g. CI asserting
+                          recorder_frames_written > 0)
 
-Both repeat. Reads the exposition from FILE (or stdin with '-').
+All repeat. Reads the exposition from FILE (or stdin with '-').
 Exit status: 0 clean, 1 violations (each printed to stderr), 2 usage.
 """
 
@@ -47,11 +51,12 @@ def parse_value(text):
         return False
 
 
-def check(lines, require=(), require_prefix=()):
+def check(lines, require=(), require_prefix=(), require_nonzero=()):
     """Returns a list of violation strings (empty = clean)."""
     errors = []
     families = {}   # family name -> kind
     sampled = set()  # family names that own at least one sample
+    nonzero = set()  # family names with at least one nonzero sample
 
     def family_of(name):
         if name in families:
@@ -100,6 +105,11 @@ def check(lines, require=(), require_prefix=()):
                 f"line {lineno}: sample '{name}' has no preceding TYPE")
             continue
         sampled.add(family)
+        try:
+            if float(match.group("value")) != 0.0:
+                nonzero.add(family)
+        except ValueError:
+            nonzero.add(family)  # Inf/NaN are decidedly not zero.
         labels = match.group("labels")
         if labels is not None:
             consumed = 0
@@ -121,6 +131,14 @@ def check(lines, require=(), require_prefix=()):
     for prefix in require_prefix:
         if not any(name.startswith(prefix) for name in families):
             errors.append(f"no metric family starts with '{prefix}'")
+    for name in require_nonzero:
+        if name not in families:
+            errors.append(f"required metric family '{name}' is missing")
+        elif name not in sampled:
+            errors.append(f"required metric family '{name}' has no samples")
+        elif name not in nonzero:
+            errors.append(
+                f"required metric family '{name}' only has zero samples")
     return errors
 
 
@@ -134,6 +152,9 @@ def main(argv=None):
     parser.add_argument("--require-prefix", action="append", default=[],
                         metavar="PREFIX",
                         help="at least one family must start with this")
+    parser.add_argument("--require-nonzero", action="append", default=[],
+                        metavar="NAME",
+                        help="family that must own a nonzero sample")
     args = parser.parse_args(argv)
 
     if args.file == "-":
@@ -147,7 +168,8 @@ def main(argv=None):
             return 2
 
     errors = check(lines, require=args.require,
-                   require_prefix=args.require_prefix)
+                   require_prefix=args.require_prefix,
+                   require_nonzero=args.require_nonzero)
     for error in errors:
         print(error, file=sys.stderr)
     if not errors:
